@@ -1,0 +1,494 @@
+// Benchmarks: one family per experiment of DESIGN.md §4 (E1-E10).
+// Each benchmark exercises the operation its experiment measures, with
+// deployment outside the timer. Two kinds of numbers appear: ns/op is
+// real CPU time; the "virtual-ms/op" and "wan-KB/op" metrics are the
+// simulated wide-area cost the experiments report (the shape a real
+// deployment would show).
+//
+// Run with: go test -bench=. -benchmem
+package gdn_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gdn"
+	"gdn/internal/core"
+	"gdn/internal/experiments"
+	"gdn/internal/gls"
+	"gdn/internal/gns"
+	"gdn/internal/ids"
+	"gdn/internal/netsim"
+	"gdn/internal/pkgobj"
+	"gdn/internal/sec"
+	"gdn/internal/transport"
+	"gdn/internal/wire"
+	"gdn/internal/workload"
+)
+
+// --- E1: subobject composition overhead ------------------------------
+
+func e1Stub(b *testing.B) *pkgobj.Stub {
+	b.Helper()
+	p := pkgobj.New()
+	lr := core.NewLocalLR(ids.Derive("bench"), p)
+	b.Cleanup(func() { lr.Close() })
+	stub := pkgobj.NewStub(lr)
+	if err := stub.AddFile("f", make([]byte, 4<<10)); err != nil {
+		b.Fatal(err)
+	}
+	return stub
+}
+
+func BenchmarkE1_DirectSemanticsCall(b *testing.B) {
+	p := pkgobj.New()
+	if _, err := p.Invoke(core.Invocation{
+		Method: pkgobj.MethodAddFile, Write: true,
+		Args: addFileArgs("f", make([]byte, 4<<10)),
+	}); err != nil {
+		b.Fatal(err)
+	}
+	inv := core.Invocation{Method: pkgobj.MethodGetFile, Args: getFileArgs("f")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Invoke(inv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1_ThroughLRStack(b *testing.B) {
+	stub := e1Stub(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stub.GetFileContents("f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1_InvocationMarshal(b *testing.B) {
+	inv := core.Invocation{Method: pkgobj.MethodGetFile, Args: getFileArgs("f")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DecodeInvocation(inv.Encode()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// addFileArgs and getFileArgs mirror the stub's argument encodings so
+// the direct-call benchmark bypasses the stub entirely.
+func addFileArgs(path string, data []byte) []byte {
+	w := wire.NewWriter(8 + len(path) + len(data))
+	w.Str(path)
+	w.Bytes32(data)
+	return w.Bytes()
+}
+
+func getFileArgs(path string) []byte {
+	w := wire.NewWriter(4 + len(path))
+	w.Str(path)
+	return w.Bytes()
+}
+
+// --- E2/E3: location service -----------------------------------------
+
+// benchGLS deploys a two-region tree with one registered object and
+// returns resolvers at increasing distance from it.
+func benchGLS(b *testing.B, rootSubnodes int) (oid ids.OID, near, far *gls.Resolver) {
+	b.Helper()
+	net := netsim.New(nil)
+	var rootSites []string
+	for i := 0; i < rootSubnodes; i++ {
+		site := fmt.Sprintf("hub-%d", i)
+		net.AddSite(site, "hub", "core")
+		rootSites = append(rootSites, site)
+	}
+	net.AddSite("eu-a", "eu-a", "eu")
+	net.AddSite("us-a", "us-a", "us")
+	tree, err := gls.Deploy(net, gls.DomainSpec{
+		Name: "root", Sites: rootSites,
+		Children: []gls.DomainSpec{
+			{Name: "eu", Sites: []string{"eu-a"}, Children: []gls.DomainSpec{gls.Leaf("eu/a", "eu-a")}},
+			{Name: "us", Sites: []string{"us-a"}, Children: []gls.DomainSpec{gls.Leaf("us/a", "us-a")}},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(tree.Close)
+
+	near, err = tree.Resolver("eu-a", "eu/a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { near.Close() })
+	far, err = tree.Resolver("us-a", "us/a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { far.Close() })
+
+	oid, _, err = near.Insert(ids.Nil, gls.ContactAddress{
+		Protocol: "clientserver", Address: "eu-a:gos", Impl: pkgobj.Impl, Role: "server",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return oid, near, far
+}
+
+func benchLookup(b *testing.B, res *gls.Resolver, oid ids.OID) {
+	b.Helper()
+	var virtual time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, cost, err := res.Lookup(oid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		virtual += cost
+	}
+	b.ReportMetric(float64(virtual.Milliseconds())/float64(b.N), "virtual-ms/op")
+}
+
+func BenchmarkE2_LookupSameLeaf(b *testing.B) {
+	oid, near, _ := benchGLS(b, 1)
+	benchLookup(b, near, oid)
+}
+
+func BenchmarkE2_LookupCrossRegion(b *testing.B) {
+	oid, _, far := benchGLS(b, 1)
+	benchLookup(b, far, oid)
+}
+
+func BenchmarkE3_LookupPartitionedRoot4(b *testing.B) {
+	oid, _, far := benchGLS(b, 4)
+	benchLookup(b, far, oid)
+}
+
+func BenchmarkE3_LookupPartitionedRoot16(b *testing.B) {
+	oid, _, far := benchGLS(b, 16)
+	benchLookup(b, far, oid)
+}
+
+// --- E4: differentiated replication ----------------------------------
+
+func benchE4(b *testing.B, policy bool) {
+	b.Helper()
+	// One full (small) trace replay per iteration; the table-producing
+	// driver carries the real experiment, this tracks its cost.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.E4Config{Docs: 12, Events: 120, Seed: int64(i) + 1}
+		tab := experiments.E4Differentiated(cfg)
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE4_DifferentiatedTraceReplay(b *testing.B) { benchE4(b, true) }
+
+// --- E5: end-to-end downloads ----------------------------------------
+
+// benchWorld publishes one package under a scenario and returns an
+// HTTPD test server near (or far from) the replicas.
+func benchDownload(b *testing.B, size int, replicated bool) {
+	b.Helper()
+	w, err := gdn.NewWorld(gdn.DefaultTopology())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(w.Close)
+
+	servers := []string{"eu-nl-vu"}
+	protocol := gdn.ProtocolClientServer
+	if replicated {
+		servers = []string{"eu-nl-vu", "na-ca-ucb", "ap-jp-ut"}
+		protocol = gdn.ProtocolMasterSlave
+	}
+	mod, err := w.Moderator("eu-nl-vu", "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := mod.CreatePackage("/apps/bench", gdn.Scenario{
+		Protocol: protocol, Servers: w.GOSAddrs(servers...),
+	}, gdn.Package{Files: map[string][]byte{"blob": make([]byte, size)}}); err != nil {
+		b.Fatal(err)
+	}
+
+	h, err := w.HTTPD("ap-au-mu", gdn.HTTPDConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	b.Cleanup(ts.Close)
+
+	w.Net.ResetMeter()
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(ts.URL + "/pkg/apps/bench/-/blob")
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		buf := make([]byte, 64<<10)
+		for {
+			k, err := resp.Body.Read(buf)
+			n += k
+			if err != nil {
+				break
+			}
+		}
+		resp.Body.Close()
+		if n != size {
+			b.Fatalf("short download: %d", n)
+		}
+	}
+	b.StopTimer()
+	m := w.Net.Meter()
+	b.ReportMetric(float64(m.Bytes[netsim.WideArea])/1024/float64(b.N), "wan-KB/op")
+	b.ReportMetric(float64(h.Stats().VirtualCost.Milliseconds())/float64(b.N), "virtual-ms/op")
+}
+
+func BenchmarkE5_Download1MB_Central(b *testing.B)    { benchDownload(b, 1<<20, false) }
+func BenchmarkE5_Download1MB_Replicated(b *testing.B) { benchDownload(b, 1<<20, true) }
+func BenchmarkE5_Download100KB_Central(b *testing.B)  { benchDownload(b, 100<<10, false) }
+
+// --- E6: security channels -------------------------------------------
+
+func benchChannel(b *testing.B, mode string) {
+	b.Helper()
+	net := netsim.New(nil)
+	net.AddSite("a", "a", "eu")
+	net.AddSite("b", "b", "us")
+	l, err := net.Listen("b:svc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	acc := make(chan transport.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			acc <- c
+		}
+	}()
+	cConn, err := net.Dial("a", "b:svc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sConn := <-acc
+	l.Close()
+
+	var client, server transport.Conn = cConn, sConn
+	if mode != "plain" {
+		ca, err := sec.NewAuthority("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sCreds, err := sec.NewCredentials(ca, sec.Principal(sec.RoleGOS, "b"), sec.RoleGOS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cCreds, err := sec.NewCredentials(ca, sec.Principal(sec.RoleGOS, "a"), sec.RoleGOS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		encrypt := mode == "encrypted"
+		type res struct {
+			ch  *sec.Channel
+			err error
+		}
+		done := make(chan res, 1)
+		go func() {
+			ch, err := sec.Server(sConn, &sec.Config{
+				Creds: sCreds, TrustAnchors: ca.Anchors(),
+				RequireClientAuth: true, Encrypt: encrypt,
+			})
+			done <- res{ch, err}
+		}()
+		cch, err := sec.Client(cConn, &sec.Config{
+			Creds: cCreds, TrustAnchors: ca.Anchors(), Encrypt: encrypt,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := <-done
+		if r.err != nil {
+			b.Fatal(r.err)
+		}
+		client, server = cch, r.ch
+	}
+	b.Cleanup(func() { client.Close(); server.Close() })
+
+	const payload = 64 << 10
+	buf := make([]byte, payload)
+	errs := make(chan error, 1)
+	go func() {
+		for {
+			if _, _, err := server.Recv(); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	b.SetBytes(payload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Send(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6_Channel64KB_Plain(b *testing.B)     { benchChannel(b, "plain") }
+func BenchmarkE6_Channel64KB_Integrity(b *testing.B) { benchChannel(b, "integrity") }
+func BenchmarkE6_Channel64KB_Encrypted(b *testing.B) { benchChannel(b, "encrypted") }
+
+// --- E7: name service -------------------------------------------------
+
+func benchResolve(b *testing.B, cached bool) {
+	b.Helper()
+	w, err := gdn.NewWorld(gdn.DefaultTopology())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(w.Close)
+	mod, err := w.Moderator("eu-nl-vu", "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const names = 32
+	for i := 0; i < names; i++ {
+		if _, _, err := mod.CreatePackage(fmt.Sprintf("/apps/p%02d", i), gdn.Scenario{
+			Protocol: gdn.ProtocolClientServer, Servers: w.GOSAddrs("eu-nl-vu"),
+		}, gdn.Package{Files: map[string][]byte{"f": {1}}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	res := w.DNSResolver("na-ny-cu")
+	res.CacheEnabled = cached
+	svc := gns.NewNameService(res, w.Zone())
+	zipf := workload.NewZipf(names, 0.9, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := svc.Resolve(fmt.Sprintf("/apps/p%02d", zipf.Next())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7_ResolveCached(b *testing.B)   { benchResolve(b, true) }
+func BenchmarkE7_ResolveUncached(b *testing.B) { benchResolve(b, false) }
+
+// --- E8: replication protocols ---------------------------------------
+
+func benchProtocolOp(b *testing.B, protocol string, replicas int, write bool) {
+	b.Helper()
+	w, err := gdn.NewWorld(gdn.DefaultTopology())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(w.Close)
+
+	allServers := []string{"eu-nl-vu", "na-ca-ucb", "ap-jp-ut"}
+	servers := allServers[:replicas]
+	mod, err := w.Moderator("eu-nl-vu", "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := mod.CreatePackage("/apps/bench", gdn.Scenario{
+		Protocol: protocol, Servers: w.GOSAddrs(servers...),
+	}, gdn.Package{Files: map[string][]byte{"f": make([]byte, 16<<10)}}); err != nil {
+		b.Fatal(err)
+	}
+
+	stub, _, err := w.BindPackage("na-ny-cu", "/apps/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { stub.Close() })
+	part := make([]byte, 16<<10)
+
+	w.Net.ResetMeter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if write {
+			part[0] = byte(i)
+			if err := stub.AddFile("f", part); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := stub.GetFileContents("f"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(stub.TakeCost().Milliseconds())/float64(b.N), "virtual-ms/op")
+	b.ReportMetric(float64(w.Net.Meter().Bytes[netsim.WideArea])/1024/float64(b.N), "wan-KB/op")
+}
+
+func BenchmarkE8_ClientServer_Read(b *testing.B) {
+	benchProtocolOp(b, gdn.ProtocolClientServer, 1, false)
+}
+func BenchmarkE8_MasterSlave3_Read(b *testing.B) {
+	benchProtocolOp(b, gdn.ProtocolMasterSlave, 3, false)
+}
+func BenchmarkE8_MasterSlave3_Write(b *testing.B) {
+	benchProtocolOp(b, gdn.ProtocolMasterSlave, 3, true)
+}
+func BenchmarkE8_Active3_Write(b *testing.B) { benchProtocolOp(b, gdn.ProtocolActive, 3, true) }
+
+// --- E9: checkpoint / recovery ----------------------------------------
+
+func BenchmarkE9_CheckpointRecover1MB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E9Recovery(experiments.E9Config{Sizes: []int{1 << 20}})
+		if tab.Rows[0][4] != "yes" {
+			b.Fatal("recovery verification failed")
+		}
+	}
+}
+
+// --- E10: admission overhead -------------------------------------------
+
+func benchRemoteRead(b *testing.B, secure bool) {
+	b.Helper()
+	top := gdn.DefaultTopology()
+	top.Secure = secure
+	w, err := gdn.NewWorld(top)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(w.Close)
+	mod, err := w.Moderator("eu-nl-vu", "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := mod.CreatePackage("/apps/bench", gdn.Scenario{
+		Protocol: gdn.ProtocolClientServer, Servers: w.GOSAddrs("eu-nl-vu"),
+	}, gdn.Package{Files: map[string][]byte{"f": make([]byte, 4<<10)}}); err != nil {
+		b.Fatal(err)
+	}
+	stub, _, err := w.BindPackage("ap-jp-ut", "/apps/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { stub.Close() })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stub.GetFileContents("f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10_RemoteRead_Open(b *testing.B)    { benchRemoteRead(b, false) }
+func BenchmarkE10_RemoteRead_Secured(b *testing.B) { benchRemoteRead(b, true) }

@@ -1,0 +1,93 @@
+// Command gdn-experiments regenerates every table of the evaluation:
+// the reproduction of each quantitative claim in "The Globe
+// Distribution Network" (see DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	gdn-experiments            # run everything
+//	gdn-experiments E2 E5 E8   # run selected experiments
+//	gdn-experiments -list      # list experiment identifiers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gdn/internal/experiments"
+)
+
+// runners maps experiment identifiers to their drivers with default
+// configurations.
+var runners = []struct {
+	id   string
+	what string
+	run  func() []*experiments.Table
+}{
+	{"E1", "subobject composition overhead", func() []*experiments.Table {
+		return []*experiments.Table{experiments.E1Overhead(experiments.E1Config{})}
+	}},
+	{"E2", "GLS lookup distance + mobile-object ablation", func() []*experiments.Table {
+		return []*experiments.Table{experiments.E2LookupDistance(), experiments.E2MobileAblation()}
+	}},
+	{"E3", "GLS root partitioning", func() []*experiments.Table {
+		return []*experiments.Table{experiments.E3RootPartitioning(experiments.E3Config{})}
+	}},
+	{"E4", "differentiated replication vs global policies", func() []*experiments.Table {
+		return []*experiments.Table{experiments.E4Differentiated(experiments.E4Config{})}
+	}},
+	{"E5", "end-to-end downloads + chunk ablation", func() []*experiments.Table {
+		return []*experiments.Table{experiments.E5Download(experiments.E5Config{}), experiments.E5ChunkAblation()}
+	}},
+	{"E6", "security channel cost", func() []*experiments.Table {
+		return []*experiments.Table{experiments.E6ChannelCost(experiments.E6Config{})}
+	}},
+	{"E7", "GNS caching and batching", func() []*experiments.Table {
+		return []*experiments.Table{experiments.E7NameService(experiments.E7Config{})}
+	}},
+	{"E8", "replication protocols under read/write mixes", func() []*experiments.Table {
+		return []*experiments.Table{experiments.E8Protocols(experiments.E8Config{})}
+	}},
+	{"E9", "object-server checkpoint and recovery", func() []*experiments.Table {
+		return []*experiments.Table{experiments.E9Recovery(experiments.E9Config{})}
+	}},
+	{"E10", "security admission", func() []*experiments.Table {
+		return []*experiments.Table{experiments.E10Admission()}
+	}},
+}
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-4s %s\n", r.id, r.what)
+		}
+		return
+	}
+
+	selected := make(map[string]bool)
+	for _, arg := range flag.Args() {
+		selected[strings.ToUpper(arg)] = true
+	}
+
+	ran := 0
+	for _, r := range runners {
+		if len(selected) > 0 && !selected[r.id] {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", r.id, r.what)
+		for _, tab := range r.run() {
+			tab.Render(os.Stdout)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "gdn-experiments: nothing matched %v (try -list)\n", flag.Args())
+		os.Exit(1)
+	}
+}

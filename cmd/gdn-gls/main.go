@@ -1,0 +1,76 @@
+// Command gdn-gls runs one Globe Location Service directory subnode on
+// real TCP (paper §3.5). A deployment starts one process per subnode:
+// the root first, then region nodes pointing at it, then leaf nodes —
+// mirroring the domain hierarchy of Figure 2.
+//
+// Example three-node tree on one machine:
+//
+//	gdn-gls -domain root -addr :7001 -self :7001
+//	gdn-gls -domain eu   -addr :7002 -self :7002 -parent :7001
+//	gdn-gls -domain eu/nl -addr :7003 -self :7003 -parent :7002
+//
+// The node checkpoints its records (contact addresses and forwarding
+// pointers) to -snapshot on shutdown and restores them on start, the
+// paper's §7 persistence feature.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gdn/internal/daemon"
+	"gdn/internal/gls"
+)
+
+func main() {
+	var (
+		domain   = flag.String("domain", "", "domain this directory node serves (required)")
+		addr     = flag.String("addr", "", "listen address host:port (required)")
+		self     = flag.String("self", "", "comma-separated addresses of all subnodes of this domain (default: -addr)")
+		parent   = flag.String("parent", "", "comma-separated parent node addresses (empty for the root)")
+		seed     = flag.Int64("seed", 1, "seed for random forwarding-pointer choice")
+		snapshot = flag.String("snapshot", "", "snapshot file for persistence across restarts")
+	)
+	flag.Parse()
+	if *domain == "" || *addr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	selfAddrs := daemon.SplitList(*self)
+	if len(selfAddrs) == 0 {
+		selfAddrs = []string{*addr}
+	}
+	node, err := gls.Start(daemon.Net, gls.Config{
+		Domain: *domain,
+		Site:   "local",
+		Addr:   *addr,
+		Self:   gls.Ref{Addrs: selfAddrs},
+		Parent: gls.Ref{Addrs: daemon.SplitList(*parent)},
+		Seed:   *seed,
+		Logf:   daemon.Logf("gdn-gls"),
+	})
+	if err != nil {
+		daemon.Fatal(err)
+	}
+
+	if *snapshot != "" {
+		if b, err := os.ReadFile(*snapshot); err == nil {
+			if err := node.Restore(b); err != nil {
+				daemon.Fatal(fmt.Errorf("restore %s: %w", *snapshot, err))
+			}
+			fmt.Printf("gdn-gls: restored %d records from %s\n", node.Records(), *snapshot)
+		}
+	}
+	fmt.Printf("gdn-gls: directory node for %q serving on %s\n", *domain, *addr)
+
+	sig := daemon.WaitForSignal()
+	fmt.Printf("gdn-gls: %v, shutting down\n", sig)
+	if *snapshot != "" {
+		if err := os.WriteFile(*snapshot, node.Snapshot(), 0o600); err != nil {
+			daemon.Fatal(err)
+		}
+	}
+	node.Close()
+}

@@ -1,0 +1,192 @@
+// Package core implements Globe's distributed shared object (DSO)
+// framework: the paper's central abstraction (§3.2-3.4, Figure 1).
+//
+// A DSO is a single conceptual object physically distributed over many
+// address spaces. In each participating address space it is represented
+// by a local representative (LR) composed of four subobjects:
+//
+//   - the semantics subobject carries the application logic and state
+//     (implemented by users of this package, e.g. internal/pkgobj);
+//   - the control subobject bridges typed method calls and the standard
+//     replication interface by marshalling calls into opaque invocation
+//     messages;
+//   - the replication subobject decides where invocations execute and
+//     keeps replica state consistent; protocols live in internal/repl
+//     and are selected per object — the property the whole paper turns
+//     on;
+//   - the communication subobject moves opaque messages between the
+//     LRs of one object; here it is the Dispatcher/PeerClient pair
+//     running over the rpc and transport layers.
+//
+// Replication and communication subobjects never interpret invocation
+// contents: they see only opaque byte strings with a method identifier
+// and a read/write classification, mirroring the paper's reflective
+// design (§3.3).
+//
+// The Runtime implements binding (§3.4): given an object identifier it
+// asks the Globe Location Service for contact addresses, loads the
+// implementation named by the chosen address from the local Registry
+// (the stand-in for remote class loading from an implementation
+// repository), composes an LR, and returns it ready for invocations.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gdn/internal/wire"
+)
+
+// Errors reported by the DSO framework.
+var (
+	// ErrNoImplementation is returned when binding needs an
+	// implementation the local registry does not hold.
+	ErrNoImplementation = errors.New("core: implementation not in local registry")
+	// ErrNoProtocol is returned for unknown replication protocols.
+	ErrNoProtocol = errors.New("core: replication protocol not registered")
+	// ErrClosed is returned by invocations on a closed representative.
+	ErrClosed = errors.New("core: local representative is closed")
+)
+
+// Invocation is one marshalled method call: the opaque unit that
+// control, replication and communication subobjects pass around.
+type Invocation struct {
+	// Method is the method identifier from the object's interface.
+	Method string
+	// Args holds the marshalled parameters; the semantics subobject is
+	// the only party that interprets them.
+	Args []byte
+	// Write classifies the method as state-modifying. The control
+	// subobject sets it from the interface definition; replication
+	// protocols route reads and writes differently, and servers enforce
+	// write authorization on it (paper §6.1).
+	Write bool
+}
+
+// Encode serializes the invocation.
+func (inv Invocation) Encode() []byte {
+	w := wire.NewWriter(16 + len(inv.Method) + len(inv.Args))
+	w.Str(inv.Method)
+	w.Bool(inv.Write)
+	w.Bytes32(inv.Args)
+	return w.Bytes()
+}
+
+// DecodeInvocation reverses Encode.
+func DecodeInvocation(b []byte) (Invocation, error) {
+	r := wire.NewReader(b)
+	inv := Invocation{Method: r.Str(), Write: r.Bool(), Args: r.Bytes32()}
+	if err := r.Done(); err != nil {
+		return Invocation{}, err
+	}
+	return inv, nil
+}
+
+// Semantics is the semantics subobject: user-defined application logic
+// written without any distribution or replication concerns (§3.3).
+// Implementations need not be safe for concurrent use; the framework
+// serializes access through LocalExec.
+type Semantics interface {
+	// Invoke executes one marshalled method against local state and
+	// returns the marshalled result.
+	Invoke(inv Invocation) ([]byte, error)
+	// MarshalState serializes the full object state, used for replica
+	// creation, state transfer between representatives, and object
+	// server persistence.
+	MarshalState() ([]byte, error)
+	// UnmarshalState replaces local state with a marshalled snapshot.
+	UnmarshalState(b []byte) error
+}
+
+// LocalExec gives replication subobjects serialized access to the
+// semantics subobject co-resident in their LR.
+type LocalExec interface {
+	// Execute runs an invocation against the local semantics.
+	Execute(inv Invocation) ([]byte, error)
+	// MarshalState and UnmarshalState expose state transfer.
+	MarshalState() ([]byte, error)
+	UnmarshalState(b []byte) error
+}
+
+// NewLocalExec wraps a semantics subobject with a mutex so the local
+// client and inbound protocol traffic may run concurrently.
+func NewLocalExec(sem Semantics) LocalExec {
+	return &lockedExec{sem: sem}
+}
+
+type lockedExec struct {
+	mu  sync.Mutex
+	sem Semantics
+}
+
+func (le *lockedExec) Execute(inv Invocation) ([]byte, error) {
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	return le.sem.Invoke(inv)
+}
+
+func (le *lockedExec) MarshalState() ([]byte, error) {
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	return le.sem.MarshalState()
+}
+
+func (le *lockedExec) UnmarshalState(b []byte) error {
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	return le.sem.UnmarshalState(b)
+}
+
+// Replication is the replication subobject's standard interface. A
+// proxy-side implementation forwards invocations to remote replicas; a
+// replica-side implementation executes locally and keeps peers
+// consistent. Implementations must be safe for concurrent use.
+type Replication interface {
+	// Invoke routes one invocation through the protocol and returns the
+	// marshalled result plus the virtual network cost incurred.
+	Invoke(inv Invocation) ([]byte, time.Duration, error)
+	// Close detaches from peers and releases endpoints.
+	Close() error
+}
+
+// Control is the control subobject: the bridge between an object's
+// user-defined interfaces and the standard replication interface
+// (§3.3). Typed stubs (the hand-written equivalent of the paper's
+// IDL-generated code) marshal their parameters and call Invoke.
+type Control struct {
+	repl Replication
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewControl returns a control subobject driving repl.
+func NewControl(repl Replication) *Control {
+	return &Control{repl: repl}
+}
+
+// Invoke marshals one method call and hands it to the replication
+// subobject.
+func (c *Control) Invoke(method string, write bool, args []byte) ([]byte, time.Duration, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, 0, fmt.Errorf("%w: invoking %s", ErrClosed, method)
+	}
+	return c.repl.Invoke(Invocation{Method: method, Args: args, Write: write})
+}
+
+// Close shuts the control and its replication subobject down.
+func (c *Control) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.repl.Close()
+}

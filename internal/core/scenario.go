@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gdn/internal/wire"
+)
+
+// Scenario is a replication scenario: "a specification of how (using
+// what replication protocol) and where (which machines should host
+// replicas) information or objects should be replicated" (§3.1).
+// Moderators define one per object; the moderator tool turns it into
+// create-replica commands for the listed object servers.
+type Scenario struct {
+	// Protocol names the replication protocol, e.g. "masterslave".
+	Protocol string
+	// Servers lists the object-server command addresses that should
+	// host replicas. For master/slave protocols the first entry hosts
+	// the master.
+	Servers []string
+	// Params tunes the protocol (cache TTLs, push fan-out, ...).
+	Params map[string]string
+}
+
+// Validate checks structural soundness.
+func (s Scenario) Validate() error {
+	if s.Protocol == "" {
+		return fmt.Errorf("core: scenario without protocol")
+	}
+	if len(s.Servers) == 0 {
+		return fmt.Errorf("core: scenario without servers")
+	}
+	seen := make(map[string]bool, len(s.Servers))
+	for _, srv := range s.Servers {
+		if srv == "" {
+			return fmt.Errorf("core: scenario with empty server address")
+		}
+		if seen[srv] {
+			return fmt.Errorf("core: scenario lists server %q twice", srv)
+		}
+		seen[srv] = true
+	}
+	return nil
+}
+
+// String renders the scenario for logs and experiment tables.
+func (s Scenario) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@[%s]", s.Protocol, strings.Join(s.Servers, ","))
+	if len(s.Params) > 0 {
+		keys := make([]string, 0, len(s.Params))
+		for k := range s.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("{")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "%s=%s", k, s.Params[k])
+		}
+		b.WriteString("}")
+	}
+	return b.String()
+}
+
+// Encode serializes the scenario for object-server commands and
+// checkpoints.
+func (s Scenario) Encode() []byte {
+	w := wire.NewWriter(64)
+	w.Str(s.Protocol)
+	w.Count(len(s.Servers))
+	for _, srv := range s.Servers {
+		w.Str(srv)
+	}
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Count(len(keys))
+	for _, k := range keys {
+		w.Str(k)
+		w.Str(s.Params[k])
+	}
+	return w.Bytes()
+}
+
+// DecodeScenario reverses Encode.
+func DecodeScenario(b []byte) (Scenario, error) {
+	r := wire.NewReader(b)
+	s, err := readScenario(r)
+	if err != nil {
+		return Scenario{}, err
+	}
+	if err := r.Done(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// ReadScenario decodes a scenario field written by WriteScenario.
+func ReadScenario(r *wire.Reader) (Scenario, error) {
+	b := r.Bytes32()
+	if r.Err() != nil {
+		return Scenario{}, r.Err()
+	}
+	return DecodeScenario(b)
+}
+
+// WriteScenario encodes a scenario as one field of a larger message.
+func WriteScenario(w *wire.Writer, s Scenario) {
+	w.Bytes32(s.Encode())
+}
+
+func readScenario(r *wire.Reader) (Scenario, error) {
+	var s Scenario
+	s.Protocol = r.Str()
+	n := r.Count()
+	if r.Err() != nil {
+		return Scenario{}, r.Err()
+	}
+	s.Servers = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		s.Servers = append(s.Servers, r.Str())
+	}
+	np := r.Count()
+	if r.Err() != nil {
+		return Scenario{}, r.Err()
+	}
+	if np > 0 {
+		s.Params = make(map[string]string, np)
+	}
+	for i := 0; i < np; i++ {
+		k := r.Str()
+		s.Params[k] = r.Str()
+	}
+	return s, r.Err()
+}

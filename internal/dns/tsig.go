@@ -1,0 +1,115 @@
+package dns
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TSIG transaction signatures, after RFC 2845: the paper secures the
+// path from its GNS Naming Authority to the BIND name servers with
+// "BIND's TSIG security feature" (§6.3). A TSIG record is appended as
+// the final additional record; its MAC is an HMAC-SHA256 over the
+// message as it was before the TSIG was added, keyed by a secret the
+// server shares with the signer.
+//
+// The RDATA is carried in presentation form:
+//
+//	algorithm|timeSigned|fudge|hex(mac)
+//
+// with the key name as the record's owner name.
+
+// tsigAlgorithm is the only supported algorithm.
+const tsigAlgorithm = "hmac-sha256"
+
+// TSIGFudge is the permitted clock skew, in seconds, between signing
+// and verification.
+const TSIGFudge = 300
+
+// SignTSIG appends a TSIG record over msg using the key. The message
+// must not already carry a TSIG. now is the signing time in Unix
+// seconds; callers pass a clock so tests and simulations are
+// deterministic.
+func SignTSIG(msg *Message, keyName string, secret []byte, now int64) error {
+	if sig, _ := msg.TSIG(); sig != nil {
+		return fmt.Errorf("dns: message already signed")
+	}
+	mac, err := tsigMAC(msg, keyName, secret, now)
+	if err != nil {
+		return err
+	}
+	msg.Additional = append(msg.Additional, RR{
+		Name:  CanonicalName(keyName),
+		Type:  TypeTSIG,
+		Class: ClassANY,
+		Data:  fmt.Sprintf("%s|%d|%d|%s", tsigAlgorithm, now, TSIGFudge, hex.EncodeToString(mac)),
+	})
+	return nil
+}
+
+// VerifyTSIG checks the trailing TSIG of msg against the secret for its
+// key name, which lookupKey supplies ("" data, false when unknown). It
+// returns the verified key name and the message with the TSIG stripped.
+func VerifyTSIG(msg *Message, lookupKey func(keyName string) ([]byte, bool), now int64) (string, *Message, error) {
+	sig, stripped := msg.TSIG()
+	if sig == nil {
+		return "", msg, fmt.Errorf("dns: message is not signed")
+	}
+	var alg string
+	var timeSigned, fudge int64
+	var macHex string
+	parts := strings.SplitN(sig.Data, "|", 4)
+	if len(parts) != 4 {
+		return "", msg, fmt.Errorf("%w: bad tsig rdata", ErrBadMessage)
+	}
+	alg = parts[0]
+	if _, err := fmt.Sscanf(parts[1], "%d", &timeSigned); err != nil {
+		return "", msg, fmt.Errorf("%w: bad tsig time", ErrBadMessage)
+	}
+	if _, err := fmt.Sscanf(parts[2], "%d", &fudge); err != nil {
+		return "", msg, fmt.Errorf("%w: bad tsig fudge", ErrBadMessage)
+	}
+	macHex = parts[3]
+
+	if alg != tsigAlgorithm {
+		return "", msg, fmt.Errorf("dns: tsig algorithm %q unsupported", alg)
+	}
+	if now < timeSigned-fudge || now > timeSigned+fudge {
+		return "", msg, fmt.Errorf("dns: tsig outside time window")
+	}
+	secret, ok := lookupKey(sig.Name)
+	if !ok {
+		return "", msg, fmt.Errorf("dns: unknown tsig key %q", sig.Name)
+	}
+	want, err := tsigMAC(stripped, sig.Name, secret, timeSigned)
+	if err != nil {
+		return "", msg, err
+	}
+	got, err := hex.DecodeString(macHex)
+	if err != nil {
+		return "", msg, fmt.Errorf("%w: bad tsig mac encoding", ErrBadMessage)
+	}
+	if !hmac.Equal(want, got) {
+		return "", msg, fmt.Errorf("dns: tsig verification failed for key %q", sig.Name)
+	}
+	return sig.Name, stripped, nil
+}
+
+// tsigMAC computes the HMAC over the encoded unsigned message, the key
+// name and the signing time.
+func tsigMAC(msg *Message, keyName string, secret []byte, timeSigned int64) ([]byte, error) {
+	encoded, err := Encode(msg)
+	if err != nil {
+		return nil, err
+	}
+	h := hmac.New(sha256.New, secret)
+	h.Write(encoded)
+	h.Write([]byte(CanonicalName(keyName)))
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(timeSigned))
+	h.Write(ts[:])
+	return h.Sum(nil), nil
+}

@@ -1,0 +1,263 @@
+package dns
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Zone is one authoritative zone: a name, the records at and below its
+// apex, and the TSIG keys allowed to update it dynamically. Zones are
+// safe for concurrent use.
+type Zone struct {
+	name string
+
+	mu     sync.RWMutex
+	rrsets map[string]map[Type][]RR // owner -> type -> records
+	serial uint32
+	keys   map[string][]byte // TSIG key name -> secret
+}
+
+// NewZone creates an empty zone for the canonical name.
+func NewZone(name string) *Zone {
+	return &Zone{
+		name:   CanonicalName(name),
+		rrsets: make(map[string]map[Type][]RR),
+		keys:   make(map[string][]byte),
+	}
+}
+
+// Name returns the zone apex.
+func (z *Zone) Name() string { return z.name }
+
+// Serial returns the zone serial, incremented by every applied update.
+func (z *Zone) Serial() uint32 {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return z.serial
+}
+
+// AllowUpdate registers a TSIG key permitted to send dynamic updates.
+func (z *Zone) AllowUpdate(keyName string, secret []byte) {
+	z.mu.Lock()
+	z.keys[CanonicalName(keyName)] = append([]byte(nil), secret...)
+	z.mu.Unlock()
+}
+
+// updateKey returns the secret for a TSIG key name, if registered.
+func (z *Zone) updateKey(keyName string) ([]byte, bool) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	k, ok := z.keys[CanonicalName(keyName)]
+	return k, ok
+}
+
+// Add inserts a record, deduplicating byte-identical ones. It is the
+// static-configuration path; dynamic traffic goes through Apply.
+func (z *Zone) Add(rr RR) error {
+	rr.Name = CanonicalName(rr.Name)
+	if !ValidName(rr.Name) {
+		return fmt.Errorf("%w: %q", ErrBadName, rr.Name)
+	}
+	if !InZone(rr.Name, z.name) {
+		return fmt.Errorf("dns: %q is outside zone %q", rr.Name, z.name)
+	}
+	if rr.Class == 0 {
+		rr.Class = ClassIN
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.add(rr)
+	return nil
+}
+
+func (z *Zone) add(rr RR) {
+	types := z.rrsets[rr.Name]
+	if types == nil {
+		types = make(map[Type][]RR)
+		z.rrsets[rr.Name] = types
+	}
+	for _, have := range types[rr.Type] {
+		if have == rr {
+			return
+		}
+	}
+	types[rr.Type] = append(types[rr.Type], rr)
+}
+
+// removeRRset deletes all records of one type at a name; TypeANY deletes
+// every type.
+func (z *Zone) removeRRset(name string, t Type) {
+	types := z.rrsets[name]
+	if types == nil {
+		return
+	}
+	if t == TypeANY {
+		delete(z.rrsets, name)
+		return
+	}
+	delete(types, t)
+	if len(types) == 0 {
+		delete(z.rrsets, name)
+	}
+}
+
+// removeRR deletes one exact record (name, type, data).
+func (z *Zone) removeRR(rr RR) {
+	types := z.rrsets[rr.Name]
+	if types == nil {
+		return
+	}
+	kept := types[rr.Type][:0]
+	for _, have := range types[rr.Type] {
+		if have.Data != rr.Data {
+			kept = append(kept, have)
+		}
+	}
+	if len(kept) == 0 {
+		delete(types, rr.Type)
+	} else {
+		types[rr.Type] = kept
+	}
+	if len(types) == 0 {
+		delete(z.rrsets, rr.Name)
+	}
+}
+
+// Lookup returns the records of one type at a name. A TypeANY query
+// returns every record at the name.
+func (z *Zone) Lookup(name string, t Type) []RR {
+	name = CanonicalName(name)
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	types := z.rrsets[name]
+	if types == nil {
+		return nil
+	}
+	if t == TypeANY {
+		var all []RR
+		for _, rrs := range types {
+			all = append(all, rrs...)
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Type != all[j].Type {
+				return all[i].Type < all[j].Type
+			}
+			return all[i].Data < all[j].Data
+		})
+		return all
+	}
+	return append([]RR(nil), types[t]...)
+}
+
+// nameExists reports whether any record exists at the name.
+func (z *Zone) nameExists(name string) bool {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return len(z.rrsets[name]) > 0
+}
+
+// delegation finds the closest enclosing delegation point strictly
+// below the apex, covering name: the NS records of a child zone cut.
+func (z *Zone) delegation(name string) []RR {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	for cut := name; cut != z.name && cut != ""; cut = Parent(cut) {
+		if !InZone(cut, z.name) {
+			break
+		}
+		if ns := z.rrsets[cut][TypeNS]; len(ns) > 0 {
+			return append([]RR(nil), ns...)
+		}
+	}
+	return nil
+}
+
+// Apply executes the update section of an RFC 2136 message: class IN
+// adds a record, class ANY deletes an RRset, class NONE deletes an
+// exact record. All prerequisites were already checked by the caller.
+// The zone serial increases once per applied message, which the naming
+// authority's batching relies on to measure one batch as one update.
+func (z *Zone) Apply(updates []RR) error {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	for _, rr := range updates {
+		rr.Name = CanonicalName(rr.Name)
+		if !InZone(rr.Name, z.name) {
+			return fmt.Errorf("dns: update for %q outside zone %q", rr.Name, z.name)
+		}
+		switch rr.Class {
+		case ClassIN:
+			z.add(rr)
+		case ClassANY:
+			z.removeRRset(rr.Name, rr.Type)
+		case ClassNone:
+			z.removeRR(rr)
+		default:
+			return fmt.Errorf("dns: update class %v unsupported", rr.Class)
+		}
+	}
+	z.serial++
+	return nil
+}
+
+// Dump returns every record in the zone, sorted for stable comparison;
+// tests and zone-transfer-style checkpoints use it.
+func (z *Zone) Dump() []RR {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	var all []RR
+	for _, types := range z.rrsets {
+		for _, rrs := range types {
+			all = append(all, rrs...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Name != all[j].Name {
+			return all[i].Name < all[j].Name
+		}
+		if all[i].Type != all[j].Type {
+			return all[i].Type < all[j].Type
+		}
+		return all[i].Data < all[j].Data
+	})
+	return all
+}
+
+// Names returns the owner names present in the zone, sorted.
+func (z *Zone) Names() []string {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	names := make([]string, 0, len(z.rrsets))
+	for n := range z.rrsets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// findZone returns the registered zone with the longest apex matching
+// name, mimicking a server choosing its closest enclosing authority.
+func findZone(zones map[string]*Zone, name string) *Zone {
+	var best *Zone
+	for apex, z := range zones {
+		if !InZone(name, apex) {
+			continue
+		}
+		if best == nil || len(apex) > len(best.name) {
+			best = z
+		}
+	}
+	return best
+}
+
+// zoneless reports a helpful diagnostic listing known apexes.
+func zoneless(zones map[string]*Zone, name string) error {
+	apexes := make([]string, 0, len(zones))
+	for apex := range zones {
+		apexes = append(apexes, apex)
+	}
+	sort.Strings(apexes)
+	return fmt.Errorf("dns: not authoritative for %q (zones: %s)", name, strings.Join(apexes, ", "))
+}

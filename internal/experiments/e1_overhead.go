@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"gdn/internal/core"
+	"gdn/internal/ids"
+	"gdn/internal/pkgobj"
+	"gdn/internal/wire"
+)
+
+// E1Config tunes the subobject-overhead experiment.
+type E1Config struct {
+	// Iterations per measured mode (default 20000).
+	Iterations int
+	// FileSize of the file read in each invocation (default 4 KiB).
+	FileSize int
+}
+
+// E1Overhead measures what the paper's layered local representative
+// (Fig 1b) costs on top of a plain method call: the control subobject
+// marshals every call into an opaque invocation message which the
+// replication subobject routes — indirection and encoding that a
+// monolithic object does not pay. Three modes:
+//
+//	direct     call the semantics subobject natively (no framework)
+//	local LR   full subobject stack, local replication (marshal only)
+//	marshal    invocation encode+decode round trip alone
+//
+// Remote invocation cost is covered by E5/E8; this experiment isolates
+// the composition itself, which the paper argues is the acceptable
+// price of per-object replication flexibility (§3.3).
+func E1Overhead(cfg E1Config) *Table {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 20000
+	}
+	if cfg.FileSize <= 0 {
+		cfg.FileSize = 4 << 10
+	}
+
+	content := make([]byte, cfg.FileSize)
+	for i := range content {
+		content[i] = byte(i)
+	}
+
+	t := &Table{
+		ID:      "E1",
+		Title:   "subobject composition overhead (Fig 1b, §3.3)",
+		Columns: []string{"mode", "ns/op", "vs direct"},
+		Notes:   fmt.Sprintf("getFileContents of a %d-byte file, %d iterations", cfg.FileSize, cfg.Iterations),
+	}
+
+	direct := measureE1Direct(cfg, content)
+	t.AddRow("direct semantics call", fmt.Sprint(direct.Nanoseconds()/int64(cfg.Iterations)), "1.00x")
+
+	localLR := measureE1LocalLR(cfg, content)
+	t.AddRow("through LR subobject stack",
+		fmt.Sprint(localLR.Nanoseconds()/int64(cfg.Iterations)),
+		fmt.Sprintf("%.2fx", float64(localLR)/float64(direct)))
+
+	marshal := measureE1Marshal(cfg)
+	t.AddRow("invocation marshal+unmarshal only",
+		fmt.Sprint(marshal.Nanoseconds()/int64(cfg.Iterations)),
+		fmt.Sprintf("%.2fx", float64(marshal)/float64(direct)))
+
+	return t
+}
+
+func e1Package(content []byte) *pkgobj.Package {
+	p := pkgobj.New()
+	if _, err := p.Invoke(core.Invocation{
+		Method: pkgobj.MethodAddFile, Write: true,
+		Args: addFileArgs("f", content),
+	}); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func addFileArgs(path string, data []byte) []byte {
+	// Mirrors the stub's encoding; kept local so the measurement loop
+	// has zero allocations beyond the call under test.
+	w := wire.NewWriter(8 + len(path) + len(data))
+	w.Str(path)
+	w.Bytes32(data)
+	return w.Bytes()
+}
+
+func getFileArgs(path string) []byte {
+	w := wire.NewWriter(4 + len(path))
+	w.Str(path)
+	return w.Bytes()
+}
+
+// measureE1Direct times native semantics invocations.
+func measureE1Direct(cfg E1Config, content []byte) time.Duration {
+	p := e1Package(content)
+	inv := core.Invocation{Method: pkgobj.MethodGetFile, Args: getFileArgs("f")}
+	start := time.Now()
+	for i := 0; i < cfg.Iterations; i++ {
+		if _, err := p.Invoke(inv); err != nil {
+			panic(err)
+		}
+	}
+	return time.Since(start)
+}
+
+// measureE1LocalLR times the same call through a full local
+// representative (control + replication subobjects).
+func measureE1LocalLR(cfg E1Config, content []byte) time.Duration {
+	p := e1Package(content)
+	lr := core.NewLocalLR(ids.Derive("e1"), p)
+	defer lr.Close()
+	args := getFileArgs("f")
+	start := time.Now()
+	for i := 0; i < cfg.Iterations; i++ {
+		if _, _, err := lr.Invoke(pkgobj.MethodGetFile, false, args); err != nil {
+			panic(err)
+		}
+	}
+	return time.Since(start)
+}
+
+// measureE1Marshal times invocation encoding alone.
+func measureE1Marshal(cfg E1Config) time.Duration {
+	inv := core.Invocation{Method: pkgobj.MethodGetFile, Args: getFileArgs("f")}
+	start := time.Now()
+	for i := 0; i < cfg.Iterations; i++ {
+		b := inv.Encode()
+		if _, err := core.DecodeInvocation(b); err != nil {
+			panic(err)
+		}
+	}
+	return time.Since(start)
+}

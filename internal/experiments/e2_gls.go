@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gdn/internal/gls"
+	"gdn/internal/ids"
+	"gdn/internal/netsim"
+)
+
+// e2World builds the three-level location-service world used by the
+// GLS experiments: a root, two regions, two leaf domains per region.
+func e2World() (*netsim.Network, *gls.Tree) {
+	net := netsim.New(nil)
+	net.AddSite("hub", "hub", "core")
+	net.AddSite("eu-a", "eu-a", "eu")
+	net.AddSite("eu-b", "eu-b", "eu")
+	net.AddSite("us-a", "us-a", "us")
+	net.AddSite("us-b", "us-b", "us")
+
+	tree, err := gls.Deploy(net, gls.DomainSpec{
+		Name: "root", Sites: []string{"hub"},
+		Children: []gls.DomainSpec{
+			{Name: "eu", Sites: []string{"eu-a"}, Children: []gls.DomainSpec{
+				gls.Leaf("eu/a", "eu-a"),
+				gls.Leaf("eu/b", "eu-b"),
+			}},
+			{Name: "us", Sites: []string{"us-a"}, Children: []gls.DomainSpec{
+				gls.Leaf("us/a", "us-a"),
+				gls.Leaf("us/b", "us-b"),
+			}},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return net, tree
+}
+
+// E2LookupDistance reproduces the paper's central GLS property: "the
+// cost of a look up increases proportional to the distance between
+// client and nearest representative" (§3.5). One object is registered
+// in leaf eu/a; clients at increasing distances look it up.
+func E2LookupDistance() *Table {
+	_, tree := e2World()
+	defer tree.Close()
+
+	owner, err := tree.Resolver("eu-a", "eu/a")
+	if err != nil {
+		panic(err)
+	}
+	defer owner.Close()
+	oid, _, err := owner.Insert(ids.Nil, gls.ContactAddress{
+		Protocol: "clientserver", Address: "eu-a:gos-obj", Impl: "package/1", Role: "server",
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	t := &Table{
+		ID:      "E2",
+		Title:   "GLS lookup cost vs client-replica distance (Fig 2, §3.5)",
+		Columns: []string{"client", "distance", "hops", "virtual ms"},
+		Notes:   "one replica registered in leaf eu/a; lookups climb until an entry is found, then descend",
+	}
+
+	cases := []struct {
+		site, leaf, distance, hops string
+	}{
+		{"eu-a", "eu/a", "same leaf", "leaf"},
+		{"eu-b", "eu/b", "same region", "leaf→eu→eu/a"},
+		{"us-a", "us/a", "other region", "leaf→us→root→eu→eu/a"},
+	}
+	for _, c := range cases {
+		res, err := tree.Resolver(c.site, c.leaf)
+		if err != nil {
+			panic(err)
+		}
+		_, cost, err := res.Lookup(oid)
+		res.Close()
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(c.site, c.distance, c.hops, ms(cost))
+	}
+	return t
+}
+
+// E2MobileAblation reproduces the §3.5 remark that "storing the
+// addresses at intermediate nodes may, in the case of highly mobile
+// objects, lead to considerably more efficient look-up operations": a
+// mobile object relocates between the two European leaves repeatedly;
+// we compare the per-move update cost and post-move lookup cost when
+// its address is stored in the leaves versus at the "eu" node.
+func E2MobileAblation() *Table {
+	_, tree := e2World()
+	defer tree.Close()
+
+	euRef, _ := tree.Ref("eu")
+	resA, err := tree.Resolver("eu-a", "eu/a")
+	if err != nil {
+		panic(err)
+	}
+	defer resA.Close()
+	resB, err := tree.Resolver("eu-b", "eu/b")
+	if err != nil {
+		panic(err)
+	}
+	defer resB.Close()
+
+	ca := func(site string) gls.ContactAddress {
+		return gls.ContactAddress{Protocol: "clientserver", Address: site + ":gos-obj", Impl: "package/1", Role: "server"}
+	}
+
+	const moves = 8
+	t := &Table{
+		ID:      "E2b",
+		Title:   "mobile object: leaf storage vs intermediate-node storage (§3.5)",
+		Columns: []string{"placement", "moves", "total move ms", "lookup-after-move ms"},
+		Notes:   "object relocates between eu/a and eu/b; intermediate placement keeps updates off the pointer chain",
+	}
+
+	// Leaf placement: a move inserts the new address first, then
+	// deletes the old one, so the shared part of the pointer chain
+	// never tears down — but the two leaf nodes and the region node
+	// still see pointer churn.
+	leafOID := ids.Derive("mobile-leaf")
+	var moveCost, lookupCost int64
+	if _, _, err := resA.Insert(leafOID, ca("eu-a")); err != nil {
+		panic(err)
+	}
+	at := "a"
+	for i := 0; i < moves; i++ {
+		var c1, c2 int64
+		if at == "a" {
+			_, d1, err := resB.Insert(leafOID, ca("eu-b"))
+			if err != nil {
+				panic(err)
+			}
+			d2, err := resA.Delete(leafOID, "eu-a:gos-obj")
+			if err != nil {
+				panic(err)
+			}
+			c1, c2, at = int64(d1), int64(d2), "b"
+		} else {
+			_, d1, err := resA.Insert(leafOID, ca("eu-a"))
+			if err != nil {
+				panic(err)
+			}
+			d2, err := resB.Delete(leafOID, "eu-b:gos-obj")
+			if err != nil {
+				panic(err)
+			}
+			c1, c2, at = int64(d1), int64(d2), "a"
+		}
+		moveCost += c1 + c2
+		_, lc, err := resA.Lookup(leafOID)
+		if err != nil {
+			panic(err)
+		}
+		lookupCost += int64(lc)
+	}
+	t.AddRow("leaf nodes", fmt.Sprint(moves),
+		fmt.Sprintf("%.2f", float64(moveCost)/1e6),
+		fmt.Sprintf("%.2f", float64(lookupCost)/float64(moves)/1e6))
+
+	// Intermediate placement: the address lives at "eu"; a move is an
+	// insert and a delete at the same node with no pointer churn at all.
+	midOID := ids.Derive("mobile-mid")
+	moveCost, lookupCost = 0, 0
+	if _, _, err := resA.InsertAt(euRef, midOID, ca("eu-a")); err != nil {
+		panic(err)
+	}
+	at = "a"
+	for i := 0; i < moves; i++ {
+		var c1, c2 int64
+		if at == "a" {
+			_, d1, err := resB.InsertAt(euRef, midOID, ca("eu-b"))
+			if err != nil {
+				panic(err)
+			}
+			d2, err := resA.DeleteAt(euRef, midOID, "eu-a:gos-obj")
+			if err != nil {
+				panic(err)
+			}
+			c1, c2, at = int64(d1), int64(d2), "b"
+		} else {
+			_, d1, err := resA.InsertAt(euRef, midOID, ca("eu-a"))
+			if err != nil {
+				panic(err)
+			}
+			d2, err := resB.DeleteAt(euRef, midOID, "eu-b:gos-obj")
+			if err != nil {
+				panic(err)
+			}
+			c1, c2, at = int64(d1), int64(d2), "a"
+		}
+		moveCost += c1 + c2
+		_, lc, err := resA.Lookup(midOID)
+		if err != nil {
+			panic(err)
+		}
+		lookupCost += int64(lc)
+	}
+	t.AddRow("intermediate (eu) node", fmt.Sprint(moves),
+		fmt.Sprintf("%.2f", float64(moveCost)/1e6),
+		fmt.Sprintf("%.2f", float64(lookupCost)/float64(moves)/1e6))
+
+	return t
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gdn/internal/gls"
+	"gdn/internal/ids"
+	"gdn/internal/netsim"
+)
+
+// E3Config tunes the root-partitioning experiment.
+type E3Config struct {
+	// Objects registered (default 400).
+	Objects int
+	// LookupsPerObject from the remote region (default 2).
+	LookupsPerObject int
+	// SubnodeCounts to sweep (default 1, 2, 4, 8, 16).
+	SubnodeCounts []int
+}
+
+// E3RootPartitioning reproduces the §3.5 scalability fix: "partition a
+// directory node into one or more directory subnodes", each owning a
+// hash slice of the identifier space. Objects live in one region;
+// lookups come from the other region so every one of them climbs
+// through the root. The table reports how the root's load spreads as
+// the subnode count grows — the maximum per-subnode load is the
+// bottleneck the paper is eliminating.
+func E3RootPartitioning(cfg E3Config) *Table {
+	if cfg.Objects <= 0 {
+		cfg.Objects = 400
+	}
+	if cfg.LookupsPerObject <= 0 {
+		cfg.LookupsPerObject = 2
+	}
+	if len(cfg.SubnodeCounts) == 0 {
+		cfg.SubnodeCounts = []int{1, 2, 4, 8, 16}
+	}
+
+	t := &Table{
+		ID:      "E3",
+		Title:   "GLS root-node partitioning into subnodes (§3.5)",
+		Columns: []string{"subnodes", "root ops total", "max/subnode", "min/subnode", "vs unpartitioned max"},
+		Notes:   fmt.Sprintf("%d objects in eu, %d lookups each from us; every lookup and pointer install crosses the root", cfg.Objects, cfg.LookupsPerObject),
+	}
+
+	var baselineMax int64
+	for _, n := range cfg.SubnodeCounts {
+		total, maxLoad, minLoad := runE3(cfg, n)
+		if n == 1 {
+			baselineMax = maxLoad
+		}
+		ratio := "1.00"
+		if baselineMax > 0 {
+			ratio = fmt.Sprintf("%.2f", float64(maxLoad)/float64(baselineMax))
+		}
+		t.AddRow(fmt.Sprint(n), fmt.Sprint(total), fmt.Sprint(maxLoad), fmt.Sprint(minLoad), ratio)
+	}
+	return t
+}
+
+func runE3(cfg E3Config, subnodes int) (total, maxLoad, minLoad int64) {
+	net := netsim.New(nil)
+	rootSites := make([]string, subnodes)
+	for i := range rootSites {
+		site := fmt.Sprintf("hub-%d", i)
+		net.AddSite(site, "hub", "core")
+		rootSites[i] = site
+	}
+	net.AddSite("eu-a", "eu-a", "eu")
+	net.AddSite("us-a", "us-a", "us")
+
+	tree, err := gls.Deploy(net, gls.DomainSpec{
+		Name: "root", Sites: rootSites,
+		Children: []gls.DomainSpec{
+			{Name: "eu", Sites: []string{"eu-a"}, Children: []gls.DomainSpec{gls.Leaf("eu/a", "eu-a")}},
+			{Name: "us", Sites: []string{"us-a"}, Children: []gls.DomainSpec{gls.Leaf("us/a", "us-a")}},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer tree.Close()
+
+	owner, err := tree.Resolver("eu-a", "eu/a")
+	if err != nil {
+		panic(err)
+	}
+	defer owner.Close()
+	remote, err := tree.Resolver("us-a", "us/a")
+	if err != nil {
+		panic(err)
+	}
+	defer remote.Close()
+
+	oids := make([]ids.OID, cfg.Objects)
+	for i := range oids {
+		oid, _, err := owner.Insert(ids.Nil, gls.ContactAddress{
+			Protocol: "clientserver", Address: "eu-a:gos-obj", Impl: "package/1", Role: "server",
+		})
+		if err != nil {
+			panic(err)
+		}
+		oids[i] = oid
+	}
+	for i := 0; i < cfg.LookupsPerObject; i++ {
+		for _, oid := range oids {
+			if _, _, err := remote.Lookup(oid); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	minLoad = int64(1) << 62
+	for _, node := range tree.Nodes("root") {
+		load := node.Stats().Total()
+		total += load
+		if load > maxLoad {
+			maxLoad = load
+		}
+		if load < minLoad {
+			minLoad = load
+		}
+	}
+	return total, maxLoad, minLoad
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"gdn"
+	"gdn/internal/netsim"
+	"gdn/internal/workload"
+)
+
+// E5Config tunes the end-to-end download experiment.
+type E5Config struct {
+	// Sizes of the package payload in bytes (default workload.PackageSizes).
+	Sizes []int
+	// ReplicaCounts to sweep (default 1, 3, 6).
+	ReplicaCounts []int
+}
+
+// E5Download reproduces the GDN's reason to exist (Fig 3, §4): a user
+// downloads a package through the nearest GDN-enabled HTTPD, which
+// binds to the package DSO and streams the file. With one central
+// replica every download crosses the wide area (the FTP/Web baseline);
+// with replicas spread per region, downloads become regional — server
+// capacity is traded for wide-area bandwidth exactly as §3.1 frames it.
+func E5Download(cfg E5Config) *Table {
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = workload.PackageSizes()
+	}
+	if len(cfg.ReplicaCounts) == 0 {
+		cfg.ReplicaCounts = []int{1, 3, 6}
+	}
+
+	t := &Table{
+		ID:    "E5",
+		Title: "end-to-end download via GDN-HTTPD: replicas vs central server (Fig 3, §4)",
+		Columns: []string{
+			"size KB", "replicas", "mean download ms", "WAN KB/download", "vs central WAN",
+		},
+		Notes: "one download from each of 6 regions through the region's GDN-HTTPD",
+	}
+
+	for _, size := range cfg.Sizes {
+		var centralWAN float64
+		for _, replicas := range cfg.ReplicaCounts {
+			meanMS, wanKB := runE5(size, replicas)
+			if replicas == cfg.ReplicaCounts[0] {
+				centralWAN = wanKB
+			}
+			ratio := "1.00"
+			if centralWAN > 0 {
+				ratio = fmt.Sprintf("%.2f", wanKB/centralWAN)
+			}
+			t.AddRow(
+				fmt.Sprint(size/1024),
+				fmt.Sprint(replicas),
+				fmt.Sprintf("%.2f", meanMS),
+				fmt.Sprintf("%.1f", wanKB),
+				ratio,
+			)
+		}
+	}
+	return t
+}
+
+// runE5 deploys one package on `replicas` servers (first sites of
+// distinct regions) and downloads it once from each region's second
+// site through a local HTTPD.
+func runE5(size, replicas int) (meanMS, wanKBPerDownload float64) {
+	w := newWorld(bigTopology())
+	defer w.Close()
+
+	regions := w.Regions()
+	if replicas > len(regions) {
+		replicas = len(regions)
+	}
+	servers := make([]string, replicas)
+	for i := 0; i < replicas; i++ {
+		servers[i] = w.RegionSites(regions[i])[0]
+	}
+	protocol := gdn.ProtocolMasterSlave
+	if replicas == 1 {
+		protocol = gdn.ProtocolClientServer
+	}
+
+	mod, err := w.Moderator(servers[0], "e5-moderator")
+	if err != nil {
+		panic(err)
+	}
+	content := make([]byte, size)
+	for i := range content {
+		content[i] = byte(i)
+	}
+	if _, _, err := mod.CreatePackage("/apps/big", gdn.Scenario{
+		Protocol: protocol,
+		Servers:  w.GOSAddrs(servers...),
+	}, gdn.Package{Files: map[string][]byte{"pkg.tar": content}}); err != nil {
+		panic(fmt.Sprintf("e5: deploy: %v", err))
+	}
+
+	w.Net.ResetMeter()
+	var totalCost time.Duration
+	downloads := 0
+	for _, region := range regions {
+		client := w.RegionSites(region)[1]
+		h, err := w.HTTPD(client, gdn.HTTPDConfig{})
+		if err != nil {
+			panic(err)
+		}
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, "/pkg/apps/big/-/pkg.tar", nil)
+		before := h.Stats().VirtualCost
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK || rec.Body.Len() != size {
+			panic(fmt.Sprintf("e5: download at %s: status %d, %d bytes", client, rec.Code, rec.Body.Len()))
+		}
+		totalCost += h.Stats().VirtualCost - before
+		downloads++
+	}
+	wan := w.Net.Meter().Bytes[netsim.WideArea]
+	return float64(totalCost) / float64(downloads) / 1e6,
+		float64(wan) / 1024 / float64(downloads)
+}
+
+// E5ChunkAblation sweeps the HTTPD's streaming chunk size for a large
+// file: small chunks add round trips (latency), huge chunks defeat
+// streaming. This is the design-choice ablation DESIGN.md calls out.
+func E5ChunkAblation() *Table {
+	t := &Table{
+		ID:      "E5b",
+		Title:   "file-streaming chunk size (design ablation)",
+		Columns: []string{"chunk KB", "invocations", "virtual ms"},
+		Notes:   "10 MB file fetched chunk-by-chunk from a remote replica",
+	}
+	const size = 10 << 20
+	for _, chunk := range []int64{64 << 10, 256 << 10, 1 << 20, 4 << 20} {
+		invocations, cost := runE5Chunks(size, chunk)
+		t.AddRow(fmt.Sprint(chunk/1024), fmt.Sprint(invocations), ms(cost))
+	}
+	return t
+}
+
+func runE5Chunks(size int, chunk int64) (invocations int, cost time.Duration) {
+	w := newWorld(bigTopology())
+	defer w.Close()
+
+	mod, err := w.Moderator("eu-1", "e5b-moderator")
+	if err != nil {
+		panic(err)
+	}
+	content := make([]byte, size)
+	if _, _, err := mod.CreatePackage("/apps/huge", gdn.Scenario{
+		Protocol: gdn.ProtocolClientServer,
+		Servers:  w.GOSAddrs("eu-1"),
+	}, gdn.Package{Files: map[string][]byte{"blob": content}}); err != nil {
+		panic(err)
+	}
+
+	stub, _, err := w.BindPackage("na-2", "/apps/huge")
+	if err != nil {
+		panic(err)
+	}
+	defer stub.Close()
+	stub.TakeCost()
+	for off := int64(0); off < int64(size); off += chunk {
+		b, err := stub.GetFileChunk("blob", off, chunk)
+		if err != nil {
+			panic(err)
+		}
+		if len(b) == 0 {
+			break
+		}
+		invocations++
+	}
+	return invocations, stub.TakeCost()
+}

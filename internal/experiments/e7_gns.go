@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gdn"
+	"gdn/internal/gns"
+	"gdn/internal/ids"
+	"gdn/internal/workload"
+)
+
+// E7Config tunes the name-service experiment.
+type E7Config struct {
+	// Names registered (default 300).
+	Names int
+	// Resolutions replayed (default 3000).
+	Resolutions int
+	// BatchSizes for the naming-authority sweep (default 1, 10, 50).
+	BatchSizes []int
+}
+
+// E7NameService measures the two DNS properties the GNS design leans
+// on (§5): client-side caching makes resolution cheap because
+// name→OID mappings are stable, and batching at the Naming Authority
+// keeps zone-update load low.
+func E7NameService(cfg E7Config) *Table {
+	if cfg.Names <= 0 {
+		cfg.Names = 300
+	}
+	if cfg.Resolutions <= 0 {
+		cfg.Resolutions = 3000
+	}
+	if len(cfg.BatchSizes) == 0 {
+		cfg.BatchSizes = []int{1, 10, 50}
+	}
+
+	t := &Table{
+		ID:      "E7",
+		Title:   "GNS resolution caching and update batching (§5)",
+		Columns: []string{"measurement", "setting", "value"},
+		Notes:   fmt.Sprintf("%d names, Zipf resolution stream of %d", cfg.Names, cfg.Resolutions),
+	}
+
+	// --- resolution with and without the resolver cache -------------
+	w := newWorld(gdn.DefaultTopology())
+	defer w.Close()
+	naClient := gns.NewClient(w.Net, "hub", "hub:gns-authority", nil)
+	defer naClient.Close()
+	names := make([]string, cfg.Names)
+	for i := range names {
+		names[i] = fmt.Sprintf("/apps/pkg%04d", i)
+		if _, err := naClient.Add(names[i], ids.Derive(names[i])); err != nil {
+			panic(err)
+		}
+	}
+
+	for _, cached := range []bool{true, false} {
+		res := w.DNSResolver("na-ny-cu")
+		res.CacheEnabled = cached
+		svc := gns.NewNameService(res, w.Zone())
+		zipf := workload.NewZipf(cfg.Names, 0.9, 7)
+		var total int64
+		for i := 0; i < cfg.Resolutions; i++ {
+			_, cost, err := svc.Resolve(names[zipf.Next()])
+			if err != nil {
+				panic(err)
+			}
+			total += int64(cost)
+		}
+		label := "cache on"
+		if !cached {
+			label = "cache off"
+		}
+		t.AddRow("mean resolution ms", label,
+			fmt.Sprintf("%.3f", float64(total)/float64(cfg.Resolutions)/1e6))
+		if cached {
+			hits := res.CacheHits()
+			t.AddRow("cache hit rate", label,
+				fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(cfg.Resolutions)))
+		} else {
+			t.AddRow("messages sent", label, fmt.Sprint(res.QueriesSent()))
+		}
+	}
+
+	// --- naming-authority batching -----------------------------------
+	for _, batch := range cfg.BatchSizes {
+		flushes, updatesSeen := runE7Batch(batch, 100)
+		t.AddRow("update msgs per 100 adds", fmt.Sprintf("batch=%d", batch),
+			fmt.Sprintf("flushes=%d, per-server updates=%d", flushes, updatesSeen))
+	}
+	return t
+}
+
+// runE7Batch registers n names under a batch size and reports how many
+// flushes the authority performed and how many update messages one
+// name server processed.
+func runE7Batch(batchSize, n int) (flushes, serverUpdates int64) {
+	top := gdn.DefaultTopology()
+	top.GNSBatchSize = batchSize
+	w := newWorld(top)
+	defer w.Close()
+
+	naClient := gns.NewClient(w.Net, "hub", "hub:gns-authority", nil)
+	defer naClient.Close()
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("/os/p%04d", i)
+		if _, err := naClient.Add(name, ids.Derive(name)); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := naClient.Flush(); err != nil {
+		panic(err)
+	}
+	srv, ok := w.DNSServer(w.RegionSites(w.Regions()[0])[0])
+	if !ok {
+		panic("e7: no zone server")
+	}
+	return w.Authority().Flushes(), srv.UpdatesHandled()
+}

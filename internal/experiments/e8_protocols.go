@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"gdn"
+	"gdn/internal/netsim"
+	"gdn/internal/workload"
+)
+
+// E8Config tunes the protocol-comparison experiment.
+type E8Config struct {
+	// Events per cell (default 400).
+	Events int
+	// WriteFractions to sweep (default 0, 0.05, 0.2, 0.5).
+	WriteFractions []float64
+	// ReplicaCounts to sweep (default 1, 3, 6).
+	ReplicaCounts []int
+	// DocSize is the package payload (default 64 KiB in 4 parts).
+	DocSize int
+}
+
+// E8Protocols compares the replication protocols the paper ships —
+// client/server and master/slave (§7) — plus active replication, under
+// varying read/write mixes and replica counts. The crossover the table
+// shows is the paper's core trade-off: replication wins on read-heavy
+// wide-area workloads and costs on write-heavy ones, with the
+// state-shipping master/slave paying more per write than the
+// invocation-shipping active protocol.
+func E8Protocols(cfg E8Config) *Table {
+	if cfg.Events <= 0 {
+		cfg.Events = 400
+	}
+	if len(cfg.WriteFractions) == 0 {
+		cfg.WriteFractions = []float64{0, 0.05, 0.2, 0.5}
+	}
+	if len(cfg.ReplicaCounts) == 0 {
+		cfg.ReplicaCounts = []int{1, 3, 6}
+	}
+	if cfg.DocSize <= 0 {
+		cfg.DocSize = 64 << 10
+	}
+
+	t := &Table{
+		ID:    "E8",
+		Title: "replication protocols under read/write mixes (§7)",
+		Columns: []string{
+			"protocol", "replicas", "write %", "mean op ms", "WAN KB/op",
+		},
+		Notes: fmt.Sprintf("%d ops per cell from clients in 6 regions, %d KB package", cfg.Events, cfg.DocSize/1024),
+	}
+
+	for _, protocol := range []string{gdn.ProtocolClientServer, gdn.ProtocolMasterSlave, gdn.ProtocolActive} {
+		for _, replicas := range cfg.ReplicaCounts {
+			if protocol == gdn.ProtocolClientServer && replicas != 1 {
+				continue // single-replica protocol by definition
+			}
+			for _, wf := range cfg.WriteFractions {
+				meanMS, wanKB := runE8(cfg, protocol, replicas, wf)
+				t.AddRow(protocol, fmt.Sprint(replicas),
+					fmt.Sprintf("%.0f", wf*100),
+					fmt.Sprintf("%.2f", meanMS),
+					fmt.Sprintf("%.1f", wanKB),
+				)
+			}
+		}
+	}
+	return t
+}
+
+func runE8(cfg E8Config, protocol string, replicas int, writeFraction float64) (meanMS, wanKBPerOp float64) {
+	w := newWorld(bigTopology())
+	defer w.Close()
+
+	regions := w.Regions()
+	if replicas > len(regions) {
+		replicas = len(regions)
+	}
+	servers := make([]string, replicas)
+	for i := 0; i < replicas; i++ {
+		servers[i] = w.RegionSites(regions[i])[0]
+	}
+
+	mod, err := w.Moderator(servers[0], "e8-moderator")
+	if err != nil {
+		panic(err)
+	}
+	files := make(map[string][]byte, 4)
+	for part := 0; part < 4; part++ {
+		files[fmt.Sprintf("part%d", part)] = make([]byte, cfg.DocSize/4)
+	}
+	if _, _, err := mod.CreatePackage("/apps/bench", gdn.Scenario{
+		Protocol: protocol,
+		Servers:  w.GOSAddrs(servers...),
+	}, gdn.Package{Files: files}); err != nil {
+		panic(fmt.Sprintf("e8: deploy %s/%d: %v", protocol, replicas, err))
+	}
+
+	var clientSites []string
+	for _, region := range regions {
+		clientSites = append(clientSites, w.RegionSites(region)[1])
+	}
+	events := workload.ReadWriteMix(cfg.Events, writeFraction, clientSites, 8)
+
+	// One bound stub per client site; writers use the moderator's
+	// runtime so secured worlds would authorize them (this world is
+	// open, but the path is identical).
+	stubs := make(map[string]*gdn.Stub)
+	for _, site := range clientSites {
+		stub, _, err := w.BindPackage(site, "/apps/bench")
+		if err != nil {
+			panic(err)
+		}
+		defer stub.Close()
+		stub.TakeCost()
+		stubs[site] = stub
+	}
+
+	w.Net.ResetMeter()
+	var total time.Duration
+	part := make([]byte, cfg.DocSize/4)
+	for i, ev := range events {
+		stub := stubs[ev.Site]
+		if ev.Write {
+			part[0] = byte(i)
+			if err := stub.AddFile("part0", part); err != nil {
+				panic(fmt.Sprintf("e8: write: %v", err))
+			}
+		} else {
+			if _, err := stub.GetFileContents(fmt.Sprintf("part%d", i%4)); err != nil {
+				panic(fmt.Sprintf("e8: read: %v", err))
+			}
+		}
+		total += stub.TakeCost()
+	}
+	wan := w.Net.Meter().Bytes[netsim.WideArea]
+	n := float64(len(events))
+	return float64(total) / n / 1e6, float64(wan) / 1024 / n
+}

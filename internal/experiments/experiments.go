@@ -1,0 +1,144 @@
+// Package experiments implements the drivers that regenerate every
+// quantitative claim of the paper, one experiment per claim (the full
+// index lives in DESIGN.md §4 and the results in EXPERIMENTS.md):
+//
+//	E1  subobject-composition overhead (Fig 1b, §3.3)
+//	E2  GLS lookup cost vs distance + mobile-object ablation (Fig 2, §3.5)
+//	E3  GLS root partitioning into subnodes (§3.5)
+//	E4  differentiated per-object replication vs global policies (§3.1)
+//	E5  end-to-end GDN download vs central server (Fig 3, §4)
+//	E6  security channel cost: the price of superfluous encryption (§6.3)
+//	E7  GNS resolution caching and update batching (§5)
+//	E8  the two shipped protocols under read/write mixes (§7)
+//	E9  object-server checkpoint/recovery (§4)
+//	E10 security admission: every unauthorized path is closed (§6.1)
+//
+// Each driver returns a Table whose rows are printed by
+// cmd/gdn-experiments; the benchmarks in bench_test.go wrap the same
+// drivers. Experiments run on the simulated WAN, so "latency" columns
+// are virtual network cost (the shape of a real deployment) while
+// "ns/op" columns are real CPU time.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"gdn"
+)
+
+// Table is one experiment's result, rendered like the tables in the
+// paper's evaluation style.
+type Table struct {
+	// ID is the experiment identifier ("E2").
+	ID string
+	// Title summarizes what is measured.
+	Title string
+	// Columns and Rows are the table body.
+	Columns []string
+	Rows    [][]string
+	// Notes records caveats and the paper anchor.
+	Notes string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render prints the table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(w, "  note: %s\n", t.Notes)
+	}
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+// ms formats a virtual duration in milliseconds.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+// kb formats bytes in KiB.
+func kb(n int64) string {
+	return fmt.Sprintf("%.1f", float64(n)/1024)
+}
+
+// newWorld builds a world for an experiment, failing hard: experiment
+// configuration errors are programming errors.
+func newWorld(top gdn.Topology) *gdn.World {
+	w, err := gdn.NewWorld(top)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: build world: %v", err))
+	}
+	return w
+}
+
+// bigTopology is a six-region world (two sites per region) used by the
+// workload experiments.
+func bigTopology() gdn.Topology {
+	return gdn.Topology{
+		Regions: map[string][]string{
+			"eu": {"eu-1", "eu-2"},
+			"na": {"na-1", "na-2"},
+			"sa": {"sa-1", "sa-2"},
+			"ap": {"ap-1", "ap-2"},
+			"af": {"af-1", "af-2"},
+			"oc": {"oc-1", "oc-2"},
+		},
+	}
+}
+
+// All runs every experiment with its default configuration.
+func All() []*Table {
+	return []*Table{
+		E1Overhead(E1Config{}),
+		E2LookupDistance(),
+		E2MobileAblation(),
+		E3RootPartitioning(E3Config{}),
+		E4Differentiated(E4Config{}),
+		E5Download(E5Config{}),
+		E5ChunkAblation(),
+		E6ChannelCost(E6Config{}),
+		E7NameService(E7Config{}),
+		E8Protocols(E8Config{}),
+		E9Recovery(E9Config{}),
+		E10Admission(),
+	}
+}

@@ -1,0 +1,205 @@
+// Package gls implements the Globe Location Service: the worldwide
+// mapping from location-independent object identifiers to the contact
+// addresses of a distributed shared object's replicas (paper §3.5).
+//
+// The Internet is organized into a hierarchy of domains — leaf domains
+// for campus-sized networks, combined recursively up to a root domain
+// covering everything. Each domain has a directory node. A directory
+// node stores, per object, either actual contact addresses or forwarding
+// pointers to child nodes whose subtrees contain addresses. Lookups
+// start at the client's leaf node, climb toward the root until an entry
+// is found, then descend along forwarding pointers; the cost of a lookup
+// is therefore proportional to the distance between the client and the
+// nearest replica. Higher-level nodes are kept from becoming bottlenecks
+// by partitioning them into subnodes, each responsible for a slice of
+// the object-identifier space selected by hashing (ids.OID.Subnode).
+//
+// Directory nodes are RPC servers; every hop is a real message over the
+// transport, so experiments measure genuine message counts and (on the
+// simulated network) virtual wide-area cost.
+package gls
+
+import (
+	"errors"
+	"fmt"
+
+	"gdn/internal/ids"
+	"gdn/internal/wire"
+)
+
+// ErrNotFound is returned by lookups for objects with no registered
+// contact address anywhere in the tree.
+var ErrNotFound = errors.New("gls: object not found")
+
+// ErrNoAddrs is returned when constructing a reference to a directory
+// node with no subnode addresses.
+var ErrNoAddrs = errors.New("gls: directory node reference has no addresses")
+
+// Operation codes of the directory-node protocol.
+const (
+	// OpLookup is the up-phase lookup sent by resolvers and child nodes.
+	OpLookup uint16 = iota + 1
+	// OpLookupDown descends a tree of forwarding pointers.
+	OpLookupDown
+	// OpInsert registers a contact address at this node. A nil OID asks
+	// the service to allocate a fresh identifier (paper §6.1: "an object
+	// identifier is allocated for the DSO by the GLS").
+	OpInsert
+	// OpDelete deregisters one contact address.
+	OpDelete
+	// OpInstallPtr installs a forwarding pointer; sent by a child node to
+	// its parent while an insert propagates toward the root.
+	OpInstallPtr
+	// OpRemovePtr removes a forwarding pointer; sent by a child node to
+	// its parent when its last entry for an object disappears.
+	OpRemovePtr
+	// OpStats returns the node's operation counters.
+	OpStats
+	// OpDump returns the node's full state; used by persistence and tests.
+	OpDump
+)
+
+// ContactAddress describes where one local representative of an object
+// lives and how to talk to it (paper §3.4): the replication protocol it
+// speaks, its transport address, the implementation to load into a
+// client address space, and the representative's role in the protocol.
+type ContactAddress struct {
+	// Protocol names the replication protocol, e.g. "masterslave".
+	Protocol string
+	// Address is the transport address of the representative's
+	// communication endpoint, e.g. "eu-nl-vu:gos/obj".
+	Address string
+	// Impl identifies the local-representative implementation a binding
+	// client must load from its implementation registry (the paper's
+	// remote-class-loading step, §3.4).
+	Impl string
+	// Role is the representative's protocol role: "server", "master",
+	// "slave", "peer" or "" when the protocol has a single role.
+	Role string
+}
+
+func (ca ContactAddress) String() string {
+	if ca.Role == "" {
+		return fmt.Sprintf("%s@%s", ca.Protocol, ca.Address)
+	}
+	return fmt.Sprintf("%s/%s@%s", ca.Protocol, ca.Role, ca.Address)
+}
+
+func (ca ContactAddress) encode(w *wire.Writer) {
+	w.Str(ca.Protocol)
+	w.Str(ca.Address)
+	w.Str(ca.Impl)
+	w.Str(ca.Role)
+}
+
+func decodeContactAddress(r *wire.Reader) ContactAddress {
+	return ContactAddress{
+		Protocol: r.Str(),
+		Address:  r.Str(),
+		Impl:     r.Str(),
+		Role:     r.Str(),
+	}
+}
+
+// EncodeAddrs serializes a contact-address set; it is used in lookup
+// responses and in object-server checkpoints.
+func EncodeAddrs(addrs []ContactAddress) []byte {
+	w := wire.NewWriter(16 + 64*len(addrs))
+	w.Count(len(addrs))
+	for _, ca := range addrs {
+		ca.encode(w)
+	}
+	return w.Bytes()
+}
+
+// DecodeAddrs reverses EncodeAddrs.
+func DecodeAddrs(b []byte) ([]ContactAddress, error) {
+	r := wire.NewReader(b)
+	addrs := decodeAddrList(r)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return addrs, nil
+}
+
+func decodeAddrList(r *wire.Reader) []ContactAddress {
+	n := r.Count()
+	if r.Err() != nil {
+		return nil
+	}
+	addrs := make([]ContactAddress, 0, n)
+	for i := 0; i < n; i++ {
+		addrs = append(addrs, decodeContactAddress(r))
+	}
+	return addrs
+}
+
+// Ref identifies one directory node: the addresses of its subnodes.
+// An unpartitioned node has exactly one address. Requests for an object
+// must be routed to the subnode selected by the object's identifier so
+// all parties agree on which subnode owns which slice of the space.
+type Ref struct {
+	Addrs []string
+}
+
+// IsZero reports whether the reference names no node (e.g. the parent
+// reference of the root).
+func (r Ref) IsZero() bool { return len(r.Addrs) == 0 }
+
+// Route returns the subnode address responsible for oid.
+func (r Ref) Route(oid ids.OID) string {
+	return r.Addrs[oid.Subnode(len(r.Addrs))]
+}
+
+func (r Ref) encode(w *wire.Writer) {
+	w.Count(len(r.Addrs))
+	for _, a := range r.Addrs {
+		w.Str(a)
+	}
+}
+
+func decodeRef(r *wire.Reader) Ref {
+	n := r.Count()
+	if r.Err() != nil {
+		return Ref{}
+	}
+	ref := Ref{Addrs: make([]string, 0, n)}
+	for i := 0; i < n; i++ {
+		ref.Addrs = append(ref.Addrs, r.Str())
+	}
+	return ref
+}
+
+// Counters is a snapshot of the operations one subnode has handled. The
+// partitioning experiment (§3.5) reads these to show load spreading
+// across subnodes.
+type Counters struct {
+	Lookups  int64 // up-phase lookups handled
+	Descends int64 // down-phase lookups handled
+	Inserts  int64 // contact-address registrations
+	Deletes  int64 // deregistrations
+	PtrOps   int64 // forwarding-pointer installs and removals
+}
+
+// Total sums all operation classes.
+func (c Counters) Total() int64 {
+	return c.Lookups + c.Descends + c.Inserts + c.Deletes + c.PtrOps
+}
+
+func (c Counters) encode(w *wire.Writer) {
+	w.Int64(c.Lookups)
+	w.Int64(c.Descends)
+	w.Int64(c.Inserts)
+	w.Int64(c.Deletes)
+	w.Int64(c.PtrOps)
+}
+
+func decodeCounters(r *wire.Reader) Counters {
+	return Counters{
+		Lookups:  r.Int64(),
+		Descends: r.Int64(),
+		Inserts:  r.Int64(),
+		Deletes:  r.Int64(),
+		PtrOps:   r.Int64(),
+	}
+}

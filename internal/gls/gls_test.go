@@ -1,0 +1,644 @@
+package gls
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gdn/internal/ids"
+	"gdn/internal/netsim"
+	"gdn/internal/sec"
+	"gdn/internal/wire"
+)
+
+// worldNet builds a two-region world with two leaf domains per region.
+func worldNet(t *testing.T) *netsim.Network {
+	t.Helper()
+	n := netsim.New(nil)
+	n.AddSite("root-site", "core", "core")
+	n.AddSite("eu-hub", "eu-hub", "eu")
+	n.AddSite("us-hub", "us-hub", "us")
+	n.AddSite("eu-nl-vu", "eu-nl", "eu")
+	n.AddSite("eu-de-tu", "eu-de", "eu")
+	n.AddSite("us-ca-ucb", "us-ca", "us")
+	n.AddSite("us-ny-cu", "us-ny", "us")
+	return n
+}
+
+// worldSpec is the matching three-level domain hierarchy.
+func worldSpec() DomainSpec {
+	return DomainSpec{
+		Name:  "root",
+		Sites: []string{"root-site"},
+		Children: []DomainSpec{
+			{Name: "eu", Sites: []string{"eu-hub"}, Children: []DomainSpec{
+				Leaf("eu/nl", "eu-nl-vu"),
+				Leaf("eu/de", "eu-de-tu"),
+			}},
+			{Name: "us", Sites: []string{"us-hub"}, Children: []DomainSpec{
+				Leaf("us/ca", "us-ca-ucb"),
+				Leaf("us/ny", "us-ny-cu"),
+			}},
+		},
+	}
+}
+
+func deployWorld(t *testing.T) (*netsim.Network, *Tree) {
+	t.Helper()
+	net := worldNet(t)
+	tree, err := Deploy(net, worldSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tree.Close)
+	return net, tree
+}
+
+func mustResolver(t *testing.T, tree *Tree, site, domain string) *Resolver {
+	t.Helper()
+	r, err := tree.Resolver(site, domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func testAddr(site string) ContactAddress {
+	return ContactAddress{Protocol: "masterslave", Address: site + ":gos/obj", Impl: "pkg/1", Role: "slave"}
+}
+
+func TestInsertLookupSameLeaf(t *testing.T) {
+	_, tree := deployWorld(t)
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+
+	oid, _, err := res.Insert(ids.Nil, testAddr("eu-nl-vu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oid.IsNil() {
+		t.Fatal("insert must allocate an OID")
+	}
+
+	addrs, cost, err := res.Lookup(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1 || addrs[0] != testAddr("eu-nl-vu") {
+		t.Fatalf("addrs = %v", addrs)
+	}
+	if cost <= 0 {
+		t.Fatal("lookup must report positive virtual cost")
+	}
+}
+
+func TestLookupCostProportionalToDistance(t *testing.T) {
+	_, tree := deployWorld(t)
+	near := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+	sameRegion := mustResolver(t, tree, "eu-de-tu", "eu/de")
+	far := mustResolver(t, tree, "us-ca-ucb", "us/ca")
+
+	oid, _, err := near.Insert(ids.Nil, testAddr("eu-nl-vu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, costNear, err := near.Lookup(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, costRegion, err := sameRegion.Lookup(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, costFar, err := far.Lookup(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !(costNear < costRegion && costRegion < costFar) {
+		t.Fatalf("lookup cost must grow with distance: near=%v region=%v far=%v",
+			costNear, costRegion, costFar)
+	}
+}
+
+func TestLookupFindsNearestReplica(t *testing.T) {
+	_, tree := deployWorld(t)
+	eu := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+	us := mustResolver(t, tree, "us-ca-ucb", "us/ca")
+
+	oid, _, err := eu.Insert(ids.Nil, testAddr("eu-nl-vu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := us.Insert(oid, testAddr("us-ca-ucb")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each client's lookup should terminate at its local replica without
+	// consulting the other region.
+	addrs, _, err := eu.Lookup(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1 || addrs[0].Address != "eu-nl-vu:gos/obj" {
+		t.Fatalf("eu lookup = %v, want local replica", addrs)
+	}
+	addrs, _, err = us.Lookup(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1 || addrs[0].Address != "us-ca-ucb:gos/obj" {
+		t.Fatalf("us lookup = %v, want local replica", addrs)
+	}
+}
+
+func TestLookupFromReplicalessLeafDescends(t *testing.T) {
+	_, tree := deployWorld(t)
+	eu := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+	de := mustResolver(t, tree, "eu-de-tu", "eu/de")
+
+	oid, _, err := eu.Insert(ids.Nil, testAddr("eu-nl-vu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The German client has no local entry: the lookup climbs to "eu",
+	// finds a forwarding pointer, and descends into eu/nl.
+	addrs, _, err := de.Lookup(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1 || addrs[0].Address != "eu-nl-vu:gos/obj" {
+		t.Fatalf("descend lookup = %v", addrs)
+	}
+}
+
+func TestLookupNotFound(t *testing.T) {
+	_, tree := deployWorld(t)
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+
+	_, _, err := res.Lookup(ids.Derive("nobody"))
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDeleteTearsDownPointerChain(t *testing.T) {
+	_, tree := deployWorld(t)
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+
+	oid, _, err := res.Insert(ids.Nil, testAddr("eu-nl-vu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The insert must have installed pointers at eu and root.
+	for _, domain := range []string{"eu/nl", "eu", "root"} {
+		if got := tree.Nodes(domain)[0].Records(); got != 1 {
+			t.Fatalf("%s records = %d before delete, want 1", domain, got)
+		}
+	}
+
+	if _, err := res.Delete(oid, "eu-nl-vu:gos/obj"); err != nil {
+		t.Fatal(err)
+	}
+	for _, domain := range []string{"eu/nl", "eu", "root"} {
+		if got := tree.Nodes(domain)[0].Records(); got != 0 {
+			t.Fatalf("%s records = %d after delete, want 0", domain, got)
+		}
+	}
+
+	if _, _, err := res.Lookup(oid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lookup after delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDeleteOneOfTwoReplicasKeepsOther(t *testing.T) {
+	_, tree := deployWorld(t)
+	eu := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+	us := mustResolver(t, tree, "us-ca-ucb", "us/ca")
+
+	oid, _, err := eu.Insert(ids.Nil, testAddr("eu-nl-vu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := us.Insert(oid, testAddr("us-ca-ucb")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eu.Delete(oid, "eu-nl-vu:gos/obj"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Root must still point at the US subtree.
+	addrs, _, err := eu.Lookup(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1 || addrs[0].Address != "us-ca-ucb:gos/obj" {
+		t.Fatalf("post-delete lookup = %v", addrs)
+	}
+}
+
+func TestInsertIdempotent(t *testing.T) {
+	_, tree := deployWorld(t)
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+
+	oid, _, err := res.Insert(ids.Nil, testAddr("eu-nl-vu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := res.Insert(oid, testAddr("eu-nl-vu")); err != nil {
+		t.Fatal(err)
+	}
+	addrs, _, err := res.Lookup(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1 {
+		t.Fatalf("duplicate insert must not duplicate the address: %v", addrs)
+	}
+}
+
+func TestInsertAtIntermediateNode(t *testing.T) {
+	_, tree := deployWorld(t)
+	eu, _ := tree.Ref("eu")
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+
+	oid, _, err := res.InsertAt(eu, ids.Nil, testAddr("eu-nl-vu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The address lives at "eu": both European leaves find it, and the
+	// leaf nodes hold no state for it.
+	de := mustResolver(t, tree, "eu-de-tu", "eu/de")
+	for _, r := range []*Resolver{res, de} {
+		addrs, _, err := r.Lookup(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(addrs) != 1 {
+			t.Fatalf("addrs = %v", addrs)
+		}
+	}
+	if got := tree.Nodes("eu/nl")[0].Records(); got != 0 {
+		t.Fatalf("leaf records = %d, want 0 (address stored at intermediate)", got)
+	}
+}
+
+func TestMultipleChildPointersRandomDescent(t *testing.T) {
+	_, tree := deployWorld(t)
+	eu := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+	de := mustResolver(t, tree, "eu-de-tu", "eu/de")
+	us := mustResolver(t, tree, "us-ca-ucb", "us/ca")
+
+	oid, _, err := eu.Insert(ids.Nil, testAddr("eu-nl-vu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := de.Insert(oid, testAddr("eu-de-tu")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The US client's lookup reaches the root, which holds one pointer
+	// (to eu); eu holds two pointers and picks one at random. Both
+	// replicas must be reachable over repeated lookups.
+	seen := make(map[string]bool)
+	for i := 0; i < 64; i++ {
+		addrs, _, err := us.Lookup(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range addrs {
+			seen[a.Address] = true
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("random descent saw replicas %v, want both", seen)
+	}
+}
+
+func TestSubnodePartitioningSpreadsLoad(t *testing.T) {
+	net := worldNet(t)
+	net.AddSite("root-2", "core", "core")
+	net.AddSite("root-3", "core", "core")
+	net.AddSite("root-4", "core", "core")
+	spec := worldSpec()
+	spec.Sites = []string{"root-site", "root-2", "root-3", "root-4"}
+	tree, err := Deploy(net, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+	const objects = 64
+	oids := make([]ids.OID, 0, objects)
+	for i := 0; i < objects; i++ {
+		oid, _, err := res.Insert(ids.Nil, testAddr("eu-nl-vu"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+
+	// Force traffic through the root: look up from a leaf with no local
+	// entry so the request climbs all the way.
+	far := mustResolver(t, tree, "us-ca-ucb", "us/ca")
+	for _, oid := range oids {
+		if _, _, err := far.Lookup(oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Pointer installs and descents must be spread over all four
+	// subnodes, and each subnode must only hold its own hash share.
+	busy := 0
+	total := int64(0)
+	for _, node := range tree.Nodes("root") {
+		s := node.Stats()
+		total += s.Total()
+		if s.Total() > 0 {
+			busy++
+		}
+	}
+	if busy != 4 {
+		t.Fatalf("busy root subnodes = %d, want 4", busy)
+	}
+	records := 0
+	for _, node := range tree.Nodes("root") {
+		records += node.Records()
+	}
+	if records != objects {
+		t.Fatalf("root records across subnodes = %d, want %d", records, objects)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	_, tree := deployWorld(t)
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+
+	var oids []ids.OID
+	for i := 0; i < 10; i++ {
+		oid, _, err := res.Insert(ids.Nil, testAddr("eu-nl-vu"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+
+	leaf := tree.Nodes("eu/nl")[0]
+	snap := leaf.Snapshot()
+
+	// Simulate a crash losing all records, then recovery from the
+	// checkpoint.
+	if err := leaf.Restore(emptySnapshot(leaf.Domain())); err != nil {
+		t.Fatal(err)
+	}
+	if leaf.Records() != 0 {
+		t.Fatal("node must be empty after clearing")
+	}
+	if err := leaf.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if leaf.Records() != len(oids) {
+		t.Fatalf("restored records = %d, want %d", leaf.Records(), len(oids))
+	}
+	for _, oid := range oids {
+		if _, _, err := res.Lookup(oid); err != nil {
+			t.Fatalf("lookup %s after restore: %v", oid.Short(), err)
+		}
+	}
+}
+
+// emptySnapshot builds the snapshot of a record-less node for the given
+// domain, mimicking the state a freshly started node would checkpoint.
+func emptySnapshot(domain string) []byte {
+	w := wire.NewWriter(16)
+	w.Str(domain)
+	w.Count(0)
+	return w.Bytes()
+}
+
+func TestRestoreRejectsWrongDomain(t *testing.T) {
+	_, tree := deployWorld(t)
+	nl := tree.Nodes("eu/nl")[0]
+	de := tree.Nodes("eu/de")[0]
+	if err := nl.Restore(de.Snapshot()); err == nil {
+		t.Fatal("restore must reject a snapshot from another domain")
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	net := worldNet(t)
+	authority, err := sec.NewAuthority("gdn-root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	glsCreds, err := sec.NewCredentials(authority, sec.Principal(sec.RoleGLS, "tree"), sec.RoleGLS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gosCreds, err := sec.NewCredentials(authority, sec.Principal(sec.RoleGOS, "eu-nl-vu"), sec.RoleGOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	userCreds, err := sec.NewCredentials(authority, sec.Principal(sec.RoleUser, "mallory"), sec.RoleUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tree, err := Deploy(net, worldSpec(), WithTreeAuth(&sec.Config{
+		Creds:        glsCreds,
+		TrustAnchors: authority.Anchors(),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+
+	leaf, _ := tree.Ref("eu/nl")
+	gos := NewResolver(net, "eu-nl-vu", leaf, WithResolverAuth(&sec.Config{
+		Creds:        gosCreds,
+		TrustAnchors: authority.Anchors(),
+	}))
+	defer gos.Close()
+	user := NewResolver(net, "eu-de-tu", leaf, WithResolverAuth(&sec.Config{
+		Creds:        userCreds,
+		TrustAnchors: authority.Anchors(),
+	}))
+	defer user.Close()
+
+	// An object server may register; a user may not (paper §6.1 req 2).
+	oid, _, err := gos.Insert(ids.Nil, testAddr("eu-nl-vu"))
+	if err != nil {
+		t.Fatalf("gos insert: %v", err)
+	}
+	if _, _, err := user.Insert(ids.Nil, testAddr("eu-de-tu")); err == nil {
+		t.Fatal("user insert must be rejected")
+	} else if !strings.Contains(err.Error(), "unauthorized") && !strings.Contains(err.Error(), "not authorized") {
+		t.Fatalf("unexpected rejection: %v", err)
+	}
+	if _, err := user.Delete(oid, "eu-nl-vu:gos/obj"); err == nil {
+		t.Fatal("user delete must be rejected")
+	}
+
+	// Anyone — even a user — may look up.
+	if _, _, err := user.Lookup(oid); err != nil {
+		t.Fatalf("user lookup: %v", err)
+	}
+}
+
+func TestStatsOverRPC(t *testing.T) {
+	_, tree := deployWorld(t)
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+	oid, _, err := res.Insert(ids.Nil, testAddr("eu-nl-vu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := res.Lookup(oid); err != nil {
+		t.Fatal(err)
+	}
+	leafRef, _ := tree.Ref("eu/nl")
+	c, err := res.Stats(leafRef.Addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Inserts != 1 || c.Lookups != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestRouteConsistency(t *testing.T) {
+	// Route must be stable and in range for any subnode count — the
+	// partitioning invariant every node relies on.
+	f := func(seed int64, n uint8) bool {
+		count := int(n%16) + 1
+		ref := Ref{Addrs: make([]string, count)}
+		for i := range ref.Addrs {
+			ref.Addrs[i] = fmt.Sprintf("site-%d:gls", i)
+		}
+		rnd := rand.New(rand.NewSource(seed))
+		var oid ids.OID
+		rnd.Read(oid[:])
+		a := ref.Route(oid)
+		b := ref.Route(oid)
+		if a != b {
+			return false
+		}
+		for _, addr := range ref.Addrs {
+			if addr == a {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomChurnInvariant(t *testing.T) {
+	// Property: after an arbitrary interleaving of inserts and deletes
+	// that ends with every address deleted, the whole tree is empty —
+	// no leaked records or dangling pointers anywhere.
+	_, tree := deployWorld(t)
+	leaves := []string{"eu/nl", "eu/de", "us/ca", "us/ny"}
+	sites := []string{"eu-nl-vu", "eu-de-tu", "us-ca-ucb", "us-ny-cu"}
+	resolvers := make([]*Resolver, len(leaves))
+	for i := range leaves {
+		resolvers[i] = mustResolver(t, tree, sites[i], leaves[i])
+	}
+
+	rnd := rand.New(rand.NewSource(42))
+	type placement struct {
+		oid  ids.OID
+		leaf int
+	}
+	var live []placement
+	for step := 0; step < 300; step++ {
+		if len(live) == 0 || rnd.Intn(2) == 0 {
+			leaf := rnd.Intn(len(leaves))
+			oid, _, err := resolvers[leaf].Insert(ids.Nil, testAddr(sites[leaf]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, placement{oid, leaf})
+		} else {
+			i := rnd.Intn(len(live))
+			p := live[i]
+			if _, err := resolvers[p.leaf].Delete(p.oid, sites[p.leaf]+":gos/obj"); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+	}
+	for _, p := range live {
+		if _, err := resolvers[p.leaf].Delete(p.oid, sites[p.leaf]+":gos/obj"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, domain := range tree.Domains() {
+		for i, node := range tree.Nodes(domain) {
+			if got := node.Records(); got != 0 {
+				t.Fatalf("domain %s subnode %d: %d leaked records", domain, i, got)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeAddrsRoundTrip(t *testing.T) {
+	f := func(proto, addr, impl, role string) bool {
+		if len(proto) > 100 || len(addr) > 100 || len(impl) > 100 || len(role) > 100 {
+			return true
+		}
+		in := []ContactAddress{{Protocol: proto, Address: addr, Impl: impl, Role: role}}
+		out, err := DecodeAddrs(EncodeAddrs(in))
+		return err == nil && len(out) == 1 && out[0] == in[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	net := worldNet(t)
+	if _, err := Deploy(net, DomainSpec{Name: "", Sites: []string{"root-site"}}); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if _, err := Deploy(net, DomainSpec{Name: "x"}); err == nil {
+		t.Fatal("no sites must fail")
+	}
+	dup := DomainSpec{Name: "root", Sites: []string{"root-site"}, Children: []DomainSpec{
+		Leaf("root", "eu-nl-vu"),
+	}}
+	if _, err := Deploy(net, dup); err == nil {
+		t.Fatal("duplicate domain must fail")
+	}
+}
+
+func TestLookupCostIsWallClockIndependent(t *testing.T) {
+	// The virtual cost of a lookup must dwarf its real execution time:
+	// the simulator's promise is wide-area shapes at CPU speed.
+	_, tree := deployWorld(t)
+	eu := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+	us := mustResolver(t, tree, "us-ca-ucb", "us/ca")
+	oid, _, err := eu.Insert(ids.Nil, testAddr("eu-nl-vu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, cost, err := us.Lookup(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start); cost < 10*wall && cost < 50*time.Millisecond {
+		t.Fatalf("virtual cost %v suspiciously close to wall clock %v", cost, wall)
+	}
+}

@@ -1,0 +1,531 @@
+package gls
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"gdn/internal/ids"
+	"gdn/internal/rpc"
+	"gdn/internal/sec"
+	"gdn/internal/transport"
+	"gdn/internal/wire"
+)
+
+// Config describes one directory subnode.
+type Config struct {
+	// Domain is the domain this node's directory serves, e.g. "root",
+	// "eu" or "eu/nl-vu". All subnodes of one domain share it.
+	Domain string
+	// Site is the simulated site (or host) the subnode runs on.
+	Site string
+	// Addr is the transport address the subnode listens on.
+	Addr string
+	// Self references the whole directory node (all subnode addresses,
+	// including this one); it is what gets installed in parent
+	// forwarding pointers.
+	Self Ref
+	// Parent references the parent domain's directory node; zero for
+	// the root.
+	Parent Ref
+	// Seed makes the random choice among multiple forwarding pointers
+	// reproducible. The paper picks a pointer at random (§3.5).
+	Seed int64
+	// Auth, when non-nil, upgrades every connection to an authenticated
+	// security channel. Lookups are admitted from anyone, but inserts
+	// and deletes only from object servers and administrators, and
+	// pointer operations only from fellow directory nodes (paper §6.1,
+	// requirement 2).
+	Auth *sec.Config
+	// Logf receives diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// record is one object's entry in a directory node: contact addresses
+// stored here, and forwarding pointers to child nodes whose subtrees
+// store addresses. Either set may be non-empty; intermediate nodes
+// normally hold only pointers, but may hold addresses for highly mobile
+// objects (§3.5).
+type record struct {
+	addrs []ContactAddress
+	ptrs  map[string]Ref // child domain -> child node reference
+}
+
+func (rec *record) empty() bool { return len(rec.addrs) == 0 && len(rec.ptrs) == 0 }
+
+// Node is one directory subnode. It serves the directory-node protocol
+// on its configured address and talks to its parent and children as an
+// RPC client. All methods are safe for concurrent use.
+type Node struct {
+	cfg Config
+	net transport.Network
+
+	mu   sync.RWMutex
+	recs map[ids.OID]*record
+
+	rndMu sync.Mutex
+	rnd   *rand.Rand
+
+	statMu sync.Mutex
+	stats  Counters
+
+	clientMu sync.Mutex
+	clients  map[string]*rpc.Client
+
+	server *rpc.Server
+}
+
+// Start creates a directory subnode and begins serving it.
+func Start(net transport.Network, cfg Config) (*Node, error) {
+	if cfg.Domain == "" {
+		return nil, fmt.Errorf("gls: node needs a domain")
+	}
+	if len(cfg.Self.Addrs) == 0 {
+		return nil, fmt.Errorf("gls: node %q: %w", cfg.Domain, ErrNoAddrs)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	n := &Node{
+		cfg:     cfg,
+		net:     net,
+		recs:    make(map[ids.OID]*record),
+		rnd:     rand.New(rand.NewSource(cfg.Seed)),
+		clients: make(map[string]*rpc.Client),
+	}
+	opts := []rpc.ServerOption{rpc.WithServerLog(cfg.Logf)}
+	if cfg.Auth != nil {
+		opts = append(opts, rpc.WithServerWrapper(cfg.Auth.WrapServer))
+	}
+	srv, err := rpc.Serve(net, cfg.Addr, n.handle, opts...)
+	if err != nil {
+		return nil, err
+	}
+	n.server = srv
+	return n, nil
+}
+
+// Domain returns the domain this subnode serves.
+func (n *Node) Domain() string { return n.cfg.Domain }
+
+// Addr returns the subnode's transport address.
+func (n *Node) Addr() string { return n.cfg.Addr }
+
+// Close stops serving and releases client connections.
+func (n *Node) Close() error {
+	err := n.server.Close()
+	n.clientMu.Lock()
+	for _, c := range n.clients {
+		c.Close()
+	}
+	n.clients = make(map[string]*rpc.Client)
+	n.clientMu.Unlock()
+	return err
+}
+
+// Stats returns a snapshot of this subnode's operation counters.
+func (n *Node) Stats() Counters {
+	n.statMu.Lock()
+	defer n.statMu.Unlock()
+	return n.stats
+}
+
+// Records returns the number of objects this subnode has entries for.
+func (n *Node) Records() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.recs)
+}
+
+func (n *Node) client(addr string) *rpc.Client {
+	n.clientMu.Lock()
+	defer n.clientMu.Unlock()
+	c, ok := n.clients[addr]
+	if !ok {
+		var opts []rpc.ClientOption
+		if n.cfg.Auth != nil {
+			opts = append(opts, rpc.WithClientWrapper(n.cfg.Auth.WrapClient))
+		}
+		c = rpc.NewClient(n.net, n.cfg.Site, addr, opts...)
+		n.clients[addr] = c
+	}
+	return c
+}
+
+func (n *Node) count(f func(*Counters)) {
+	n.statMu.Lock()
+	f(&n.stats)
+	n.statMu.Unlock()
+}
+
+func (n *Node) isRoot() bool { return n.cfg.Parent.IsZero() }
+
+// handle dispatches one directory-node protocol request.
+func (n *Node) handle(call *rpc.Call) ([]byte, error) {
+	switch call.Op {
+	case OpLookup:
+		return n.handleLookup(call, false)
+	case OpLookupDown:
+		return n.handleLookup(call, true)
+	case OpInsert:
+		return n.handleInsert(call)
+	case OpDelete:
+		return n.handleDelete(call)
+	case OpInstallPtr:
+		return n.handleInstallPtr(call)
+	case OpRemovePtr:
+		return n.handleRemovePtr(call)
+	case OpStats:
+		return n.handleStats()
+	case OpDump:
+		return n.Snapshot(), nil
+	default:
+		return nil, fmt.Errorf("gls: unknown op %d", call.Op)
+	}
+}
+
+// authorize enforces role-based admission when the node runs with a
+// security configuration. Without one (simulations, benchmarks) every
+// caller is admitted.
+func (n *Node) authorize(call *rpc.Call, roles ...string) error {
+	if n.cfg.Auth == nil {
+		return nil
+	}
+	if !sec.HasRole(call.Peer, roles...) {
+		return fmt.Errorf("%w: peer %q may not perform op %d", sec.ErrUnauthorized, call.Peer, call.Op)
+	}
+	return nil
+}
+
+// handleLookup serves both lookup phases. In the up phase a miss
+// forwards to the parent; in the down phase the request must terminate
+// in this subtree.
+func (n *Node) handleLookup(call *rpc.Call, down bool) ([]byte, error) {
+	r := wire.NewReader(call.Body)
+	oid := r.OID()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if down {
+		n.count(func(c *Counters) { c.Descends++ })
+	} else {
+		n.count(func(c *Counters) { c.Lookups++ })
+	}
+
+	n.mu.RLock()
+	rec := n.recs[oid]
+	var addrs []ContactAddress
+	var childRefs []Ref
+	if rec != nil {
+		addrs = append([]ContactAddress(nil), rec.addrs...)
+		for _, ref := range rec.ptrs {
+			childRefs = append(childRefs, ref)
+		}
+	}
+	n.mu.RUnlock()
+
+	// Contact addresses stored here end the search immediately.
+	if len(addrs) > 0 {
+		return EncodeAddrs(addrs), nil
+	}
+
+	// A forwarding pointer sends the search down into one child subtree,
+	// chosen at random when there are several (§3.5).
+	if len(childRefs) > 0 {
+		ref := childRefs[0]
+		if len(childRefs) > 1 {
+			n.rndMu.Lock()
+			ref = childRefs[n.rnd.Intn(len(childRefs))]
+			n.rndMu.Unlock()
+		}
+		resp, cost, err := n.client(ref.Route(oid)).Call(OpLookupDown, encodeOID(oid))
+		call.Charge(cost)
+		if err != nil {
+			return nil, fmt.Errorf("gls: %s: descend failed: %w", n.cfg.Domain, err)
+		}
+		return resp, nil
+	}
+
+	if down {
+		// A pointer led here but nothing remains: the entry raced with a
+		// deletion. Report a miss rather than an error; the resolver
+		// treats an empty address set as not-found.
+		return EncodeAddrs(nil), nil
+	}
+	if n.isRoot() {
+		// No entry anywhere in the tree.
+		return EncodeAddrs(nil), nil
+	}
+	resp, cost, err := n.client(n.cfg.Parent.Route(oid)).Call(OpLookup, encodeOID(oid))
+	call.Charge(cost)
+	if err != nil {
+		return nil, fmt.Errorf("gls: %s: forward to parent failed: %w", n.cfg.Domain, err)
+	}
+	return resp, nil
+}
+
+// handleInsert registers a contact address at this node and installs the
+// chain of forwarding pointers up to the root. The response carries the
+// object identifier, which the service allocates when the request's is
+// nil.
+func (n *Node) handleInsert(call *rpc.Call) ([]byte, error) {
+	if err := n.authorize(call, sec.RoleGOS, sec.RoleAdmin, sec.RoleGLS); err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(call.Body)
+	oid := r.OID()
+	ca := decodeContactAddress(r)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if oid.IsNil() {
+		oid = ids.New()
+	}
+	n.count(func(c *Counters) { c.Inserts++ })
+
+	n.mu.Lock()
+	rec := n.recs[oid]
+	wasEmpty := rec == nil
+	if rec == nil {
+		rec = &record{}
+		n.recs[oid] = rec
+	}
+	dup := false
+	for _, have := range rec.addrs {
+		if have == ca {
+			dup = true
+			break
+		}
+	}
+	if !dup {
+		rec.addrs = append(rec.addrs, ca)
+	}
+	n.mu.Unlock()
+
+	// A pre-existing record (addresses or pointers) implies the chain
+	// of forwarding pointers above this node is already installed, so
+	// only the first entry for an object pays the climb to the root.
+	if wasEmpty {
+		if err := n.propagateInstall(call, oid); err != nil {
+			return nil, err
+		}
+	}
+	return oid.Bytes(), nil
+}
+
+// propagateInstall asks the parent to install a forwarding pointer to
+// this node. The parent continues upward until it finds the pointer
+// already present (the chain above is then complete) or reaches the root.
+func (n *Node) propagateInstall(call *rpc.Call, oid ids.OID) error {
+	if n.isRoot() {
+		return nil
+	}
+	w := wire.NewWriter(64)
+	w.OID(oid)
+	w.Str(n.cfg.Domain)
+	n.cfg.Self.encode(w)
+	_, cost, err := n.client(n.cfg.Parent.Route(oid)).Call(OpInstallPtr, w.Bytes())
+	call.Charge(cost)
+	if err != nil {
+		return fmt.Errorf("gls: %s: install pointer at parent: %w", n.cfg.Domain, err)
+	}
+	return nil
+}
+
+func (n *Node) handleInstallPtr(call *rpc.Call) ([]byte, error) {
+	if err := n.authorize(call, sec.RoleGLS); err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(call.Body)
+	oid := r.OID()
+	child := r.Str()
+	ref := decodeRef(r)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	n.count(func(c *Counters) { c.PtrOps++ })
+
+	n.mu.Lock()
+	rec := n.recs[oid]
+	if rec == nil {
+		rec = &record{}
+		n.recs[oid] = rec
+	}
+	if rec.ptrs == nil {
+		rec.ptrs = make(map[string]Ref)
+	}
+	_, existed := rec.ptrs[child]
+	rec.ptrs[child] = ref
+	n.mu.Unlock()
+
+	// An existing pointer implies the chain above is already installed.
+	if existed {
+		return nil, nil
+	}
+	return nil, n.propagateInstall(call, oid)
+}
+
+// handleDelete removes one contact address; when the record empties, the
+// pointer chain above is torn down.
+func (n *Node) handleDelete(call *rpc.Call) ([]byte, error) {
+	if err := n.authorize(call, sec.RoleGOS, sec.RoleAdmin, sec.RoleGLS); err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(call.Body)
+	oid := r.OID()
+	addr := r.Str()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	n.count(func(c *Counters) { c.Deletes++ })
+
+	n.mu.Lock()
+	rec := n.recs[oid]
+	removedAll := false
+	if rec != nil {
+		kept := rec.addrs[:0]
+		for _, ca := range rec.addrs {
+			if ca.Address != addr {
+				kept = append(kept, ca)
+			}
+		}
+		rec.addrs = kept
+		if rec.empty() {
+			delete(n.recs, oid)
+			removedAll = true
+		}
+	}
+	n.mu.Unlock()
+
+	if removedAll {
+		return nil, n.propagateRemove(call, oid)
+	}
+	return nil, nil
+}
+
+func (n *Node) propagateRemove(call *rpc.Call, oid ids.OID) error {
+	if n.isRoot() {
+		return nil
+	}
+	w := wire.NewWriter(64)
+	w.OID(oid)
+	w.Str(n.cfg.Domain)
+	_, cost, err := n.client(n.cfg.Parent.Route(oid)).Call(OpRemovePtr, w.Bytes())
+	call.Charge(cost)
+	if err != nil {
+		return fmt.Errorf("gls: %s: remove pointer at parent: %w", n.cfg.Domain, err)
+	}
+	return nil
+}
+
+func (n *Node) handleRemovePtr(call *rpc.Call) ([]byte, error) {
+	if err := n.authorize(call, sec.RoleGLS); err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(call.Body)
+	oid := r.OID()
+	child := r.Str()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	n.count(func(c *Counters) { c.PtrOps++ })
+
+	n.mu.Lock()
+	rec := n.recs[oid]
+	nowEmpty := false
+	if rec != nil && rec.ptrs != nil {
+		delete(rec.ptrs, child)
+		if rec.empty() {
+			delete(n.recs, oid)
+			nowEmpty = true
+		}
+	}
+	n.mu.Unlock()
+
+	if nowEmpty {
+		return nil, n.propagateRemove(call, oid)
+	}
+	return nil, nil
+}
+
+func (n *Node) handleStats() ([]byte, error) {
+	w := wire.NewWriter(64)
+	n.Stats().encode(w)
+	return w.Bytes(), nil
+}
+
+func encodeOID(oid ids.OID) []byte {
+	w := wire.NewWriter(ids.Size)
+	w.OID(oid)
+	return w.Bytes()
+}
+
+// Snapshot serializes the node's records for persistent storage. The
+// paper's Java GLS supports "persistent storage of the state of a
+// directory node (location information and forwarding pointers)" (§7);
+// object servers and the gdn-gls daemon checkpoint with this.
+func (n *Node) Snapshot() []byte {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	w := wire.NewWriter(1024)
+	w.Str(n.cfg.Domain)
+	w.Count(len(n.recs))
+	for oid, rec := range n.recs {
+		w.OID(oid)
+		w.Count(len(rec.addrs))
+		for _, ca := range rec.addrs {
+			ca.encode(w)
+		}
+		w.Count(len(rec.ptrs))
+		for child, ref := range rec.ptrs {
+			w.Str(child)
+			ref.encode(w)
+		}
+	}
+	return w.Bytes()
+}
+
+// Restore replaces the node's records with a snapshot taken by Snapshot.
+// The snapshot must come from a node serving the same domain.
+func (n *Node) Restore(b []byte) error {
+	r := wire.NewReader(b)
+	domain := r.Str()
+	count := r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if domain != n.cfg.Domain {
+		return fmt.Errorf("gls: snapshot is for domain %q, node serves %q", domain, n.cfg.Domain)
+	}
+	recs := make(map[ids.OID]*record, count)
+	for i := 0; i < count; i++ {
+		oid := r.OID()
+		rec := &record{}
+		na := r.Count()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		for j := 0; j < na; j++ {
+			rec.addrs = append(rec.addrs, decodeContactAddress(r))
+		}
+		np := r.Count()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if np > 0 {
+			rec.ptrs = make(map[string]Ref, np)
+		}
+		for j := 0; j < np; j++ {
+			child := r.Str()
+			rec.ptrs[child] = decodeRef(r)
+		}
+		recs[oid] = rec
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.recs = recs
+	n.mu.Unlock()
+	return nil
+}

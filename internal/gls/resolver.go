@@ -1,0 +1,164 @@
+package gls
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gdn/internal/ids"
+	"gdn/internal/rpc"
+	"gdn/internal/sec"
+	"gdn/internal/transport"
+	"gdn/internal/wire"
+)
+
+// Resolver is a client of the location service. It is bound to one leaf
+// directory node — the node of the domain the client's site belongs to —
+// exactly as the paper's run-time system sends look-up requests "to the
+// directory node of the leaf domain the client is located in" (§3.5).
+// Resolvers are safe for concurrent use.
+type Resolver struct {
+	net  transport.Network
+	site string
+	leaf Ref
+	auth *sec.Config
+
+	mu      sync.Mutex
+	clients map[string]*rpc.Client
+}
+
+// ResolverOption configures a Resolver.
+type ResolverOption func(*Resolver)
+
+// WithResolverAuth dials directory nodes through authenticated security
+// channels. Object servers registering replicas need this when the tree
+// runs with admission control.
+func WithResolverAuth(cfg *sec.Config) ResolverOption {
+	return func(r *Resolver) { r.auth = cfg }
+}
+
+// NewResolver returns a resolver for a client at the given site whose
+// leaf domain directory node is leaf.
+func NewResolver(net transport.Network, site string, leaf Ref, opts ...ResolverOption) *Resolver {
+	r := &Resolver{net: net, site: site, leaf: leaf, clients: make(map[string]*rpc.Client)}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Close releases pooled connections.
+func (r *Resolver) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.clients {
+		c.Close()
+	}
+	r.clients = make(map[string]*rpc.Client)
+	return nil
+}
+
+func (r *Resolver) client(addr string) *rpc.Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.clients[addr]
+	if !ok {
+		var opts []rpc.ClientOption
+		if r.auth != nil {
+			opts = append(opts, rpc.WithClientWrapper(r.auth.WrapClient))
+		}
+		c = rpc.NewClient(r.net, r.site, addr, opts...)
+		r.clients[addr] = c
+	}
+	return c
+}
+
+// Lookup maps an object identifier to the contact addresses of the
+// nearest replicas. The returned cost is the virtual network cost of the
+// whole lookup path (up the tree, down the pointers, and back).
+func (r *Resolver) Lookup(oid ids.OID) ([]ContactAddress, time.Duration, error) {
+	resp, cost, err := r.client(r.leaf.Route(oid)).Call(OpLookup, encodeOID(oid))
+	if err != nil {
+		return nil, cost, err
+	}
+	addrs, err := DecodeAddrs(resp)
+	if err != nil {
+		return nil, cost, err
+	}
+	if len(addrs) == 0 {
+		return nil, cost, fmt.Errorf("%w: %s", ErrNotFound, oid.Short())
+	}
+	return addrs, cost, nil
+}
+
+// Insert registers a contact address in the client's leaf domain. A nil
+// oid asks the service to allocate a fresh identifier; the identifier
+// actually registered is returned either way.
+func (r *Resolver) Insert(oid ids.OID, ca ContactAddress) (ids.OID, time.Duration, error) {
+	return r.insertAt(r.leaf, oid, ca)
+}
+
+// InsertAt registers a contact address at an arbitrary directory node
+// instead of the client's leaf. Storing addresses at an intermediate
+// node trades lookup locality for cheaper updates on highly mobile
+// objects (§3.5); the E2 ablation uses this.
+func (r *Resolver) InsertAt(node Ref, oid ids.OID, ca ContactAddress) (ids.OID, time.Duration, error) {
+	return r.insertAt(node, oid, ca)
+}
+
+func (r *Resolver) insertAt(node Ref, oid ids.OID, ca ContactAddress) (ids.OID, time.Duration, error) {
+	if node.IsZero() {
+		return ids.Nil, 0, ErrNoAddrs
+	}
+	// Allocating the identifier client-side keeps subnode routing
+	// consistent: the request must reach the subnode that will own the
+	// identifier, which cannot be known before the identifier exists.
+	if oid.IsNil() {
+		oid = ids.New()
+	}
+	w := wire.NewWriter(96)
+	w.OID(oid)
+	ca.encode(w)
+	resp, cost, err := r.client(node.Route(oid)).Call(OpInsert, w.Bytes())
+	if err != nil {
+		return ids.Nil, cost, err
+	}
+	got, err := ids.FromBytes(resp)
+	if err != nil {
+		return ids.Nil, cost, err
+	}
+	return got, cost, nil
+}
+
+// Delete deregisters the contact address with the given transport
+// address from the client's leaf domain.
+func (r *Resolver) Delete(oid ids.OID, addr string) (time.Duration, error) {
+	return r.DeleteAt(r.leaf, oid, addr)
+}
+
+// DeleteAt deregisters from an arbitrary directory node; the counterpart
+// of InsertAt.
+func (r *Resolver) DeleteAt(node Ref, oid ids.OID, addr string) (time.Duration, error) {
+	if node.IsZero() {
+		return 0, ErrNoAddrs
+	}
+	w := wire.NewWriter(64)
+	w.OID(oid)
+	w.Str(addr)
+	_, cost, err := r.client(node.Route(oid)).Call(OpDelete, w.Bytes())
+	return cost, err
+}
+
+// Stats fetches the operation counters of one subnode.
+func (r *Resolver) Stats(addr string) (Counters, error) {
+	resp, _, err := r.client(addr).Call(OpStats, nil)
+	if err != nil {
+		return Counters{}, err
+	}
+	rd := wire.NewReader(resp)
+	c := decodeCounters(rd)
+	if err := rd.Done(); err != nil {
+		return Counters{}, err
+	}
+	return c, nil
+}

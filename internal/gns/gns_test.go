@@ -1,0 +1,459 @@
+package gns
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gdn/internal/dns"
+	"gdn/internal/ids"
+	"gdn/internal/netsim"
+	"gdn/internal/sec"
+)
+
+func TestNameToDNSAndBack(t *testing.T) {
+	cases := []struct {
+		object string
+		zone   string
+		dns    string
+	}{
+		{"/apps/graphics/gimp", "gdn.cs.vu.nl", "gimp.graphics.apps.gdn.cs.vu.nl"},
+		{"/nl/vu/cs/globe/somepackage", "", "somepackage.globe.cs.vu.nl"},
+		{"/apps", "gdn.cs.vu.nl", "apps.gdn.cs.vu.nl"},
+		{"/", "gdn.cs.vu.nl", "gdn.cs.vu.nl"},
+	}
+	for _, c := range cases {
+		got, err := NameToDNS(c.object, c.zone)
+		if err != nil {
+			t.Fatalf("NameToDNS(%q): %v", c.object, err)
+		}
+		if got != c.dns {
+			t.Errorf("NameToDNS(%q, %q) = %q, want %q", c.object, c.zone, got, c.dns)
+		}
+		back, err := DNSToName(got, c.zone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := strings.ToLower(c.object)
+		if back != want {
+			t.Errorf("DNSToName(%q) = %q, want %q", got, back, want)
+		}
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	bad := []string{"apps/gimp", "/apps//gimp", "/apps/Gi mp", "/-bad", "/" + strings.Repeat("x", 64)}
+	for _, name := range bad {
+		if _, err := NameToDNS(name, "zone"); err == nil {
+			t.Errorf("NameToDNS(%q) must fail", name)
+		}
+	}
+	// Upper case is folded, mirroring DNS case-insensitivity.
+	got, err := NameToDNS("/Apps/Graphics/Gimp", "zone")
+	if err != nil || got != "gimp.graphics.apps.zone" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestParentDirs(t *testing.T) {
+	dirs, err := ParentDirs("/apps/graphics/gimp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/apps/graphics", "/apps", "/"}
+	if len(dirs) != len(want) {
+		t.Fatalf("dirs = %v", dirs)
+	}
+	for i := range want {
+		if dirs[i] != want[i] {
+			t.Fatalf("dirs = %v, want %v", dirs, want)
+		}
+	}
+}
+
+func TestOIDRecordRoundTrip(t *testing.T) {
+	f := func(seed string) bool {
+		oid := ids.Derive(seed)
+		got, ok := DecodeOIDRecord(EncodeOIDRecord(oid))
+		return ok && got == oid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := DecodeOIDRecord("entry=foo"); ok {
+		t.Fatal("entry record must not parse as OID")
+	}
+	if _, ok := DecodeOIDRecord("globe-oid=nothex"); ok {
+		t.Fatal("bad hex must not parse")
+	}
+}
+
+// gnsWorld assembles a complete naming stack: two authoritative name
+// servers for the GDN zone, a naming authority pushing signed updates
+// to both, and a caching resolver for clients.
+type gnsWorld struct {
+	net       *netsim.Network
+	servers   []*dns.Server
+	zones     []*dns.Zone
+	authority *Authority
+	resolver  *dns.Resolver
+	service   *NameService
+	client    *Client
+}
+
+const testZone = "gdn.cs.vu.nl"
+
+func newGNSWorld(t *testing.T, batchSize int, auth *sec.Config, clientAuth *sec.Config) *gnsWorld {
+	t.Helper()
+	net := netsim.New(nil)
+	net.AddSite("ns1", "eu-nl", "eu")
+	net.AddSite("ns2", "us-ca", "us")
+	net.AddSite("na", "eu-nl", "eu")
+	net.AddSite("client", "eu-de", "eu")
+
+	w := &gnsWorld{net: net}
+	secret := []byte("na-secret")
+	for _, site := range []string{"ns1", "ns2"} {
+		srv, err := dns.ServeDNS(net, site+":dns", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		zone := dns.NewZone(testZone)
+		zone.AllowUpdate("na-key", secret)
+		srv.AddZone(zone)
+		srv.SetClock(func() int64 { return 0 })
+		w.servers = append(w.servers, srv)
+		w.zones = append(w.zones, zone)
+	}
+
+	authority, err := StartAuthority(net, AuthorityConfig{
+		Zone:       testZone,
+		Site:       "na",
+		Addr:       "na:gns-authority",
+		Servers:    []string{"ns1:dns", "ns2:dns"},
+		TSIGKey:    "na-key",
+		TSIGSecret: secret,
+		BatchSize:  batchSize,
+		Auth:       auth,
+		Now:        func() int64 { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { authority.Close() })
+	w.authority = authority
+
+	w.resolver = dns.NewResolver(net, "client", []string{"ns1:dns", "ns2:dns"})
+	t.Cleanup(func() { w.resolver.Close() })
+	w.service = NewNameService(w.resolver, testZone)
+	w.client = NewClient(net, "client", "na:gns-authority", clientAuth)
+	t.Cleanup(func() { w.client.Close() })
+	return w
+}
+
+func TestAddResolveRemove(t *testing.T) {
+	w := newGNSWorld(t, 1, nil, nil)
+	oid := ids.Derive("gimp")
+
+	if _, err := w.client.Add("/apps/graphics/Gimp", oid); err != nil {
+		t.Fatal(err)
+	}
+
+	got, cost, err := w.service.Resolve("/apps/graphics/gimp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != oid {
+		t.Fatalf("resolved %s, want %s", got, oid)
+	}
+	if cost <= 0 {
+		t.Fatal("first resolution must cost network traffic")
+	}
+
+	// Both name servers received the update.
+	for i, zone := range w.zones {
+		if zone.Serial() == 0 {
+			t.Fatalf("server %d never saw an update", i)
+		}
+	}
+
+	if _, err := w.client.Remove("/apps/graphics/gimp"); err != nil {
+		t.Fatal(err)
+	}
+	w.resolver.FlushCache()
+	if _, _, err := w.service.Resolve("/apps/graphics/gimp"); err == nil {
+		t.Fatal("resolve after remove must fail")
+	}
+}
+
+func TestDuplicateAndMissingNames(t *testing.T) {
+	w := newGNSWorld(t, 1, nil, nil)
+	oid := ids.Derive("x")
+	if _, err := w.client.Add("/apps/x", oid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.Add("/apps/x", ids.Derive("y")); err == nil {
+		t.Fatal("duplicate add must fail")
+	} else if !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if _, err := w.client.Remove("/apps/nope"); err == nil {
+		t.Fatal("removing unknown name must fail")
+	}
+}
+
+func TestMultipleNamesOneObject(t *testing.T) {
+	// "A package is allowed to have more than one name so we can have
+	// multiple classifications" (§5).
+	w := newGNSWorld(t, 1, nil, nil)
+	oid := ids.Derive("gimp")
+	for _, name := range []string{"/apps/graphics/gimp", "/apps/photography/gimp"} {
+		if _, err := w.client.Add(name, oid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"/apps/graphics/gimp", "/apps/photography/gimp"} {
+		got, _, err := w.service.Resolve(name)
+		if err != nil || got != oid {
+			t.Fatalf("resolve %s = %v, %v", name, got, err)
+		}
+	}
+}
+
+func TestDirectoryListing(t *testing.T) {
+	w := newGNSWorld(t, 1, nil, nil)
+	names := []string{"/apps/graphics/gimp", "/apps/graphics/xv", "/apps/tex/tetex", "/os/linux/debian"}
+	for _, n := range names {
+		if _, err := w.client.Add(n, ids.Derive(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	kids, _, err := w.service.List("/apps/graphics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 2 || kids[0] != "gimp" || kids[1] != "xv" {
+		t.Fatalf("graphics children = %v", kids)
+	}
+	kids, _, err = w.service.List("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 2 || kids[0] != "apps" || kids[1] != "os" {
+		t.Fatalf("root children = %v", kids)
+	}
+
+	// Removing the only TeX package prunes /apps/tex from /apps but
+	// keeps /apps itself (graphics is still there).
+	if _, err := w.client.Remove("/apps/tex/tetex"); err != nil {
+		t.Fatal(err)
+	}
+	w.resolver.FlushCache()
+	kids, _, err = w.service.List("/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 1 || kids[0] != "graphics" {
+		t.Fatalf("apps children after prune = %v", kids)
+	}
+}
+
+func TestUpdateBatching(t *testing.T) {
+	w := newGNSWorld(t, 50, nil, nil)
+
+	// 10 adds stage ~21 records (10 OIDs + 11 directory entries), under
+	// the batch threshold: nothing sent yet.
+	for i := 0; i < 10; i++ {
+		name := "/apps/pkg-" + string(rune('a'+i))
+		if _, err := w.client.Add(name, ids.Derive(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.authority.Flushes(); got != 0 {
+		t.Fatalf("flushes = %d before threshold", got)
+	}
+	pending, err := w.client.Pending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pending == 0 {
+		t.Fatal("updates must be staged")
+	}
+	if _, _, err := w.service.Resolve("/apps/pkg-a"); err == nil {
+		t.Fatal("unflushed names must not resolve yet")
+	}
+
+	// An explicit flush delivers everything as one update message.
+	if _, err := w.client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.authority.Flushes(); got != 1 {
+		t.Fatalf("flushes = %d after explicit flush", got)
+	}
+	if got := w.zones[0].Serial(); got != 1 {
+		t.Fatalf("zone serial = %d: batch must be one transaction", got)
+	}
+	w.resolver.FlushCache()
+	if _, _, err := w.service.Resolve("/apps/pkg-a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crossing the threshold flushes automatically.
+	for i := 0; i < 30; i++ {
+		name := fmt.Sprintf("/os/auto%d", i)
+		if _, err := w.client.Add(name, ids.Derive(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.authority.Flushes(); got < 2 {
+		t.Fatalf("flushes = %d, want automatic flush past threshold", got)
+	}
+}
+
+func TestResolutionUsesResolverCache(t *testing.T) {
+	w := newGNSWorld(t, 1, nil, nil)
+	oid := ids.Derive("gimp")
+	if _, err := w.client.Add("/apps/gimp", oid); err != nil {
+		t.Fatal(err)
+	}
+	if _, cost, err := w.service.Resolve("/apps/gimp"); err != nil || cost == 0 {
+		t.Fatalf("first resolve: cost=%v err=%v", cost, err)
+	}
+	_, cost, err := w.service.Resolve("/apps/gimp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Fatalf("cached resolve must be free, cost=%v", cost)
+	}
+}
+
+func TestAuthorityAdmissionControl(t *testing.T) {
+	ca, err := sec.NewAuthority("gdn-root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	naCreds, err := sec.NewCredentials(ca, sec.Principal(sec.RoleGNS, "na"), sec.RoleGNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modCreds, err := sec.NewCredentials(ca, sec.Principal(sec.RoleModerator, "alice"), sec.RoleModerator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	userCreds, err := sec.NewCredentials(ca, sec.Principal(sec.RoleUser, "mallory"), sec.RoleUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serverAuth := &sec.Config{Creds: naCreds, TrustAnchors: ca.Anchors(), RequireClientAuth: true}
+	modAuth := &sec.Config{Creds: modCreds, TrustAnchors: ca.Anchors()}
+	w := newGNSWorld(t, 1, serverAuth, modAuth)
+
+	if _, err := w.client.Add("/apps/ok", ids.Derive("ok")); err != nil {
+		t.Fatalf("moderator add: %v", err)
+	}
+
+	mallory := NewClient(w.net, "client", "na:gns-authority", &sec.Config{
+		Creds:        userCreds,
+		TrustAnchors: ca.Anchors(),
+	})
+	defer mallory.Close()
+	if _, err := mallory.Add("/apps/evil", ids.Derive("evil")); err == nil {
+		t.Fatal("user add must be rejected")
+	}
+	if _, err := mallory.Remove("/apps/ok"); err == nil {
+		t.Fatal("user remove must be rejected")
+	}
+
+	// Resolution needs no credentials at all: reads go through plain DNS.
+	if _, _, err := w.service.Resolve("/apps/ok"); err != nil {
+		t.Fatalf("anonymous resolve: %v", err)
+	}
+}
+
+func TestAuthoritySnapshotRestoreAndResync(t *testing.T) {
+	w := newGNSWorld(t, 1, nil, nil)
+	names := []string{"/apps/a", "/apps/b", "/os/c"}
+	for _, n := range names {
+		if _, err := w.client.Add(n, ids.Derive(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := w.authority.Snapshot()
+
+	// A replacement authority restores the table and can re-push the
+	// whole zone to a fresh name server.
+	w.authority.Close()
+	net := w.net
+	secret := []byte("na-secret")
+	restored, err := StartAuthority(net, AuthorityConfig{
+		Zone: testZone, Site: "na", Addr: "na:gns-authority2",
+		Servers: []string{"ns1:dns", "ns2:dns"},
+		TSIGKey: "na-key", TSIGSecret: secret,
+		Now: func() int64 { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	got := restored.Names()
+	if len(got) != len(names) {
+		t.Fatalf("restored names = %v", got)
+	}
+
+	// Wipe one server's zone, then resync.
+	fresh := dns.NewZone(testZone)
+	fresh.AllowUpdate("na-key", secret)
+	w.servers[0].AddZone(fresh)
+	if err := restored.ResyncZone(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Dump()) == 0 {
+		t.Fatal("resync must repopulate the zone")
+	}
+	w.resolver.FlushCache()
+	if _, _, err := w.service.Resolve("/apps/a"); err != nil {
+		t.Fatalf("resolve after resync: %v", err)
+	}
+}
+
+func TestRestoreRejectsWrongZone(t *testing.T) {
+	w := newGNSWorld(t, 1, nil, nil)
+	other, err := StartAuthority(w.net, AuthorityConfig{
+		Zone: "other.zone", Site: "na", Addr: "na:gns-other",
+		Servers: []string{"ns1:dns"},
+		TSIGKey: "k", TSIGSecret: []byte("s"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if err := other.Restore(w.authority.Snapshot()); err == nil {
+		t.Fatal("cross-zone restore must fail")
+	}
+}
+
+func TestErrNotFoundPlumbing(t *testing.T) {
+	w := newGNSWorld(t, 1, nil, nil)
+	_, _, err := w.service.Resolve("/apps/ghost")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// The DNS layer answers NXDOMAIN; the service surfaces an error the
+	// caller can branch on without string matching.
+	var isNX bool
+	if strings.Contains(err.Error(), "NXDOMAIN") || errors.Is(err, ErrNotFound) {
+		isNX = true
+	}
+	if !isNX {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+}

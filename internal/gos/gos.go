@@ -1,0 +1,574 @@
+// Package gos implements the Globe Object Server: "an application-
+// independent daemon for hosting replicas of any kind of distributed
+// shared object" (paper §4). A GOS accepts commands from moderator
+// tools — create the first replica of a new object, bind to an
+// existing object and create an additional replica, remove a replica —
+// registers the replicas it hosts with the Globe Location Service, and
+// checkpoints their state to disk so they "save their state during a
+// reboot and reconstruct themselves afterwards" (§4).
+//
+// Security follows §6.1: when configured with credentials, the command
+// endpoint accepts state-changing commands only from authenticated
+// moderators and administrators, and the GLS registrations it performs
+// carry the server's own GOS identity.
+package gos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gdn/internal/core"
+	"gdn/internal/gls"
+	"gdn/internal/ids"
+	"gdn/internal/rpc"
+	"gdn/internal/sec"
+	"gdn/internal/transport"
+	"gdn/internal/wire"
+)
+
+// Command operation codes.
+const (
+	// OpCreateReplica creates (and registers) one replica. A nil object
+	// identifier in the request asks the server to create the first
+	// replica of a brand-new object, allocating the identifier as part
+	// of location-service registration (§6.1).
+	OpCreateReplica uint16 = iota + 1
+	// OpRemoveReplica tears one replica down and deregisters it.
+	OpRemoveReplica
+	// OpListReplicas returns the hosted replicas.
+	OpListReplicas
+	// OpCheckpoint forces all hosted replicas' state to stable storage.
+	OpCheckpoint
+	// OpServerInfo returns the server's replica-traffic address and
+	// hosted-replica count; moderator tools use it to build contact
+	// addresses without address-derivation conventions.
+	OpServerInfo
+)
+
+// Config assembles an object server.
+type Config struct {
+	// Site is the hosting site.
+	Site string
+	// CmdAddr is the command endpoint moderator tools talk to.
+	CmdAddr string
+	// ObjAddr is the replica-traffic endpoint (the dispatcher); it is
+	// the address part of every contact address this server registers.
+	ObjAddr string
+	// Runtime supplies the implementation registry and the location-
+	// service resolver used for registration.
+	Runtime *core.Runtime
+	// StateDir is the checkpoint directory; "" disables persistence.
+	StateDir string
+	// Auth protects both endpoints when non-nil. Commands additionally
+	// require the moderator or admin role (§6.1, requirement 1).
+	Auth *sec.Config
+	// Logf receives diagnostics; nil discards them.
+	Logf func(string, ...any)
+}
+
+// hosted is one replica this server runs.
+type hosted struct {
+	lr   *core.LR
+	spec core.ReplicaSpec
+	ca   gls.ContactAddress
+}
+
+// Server is a running Globe Object Server.
+type Server struct {
+	cfg Config
+	net transport.Network
+
+	disp *core.Dispatcher
+	cmd  *rpc.Server
+
+	mu      sync.Mutex
+	objects map[ids.OID]*hosted
+}
+
+// Start launches an object server and recovers any replicas found in
+// its state directory, re-registering their contact addresses.
+func Start(net transport.Network, cfg Config) (*Server, error) {
+	if cfg.Runtime == nil {
+		return nil, fmt.Errorf("gos: config needs a runtime")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{cfg: cfg, net: net, objects: make(map[ids.OID]*hosted)}
+
+	disp, err := core.NewDispatcher(net, cfg.Site, cfg.ObjAddr, cfg.Auth, cfg.Logf)
+	if err != nil {
+		return nil, err
+	}
+	s.disp = disp
+
+	opts := []rpc.ServerOption{rpc.WithServerLog(cfg.Logf)}
+	if cfg.Auth != nil {
+		opts = append(opts, rpc.WithServerWrapper(cfg.Auth.WrapServer))
+	}
+	cmd, err := rpc.Serve(net, cfg.CmdAddr, s.handle, opts...)
+	if err != nil {
+		disp.Close()
+		return nil, err
+	}
+	s.cmd = cmd
+
+	if err := s.recover(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Addr returns the command endpoint address.
+func (s *Server) Addr() string { return s.cfg.CmdAddr }
+
+// ObjAddr returns the replica-traffic endpoint address.
+func (s *Server) ObjAddr() string { return s.disp.Addr() }
+
+// Hosted returns the number of replicas this server runs.
+func (s *Server) Hosted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+// HostedLR returns the local representative for an object, if hosted.
+// Experiments use it to reach protocol statistics.
+func (s *Server) HostedLR(oid ids.OID) (*core.LR, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.objects[oid]
+	if !ok {
+		return nil, false
+	}
+	return h.lr, true
+}
+
+// Close stops the server without deregistering replicas — the behaviour
+// of a crash or an abrupt reboot. Checkpoints and location-service
+// registrations survive, which is what recovery builds on.
+func (s *Server) Close() error {
+	err := s.cmd.Close()
+	if derr := s.disp.Close(); err == nil {
+		err = derr
+	}
+	s.mu.Lock()
+	objects := s.objects
+	s.objects = make(map[ids.OID]*hosted)
+	s.mu.Unlock()
+	for _, h := range objects {
+		h.lr.Close()
+	}
+	return err
+}
+
+// Shutdown checkpoints every replica, then closes. This is the orderly
+// reboot path of §4.
+func (s *Server) Shutdown() error {
+	if err := s.CheckpointAll(); err != nil {
+		return err
+	}
+	return s.Close()
+}
+
+func (s *Server) handle(call *rpc.Call) ([]byte, error) {
+	if err := s.authorize(call); err != nil {
+		return nil, err
+	}
+	switch call.Op {
+	case OpCreateReplica:
+		return s.handleCreate(call)
+	case OpRemoveReplica:
+		return s.handleRemove(call)
+	case OpListReplicas:
+		return s.handleList()
+	case OpCheckpoint:
+		return nil, s.CheckpointAll()
+	case OpServerInfo:
+		w := wire.NewWriter(64)
+		w.Str(s.cfg.Site)
+		w.Str(s.disp.Addr())
+		w.Uint32(uint32(s.Hosted()))
+		return w.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("gos: unknown op %d", call.Op)
+	}
+}
+
+// authorize admits only moderators and administrators to the command
+// endpoint (§6.1: "A Globe Object Server should accept only commands
+// sent by a GDN moderator"). Fellow object servers are admitted too:
+// replica-creation fan-out may be delegated.
+func (s *Server) authorize(call *rpc.Call) error {
+	if s.cfg.Auth == nil {
+		return nil
+	}
+	if !sec.HasRole(call.Peer, sec.RoleModerator, sec.RoleAdmin, sec.RoleGOS) {
+		return fmt.Errorf("%w: peer %q may not command this object server", sec.ErrUnauthorized, call.Peer)
+	}
+	return nil
+}
+
+// CreateRequest is the body of OpCreateReplica.
+type CreateRequest struct {
+	// OID is the object to replicate; nil creates a new object.
+	OID ids.OID
+	// Impl, Protocol, Role and Params mirror core.ReplicaSpec.
+	Impl     string
+	Protocol string
+	Role     string
+	Params   map[string]string
+	// Peers are contact addresses of existing representatives.
+	Peers []gls.ContactAddress
+	// InitState seeds the new replica's semantics state; nil leaves it
+	// empty (or lets the protocol fetch it from peers).
+	InitState []byte
+}
+
+// Encode serializes the request.
+func (cr CreateRequest) Encode() []byte {
+	w := wire.NewWriter(256)
+	w.OID(cr.OID)
+	w.Str(cr.Impl)
+	w.Str(cr.Protocol)
+	w.Str(cr.Role)
+	keys := make([]string, 0, len(cr.Params))
+	for k := range cr.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Count(len(keys))
+	for _, k := range keys {
+		w.Str(k)
+		w.Str(cr.Params[k])
+	}
+	w.Bytes32(gls.EncodeAddrs(cr.Peers))
+	if cr.InitState == nil {
+		w.Bool(false)
+	} else {
+		w.Bool(true)
+		w.Bytes32(cr.InitState)
+	}
+	return w.Bytes()
+}
+
+func decodeCreateRequest(b []byte) (CreateRequest, error) {
+	r := wire.NewReader(b)
+	var cr CreateRequest
+	cr.OID = r.OID()
+	cr.Impl = r.Str()
+	cr.Protocol = r.Str()
+	cr.Role = r.Str()
+	n := r.Count()
+	if r.Err() != nil {
+		return CreateRequest{}, r.Err()
+	}
+	if n > 0 {
+		cr.Params = make(map[string]string, n)
+	}
+	for i := 0; i < n; i++ {
+		k := r.Str()
+		cr.Params[k] = r.Str()
+	}
+	peerBytes := r.Bytes32()
+	hasState := r.Bool()
+	if hasState {
+		cr.InitState = append([]byte(nil), r.Bytes32()...)
+	}
+	if err := r.Done(); err != nil {
+		return CreateRequest{}, err
+	}
+	peers, err := gls.DecodeAddrs(peerBytes)
+	if err != nil {
+		return CreateRequest{}, err
+	}
+	cr.Peers = peers
+	return cr, nil
+}
+
+func (s *Server) handleCreate(call *rpc.Call) ([]byte, error) {
+	req, err := decodeCreateRequest(call.Body)
+	if err != nil {
+		return nil, err
+	}
+	oid, ca, cost, err := s.create(req)
+	call.Charge(cost)
+	if err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(96)
+	w.OID(oid)
+	w.Bytes32(gls.EncodeAddrs([]gls.ContactAddress{ca}))
+	return w.Bytes(), nil
+}
+
+// create constructs, registers and checkpoints one replica.
+func (s *Server) create(req CreateRequest) (oid ids.OID, ca gls.ContactAddress, cost time.Duration, err error) {
+	oid = req.OID
+	if oid.IsNil() {
+		// First replica of a new object: the identifier is allocated as
+		// part of registration (§6.1); the resolver library draws it.
+		oid = ids.New()
+	}
+	s.mu.Lock()
+	_, exists := s.objects[oid]
+	s.mu.Unlock()
+	if exists {
+		return ids.Nil, gls.ContactAddress{}, 0, fmt.Errorf("gos: already hosting a replica of %s", oid.Short())
+	}
+
+	spec := core.ReplicaSpec{
+		OID:       oid,
+		Impl:      req.Impl,
+		Protocol:  req.Protocol,
+		Role:      req.Role,
+		Params:    req.Params,
+		Peers:     req.Peers,
+		InitState: req.InitState,
+	}
+	lr, ca, err := s.cfg.Runtime.NewReplica(spec, s.disp)
+	if err != nil {
+		return ids.Nil, gls.ContactAddress{}, 0, err
+	}
+
+	_, insCost, err := s.cfg.Runtime.Resolver().Insert(oid, ca)
+	if err != nil {
+		lr.Close()
+		return ids.Nil, gls.ContactAddress{}, insCost, fmt.Errorf("gos: register %s: %w", oid.Short(), err)
+	}
+
+	h := &hosted{lr: lr, spec: spec, ca: ca}
+	s.mu.Lock()
+	s.objects[oid] = h
+	s.mu.Unlock()
+
+	if err := s.checkpoint(h); err != nil {
+		s.cfg.Logf("gos: checkpoint %s: %v", oid.Short(), err)
+	}
+	return oid, ca, insCost, nil
+}
+
+func (s *Server) handleRemove(call *rpc.Call) ([]byte, error) {
+	r := wire.NewReader(call.Body)
+	oid := r.OID()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	h, ok := s.objects[oid]
+	delete(s.objects, oid)
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("gos: not hosting %s", oid.Short())
+	}
+
+	cost, err := s.cfg.Runtime.Resolver().Delete(oid, s.disp.Addr())
+	call.Charge(cost)
+	if err != nil {
+		s.cfg.Logf("gos: deregister %s: %v", oid.Short(), err)
+	}
+	h.lr.Close()
+	s.removeCheckpoint(oid)
+	return nil, nil
+}
+
+// ReplicaInfo describes one hosted replica in list responses.
+type ReplicaInfo struct {
+	OID      ids.OID
+	Impl     string
+	Protocol string
+	Role     string
+}
+
+func (s *Server) handleList() ([]byte, error) {
+	s.mu.Lock()
+	infos := make([]ReplicaInfo, 0, len(s.objects))
+	for oid, h := range s.objects {
+		infos = append(infos, ReplicaInfo{OID: oid, Impl: h.spec.Impl, Protocol: h.spec.Protocol, Role: h.spec.Role})
+	}
+	s.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return ids.Compare(infos[i].OID, infos[j].OID) < 0 })
+
+	w := wire.NewWriter(64 * len(infos))
+	w.Count(len(infos))
+	for _, info := range infos {
+		w.OID(info.OID)
+		w.Str(info.Impl)
+		w.Str(info.Protocol)
+		w.Str(info.Role)
+	}
+	return w.Bytes(), nil
+}
+
+// --- persistence -----------------------------------------------------
+
+// checkpointName is the stable file name for one replica's checkpoint.
+func (s *Server) checkpointName(oid ids.OID) string {
+	return filepath.Join(s.cfg.StateDir, oid.String()+".replica")
+}
+
+// CheckpointAll writes every hosted replica's state to the state
+// directory.
+func (s *Server) CheckpointAll() error {
+	if s.cfg.StateDir == "" {
+		return nil
+	}
+	s.mu.Lock()
+	hs := make([]*hosted, 0, len(s.objects))
+	for _, h := range s.objects {
+		hs = append(hs, h)
+	}
+	s.mu.Unlock()
+	for _, h := range hs {
+		if err := s.checkpoint(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkpoint writes one replica's spec and current state atomically
+// (write to a temporary name, then rename).
+func (s *Server) checkpoint(h *hosted) error {
+	if s.cfg.StateDir == "" {
+		return nil
+	}
+	state, err := h.lr.Semantics().MarshalState()
+	if err != nil {
+		return fmt.Errorf("gos: marshal %s: %w", h.spec.OID.Short(), err)
+	}
+	w := wire.NewWriter(256 + len(state))
+	w.OID(h.spec.OID)
+	w.Str(h.spec.Impl)
+	w.Str(h.spec.Protocol)
+	w.Str(h.spec.Role)
+	keys := make([]string, 0, len(h.spec.Params))
+	for k := range h.spec.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Count(len(keys))
+	for _, k := range keys {
+		w.Str(k)
+		w.Str(h.spec.Params[k])
+	}
+	w.Bytes32(gls.EncodeAddrs(h.spec.Peers))
+	w.Bytes32(state)
+
+	name := s.checkpointName(h.spec.OID)
+	tmp := name + ".tmp"
+	if err := os.WriteFile(tmp, w.Bytes(), 0o600); err != nil {
+		return err
+	}
+	return os.Rename(tmp, name)
+}
+
+func (s *Server) removeCheckpoint(oid ids.OID) {
+	if s.cfg.StateDir == "" {
+		return
+	}
+	os.Remove(s.checkpointName(oid))
+}
+
+// rolePriority orders recovery so state-holding roles come up before
+// the roles that fetch state from them.
+func rolePriority(role string) int {
+	switch role {
+	case "server", "master", "sequencer", "":
+		return 0
+	default:
+		return 1
+	}
+}
+
+// recover reconstructs replicas from the state directory and
+// re-registers their contact addresses with the location service (§4).
+func (s *Server) recover() error {
+	if s.cfg.StateDir == "" {
+		return nil
+	}
+	entries, err := os.ReadDir(s.cfg.StateDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return os.MkdirAll(s.cfg.StateDir, 0o700)
+		}
+		return err
+	}
+
+	type pending struct {
+		spec core.ReplicaSpec
+	}
+	var specs []pending
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".replica") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(s.cfg.StateDir, e.Name()))
+		if err != nil {
+			return err
+		}
+		spec, err := decodeCheckpoint(b)
+		if err != nil {
+			return fmt.Errorf("gos: checkpoint %s: %w", e.Name(), err)
+		}
+		specs = append(specs, pending{spec: spec})
+	}
+	sort.SliceStable(specs, func(i, j int) bool {
+		return rolePriority(specs[i].spec.Role) < rolePriority(specs[j].spec.Role)
+	})
+
+	for _, p := range specs {
+		lr, ca, err := s.cfg.Runtime.NewReplica(p.spec, s.disp)
+		if err != nil {
+			return fmt.Errorf("gos: recover %s: %w", p.spec.OID.Short(), err)
+		}
+		if _, _, err := s.cfg.Runtime.Resolver().Insert(p.spec.OID, ca); err != nil {
+			lr.Close()
+			return fmt.Errorf("gos: re-register %s: %w", p.spec.OID.Short(), err)
+		}
+		s.mu.Lock()
+		s.objects[p.spec.OID] = &hosted{lr: lr, spec: p.spec, ca: ca}
+		s.mu.Unlock()
+		s.cfg.Logf("gos: recovered replica %s (%s/%s)", p.spec.OID.Short(), p.spec.Protocol, p.spec.Role)
+	}
+	return nil
+}
+
+func decodeCheckpoint(b []byte) (core.ReplicaSpec, error) {
+	r := wire.NewReader(b)
+	var spec core.ReplicaSpec
+	spec.OID = r.OID()
+	spec.Impl = r.Str()
+	spec.Protocol = r.Str()
+	spec.Role = r.Str()
+	n := r.Count()
+	if r.Err() != nil {
+		return core.ReplicaSpec{}, r.Err()
+	}
+	if n > 0 {
+		spec.Params = make(map[string]string, n)
+	}
+	for i := 0; i < n; i++ {
+		k := r.Str()
+		spec.Params[k] = r.Str()
+	}
+	peerBytes := r.Bytes32()
+	state := r.Bytes32()
+	if err := r.Done(); err != nil {
+		return core.ReplicaSpec{}, err
+	}
+	peers, err := gls.DecodeAddrs(peerBytes)
+	if err != nil {
+		return core.ReplicaSpec{}, err
+	}
+	spec.Peers = peers
+	spec.InitState = append([]byte(nil), state...)
+	return spec, nil
+}

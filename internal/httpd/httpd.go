@@ -1,0 +1,493 @@
+// Package httpd implements the GDN-enabled HTTPD (paper §4): the web
+// server that makes the GDN reachable from standard browsers. URLs
+// embed the name of a package DSO; the server extracts the name, binds
+// to the object through the Globe runtime, and renders listings or
+// streams file contents.
+//
+// Two flavours exist, selected by Config.CacheObjects:
+//
+//   - the plain GDN-HTTPD binds ordinary client proxies, so every file
+//     read travels to the nearest replica;
+//   - the caching flavour (the paper's "the local representative that
+//     is installed in the GDN-HTTPD during binding may act as a
+//     replica for the DSO, in which case downloading a software
+//     package is fast") installs a cache-protocol replica instead, so
+//     repeated downloads are served from local state. The same
+//     configuration with user credentials is the GDN-enabled proxy
+//     server users run on their own machines.
+//
+// URL space:
+//
+//	/                      → redirect to /browse/
+//	/browse/<dir>          → directory listing from the name service
+//	/pkg/<name>            → package contents listing
+//	/pkg/<name>/-/<file>   → file download ("/-/" separates the object
+//	                         name from the file path, both of which
+//	                         contain slashes)
+//
+// The handler is a standard net/http.Handler, so the daemon serves real
+// browsers while tests and experiments drive it in-process; the virtual
+// network cost of each request is reported in the X-GDN-Cost header.
+package httpd
+
+import (
+	"errors"
+	"fmt"
+	"html/template"
+	"net/http"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gdn/internal/core"
+	"gdn/internal/gls"
+	"gdn/internal/gns"
+	"gdn/internal/ids"
+	"gdn/internal/pkgobj"
+	"gdn/internal/repl"
+)
+
+// Config assembles a GDN-enabled HTTPD.
+type Config struct {
+	// Runtime supplies binding; it must have both a resolver and a name
+	// service.
+	Runtime *core.Runtime
+	// CacheObjects installs cache-protocol replicas instead of plain
+	// proxies during binding.
+	CacheObjects bool
+	// Disp is the dispatcher for hosted cache replicas; required when
+	// CacheObjects is set.
+	Disp *core.Dispatcher
+	// CacheParams tunes the cache subobjects (ttl, mode).
+	CacheParams map[string]string
+	// RegisterCaches also registers each cache replica in the location
+	// service, making this HTTPD a replica other clients can find —
+	// the paper's "may act as a replica" in full.
+	RegisterCaches bool
+	// ChunkSize is the read size for file streaming (default 256 KiB).
+	ChunkSize int64
+	// Logf receives diagnostics; nil discards them.
+	Logf func(string, ...any)
+}
+
+// Stats counts served traffic for the experiments.
+type Stats struct {
+	// Requests served, by kind.
+	Listings  int64
+	Downloads int64
+	Errors    int64
+	// BytesServed is payload bytes sent to HTTP clients.
+	BytesServed int64
+	// VirtualCost accumulates the Globe-side network cost of all
+	// requests.
+	VirtualCost time.Duration
+}
+
+// Handler is the GDN-enabled HTTPD logic.
+type Handler struct {
+	cfg Config
+
+	mu       sync.Mutex
+	bindings map[string]*binding
+	stats    Stats
+}
+
+// binding caches one bound object so repeated requests skip the
+// location lookup.
+type binding struct {
+	name string
+	stub *pkgobj.Stub
+	// registered remembers a GLS registration to undo on Close.
+	registered bool
+}
+
+// New builds a handler.
+func New(cfg Config) (*Handler, error) {
+	if cfg.Runtime == nil {
+		return nil, fmt.Errorf("httpd: config needs a runtime")
+	}
+	if cfg.Runtime.Names() == nil {
+		return nil, fmt.Errorf("httpd: runtime needs a name service")
+	}
+	if cfg.CacheObjects && cfg.Disp == nil {
+		return nil, fmt.Errorf("httpd: caching mode needs a dispatcher")
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 256 << 10
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Handler{cfg: cfg, bindings: make(map[string]*binding)}, nil
+}
+
+// Stats snapshots the handler's counters.
+func (h *Handler) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// Close releases all cached bindings and deregisters registered caches.
+func (h *Handler) Close() error {
+	h.mu.Lock()
+	bindings := h.bindings
+	h.bindings = make(map[string]*binding)
+	h.mu.Unlock()
+	for _, b := range bindings {
+		h.releaseBinding(b)
+	}
+	return nil
+}
+
+func (h *Handler) releaseBinding(b *binding) {
+	if b.registered {
+		oid := b.stub.LR().OID()
+		if _, err := h.cfg.Runtime.Resolver().Delete(oid, h.cfg.Disp.Addr()); err != nil {
+			h.cfg.Logf("httpd: deregister cache for %s: %v", b.name, err)
+		}
+	}
+	b.stub.Close()
+}
+
+func (h *Handler) count(f func(*Stats)) {
+	h.mu.Lock()
+	f(&h.stats)
+	h.mu.Unlock()
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		h.fail(w, http.StatusMethodNotAllowed, "only GET is supported")
+		return
+	}
+	switch {
+	case r.URL.Path == "/":
+		http.Redirect(w, r, "/browse/", http.StatusFound)
+	case strings.HasPrefix(r.URL.Path, "/browse/"):
+		h.serveBrowse(w, strings.TrimPrefix(r.URL.Path, "/browse"))
+	case strings.HasPrefix(r.URL.Path, "/pkg/"):
+		h.servePackage(w, strings.TrimPrefix(r.URL.Path, "/pkg"))
+	case r.URL.Path == "/search":
+		h.serveSearch(w, r.URL.Query().Get("q"))
+	default:
+		h.fail(w, http.StatusNotFound, "unknown path; try /browse/")
+	}
+}
+
+func (h *Handler) fail(w http.ResponseWriter, status int, msg string) {
+	h.count(func(s *Stats) { s.Errors++ })
+	http.Error(w, msg, status)
+}
+
+// splitObjectURL splits "/<object-name>[/-/<file-path>]".
+func splitObjectURL(p string) (objectName, filePath string) {
+	if i := strings.Index(p, "/-/"); i >= 0 {
+		return p[:i], p[i+3:]
+	}
+	return p, ""
+}
+
+// bind returns a (cached) binding for an object name. In caching mode
+// the binding hosts a cache replica filled from the nearest replica the
+// location service returned.
+func (h *Handler) bind(objectName string) (*binding, time.Duration, error) {
+	h.mu.Lock()
+	b, ok := h.bindings[objectName]
+	h.mu.Unlock()
+	if ok {
+		return b, 0, nil
+	}
+
+	rt := h.cfg.Runtime
+	var stub *pkgobj.Stub
+	var cost time.Duration
+	registered := false
+	if h.cfg.CacheObjects {
+		oid, nameCost, err := rt.Names().Resolve(objectName)
+		if err != nil {
+			return nil, nameCost, err
+		}
+		peers, lookupCost, err := rt.Resolver().Lookup(oid)
+		cost = nameCost + lookupCost
+		if err != nil {
+			return nil, cost, err
+		}
+		lr, ca, err := rt.NewReplica(core.ReplicaSpec{
+			OID:      oid,
+			Impl:     pkgobj.Impl,
+			Protocol: repl.Cache,
+			Role:     repl.RoleCache,
+			Params:   h.cfg.CacheParams,
+			Peers:    peers,
+		}, h.cfg.Disp)
+		if err != nil {
+			return nil, cost, err
+		}
+		if h.cfg.RegisterCaches {
+			if _, regCost, err := rt.Resolver().Insert(oid, ca); err != nil {
+				h.cfg.Logf("httpd: register cache for %s: %v", objectName, err)
+			} else {
+				cost += regCost
+				registered = true
+			}
+		}
+		stub = pkgobj.NewStub(lr)
+	} else {
+		lr, bindCost, err := rt.BindName(objectName)
+		cost = bindCost
+		if err != nil {
+			return nil, cost, err
+		}
+		stub = pkgobj.NewStub(lr)
+	}
+
+	b = &binding{name: objectName, stub: stub, registered: registered}
+	h.mu.Lock()
+	if existing, raced := h.bindings[objectName]; raced {
+		h.mu.Unlock()
+		h.releaseBinding(b)
+		return existing, cost, nil
+	}
+	h.bindings[objectName] = b
+	h.mu.Unlock()
+	return b, cost, nil
+}
+
+// dropBinding forgets a binding whose object vanished.
+func (h *Handler) dropBinding(objectName string) {
+	h.mu.Lock()
+	b, ok := h.bindings[objectName]
+	delete(h.bindings, objectName)
+	h.mu.Unlock()
+	if ok {
+		h.releaseBinding(b)
+	}
+}
+
+var browseTemplate = template.Must(template.New("browse").Parse(`<!DOCTYPE html>
+<html><head><title>GDN: {{.Dir}}</title></head>
+<body>
+<h1>Globe Distribution Network</h1>
+<h2>Directory {{.Dir}}</h2>
+<ul>
+{{range .Entries}}<li><a href="{{.Href}}">{{.Name}}</a></li>
+{{end}}</ul>
+</body></html>
+`))
+
+type browseEntry struct {
+	Name string
+	Href string
+}
+
+func (h *Handler) serveBrowse(w http.ResponseWriter, dir string) {
+	if dir == "" {
+		dir = "/"
+	}
+	names := h.cfg.Runtime.Names()
+	children, cost, err := names.List(dir)
+	h.count(func(s *Stats) { s.VirtualCost += cost })
+	if err != nil {
+		h.fail(w, http.StatusNotFound, fmt.Sprintf("directory %s: %v", dir, err))
+		return
+	}
+
+	entries := make([]browseEntry, 0, len(children))
+	for _, child := range children {
+		full := path.Join(dir, child)
+		// A child with further children is a directory; one with an OID
+		// is a package. Probe the cheap way: try resolving it.
+		if _, _, err := names.Resolve(full); err == nil {
+			entries = append(entries, browseEntry{Name: child, Href: "/pkg" + full})
+		} else {
+			entries = append(entries, browseEntry{Name: child + "/", Href: "/browse" + full})
+		}
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("X-GDN-Cost", cost.String())
+	h.count(func(s *Stats) { s.Listings++ })
+	if err := browseTemplate.Execute(w, map[string]any{"Dir": dir, "Entries": entries}); err != nil {
+		h.cfg.Logf("httpd: render browse %s: %v", dir, err)
+	}
+}
+
+var listingTemplate = template.Must(template.New("pkg").Parse(`<!DOCTYPE html>
+<html><head><title>GDN package {{.Name}}</title></head>
+<body>
+<h1>Package {{.Name}}</h1>
+{{if .Description}}<p>{{.Description}}</p>{{end}}
+<table>
+<tr><th>File</th><th>Size</th><th>SHA-256</th></tr>
+{{range .Files}}<tr><td><a href="{{.Href}}">{{.Path}}</a></td><td>{{.Size}}</td><td><code>{{.Digest}}</code></td></tr>
+{{end}}</table>
+</body></html>
+`))
+
+type listingFile struct {
+	Path   string
+	Href   string
+	Size   int64
+	Digest string
+}
+
+func (h *Handler) servePackage(w http.ResponseWriter, p string) {
+	objectName, filePath := splitObjectURL(p)
+	if objectName == "" || objectName == "/" {
+		h.fail(w, http.StatusNotFound, "missing package name")
+		return
+	}
+
+	b, bindCost, err := h.bind(objectName)
+	h.count(func(s *Stats) { s.VirtualCost += bindCost })
+	if err != nil {
+		status := http.StatusNotFound
+		if !errors.Is(err, gns.ErrNotFound) && !errors.Is(err, gls.ErrNotFound) {
+			status = http.StatusBadGateway
+		}
+		h.fail(w, status, fmt.Sprintf("package %s: %v", objectName, err))
+		return
+	}
+
+	if filePath == "" {
+		h.serveListing(w, b)
+		return
+	}
+	h.serveFile(w, b, filePath)
+}
+
+func (h *Handler) serveListing(w http.ResponseWriter, b *binding) {
+	infos, err := b.stub.ListContents()
+	cost := b.stub.TakeCost()
+	h.count(func(s *Stats) { s.VirtualCost += cost })
+	if err != nil {
+		h.dropBinding(b.name)
+		h.fail(w, http.StatusBadGateway, fmt.Sprintf("list %s: %v", b.name, err))
+		return
+	}
+	desc, _ := b.stub.GetMeta("description")
+	h.count(func(s *Stats) { s.VirtualCost += b.stub.TakeCost() })
+
+	files := make([]listingFile, 0, len(infos))
+	for _, fi := range infos {
+		files = append(files, listingFile{
+			Path:   fi.Path,
+			Href:   "/pkg" + b.name + "/-/" + fi.Path,
+			Size:   fi.Size,
+			Digest: fmt.Sprintf("%x", fi.Digest[:8]),
+		})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].Path < files[j].Path })
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("X-GDN-Cost", cost.String())
+	h.count(func(s *Stats) { s.Listings++ })
+	if err := listingTemplate.Execute(w, map[string]any{
+		"Name": b.name, "Description": desc, "Files": files,
+	}); err != nil {
+		h.cfg.Logf("httpd: render listing %s: %v", b.name, err)
+	}
+}
+
+var searchTemplate = template.Must(template.New("search").Parse(`<!DOCTYPE html>
+<html><head><title>GDN search: {{.Query}}</title></head>
+<body>
+<h1>Search results for &quot;{{.Query}}&quot;</h1>
+<ul>
+{{range .Hits}}<li><a href="{{.Href}}">{{.Name}}</a> (matched {{.Matched}})</li>
+{{end}}</ul>
+</body></html>
+`))
+
+type searchHit struct {
+	Name    string
+	Href    string
+	Matched string
+}
+
+// serveSearch walks the name space and matches the query against
+// package names and metadata — the attribute-based search the paper
+// plans beyond exact names (§2, §8).
+func (h *Handler) serveSearch(w http.ResponseWriter, query string) {
+	query = strings.ToLower(strings.TrimSpace(query))
+	if query == "" {
+		h.fail(w, http.StatusBadRequest, "missing ?q= query")
+		return
+	}
+	var hits []searchHit
+	cost, err := h.cfg.Runtime.Names().Walk("/", func(name string, _ ids.OID) error {
+		if strings.Contains(strings.ToLower(name), query) {
+			hits = append(hits, searchHit{Name: name, Href: "/pkg" + name, Matched: "name"})
+			return nil
+		}
+		b, bindCost, err := h.bind(name)
+		h.count(func(s *Stats) { s.VirtualCost += bindCost })
+		if err != nil {
+			return nil // tolerate races with removals
+		}
+		meta, err := b.stub.Meta()
+		h.count(func(s *Stats) { s.VirtualCost += b.stub.TakeCost() })
+		if err != nil {
+			return nil
+		}
+		for key, val := range meta {
+			if strings.HasPrefix(key, "gdn.") {
+				continue // internal bookkeeping is not searchable
+			}
+			if strings.Contains(strings.ToLower(val), query) {
+				hits = append(hits, searchHit{Name: name, Href: "/pkg" + name, Matched: key})
+				return nil
+			}
+		}
+		return nil
+	})
+	h.count(func(s *Stats) { s.VirtualCost += cost })
+	if err != nil {
+		h.fail(w, http.StatusBadGateway, fmt.Sprintf("search: %v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	h.count(func(s *Stats) { s.Listings++ })
+	if err := searchTemplate.Execute(w, map[string]any{"Query": query, "Hits": hits}); err != nil {
+		h.cfg.Logf("httpd: render search: %v", err)
+	}
+}
+
+// serveFile streams a file in chunks so large files never materialize
+// in one message.
+func (h *Handler) serveFile(w http.ResponseWriter, b *binding, filePath string) {
+	fi, err := b.stub.Stat(filePath)
+	if err != nil {
+		h.count(func(s *Stats) { s.VirtualCost += b.stub.TakeCost() })
+		h.fail(w, http.StatusNotFound, fmt.Sprintf("file %s in %s: %v", filePath, b.name, err))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(fi.Size))
+	w.Header().Set("X-GDN-Digest", fmt.Sprintf("%x", fi.Digest))
+
+	var served int64
+	for off := int64(0); off < fi.Size; {
+		chunk, err := b.stub.GetFileChunk(filePath, off, h.cfg.ChunkSize)
+		if err != nil || len(chunk) == 0 {
+			h.cfg.Logf("httpd: stream %s/%s at %d: %v", b.name, filePath, off, err)
+			break
+		}
+		n, werr := w.Write(chunk)
+		served += int64(n)
+		if werr != nil {
+			break
+		}
+		off += int64(len(chunk))
+	}
+	cost := b.stub.TakeCost()
+	h.count(func(s *Stats) {
+		s.Downloads++
+		s.BytesServed += served
+		s.VirtualCost += cost
+	})
+}

@@ -1,0 +1,320 @@
+package httpd_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gdn"
+	"gdn/internal/httpd"
+)
+
+// world publishes one package and returns the world plus a running
+// HTTP test server backed by a GDN-HTTPD at the given site.
+func world(t *testing.T, site string, cfg gdn.HTTPDConfig) (*gdn.World, *httpd.Handler, *httptest.Server) {
+	t.Helper()
+	w, err := gdn.NewWorld(gdn.DefaultTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+
+	mod, err := w.Moderator("eu-nl-vu", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mod.CreatePackage("/apps/graphics/gimp", gdn.Scenario{
+		Protocol: gdn.ProtocolMasterSlave,
+		Servers:  w.GOSAddrs("eu-nl-vu", "na-ca-ucb"),
+	}, gdn.Package{
+		Files: map[string][]byte{
+			"README":          []byte("The GNU Image Manipulation Program"),
+			"src/gimp.tar":    bytes.Repeat([]byte("pixel"), 100_000),
+			"docs/manual.txt": []byte("manual text"),
+		},
+		Meta: map[string]string{"description": "image editor"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := w.HTTPD(site, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return w, h, ts
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestBrowseAndListing(t *testing.T) {
+	_, _, ts := world(t, "na-ny-cu", gdn.HTTPDConfig{})
+
+	// Root redirects to /browse/.
+	resp, body := get(t, ts.URL+"/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "apps") {
+		t.Fatalf("root browse misses /apps: %s", body)
+	}
+
+	// Descend to the package.
+	_, body = get(t, ts.URL+"/browse/apps/graphics")
+	if !strings.Contains(string(body), "/pkg/apps/graphics/gimp") {
+		t.Fatalf("directory misses package link: %s", body)
+	}
+
+	// The package listing names every file with size and digest.
+	resp, body = get(t, ts.URL+"/pkg/apps/graphics/gimp")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	page := string(body)
+	for _, want := range []string{"README", "src/gimp.tar", "docs/manual.txt", "image editor", "500000"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("listing misses %q:\n%s", want, page)
+		}
+	}
+	if resp.Header.Get("X-GDN-Cost") == "" {
+		t.Fatal("listing must report its virtual cost")
+	}
+}
+
+func TestFileDownload(t *testing.T) {
+	_, h, ts := world(t, "na-ny-cu", gdn.HTTPDConfig{})
+
+	resp, body := get(t, ts.URL+"/pkg/apps/graphics/gimp/-/src/gimp.tar")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(body) != 500_000 {
+		t.Fatalf("downloaded %d bytes, want 500000", len(body))
+	}
+	if !bytes.Equal(body, bytes.Repeat([]byte("pixel"), 100_000)) {
+		t.Fatal("content mismatch")
+	}
+	if resp.Header.Get("X-GDN-Digest") == "" {
+		t.Fatal("download must carry the integrity digest")
+	}
+	if resp.ContentLength != 500_000 {
+		t.Fatalf("content-length = %d", resp.ContentLength)
+	}
+
+	st := h.Stats()
+	if st.Downloads != 1 || st.BytesServed != 500_000 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.VirtualCost <= 0 {
+		t.Fatal("download must accumulate virtual cost")
+	}
+}
+
+func TestNotFoundPaths(t *testing.T) {
+	_, h, ts := world(t, "na-ny-cu", gdn.HTTPDConfig{})
+
+	cases := []string{
+		"/pkg/apps/graphics/nosuch",
+		"/pkg/apps/graphics/gimp/-/nosuch.file",
+		"/browse/apps/nosuchdir",
+		"/unknown/prefix",
+	}
+	for _, path := range cases {
+		resp, _ := get(t, ts.URL+path)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+	if h.Stats().Errors < int64(len(cases)) {
+		t.Fatalf("stats = %+v", h.Stats())
+	}
+}
+
+func TestMethodRestrictions(t *testing.T) {
+	_, _, ts := world(t, "na-ny-cu", gdn.HTTPDConfig{})
+	resp, err := http.Post(ts.URL+"/pkg/apps/graphics/gimp", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestCachingHTTPDServesRepeatsLocally(t *testing.T) {
+	w, h, ts := world(t, "ap-jp-ut", gdn.HTTPDConfig{
+		Caching:     true,
+		CacheParams: map[string]string{"ttl": "1h"},
+	})
+
+	// First download fills the cache replica from the nearest slave.
+	get(t, ts.URL+"/pkg/apps/graphics/gimp/-/README")
+	costAfterFirst := h.Stats().VirtualCost
+	if costAfterFirst <= 0 {
+		t.Fatal("first download must cost")
+	}
+
+	// Repeats are served from local cache state: zero added virtual
+	// cost and no new network frames.
+	before := w.Net.Meter()
+	get(t, ts.URL+"/pkg/apps/graphics/gimp/-/README")
+	if added := h.Stats().VirtualCost - costAfterFirst; added != 0 {
+		t.Fatalf("repeat download added %v virtual cost", added)
+	}
+	if diff := w.Net.Meter().Sub(before); diff.TotalFrames() != 0 {
+		t.Fatalf("repeat download sent %d frames", diff.TotalFrames())
+	}
+}
+
+func TestCachingHTTPDSeesUpdatesAfterTTL(t *testing.T) {
+	w, _, ts := world(t, "ap-jp-ut", gdn.HTTPDConfig{
+		Caching:     true,
+		CacheParams: map[string]string{"ttl": "30s"},
+	})
+	get(t, ts.URL+"/pkg/apps/graphics/gimp/-/README")
+
+	// A moderator updates the package.
+	mod, err := w.Moderator("eu-nl-vu", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mod.UpdatePackage("/apps/graphics/gimp", func(s *gdn.Stub) error {
+		return s.AddFile("README", []byte("brand new readme"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Within the TTL the proxy may serve the stale copy...
+	_, body := get(t, ts.URL+"/pkg/apps/graphics/gimp/-/README")
+	if string(body) != "The GNU Image Manipulation Program" {
+		t.Fatalf("expected stale content inside TTL, got %q", body)
+	}
+	// ...after expiry it revalidates and serves the update.
+	w.Clock.Advance(31 * time.Second)
+	_, body = get(t, ts.URL+"/pkg/apps/graphics/gimp/-/README")
+	if string(body) != "brand new readme" {
+		t.Fatalf("expected fresh content after TTL, got %q", body)
+	}
+}
+
+func TestRegisteredCacheBecomesReplica(t *testing.T) {
+	w, _, ts := world(t, "ap-jp-ut", gdn.HTTPDConfig{
+		Caching:        true,
+		CacheParams:    map[string]string{"ttl": "1h"},
+		RegisterCaches: true,
+	})
+	// Touch the package so the HTTPD binds and registers its cache.
+	get(t, ts.URL+"/pkg/apps/graphics/gimp")
+
+	// Another client in the same region now finds a replica locally:
+	// its lookup returns the HTTPD's cache.
+	rt, err := w.UserRuntime("ap-au-mu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, _, err := rt.Names().Resolve("/apps/graphics/gimp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, _, err := rt.Resolver().Lookup(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundCache := false
+	for _, ca := range addrs {
+		if ca.Role == "cache" && strings.HasPrefix(ca.Address, "ap-jp-ut:") {
+			foundCache = true
+		}
+	}
+	if !foundCache {
+		t.Fatalf("registered cache not discoverable; lookup = %v", addrs)
+	}
+}
+
+func TestConcurrentDownloads(t *testing.T) {
+	_, h, ts := world(t, "na-ny-cu", gdn.HTTPDConfig{})
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			resp, err := http.Get(ts.URL + "/pkg/apps/graphics/gimp/-/src/gimp.tar")
+			if err != nil {
+				done <- err
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err == nil && len(body) != 500_000 {
+				err = fmt.Errorf("short read: %d", len(body))
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := h.Stats(); st.Downloads != 8 {
+		t.Fatalf("downloads = %d", st.Downloads)
+	}
+}
+
+func TestAttributeSearch(t *testing.T) {
+	w, _, ts := world(t, "na-ny-cu", gdn.HTTPDConfig{})
+
+	// A second package distinguishes name-matches from meta-matches.
+	mod, err := w.Moderator("eu-nl-vu", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mod.CreatePackage("/apps/tex/tetex", gdn.Scenario{
+		Protocol: gdn.ProtocolClientServer,
+		Servers:  w.GOSAddrs("eu-nl-vu"),
+	}, gdn.Package{
+		Files: map[string][]byte{"tetex.tar": []byte("tex")},
+		Meta:  map[string]string{"description": "TeX typesetting distribution"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Meta match: "typesetting" only appears in tetex's description.
+	_, body := get(t, ts.URL+"/search?q=typesetting")
+	page := string(body)
+	if !strings.Contains(page, "/pkg/apps/tex/tetex") {
+		t.Fatalf("search misses meta match:\n%s", page)
+	}
+	if strings.Contains(page, "gimp") {
+		t.Fatalf("search over-matches:\n%s", page)
+	}
+
+	// Name match.
+	_, body = get(t, ts.URL+"/search?q=gimp")
+	if !strings.Contains(string(body), "/pkg/apps/graphics/gimp") {
+		t.Fatalf("search misses name match:\n%s", body)
+	}
+
+	// Empty query is a client error.
+	resp, _ := get(t, ts.URL+"/search")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty query = %d", resp.StatusCode)
+	}
+}

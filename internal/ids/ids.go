@@ -1,0 +1,129 @@
+// Package ids implements Globe object identifiers (OIDs).
+//
+// Every distributed shared object (DSO) in Globe is identified by a
+// worldwide-unique, location-independent object identifier that never
+// changes during the lifetime of the object (paper §3.4). An OID is an
+// opaque 160-bit string; this package provides generation, parsing,
+// comparison and the hashing used by the Globe Location Service to
+// partition directory nodes into subnodes (paper §3.5).
+package ids
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// Size is the length of an object identifier in bytes (160 bits).
+const Size = 20
+
+// OID is a worldwide-unique, location-independent object identifier.
+// The zero value is the nil OID, which identifies no object.
+type OID [Size]byte
+
+// Nil is the zero object identifier. It is never assigned to an object.
+var Nil OID
+
+// ErrBadOID is returned when parsing malformed textual identifiers.
+var ErrBadOID = errors.New("ids: malformed object identifier")
+
+// New returns a fresh random object identifier. Identifiers are drawn
+// from crypto/rand so independently operated location-service nodes can
+// allocate them without coordination, as the paper's GLS does during
+// contact-address registration.
+func New() OID {
+	var o OID
+	if _, err := rand.Read(o[:]); err != nil {
+		// crypto/rand never fails on supported platforms; an error here
+		// means the environment is unusable for identifier allocation.
+		panic("ids: crypto/rand unavailable: " + err.Error())
+	}
+	return o
+}
+
+// Derive returns the deterministic identifier for the given seed. It is
+// used by tests and simulations that need reproducible object handles.
+func Derive(seed string) OID {
+	sum := sha256.Sum256([]byte(seed))
+	var o OID
+	copy(o[:], sum[:Size])
+	return o
+}
+
+// IsNil reports whether o is the nil identifier.
+func (o OID) IsNil() bool { return o == Nil }
+
+// String returns the canonical textual form: 40 lowercase hex digits.
+func (o OID) String() string { return hex.EncodeToString(o[:]) }
+
+// Short returns an abbreviated form for logs.
+func (o OID) Short() string { return hex.EncodeToString(o[:4]) }
+
+// Parse decodes the canonical textual form produced by String.
+func Parse(s string) (OID, error) {
+	var o OID
+	if len(s) != Size*2 {
+		return Nil, fmt.Errorf("%w: want %d hex digits, got %d", ErrBadOID, Size*2, len(s))
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return Nil, fmt.Errorf("%w: %v", ErrBadOID, err)
+	}
+	copy(o[:], b)
+	return o, nil
+}
+
+// MustParse is Parse for tests and static configuration; it panics on error.
+func MustParse(s string) OID {
+	o, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// Bytes returns the identifier as a fresh byte slice.
+func (o OID) Bytes() []byte {
+	b := make([]byte, Size)
+	copy(b, o[:])
+	return b
+}
+
+// FromBytes builds an identifier from exactly Size bytes.
+func FromBytes(b []byte) (OID, error) {
+	var o OID
+	if len(b) != Size {
+		return Nil, fmt.Errorf("%w: want %d bytes, got %d", ErrBadOID, Size, len(b))
+	}
+	copy(o[:], b)
+	return o, nil
+}
+
+// Subnode returns the index, in [0, n), of the location-service subnode
+// responsible for this identifier when a directory node is partitioned
+// into n subnodes (paper §3.5). The partition function must be stable
+// across nodes, so it hashes the identifier rather than sampling it.
+func (o OID) Subnode(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	sum := sha256.Sum256(o[:])
+	v := binary.BigEndian.Uint64(sum[:8])
+	return int(v % uint64(n))
+}
+
+// Compare orders identifiers lexicographically; it returns -1, 0 or 1.
+func Compare(a, b OID) int {
+	for i := 0; i < Size; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}

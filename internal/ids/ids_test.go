@@ -1,0 +1,192 @@
+package ids
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsUnique(t *testing.T) {
+	seen := make(map[OID]bool)
+	for i := 0; i < 1000; i++ {
+		o := New()
+		if o.IsNil() {
+			t.Fatal("New returned the nil OID")
+		}
+		if seen[o] {
+			t.Fatalf("duplicate OID after %d draws: %s", i, o)
+		}
+		seen[o] = true
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		o := New()
+		got, err := Parse(o.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", o.String(), err)
+		}
+		if got != o {
+			t.Fatalf("round trip changed OID: %s != %s", got, o)
+		}
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"",
+		"abc",
+		strings.Repeat("g", 40),        // not hex
+		strings.Repeat("a", 39),        // too short
+		strings.Repeat("a", 41),        // too long
+		strings.Repeat("A", 38) + "zz", // bad tail
+		"0x" + strings.Repeat("a", 38), // prefix junk
+		strings.Repeat("a", 20) + " " + strings.Repeat("a", 19),
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	a := Derive("package:/apps/graphics/Gimp")
+	b := Derive("package:/apps/graphics/Gimp")
+	c := Derive("package:/apps/graphics/gimp")
+	if a != b {
+		t.Fatal("Derive not deterministic")
+	}
+	if a == c {
+		t.Fatal("Derive collided on distinct seeds")
+	}
+}
+
+func TestStringForm(t *testing.T) {
+	o := Derive("x")
+	s := o.String()
+	if len(s) != 40 {
+		t.Fatalf("String length = %d, want 40", len(s))
+	}
+	if strings.ToLower(s) != s {
+		t.Fatalf("String not lowercase: %q", s)
+	}
+	if len(o.Short()) != 8 {
+		t.Fatalf("Short length = %d, want 8", len(o.Short()))
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	o := New()
+	b := o.Bytes()
+	got, err := FromBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != o {
+		t.Fatal("FromBytes(Bytes()) changed OID")
+	}
+	// Bytes must be a copy, not an alias.
+	b[0] ^= 0xff
+	if got != o {
+		t.Fatal("mutating Bytes() result affected the OID")
+	}
+}
+
+func TestFromBytesRejectsWrongLength(t *testing.T) {
+	for _, n := range []int{0, 1, 19, 21, 40} {
+		if _, err := FromBytes(make([]byte, n)); err == nil {
+			t.Errorf("FromBytes(len %d) succeeded, want error", n)
+		}
+	}
+}
+
+func TestSubnodeInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		for i := 0; i < 200; i++ {
+			o := New()
+			s := o.Subnode(n)
+			if s < 0 || s >= n {
+				t.Fatalf("Subnode(%d) = %d out of range", n, s)
+			}
+		}
+	}
+}
+
+func TestSubnodeStable(t *testing.T) {
+	o := Derive("stable")
+	first := o.Subnode(8)
+	for i := 0; i < 10; i++ {
+		if o.Subnode(8) != first {
+			t.Fatal("Subnode not stable for same OID")
+		}
+	}
+}
+
+func TestSubnodeZeroAndNegative(t *testing.T) {
+	o := New()
+	if o.Subnode(0) != 0 || o.Subnode(-3) != 0 {
+		t.Fatal("Subnode with n<=1 must return 0")
+	}
+}
+
+func TestSubnodeBalance(t *testing.T) {
+	// The partition must spread load: with 4 subnodes and 4000 OIDs each
+	// bucket should get roughly 1000; allow generous slack.
+	const n, draws = 4, 4000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[New().Subnode(n)]++
+	}
+	for b, c := range counts {
+		if c < draws/n/2 || c > draws/n*2 {
+			t.Fatalf("subnode %d has %d of %d OIDs: partition badly unbalanced", b, c, draws)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := OID{}
+	b := OID{}
+	b[Size-1] = 1
+	if Compare(a, a) != 0 {
+		t.Fatal("Compare(a,a) != 0")
+	}
+	if Compare(a, b) != -1 {
+		t.Fatal("Compare(a,b) != -1")
+	}
+	if Compare(b, a) != 1 {
+		t.Fatal("Compare(b,a) != 1")
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(x, y [Size]byte) bool {
+		a, b := OID(x), OID(y)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseStringInverseProperty(t *testing.T) {
+	f := func(x [Size]byte) bool {
+		o := OID(x)
+		got, err := Parse(o.String())
+		return err == nil && got == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("nope")
+}

@@ -1,0 +1,274 @@
+package modtool_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gdn"
+	"gdn/internal/modtool"
+	"gdn/internal/pkgobj"
+)
+
+func newWorld(t *testing.T, secure bool) *gdn.World {
+	t.Helper()
+	top := gdn.DefaultTopology()
+	top.Secure = secure
+	w, err := gdn.NewWorld(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	return w
+}
+
+func moderator(t *testing.T, w *gdn.World) *modtool.Tool {
+	t.Helper()
+	mod, err := w.Moderator("eu-nl-vu", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func create(t *testing.T, w *gdn.World, mod *modtool.Tool, name string, servers ...string) gdn.OID {
+	t.Helper()
+	protocol := gdn.ProtocolMasterSlave
+	if len(servers) == 1 {
+		protocol = gdn.ProtocolClientServer
+	}
+	oid, _, err := mod.CreatePackage(name, gdn.Scenario{
+		Protocol: protocol,
+		Servers:  w.GOSAddrs(servers...),
+	}, gdn.Package{
+		Files: map[string][]byte{"README": []byte("readme for " + name)},
+		Meta:  map[string]string{"description": name},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return oid
+}
+
+func TestCreateFollowsPaperProcedure(t *testing.T) {
+	w := newWorld(t, false)
+	mod := moderator(t, w)
+
+	oid := create(t, w, mod, "/apps/graphics/gimp", "eu-nl-vu", "na-ca-ucb")
+	if oid.IsNil() {
+		t.Fatal("no OID")
+	}
+
+	// Both listed servers host a replica: master at the first, slave at
+	// the second.
+	euGOS, _ := w.GOS("eu-nl-vu")
+	naGOS, _ := w.GOS("na-ca-ucb")
+	if euGOS.Hosted() != 1 || naGOS.Hosted() != 1 {
+		t.Fatalf("hosted: eu=%d na=%d", euGOS.Hosted(), naGOS.Hosted())
+	}
+	euLR, _ := euGOS.HostedLR(oid)
+	naLR, _ := naGOS.HostedLR(oid)
+	if euLR.Role() != "master" || naLR.Role() != "slave" {
+		t.Fatalf("roles: eu=%q na=%q", euLR.Role(), naLR.Role())
+	}
+
+	// The content arrived through the scenario: a user in Asia reads it.
+	stub, _, err := w.BindPackage("ap-jp-ut", "/apps/graphics/gimp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stub.Close()
+	data, err := stub.GetFileContents("README")
+	if err != nil || !bytes.Contains(data, []byte("gimp")) {
+		t.Fatalf("read: %q, %v", data, err)
+	}
+	// The scenario is recorded in metadata for later management.
+	sc, err := mod.Scenario("/apps/graphics/gimp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Protocol != gdn.ProtocolMasterSlave || len(sc.Servers) != 2 {
+		t.Fatalf("recorded scenario = %+v", sc)
+	}
+}
+
+func TestUpdatePackage(t *testing.T) {
+	w := newWorld(t, false)
+	mod := moderator(t, w)
+	create(t, w, mod, "/apps/tex/tetex", "eu-nl-vu", "ap-jp-ut")
+
+	if _, err := mod.UpdatePackage("/apps/tex/tetex", func(s *pkgobj.Stub) error {
+		return s.AddFile("NEWS", []byte("version 1.1 released"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The update propagated to the slave in Asia.
+	stub, _, err := w.BindPackage("ap-au-mu", "/apps/tex/tetex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stub.Close()
+	data, err := stub.GetFileContents("NEWS")
+	if err != nil || !bytes.Contains(data, []byte("1.1")) {
+		t.Fatalf("slave read after update: %q, %v", data, err)
+	}
+}
+
+func TestRemovePackage(t *testing.T) {
+	w := newWorld(t, false)
+	mod := moderator(t, w)
+	oid := create(t, w, mod, "/apps/games/rogue", "eu-nl-vu", "na-ca-ucb")
+
+	if _, err := mod.RemovePackage("/apps/games/rogue"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replicas gone at both servers.
+	for _, site := range []string{"eu-nl-vu", "na-ca-ucb"} {
+		srv, _ := w.GOS(site)
+		if _, hosted := srv.HostedLR(oid); hosted {
+			t.Fatalf("%s still hosts the removed package", site)
+		}
+	}
+	// The name is gone (resolvers that never saw it get NXDOMAIN).
+	if _, _, err := w.BindPackage("eu-de-tu", "/apps/games/rogue"); err == nil {
+		t.Fatal("bind after removal must fail")
+	}
+}
+
+func TestAddReplicaWidensScenario(t *testing.T) {
+	w := newWorld(t, false)
+	mod := moderator(t, w)
+	oid := create(t, w, mod, "/os/linux/debian", "eu-nl-vu", "na-ca-ucb")
+
+	// Popularity grew in Asia: add a replica there (§3.1 adaptation).
+	if _, err := mod.AddReplica("/os/linux/debian", "ap-jp-ut:gos-cmd"); err != nil {
+		t.Fatal(err)
+	}
+	apGOS, _ := w.GOS("ap-jp-ut")
+	if _, hosted := apGOS.HostedLR(oid); !hosted {
+		t.Fatal("new replica not hosted")
+	}
+	sc, err := mod.Scenario("/os/linux/debian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Servers) != 3 {
+		t.Fatalf("scenario not widened: %+v", sc)
+	}
+
+	// Duplicate additions are refused.
+	if _, err := mod.AddReplica("/os/linux/debian", "ap-jp-ut:gos-cmd"); err == nil {
+		t.Fatal("duplicate replica must be refused")
+	}
+
+	// An Asian client now reads locally.
+	stub, _, err := w.BindPackage("ap-au-mu", "/os/linux/debian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stub.Close()
+	if _, err := stub.GetFileContents("README"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListPackages(t *testing.T) {
+	w := newWorld(t, false)
+	mod := moderator(t, w)
+	create(t, w, mod, "/apps/graphics/gimp", "eu-nl-vu")
+	create(t, w, mod, "/apps/graphics/xv", "eu-nl-vu")
+
+	names, err := mod.List("/apps/graphics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "gimp" || names[1] != "xv" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestClientServerScenarioCannotReplicate(t *testing.T) {
+	w := newWorld(t, false)
+	mod := moderator(t, w)
+	_, _, err := mod.CreatePackage("/apps/x", gdn.Scenario{
+		Protocol: gdn.ProtocolClientServer,
+		Servers:  w.GOSAddrs("eu-nl-vu", "na-ca-ucb"),
+	}, gdn.Package{Files: map[string][]byte{"f": []byte("x")}})
+	if err == nil || !strings.Contains(err.Error(), "single replica") {
+		t.Fatalf("err = %v, want single-replica refusal", err)
+	}
+}
+
+func TestSecureModerationOnly(t *testing.T) {
+	w := newWorld(t, true)
+	mod := moderator(t, w)
+	create(t, w, mod, "/apps/editors/emacs", "eu-nl-vu")
+
+	// A user cannot run moderation: their role is rejected by the GOS
+	// and the naming authority.
+	userRT, err := w.UserRuntime("na-ny-cu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	userCreds, err := w.Credentials("user", "mallory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	userTool, err := modtool.New(modtool.Config{
+		Site:            "na-ny-cu",
+		Net:             w.Net,
+		Runtime:         userRT,
+		NamingAuthority: "hub:gns-authority",
+		Auth:            userCreds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer userTool.Close()
+	if _, _, err := userTool.CreatePackage("/apps/evil", gdn.Scenario{
+		Protocol: gdn.ProtocolClientServer,
+		Servers:  w.GOSAddrs("na-ny-cu"),
+	}, gdn.Package{Files: map[string][]byte{"f": []byte("x")}}); err == nil {
+		t.Fatal("user-created package must be rejected")
+	}
+	if _, err := userTool.RemovePackage("/apps/editors/emacs"); err == nil {
+		t.Fatal("user removal must be rejected")
+	}
+}
+
+func TestModtoolSearch(t *testing.T) {
+	w := newWorld(t, false)
+	mod := moderator(t, w)
+	create(t, w, mod, "/apps/graphics/gimp", "eu-nl-vu")
+	create(t, w, mod, "/apps/tex/tetex", "eu-nl-vu")
+
+	// Descriptions were set to the package name by create(); search for
+	// a fragment that hits exactly one of them in metadata.
+	hits, err := mod.Search("/", "tetex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Name != "/apps/tex/tetex" {
+		t.Fatalf("hits = %+v", hits)
+	}
+
+	// A fragment present in both names matches both.
+	hits, err = mod.Search("/apps", "apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("hits = %+v", hits)
+	}
+
+	// No match, and empty query rejected.
+	hits, err = mod.Search("/", "nonexistent-fragment")
+	if err != nil || len(hits) != 0 {
+		t.Fatalf("hits = %+v, %v", hits, err)
+	}
+	if _, err := mod.Search("/", ""); err == nil {
+		t.Fatal("empty query must fail")
+	}
+}

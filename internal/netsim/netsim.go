@@ -1,0 +1,519 @@
+// Package netsim simulates the wide-area network the GDN deploys on.
+//
+// The paper runs Globe Object Servers, GDN HTTPDs, location-service
+// directory nodes and name servers "on machines all over the world"
+// (§4). This package provides that world in-process: named sites grouped
+// into regions, a pluggable latency/bandwidth cost model, byte metering
+// per link class (local, regional, wide-area), and failure injection
+// (site crashes and network partitions).
+//
+// The network is an implementation of transport.Network. Delivery is
+// immediate — goroutines do not sleep — but every frame carries its
+// virtual cost (propagation delay plus transmission time), which the RPC
+// layer composes along call chains. Experiments therefore run at full
+// CPU speed yet report wide-area latency and traffic shapes comparable
+// to a real deployment, which is the property the paper's claims are
+// about (see DESIGN.md §2, substitution 1).
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gdn/internal/transport"
+)
+
+// LinkClass classifies the path between two sites.
+type LinkClass int
+
+// Link classes, from cheapest to most expensive.
+const (
+	// Loopback is traffic within one site (process to process on one
+	// machine or LAN); it is never counted as network traffic.
+	Loopback LinkClass = iota
+	// Local is traffic between distinct sites in the same leaf domain,
+	// e.g. a campus network.
+	Local
+	// Regional is traffic between sites in the same region (the paper's
+	// country/MAN level of the GLS hierarchy).
+	Regional
+	// WideArea is intercontinental traffic, the scarce resource the GDN
+	// exists to conserve (§3.1).
+	WideArea
+)
+
+// String returns the link class name used in experiment tables.
+func (c LinkClass) String() string {
+	switch c {
+	case Loopback:
+		return "loopback"
+	case Local:
+		return "local"
+	case Regional:
+		return "regional"
+	case WideArea:
+		return "wide-area"
+	default:
+		return fmt.Sprintf("LinkClass(%d)", int(c))
+	}
+}
+
+// Site is one machine room in the simulated world.
+type Site struct {
+	// ID is the unique site name, e.g. "eu-nl-vu".
+	ID string
+	// Domain is the leaf domain (campus/metro) the site belongs to.
+	Domain string
+	// Region is the wide-area region (continent/country), e.g. "eu".
+	Region string
+}
+
+// CostModel prices a frame between two sites. Implementations must be
+// safe for concurrent use.
+type CostModel interface {
+	// Classify returns the link class for a path.
+	Classify(from, to Site) LinkClass
+	// Cost returns the virtual delivery cost of n payload bytes.
+	Cost(from, to Site, n int) time.Duration
+}
+
+// DefaultModel is a region-based cost model with year-2000-flavoured
+// constants: milliseconds inside a site or campus, tens of milliseconds
+// within a region, transcontinental latency and thin pipes across the
+// wide area.
+type DefaultModel struct {
+	LoopbackLatency time.Duration
+	LocalLatency    time.Duration
+	RegionalLatency time.Duration
+	WideAreaLatency time.Duration
+	// Bandwidths in bytes per second.
+	LocalBandwidth    float64
+	RegionalBandwidth float64
+	WideAreaBandwidth float64
+}
+
+// NewDefaultModel returns the model used by the experiments.
+func NewDefaultModel() *DefaultModel {
+	return &DefaultModel{
+		LoopbackLatency:   100 * time.Microsecond,
+		LocalLatency:      time.Millisecond,
+		RegionalLatency:   15 * time.Millisecond,
+		WideAreaLatency:   90 * time.Millisecond,
+		LocalBandwidth:    10e6, // 10 MB/s LAN
+		RegionalBandwidth: 2e6,  // 2 MB/s national backbone
+		WideAreaBandwidth: 250e3,
+	}
+}
+
+// Classify implements CostModel.
+func (m *DefaultModel) Classify(from, to Site) LinkClass {
+	switch {
+	case from.ID == to.ID:
+		return Loopback
+	case from.Domain == to.Domain && from.Domain != "":
+		return Local
+	case from.Region == to.Region && from.Region != "":
+		return Regional
+	default:
+		return WideArea
+	}
+}
+
+// Cost implements CostModel.
+func (m *DefaultModel) Cost(from, to Site, n int) time.Duration {
+	switch m.Classify(from, to) {
+	case Loopback:
+		return m.LoopbackLatency
+	case Local:
+		return m.LocalLatency + bwTime(n, m.LocalBandwidth)
+	case Regional:
+		return m.RegionalLatency + bwTime(n, m.RegionalBandwidth)
+	default:
+		return m.WideAreaLatency + bwTime(n, m.WideAreaBandwidth)
+	}
+}
+
+func bwTime(n int, bw float64) time.Duration {
+	if bw <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / bw * float64(time.Second))
+}
+
+// Stats is a snapshot of metered traffic.
+type Stats struct {
+	Frames map[LinkClass]int64
+	Bytes  map[LinkClass]int64
+}
+
+// TotalBytes sums bytes over all link classes.
+func (s Stats) TotalBytes() int64 {
+	var t int64
+	for _, b := range s.Bytes {
+		t += b
+	}
+	return t
+}
+
+// TotalFrames sums frames over all link classes.
+func (s Stats) TotalFrames() int64 {
+	var t int64
+	for _, f := range s.Frames {
+		t += f
+	}
+	return t
+}
+
+// Sub returns s minus earlier, for measuring an interval.
+func (s Stats) Sub(earlier Stats) Stats {
+	d := Stats{Frames: map[LinkClass]int64{}, Bytes: map[LinkClass]int64{}}
+	for c := Loopback; c <= WideArea; c++ {
+		d.Frames[c] = s.Frames[c] - earlier.Frames[c]
+		d.Bytes[c] = s.Bytes[c] - earlier.Bytes[c]
+	}
+	return d
+}
+
+// String renders the snapshot for experiment tables.
+func (s Stats) String() string {
+	var b strings.Builder
+	for c := Loopback; c <= WideArea; c++ {
+		if s.Frames[c] == 0 && s.Bytes[c] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s: %d frames / %d bytes; ", c, s.Frames[c], s.Bytes[c])
+	}
+	return strings.TrimSuffix(b.String(), "; ")
+}
+
+// Network is a simulated wide-area network implementing
+// transport.Network. The zero value is not usable; call New.
+type Network struct {
+	model CostModel
+
+	mu          sync.RWMutex
+	sites       map[string]Site
+	listeners   map[string]*listener // "site:service" -> listener
+	partitioned map[[2]string]bool   // unordered site pairs
+	down        map[string]bool
+
+	meterMu sync.Mutex
+	frames  [WideArea + 1]int64
+	bytes   [WideArea + 1]int64
+}
+
+var _ transport.Network = (*Network)(nil)
+
+// New returns an empty simulated network using the given cost model
+// (nil selects NewDefaultModel).
+func New(model CostModel) *Network {
+	if model == nil {
+		model = NewDefaultModel()
+	}
+	return &Network{
+		model:       model,
+		sites:       make(map[string]Site),
+		listeners:   make(map[string]*listener),
+		partitioned: make(map[[2]string]bool),
+		down:        make(map[string]bool),
+	}
+}
+
+// AddSite registers a site. Adding an existing ID overwrites its
+// placement, which tests use to move sites between regions.
+func (n *Network) AddSite(id, domain, region string) Site {
+	s := Site{ID: id, Domain: domain, Region: region}
+	n.mu.Lock()
+	n.sites[id] = s
+	n.mu.Unlock()
+	return s
+}
+
+// Sites returns all registered sites sorted by ID.
+func (n *Network) Sites() []Site {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]Site, 0, len(n.sites))
+	for _, s := range n.sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Site looks up a registered site.
+func (n *Network) Site(id string) (Site, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	s, ok := n.sites[id]
+	return s, ok
+}
+
+// Classify exposes the cost model's link classification for experiments.
+func (n *Network) Classify(fromSite, toSite string) (LinkClass, error) {
+	n.mu.RLock()
+	f, okF := n.sites[fromSite]
+	t, okT := n.sites[toSite]
+	n.mu.RUnlock()
+	if !okF || !okT {
+		return 0, fmt.Errorf("netsim: unknown site in pair %q -> %q", fromSite, toSite)
+	}
+	return n.model.Classify(f, t), nil
+}
+
+// SetDown marks a site as crashed (true) or recovered (false). Frames to
+// or from a crashed site fail, and its listeners refuse connections.
+func (n *Network) SetDown(site string, down bool) {
+	n.mu.Lock()
+	n.down[site] = down
+	n.mu.Unlock()
+}
+
+// Partition cuts connectivity between two sites in both directions.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	n.partitioned[pairKey(a, b)] = true
+	n.mu.Unlock()
+}
+
+// Heal restores connectivity between two sites.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	delete(n.partitioned, pairKey(a, b))
+	n.mu.Unlock()
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Meter returns a snapshot of traffic counted since construction or the
+// last ResetMeter.
+func (n *Network) Meter() Stats {
+	n.meterMu.Lock()
+	defer n.meterMu.Unlock()
+	s := Stats{Frames: map[LinkClass]int64{}, Bytes: map[LinkClass]int64{}}
+	for c := Loopback; c <= WideArea; c++ {
+		s.Frames[c] = n.frames[c]
+		s.Bytes[c] = n.bytes[c]
+	}
+	return s
+}
+
+// ResetMeter zeroes the traffic counters.
+func (n *Network) ResetMeter() {
+	n.meterMu.Lock()
+	for c := Loopback; c <= WideArea; c++ {
+		n.frames[c] = 0
+		n.bytes[c] = 0
+	}
+	n.meterMu.Unlock()
+}
+
+func (n *Network) record(c LinkClass, bytes int) {
+	n.meterMu.Lock()
+	n.frames[c]++
+	n.bytes[c] += int64(bytes)
+	n.meterMu.Unlock()
+}
+
+// SplitAddr splits a simulated address "site:service".
+func SplitAddr(addr string) (site, service string, err error) {
+	i := strings.LastIndex(addr, ":")
+	if i <= 0 || i == len(addr)-1 {
+		return "", "", fmt.Errorf("netsim: bad address %q (want site:service)", addr)
+	}
+	return addr[:i], addr[i+1:], nil
+}
+
+// Listen implements transport.Network. The address names a registered
+// site and a service, e.g. "eu-nl-vu:gos".
+func (n *Network) Listen(addr string) (transport.Listener, error) {
+	site, _, err := SplitAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.sites[site]; !ok {
+		return nil, fmt.Errorf("netsim: listen on unknown site %q", site)
+	}
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("netsim: address %q already in use", addr)
+	}
+	l := &listener{net: n, addr: addr, accept: make(chan *conn, 64), done: make(chan struct{})}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements transport.Network. from is the calling site's ID.
+func (n *Network) Dial(from, addr string) (transport.Conn, error) {
+	toSite, _, err := SplitAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.RLock()
+	fromS, okFrom := n.sites[from]
+	toS, okTo := n.sites[toSite]
+	l := n.listeners[addr]
+	downFrom := n.down[from]
+	downTo := n.down[toSite]
+	cut := n.partitioned[pairKey(from, toSite)]
+	n.mu.RUnlock()
+
+	if !okFrom {
+		return nil, fmt.Errorf("netsim: dial from unknown site %q", from)
+	}
+	if !okTo {
+		return nil, fmt.Errorf("%w: unknown site %q", transport.ErrUnreachable, toSite)
+	}
+	if downFrom || downTo || cut {
+		return nil, fmt.Errorf("%w: %s -> %s", transport.ErrUnreachable, from, addr)
+	}
+	if l == nil {
+		return nil, fmt.Errorf("%w: %s", transport.ErrNoListener, addr)
+	}
+
+	clientEnd, serverEnd := newConnPair(n, fromS, toS, from+":ephemeral", addr)
+	select {
+	case l.accept <- serverEnd:
+		return clientEnd, nil
+	case <-l.done:
+		return nil, fmt.Errorf("%w: %s", transport.ErrNoListener, addr)
+	}
+}
+
+func (n *Network) removeListener(addr string) {
+	n.mu.Lock()
+	delete(n.listeners, addr)
+	n.mu.Unlock()
+}
+
+// reachable reports whether frames can currently flow between two sites.
+func (n *Network) reachable(a, b string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return !n.down[a] && !n.down[b] && !n.partitioned[pairKey(a, b)]
+}
+
+type listener struct {
+	net    *Network
+	addr   string
+	accept chan *conn
+	once   sync.Once
+	done   chan struct{}
+}
+
+func (l *listener) Accept() (transport.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, transport.ErrClosed
+	}
+}
+
+func (l *listener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.removeListener(l.addr)
+	})
+	return nil
+}
+
+func (l *listener) Addr() string { return l.addr }
+
+// frame is one delivered message with its virtual cost.
+type frame struct {
+	payload []byte
+	cost    time.Duration
+}
+
+// conn is one endpoint of a simulated connection.
+type conn struct {
+	net        *Network
+	local      Site
+	remote     Site
+	localAddr  string
+	remoteAddr string
+	out        chan frame // owned by peer: we send into it
+	in         chan frame
+	closeOnce  sync.Once
+	closed     chan struct{}
+	peerClosed chan struct{}
+}
+
+func newConnPair(n *Network, dialer, target Site, dialerAddr, targetAddr string) (*conn, *conn) {
+	aToB := make(chan frame, 256)
+	bToA := make(chan frame, 256)
+	closedA := make(chan struct{})
+	closedB := make(chan struct{})
+	a := &conn{
+		net: n, local: dialer, remote: target,
+		localAddr: dialerAddr, remoteAddr: targetAddr,
+		out: aToB, in: bToA, closed: closedA, peerClosed: closedB,
+	}
+	b := &conn{
+		net: n, local: target, remote: dialer,
+		localAddr: targetAddr, remoteAddr: dialerAddr,
+		out: bToA, in: aToB, closed: closedB, peerClosed: closedA,
+	}
+	return a, b
+}
+
+// Send implements transport.Conn. The frame is priced and metered at
+// send time; a copy of the payload is delivered so callers may reuse
+// their buffers.
+func (c *conn) Send(p []byte) error {
+	if len(p) > transport.MaxFrame {
+		return transport.ErrFrameSize
+	}
+	if !c.net.reachable(c.local.ID, c.remote.ID) {
+		return fmt.Errorf("%w: %s -> %s", transport.ErrUnreachable, c.local.ID, c.remote.ID)
+	}
+	cost := c.net.model.Cost(c.local, c.remote, len(p))
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	select {
+	case <-c.closed:
+		return transport.ErrClosed
+	case <-c.peerClosed:
+		return transport.ErrClosed
+	case c.out <- frame{payload: cp, cost: cost}:
+		c.net.record(c.net.model.Classify(c.local, c.remote), len(p))
+		return nil
+	}
+}
+
+// Recv implements transport.Conn.
+func (c *conn) Recv() ([]byte, time.Duration, error) {
+	select {
+	case f := <-c.in:
+		return f.payload, f.cost, nil
+	case <-c.closed:
+		return nil, 0, transport.ErrClosed
+	case <-c.peerClosed:
+		// Drain any frame that raced with the close.
+		select {
+		case f := <-c.in:
+			return f.payload, f.cost, nil
+		default:
+			return nil, 0, transport.ErrClosed
+		}
+	}
+}
+
+// Close implements transport.Conn.
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}
+
+func (c *conn) LocalAddr() string  { return c.localAddr }
+func (c *conn) RemoteAddr() string { return c.remoteAddr }

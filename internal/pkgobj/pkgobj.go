@@ -1,0 +1,420 @@
+// Package pkgobj implements the package DSO: the semantics subobject
+// holding one free-software package — "one or more files" with a
+// unique name, possibly very large (paper §2) — plus the typed stub
+// that plays the control subobject for it.
+//
+// The semantics subobject is written with no knowledge of distribution
+// or replication, exactly as §3.3 prescribes: it sees only marshalled
+// invocations and marshalled state. Any replication protocol from
+// internal/repl can host it, which is what lets moderators assign
+// packages differentiated replication scenarios.
+//
+// File contents are stored in fixed-size chunks so large files stream
+// through GetFileChunk without materializing in one message, and every
+// file carries a SHA-256 digest so integrity is checkable end to end
+// (paper §6.1: "attackers should not be able to violate the integrity
+// of the software being distributed").
+package pkgobj
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+
+	"gdn/internal/core"
+	"gdn/internal/wire"
+)
+
+// Impl is the implementation identifier under which the package
+// semantics is registered in implementation repositories.
+const Impl = "package/1"
+
+// DefaultChunkSize is the storage chunk size; GetFileChunk reads are
+// independent of it.
+const DefaultChunkSize = 256 << 10
+
+// MaxFileSize bounds one file so its content fits protocol messages.
+// The paper's packages "can be very large"; larger collections split
+// across files, and files beyond this bound would need a chunked
+// transfer protocol the GDN reads already provide.
+const MaxFileSize = 15 << 20
+
+// Method names of the package DSO interface.
+const (
+	MethodAddFile      = "addFile"
+	MethodAppendFile   = "appendFile"
+	MethodRemoveFile   = "removeFile"
+	MethodListContents = "listContents"
+	MethodGetFile      = "getFileContents"
+	MethodGetChunk     = "getFileChunk"
+	MethodStat         = "stat"
+	MethodSetMeta      = "setMeta"
+	MethodGetMeta      = "getMeta"
+)
+
+// Errors reported by the package semantics.
+var (
+	ErrNoFile   = errors.New("pkgobj: no such file in package")
+	ErrTooLarge = errors.New("pkgobj: file exceeds size bound")
+	ErrBadPath  = errors.New("pkgobj: malformed file path")
+)
+
+// FileInfo describes one file in a package.
+type FileInfo struct {
+	// Path is the file's name within the package, e.g. "src/gcc.tar".
+	Path string
+	// Size is the content length in bytes.
+	Size int64
+	// Digest is the SHA-256 of the content.
+	Digest [sha256.Size]byte
+}
+
+func (fi FileInfo) encode(w *wire.Writer) {
+	w.Str(fi.Path)
+	w.Int64(fi.Size)
+	w.Bytes32(fi.Digest[:])
+}
+
+func decodeFileInfo(r *wire.Reader) FileInfo {
+	var fi FileInfo
+	fi.Path = r.Str()
+	fi.Size = r.Int64()
+	copy(fi.Digest[:], r.Bytes32())
+	return fi
+}
+
+// file is the stored representation: content chunks plus a cached
+// digest recomputed on modification.
+type file struct {
+	size   int64
+	digest [sha256.Size]byte
+	chunks [][]byte
+}
+
+func (f *file) info(path string) FileInfo {
+	return FileInfo{Path: path, Size: f.size, Digest: f.digest}
+}
+
+func (f *file) rehash() {
+	h := sha256.New()
+	for _, c := range f.chunks {
+		h.Write(c)
+	}
+	copy(f.digest[:], h.Sum(nil))
+}
+
+// read copies [off, off+n) of the content; short at EOF.
+func (f *file) read(off, n int64) []byte {
+	if off >= f.size || n <= 0 {
+		return nil
+	}
+	if off+n > f.size {
+		n = f.size - off
+	}
+	out := make([]byte, 0, n)
+	pos := int64(0)
+	for _, c := range f.chunks {
+		clen := int64(len(c))
+		if pos+clen <= off {
+			pos += clen
+			continue
+		}
+		start := int64(0)
+		if off > pos {
+			start = off - pos
+		}
+		end := clen
+		if pos+end > off+n {
+			end = off + n - pos
+		}
+		out = append(out, c[start:end]...)
+		pos += clen
+		if int64(len(out)) >= n {
+			break
+		}
+	}
+	return out
+}
+
+// Package is the package DSO semantics subobject. The zero value is
+// not usable; call New. It is not safe for concurrent use — the
+// framework serializes access (core.NewLocalExec).
+type Package struct {
+	meta      map[string]string
+	files     map[string]*file
+	versions  map[string]version
+	chunkSize int
+}
+
+var _ core.Semantics = (*Package)(nil)
+
+// New returns an empty package.
+func New() *Package {
+	return &Package{
+		meta:      make(map[string]string),
+		files:     make(map[string]*file),
+		chunkSize: DefaultChunkSize,
+	}
+}
+
+// Register installs the package implementation in a registry.
+func Register(reg *core.Registry) {
+	reg.RegisterSemantics(Impl, func() core.Semantics { return New() })
+}
+
+// validPath accepts slash-separated relative paths without empty or
+// dot-only components — server-side sanitation so a hostile path
+// cannot confuse consumers that map package files onto file systems or
+// URLs (paper §6.1 hardening).
+func validPath(p string) bool {
+	if p == "" || len(p) > 4096 || p[0] == '/' {
+		return false
+	}
+	start := 0
+	for i := 0; i <= len(p); i++ {
+		if i == len(p) || p[i] == '/' {
+			seg := p[start:i]
+			if seg == "" || seg == "." || seg == ".." {
+				return false
+			}
+			start = i + 1
+		}
+	}
+	return true
+}
+
+// Invoke implements core.Semantics by dispatching marshalled methods.
+func (p *Package) Invoke(inv core.Invocation) ([]byte, error) {
+	r := wire.NewReader(inv.Args)
+	if handled, out, err := p.invokeVersion(inv, r); handled {
+		return out, err
+	}
+	switch inv.Method {
+	case MethodAddFile:
+		path := r.Str()
+		data := r.Bytes32()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return nil, p.addFile(path, data, false)
+	case MethodAppendFile:
+		path := r.Str()
+		data := r.Bytes32()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return nil, p.addFile(path, data, true)
+	case MethodRemoveFile:
+		path := r.Str()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		if _, ok := p.files[path]; !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoFile, path)
+		}
+		delete(p.files, path)
+		return nil, nil
+	case MethodListContents:
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return p.listContents(), nil
+	case MethodGetFile:
+		path := r.Str()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		f, ok := p.files[path]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoFile, path)
+		}
+		return f.read(0, f.size), nil
+	case MethodGetChunk:
+		path := r.Str()
+		off := r.Int64()
+		n := r.Int64()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		f, ok := p.files[path]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoFile, path)
+		}
+		return f.read(off, n), nil
+	case MethodStat:
+		path := r.Str()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		f, ok := p.files[path]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNoFile, path)
+		}
+		w := wire.NewWriter(64)
+		f.info(path).encode(w)
+		return w.Bytes(), nil
+	case MethodSetMeta:
+		key := r.Str()
+		val := r.Str()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		if val == "" {
+			delete(p.meta, key)
+		} else {
+			p.meta[key] = val
+		}
+		return nil, nil
+	case MethodGetMeta:
+		key := r.Str()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		if key != "" {
+			return []byte(p.meta[key]), nil
+		}
+		return p.encodeMeta(), nil
+	default:
+		return nil, fmt.Errorf("pkgobj: unknown method %q", inv.Method)
+	}
+}
+
+func (p *Package) addFile(path string, data []byte, appendTo bool) error {
+	if !validPath(path) {
+		return fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	f := p.files[path]
+	if f == nil || !appendTo {
+		f = &file{}
+		p.files[path] = f
+	}
+	if f.size+int64(len(data)) > MaxFileSize {
+		return fmt.Errorf("%w: %q would reach %d bytes", ErrTooLarge, path, f.size+int64(len(data)))
+	}
+	for len(data) > 0 {
+		n := p.chunkSize
+		if n > len(data) {
+			n = len(data)
+		}
+		chunk := make([]byte, n)
+		copy(chunk, data[:n])
+		f.chunks = append(f.chunks, chunk)
+		f.size += int64(n)
+		data = data[n:]
+	}
+	f.rehash()
+	return nil
+}
+
+func (p *Package) listContents() []byte {
+	paths := make([]string, 0, len(p.files))
+	for path := range p.files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	w := wire.NewWriter(64 * len(paths))
+	w.Count(len(paths))
+	for _, path := range paths {
+		p.files[path].info(path).encode(w)
+	}
+	return w.Bytes()
+}
+
+func (p *Package) encodeMeta() []byte {
+	keys := make([]string, 0, len(p.meta))
+	for k := range p.meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w := wire.NewWriter(64)
+	w.Count(len(keys))
+	for _, k := range keys {
+		w.Str(k)
+		w.Str(p.meta[k])
+	}
+	return w.Bytes()
+}
+
+// MarshalState implements core.Semantics. The encoding is canonical
+// (sorted, content re-chunked on load) so replicas converge to
+// byte-identical state regardless of operation history.
+func (p *Package) MarshalState() ([]byte, error) {
+	w := wire.NewWriter(1024)
+	w.Uint32(uint32(p.chunkSize))
+	metaBytes := p.encodeMeta()
+	w.Bytes32(metaBytes)
+
+	paths := make([]string, 0, len(p.files))
+	for path := range p.files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	w.Count(len(paths))
+	for _, path := range paths {
+		f := p.files[path]
+		w.Str(path)
+		w.Bytes32(f.read(0, f.size))
+	}
+	p.encodeVersions(w)
+	return w.Bytes(), nil
+}
+
+// UnmarshalState implements core.Semantics.
+func (p *Package) UnmarshalState(b []byte) error {
+	r := wire.NewReader(b)
+	chunkSize := int(r.Uint32())
+	metaBytes := r.Bytes32()
+	count := r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if chunkSize <= 0 {
+		return fmt.Errorf("pkgobj: bad chunk size %d in state", chunkSize)
+	}
+
+	mr := wire.NewReader(metaBytes)
+	nMeta := mr.Count()
+	meta := make(map[string]string, nMeta)
+	for i := 0; i < nMeta; i++ {
+		k := mr.Str()
+		meta[k] = mr.Str()
+	}
+	if err := mr.Done(); err != nil {
+		return err
+	}
+
+	next := &Package{meta: meta, files: make(map[string]*file, count), chunkSize: chunkSize}
+	for i := 0; i < count; i++ {
+		path := r.Str()
+		data := r.Bytes32()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if err := next.addFile(path, data, false); err != nil {
+			return err
+		}
+	}
+	versions, err := decodeVersions(r)
+	if err != nil {
+		return err
+	}
+	next.versions = versions
+	if err := r.Done(); err != nil {
+		return err
+	}
+	*p = *next
+	return nil
+}
+
+// Files returns the number of files; tests and checkpoint logs use it.
+func (p *Package) Files() int { return len(p.files) }
+
+// TotalSize sums all file sizes.
+func (p *Package) TotalSize() int64 {
+	var total int64
+	for _, f := range p.files {
+		total += f.size
+	}
+	return total
+}

@@ -1,0 +1,420 @@
+package pkgobj
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"gdn/internal/core"
+	"gdn/internal/ids"
+)
+
+// newLocalStub wraps a package in a local, network-free representative
+// so the whole stub → control → invocation path is exercised.
+func newLocalStub(t *testing.T, p *Package) *Stub {
+	t.Helper()
+	lr := core.NewLocalLR(ids.Derive("pkgobj-test"), p)
+	t.Cleanup(func() { lr.Close() })
+	return NewStub(lr)
+}
+
+func TestAddListGetRemove(t *testing.T) {
+	p := New()
+	s := newLocalStub(t, p)
+
+	if err := s.AddFile("README", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddFile("src/main.c", bytes.Repeat([]byte("x"), 1000)); err != nil {
+		t.Fatal(err)
+	}
+
+	infos, err := s.ListContents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Path != "README" || infos[1].Path != "src/main.c" {
+		t.Fatalf("infos = %+v", infos)
+	}
+	if infos[1].Size != 1000 {
+		t.Fatalf("size = %d", infos[1].Size)
+	}
+	want := sha256.Sum256([]byte("hello"))
+	if infos[0].Digest != want {
+		t.Fatal("digest mismatch")
+	}
+
+	data, err := s.GetFileContents("README")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("content = %q, %v", data, err)
+	}
+
+	if err := s.RemoveFile("README"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetFileContents("README"); err == nil {
+		t.Fatal("removed file must not be readable")
+	}
+	if err := s.RemoveFile("README"); err == nil {
+		t.Fatal("removing a missing file must fail")
+	}
+}
+
+func TestChunkedReads(t *testing.T) {
+	p := New()
+	p.chunkSize = 16 // tiny chunks exercise boundary logic
+	s := newLocalStub(t, p)
+
+	content := make([]byte, 1000)
+	rand.New(rand.NewSource(5)).Read(content)
+	if err := s.AddFile("blob", content); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reassemble with odd-sized reads straddling chunk boundaries.
+	var got []byte
+	for off := int64(0); ; {
+		chunk, err := s.GetFileChunk("blob", off, 37)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chunk) == 0 {
+			break
+		}
+		got = append(got, chunk...)
+		off += int64(len(chunk))
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("chunked reassembly differs from original")
+	}
+
+	// Reads past EOF are empty, not errors.
+	chunk, err := s.GetFileChunk("blob", 5000, 10)
+	if err != nil || len(chunk) != 0 {
+		t.Fatalf("past-EOF read: %d bytes, %v", len(chunk), err)
+	}
+	// Partial read at the tail.
+	chunk, err = s.GetFileChunk("blob", 990, 100)
+	if err != nil || len(chunk) != 10 {
+		t.Fatalf("tail read: %d bytes, %v", len(chunk), err)
+	}
+}
+
+func TestAppendFile(t *testing.T) {
+	p := New()
+	p.chunkSize = 8
+	s := newLocalStub(t, p)
+
+	var want []byte
+	for i := 0; i < 10; i++ {
+		part := bytes.Repeat([]byte{byte('a' + i)}, 5)
+		if err := s.AppendFile("log", part); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, part...)
+	}
+	got, err := s.GetFileContents("log")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("append result mismatch: %v", err)
+	}
+	fi, err := s.Stat("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Digest != sha256.Sum256(want) {
+		t.Fatal("append must rehash")
+	}
+
+	// AddFile after appends replaces, not extends.
+	if err := s.AddFile("log", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.GetFileContents("log")
+	if string(got) != "fresh" {
+		t.Fatalf("AddFile must replace: %q", got)
+	}
+}
+
+func TestPathValidation(t *testing.T) {
+	s := newLocalStub(t, New())
+	bad := []string{"", "/abs", "a//b", "../escape", "a/./b", "a/../b"}
+	for _, path := range bad {
+		if err := s.AddFile(path, []byte("x")); !errors.Is(err, ErrBadPath) {
+			t.Errorf("AddFile(%q) = %v, want ErrBadPath", path, err)
+		}
+	}
+	good := []string{"a", "a/b/c", "with-dash_underscore.txt", "...dots"}
+	for _, path := range good {
+		if err := s.AddFile(path, []byte("x")); err != nil {
+			t.Errorf("AddFile(%q) = %v", path, err)
+		}
+	}
+}
+
+func TestFileSizeBound(t *testing.T) {
+	p := New()
+	s := newLocalStub(t, p)
+	if err := s.AddFile("big", make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	// Appending past the bound must fail and leave the file intact.
+	p.files["big"].size = MaxFileSize - 10
+	if err := s.AppendFile("big", make([]byte, 100)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	s := newLocalStub(t, New())
+	if err := s.SetMeta("description", "GNU C compiler"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetMeta("version", "2.95"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.GetMeta("version"); err != nil || v != "2.95" {
+		t.Fatalf("GetMeta = %q, %v", v, err)
+	}
+	meta, err := s.Meta()
+	if err != nil || len(meta) != 2 {
+		t.Fatalf("Meta = %v, %v", meta, err)
+	}
+	// Empty value deletes.
+	if err := s.SetMeta("version", ""); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.GetMeta("version"); v != "" {
+		t.Fatalf("deleted key still set: %q", v)
+	}
+}
+
+func TestVerifyFileDetectsCorruption(t *testing.T) {
+	p := New()
+	s := newLocalStub(t, p)
+	if err := s.AddFile("pkg.tar", []byte("legitimate content")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VerifyFile("pkg.tar"); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a stored chunk behind the digest's back.
+	p.files["pkg.tar"].chunks[0][0] ^= 0xFF
+	if err := s.VerifyFile("pkg.tar"); err == nil {
+		t.Fatal("corruption must be detected")
+	}
+}
+
+func TestStateRoundTripCanonical(t *testing.T) {
+	// Two packages with identical logical content but different
+	// operation histories must marshal to identical bytes — the
+	// property replica convergence checks rely on.
+	a := New()
+	sa := newLocalStub(t, a)
+	if err := sa.AddFile("f1", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.AddFile("f2", []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.SetMeta("m", "1"); err != nil {
+		t.Fatal(err)
+	}
+
+	b := New()
+	sb := newLocalStub(t, b)
+	if err := sb.SetMeta("m", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.AddFile("f2", []byte("temp")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.AppendFile("f1", []byte("al")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.AppendFile("f1", []byte("pha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.AddFile("f2", []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+
+	stA, err := a.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := b.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stA, stB) {
+		t.Fatal("canonical state encoding differs for identical content")
+	}
+
+	// Round trip restores everything.
+	c := New()
+	if err := c.UnmarshalState(stA); err != nil {
+		t.Fatal(err)
+	}
+	sc := newLocalStub(t, c)
+	data, err := sc.GetFileContents("f1")
+	if err != nil || string(data) != "alpha" {
+		t.Fatalf("restored f1 = %q, %v", data, err)
+	}
+	if v, _ := sc.GetMeta("m"); v != "1" {
+		t.Fatal("metadata lost in round trip")
+	}
+}
+
+func TestStateQuickProperty(t *testing.T) {
+	// Property: marshal∘unmarshal is the identity on (path, content)
+	// maps.
+	f := func(seed int64, nFiles uint8) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		p := New()
+		p.chunkSize = 64
+		want := make(map[string]string)
+		for i := 0; i < int(nFiles%8)+1; i++ {
+			path := fmt.Sprintf("dir%d/file%d", rnd.Intn(3), i)
+			content := make([]byte, rnd.Intn(500))
+			rnd.Read(content)
+			if p.addFile(path, content, false) != nil {
+				return false
+			}
+			want[path] = string(content)
+		}
+		st, err := p.MarshalState()
+		if err != nil {
+			return false
+		}
+		q := New()
+		if q.UnmarshalState(st) != nil {
+			return false
+		}
+		got := make(map[string]string)
+		for path, f := range q.files {
+			got[path] = string(f.read(0, f.size))
+		}
+		return reflect.DeepEqual(want, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	p := New()
+	for _, b := range [][]byte{nil, {1}, bytes.Repeat([]byte{0xFF}, 40)} {
+		if err := p.UnmarshalState(b); err == nil {
+			t.Fatalf("UnmarshalState(%v) must fail", b)
+		}
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	p := New()
+	if _, err := p.Invoke(core.Invocation{Method: "launchMissiles"}); err == nil {
+		t.Fatal("unknown method must fail")
+	}
+}
+
+func TestVersionManagement(t *testing.T) {
+	p := New()
+	s := newLocalStub(t, p)
+	if err := s.AddFile("prog.c", []byte("v1 source")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TagVersion("1.0"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Development continues: the working file changes, the tag does not.
+	if err := s.AddFile("prog.c", []byte("v2 source, work in progress")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetFileAtVersion("1.0", "prog.c")
+	if err != nil || string(got) != "v1 source" {
+		t.Fatalf("versioned read = %q, %v", got, err)
+	}
+	head, err := s.GetFileContents("prog.c")
+	if err != nil || string(head) != "v2 source, work in progress" {
+		t.Fatalf("head read = %q, %v", head, err)
+	}
+
+	if err := s.TagVersion("2.0"); err != nil {
+		t.Fatal(err)
+	}
+	labels, err := s.ListVersions()
+	if err != nil || len(labels) != 2 || labels[0] != "1.0" || labels[1] != "2.0" {
+		t.Fatalf("versions = %v, %v", labels, err)
+	}
+
+	// Tags are immutable and unknown labels fail cleanly.
+	if err := s.TagVersion("1.0"); err == nil {
+		t.Fatal("re-tagging must fail")
+	}
+	if _, err := s.GetFileAtVersion("9.9", "prog.c"); err == nil {
+		t.Fatal("unknown version must fail")
+	}
+	if _, err := s.GetFileAtVersion("1.0", "missing.c"); err == nil {
+		t.Fatal("unknown file at version must fail")
+	}
+
+	// Versions survive state marshal/unmarshal (replication, recovery).
+	st, err := p.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := New()
+	if err := q.UnmarshalState(st); err != nil {
+		t.Fatal(err)
+	}
+	qs := newLocalStub(t, q)
+	got, err = qs.GetFileAtVersion("1.0", "prog.c")
+	if err != nil || string(got) != "v1 source" {
+		t.Fatalf("versioned read after round trip = %q, %v", got, err)
+	}
+
+	// Dropping a version frees its label.
+	if err := qs.DropVersion("1.0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qs.GetFileAtVersion("1.0", "prog.c"); err == nil {
+		t.Fatal("dropped version must vanish")
+	}
+	if err := qs.DropVersion("1.0"); err == nil {
+		t.Fatal("double drop must fail")
+	}
+}
+
+func TestVersionsReplicateThroughState(t *testing.T) {
+	// A tagged version written at one representative must appear at a
+	// replica initialized from its state — versions are ordinary state.
+	a := New()
+	sa := newLocalStub(t, a)
+	if err := sa.AddFile("f", []byte("release")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.TagVersion("rel-1"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := a.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New()
+	if err := b.UnmarshalState(st); err != nil {
+		t.Fatal(err)
+	}
+	stB, err := b.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(st, stB) {
+		t.Fatal("state with versions must re-marshal identically")
+	}
+}

@@ -1,0 +1,195 @@
+package pkgobj
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"time"
+
+	"gdn/internal/core"
+	"gdn/internal/wire"
+)
+
+// Stub is the typed face of a package DSO: the hand-written equivalent
+// of the control-subobject code Globe's IDL compiler would generate
+// (paper §7). It marshals each method's parameters, classifies it as a
+// read or a write, and invokes through the local representative, so
+// callers never touch invocation messages.
+//
+// The stub accumulates the virtual network cost of the calls it makes;
+// experiments read it with TakeCost.
+type Stub struct {
+	lr *core.LR
+
+	mu   sync.Mutex
+	cost time.Duration
+}
+
+// NewStub wraps a bound local representative of a package DSO.
+func NewStub(lr *core.LR) *Stub { return &Stub{lr: lr} }
+
+// LR returns the underlying representative.
+func (s *Stub) LR() *core.LR { return s.lr }
+
+// Close releases the representative.
+func (s *Stub) Close() error { return s.lr.Close() }
+
+// TakeCost returns the virtual network cost accumulated since the last
+// call and resets the accumulator.
+func (s *Stub) TakeCost() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.cost
+	s.cost = 0
+	return c
+}
+
+func (s *Stub) invoke(method string, write bool, args []byte) ([]byte, error) {
+	out, cost, err := s.lr.Invoke(method, write, args)
+	s.mu.Lock()
+	s.cost += cost
+	s.mu.Unlock()
+	return out, err
+}
+
+// AddFile stores a file, replacing any previous content at the path.
+func (s *Stub) AddFile(path string, data []byte) error {
+	w := wire.NewWriter(8 + len(path) + len(data))
+	w.Str(path)
+	w.Bytes32(data)
+	_, err := s.invoke(MethodAddFile, true, w.Bytes())
+	return err
+}
+
+// AppendFile appends to a file, creating it when missing; moderator
+// tools upload very large files in slices with it.
+func (s *Stub) AppendFile(path string, data []byte) error {
+	w := wire.NewWriter(8 + len(path) + len(data))
+	w.Str(path)
+	w.Bytes32(data)
+	_, err := s.invoke(MethodAppendFile, true, w.Bytes())
+	return err
+}
+
+// RemoveFile deletes a file from the package.
+func (s *Stub) RemoveFile(path string) error {
+	w := wire.NewWriter(4 + len(path))
+	w.Str(path)
+	_, err := s.invoke(MethodRemoveFile, true, w.Bytes())
+	return err
+}
+
+// ListContents returns the package's files, sorted by path.
+func (s *Stub) ListContents() ([]FileInfo, error) {
+	out, err := s.invoke(MethodListContents, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(out)
+	n := r.Count()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	infos := make([]FileInfo, 0, n)
+	for i := 0; i < n; i++ {
+		infos = append(infos, decodeFileInfo(r))
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// GetFileContents returns a file's full content.
+func (s *Stub) GetFileContents(path string) ([]byte, error) {
+	w := wire.NewWriter(4 + len(path))
+	w.Str(path)
+	return s.invoke(MethodGetFile, false, w.Bytes())
+}
+
+// GetFileChunk reads up to n bytes at offset off; short reads signal
+// end of file.
+func (s *Stub) GetFileChunk(path string, off, n int64) ([]byte, error) {
+	w := wire.NewWriter(20 + len(path))
+	w.Str(path)
+	w.Int64(off)
+	w.Int64(n)
+	return s.invoke(MethodGetChunk, false, w.Bytes())
+}
+
+// Stat returns one file's metadata.
+func (s *Stub) Stat(path string) (FileInfo, error) {
+	w := wire.NewWriter(4 + len(path))
+	w.Str(path)
+	out, err := s.invoke(MethodStat, false, w.Bytes())
+	if err != nil {
+		return FileInfo{}, err
+	}
+	r := wire.NewReader(out)
+	fi := decodeFileInfo(r)
+	if err := r.Done(); err != nil {
+		return FileInfo{}, err
+	}
+	return fi, nil
+}
+
+// VerifyFile downloads a file and checks its digest against Stat —
+// the end-to-end integrity check the GDN's security story leans on.
+func (s *Stub) VerifyFile(path string) error {
+	fi, err := s.Stat(path)
+	if err != nil {
+		return err
+	}
+	data, err := s.GetFileContents(path)
+	if err != nil {
+		return err
+	}
+	if got := sha256.Sum256(data); got != fi.Digest {
+		return fmt.Errorf("pkgobj: %q digest mismatch: content corrupted in transit or at a replica", path)
+	}
+	return nil
+}
+
+// SetMeta sets one metadata entry; an empty value deletes the key.
+func (s *Stub) SetMeta(key, value string) error {
+	w := wire.NewWriter(8 + len(key) + len(value))
+	w.Str(key)
+	w.Str(value)
+	_, err := s.invoke(MethodSetMeta, true, w.Bytes())
+	return err
+}
+
+// GetMeta reads one metadata entry ("" when unset).
+func (s *Stub) GetMeta(key string) (string, error) {
+	if key == "" {
+		return "", fmt.Errorf("pkgobj: GetMeta needs a key; use Meta for all entries")
+	}
+	w := wire.NewWriter(4 + len(key))
+	w.Str(key)
+	out, err := s.invoke(MethodGetMeta, false, w.Bytes())
+	return string(out), err
+}
+
+// Meta returns all metadata entries.
+func (s *Stub) Meta() (map[string]string, error) {
+	w := wire.NewWriter(4)
+	w.Str("")
+	out, err := s.invoke(MethodGetMeta, false, w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(out)
+	n := r.Count()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	meta := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := r.Str()
+		meta[k] = r.Str()
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return meta, nil
+}

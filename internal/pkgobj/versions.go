@@ -1,0 +1,207 @@
+package pkgobj
+
+import (
+	"fmt"
+	"sort"
+
+	"gdn/internal/core"
+	"gdn/internal/wire"
+)
+
+// Version management: one of the two functional additions the paper
+// plans for the GDN ("version-management facilities", §8). A moderator
+// or maintainer tags the package's current files under a label;
+// tagged versions are immutable snapshots that clients can list and
+// read even after the working files move on — the "stable release
+// stays downloadable while development continues" workflow of real
+// software archives.
+
+// Additional method names for version management.
+const (
+	MethodTagVersion   = "tagVersion"
+	MethodListVersions = "listVersions"
+	MethodGetFileAt    = "getFileAtVersion"
+	MethodDropVersion  = "dropVersion"
+)
+
+// ErrNoVersion is returned for unknown version labels.
+var ErrNoVersion = fmt.Errorf("pkgobj: no such version")
+
+// version is one immutable snapshot: path → content.
+type version struct {
+	files map[string][]byte
+}
+
+// invokeVersion handles the version-management methods; it reports
+// whether the method belonged to this extension.
+func (p *Package) invokeVersion(inv core.Invocation, r *wire.Reader) (handled bool, out []byte, err error) {
+	switch inv.Method {
+	case MethodTagVersion:
+		label := r.Str()
+		if err := r.Done(); err != nil {
+			return true, nil, err
+		}
+		return true, nil, p.tagVersion(label)
+	case MethodListVersions:
+		if err := r.Done(); err != nil {
+			return true, nil, err
+		}
+		labels := make([]string, 0, len(p.versions))
+		for l := range p.versions {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		w := wire.NewWriter(64)
+		w.Count(len(labels))
+		for _, l := range labels {
+			w.Str(l)
+		}
+		return true, w.Bytes(), nil
+	case MethodGetFileAt:
+		label := r.Str()
+		path := r.Str()
+		if err := r.Done(); err != nil {
+			return true, nil, err
+		}
+		v, ok := p.versions[label]
+		if !ok {
+			return true, nil, fmt.Errorf("%w: %q", ErrNoVersion, label)
+		}
+		content, ok := v.files[path]
+		if !ok {
+			return true, nil, fmt.Errorf("%w: %q at version %q", ErrNoFile, path, label)
+		}
+		return true, append([]byte(nil), content...), nil
+	case MethodDropVersion:
+		label := r.Str()
+		if err := r.Done(); err != nil {
+			return true, nil, err
+		}
+		if _, ok := p.versions[label]; !ok {
+			return true, nil, fmt.Errorf("%w: %q", ErrNoVersion, label)
+		}
+		delete(p.versions, label)
+		return true, nil, nil
+	default:
+		return false, nil, nil
+	}
+}
+
+// tagVersion snapshots the current files under a label. Re-tagging an
+// existing label is refused: published versions are immutable.
+func (p *Package) tagVersion(label string) error {
+	if label == "" {
+		return fmt.Errorf("pkgobj: empty version label")
+	}
+	if _, taken := p.versions[label]; taken {
+		return fmt.Errorf("pkgobj: version %q already exists", label)
+	}
+	snap := version{files: make(map[string][]byte, len(p.files))}
+	for path, f := range p.files {
+		snap.files[path] = f.read(0, f.size)
+	}
+	if p.versions == nil {
+		p.versions = make(map[string]version)
+	}
+	p.versions[label] = snap
+	return nil
+}
+
+// encodeVersions appends the versions section to a state encoding.
+func (p *Package) encodeVersions(w *wire.Writer) {
+	labels := make([]string, 0, len(p.versions))
+	for l := range p.versions {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	w.Count(len(labels))
+	for _, label := range labels {
+		w.Str(label)
+		v := p.versions[label]
+		paths := make([]string, 0, len(v.files))
+		for path := range v.files {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		w.Count(len(paths))
+		for _, path := range paths {
+			w.Str(path)
+			w.Bytes32(v.files[path])
+		}
+	}
+}
+
+// decodeVersions reads the versions section of a state encoding.
+func decodeVersions(r *wire.Reader) (map[string]version, error) {
+	n := r.Count()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make(map[string]version, n)
+	for i := 0; i < n; i++ {
+		label := r.Str()
+		nf := r.Count()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		v := version{files: make(map[string][]byte, nf)}
+		for j := 0; j < nf; j++ {
+			path := r.Str()
+			v.files[path] = append([]byte(nil), r.Bytes32()...)
+		}
+		out[label] = v
+	}
+	return out, r.Err()
+}
+
+// --- typed stub methods ------------------------------------------------
+
+// TagVersion snapshots the package's current files under an immutable
+// label.
+func (s *Stub) TagVersion(label string) error {
+	w := wire.NewWriter(4 + len(label))
+	w.Str(label)
+	_, err := s.invoke(MethodTagVersion, true, w.Bytes())
+	return err
+}
+
+// ListVersions returns the tagged version labels, sorted.
+func (s *Stub) ListVersions() ([]string, error) {
+	out, err := s.invoke(MethodListVersions, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(out)
+	n := r.Count()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	labels := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		labels = append(labels, r.Str())
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return labels, nil
+}
+
+// GetFileAtVersion reads a file's content as it was when the version
+// was tagged.
+func (s *Stub) GetFileAtVersion(label, path string) ([]byte, error) {
+	w := wire.NewWriter(8 + len(label) + len(path))
+	w.Str(label)
+	w.Str(path)
+	return s.invoke(MethodGetFileAt, false, w.Bytes())
+}
+
+// DropVersion removes a tagged version.
+func (s *Stub) DropVersion(label string) error {
+	w := wire.NewWriter(4 + len(label))
+	w.Str(label)
+	_, err := s.invoke(MethodDropVersion, true, w.Bytes())
+	return err
+}

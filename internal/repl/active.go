@@ -1,0 +1,337 @@
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gdn/internal/core"
+	"gdn/internal/rpc"
+)
+
+// ActiveProtocol returns active replication: every peer replica holds
+// the full state and executes every write, with a sequencer replica
+// imposing a global order — the "actively replicate all the state at
+// all the local representatives" strategy of §3.3. Reads are local at
+// every peer; writes cost a fan-out to all of them. Compared with
+// master/slave, the active protocol trades write bandwidth (it ships
+// the invocation, not the whole state) against per-replica execution.
+func ActiveProtocol() *core.Protocol {
+	return &core.Protocol{
+		Name:     Active,
+		NewProxy: newActiveProxy,
+		NewReplica: func(env *core.Env) (core.Replication, error) {
+			switch env.Role {
+			case RoleSequencer:
+				return newSequencer(env)
+			case RolePeer:
+				return newActivePeer(env)
+			default:
+				return nil, fmt.Errorf("repl: %s: unknown role %q", Active, env.Role)
+			}
+		},
+	}
+}
+
+// sequencer orders all writes: it executes each locally, stamps it with
+// the new version, and applies it at every peer before acknowledging.
+type sequencer struct {
+	*replicaBase
+	writeMu sync.Mutex
+}
+
+func newSequencer(env *core.Env) (core.Replication, error) {
+	if env.Disp == nil {
+		return nil, fmt.Errorf("repl: %s sequencer needs a dispatcher", Active)
+	}
+	s := &sequencer{replicaBase: newReplicaBase(env)}
+	env.Disp.Register(env.OID, s.handle)
+	return s, nil
+}
+
+func (s *sequencer) Invoke(inv core.Invocation) ([]byte, time.Duration, error) {
+	if inv.Write {
+		return s.write(inv)
+	}
+	out, err := s.env.Exec.Execute(inv)
+	return out, 0, err
+}
+
+func (s *sequencer) Close() error {
+	s.env.Disp.Unregister(s.env.OID)
+	s.closePeers()
+	return nil
+}
+
+func (s *sequencer) handle(call *rpc.Call) ([]byte, error) {
+	if handled, resp, err := s.handleCommon(call); handled {
+		return resp, err
+	}
+	if call.Op != core.OpInvoke {
+		return nil, fmt.Errorf("repl: %s sequencer: unexpected op %d", Active, call.Op)
+	}
+	inv, err := core.DecodeInvocation(call.Body)
+	if err != nil {
+		return nil, err
+	}
+	if !inv.Write {
+		return s.env.Exec.Execute(inv)
+	}
+	if err := authorizeWrite(s.env, call); err != nil {
+		return nil, err
+	}
+	out, cost, err := s.write(inv)
+	call.Charge(cost)
+	return out, err
+}
+
+// write orders one write: local execution, then parallel OpApply to
+// every peer. The writeMu ensures applies leave in version order.
+func (s *sequencer) write(inv core.Invocation) ([]byte, time.Duration, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+
+	out, err := s.env.Exec.Execute(inv)
+	if err != nil {
+		return nil, 0, err
+	}
+	version := s.bumpVersion()
+
+	addrs := s.peerAddrs()
+	var total time.Duration
+	if len(addrs) > 0 {
+		cost, perr := s.pushAll(addrs, core.OpApply, encodeApply(version, inv))
+		total += cost
+		if perr != nil {
+			s.env.Logf("repl: %s sequencer %s: apply: %v", Active, s.env.OID.Short(), perr)
+		}
+	}
+	if cacheSubs := s.subscribers(RoleCache); len(cacheSubs) > 0 {
+		cacheAddrs := make([]string, len(cacheSubs))
+		for i, sub := range cacheSubs {
+			cacheAddrs[i] = sub.addr
+		}
+		cost, perr := s.pushAll(cacheAddrs, core.OpInvalidate, nil)
+		total += cost
+		if perr != nil {
+			s.env.Logf("repl: %s sequencer %s: invalidate: %v", Active, s.env.OID.Short(), perr)
+		}
+	}
+	return out, total, nil
+}
+
+func (s *sequencer) peerAddrs() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, ca := range s.env.PeersWithRole(RolePeer) {
+		if !seen[ca.Address] {
+			seen[ca.Address] = true
+			out = append(out, ca.Address)
+		}
+	}
+	for _, sub := range s.subscribers(RolePeer) {
+		if !seen[sub.addr] {
+			seen[sub.addr] = true
+			out = append(out, sub.addr)
+		}
+	}
+	return out
+}
+
+// activePeer executes ordered writes from the sequencer and serves
+// reads locally.
+type activePeer struct {
+	*replicaBase
+	seqAddr string
+}
+
+func newActivePeer(env *core.Env) (core.Replication, error) {
+	if env.Disp == nil {
+		return nil, fmt.Errorf("repl: %s peer needs a dispatcher", Active)
+	}
+	seqs := env.PeersWithRole(RoleSequencer)
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("repl: %s peer for %s: no sequencer in peer set", Active, env.OID.Short())
+	}
+	p := &activePeer{replicaBase: newReplicaBase(env), seqAddr: seqs[0].Address}
+
+	_, version, state, _, err := p.fetchState(p.seqAddr, 0)
+	if err != nil {
+		return nil, fmt.Errorf("repl: %s peer: initial state transfer: %w", Active, err)
+	}
+	if err := env.Exec.UnmarshalState(state); err != nil {
+		return nil, fmt.Errorf("repl: %s peer: install state: %w", Active, err)
+	}
+	p.setVersion(version)
+	if err := p.subscribeTo(p.seqAddr, env.Disp.Addr(), RolePeer); err != nil {
+		return nil, fmt.Errorf("repl: %s peer: subscribe: %w", Active, err)
+	}
+	env.Disp.Register(env.OID, p.handle)
+	return p, nil
+}
+
+func (p *activePeer) Invoke(inv core.Invocation) ([]byte, time.Duration, error) {
+	if inv.Write {
+		return p.peer(p.seqAddr).Call(core.OpInvoke, inv.Encode())
+	}
+	out, err := p.env.Exec.Execute(inv)
+	return out, 0, err
+}
+
+func (p *activePeer) Close() error {
+	p.env.Disp.Unregister(p.env.OID)
+	p.unsubscribeFrom(p.seqAddr, p.env.Disp.Addr())
+	p.closePeers()
+	return nil
+}
+
+func (p *activePeer) handle(call *rpc.Call) ([]byte, error) {
+	if handled, resp, err := p.handleCommon(call); handled {
+		return resp, err
+	}
+	switch call.Op {
+	case core.OpInvoke:
+		inv, err := core.DecodeInvocation(call.Body)
+		if err != nil {
+			return nil, err
+		}
+		if inv.Write {
+			if err := authorizeWrite(p.env, call); err != nil {
+				return nil, err
+			}
+			resp, cost, err := p.peer(p.seqAddr).Call(core.OpInvoke, call.Body)
+			call.Charge(cost)
+			return resp, err
+		}
+		return p.env.Exec.Execute(inv)
+	case core.OpApply:
+		if err := authorizeWrite(p.env, call); err != nil {
+			return nil, err
+		}
+		return nil, p.apply(call)
+	default:
+		return nil, fmt.Errorf("repl: %s peer: unexpected op %d", Active, call.Op)
+	}
+}
+
+// apply executes one ordered write. A version gap means we missed an
+// apply (e.g. while restarting); recover with a full state transfer
+// rather than replaying.
+func (p *activePeer) apply(call *rpc.Call) error {
+	version, inv, err := decodeApply(call.Body)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch {
+	case version <= p.version:
+		return nil // duplicate
+	case version == p.version+1:
+		if _, err := p.env.Exec.Execute(inv); err != nil {
+			return err
+		}
+		p.version = version
+		return nil
+	default:
+		fresh, v, state, cost, err := p.fetchState(p.seqAddr, p.version)
+		call.Charge(cost)
+		if err != nil {
+			return fmt.Errorf("repl: %s peer: resync after gap: %w", Active, err)
+		}
+		// fresh means the "gap" was a forged or duplicated version — the
+		// sequencer confirms our state is current, so apply nothing.
+		if !fresh {
+			if err := p.env.Exec.UnmarshalState(state); err != nil {
+				return err
+			}
+			p.version = v
+		}
+		return nil
+	}
+}
+
+func encodeApply(version uint64, inv core.Invocation) []byte {
+	encoded := inv.Encode()
+	out := binary.BigEndian.AppendUint64(make([]byte, 0, 8+len(encoded)), version)
+	return append(out, encoded...)
+}
+
+func decodeApply(b []byte) (uint64, core.Invocation, error) {
+	if len(b) < 8 {
+		return 0, core.Invocation{}, fmt.Errorf("repl: truncated apply message")
+	}
+	inv, err := core.DecodeInvocation(b[8:])
+	return binary.BigEndian.Uint64(b), inv, err
+}
+
+// activeProxy sends reads to a random peer and writes to the sequencer.
+type activeProxy struct {
+	env *core.Env
+
+	mu    sync.Mutex
+	rnd   *rand.Rand
+	peers map[string]*core.PeerClient
+
+	readAddrs []string
+	writeAddr string
+}
+
+func newActiveProxy(env *core.Env) (core.Replication, error) {
+	p := &activeProxy{
+		env:   env,
+		rnd:   rand.New(rand.NewSource(int64(env.OID[2])<<8 | int64(env.OID[3]))),
+		peers: make(map[string]*core.PeerClient),
+	}
+	for _, ca := range env.Peers {
+		switch ca.Role {
+		case RolePeer:
+			p.readAddrs = append(p.readAddrs, ca.Address)
+		case RoleSequencer:
+			p.writeAddr = ca.Address
+		}
+	}
+	if p.writeAddr == "" && len(p.readAddrs) > 0 {
+		p.writeAddr = p.readAddrs[0] // peers forward writes
+	}
+	if p.writeAddr == "" {
+		return nil, fmt.Errorf("repl: %s proxy for %s: no usable contact address", Active, env.OID.Short())
+	}
+	if len(p.readAddrs) == 0 {
+		p.readAddrs = []string{p.writeAddr}
+	}
+	return p, nil
+}
+
+func (p *activeProxy) peer(addr string) *core.PeerClient {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pc, ok := p.peers[addr]
+	if !ok {
+		pc = p.env.Dial(addr)
+		p.peers[addr] = pc
+	}
+	return pc
+}
+
+func (p *activeProxy) Invoke(inv core.Invocation) ([]byte, time.Duration, error) {
+	addr := p.writeAddr
+	if !inv.Write {
+		p.mu.Lock()
+		addr = p.readAddrs[p.rnd.Intn(len(p.readAddrs))]
+		p.mu.Unlock()
+	}
+	return p.peer(addr).Call(core.OpInvoke, inv.Encode())
+}
+
+func (p *activeProxy) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pc := range p.peers {
+		pc.Close()
+	}
+	p.peers = make(map[string]*core.PeerClient)
+	return nil
+}

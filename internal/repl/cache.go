@@ -1,0 +1,223 @@
+package repl
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gdn/internal/core"
+	"gdn/internal/rpc"
+)
+
+// CacheProtocol returns the pull-based caching subobject installed in
+// GDN-enabled proxy servers and HTTPDs (§4): it fills from a parent
+// replica on first use, serves reads from the local copy, and forwards
+// writes upstream. Two coherence modes, selected by the scenario
+// parameter "mode":
+//
+//   - "ttl" (default): the copy expires after the "ttl" duration and is
+//     revalidated against the parent (a cheap version check that ships
+//     state only when it changed);
+//   - "invalidate": the copy stays valid until the parent's writer
+//     pushes an invalidation; the cache subscribes at construction.
+//
+// The TTL-versus-invalidation trade-off is one of the ablations the
+// differentiated-replication experiment runs (DESIGN.md §4, E4).
+func CacheProtocol() *core.Protocol {
+	return &core.Protocol{
+		Name:     Cache,
+		NewProxy: newForwardingProxy,
+		NewReplica: func(env *core.Env) (core.Replication, error) {
+			return NewCacheReplica(env)
+		},
+	}
+}
+
+// CacheStats counts cache effectiveness for the experiments.
+type CacheStats struct {
+	// Hits served entirely from the local copy.
+	Hits int64
+	// Misses required a full state fetch.
+	Misses int64
+	// Revalidations confirmed freshness without shipping state.
+	Revalidations int64
+	// Invalidations received from the parent's writer.
+	Invalidations int64
+}
+
+// CacheReplica is the concrete caching subobject; it is exported so
+// experiments can read its statistics after driving a workload.
+type CacheReplica struct {
+	*replicaBase
+	parentAddr string
+	mode       string
+	ttl        time.Duration
+
+	cacheMu   sync.Mutex
+	haveState bool
+	fetchedAt time.Time
+	stats     CacheStats
+}
+
+// Cache modes.
+const (
+	ModeTTL        = "ttl"
+	ModeInvalidate = "invalidate"
+)
+
+// NewCacheReplica constructs a caching representative. The parent is
+// the first non-cache peer, overridable with the "parent" parameter.
+func NewCacheReplica(env *core.Env) (*CacheReplica, error) {
+	if env.Disp == nil {
+		return nil, fmt.Errorf("repl: %s replica needs a dispatcher", Cache)
+	}
+	parent := env.Param("parent", "")
+	if parent == "" {
+		parent = pickPeer(env, RoleSlave, RoleServer, RoleMaster, RolePeer, RoleSequencer)
+	}
+	if parent == "" {
+		return nil, fmt.Errorf("repl: %s replica for %s: no parent replica", Cache, env.OID.Short())
+	}
+	mode := env.Param("mode", ModeTTL)
+	if mode != ModeTTL && mode != ModeInvalidate {
+		return nil, fmt.Errorf("repl: %s: unknown mode %q", Cache, mode)
+	}
+	ttl, err := time.ParseDuration(env.Param("ttl", "30s"))
+	if err != nil {
+		return nil, fmt.Errorf("repl: %s: bad ttl: %w", Cache, err)
+	}
+
+	c := &CacheReplica{
+		replicaBase: newReplicaBase(env),
+		parentAddr:  parent,
+		mode:        mode,
+		ttl:         ttl,
+	}
+	if mode == ModeInvalidate {
+		if err := c.subscribeTo(parent, env.Disp.Addr(), RoleCache); err != nil {
+			return nil, fmt.Errorf("repl: %s: subscribe for invalidations: %w", Cache, err)
+		}
+	}
+	env.Disp.Register(env.OID, c.handle)
+	return c, nil
+}
+
+// Stats snapshots the hit/miss counters.
+func (c *CacheReplica) Stats() CacheStats {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	return c.stats
+}
+
+// Parent returns the upstream replica address.
+func (c *CacheReplica) Parent() string { return c.parentAddr }
+
+func (c *CacheReplica) Invoke(inv core.Invocation) ([]byte, time.Duration, error) {
+	if inv.Write {
+		// Write-through: the parent's protocol handles consistency; our
+		// copy is stale the moment the write succeeds, so drop it.
+		resp, cost, err := c.peer(c.parentAddr).Call(core.OpInvoke, inv.Encode())
+		if err == nil {
+			c.drop()
+		}
+		return resp, cost, err
+	}
+	cost, err := c.ensureFresh()
+	if err != nil {
+		return nil, cost, err
+	}
+	out, err := c.env.Exec.Execute(inv)
+	return out, cost, err
+}
+
+func (c *CacheReplica) Close() error {
+	c.env.Disp.Unregister(c.env.OID)
+	if c.mode == ModeInvalidate {
+		c.unsubscribeFrom(c.parentAddr, c.env.Disp.Addr())
+	}
+	c.closePeers()
+	return nil
+}
+
+// drop discards the local copy.
+func (c *CacheReplica) drop() {
+	c.cacheMu.Lock()
+	c.haveState = false
+	c.cacheMu.Unlock()
+}
+
+// ensureFresh guarantees the local copy is usable under the configured
+// coherence mode, fetching or revalidating as needed.
+func (c *CacheReplica) ensureFresh() (time.Duration, error) {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+
+	now := c.env.Now()
+	if c.haveState {
+		if c.mode == ModeInvalidate || now.Sub(c.fetchedAt) < c.ttl {
+			c.stats.Hits++
+			return 0, nil
+		}
+		// TTL expired: revalidate against the parent by version.
+		fresh, version, state, cost, err := c.fetchState(c.parentAddr, c.currentVersion())
+		if err != nil {
+			return cost, fmt.Errorf("repl: %s: revalidate: %w", Cache, err)
+		}
+		c.fetchedAt = now
+		if fresh {
+			c.stats.Revalidations++
+			return cost, nil
+		}
+		if err := c.env.Exec.UnmarshalState(state); err != nil {
+			return cost, err
+		}
+		c.setVersion(version)
+		c.stats.Misses++
+		return cost, nil
+	}
+
+	_, version, state, cost, err := c.fetchState(c.parentAddr, 0)
+	if err != nil {
+		return cost, fmt.Errorf("repl: %s: fill: %w", Cache, err)
+	}
+	if err := c.env.Exec.UnmarshalState(state); err != nil {
+		return cost, err
+	}
+	c.setVersion(version)
+	c.haveState = true
+	c.fetchedAt = now
+	c.stats.Misses++
+	return cost, nil
+}
+
+func (c *CacheReplica) handle(call *rpc.Call) ([]byte, error) {
+	if handled, resp, err := c.handleCommon(call); handled {
+		return resp, err
+	}
+	switch call.Op {
+	case core.OpInvoke:
+		inv, err := core.DecodeInvocation(call.Body)
+		if err != nil {
+			return nil, err
+		}
+		if inv.Write {
+			if err := authorizeWrite(c.env, call); err != nil {
+				return nil, err
+			}
+		}
+		resp, cost, err := c.Invoke(inv)
+		call.Charge(cost)
+		return resp, err
+	case core.OpInvalidate:
+		if err := authorizeWrite(c.env, call); err != nil {
+			return nil, err
+		}
+		c.cacheMu.Lock()
+		c.haveState = false
+		c.stats.Invalidations++
+		c.cacheMu.Unlock()
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("repl: %s: unexpected op %d", Cache, call.Op)
+	}
+}

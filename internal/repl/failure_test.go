@@ -1,0 +1,202 @@
+package repl
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gdn/internal/gls"
+	"gdn/internal/ids"
+	"gdn/internal/transport"
+)
+
+// Failure injection: the paper names host and network failures as the
+// availability threats replication is meant to absorb (§6.1). These
+// tests crash sites and cut links with the simulator and check which
+// operations survive.
+
+func TestSlaveReadsSurviveMasterCrash(t *testing.T) {
+	f := newFixture(t, nil)
+	oid := ids.New()
+	_, masterCA := f.replica(oid, "origin", MasterSlave, RoleMaster, nil, nil)
+	slave, _ := f.replica(oid, "us-client", MasterSlave, RoleSlave, nil, []gls.ContactAddress{masterCA})
+
+	mustSet(t, slave, "k", "v")
+	f.net.SetDown("origin", true)
+
+	// Reads at the slave keep working: the replica holds full state.
+	if val, _ := mustGet(t, slave, "k"); val != "v" {
+		t.Fatalf("slave read after master crash = %q", val)
+	}
+	// Writes need the master and fail cleanly.
+	if _, _, err := slave.Invoke("set", true, setArgs("k", "v2")); err == nil {
+		t.Fatal("write must fail while the master is down")
+	}
+
+	// The master recovers; writes flow again and push to the slave.
+	f.net.SetDown("origin", false)
+	if _, _, err := slave.Invoke("set", true, setArgs("k", "v2")); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+	if val, _ := mustGet(t, slave, "k"); val != "v2" {
+		t.Fatalf("slave read after recovery = %q", val)
+	}
+}
+
+func TestMasterWritesSurviveSlaveCrash(t *testing.T) {
+	f := newFixture(t, nil)
+	oid := ids.New()
+	master, masterCA := f.replica(oid, "origin", MasterSlave, RoleMaster, nil, nil)
+	f.replica(oid, "us-client", MasterSlave, RoleSlave, nil, []gls.ContactAddress{masterCA})
+
+	f.net.SetDown("us-client", true)
+	// The push to the dead slave fails, is logged, and the write
+	// succeeds: one crashed replica must not stall the object.
+	if _, _, err := master.Invoke("set", true, setArgs("a", "1")); err != nil {
+		t.Fatalf("master write with dead slave: %v", err)
+	}
+	if val, _ := mustGet(t, master, "a"); val != "1" {
+		t.Fatal("master state lost")
+	}
+}
+
+func TestPartitionHealsCleanly(t *testing.T) {
+	f := newFixture(t, nil)
+	oid := ids.New()
+	f.replica(oid, "origin", ClientServer, RoleServer, nil, nil)
+	client := f.bind("us-client", oid)
+
+	mustSet(t, client, "x", "1")
+	f.net.Partition("us-client", "origin")
+
+	_, _, err := client.Invoke("get", false, getArgs("x"))
+	if err == nil {
+		t.Fatal("read across a partition must fail")
+	}
+	if !errors.Is(err, transport.ErrUnreachable) && !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("unexpected failure shape: %v", err)
+	}
+
+	f.net.Heal("us-client", "origin")
+	// The client pool discards the broken connection and redials.
+	if val, _ := mustGet(t, client, "x"); val != "1" {
+		t.Fatalf("read after heal = %q", val)
+	}
+}
+
+func TestTTLCacheServesDuringParentOutage(t *testing.T) {
+	f := newFixture(t, nil)
+	oid := ids.New()
+	_, serverCA := f.replica(oid, "origin", ClientServer, RoleServer, nil, nil)
+	cacheLR, _ := f.replica(oid, "us-client", Cache, RoleCache,
+		map[string]string{"ttl": "1h"}, []gls.ContactAddress{serverCA})
+
+	origin := f.bind("origin", oid)
+	mustSet(t, origin, "pkg", "v1")
+	if val, _ := mustGet(t, cacheLR, "pkg"); val != "v1" {
+		t.Fatal("fill failed")
+	}
+
+	// Origin goes dark: the cache keeps serving its valid copy — the
+	// availability upside of §3.1's replication argument.
+	f.net.SetDown("origin", true)
+	if val, _ := mustGet(t, cacheLR, "pkg"); val != "v1" {
+		t.Fatal("cache must serve through the outage")
+	}
+
+	// After TTL expiry the revalidation fails: staleness bounds
+	// availability in TTL mode.
+	f.clock.Advance(2 * time.Hour)
+	if _, _, err := cacheLR.Invoke("get", false, getArgs("pkg")); err == nil {
+		t.Fatal("expired cache with dead parent must fail, not serve stale silently")
+	}
+}
+
+func TestLocalLookupSurvivesRootCrash(t *testing.T) {
+	// The GLS design point: objects with nearby replicas resolve with
+	// "local" communication only, so even a dead root node does not
+	// break them (§3.5).
+	f := newFixture(t, nil)
+	oid := ids.New()
+	f.replica(oid, "eu-client", ClientServer, RoleServer, nil, nil)
+
+	f.net.SetDown("hub", true) // the root directory node's site
+
+	addrs, _, err := f.rts["eu-client"].Resolver().Lookup(oid)
+	if err != nil {
+		t.Fatalf("local lookup with dead root: %v", err)
+	}
+	if len(addrs) != 1 {
+		t.Fatalf("addrs = %v", addrs)
+	}
+
+	// An object with no local entry needs the root and fails — the
+	// failure is contained to remote objects.
+	if _, _, err := f.rts["us-client"].Resolver().Lookup(oid); err == nil {
+		t.Fatal("cross-region lookup requires the root")
+	}
+}
+
+func TestActivePeerCrashDoesNotBlockOthers(t *testing.T) {
+	f := newFixture(t, nil)
+	oid := ids.New()
+	seq, seqCA := f.replica(oid, "origin", Active, RoleSequencer, nil, nil)
+	peerUp, _ := f.replica(oid, "eu-client", Active, RolePeer, nil, []gls.ContactAddress{seqCA})
+	f.replica(oid, "us-client", Active, RolePeer, nil, []gls.ContactAddress{seqCA})
+
+	f.net.SetDown("us-client", true)
+	if _, _, err := seq.Invoke("set", true, setArgs("a", "1")); err != nil {
+		t.Fatalf("write with one dead peer: %v", err)
+	}
+	if val, _ := mustGet(t, peerUp, "a"); val != "1" {
+		t.Fatal("surviving peer missed the apply")
+	}
+}
+
+func TestRecoveredActivePeerResyncsOnNextApply(t *testing.T) {
+	f := newFixture(t, nil)
+	oid := ids.New()
+	seq, seqCA := f.replica(oid, "origin", Active, RoleSequencer, nil, nil)
+	peer, _ := f.replica(oid, "us-client", Active, RolePeer, nil, []gls.ContactAddress{seqCA})
+
+	mustSet(t, seq, "a", "1")
+	f.net.SetDown("us-client", true)
+	mustSet(t, seq, "b", "2") // missed by the dead peer
+	mustSet(t, seq, "c", "3") // missed too
+	f.net.SetDown("us-client", false)
+
+	// The next apply carries a version gap; the peer detects it and
+	// performs a full state transfer instead of applying out of order.
+	mustSet(t, seq, "d", "4")
+	for key, want := range map[string]string{"a": "1", "b": "2", "c": "3", "d": "4"} {
+		if got, _ := mustGet(t, peer, key); got != want {
+			t.Fatalf("peer %s = %q after resync, want %q", key, got, want)
+		}
+	}
+}
+
+func TestBindFailsCleanlyWhenReplicaUnreachable(t *testing.T) {
+	// Cut the clients off from the replica's site but not from the
+	// location service: binding (a directory operation relayed through
+	// the tree) still succeeds, while invocations (direct client →
+	// replica traffic) fail cleanly instead of hanging.
+	f := newFixture(t, nil)
+	oid := ids.New()
+	f.replica(oid, "origin", ClientServer, RoleServer, nil, nil)
+	client := f.bind("us-client", oid)
+
+	f.net.Partition("eu-client", "origin")
+	f.net.Partition("us-client", "origin")
+
+	lr, _, err := f.rts["eu-client"].Bind(oid)
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	defer lr.Close()
+	if _, _, err := lr.Invoke("get", false, getArgs("x")); err == nil {
+		t.Fatal("invoke on an unreachable object must fail")
+	}
+	if _, _, err := client.Invoke("get", false, getArgs("x")); err == nil {
+		t.Fatal("existing binding must fail too")
+	}
+}

@@ -1,0 +1,34 @@
+package repl
+
+import (
+	"time"
+
+	"gdn/internal/core"
+)
+
+// LocalProtocol returns the degenerate protocol for objects private to
+// one address space: a single copy, no network traffic, no contact
+// point. Moderator tools stage new package objects with it before
+// shipping their state to object servers.
+func LocalProtocol() *core.Protocol {
+	return &core.Protocol{
+		Name: Local,
+		NewProxy: func(env *core.Env) (core.Replication, error) {
+			return &localRepl{env: env}, nil
+		},
+		NewReplica: func(env *core.Env) (core.Replication, error) {
+			return &localRepl{env: env}, nil
+		},
+	}
+}
+
+type localRepl struct {
+	env *core.Env
+}
+
+func (l *localRepl) Invoke(inv core.Invocation) ([]byte, time.Duration, error) {
+	out, err := l.env.Exec.Execute(inv)
+	return out, 0, err
+}
+
+func (l *localRepl) Close() error { return nil }

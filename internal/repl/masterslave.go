@@ -1,0 +1,308 @@
+package repl
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gdn/internal/core"
+	"gdn/internal/rpc"
+)
+
+// MasterSlaveProtocol returns the master/slave protocol: one master
+// replica accepts all writes and synchronously pushes the resulting
+// state to slave replicas placed near clients, which serve reads
+// locally. The second of the two protocols the paper ships (§7) and
+// the workhorse of the GDN: packages are written rarely (by
+// moderators) and read often (by everyone), exactly the mix this
+// protocol favours.
+func MasterSlaveProtocol() *core.Protocol {
+	return &core.Protocol{
+		Name:     MasterSlave,
+		NewProxy: newMSProxy,
+		NewReplica: func(env *core.Env) (core.Replication, error) {
+			switch env.Role {
+			case RoleMaster:
+				return newMSMaster(env)
+			case RoleSlave:
+				return newMSSlave(env)
+			default:
+				return nil, fmt.Errorf("repl: %s: unknown role %q", MasterSlave, env.Role)
+			}
+		},
+	}
+}
+
+// msMaster is the master replica: the single writer.
+type msMaster struct {
+	*replicaBase
+	// writeMu serializes writes so state pushes leave in write order.
+	writeMu sync.Mutex
+}
+
+func newMSMaster(env *core.Env) (core.Replication, error) {
+	if env.Disp == nil {
+		return nil, fmt.Errorf("repl: %s master needs a dispatcher", MasterSlave)
+	}
+	m := &msMaster{replicaBase: newReplicaBase(env)}
+	env.Disp.Register(env.OID, m.handle)
+	return m, nil
+}
+
+func (m *msMaster) Invoke(inv core.Invocation) ([]byte, time.Duration, error) {
+	if inv.Write {
+		return m.write(inv, nil)
+	}
+	out, err := m.env.Exec.Execute(inv)
+	return out, 0, err
+}
+
+func (m *msMaster) Close() error {
+	m.env.Disp.Unregister(m.env.OID)
+	m.closePeers()
+	return nil
+}
+
+func (m *msMaster) handle(call *rpc.Call) ([]byte, error) {
+	if handled, resp, err := m.handleCommon(call); handled {
+		return resp, err
+	}
+	if call.Op != core.OpInvoke {
+		return nil, fmt.Errorf("repl: %s master: unexpected op %d", MasterSlave, call.Op)
+	}
+	inv, err := core.DecodeInvocation(call.Body)
+	if err != nil {
+		return nil, err
+	}
+	if !inv.Write {
+		return m.env.Exec.Execute(inv)
+	}
+	if err := authorizeWrite(m.env, call); err != nil {
+		return nil, err
+	}
+	out, cost, err := m.write(inv, call)
+	if call != nil {
+		call.Charge(cost)
+	}
+	return out, err
+}
+
+// write executes a state-modifying invocation and synchronously pushes
+// the new state to every slave before returning, so a client whose
+// write has been acknowledged reads it at any slave.
+func (m *msMaster) write(inv core.Invocation, call *rpc.Call) ([]byte, time.Duration, error) {
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+
+	out, err := m.env.Exec.Execute(inv)
+	if err != nil {
+		return nil, 0, err
+	}
+	version := m.bumpVersion()
+	state, err := m.env.Exec.MarshalState()
+	if err != nil {
+		return nil, 0, fmt.Errorf("repl: %s master: marshal after write: %w", MasterSlave, err)
+	}
+
+	var total time.Duration
+	slaveAddrs := m.slaveAddrs()
+	if len(slaveAddrs) > 0 {
+		cost, perr := m.pushAll(slaveAddrs, core.OpStatePush, encodeStatePush(version, state))
+		total += cost
+		if perr != nil {
+			m.env.Logf("repl: %s master %s: push: %v", MasterSlave, m.env.OID.Short(), perr)
+		}
+	}
+	if cacheSubs := m.subscribers(RoleCache); len(cacheSubs) > 0 {
+		addrs := make([]string, len(cacheSubs))
+		for i, s := range cacheSubs {
+			addrs[i] = s.addr
+		}
+		cost, perr := m.pushAll(addrs, core.OpInvalidate, nil)
+		total += cost
+		if perr != nil {
+			m.env.Logf("repl: %s master %s: invalidate: %v", MasterSlave, m.env.OID.Short(), perr)
+		}
+	}
+	return out, total, nil
+}
+
+// slaveAddrs merges statically configured slaves (from the replication
+// scenario) with dynamically subscribed ones.
+func (m *msMaster) slaveAddrs() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, ca := range m.env.PeersWithRole(RoleSlave) {
+		if !seen[ca.Address] {
+			seen[ca.Address] = true
+			out = append(out, ca.Address)
+		}
+	}
+	for _, s := range m.subscribers(RoleSlave) {
+		if !seen[s.addr] {
+			seen[s.addr] = true
+			out = append(out, s.addr)
+		}
+	}
+	return out
+}
+
+// msSlave is a read replica: it initializes from the master, receives
+// synchronous state pushes, serves reads locally and forwards writes.
+type msSlave struct {
+	*replicaBase
+	masterAddr string
+}
+
+func newMSSlave(env *core.Env) (core.Replication, error) {
+	if env.Disp == nil {
+		return nil, fmt.Errorf("repl: %s slave needs a dispatcher", MasterSlave)
+	}
+	masters := env.PeersWithRole(RoleMaster)
+	if len(masters) == 0 {
+		return nil, fmt.Errorf("repl: %s slave for %s: no master in peer set", MasterSlave, env.OID.Short())
+	}
+	s := &msSlave{replicaBase: newReplicaBase(env), masterAddr: masters[0].Address}
+
+	// State transfer, then subscription; a push racing between the two
+	// only delivers a version we already have or newer.
+	_, version, state, _, err := s.fetchState(s.masterAddr, 0)
+	if err != nil {
+		return nil, fmt.Errorf("repl: %s slave: initial state transfer: %w", MasterSlave, err)
+	}
+	if err := env.Exec.UnmarshalState(state); err != nil {
+		return nil, fmt.Errorf("repl: %s slave: install state: %w", MasterSlave, err)
+	}
+	s.setVersion(version)
+	if err := s.subscribeTo(s.masterAddr, env.Disp.Addr(), RoleSlave); err != nil {
+		return nil, fmt.Errorf("repl: %s slave: subscribe: %w", MasterSlave, err)
+	}
+	env.Disp.Register(env.OID, s.handle)
+	return s, nil
+}
+
+func (s *msSlave) Invoke(inv core.Invocation) ([]byte, time.Duration, error) {
+	if inv.Write {
+		// Writes go to the single writer; the master pushes the
+		// resulting state back to us before acknowledging.
+		return s.peer(s.masterAddr).Call(core.OpInvoke, inv.Encode())
+	}
+	out, err := s.env.Exec.Execute(inv)
+	return out, 0, err
+}
+
+func (s *msSlave) Close() error {
+	s.env.Disp.Unregister(s.env.OID)
+	s.unsubscribeFrom(s.masterAddr, s.env.Disp.Addr())
+	s.closePeers()
+	return nil
+}
+
+func (s *msSlave) handle(call *rpc.Call) ([]byte, error) {
+	if handled, resp, err := s.handleCommon(call); handled {
+		return resp, err
+	}
+	switch call.Op {
+	case core.OpInvoke:
+		inv, err := core.DecodeInvocation(call.Body)
+		if err != nil {
+			return nil, err
+		}
+		if inv.Write {
+			if err := authorizeWrite(s.env, call); err != nil {
+				return nil, err
+			}
+			resp, cost, err := s.peer(s.masterAddr).Call(core.OpInvoke, call.Body)
+			call.Charge(cost)
+			return resp, err
+		}
+		return s.env.Exec.Execute(inv)
+	case core.OpStatePush:
+		if err := authorizeWrite(s.env, call); err != nil {
+			return nil, err
+		}
+		version, state, err := decodeStatePush(call.Body)
+		if err != nil {
+			return nil, err
+		}
+		if version <= s.currentVersion() {
+			return nil, nil // stale or duplicate push
+		}
+		if err := s.env.Exec.UnmarshalState(state); err != nil {
+			return nil, err
+		}
+		s.setVersion(version)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("repl: %s slave: unexpected op %d", MasterSlave, call.Op)
+	}
+}
+
+// msProxy is the binding client's subobject: reads go to a slave (the
+// location service returned the nearest representatives), writes go to
+// the master — directly when known, else through a slave.
+type msProxy struct {
+	env *core.Env
+
+	mu    sync.Mutex
+	rnd   *rand.Rand
+	peers map[string]*core.PeerClient
+
+	readAddrs []string
+	writeAddr string
+}
+
+func newMSProxy(env *core.Env) (core.Replication, error) {
+	p := &msProxy{
+		env:   env,
+		rnd:   rand.New(rand.NewSource(int64(env.OID[0])<<8 | int64(env.OID[1]))),
+		peers: make(map[string]*core.PeerClient),
+	}
+	for _, ca := range env.PeersWithRole(RoleSlave) {
+		p.readAddrs = append(p.readAddrs, ca.Address)
+	}
+	if masters := env.PeersWithRole(RoleMaster); len(masters) > 0 {
+		p.writeAddr = masters[0].Address
+		if len(p.readAddrs) == 0 {
+			p.readAddrs = []string{p.writeAddr}
+		}
+	} else if len(p.readAddrs) > 0 {
+		// No master visible: slaves forward writes on our behalf.
+		p.writeAddr = p.readAddrs[0]
+	} else {
+		return nil, fmt.Errorf("repl: %s proxy for %s: no usable contact address", MasterSlave, env.OID.Short())
+	}
+	return p, nil
+}
+
+func (p *msProxy) peer(addr string) *core.PeerClient {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pc, ok := p.peers[addr]
+	if !ok {
+		pc = p.env.Dial(addr)
+		p.peers[addr] = pc
+	}
+	return pc
+}
+
+func (p *msProxy) Invoke(inv core.Invocation) ([]byte, time.Duration, error) {
+	addr := p.writeAddr
+	if !inv.Write {
+		p.mu.Lock()
+		addr = p.readAddrs[p.rnd.Intn(len(p.readAddrs))]
+		p.mu.Unlock()
+	}
+	return p.peer(addr).Call(core.OpInvoke, inv.Encode())
+}
+
+func (p *msProxy) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pc := range p.peers {
+		pc.Close()
+	}
+	p.peers = make(map[string]*core.PeerClient)
+	return nil
+}

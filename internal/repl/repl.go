@@ -1,0 +1,362 @@
+// Package repl implements Globe's replication subobjects: the
+// interchangeable protocols that keep the state of a distributed shared
+// object's representatives consistent (paper §3.3). Each protocol
+// provides a proxy side (installed in binding clients) and a replica
+// side (hosted by object servers and GDN HTTPDs), both implementing the
+// standard core.Replication interface over opaque invocations.
+//
+// The protocols:
+//
+//   - "local": a single non-contactable copy; no network traffic. Used
+//     for objects private to one address space.
+//   - "clientserver": one server replica holds the state; proxies
+//     forward every invocation to it. One of the two protocols the
+//     paper ships (§7).
+//   - "masterslave": a master accepts writes and synchronously pushes
+//     full state to slave replicas, which serve reads near clients. The
+//     paper's second shipped protocol (§7).
+//   - "active": writes are ordered by a sequencer replica and applied
+//     at every peer; reads are local at any peer. The "actively
+//     replicate all the state at all the local representatives"
+//     strategy of §3.3.
+//   - "cache": a pull-based replica for GDN proxy servers: it fills
+//     from a parent replica on demand and serves reads locally, with
+//     either TTL expiry or server-sent invalidations — the two
+//     coherence options the differentiated-replication study needs.
+//
+// A note on consistency semantics: "masterslave" pushes state
+// synchronously before acknowledging a write, so reads at any slave
+// after a write acknowledges see that write (the strong setting the
+// GDN wants for software integrity). "cache" serves stale reads up to
+// its TTL, which is the trade-off the E4 experiment quantifies.
+package repl
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"gdn/internal/core"
+	"gdn/internal/rpc"
+	"gdn/internal/sec"
+	"gdn/internal/wire"
+)
+
+// Protocol names.
+const (
+	Local        = "local"
+	ClientServer = "clientserver"
+	MasterSlave  = "masterslave"
+	Active       = "active"
+	Cache        = "cache"
+)
+
+// Roles within protocols.
+const (
+	RoleServer    = "server"
+	RoleMaster    = "master"
+	RoleSlave     = "slave"
+	RoleSequencer = "sequencer"
+	RolePeer      = "peer"
+	RoleCache     = "cache"
+)
+
+// RegisterAll installs every protocol in a registry.
+func RegisterAll(reg *core.Registry) {
+	reg.RegisterProtocol(LocalProtocol())
+	reg.RegisterProtocol(ClientServerProtocol())
+	reg.RegisterProtocol(MasterSlaveProtocol())
+	reg.RegisterProtocol(ActiveProtocol())
+	reg.RegisterProtocol(CacheProtocol())
+}
+
+// writeRoles are the principal roles allowed to perform state-modifying
+// operations when a deployment runs with security (paper §6.1:
+// authorized senders are moderator tools and GDN object servers).
+var writeRoles = []string{sec.RoleModerator, sec.RoleAdmin, sec.RoleGOS}
+
+// authorizeWrite admits a state-modifying message. Unsecured
+// deployments (env.Auth == nil) admit everyone. Beyond the global
+// write roles, a peer with the maintainer role is admitted when the
+// object's replication scenario names it in the "maintainers"
+// parameter — the paper's fourth group, which "is allowed to manage
+// just the contents of a package" (§2).
+func authorizeWrite(env *core.Env, call *rpc.Call) error {
+	if env.Auth == nil {
+		return nil
+	}
+	if sec.HasRole(call.Peer, writeRoles...) {
+		return nil
+	}
+	if sec.RoleOf(call.Peer) == sec.RoleMaintainer && maintainerListed(env, call.Peer) {
+		return nil
+	}
+	return fmt.Errorf("%w: peer %q may not modify object %s",
+		sec.ErrUnauthorized, call.Peer, env.OID.Short())
+}
+
+// maintainerListed reports whether the scenario's comma-separated
+// "maintainers" parameter names the principal.
+func maintainerListed(env *core.Env, principal string) bool {
+	for _, m := range strings.Split(env.Param("maintainers", ""), ",") {
+		if m != "" && m == principal {
+			return true
+		}
+	}
+	return false
+}
+
+// subscriber is a peer representative that asked to be kept consistent.
+type subscriber struct {
+	addr string
+	role string
+}
+
+// replicaBase carries the bookkeeping every hosted replica shares:
+// a state version, the subscriber set, and cached peer connections.
+type replicaBase struct {
+	env *core.Env
+
+	mu      sync.Mutex
+	version uint64
+	subs    map[string]subscriber // keyed by address
+
+	peerMu sync.Mutex
+	peers  map[string]*core.PeerClient
+}
+
+func newReplicaBase(env *core.Env) *replicaBase {
+	return &replicaBase{
+		env:   env,
+		subs:  make(map[string]subscriber),
+		peers: make(map[string]*core.PeerClient),
+	}
+}
+
+// peer returns a cached connection to a remote dispatcher.
+func (rb *replicaBase) peer(addr string) *core.PeerClient {
+	rb.peerMu.Lock()
+	defer rb.peerMu.Unlock()
+	p, ok := rb.peers[addr]
+	if !ok {
+		p = rb.env.Dial(addr)
+		rb.peers[addr] = p
+	}
+	return p
+}
+
+// closePeers releases all cached connections.
+func (rb *replicaBase) closePeers() {
+	rb.peerMu.Lock()
+	defer rb.peerMu.Unlock()
+	for _, p := range rb.peers {
+		p.Close()
+	}
+	rb.peers = make(map[string]*core.PeerClient)
+}
+
+// bumpVersion marks the state as changed and returns the new version.
+func (rb *replicaBase) bumpVersion() uint64 {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	rb.version++
+	return rb.version
+}
+
+// setVersion records the version received with pushed state.
+func (rb *replicaBase) setVersion(v uint64) {
+	rb.mu.Lock()
+	rb.version = v
+	rb.mu.Unlock()
+}
+
+// currentVersion reads the state version.
+func (rb *replicaBase) currentVersion() uint64 {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.version
+}
+
+// addSubscriber registers a peer for pushes/invalidations.
+func (rb *replicaBase) addSubscriber(addr, role string) {
+	rb.mu.Lock()
+	rb.subs[addr] = subscriber{addr: addr, role: role}
+	rb.mu.Unlock()
+}
+
+// removeSubscriber drops a registration.
+func (rb *replicaBase) removeSubscriber(addr string) {
+	rb.mu.Lock()
+	delete(rb.subs, addr)
+	rb.mu.Unlock()
+}
+
+// subscribers snapshots the subscriber set, optionally filtered by role.
+func (rb *replicaBase) subscribers(role string) []subscriber {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	out := make([]subscriber, 0, len(rb.subs))
+	for _, s := range rb.subs {
+		if role == "" || s.role == role {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// handleCommon serves the operations every replica answers: state
+// fetches and (un)subscriptions. It reports whether it handled the op.
+func (rb *replicaBase) handleCommon(call *rpc.Call) (handled bool, resp []byte, err error) {
+	switch call.Op {
+	case core.OpStateGet:
+		resp, err = rb.handleStateGet(call)
+		return true, resp, err
+	case core.OpSubscribe:
+		resp, err = rb.handleSubscribe(call, true)
+		return true, resp, err
+	case core.OpUnsubscribe:
+		resp, err = rb.handleSubscribe(call, false)
+		return true, resp, err
+	default:
+		return false, nil, nil
+	}
+}
+
+// handleStateGet answers a versioned state fetch: when the caller's
+// version is current the response says "fresh" without shipping state.
+func (rb *replicaBase) handleStateGet(call *rpc.Call) ([]byte, error) {
+	r := wire.NewReader(call.Body)
+	haveVersion := r.Uint64()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	rb.mu.Lock()
+	version := rb.version
+	rb.mu.Unlock()
+
+	w := wire.NewWriter(64)
+	if haveVersion == version && version != 0 {
+		w.Bool(true) // fresh
+		w.Uint64(version)
+		w.Bytes32(nil)
+		return w.Bytes(), nil
+	}
+	state, err := rb.env.Exec.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	w.Bool(false)
+	w.Uint64(version)
+	w.Bytes32(state)
+	return w.Bytes(), nil
+}
+
+func (rb *replicaBase) handleSubscribe(call *rpc.Call, add bool) ([]byte, error) {
+	// Subscriptions alter who receives state: only GDN infrastructure
+	// may register (a hostile subscriber could otherwise stall writes).
+	if rb.env.Auth != nil && !sec.HasRole(call.Peer, sec.RoleGOS, sec.RoleHTTPD, sec.RoleAdmin) {
+		return nil, fmt.Errorf("%w: peer %q may not subscribe", sec.ErrUnauthorized, call.Peer)
+	}
+	r := wire.NewReader(call.Body)
+	addr := r.Str()
+	role := r.Str()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if add {
+		rb.addSubscriber(addr, role)
+	} else {
+		rb.removeSubscriber(addr)
+	}
+	return nil, nil
+}
+
+// subscribeTo announces this replica to a parent.
+func (rb *replicaBase) subscribeTo(parentAddr, ownAddr, role string) error {
+	w := wire.NewWriter(64)
+	w.Str(ownAddr)
+	w.Str(role)
+	_, _, err := rb.peer(parentAddr).Call(core.OpSubscribe, w.Bytes())
+	return err
+}
+
+// unsubscribeFrom withdraws the announcement; failures are ignored
+// because teardown must proceed even when the parent is gone.
+func (rb *replicaBase) unsubscribeFrom(parentAddr, ownAddr string) {
+	w := wire.NewWriter(64)
+	w.Str(ownAddr)
+	w.Str("")
+	rb.peer(parentAddr).Call(core.OpUnsubscribe, w.Bytes()) //nolint:errcheck
+}
+
+// fetchState pulls state from a parent replica. It returns fresh=true
+// when the parent confirmed haveVersion is current.
+func (rb *replicaBase) fetchState(parentAddr string, haveVersion uint64) (fresh bool, version uint64, state []byte, cost time.Duration, err error) {
+	w := wire.NewWriter(8)
+	w.Uint64(haveVersion)
+	resp, cost, err := rb.peer(parentAddr).Call(core.OpStateGet, w.Bytes())
+	if err != nil {
+		return false, 0, nil, cost, err
+	}
+	r := wire.NewReader(resp)
+	fresh = r.Bool()
+	version = r.Uint64()
+	state = r.Bytes32()
+	if err := r.Done(); err != nil {
+		return false, 0, nil, cost, err
+	}
+	return fresh, version, state, cost, nil
+}
+
+// pushAll delivers op+body to every address concurrently and returns
+// the maximum single cost — pushes happen in parallel, so the latency a
+// client observes is the slowest push, while the network meter has
+// already counted every frame.
+func (rb *replicaBase) pushAll(addrs []string, op uint16, body []byte) (time.Duration, error) {
+	if len(addrs) == 0 {
+		return 0, nil
+	}
+	type result struct {
+		cost time.Duration
+		err  error
+	}
+	results := make(chan result, len(addrs))
+	for _, addr := range addrs {
+		go func(addr string) {
+			_, cost, err := rb.peer(addr).Call(op, body)
+			results <- result{cost, err}
+		}(addr)
+	}
+	var max time.Duration
+	var firstErr error
+	for range addrs {
+		r := <-results
+		if r.cost > max {
+			max = r.cost
+		}
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	return max, firstErr
+}
+
+// encodeStatePush builds an OpStatePush body.
+func encodeStatePush(version uint64, state []byte) []byte {
+	w := wire.NewWriter(16 + len(state))
+	w.Uint64(version)
+	w.Bytes32(state)
+	return w.Bytes()
+}
+
+// decodeStatePush reverses encodeStatePush.
+func decodeStatePush(b []byte) (version uint64, state []byte, err error) {
+	r := wire.NewReader(b)
+	version = r.Uint64()
+	state = r.Bytes32()
+	if err := r.Done(); err != nil {
+		return 0, nil, err
+	}
+	return version, state, nil
+}

@@ -1,0 +1,456 @@
+// Package rpc implements the request/response protocol every Globe
+// service in this repository speaks: location-service directory nodes,
+// object servers, replication peers and naming authorities.
+//
+// Messages are opaque bodies tagged with an operation code, matching the
+// paper's model of subobjects that exchange "opaque invocation messages"
+// (§3.3). The one Globe-specific feature is virtual cost propagation:
+// a server accumulates the simulated network cost of the nested calls it
+// makes on behalf of a request and reports it in the response, so a
+// client's Call returns the cost of the entire dependent call tree. This
+// is how experiments measure, for example, that a location-service
+// lookup costs time proportional to the distance between client and
+// nearest replica (paper §3.5) without any real sleeping.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"gdn/internal/transport"
+	"gdn/internal/wire"
+)
+
+// RemoteError is an application error returned by the remote handler,
+// as opposed to a transport failure.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "rpc: remote error: " + e.Msg }
+
+// IsRemote reports whether err is an application-level error from the
+// remote handler rather than a transport failure.
+func IsRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
+
+// Call carries one inbound request to a handler.
+type Call struct {
+	// Op is the service-specific operation code.
+	Op uint16
+	// Body is the opaque request body.
+	Body []byte
+	// Peer is the authenticated principal name when the connection runs
+	// over a security channel, or "" for unauthenticated connections.
+	Peer string
+	// RemoteAddr is the transport address of the caller.
+	RemoteAddr string
+
+	cost time.Duration
+}
+
+// Charge adds the virtual cost of a nested call made while serving this
+// request; it is reflected back to the caller in the response.
+func (c *Call) Charge(d time.Duration) { c.cost += d }
+
+// Cost returns the nested cost charged so far. Demultiplexing layers
+// use it to propagate charges recorded on a copied Call to the original.
+func (c *Call) Cost() time.Duration { return c.cost }
+
+// Handler processes one request and returns the response body. A
+// returned error is delivered to the client as a RemoteError. Handlers
+// must be safe for concurrent use.
+type Handler func(c *Call) ([]byte, error)
+
+// ConnWrapper optionally upgrades an accepted or dialed connection —
+// package sec uses this to install authenticated channels without rpc
+// depending on it. It returns the upgraded connection and the peer's
+// authenticated principal name ("" if anonymous).
+type ConnWrapper func(transport.Conn) (transport.Conn, string, error)
+
+// Server serves a Handler on one transport address.
+type Server struct {
+	handler Handler
+	wrap    ConnWrapper
+	logf    func(format string, args ...any)
+
+	mu       sync.Mutex
+	listener transport.Listener
+	conns    map[transport.Conn]struct{}
+	closed   bool
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithServerWrapper installs a connection upgrade (e.g. a security
+// channel handshake) applied to every accepted connection.
+func WithServerWrapper(w ConnWrapper) ServerOption {
+	return func(s *Server) { s.wrap = w }
+}
+
+// WithServerLog directs server diagnostics to logf instead of the
+// standard logger; tests use it to silence expected failures.
+func WithServerLog(logf func(string, ...any)) ServerOption {
+	return func(s *Server) { s.logf = logf }
+}
+
+// Serve starts serving handler on addr over net. It returns once the
+// listener is installed; connections are handled on background
+// goroutines until Close.
+func Serve(net transport.Network, addr string, handler Handler, opts ...ServerOption) (*Server, error) {
+	s := &Server{
+		handler: handler,
+		conns:   make(map[transport.Conn]struct{}),
+		logf:    func(string, ...any) {},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	l, err := net.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	s.listener = l
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// Close stops the listener and tears down active connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		c, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) track(c transport.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c transport.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *Server) serveConn(raw transport.Conn) {
+	conn, peer := raw, ""
+	if s.wrap != nil {
+		var err error
+		conn, peer, err = s.wrap(raw)
+		if err != nil {
+			s.logf("rpc: connection upgrade from %s failed: %v", raw.RemoteAddr(), err)
+			raw.Close()
+			return
+		}
+	}
+	if !s.track(conn) {
+		conn.Close()
+		return
+	}
+	defer func() {
+		s.untrack(conn)
+		conn.Close()
+	}()
+	for {
+		frame, frameCost, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		call, err := decodeRequest(frame)
+		if err != nil {
+			s.logf("rpc: malformed request from %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		call.Peer = peer
+		call.RemoteAddr = conn.RemoteAddr()
+		body, herr := s.safeHandle(call)
+		resp := encodeResponse(body, herr, frameCost+call.cost)
+		if err := conn.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// safeHandle runs the handler, converting a panic into an error so one
+// bad request cannot take the server down (paper §6.1: availability in
+// the face of malformed traffic).
+func (s *Server) safeHandle(call *Call) (body []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("handler panic: %v", r)
+			s.logf("rpc: handler panic serving op %d: %v", call.Op, r)
+		}
+	}()
+	return s.handler(call)
+}
+
+func decodeRequest(frame []byte) (*Call, error) {
+	r := wire.NewReader(frame)
+	op := r.Uint16()
+	body := r.Bytes32()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &Call{Op: op, Body: body}, nil
+}
+
+func encodeRequest(op uint16, body []byte) []byte {
+	w := wire.NewWriter(6 + len(body))
+	w.Uint16(op)
+	w.Bytes32(body)
+	return w.Bytes()
+}
+
+func encodeResponse(body []byte, herr error, cost time.Duration) []byte {
+	w := wire.NewWriter(16 + len(body))
+	if herr != nil {
+		w.Uint8(1)
+		w.Str(truncateErr(herr.Error()))
+		w.Int64(int64(cost))
+		w.Bytes32(nil)
+	} else {
+		w.Uint8(0)
+		w.Str("")
+		w.Int64(int64(cost))
+		w.Bytes32(body)
+	}
+	return w.Bytes()
+}
+
+func truncateErr(s string) string {
+	const max = 1024
+	if len(s) > max {
+		return s[:max]
+	}
+	return s
+}
+
+func decodeResponse(frame []byte) (body []byte, cost time.Duration, err error) {
+	r := wire.NewReader(frame)
+	status := r.Uint8()
+	msg := r.Str()
+	cost = time.Duration(r.Int64())
+	body = r.Bytes32()
+	if derr := r.Done(); derr != nil {
+		return nil, 0, derr
+	}
+	if status != 0 {
+		return nil, cost, &RemoteError{Msg: msg}
+	}
+	return body, cost, nil
+}
+
+// Client issues calls to one service address, reusing a small pool of
+// connections. Clients are safe for concurrent use.
+type Client struct {
+	net  transport.Network
+	from string
+	addr string
+	wrap ConnWrapper
+
+	// Timeout bounds one call including connection setup. It exists to
+	// keep real-TCP deployments from hanging forever; the simulated
+	// network never blocks long enough to trigger it.
+	Timeout time.Duration
+
+	mu   sync.Mutex
+	idle []transport.Conn
+	n    int // total conns, idle + in use
+	max  int
+	shut bool
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithClientWrapper installs a connection upgrade applied to every
+// dialed connection (e.g. the client side of a security channel).
+func WithClientWrapper(w ConnWrapper) ClientOption {
+	return func(c *Client) { c.wrap = w }
+}
+
+// WithMaxConns bounds the connection pool (default 8).
+func WithMaxConns(n int) ClientOption {
+	return func(c *Client) { c.max = n }
+}
+
+// NewClient returns a client that dials addr over net from the named
+// site (the site matters only on simulated networks).
+func NewClient(net transport.Network, from, addr string, opts ...ClientOption) *Client {
+	c := &Client{net: net, from: from, addr: addr, max: 8, Timeout: 30 * time.Second}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Addr returns the remote service address.
+func (c *Client) Addr() string { return c.addr }
+
+// Close releases pooled connections. In-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.shut = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+	return nil
+}
+
+func (c *Client) getConn() (transport.Conn, error) {
+	c.mu.Lock()
+	if c.shut {
+		c.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.n++
+	c.mu.Unlock()
+
+	raw, err := c.net.Dial(c.from, c.addr)
+	if err != nil {
+		c.mu.Lock()
+		c.n--
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.wrap == nil {
+		return raw, nil
+	}
+	conn, _, err := c.wrap(raw)
+	if err != nil {
+		raw.Close()
+		c.mu.Lock()
+		c.n--
+		c.mu.Unlock()
+		return nil, err
+	}
+	return conn, nil
+}
+
+func (c *Client) putConn(conn transport.Conn, broken bool) {
+	c.mu.Lock()
+	if broken || c.shut || len(c.idle) >= c.max {
+		c.n--
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+	c.mu.Unlock()
+}
+
+// Call sends one request and waits for the response. The returned cost
+// is the virtual network cost of the full call tree: request frame,
+// the server's nested calls, and the response frame.
+func (c *Client) Call(op uint16, body []byte) (resp []byte, cost time.Duration, err error) {
+	conn, err := c.getConn()
+	if err != nil {
+		return nil, 0, err
+	}
+
+	type result struct {
+		resp []byte
+		cost time.Duration
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		r := c.doCall(conn, op, body)
+		done <- r
+	}()
+
+	var timeout <-chan time.Time
+	if c.Timeout > 0 {
+		t := time.NewTimer(c.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case r := <-done:
+		broken := r.err != nil && !IsRemote(r.err)
+		c.putConn(conn, broken)
+		return r.resp, r.cost, r.err
+	case <-timeout:
+		conn.Close()
+		c.putConn(conn, true)
+		// Let the call goroutine finish against the closed conn.
+		go func() { <-done }()
+		return nil, 0, fmt.Errorf("rpc: call to %s op %d timed out after %v", c.addr, op, c.Timeout)
+	}
+}
+
+func (c *Client) doCall(conn transport.Conn, op uint16, body []byte) (r struct {
+	resp []byte
+	cost time.Duration
+	err  error
+}) {
+	if err := conn.Send(encodeRequest(op, body)); err != nil {
+		r.err = err
+		return
+	}
+	frame, frameCost, err := conn.Recv()
+	if err != nil {
+		r.err = err
+		return
+	}
+	respBody, serverCost, err := decodeResponse(frame)
+	r.resp = respBody
+	r.cost = frameCost + serverCost
+	r.err = err
+	return
+}
+
+// LogTo is the default diagnostic sink for servers created without
+// WithServerLog by cmd/ daemons.
+func LogTo(prefix string) func(string, ...any) {
+	return func(format string, args ...any) {
+		log.Printf(prefix+": "+format, args...)
+	}
+}

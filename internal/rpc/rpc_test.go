@@ -1,0 +1,398 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gdn/internal/netsim"
+	"gdn/internal/transport"
+)
+
+func simNet(t *testing.T) *netsim.Network {
+	t.Helper()
+	n := netsim.New(nil)
+	n.AddSite("client", "c", "eu")
+	n.AddSite("server", "s", "us")
+	n.AddSite("backend", "b", "ap")
+	return n
+}
+
+func echoHandler(c *Call) ([]byte, error) {
+	return append([]byte{byte(c.Op)}, c.Body...), nil
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	n := simNet(t)
+	srv, err := Serve(n, "server:echo", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient(n, "client", "server:echo")
+	defer cl.Close()
+	resp, cost, err := cl.Call(7, []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, append([]byte{7}, []byte("ping")...)) {
+		t.Fatalf("resp = %q", resp)
+	}
+	if cost <= 0 {
+		t.Fatal("cost must include request+response frames")
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	n := simNet(t)
+	srv, err := Serve(n, "server:err", func(c *Call) ([]byte, error) {
+		return nil, fmt.Errorf("no such object %q", string(c.Body))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient(n, "client", "server:err")
+	defer cl.Close()
+	_, _, err = cl.Call(1, []byte("x"))
+	if err == nil {
+		t.Fatal("expected remote error")
+	}
+	if !IsRemote(err) {
+		t.Fatalf("error not recognized as remote: %v", err)
+	}
+	if !strings.Contains(err.Error(), `no such object "x"`) {
+		t.Fatalf("error text lost: %v", err)
+	}
+}
+
+func TestHandlerPanicIsolated(t *testing.T) {
+	n := simNet(t)
+	calls := 0
+	srv, err := Serve(n, "server:p", func(c *Call) ([]byte, error) {
+		calls++
+		if c.Op == 666 {
+			panic("boom")
+		}
+		return []byte("ok"), nil
+	}, WithServerLog(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient(n, "client", "server:p")
+	defer cl.Close()
+	if _, _, err := cl.Call(666, nil); !IsRemote(err) {
+		t.Fatalf("panic not converted to remote error: %v", err)
+	}
+	// The server must still serve subsequent requests.
+	resp, _, err := cl.Call(1, nil)
+	if err != nil || string(resp) != "ok" {
+		t.Fatalf("server dead after panic: %v %q", err, resp)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestCostPropagation(t *testing.T) {
+	n := simNet(t)
+	// backend is a leaf service.
+	back, err := Serve(n, "backend:leaf", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+
+	// server forwards to backend and charges the nested cost.
+	backCl := NewClient(n, "server", "backend:leaf")
+	defer backCl.Close()
+	front, err := Serve(n, "server:front", func(c *Call) ([]byte, error) {
+		resp, cost, err := backCl.Call(c.Op, c.Body)
+		if err != nil {
+			return nil, err
+		}
+		c.Charge(cost)
+		return resp, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+
+	// Direct call to backend from client for comparison.
+	directCl := NewClient(n, "client", "backend:leaf")
+	defer directCl.Close()
+	_, directCost, err := directCl.Call(1, []byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl := NewClient(n, "client", "server:front")
+	defer cl.Close()
+	_, chainCost, err := cl.Call(1, []byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chained call crosses client->server and server->backend, so it
+	// must cost strictly more than the direct client->backend call.
+	if chainCost <= directCost {
+		t.Fatalf("chain cost %v not greater than direct %v", chainCost, directCost)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	n := simNet(t)
+	srv, err := Serve(n, "server:conc", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient(n, "client", "server:conc")
+	defer cl.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := []byte{byte(i)}
+			resp, _, err := cl.Call(uint16(i), body)
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			want := append([]byte{byte(i)}, body...)
+			if !bytes.Equal(resp, want) {
+				t.Errorf("call %d: resp %q want %q", i, resp, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestConnReuse(t *testing.T) {
+	n := simNet(t)
+	srv, err := Serve(n, "server:reuse", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient(n, "client", "server:reuse", WithMaxConns(1))
+	defer cl.Close()
+	for i := 0; i < 50; i++ {
+		if _, _, err := cl.Call(1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.mu.Lock()
+	total := cl.n
+	cl.mu.Unlock()
+	if total != 1 {
+		t.Fatalf("sequential calls used %d conns, want 1", total)
+	}
+}
+
+func TestServerCloseFailsCalls(t *testing.T) {
+	n := simNet(t)
+	srv, err := Serve(n, "server:close", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(n, "client", "server:close")
+	defer cl.Close()
+	if _, _, err := cl.Call(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	cl.Timeout = 2 * time.Second
+	if _, _, err := cl.Call(1, nil); err == nil {
+		t.Fatal("call succeeded after server close")
+	}
+}
+
+func TestClientRecoversAfterServerRestart(t *testing.T) {
+	n := simNet(t)
+	srv, err := Serve(n, "server:restart", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(n, "client", "server:restart")
+	cl.Timeout = 2 * time.Second
+	defer cl.Close()
+	if _, _, err := cl.Call(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// First call may fail while the pool drains broken conns.
+	cl.Call(1, nil)
+
+	srv2, err := Serve(n, "server:restart", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	var ok bool
+	for i := 0; i < 5; i++ {
+		if _, _, err := cl.Call(1, nil); err == nil {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Fatal("client did not recover after server restart")
+	}
+}
+
+func TestUnreachableServer(t *testing.T) {
+	n := simNet(t)
+	cl := NewClient(n, "client", "server:none")
+	defer cl.Close()
+	if _, _, err := cl.Call(1, nil); !errors.Is(err, transport.ErrNoListener) {
+		t.Fatalf("err = %v, want ErrNoListener", err)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	n := simNet(t)
+	block := make(chan struct{})
+	srv, err := Serve(n, "server:slow", func(c *Call) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer close(block)
+
+	cl := NewClient(n, "client", "server:slow")
+	cl.Timeout = 50 * time.Millisecond
+	defer cl.Close()
+	start := time.Now()
+	_, _, err = cl.Call(1, nil)
+	if err == nil {
+		t.Fatal("expected timeout")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout took too long")
+	}
+}
+
+func TestMalformedFrameClosesConnNotServer(t *testing.T) {
+	n := simNet(t)
+	srv, err := Serve(n, "server:mal", echoHandler, WithServerLog(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Send garbage directly over the transport.
+	c, err := n.Dial("client", "server:mal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Send([]byte{0xde, 0xad})
+	c.Close()
+
+	// A well-formed client must still work.
+	cl := NewClient(n, "client", "server:mal")
+	defer cl.Close()
+	if _, _, err := cl.Call(1, []byte("fine")); err != nil {
+		t.Fatalf("server unusable after malformed frame: %v", err)
+	}
+}
+
+func TestWrapperInstallsPrincipal(t *testing.T) {
+	n := simNet(t)
+	wrapper := func(c transport.Conn) (transport.Conn, string, error) {
+		return c, "moderator-1", nil
+	}
+	srv, err := Serve(n, "server:auth", func(c *Call) ([]byte, error) {
+		return []byte(c.Peer), nil
+	}, WithServerWrapper(wrapper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient(n, "client", "server:auth")
+	defer cl.Close()
+	resp, _, err := cl.Call(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "moderator-1" {
+		t.Fatalf("peer = %q", resp)
+	}
+}
+
+func TestWrapperRejectionDropsConn(t *testing.T) {
+	n := simNet(t)
+	srv, err := Serve(n, "server:deny", echoHandler,
+		WithServerWrapper(func(c transport.Conn) (transport.Conn, string, error) {
+			return nil, "", errors.New("handshake refused")
+		}),
+		WithServerLog(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient(n, "client", "server:deny")
+	cl.Timeout = time.Second
+	defer cl.Close()
+	if _, _, err := cl.Call(1, nil); err == nil {
+		t.Fatal("call succeeded through refused handshake")
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	// The same stack must run over real sockets.
+	var tcp transport.TCP
+	srv, err := Serve(tcp, "127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient(tcp, "", srv.Addr())
+	defer cl.Close()
+	resp, cost, err := cl.Call(9, []byte("tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, append([]byte{9}, []byte("tcp")...)) {
+		t.Fatalf("resp = %q", resp)
+	}
+	if cost != 0 {
+		t.Fatalf("TCP transport reported virtual cost %v", cost)
+	}
+}
+
+func TestLargeBody(t *testing.T) {
+	n := simNet(t)
+	srv, err := Serve(n, "server:big", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := NewClient(n, "client", "server:big")
+	defer cl.Close()
+	body := bytes.Repeat([]byte("a"), 4<<20)
+	resp, _, err := cl.Call(1, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != len(body)+1 {
+		t.Fatalf("len(resp) = %d", len(resp))
+	}
+}

@@ -1,0 +1,475 @@
+package sec
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"gdn/internal/transport"
+	"gdn/internal/wire"
+)
+
+// Config configures one side of a security channel.
+type Config struct {
+	// Creds identifies this party. Required on servers; required on
+	// clients only when the server demands mutual authentication.
+	Creds *Credentials
+	// TrustAnchors maps authority names to public keys; peer
+	// certificates must be signed by one of them.
+	TrustAnchors map[string]ed25519.PublicKey
+	// RequireClientAuth makes a server demand a client certificate —
+	// the paper's two-way authentication between GDN hosts (§6.3,
+	// Fig 4 link 3). When false the channel is one-way authenticated,
+	// as used towards browsers and GDN proxies (links 1 and 2).
+	RequireClientAuth bool
+	// AllowedRoles, when non-empty, restricts which authenticated peer
+	// roles a server admits (e.g. a GOS command port admits only
+	// moderators and admins, §6.1).
+	AllowedRoles []string
+	// Encrypt enables AES-CTR confidentiality. The paper notes TLS
+	// forces them to pay for confidentiality they do not need; setting
+	// this false yields an integrity-only channel for comparison (§6.3).
+	Encrypt bool
+}
+
+func (c *Config) roleAllowed(role string) bool {
+	if len(c.AllowedRoles) == 0 {
+		return true
+	}
+	for _, r := range c.AllowedRoles {
+		if r == role {
+			return true
+		}
+	}
+	return false
+}
+
+// Channel is an authenticated, integrity-protected (and optionally
+// encrypted) connection. It implements transport.Conn, so rpc servers
+// and clients run over it unchanged.
+type Channel struct {
+	conn    transport.Conn
+	peer    *Certificate // nil when the peer is anonymous
+	encrypt bool
+
+	sendMu  sync.Mutex
+	sendSeq uint64
+	sendMAC []byte
+	sendKey cipher.Block // nil when !encrypt
+
+	recvMu  sync.Mutex
+	recvSeq uint64
+	recvMAC []byte
+	recvKey cipher.Block
+}
+
+var _ transport.Conn = (*Channel)(nil)
+
+// Peer returns the authenticated peer certificate, or nil for an
+// anonymous (one-way authenticated) peer.
+func (ch *Channel) Peer() *Certificate { return ch.peer }
+
+// PeerName returns the authenticated principal name or "".
+func (ch *Channel) PeerName() string {
+	if ch.peer == nil {
+		return ""
+	}
+	return ch.peer.Name
+}
+
+// Handshake message types.
+const (
+	hsClientHello = 1
+	hsServerHello = 2
+	hsClientAuth  = 3
+	hsFinished    = 4
+)
+
+// Handshake flags.
+const (
+	flagWantEncrypt = 1 << 0
+	flagNeedClient  = 1 << 1
+	flagHaveCert    = 1 << 2
+)
+
+// Client performs the client side of the handshake over conn. cfg.Creds
+// may be nil for an anonymous client (e.g. a user's browser). On
+// handshake failure the connection is closed — it is useless and the
+// peer must not be left blocked mid-handshake.
+func Client(conn transport.Conn, cfg *Config) (*Channel, error) {
+	ch, err := clientHandshake(conn, cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return ch, nil
+}
+
+func clientHandshake(conn transport.Conn, cfg *Config) (*Channel, error) {
+	curve := ecdh.X25519()
+	priv, err := curve.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+
+	var flags uint8
+	if cfg.Encrypt {
+		flags |= flagWantEncrypt
+	}
+	if cfg.Creds != nil {
+		flags |= flagHaveCert
+	}
+	hello := wire.NewWriter(64)
+	hello.Uint8(hsClientHello)
+	hello.Uint8(flags)
+	hello.Bytes32(priv.PublicKey().Bytes())
+	if err := conn.Send(hello.Bytes()); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+
+	srvFrame, _, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	r := wire.NewReader(srvFrame)
+	if r.Uint8() != hsServerHello {
+		return nil, fmt.Errorf("%w: unexpected message", ErrHandshake)
+	}
+	srvFlags := r.Uint8()
+	srvPubBytes := append([]byte(nil), r.Bytes32()...)
+	srvCertBytes := append([]byte(nil), r.Bytes32()...)
+	srvSig := append([]byte(nil), r.Bytes32()...)
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+
+	srvCert, err := UnmarshalCertificate(srvCertBytes)
+	if err != nil {
+		return nil, err
+	}
+	if err := srvCert.Verify(cfg.TrustAnchors); err != nil {
+		return nil, err
+	}
+	transcript := handshakeTranscript(hello.Bytes(), srvPubBytes, srvCertBytes)
+	if !ed25519.Verify(srvCert.PublicKey, transcript, srvSig) {
+		return nil, fmt.Errorf("%w: server signature invalid", ErrHandshake)
+	}
+
+	srvPub, err := ecdh.X25519().NewPublicKey(srvPubBytes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad server key: %v", ErrHandshake, err)
+	}
+	shared, err := priv.ECDH(srvPub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+
+	encrypt := cfg.Encrypt && srvFlags&flagWantEncrypt != 0
+	ch, err := newChannel(conn, shared, transcript, true, encrypt)
+	if err != nil {
+		return nil, err
+	}
+	ch.peer = srvCert
+
+	if srvFlags&flagNeedClient != 0 {
+		if cfg.Creds == nil {
+			return nil, fmt.Errorf("%w: server requires client authentication", ErrHandshake)
+		}
+		auth := wire.NewWriter(128)
+		auth.Uint8(hsClientAuth)
+		auth.Bytes32(cfg.Creds.Cert.Marshal())
+		auth.Bytes32(cfg.Creds.sign(transcript))
+		if err := ch.Send(auth.Bytes()); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+	}
+
+	// Wait for the server's Finished record, which proves key agreement
+	// and (for mutual auth) that the server accepted our certificate.
+	fin, _, err := ch.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	fr := wire.NewReader(fin)
+	if fr.Uint8() != hsFinished || fr.Done() != nil {
+		return nil, fmt.Errorf("%w: bad finished message", ErrHandshake)
+	}
+	return ch, nil
+}
+
+// Server performs the server side of the handshake over conn.
+func Server(conn transport.Conn, cfg *Config) (*Channel, error) {
+	ch, err := serverHandshake(conn, cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return ch, nil
+}
+
+func serverHandshake(conn transport.Conn, cfg *Config) (*Channel, error) {
+	if cfg.Creds == nil {
+		return nil, fmt.Errorf("%w: server requires credentials", ErrHandshake)
+	}
+	helloFrame, _, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	r := wire.NewReader(helloFrame)
+	if r.Uint8() != hsClientHello {
+		return nil, fmt.Errorf("%w: unexpected message", ErrHandshake)
+	}
+	clFlags := r.Uint8()
+	clPubBytes := append([]byte(nil), r.Bytes32()...)
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	if cfg.RequireClientAuth && clFlags&flagHaveCert == 0 {
+		return nil, fmt.Errorf("%w: client has no certificate but one is required", ErrHandshake)
+	}
+
+	curve := ecdh.X25519()
+	priv, err := curve.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	clPub, err := curve.NewPublicKey(clPubBytes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad client key: %v", ErrHandshake, err)
+	}
+	shared, err := priv.ECDH(clPub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+
+	encrypt := cfg.Encrypt && clFlags&flagWantEncrypt != 0
+	// Client authentication is opportunistic: a client that advertises
+	// a certificate is always verified (so servers that admit anonymous
+	// readers still learn the identity of GDN hosts and moderators for
+	// per-operation authorization), and RequireClientAuth additionally
+	// refuses anonymous clients.
+	wantClientAuth := cfg.RequireClientAuth || clFlags&flagHaveCert != 0
+	var srvFlags uint8
+	if encrypt {
+		srvFlags |= flagWantEncrypt
+	}
+	if wantClientAuth {
+		srvFlags |= flagNeedClient
+	}
+	certBytes := cfg.Creds.Cert.Marshal()
+	srvPubBytes := priv.PublicKey().Bytes()
+	transcript := handshakeTranscript(helloFrame, srvPubBytes, certBytes)
+
+	hello := wire.NewWriter(256)
+	hello.Uint8(hsServerHello)
+	hello.Uint8(srvFlags)
+	hello.Bytes32(srvPubBytes)
+	hello.Bytes32(certBytes)
+	hello.Bytes32(cfg.Creds.sign(transcript))
+	if err := conn.Send(hello.Bytes()); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+
+	ch, err := newChannel(conn, shared, transcript, false, encrypt)
+	if err != nil {
+		return nil, err
+	}
+
+	if wantClientAuth {
+		authFrame, _, err := ch.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+		ar := wire.NewReader(authFrame)
+		if ar.Uint8() != hsClientAuth {
+			return nil, fmt.Errorf("%w: expected client auth", ErrHandshake)
+		}
+		certB := append([]byte(nil), ar.Bytes32()...)
+		sig := append([]byte(nil), ar.Bytes32()...)
+		if err := ar.Done(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+		cert, err := UnmarshalCertificate(certB)
+		if err != nil {
+			return nil, err
+		}
+		if err := cert.Verify(cfg.TrustAnchors); err != nil {
+			return nil, err
+		}
+		if !ed25519.Verify(cert.PublicKey, transcript, sig) {
+			return nil, fmt.Errorf("%w: client signature invalid", ErrHandshake)
+		}
+		if !cfg.roleAllowed(cert.Role) {
+			return nil, fmt.Errorf("%w: role %q", ErrUnauthorized, cert.Role)
+		}
+		ch.peer = cert
+	}
+
+	fin := wire.NewWriter(1)
+	fin.Uint8(hsFinished)
+	if err := ch.Send(fin.Bytes()); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	return ch, nil
+}
+
+func handshakeTranscript(clientHello, srvPub, srvCert []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("gdn-handshake-v1"))
+	h.Write(clientHello)
+	h.Write(srvPub)
+	h.Write(srvCert)
+	return h.Sum(nil)
+}
+
+// newChannel derives direction keys from the shared secret and
+// transcript. isClient selects which key set is used for sending.
+func newChannel(conn transport.Conn, shared, transcript []byte, isClient, encrypt bool) (*Channel, error) {
+	prk := hkdfExtract(transcript, shared)
+	cMAC := hkdfExpand(prk, "client mac", 32)
+	sMAC := hkdfExpand(prk, "server mac", 32)
+	ch := &Channel{conn: conn, encrypt: encrypt}
+	if isClient {
+		ch.sendMAC, ch.recvMAC = cMAC, sMAC
+	} else {
+		ch.sendMAC, ch.recvMAC = sMAC, cMAC
+	}
+	if encrypt {
+		cEnc := hkdfExpand(prk, "client enc", 32)
+		sEnc := hkdfExpand(prk, "server enc", 32)
+		cBlock, err := aes.NewCipher(cEnc)
+		if err != nil {
+			return nil, err
+		}
+		sBlock, err := aes.NewCipher(sEnc)
+		if err != nil {
+			return nil, err
+		}
+		if isClient {
+			ch.sendKey, ch.recvKey = cBlock, sBlock
+		} else {
+			ch.sendKey, ch.recvKey = sBlock, cBlock
+		}
+	}
+	return ch, nil
+}
+
+// hkdfExtract and hkdfExpand implement the HKDF construction with
+// HMAC-SHA256 (RFC 5869 shape, single-block expansion loop).
+func hkdfExtract(salt, ikm []byte) []byte {
+	m := hmac.New(sha256.New, salt)
+	m.Write(ikm)
+	return m.Sum(nil)
+}
+
+func hkdfExpand(prk []byte, info string, n int) []byte {
+	var out, prev []byte
+	for i := byte(1); len(out) < n; i++ {
+		m := hmac.New(sha256.New, prk)
+		m.Write(prev)
+		m.Write([]byte(info))
+		m.Write([]byte{i})
+		prev = m.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:n]
+}
+
+const macSize = sha256.Size
+
+// Send seals one record: seq(8) || payload' || hmac(32), where payload'
+// is AES-CTR encrypted when confidentiality is on. The sequence number
+// is authenticated, giving replay and reorder protection.
+func (ch *Channel) Send(p []byte) error {
+	ch.sendMu.Lock()
+	defer ch.sendMu.Unlock()
+	seq := ch.sendSeq
+	ch.sendSeq++
+
+	rec := make([]byte, 8+len(p)+macSize)
+	binary.BigEndian.PutUint64(rec[:8], seq)
+	body := rec[8 : 8+len(p)]
+	copy(body, p)
+	if ch.sendKey != nil {
+		ctr(ch.sendKey, seq).XORKeyStream(body, body)
+	}
+	m := hmac.New(sha256.New, ch.sendMAC)
+	m.Write(rec[:8+len(p)])
+	m.Sum(rec[:8+len(p)])
+	return ch.conn.Send(rec)
+}
+
+// Recv opens one record, verifying integrity and sequencing.
+func (ch *Channel) Recv() ([]byte, time.Duration, error) {
+	ch.recvMu.Lock()
+	defer ch.recvMu.Unlock()
+	rec, cost, err := ch.conn.Recv()
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(rec) < 8+macSize {
+		return nil, 0, fmt.Errorf("%w: short record", ErrRecord)
+	}
+	seq := binary.BigEndian.Uint64(rec[:8])
+	if seq != ch.recvSeq {
+		return nil, 0, fmt.Errorf("%w: sequence %d, want %d (replay or reorder)", ErrRecord, seq, ch.recvSeq)
+	}
+	payloadEnd := len(rec) - macSize
+	m := hmac.New(sha256.New, ch.recvMAC)
+	m.Write(rec[:payloadEnd])
+	if !hmac.Equal(m.Sum(nil), rec[payloadEnd:]) {
+		return nil, 0, fmt.Errorf("%w: bad MAC on record %d", ErrRecord, seq)
+	}
+	ch.recvSeq++
+	body := rec[8:payloadEnd]
+	if ch.recvKey != nil {
+		ctr(ch.recvKey, seq).XORKeyStream(body, body)
+	}
+	return body, cost, nil
+}
+
+// ctr builds the per-record CTR stream: the IV is the record sequence
+// number, which never repeats under one key.
+func ctr(block cipher.Block, seq uint64) cipher.Stream {
+	iv := make([]byte, block.BlockSize())
+	binary.BigEndian.PutUint64(iv[:8], seq)
+	return cipher.NewCTR(block, iv)
+}
+
+// Close closes the underlying connection.
+func (ch *Channel) Close() error { return ch.conn.Close() }
+
+// LocalAddr returns the underlying local address.
+func (ch *Channel) LocalAddr() string { return ch.conn.LocalAddr() }
+
+// RemoteAddr returns the underlying remote address.
+func (ch *Channel) RemoteAddr() string { return ch.conn.RemoteAddr() }
+
+// WrapClient adapts Client to the rpc.ConnWrapper shape so an rpc.Client
+// dials through a security channel.
+func (cfg *Config) WrapClient(conn transport.Conn) (transport.Conn, string, error) {
+	ch, err := Client(conn, cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	return ch, ch.PeerName(), nil
+}
+
+// WrapServer adapts Server to the rpc.ConnWrapper shape so an rpc.Server
+// accepts connections through a security channel and sees the peer's
+// authenticated principal.
+func (cfg *Config) WrapServer(conn transport.Conn) (transport.Conn, string, error) {
+	ch, err := Server(conn, cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	return ch, ch.PeerName(), nil
+}

@@ -1,0 +1,39 @@
+package sec
+
+import "strings"
+
+// Principals are reported to RPC handlers as a single string, so the
+// peer's role travels with its name using the conventional "role:name"
+// form (e.g. "moderator:alice", "gos:eu-nl-vu"). Deployment code builds
+// principal names with Principal and handlers authorize individual
+// operations with RoleOf — this is how a Globe Object Server accepts
+// lookups from anyone but state-changing commands only from moderators
+// (paper §6.1).
+
+// Principal builds the conventional principal name for a role and id.
+func Principal(role, id string) string { return role + ":" + id }
+
+// RoleOf returns the role prefix of a conventional principal name, or ""
+// for anonymous or unconventionally named peers.
+func RoleOf(principal string) string {
+	i := strings.IndexByte(principal, ':')
+	if i < 0 {
+		return ""
+	}
+	return principal[:i]
+}
+
+// HasRole reports whether the principal's role is one of roles. An empty
+// principal (anonymous peer) never has a role.
+func HasRole(principal string, roles ...string) bool {
+	r := RoleOf(principal)
+	if r == "" {
+		return false
+	}
+	for _, want := range roles {
+		if r == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP is the real-socket implementation of Network. Frames are
+// length-prefixed with a big-endian 32-bit size. It carries no virtual
+// cost information; wall-clock time is the measurement on real networks.
+type TCP struct{}
+
+// Listen starts a TCP listener on addr ("host:port"; empty host binds
+// all interfaces, port 0 picks a free port).
+func (TCP) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial connects to addr. The from site name is ignored on real networks.
+func (TCP) Dial(from, addr string) (Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return NewFramedConn(c), nil
+}
+
+type tcpListener struct {
+	l net.Listener
+}
+
+func (tl *tcpListener) Accept() (Conn, error) {
+	c, err := tl.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewFramedConn(c), nil
+}
+
+func (tl *tcpListener) Close() error { return tl.l.Close() }
+func (tl *tcpListener) Addr() string { return tl.l.Addr().String() }
+
+// framedConn adapts a stream connection to the frame-oriented Conn
+// interface with 32-bit length prefixes.
+type framedConn struct {
+	c        net.Conn
+	sendMu   sync.Mutex
+	recvMu   sync.Mutex
+	lenBuf   [4]byte
+	recvLen  [4]byte
+	closed   sync.Once
+	closeErr error
+}
+
+// NewFramedConn wraps a stream connection (TCP, a net.Pipe end, or a
+// security channel's underlying socket) as a frame-oriented Conn.
+func NewFramedConn(c net.Conn) Conn {
+	return &framedConn{c: c}
+}
+
+func (f *framedConn) Send(p []byte) error {
+	if len(p) > MaxFrame {
+		return ErrFrameSize
+	}
+	f.sendMu.Lock()
+	defer f.sendMu.Unlock()
+	binary.BigEndian.PutUint32(f.lenBuf[:], uint32(len(p)))
+	if _, err := f.c.Write(f.lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := f.c.Write(p)
+	return err
+}
+
+func (f *framedConn) Recv() ([]byte, time.Duration, error) {
+	f.recvMu.Lock()
+	defer f.recvMu.Unlock()
+	if _, err := io.ReadFull(f.c, f.recvLen[:]); err != nil {
+		return nil, 0, err
+	}
+	n := binary.BigEndian.Uint32(f.recvLen[:])
+	if n > MaxFrame {
+		f.c.Close()
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrFrameSize, n)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(f.c, p); err != nil {
+		return nil, 0, err
+	}
+	return p, 0, nil
+}
+
+func (f *framedConn) Close() error {
+	f.closed.Do(func() { f.closeErr = f.c.Close() })
+	return f.closeErr
+}
+
+func (f *framedConn) LocalAddr() string  { return f.c.LocalAddr().String() }
+func (f *framedConn) RemoteAddr() string { return f.c.RemoteAddr().String() }

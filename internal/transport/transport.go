@@ -1,0 +1,65 @@
+// Package transport defines the message transport that every Globe
+// protocol in this repository runs over: location-service requests,
+// replication traffic between local representatives (the paper's GRP),
+// object-server commands, and the mini-DNS used by the name service.
+//
+// Two interchangeable implementations exist: the simulated wide-area
+// network in package netsim (used by tests, benchmarks and experiments,
+// with virtual latency accounting and byte metering) and the TCP framing
+// transport in this package (used by the cmd/ daemons on real sockets).
+// Code above this layer cannot tell them apart, which is how the same
+// GDN stack runs both in-process worldwide simulations and real
+// multi-process deployments.
+package transport
+
+import (
+	"errors"
+	"time"
+)
+
+// A Conn is a bidirectional, ordered, message-oriented connection.
+// Frames are delivered whole or not at all. Conns are safe for one
+// concurrent sender and one concurrent receiver.
+type Conn interface {
+	// Send transmits one frame.
+	Send(p []byte) error
+	// Recv blocks for the next frame. The returned cost is the virtual
+	// network cost of delivering the frame (propagation plus
+	// transmission) on simulated networks, and zero on real ones.
+	Recv() (p []byte, cost time.Duration, err error)
+	// Close releases the connection and unblocks pending Recv calls.
+	Close() error
+	// LocalAddr and RemoteAddr return transport addresses, in the
+	// "site:service" form for simulated networks and "host:port" for TCP.
+	LocalAddr() string
+	RemoteAddr() string
+}
+
+// A Listener accepts inbound connections for one transport address.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// A Network creates listeners and connections. The from argument to
+// Dial names the calling site on simulated networks so the network can
+// price the path; TCP ignores it.
+type Network interface {
+	Listen(addr string) (Listener, error)
+	Dial(from, addr string) (Conn, error)
+}
+
+// Errors shared by transport implementations.
+var (
+	ErrClosed      = errors.New("transport: connection closed")
+	ErrNoListener  = errors.New("transport: no listener at address")
+	ErrUnreachable = errors.New("transport: destination unreachable")
+	ErrFrameSize   = errors.New("transport: frame exceeds size limit")
+)
+
+// MaxFrame bounds a single frame. It is sized for one file chunk plus
+// protocol overhead; anything larger indicates a protocol bug or an
+// attack and is refused at the transport (paper §6.1: servers must not
+// be crashable by malformed traffic).
+const MaxFrame = 20 << 20

@@ -1,0 +1,254 @@
+// Package workload generates the synthetic workloads the experiments
+// replay: Zipf-popular package retrievals with geographic client
+// spread, and the departmental-web-trace style document populations
+// behind the differentiated-replication study the paper cites (§3.1,
+// [Pierre et al. 1999]). Real traces from the Vrije Universiteit are
+// not available, so these generators are calibrated to the qualitative
+// properties the paper describes: most documents cold, a few hot;
+// updates rare overall but concentrated on a small set of documents
+// (see DESIGN.md §2).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipf draws item indexes with a Zipf(s) popularity distribution over n
+// items: index 0 is the most popular. Deterministic for a given seed.
+type Zipf struct {
+	rnd *rand.Rand
+	cdf []float64
+}
+
+// NewZipf builds a generator over n items with exponent s (s > 0; web
+// popularity is classically s ≈ 0.8-1.0).
+func NewZipf(n int, s float64, seed int64) *Zipf {
+	if n <= 0 {
+		panic("workload: Zipf needs n > 0")
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{rnd: rand.New(rand.NewSource(seed)), cdf: cdf}
+}
+
+// Next draws one item index.
+func (z *Zipf) Next() int {
+	u := z.rnd.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// DocClass partitions a document population the way the paper's
+// departmental trace splits: by popularity and change rate.
+type DocClass int
+
+// Document classes.
+const (
+	// ColdStatic documents are rarely read and never updated — the long
+	// tail of any web site or software archive.
+	ColdStatic DocClass = iota
+	// WarmStatic documents see steady reads and no updates.
+	WarmStatic
+	// HotStatic documents are very popular and effectively immutable
+	// (released software).
+	HotStatic
+	// HotUpdated documents are both popular and frequently changed
+	// (nightly builds, news pages) — the class that breaks any single
+	// global replication policy.
+	HotUpdated
+)
+
+// String returns the class name used in experiment tables.
+func (c DocClass) String() string {
+	switch c {
+	case ColdStatic:
+		return "cold-static"
+	case WarmStatic:
+		return "warm-static"
+	case HotStatic:
+		return "hot-static"
+	case HotUpdated:
+		return "hot-updated"
+	default:
+		return fmt.Sprintf("DocClass(%d)", int(c))
+	}
+}
+
+// Doc is one document (package) in a trace.
+type Doc struct {
+	// ID indexes the document; 0 is the most popular.
+	ID int
+	// Name is the document's GDN object name.
+	Name string
+	// Size is the content size in bytes.
+	Size int
+	// Class is the popularity/update profile.
+	Class DocClass
+	// WriteFraction is the fraction of this document's events that are
+	// updates.
+	WriteFraction float64
+}
+
+// Event is one trace record: a read or write of a document by a client
+// at a site.
+type Event struct {
+	// Doc indexes into the trace's document list.
+	Doc int
+	// Site is the client's site.
+	Site string
+	// Write marks an update (performed by a moderator near the origin).
+	Write bool
+}
+
+// TraceConfig parameterizes DepartmentalTrace.
+type TraceConfig struct {
+	// Docs is the number of documents (default 100).
+	Docs int
+	// Events is the number of trace records (default 5000).
+	Events int
+	// Sites are the client sites, weighted uniformly.
+	Sites []string
+	// ZipfExponent shapes popularity (default 0.9).
+	ZipfExponent float64
+	// DocSize is the base document size in bytes (default 10 KiB);
+	// actual sizes spread ×1 to ×8 deterministically.
+	DocSize int
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+// Trace is a generated workload.
+type Trace struct {
+	Docs   []Doc
+	Events []Event
+}
+
+// ClassCounts tallies documents per class.
+func (t *Trace) ClassCounts() map[DocClass]int {
+	out := make(map[DocClass]int)
+	for _, d := range t.Docs {
+		out[d.Class]++
+	}
+	return out
+}
+
+// classify assigns classes by popularity rank: the top 2% of documents
+// that also update form HotUpdated, the next hot ones HotStatic, then
+// warm, and the bulk cold — the shape of the departmental trace.
+func classify(rank, n int) DocClass {
+	switch {
+	case rank < max(1, n/50): // top 2%
+		return HotUpdated
+	case rank < max(2, n/10): // next 8%
+		return HotStatic
+	case rank < n/3:
+		return WarmStatic
+	default:
+		return ColdStatic
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// writeFraction returns the update share of a class's events.
+func writeFraction(c DocClass) float64 {
+	switch c {
+	case HotUpdated:
+		return 0.2
+	case WarmStatic:
+		return 0.01
+	default:
+		return 0
+	}
+}
+
+// DepartmentalTrace generates a document population and event stream
+// with the departmental-web-server shape.
+func DepartmentalTrace(cfg TraceConfig) *Trace {
+	if cfg.Docs <= 0 {
+		cfg.Docs = 100
+	}
+	if cfg.Events <= 0 {
+		cfg.Events = 5000
+	}
+	if cfg.ZipfExponent <= 0 {
+		cfg.ZipfExponent = 0.9
+	}
+	if cfg.DocSize <= 0 {
+		cfg.DocSize = 10 << 10
+	}
+	if len(cfg.Sites) == 0 {
+		panic("workload: trace needs client sites")
+	}
+
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	docs := make([]Doc, cfg.Docs)
+	for i := range docs {
+		class := classify(i, cfg.Docs)
+		docs[i] = Doc{
+			ID:            i,
+			Name:          fmt.Sprintf("/docs/doc%04d", i),
+			Size:          cfg.DocSize * (1 + i%8),
+			Class:         class,
+			WriteFraction: writeFraction(class),
+		}
+	}
+
+	zipf := NewZipf(cfg.Docs, cfg.ZipfExponent, cfg.Seed+1)
+	events := make([]Event, cfg.Events)
+	for i := range events {
+		doc := zipf.Next()
+		write := rnd.Float64() < docs[doc].WriteFraction
+		events[i] = Event{
+			Doc:   doc,
+			Site:  cfg.Sites[rnd.Intn(len(cfg.Sites))],
+			Write: write,
+		}
+	}
+	return &Trace{Docs: docs, Events: events}
+}
+
+// ReadWriteMix generates a simple event stream over one document with
+// the given write fraction; the protocol-comparison experiment uses it.
+func ReadWriteMix(events int, writeFraction float64, sites []string, seed int64) []Event {
+	rnd := rand.New(rand.NewSource(seed))
+	out := make([]Event, events)
+	for i := range out {
+		out[i] = Event{
+			Doc:   0,
+			Site:  sites[rnd.Intn(len(sites))],
+			Write: rnd.Float64() < writeFraction,
+		}
+	}
+	return out
+}
+
+// PackageSizes returns the download-size sweep the end-to-end
+// experiment uses, spanning the paper's "can be very large" range
+// while staying inside one protocol message.
+func PackageSizes() []int {
+	return []int{100 << 10, 1 << 20, 10 << 20}
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(100, 1.0, 42)
+	counts := make([]int, 100)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 must dominate; the head must hold most of the mass.
+	if counts[0] < counts[10] {
+		t.Fatalf("rank 0 (%d) not hotter than rank 10 (%d)", counts[0], counts[10])
+	}
+	head := 0
+	for i := 0; i < 10; i++ {
+		head += counts[i]
+	}
+	if frac := float64(head) / draws; frac < 0.4 {
+		t.Fatalf("top-10 share = %.2f, want Zipf-like head", frac)
+	}
+	// Expected rank-0 share for s=1, n=100 is 1/H(100) ≈ 0.19.
+	want := 1 / harmonic(100)
+	got := float64(counts[0]) / draws
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("rank-0 share = %.3f, want ≈ %.3f", got, want)
+	}
+}
+
+func harmonic(n int) float64 {
+	var h float64
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a, b := NewZipf(50, 0.8, 7), NewZipf(50, 0.8, 7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must yield the same stream")
+		}
+	}
+}
+
+func TestDepartmentalTraceShape(t *testing.T) {
+	tr := DepartmentalTrace(TraceConfig{
+		Docs: 200, Events: 10000,
+		Sites: []string{"a", "b", "c"},
+		Seed:  1,
+	})
+	counts := tr.ClassCounts()
+	if counts[ColdStatic] < counts[WarmStatic] || counts[WarmStatic] < counts[HotStatic] {
+		t.Fatalf("class pyramid inverted: %v", counts)
+	}
+	if counts[HotUpdated] == 0 {
+		t.Fatal("need some hot-updated documents")
+	}
+
+	// Updates must exist but be a small minority, and only on classes
+	// that update.
+	writes := 0
+	for _, e := range tr.Events {
+		if e.Write {
+			writes++
+			if f := tr.Docs[e.Doc].WriteFraction; f == 0 {
+				t.Fatalf("write event on non-updating doc %d", e.Doc)
+			}
+		}
+	}
+	frac := float64(writes) / float64(len(tr.Events))
+	if frac == 0 || frac > 0.2 {
+		t.Fatalf("write fraction = %.3f, want small but nonzero", frac)
+	}
+
+	// Hot documents must receive far more events than cold ones.
+	perDoc := make([]int, len(tr.Docs))
+	for _, e := range tr.Events {
+		perDoc[e.Doc]++
+	}
+	if perDoc[0] <= perDoc[len(perDoc)-1] {
+		t.Fatal("popularity skew missing")
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	cfg := TraceConfig{Docs: 50, Events: 500, Sites: []string{"x", "y"}, Seed: 3}
+	a, b := DepartmentalTrace(cfg), DepartmentalTrace(cfg)
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatal("same config must yield the same trace")
+		}
+	}
+}
+
+func TestReadWriteMix(t *testing.T) {
+	events := ReadWriteMix(1000, 0.3, []string{"s1", "s2"}, 9)
+	writes := 0
+	for _, e := range events {
+		if e.Write {
+			writes++
+		}
+	}
+	if frac := float64(writes) / 1000; math.Abs(frac-0.3) > 0.05 {
+		t.Fatalf("write fraction = %.2f, want ≈ 0.30", frac)
+	}
+}

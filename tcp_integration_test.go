@@ -1,0 +1,257 @@
+package gdn_test
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gdn/internal/core"
+	"gdn/internal/daemon"
+	"gdn/internal/dns"
+	"gdn/internal/gls"
+	"gdn/internal/gns"
+	"gdn/internal/gos"
+	"gdn/internal/httpd"
+	"gdn/internal/modtool"
+	"gdn/internal/pkgobj"
+	"gdn/internal/transport"
+)
+
+// freeAddr reserves a localhost TCP address for a service.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestFullStackOverTCP assembles the complete GDN — location service,
+// DNS, naming authority, two object servers, moderator tool and a
+// GDN-HTTPD — on real localhost TCP sockets, exactly as the cmd/
+// daemons do, and runs the paper's end-to-end flow: publish, resolve,
+// bind, download, verify, remove.
+func TestFullStackOverTCP(t *testing.T) {
+	tcp := transport.TCP{}
+
+	// --- location service: root → region → two leaves ---------------
+	rootAddr := freeAddr(t)
+	euAddr := freeAddr(t)
+	leafA := freeAddr(t)
+	leafB := freeAddr(t)
+
+	startNode := func(domain, addr string, parent []string) *gls.Node {
+		node, err := gls.Start(tcp, gls.Config{
+			Domain: domain, Site: "local", Addr: addr,
+			Self:   gls.Ref{Addrs: []string{addr}},
+			Parent: gls.Ref{Addrs: parent},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		return node
+	}
+	startNode("root", rootAddr, nil)
+	startNode("eu", euAddr, []string{rootAddr})
+	startNode("eu/a", leafA, []string{euAddr})
+	startNode("eu/b", leafB, []string{euAddr})
+
+	// --- DNS: root server delegating the GDN zone -------------------
+	const zoneName = "gdn.test"
+	secret := []byte("tcp-test-secret")
+	rootDNSAddr := freeAddr(t)
+	zoneDNSAddr := freeAddr(t)
+
+	rootDNS, err := dns.ServeDNS(tcp, rootDNSAddr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rootDNS.Close() })
+	rootZone := dns.NewZone("")
+	if err := rootZone.Add(dns.RR{Name: zoneName, Type: dns.TypeNS, TTL: 60, Data: "ns1." + zoneName}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rootZone.Add(dns.RR{Name: "ns1." + zoneName, Type: dns.TypeADDR, TTL: 60, Data: zoneDNSAddr}); err != nil {
+		t.Fatal(err)
+	}
+	rootDNS.AddZone(rootZone)
+
+	zoneDNS, err := dns.ServeDNS(tcp, zoneDNSAddr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { zoneDNS.Close() })
+	zone := dns.NewZone(zoneName)
+	zone.AllowUpdate("na-key", secret)
+	zoneDNS.AddZone(zone)
+
+	naAddr := freeAddr(t)
+	authority, err := gns.StartAuthority(tcp, gns.AuthorityConfig{
+		Zone: zoneName, Site: "local", Addr: naAddr,
+		Servers: []string{zoneDNSAddr},
+		TSIGKey: "na-key", TSIGSecret: secret,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { authority.Close() })
+
+	// --- runtimes and object servers ---------------------------------
+	newRuntime := func(leaf string) *core.Runtime {
+		return core.NewRuntime(core.RuntimeConfig{
+			Site: "local", Net: tcp,
+			Resolver: gls.NewResolver(tcp, "local", gls.Ref{Addrs: []string{leaf}}),
+			Names:    gns.NewNameService(dns.NewResolver(tcp, "local", []string{rootDNSAddr}), zoneName),
+			Registry: daemon.Registry(),
+		})
+	}
+
+	var gosCmds []string
+	for _, leaf := range []string{leafA, leafB} {
+		cmdAddr := freeAddr(t)
+		objAddr := freeAddr(t)
+		srv, err := gos.Start(tcp, gos.Config{
+			Site: "local", CmdAddr: cmdAddr, ObjAddr: objAddr,
+			Runtime: newRuntime(leaf),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		gosCmds = append(gosCmds, cmdAddr)
+	}
+
+	// --- moderator publishes a replicated package --------------------
+	tool, err := modtool.New(modtool.Config{
+		Site: "local", Net: tcp,
+		Runtime:         newRuntime(leafA),
+		NamingAuthority: naAddr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tool.Close() })
+
+	content := bytes.Repeat([]byte("tcp"), 100_000)
+	if _, _, err := tool.CreatePackage("/apps/tcp-demo", core.Scenario{
+		Protocol: "masterslave",
+		Servers:  gosCmds,
+	}, modtool.Package{
+		Files: map[string][]byte{"demo.tar": content, "README": []byte("over real sockets")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- a user binds by name and verifies ---------------------------
+	userRT := newRuntime(leafB)
+	lr, _, err := userRT.BindName("/apps/tcp-demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := pkgobj.NewStub(lr)
+	got, err := stub.GetFileContents("demo.tar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("content mismatch over TCP")
+	}
+	if err := stub.VerifyFile("demo.tar"); err != nil {
+		t.Fatal(err)
+	}
+	lr.Close()
+
+	// --- and through a real GDN-HTTPD --------------------------------
+	h, err := httpd.New(httpd.Config{Runtime: newRuntime(leafB)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/pkg/apps/tcp-demo/-/demo.tar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || !bytes.Equal(body, content) {
+		t.Fatalf("HTTP download over TCP failed: %d bytes, %v", len(body), err)
+	}
+
+	// --- teardown path ------------------------------------------------
+	if _, err := tool.RemovePackage("/apps/tcp-demo"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := userRT.BindName("/apps/tcp-demo"); err == nil {
+		t.Fatal("bind after removal must fail")
+	}
+}
+
+// TestTCPFraming exercises the framed-conn layer directly: large
+// frames, many frames, and the frame-size bound.
+func TestTCPFraming(t *testing.T) {
+	tcp := transport.TCP{}
+	l, err := tcp.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	type accepted struct {
+		conn transport.Conn
+		err  error
+	}
+	acc := make(chan accepted, 1)
+	go func() {
+		c, err := l.Accept()
+		acc <- accepted{c, err}
+	}()
+	client, err := tcp.Dial("", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	a := <-acc
+	if a.err != nil {
+		t.Fatal(a.err)
+	}
+	server := a.conn
+	defer server.Close()
+
+	// Many ordered frames of mixed sizes.
+	sizes := []int{0, 1, 1024, 1 << 20, 3, 8 << 20}
+	go func() {
+		for i, n := range sizes {
+			buf := bytes.Repeat([]byte{byte(i + 1)}, n)
+			if err := client.Send(buf); err != nil {
+				return
+			}
+		}
+	}()
+	for i, n := range sizes {
+		got, _, err := server.Recv()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if len(got) != n {
+			t.Fatalf("frame %d: %d bytes, want %d", i, len(got), n)
+		}
+		if n > 0 && (got[0] != byte(i+1) || got[n-1] != byte(i+1)) {
+			t.Fatalf("frame %d corrupted", i)
+		}
+	}
+
+	// Oversized frames are refused at the sender.
+	if err := client.Send(make([]byte, transport.MaxFrame+1)); err == nil {
+		t.Fatal("oversized frame must be refused")
+	}
+}
