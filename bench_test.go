@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -23,11 +24,125 @@ import (
 	"gdn/internal/ids"
 	"gdn/internal/netsim"
 	"gdn/internal/pkgobj"
+	"gdn/internal/rpc"
 	"gdn/internal/sec"
 	"gdn/internal/transport"
 	"gdn/internal/wire"
 	"gdn/internal/workload"
 )
+
+// --- RPC core: multiplexed vs checkout-per-call clients ---------------
+
+// rpcCaller is the shape shared by rpc.Client and rpc.PooledClient, so
+// the same driver measures both.
+type rpcCaller interface {
+	Call(op uint16, body []byte) ([]byte, time.Duration, error)
+}
+
+// benchRPCParallel drives b.N echo calls through cl from `workers`
+// concurrent goroutines — the contention shape of a busy HTTPD or GLS
+// node fanning user requests into one upstream client.
+func benchRPCParallel(b *testing.B, cl rpcCaller, workers int) {
+	b.Helper()
+	body := make([]byte, 128)
+	// Prime the connection outside the timer.
+	if _, _, err := cl.Call(1, body); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / workers
+	extra := b.N % workers
+	for w := 0; w < workers; w++ {
+		k := per
+		if w < extra {
+			k++
+		}
+		if k == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := 0; i < k; i++ {
+				if _, _, err := cl.Call(1, body); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
+// benchRPCOverTCP serves an echo handler on loopback TCP so the numbers
+// include real framing syscalls, then measures cl built for that addr.
+func benchRPCOverTCP(b *testing.B, mkClient func(addr string) rpcCaller, workers int) {
+	b.Helper()
+	var tcp transport.TCP
+	srv, err := rpc.Serve(tcp, "127.0.0.1:0", func(c *rpc.Call) ([]byte, error) {
+		return c.Body, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	cl := mkClient(srv.Addr())
+	if closer, ok := cl.(interface{ Close() error }); ok {
+		b.Cleanup(func() { closer.Close() })
+	}
+	benchRPCParallel(b, cl, workers)
+}
+
+// BenchmarkRPC_CallParallel is the headline mux number: 64 concurrent
+// callers pipelining over one shared TCP connection.
+func BenchmarkRPC_CallParallel(b *testing.B) {
+	var tcp transport.TCP
+	benchRPCOverTCP(b, func(addr string) rpcCaller {
+		return rpc.NewClient(tcp, "", addr)
+	}, 64)
+}
+
+// BenchmarkRPC_CallParallel_PooledCheckout is the seed baseline: the
+// same 64 callers checking connections out of a pool of 8 (the old
+// client's default), each monopolizing one for its full round trip,
+// with a goroutine and timer per call, over the seed's two-write
+// framing (transport.TCPLegacy — wire-compatible with TCP, so the
+// server side is identical in both benchmarks).
+func BenchmarkRPC_CallParallel_PooledCheckout(b *testing.B) {
+	var tcp transport.TCPLegacy
+	benchRPCOverTCP(b, func(addr string) rpcCaller {
+		return rpc.NewPooledClient(tcp, "", addr, 8)
+	}, 64)
+}
+
+// BenchmarkRPC_CallSequential tracks the single-caller latency floor —
+// the mux must not tax callers that never pipeline.
+func BenchmarkRPC_CallSequential(b *testing.B) {
+	var tcp transport.TCP
+	benchRPCOverTCP(b, func(addr string) rpcCaller {
+		return rpc.NewClient(tcp, "", addr)
+	}, 1)
+}
+
+// BenchmarkRPC_CallParallelSim is the same shape over the simulated
+// network, the configuration every experiment and benchmark in this
+// file runs on.
+func BenchmarkRPC_CallParallelSim(b *testing.B) {
+	net := netsim.New(nil)
+	net.AddSite("cl", "c", "eu")
+	net.AddSite("sv", "s", "us")
+	srv, err := rpc.Serve(net, "sv:echo", func(c *rpc.Call) ([]byte, error) {
+		return c.Body, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	cl := rpc.NewClient(net, "cl", "sv:echo")
+	b.Cleanup(func() { cl.Close() })
+	benchRPCParallel(b, cl, 64)
+}
 
 // --- E1: subobject composition overhead ------------------------------
 

@@ -1,0 +1,3 @@
+module gdn
+
+go 1.24

@@ -1,0 +1,384 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gdn/internal/transport"
+)
+
+// pipelineTarget is the in-flight depth at which a client configured
+// with more than one connection opens another instead of piling more
+// pipelined calls onto an existing one.
+const pipelineTarget = 64
+
+// Client issues calls to one service address over a small set of shared
+// multiplexed connections (one by default). Any number of goroutines
+// may call concurrently; their requests are pipelined over the shared
+// connections and matched to responses by request ID. Clients are safe
+// for concurrent use.
+type Client struct {
+	net  transport.Network
+	from string
+	addr string
+	wrap ConnWrapper
+
+	// Timeout bounds one call once its connection is established. It
+	// exists to keep real-TCP deployments from hanging forever; the
+	// simulated network never blocks long enough to trigger it.
+	Timeout time.Duration
+
+	slots []*connSlot
+	shut  atomic.Bool
+}
+
+// connSlot holds one shared connection. mu serializes (re)dialing the
+// slot; readers go through the atomic pointer without locking.
+type connSlot struct {
+	mu sync.Mutex
+	mc atomic.Pointer[muxConn]
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithClientWrapper installs a connection upgrade applied to every
+// dialed connection (e.g. the client side of a security channel).
+func WithClientWrapper(w ConnWrapper) ClientOption {
+	return func(c *Client) { c.wrap = w }
+}
+
+// WithMaxConns bounds the number of shared multiplexed connections
+// (default 1). More than one only helps when a single connection's
+// in-flight window saturates, e.g. very high concurrency over real TCP.
+func WithMaxConns(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.slots = make([]*connSlot, n)
+		}
+	}
+}
+
+// NewClient returns a client that dials addr over net from the named
+// site (the site matters only on simulated networks).
+func NewClient(net transport.Network, from, addr string, opts ...ClientOption) *Client {
+	c := &Client{net: net, from: from, addr: addr, Timeout: 30 * time.Second}
+	c.slots = make([]*connSlot, 1)
+	for _, o := range opts {
+		o(c)
+	}
+	for i := range c.slots {
+		c.slots[i] = &connSlot{}
+	}
+	return c
+}
+
+// Addr returns the remote service address.
+func (c *Client) Addr() string { return c.addr }
+
+// Close tears down the shared connections. In-flight calls fail.
+func (c *Client) Close() error {
+	c.shut.Store(true)
+	for _, s := range c.slots {
+		if mc := s.mc.Load(); mc != nil {
+			mc.fail(transport.ErrClosed)
+		}
+	}
+	return nil
+}
+
+// conn picks the least-loaded live connection, dialing a fresh one only
+// when none is live or every live one is saturated and a spare slot
+// remains.
+func (c *Client) conn() (*muxConn, error) {
+	if c.shut.Load() {
+		return nil, transport.ErrClosed
+	}
+	var best *muxConn
+	var bestLoad int64
+	var spare *connSlot
+	for _, s := range c.slots {
+		mc := s.mc.Load()
+		if mc == nil || mc.dead.Load() {
+			if spare == nil {
+				spare = s
+			}
+			continue
+		}
+		if load := mc.inflight.Load(); best == nil || load < bestLoad {
+			best, bestLoad = mc, load
+		}
+	}
+	if best != nil && (spare == nil || bestLoad < pipelineTarget) {
+		return best, nil
+	}
+	if spare == nil {
+		return best, nil
+	}
+	mc, err := c.dial(spare)
+	if err != nil && best != nil {
+		// The extra connection was only a capacity hint; a live conn
+		// can still carry the call even above the pipeline target.
+		return best, nil
+	}
+	return mc, err
+}
+
+func (c *Client) dial(s *connSlot) (*muxConn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if mc := s.mc.Load(); mc != nil && !mc.dead.Load() {
+		return mc, nil
+	}
+	raw, err := c.net.Dial(c.from, c.addr)
+	if err != nil {
+		return nil, err
+	}
+	conn := raw
+	if c.wrap != nil {
+		var werr error
+		conn, _, werr = c.wrap(raw)
+		if werr != nil {
+			raw.Close()
+			return nil, werr
+		}
+	}
+	mc := newMuxConn(conn, c.addr)
+	s.mc.Store(mc)
+	if c.shut.Load() {
+		// Close raced with the dial; do not leak the connection.
+		mc.fail(transport.ErrClosed)
+		return nil, transport.ErrClosed
+	}
+	go mc.recvLoop()
+	return mc, nil
+}
+
+// Call sends one request and waits for the response. The returned cost
+// is the virtual network cost of the full call tree: request frame,
+// the server's nested calls, and the response frame.
+func (c *Client) Call(op uint16, body []byte) (resp []byte, cost time.Duration, err error) {
+	mc, err := c.conn()
+	if err != nil {
+		return nil, 0, err
+	}
+	return mc.call(op, body, c.Timeout)
+}
+
+// callResult is what the demux goroutine (or the deadline sweeper, or a
+// connection-failure broadcast) hands back to a waiting caller.
+type callResult struct {
+	resp []byte
+	cost time.Duration
+	err  error
+}
+
+// pendingCall is one table entry for an in-flight request.
+type pendingCall struct {
+	op       uint16
+	timeout  time.Duration
+	deadline time.Time       // zero when the call has no timeout
+	done     chan callResult // buffered; exactly one result is ever sent
+}
+
+// muxConn is one shared connection carrying many in-flight calls. A
+// single recvLoop goroutine demultiplexes responses to the pending
+// table; timeouts are swept by a single timer armed for the earliest
+// pending deadline.
+type muxConn struct {
+	conn   transport.Conn
+	addr   string
+	sender *connSender
+
+	inflight atomic.Int64
+	dead     atomic.Bool
+	lastRecv atomic.Int64 // unix nanos of the last received frame
+
+	mu      sync.Mutex
+	pending map[uint64]*pendingCall
+	nextID  uint64
+	deadErr error
+	timer   *time.Timer // nil until the first deadline is armed
+	timerAt time.Time
+}
+
+func newMuxConn(conn transport.Conn, addr string) *muxConn {
+	m := &muxConn{conn: conn, addr: addr, pending: make(map[uint64]*pendingCall)}
+	m.lastRecv.Store(time.Now().UnixNano())
+	m.sender = newConnSender(conn, m.fail)
+	return m
+}
+
+func (m *muxConn) call(op uint16, body []byte, timeout time.Duration) ([]byte, time.Duration, error) {
+	pc := &pendingCall{op: op, timeout: timeout, done: make(chan callResult, 1)}
+	m.mu.Lock()
+	if m.dead.Load() {
+		err := m.deadErr
+		m.mu.Unlock()
+		return nil, 0, err
+	}
+	id := m.nextID
+	m.nextID++
+	if timeout > 0 {
+		pc.deadline = time.Now().Add(timeout)
+		m.armSweepLocked(pc.deadline)
+	}
+	m.pending[id] = pc
+	m.inflight.Add(1)
+	m.mu.Unlock()
+
+	w := encodeRequest(id, op, body)
+	if err := w.Err(); err != nil {
+		// The body cannot be encoded (e.g. over the wire size limits).
+		// Fail just this call; the connection is untouched.
+		w.Free()
+		m.mu.Lock()
+		if _, mine := m.pending[id]; mine {
+			delete(m.pending, id)
+			m.inflight.Add(-1)
+			m.mu.Unlock()
+			return nil, 0, err
+		}
+		m.mu.Unlock()
+		r := <-pc.done
+		return r.resp, r.cost, r.err
+	}
+	// Hand the frame to the flush-combining sender. A send failure
+	// condemns the connection, and the failure broadcast delivers the
+	// error to our pending entry — no per-call error path needed.
+	m.sender.enqueue(w)
+	r := <-pc.done
+	return r.resp, r.cost, r.err
+}
+
+// recvLoop is the per-connection demux goroutine: it receives response
+// frames, adds each frame's own virtual cost to the server-reported
+// cost, and wakes the caller registered under the frame's request ID.
+func (m *muxConn) recvLoop() {
+	for {
+		frame, frameCost, err := m.conn.Recv()
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		m.lastRecv.Store(time.Now().UnixNano())
+		id, body, cost, rerr, derr := decodeResponse(frame)
+		if derr != nil {
+			m.fail(fmt.Errorf("rpc: malformed response from %s: %w", m.addr, derr))
+			return
+		}
+		m.mu.Lock()
+		pc := m.pending[id]
+		if pc != nil {
+			delete(m.pending, id)
+			m.inflight.Add(-1)
+		}
+		m.mu.Unlock()
+		if pc != nil {
+			pc.done <- callResult{resp: body, cost: frameCost + cost, err: rerr}
+		}
+		// A response with no pending entry belongs to a call that timed
+		// out; drop it.
+	}
+}
+
+// fail marks the connection dead, closes it, and delivers err to every
+// pending call. It is idempotent.
+func (m *muxConn) fail(err error) {
+	m.mu.Lock()
+	if m.dead.Load() {
+		m.mu.Unlock()
+		return
+	}
+	m.dead.Store(true)
+	m.deadErr = err
+	pend := m.pending
+	m.pending = nil
+	if m.timer != nil {
+		m.timer.Stop()
+	}
+	m.mu.Unlock()
+	m.conn.Close()
+	m.sender.fail(err)
+	for _, pc := range pend {
+		m.inflight.Add(-1)
+		pc.done <- callResult{err: err}
+	}
+}
+
+// armSweepLocked ensures the sweep timer fires no later than dl. Called
+// with m.mu held.
+func (m *muxConn) armSweepLocked(dl time.Time) {
+	if m.timer == nil {
+		m.timerAt = dl
+		m.timer = time.AfterFunc(time.Until(dl), m.sweep)
+		return
+	}
+	if dl.Before(m.timerAt) {
+		m.timerAt = dl
+		m.timer.Reset(time.Until(dl))
+	}
+}
+
+// sweep expires pending calls whose deadline has passed and re-arms the
+// timer for the next earliest deadline. One timer per connection
+// replaces the old goroutine-plus-timer per call.
+//
+// A timed-out call normally just leaves the table — the connection
+// stays usable and its late response (if any) is dropped by recvLoop,
+// so one slow handler cannot condemn the shared connection for every
+// other caller. But if the connection has been completely silent for an
+// expired call's entire timeout window (no frame received since before
+// the call started), the transport itself is almost certainly wedged —
+// e.g. a real-TCP peer that stopped reading, leaving our flusher
+// blocked in a write forever. Then the connection is condemned, which
+// closes it, unblocks any stuck writer, fails the remaining pending
+// calls, and makes the next Call redial — the recovery the seed client
+// got by closing the connection on every timeout.
+func (m *muxConn) sweep() {
+	now := time.Now()
+	var expired []*pendingCall
+	var wedged bool
+	m.mu.Lock()
+	if m.dead.Load() {
+		m.mu.Unlock()
+		return
+	}
+	// Snapshot under the lock: a frame delivered while sweep waited on
+	// m.mu must count as a sign of life, or a live connection could be
+	// condemned on a stale reading.
+	lastRecv := time.Unix(0, m.lastRecv.Load())
+	var next time.Time
+	for id, pc := range m.pending {
+		if pc.deadline.IsZero() {
+			continue
+		}
+		if !pc.deadline.After(now) {
+			delete(m.pending, id)
+			m.inflight.Add(-1)
+			expired = append(expired, pc)
+			if started := pc.deadline.Add(-pc.timeout); lastRecv.Before(started) {
+				wedged = true
+			}
+		} else if next.IsZero() || pc.deadline.Before(next) {
+			next = pc.deadline
+		}
+	}
+	if next.IsZero() {
+		// No armed deadlines remain; the next registration re-creates
+		// the timer.
+		m.timer = nil
+	} else {
+		m.timerAt = next
+		m.timer.Reset(time.Until(next))
+	}
+	m.mu.Unlock()
+	for _, pc := range expired {
+		pc.done <- callResult{err: fmt.Errorf("rpc: call to %s op %d timed out after %v", m.addr, pc.op, pc.timeout)}
+	}
+	if wedged {
+		m.fail(fmt.Errorf("rpc: connection to %s silent through a full timeout window", m.addr))
+	}
+}

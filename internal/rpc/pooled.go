@@ -1,0 +1,163 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gdn/internal/transport"
+)
+
+// PooledClient is the pre-multiplexing client: each call checks one
+// connection out of a pool and monopolizes it for the full round trip,
+// with a goroutine and timer per call to enforce the timeout. It speaks
+// the same framed protocol as Client and Server.
+//
+// It is retained as the baseline for the pooled-vs-mux comparison
+// benchmarks (BenchmarkRPC_CallParallel* in the repository root); new
+// code should use Client.
+type PooledClient struct {
+	net  transport.Network
+	from string
+	addr string
+
+	// Timeout bounds one call once its connection is established.
+	Timeout time.Duration
+
+	id atomic.Uint64
+
+	mu   sync.Mutex
+	idle []transport.Conn
+	n    int // total conns, idle + in use
+	max  int
+	shut bool
+}
+
+// NewPooledClient returns a checkout-per-call client for addr with a
+// pool of at most maxConns connections (<=0 selects the historical
+// default of 8).
+func NewPooledClient(net transport.Network, from, addr string, maxConns int) *PooledClient {
+	if maxConns <= 0 {
+		maxConns = 8
+	}
+	return &PooledClient{net: net, from: from, addr: addr, max: maxConns, Timeout: 30 * time.Second}
+}
+
+// Addr returns the remote service address.
+func (c *PooledClient) Addr() string { return c.addr }
+
+// Close releases pooled connections. In-flight calls fail.
+func (c *PooledClient) Close() error {
+	c.mu.Lock()
+	c.shut = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+	return nil
+}
+
+func (c *PooledClient) getConn() (transport.Conn, error) {
+	c.mu.Lock()
+	if c.shut {
+		c.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.n++
+	c.mu.Unlock()
+
+	raw, err := c.net.Dial(c.from, c.addr)
+	if err != nil {
+		c.mu.Lock()
+		c.n--
+		c.mu.Unlock()
+		return nil, err
+	}
+	return raw, nil
+}
+
+func (c *PooledClient) putConn(conn transport.Conn, broken bool) {
+	c.mu.Lock()
+	if broken || c.shut || len(c.idle) >= c.max {
+		c.n--
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+	c.mu.Unlock()
+}
+
+// Call sends one request and waits for the response, holding one pooled
+// connection for the whole round trip.
+func (c *PooledClient) Call(op uint16, body []byte) (resp []byte, cost time.Duration, err error) {
+	conn, err := c.getConn()
+	if err != nil {
+		return nil, 0, err
+	}
+
+	done := make(chan callResult, 1)
+	go func() {
+		done <- c.doCall(conn, op, body)
+	}()
+
+	var timeout <-chan time.Time
+	if c.Timeout > 0 {
+		t := time.NewTimer(c.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case r := <-done:
+		broken := r.err != nil && !IsRemote(r.err)
+		c.putConn(conn, broken)
+		return r.resp, r.cost, r.err
+	case <-timeout:
+		conn.Close()
+		c.putConn(conn, true)
+		// Let the call goroutine finish against the closed conn.
+		go func() { <-done }()
+		return nil, 0, fmt.Errorf("rpc: call to %s op %d timed out after %v", c.addr, op, c.Timeout)
+	}
+}
+
+func (c *PooledClient) doCall(conn transport.Conn, op uint16, body []byte) (r callResult) {
+	w := encodeRequest(c.id.Add(1), op, body)
+	if err := w.Err(); err != nil {
+		// Unencodable body (e.g. over the wire size limits): surface the
+		// encode error instead of sending a nil frame the server would
+		// reject as malformed.
+		w.Free()
+		r.err = err
+		return
+	}
+	err := conn.Send(w.Bytes())
+	w.Free()
+	if err != nil {
+		r.err = err
+		return
+	}
+	frame, frameCost, err := conn.Recv()
+	if err != nil {
+		r.err = err
+		return
+	}
+	_, respBody, serverCost, rerr, derr := decodeResponse(frame)
+	if derr != nil {
+		r.err = derr
+		return
+	}
+	r.resp = respBody
+	r.cost = frameCost + serverCost
+	r.err = rerr
+	return
+}

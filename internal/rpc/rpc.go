@@ -11,6 +11,28 @@
 // is how experiments measure, for example, that a location-service
 // lookup costs time proportional to the distance between client and
 // nearest replica (paper §3.5) without any real sleeping.
+//
+// # Multiplexed framing
+//
+// Calls are multiplexed: one shared connection per remote carries many
+// in-flight requests, identified by a per-connection 64-bit request ID.
+// The frame layouts are
+//
+//	request:  id uint64 | op uint16 | body bytes32
+//	response: id uint64 | status uint8 | errmsg str16 | cost int64 | body bytes32
+//
+// all encoded with package wire. A client sends requests from any number
+// of goroutines; a single demux goroutine per connection receives
+// responses and routes each to the waiting caller recorded in the
+// pending-call table. Call timeouts are deadlines on that table, swept
+// by one timer per connection armed for the earliest deadline — not a
+// goroutine plus timer per call. The server reads requests in one loop
+// and dispatches each to its own (bounded) handler goroutine, so slow
+// requests do not head-of-line block pipelined ones and responses may
+// complete out of order; the request ID pairs them back up. Virtual
+// frame costs ride the same tables: the cost of each request frame is
+// charged to that request's response, and the response frame's own cost
+// is added by the demux goroutine before the caller is woken.
 package rpc
 
 import (
@@ -55,7 +77,9 @@ type Call struct {
 }
 
 // Charge adds the virtual cost of a nested call made while serving this
-// request; it is reflected back to the caller in the response.
+// request; it is reflected back to the caller in the response. Each
+// Call is owned by the one handler goroutine dispatched for it; a
+// handler that fans out must serialize its own Charge calls.
 func (c *Call) Charge(d time.Duration) { c.cost += d }
 
 // Cost returns the nested cost charged so far. Demultiplexing layers
@@ -64,7 +88,8 @@ func (c *Call) Cost() time.Duration { return c.cost }
 
 // Handler processes one request and returns the response body. A
 // returned error is delivered to the client as a RemoteError. Handlers
-// must be safe for concurrent use.
+// must be safe for concurrent use: pipelined requests on one connection
+// are dispatched concurrently.
 type Handler func(c *Call) ([]byte, error)
 
 // ConnWrapper optionally upgrades an accepted or dialed connection —
@@ -72,6 +97,12 @@ type Handler func(c *Call) ([]byte, error)
 // depending on it. It returns the upgraded connection and the peer's
 // authenticated principal name ("" if anonymous).
 type ConnWrapper func(transport.Conn) (transport.Conn, string, error)
+
+// maxConnRequests bounds the handler goroutines in flight per
+// connection. When a client pipelines more, the connection's read loop
+// blocks, applying backpressure instead of letting one hostile or buggy
+// peer spawn unbounded goroutines (paper §6.1).
+const maxConnRequests = 256
 
 // Server serves a Handler on one transport address.
 type Server struct {
@@ -170,6 +201,10 @@ func (s *Server) untrack(c transport.Conn) {
 	s.mu.Unlock()
 }
 
+// serveConn reads pipelined requests off one connection and dispatches
+// each to its own handler goroutine. Responses are written back as they
+// complete, tagged with the request ID, so they may overtake slower
+// requests received earlier.
 func (s *Server) serveConn(raw transport.Conn) {
 	conn, peer := raw, ""
 	if s.wrap != nil {
@@ -189,24 +224,67 @@ func (s *Server) serveConn(raw transport.Conn) {
 		s.untrack(conn)
 		conn.Close()
 	}()
+	// Responses funnel through one flush-combining sender, so bursts of
+	// concurrently completing handlers cost one vectored write. A send
+	// failure closes the connection, which the read loop observes.
+	sender := newConnSender(conn, func(error) { conn.Close() })
+	// Requests are dispatched to a lazily grown per-connection worker
+	// pool: steady pipelined traffic reuses parked goroutines instead of
+	// spawning one per request. The hand-off channel is unbuffered, so a
+	// try-send succeeds only when a worker is actually parked waiting —
+	// a request is never queued behind a busy worker while the pool has
+	// room to grow. At the cap the blocking send is the backpressure.
+	reqs := make(chan serverRequest)
+	defer close(reqs)
+	var workers int
 	for {
 		frame, frameCost, err := conn.Recv()
 		if err != nil {
 			return
 		}
-		call, err := decodeRequest(frame)
+		id, call, err := decodeRequest(frame)
 		if err != nil {
 			s.logf("rpc: malformed request from %s: %v", conn.RemoteAddr(), err)
 			return
 		}
 		call.Peer = peer
 		call.RemoteAddr = conn.RemoteAddr()
-		body, herr := s.safeHandle(call)
-		resp := encodeResponse(body, herr, frameCost+call.cost)
-		if err := conn.Send(resp); err != nil {
-			return
+		r := serverRequest{id: id, call: call, frameCost: frameCost}
+		select {
+		case reqs <- r:
+		default:
+			if workers < maxConnRequests {
+				workers++
+				go s.connWorker(sender, reqs)
+			}
+			reqs <- r
 		}
 	}
+}
+
+type serverRequest struct {
+	id        uint64
+	call      *Call
+	frameCost time.Duration
+}
+
+func (s *Server) connWorker(sender *connSender, reqs <-chan serverRequest) {
+	for r := range reqs {
+		s.handleRequest(sender, r.id, r.call, r.frameCost)
+	}
+}
+
+func (s *Server) handleRequest(sender *connSender, id uint64, call *Call, frameCost time.Duration) {
+	body, herr := s.safeHandle(call)
+	w := encodeResponse(id, body, herr, frameCost+call.Cost())
+	if err := w.Err(); err != nil {
+		// The response body itself cannot be encoded (e.g. over the wire
+		// size limit); deliver the encode failure as a remote error so
+		// the caller learns why instead of losing the connection.
+		w.Free()
+		w = encodeResponse(id, nil, fmt.Errorf("response unencodable: %v", err), frameCost+call.Cost())
+	}
+	sender.enqueue(w)
 }
 
 // safeHandle runs the handler, converting a panic into an error so one
@@ -222,25 +300,32 @@ func (s *Server) safeHandle(call *Call) (body []byte, err error) {
 	return s.handler(call)
 }
 
-func decodeRequest(frame []byte) (*Call, error) {
+func decodeRequest(frame []byte) (uint64, *Call, error) {
 	r := wire.NewReader(frame)
+	id := r.Uint64()
 	op := r.Uint16()
 	body := r.Bytes32()
 	if err := r.Done(); err != nil {
-		return nil, err
+		return 0, nil, err
 	}
-	return &Call{Op: op, Body: body}, nil
+	return id, &Call{Op: op, Body: body}, nil
 }
 
-func encodeRequest(op uint16, body []byte) []byte {
-	w := wire.NewWriter(6 + len(body))
+// encodeRequest builds a request frame in a pooled writer. The caller
+// must Free it once the frame has been sent.
+func encodeRequest(id uint64, op uint16, body []byte) *wire.Writer {
+	w := wire.GetWriter(14 + len(body))
+	w.Uint64(id)
 	w.Uint16(op)
 	w.Bytes32(body)
-	return w.Bytes()
+	return w
 }
 
-func encodeResponse(body []byte, herr error, cost time.Duration) []byte {
-	w := wire.NewWriter(16 + len(body))
+// encodeResponse builds a response frame in a pooled writer. The caller
+// must Free it once the frame has been sent.
+func encodeResponse(id uint64, body []byte, herr error, cost time.Duration) *wire.Writer {
+	w := wire.GetWriter(24 + len(body))
+	w.Uint64(id)
 	if herr != nil {
 		w.Uint8(1)
 		w.Str(truncateErr(herr.Error()))
@@ -252,7 +337,7 @@ func encodeResponse(body []byte, herr error, cost time.Duration) []byte {
 		w.Int64(int64(cost))
 		w.Bytes32(body)
 	}
-	return w.Bytes()
+	return w
 }
 
 func truncateErr(s string) string {
@@ -263,188 +348,23 @@ func truncateErr(s string) string {
 	return s
 }
 
-func decodeResponse(frame []byte) (body []byte, cost time.Duration, err error) {
+// decodeResponse splits a response frame. err is the remote
+// application error (a *RemoteError) when the handler failed; derr is a
+// decode failure, which condemns the whole connection.
+func decodeResponse(frame []byte) (id uint64, body []byte, cost time.Duration, err, derr error) {
 	r := wire.NewReader(frame)
+	id = r.Uint64()
 	status := r.Uint8()
 	msg := r.Str()
 	cost = time.Duration(r.Int64())
 	body = r.Bytes32()
-	if derr := r.Done(); derr != nil {
-		return nil, 0, derr
+	if derr = r.Done(); derr != nil {
+		return 0, nil, 0, nil, derr
 	}
 	if status != 0 {
-		return nil, cost, &RemoteError{Msg: msg}
+		return id, nil, cost, &RemoteError{Msg: msg}, nil
 	}
-	return body, cost, nil
-}
-
-// Client issues calls to one service address, reusing a small pool of
-// connections. Clients are safe for concurrent use.
-type Client struct {
-	net  transport.Network
-	from string
-	addr string
-	wrap ConnWrapper
-
-	// Timeout bounds one call including connection setup. It exists to
-	// keep real-TCP deployments from hanging forever; the simulated
-	// network never blocks long enough to trigger it.
-	Timeout time.Duration
-
-	mu   sync.Mutex
-	idle []transport.Conn
-	n    int // total conns, idle + in use
-	max  int
-	shut bool
-}
-
-// ClientOption configures a Client.
-type ClientOption func(*Client)
-
-// WithClientWrapper installs a connection upgrade applied to every
-// dialed connection (e.g. the client side of a security channel).
-func WithClientWrapper(w ConnWrapper) ClientOption {
-	return func(c *Client) { c.wrap = w }
-}
-
-// WithMaxConns bounds the connection pool (default 8).
-func WithMaxConns(n int) ClientOption {
-	return func(c *Client) { c.max = n }
-}
-
-// NewClient returns a client that dials addr over net from the named
-// site (the site matters only on simulated networks).
-func NewClient(net transport.Network, from, addr string, opts ...ClientOption) *Client {
-	c := &Client{net: net, from: from, addr: addr, max: 8, Timeout: 30 * time.Second}
-	for _, o := range opts {
-		o(c)
-	}
-	return c
-}
-
-// Addr returns the remote service address.
-func (c *Client) Addr() string { return c.addr }
-
-// Close releases pooled connections. In-flight calls fail.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	c.shut = true
-	idle := c.idle
-	c.idle = nil
-	c.mu.Unlock()
-	for _, conn := range idle {
-		conn.Close()
-	}
-	return nil
-}
-
-func (c *Client) getConn() (transport.Conn, error) {
-	c.mu.Lock()
-	if c.shut {
-		c.mu.Unlock()
-		return nil, transport.ErrClosed
-	}
-	if n := len(c.idle); n > 0 {
-		conn := c.idle[n-1]
-		c.idle = c.idle[:n-1]
-		c.mu.Unlock()
-		return conn, nil
-	}
-	c.n++
-	c.mu.Unlock()
-
-	raw, err := c.net.Dial(c.from, c.addr)
-	if err != nil {
-		c.mu.Lock()
-		c.n--
-		c.mu.Unlock()
-		return nil, err
-	}
-	if c.wrap == nil {
-		return raw, nil
-	}
-	conn, _, err := c.wrap(raw)
-	if err != nil {
-		raw.Close()
-		c.mu.Lock()
-		c.n--
-		c.mu.Unlock()
-		return nil, err
-	}
-	return conn, nil
-}
-
-func (c *Client) putConn(conn transport.Conn, broken bool) {
-	c.mu.Lock()
-	if broken || c.shut || len(c.idle) >= c.max {
-		c.n--
-		c.mu.Unlock()
-		conn.Close()
-		return
-	}
-	c.idle = append(c.idle, conn)
-	c.mu.Unlock()
-}
-
-// Call sends one request and waits for the response. The returned cost
-// is the virtual network cost of the full call tree: request frame,
-// the server's nested calls, and the response frame.
-func (c *Client) Call(op uint16, body []byte) (resp []byte, cost time.Duration, err error) {
-	conn, err := c.getConn()
-	if err != nil {
-		return nil, 0, err
-	}
-
-	type result struct {
-		resp []byte
-		cost time.Duration
-		err  error
-	}
-	done := make(chan result, 1)
-	go func() {
-		r := c.doCall(conn, op, body)
-		done <- r
-	}()
-
-	var timeout <-chan time.Time
-	if c.Timeout > 0 {
-		t := time.NewTimer(c.Timeout)
-		defer t.Stop()
-		timeout = t.C
-	}
-	select {
-	case r := <-done:
-		broken := r.err != nil && !IsRemote(r.err)
-		c.putConn(conn, broken)
-		return r.resp, r.cost, r.err
-	case <-timeout:
-		conn.Close()
-		c.putConn(conn, true)
-		// Let the call goroutine finish against the closed conn.
-		go func() { <-done }()
-		return nil, 0, fmt.Errorf("rpc: call to %s op %d timed out after %v", c.addr, op, c.Timeout)
-	}
-}
-
-func (c *Client) doCall(conn transport.Conn, op uint16, body []byte) (r struct {
-	resp []byte
-	cost time.Duration
-	err  error
-}) {
-	if err := conn.Send(encodeRequest(op, body)); err != nil {
-		r.err = err
-		return
-	}
-	frame, frameCost, err := conn.Recv()
-	if err != nil {
-		r.err = err
-		return
-	}
-	respBody, serverCost, err := decodeResponse(frame)
-	r.resp = respBody
-	r.cost = frameCost + serverCost
-	r.err = err
-	return
+	return id, body, cost, nil, nil
 }
 
 // LogTo is the default diagnostic sink for servers created without

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -178,8 +179,20 @@ func TestConcurrentCalls(t *testing.T) {
 	wg.Wait()
 }
 
+// countingNet wraps a Network and counts dials, so tests can observe
+// connection sharing without reaching into client internals.
+type countingNet struct {
+	transport.Network
+	dials atomic.Int64
+}
+
+func (c *countingNet) Dial(from, addr string) (transport.Conn, error) {
+	c.dials.Add(1)
+	return c.Network.Dial(from, addr)
+}
+
 func TestConnReuse(t *testing.T) {
-	n := simNet(t)
+	n := &countingNet{Network: simNet(t)}
 	srv, err := Serve(n, "server:reuse", echoHandler)
 	if err != nil {
 		t.Fatal(err)
@@ -193,11 +206,39 @@ func TestConnReuse(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	cl.mu.Lock()
-	total := cl.n
-	cl.mu.Unlock()
-	if total != 1 {
-		t.Fatalf("sequential calls used %d conns, want 1", total)
+	if d := n.dials.Load(); d != 1 {
+		t.Fatalf("sequential calls dialed %d conns, want 1", d)
+	}
+}
+
+func TestConcurrentCallsShareOneConn(t *testing.T) {
+	// The mux must carry many in-flight calls over the single shared
+	// connection, not open one per concurrent caller.
+	n := &countingNet{Network: simNet(t)}
+	srv, err := Serve(n, "server:share", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient(n, "client", "server:share")
+	defer cl.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 64; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, _, err := cl.Call(1, []byte("x")); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if d := n.dials.Load(); d != 1 {
+		t.Fatalf("64 concurrent callers dialed %d conns, want 1", d)
 	}
 }
 
@@ -376,6 +417,270 @@ func TestOverTCP(t *testing.T) {
 	if cost != 0 {
 		t.Fatalf("TCP transport reported virtual cost %v", cost)
 	}
+}
+
+// muxStress hammers one client from many goroutines and verifies every
+// response is routed back to its own caller (run under -race).
+func TestMuxStress(t *testing.T) {
+	n := simNet(t)
+	srv, err := Serve(n, "server:stress", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient(n, "client", "server:stress")
+	defer cl.Close()
+	const goroutines = 100
+	const calls = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				op := uint16(g*calls + i)
+				body := []byte{byte(g), byte(i)}
+				resp, _, err := cl.Call(op, body)
+				if err != nil {
+					t.Errorf("g%d call %d: %v", g, i, err)
+					return
+				}
+				want := append([]byte{byte(op)}, body...)
+				if !bytes.Equal(resp, want) {
+					t.Errorf("g%d call %d: cross-routed response %q, want %q", g, i, resp, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConnDropFailsInFlight drops the connection under a batch of
+// in-flight calls and requires every one of them to return an error
+// promptly instead of hanging on the pending table.
+func TestConnDropFailsInFlight(t *testing.T) {
+	n := simNet(t)
+	release := make(chan struct{})
+	started := make(chan struct{}, 64)
+	srv, err := Serve(n, "server:drop", func(c *Call) ([]byte, error) {
+		started <- struct{}{}
+		<-release
+		return []byte("late"), nil
+	}, WithServerLog(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close(release)
+
+	cl := NewClient(n, "client", "server:drop")
+	defer cl.Close()
+	const inFlight = 16
+	errs := make(chan error, inFlight)
+	for i := 0; i < inFlight; i++ {
+		go func(i int) {
+			_, _, err := cl.Call(uint16(i), nil)
+			errs <- err
+		}(i)
+	}
+	// Wait until every call is in a handler, then kill the server (which
+	// closes its tracked conns).
+	for i := 0; i < inFlight; i++ {
+		<-started
+	}
+	srv.Close()
+	for i := 0; i < inFlight; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Fatal("in-flight call succeeded across a dropped connection")
+			}
+			if IsRemote(err) {
+				t.Fatalf("conn drop surfaced as remote error: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("in-flight call hung after connection drop")
+		}
+	}
+}
+
+// TestTimeoutLeavesPendingTableClean checks the deadline sweeper: a
+// timed-out call must leave no pending entry behind, and — as long as
+// the connection is carrying other live traffic — the shared
+// connection must remain usable for later calls.
+func TestTimeoutLeavesPendingTableClean(t *testing.T) {
+	n := simNet(t)
+	block := make(chan struct{})
+	srv, err := Serve(n, "server:sweep", func(c *Call) ([]byte, error) {
+		if c.Op == 2 {
+			<-block
+		}
+		return []byte("ok"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient(n, "client", "server:sweep")
+	defer cl.Close()
+	// Establish the shared conn.
+	if _, _, err := cl.Call(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	mc := cl.slots[0].mc.Load()
+	if mc == nil {
+		t.Fatal("shared conn vanished")
+	}
+
+	// Keep fast traffic flowing on the same connection so it shows
+	// signs of life while the op-2 calls hang and time out.
+	stopFast := make(chan struct{})
+	fastDone := make(chan struct{})
+	go func() {
+		defer close(fastDone)
+		for {
+			select {
+			case <-stopFast:
+				return
+			default:
+				cl.Call(1, nil)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	cl.Timeout = 50 * time.Millisecond
+	const timedOut = 8
+	var wg sync.WaitGroup
+	for i := 0; i < timedOut; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := cl.Call(2, nil); err == nil {
+				t.Error("blocked call did not time out")
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopFast)
+	<-fastDone
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mc.mu.Lock()
+		left := len(mc.pending)
+		mc.mu.Unlock()
+		inflight := mc.inflight.Load()
+		if left == 0 && inflight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pending table dirty after timeouts: %d entries, inflight %d", left, inflight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if mc.dead.Load() {
+		t.Fatal("timeout killed a connection that was carrying live traffic")
+	}
+
+	// Release the stuck handlers; their late responses must be dropped,
+	// and the same connection must serve fresh calls correctly.
+	close(block)
+	cl.Timeout = 5 * time.Second
+	resp, _, err := cl.Call(3, nil)
+	if err != nil || string(resp) != "ok" {
+		t.Fatalf("conn unusable after timeouts: %v %q", err, resp)
+	}
+	if got := cl.slots[0].mc.Load(); got != mc {
+		t.Fatal("client redialed instead of reusing the live conn after timeouts")
+	}
+}
+
+// TestWedgedConnCondemnedAndRedialed covers the transport-wedge path:
+// when a connection is completely silent for an expired call's whole
+// timeout window, the sweeper condemns it so the next call redials
+// instead of piling onto a dead pipe forever.
+func TestWedgedConnCondemnedAndRedialed(t *testing.T) {
+	n := &countingNet{Network: simNet(t)}
+	var wedged atomic.Bool
+	wedged.Store(true)
+	release := make(chan struct{})
+	defer close(release)
+	srv, err := Serve(n, "server:wedge", func(c *Call) ([]byte, error) {
+		if wedged.Load() {
+			<-release // swallow every request: the conn goes silent
+		}
+		return []byte("ok"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient(n, "client", "server:wedge")
+	cl.Timeout = 50 * time.Millisecond
+	defer cl.Close()
+	if _, _, err := cl.Call(1, nil); err == nil {
+		t.Fatal("call through wedged server succeeded")
+	}
+	mc := cl.slots[0].mc.Load()
+	deadline := time.Now().Add(5 * time.Second)
+	for !mc.dead.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("silent connection was not condemned")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Server recovers; the client must redial and succeed.
+	wedged.Store(false)
+	cl.Timeout = 5 * time.Second
+	resp, _, err := cl.Call(1, nil)
+	if err != nil || string(resp) != "ok" {
+		t.Fatalf("client did not recover from wedged conn: %v %q", err, resp)
+	}
+	if d := n.dials.Load(); d != 2 {
+		t.Fatalf("dials = %d, want 2 (original + redial)", d)
+	}
+}
+
+// TestPooledClientBaseline keeps the benchmark baseline honest: the
+// checkout-per-call client must still speak the mux wire format.
+func TestPooledClientBaseline(t *testing.T) {
+	n := simNet(t)
+	srv, err := Serve(n, "server:pooled", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewPooledClient(n, "client", "server:pooled", 4)
+	defer cl.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, cost, err := cl.Call(uint16(g), []byte{byte(i)})
+				if err != nil {
+					t.Errorf("pooled call: %v", err)
+					return
+				}
+				if cost <= 0 {
+					t.Error("pooled call lost virtual cost")
+					return
+				}
+				if !bytes.Equal(resp, []byte{byte(g), byte(i)}) {
+					t.Errorf("pooled resp %q", resp)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 func TestLargeBody(t *testing.T) {

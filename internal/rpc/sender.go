@@ -1,0 +1,132 @@
+package rpc
+
+import (
+	"sync"
+
+	"gdn/internal/transport"
+	"gdn/internal/wire"
+)
+
+// connSender serializes outbound frames for one connection with flush
+// combining: the first enqueuer becomes the flusher and keeps draining
+// the queue, so frames enqueued by other goroutines while a send is in
+// flight go out together — one vectored write on transports that
+// implement BatchSender. Under load this collapses many pipelined
+// requests (or responses) into one syscall; with a single caller it
+// degenerates to a plain immediate send, adding no latency.
+//
+// The sender owns every writer handed to enqueue and frees it after the
+// frame is sent or discarded. Send failures are reported once through
+// onErr; frames enqueued after a failure are silently dropped, which is
+// correct for RPC because a send failure condemns the connection and
+// the pending-call table delivers the failure to every caller.
+type connSender struct {
+	conn  transport.Conn
+	onErr func(error)
+
+	mu     sync.Mutex
+	queue  []*wire.Writer
+	spare  []*wire.Writer // recycled queue backing, swapped by flush
+	active bool
+	dead   bool
+}
+
+func newConnSender(conn transport.Conn, onErr func(error)) *connSender {
+	return &connSender{conn: conn, onErr: onErr}
+}
+
+// enqueue hands one encoded frame to the sender. It returns once the
+// frame is queued; the flush (possibly run by this goroutine) delivers
+// it in order.
+func (s *connSender) enqueue(w *wire.Writer) {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		w.Free()
+		return
+	}
+	s.queue = append(s.queue, w)
+	if s.active {
+		s.mu.Unlock()
+		return
+	}
+	s.active = true
+	s.mu.Unlock()
+	s.flush()
+}
+
+func (s *connSender) flush() {
+	var frames [][]byte
+	for {
+		s.mu.Lock()
+		if s.dead || len(s.queue) == 0 {
+			q := s.queue
+			s.queue = nil
+			s.active = false
+			s.mu.Unlock()
+			for _, w := range q {
+				w.Free()
+			}
+			return
+		}
+		batch := s.queue
+		s.queue = s.spare[:0]
+		s.spare = nil
+		s.mu.Unlock()
+
+		frames = frames[:0]
+		for _, w := range batch {
+			frames = append(frames, w.Bytes())
+		}
+		err := sendFrames(s.conn, frames)
+		for i, w := range batch {
+			w.Free()
+			batch[i] = nil
+		}
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.mu.Lock()
+		s.spare = batch[:0]
+		s.mu.Unlock()
+	}
+}
+
+// fail marks the sender dead, discards queued frames, and reports err
+// through onErr exactly once.
+func (s *connSender) fail(err error) {
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	s.dead = true
+	q := s.queue
+	s.queue = nil
+	s.active = false
+	s.mu.Unlock()
+	for _, w := range q {
+		w.Free()
+	}
+	if s.onErr != nil {
+		s.onErr(err)
+	}
+}
+
+// sendFrames transmits a batch through one vectored write when the
+// transport supports it, else frame by frame.
+func sendFrames(conn transport.Conn, frames [][]byte) error {
+	if len(frames) == 1 {
+		return conn.Send(frames[0])
+	}
+	if bs, ok := conn.(transport.BatchSender); ok {
+		return bs.SendBatch(frames)
+	}
+	for _, p := range frames {
+		if err := conn.Send(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"sync"
 	"time"
 
@@ -54,21 +55,26 @@ func (c *Config) roleAllowed(role string) bool {
 
 // Channel is an authenticated, integrity-protected (and optionally
 // encrypted) connection. It implements transport.Conn, so rpc servers
-// and clients run over it unchanged.
+// and clients run over it unchanged — including the multiplexed RPC
+// layer, whose concurrent senders serialize on sendMu and whose single
+// demux goroutine drains Recv.
 type Channel struct {
 	conn    transport.Conn
 	peer    *Certificate // nil when the peer is anonymous
 	encrypt bool
 
-	sendMu  sync.Mutex
-	sendSeq uint64
-	sendMAC []byte
-	sendKey cipher.Block // nil when !encrypt
+	sendMu   sync.Mutex
+	sendSeq  uint64
+	sendMAC  []byte
+	sendHash hash.Hash    // keyed HMAC state, Reset per record under sendMu
+	sendKey  cipher.Block // nil when !encrypt
 
-	recvMu  sync.Mutex
-	recvSeq uint64
-	recvMAC []byte
-	recvKey cipher.Block
+	recvMu     sync.Mutex
+	recvSeq    uint64
+	recvMAC    []byte
+	recvHash   hash.Hash
+	recvMACBuf [macSize]byte
+	recvKey    cipher.Block
 }
 
 var _ transport.Conn = (*Channel)(nil)
@@ -342,6 +348,8 @@ func newChannel(conn transport.Conn, shared, transcript []byte, isClient, encryp
 	} else {
 		ch.sendMAC, ch.recvMAC = sMAC, cMAC
 	}
+	ch.sendHash = hmac.New(sha256.New, ch.sendMAC)
+	ch.recvHash = hmac.New(sha256.New, ch.recvMAC)
 	if encrypt {
 		cEnc := hkdfExpand(prk, "client enc", 32)
 		sEnc := hkdfExpand(prk, "server enc", 32)
@@ -385,26 +393,92 @@ func hkdfExpand(prk []byte, info string, n int) []byte {
 
 const macSize = sha256.Size
 
-// Send seals one record: seq(8) || payload' || hmac(32), where payload'
-// is AES-CTR encrypted when confidentiality is on. The sequence number
-// is authenticated, giving replay and reorder protection.
-func (ch *Channel) Send(p []byte) error {
-	ch.sendMu.Lock()
-	defer ch.sendMu.Unlock()
+// recPool recycles send-record buffers. The transports below never
+// retain the slice passed to Send (TCP framing writes it out, netsim
+// copies it), so the buffer can be reused as soon as Send returns.
+var recPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// maxPooledRec bounds the record capacity retained by the pool. It is
+// sized to keep records carrying a full storage chunk
+// (pkgobj.DefaultChunkSize, 256 KiB) plus protocol overhead — the
+// dominant large-transfer path — while dropping outliers.
+const maxPooledRec = 512 << 10
+
+// sealLocked seals one record into a pooled buffer: seq(8) || payload'
+// || hmac(32), where payload' is AES-CTR encrypted when confidentiality
+// is on. Caller must hold sendMu and return the buffer to recPool once
+// the record has been sent.
+func (ch *Channel) sealLocked(p []byte) (*[]byte, []byte) {
 	seq := ch.sendSeq
 	ch.sendSeq++
 
-	rec := make([]byte, 8+len(p)+macSize)
+	n := 8 + len(p) + macSize
+	bp := recPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, 0, n)
+	}
+	rec := (*bp)[:n]
 	binary.BigEndian.PutUint64(rec[:8], seq)
 	body := rec[8 : 8+len(p)]
 	copy(body, p)
 	if ch.sendKey != nil {
 		ctr(ch.sendKey, seq).XORKeyStream(body, body)
 	}
-	m := hmac.New(sha256.New, ch.sendMAC)
-	m.Write(rec[:8+len(p)])
-	m.Sum(rec[:8+len(p)])
-	return ch.conn.Send(rec)
+	ch.sendHash.Reset()
+	ch.sendHash.Write(rec[:8+len(p)])
+	ch.sendHash.Sum(rec[:8+len(p)])
+	return bp, rec
+}
+
+func putRec(bp *[]byte) {
+	if cap(*bp) <= maxPooledRec {
+		recPool.Put(bp)
+	}
+}
+
+// Send seals and transmits one record. The sequence number is
+// authenticated, giving replay and reorder protection.
+func (ch *Channel) Send(p []byte) error {
+	ch.sendMu.Lock()
+	defer ch.sendMu.Unlock()
+	bp, rec := ch.sealLocked(p)
+	err := ch.conn.Send(rec)
+	putRec(bp)
+	return err
+}
+
+// SendBatch seals several records and hands them to the underlying
+// transport as one batch, preserving record order. It implements
+// transport.BatchSender so the multiplexed RPC layer's write combining
+// survives the security layer instead of being split back into one
+// write per record.
+func (ch *Channel) SendBatch(frames [][]byte) error {
+	ch.sendMu.Lock()
+	defer ch.sendMu.Unlock()
+	if bs, ok := ch.conn.(transport.BatchSender); ok {
+		recs := make([][]byte, len(frames))
+		bps := make([]*[]byte, len(frames))
+		for i, p := range frames {
+			bps[i], recs[i] = ch.sealLocked(p)
+		}
+		err := bs.SendBatch(recs)
+		for _, bp := range bps {
+			putRec(bp)
+		}
+		return err
+	}
+	// Plain transport: still seal and send under one sendMu hold so the
+	// batch stays atomic with respect to concurrent Send calls, as the
+	// BatchSender contract requires.
+	for _, p := range frames {
+		bp, rec := ch.sealLocked(p)
+		err := ch.conn.Send(rec)
+		putRec(bp)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Recv opens one record, verifying integrity and sequencing.
@@ -423,9 +497,9 @@ func (ch *Channel) Recv() ([]byte, time.Duration, error) {
 		return nil, 0, fmt.Errorf("%w: sequence %d, want %d (replay or reorder)", ErrRecord, seq, ch.recvSeq)
 	}
 	payloadEnd := len(rec) - macSize
-	m := hmac.New(sha256.New, ch.recvMAC)
-	m.Write(rec[:payloadEnd])
-	if !hmac.Equal(m.Sum(nil), rec[payloadEnd:]) {
+	ch.recvHash.Reset()
+	ch.recvHash.Write(rec[:payloadEnd])
+	if !hmac.Equal(ch.recvHash.Sum(ch.recvMACBuf[:0]), rec[payloadEnd:]) {
 		return nil, 0, fmt.Errorf("%w: bad MAC on record %d", ErrRecord, seq)
 	}
 	ch.recvSeq++

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -48,9 +49,146 @@ func (tl *tcpListener) Accept() (Conn, error) {
 func (tl *tcpListener) Close() error { return tl.l.Close() }
 func (tl *tcpListener) Addr() string { return tl.l.Addr().String() }
 
+// recvBufSize is the buffered-reader size for inbound frames. Most
+// protocol frames (location-service records, replication control
+// messages) are far smaller than this, so one read syscall typically
+// delivers several pipelined frames.
+const recvBufSize = 64 << 10
+
 // framedConn adapts a stream connection to the frame-oriented Conn
 // interface with 32-bit length prefixes.
+//
+// Lock scope: sendMu guards sendHdr and the write side of c so
+// concurrent senders cannot interleave a prefix from one frame with the
+// payload of another; recvMu guards recvHdr and br. The two sides are
+// independent, so a sender never blocks a receiver.
 type framedConn struct {
+	c net.Conn
+
+	sendMu  sync.Mutex
+	sendHdr [4]byte
+
+	recvMu  sync.Mutex
+	recvHdr [4]byte
+	br      *bufio.Reader
+
+	closed   sync.Once
+	closeErr error
+}
+
+// NewFramedConn wraps a stream connection (TCP, a net.Pipe end, or a
+// security channel's underlying socket) as a frame-oriented Conn.
+func NewFramedConn(c net.Conn) Conn {
+	return &framedConn{c: c, br: bufio.NewReaderSize(c, recvBufSize)}
+}
+
+// Send transmits the length prefix and payload as one vectored write
+// (writev on TCP), so a frame costs a single syscall instead of two and
+// small frames are never split across segments by the framing layer.
+func (f *framedConn) Send(p []byte) error {
+	if len(p) > MaxFrame {
+		return ErrFrameSize
+	}
+	f.sendMu.Lock()
+	defer f.sendMu.Unlock()
+	binary.BigEndian.PutUint32(f.sendHdr[:], uint32(len(p)))
+	bufs := net.Buffers{f.sendHdr[:], p}
+	_, err := bufs.WriteTo(f.c)
+	return err
+}
+
+// SendBatch transmits several frames as one vectored write: all length
+// prefixes and payloads in a single writev, so a burst of pipelined RPC
+// frames costs one syscall total.
+func (f *framedConn) SendBatch(frames [][]byte) error {
+	bufs := make(net.Buffers, 0, 2*len(frames))
+	hdrs := make([]byte, 4*len(frames))
+	for i, p := range frames {
+		if len(p) > MaxFrame {
+			return ErrFrameSize
+		}
+		h := hdrs[i*4 : i*4+4]
+		binary.BigEndian.PutUint32(h, uint32(len(p)))
+		bufs = append(bufs, h, p)
+	}
+	f.sendMu.Lock()
+	defer f.sendMu.Unlock()
+	_, err := bufs.WriteTo(f.c)
+	return err
+}
+
+func (f *framedConn) Recv() ([]byte, time.Duration, error) {
+	f.recvMu.Lock()
+	defer f.recvMu.Unlock()
+	if _, err := io.ReadFull(f.br, f.recvHdr[:]); err != nil {
+		return nil, 0, err
+	}
+	n := binary.BigEndian.Uint32(f.recvHdr[:])
+	if n > MaxFrame {
+		f.c.Close()
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrFrameSize, n)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(f.br, p); err != nil {
+		return nil, 0, err
+	}
+	return p, 0, nil
+}
+
+func (f *framedConn) Close() error {
+	f.closed.Do(func() { f.closeErr = f.c.Close() })
+	return f.closeErr
+}
+
+func (f *framedConn) LocalAddr() string  { return f.c.LocalAddr().String() }
+func (f *framedConn) RemoteAddr() string { return f.c.RemoteAddr().String() }
+
+// TCPLegacy is the seed-era TCP transport, retained only as a
+// benchmark baseline: every frame costs two Write syscalls (prefix,
+// then payload) and every Recv two unbuffered reads. The byte stream
+// is identical to TCP's, so the two interoperate freely — which is what
+// lets the pooled-vs-mux comparison benchmarks in the repository root
+// measure exactly the overhead the single-write framing and the
+// multiplexed client removed. New code should use TCP.
+type TCPLegacy struct{}
+
+// Listen starts a TCP listener whose accepted connections use the
+// legacy two-write framing.
+func (TCPLegacy) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &legacyListener{l: l}, nil
+}
+
+// Dial connects to addr with the legacy two-write framing.
+func (TCPLegacy) Dial(from, addr string) (Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &legacyFramedConn{c: c}, nil
+}
+
+type legacyListener struct {
+	l net.Listener
+}
+
+func (tl *legacyListener) Accept() (Conn, error) {
+	c, err := tl.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &legacyFramedConn{c: c}, nil
+}
+
+func (tl *legacyListener) Close() error { return tl.l.Close() }
+func (tl *legacyListener) Addr() string { return tl.l.Addr().String() }
+
+// legacyFramedConn is the seed framing implementation, verbatim: one
+// Write for the length prefix, one for the payload, unbuffered reads.
+type legacyFramedConn struct {
 	c        net.Conn
 	sendMu   sync.Mutex
 	recvMu   sync.Mutex
@@ -60,13 +198,7 @@ type framedConn struct {
 	closeErr error
 }
 
-// NewFramedConn wraps a stream connection (TCP, a net.Pipe end, or a
-// security channel's underlying socket) as a frame-oriented Conn.
-func NewFramedConn(c net.Conn) Conn {
-	return &framedConn{c: c}
-}
-
-func (f *framedConn) Send(p []byte) error {
+func (f *legacyFramedConn) Send(p []byte) error {
 	if len(p) > MaxFrame {
 		return ErrFrameSize
 	}
@@ -80,7 +212,7 @@ func (f *framedConn) Send(p []byte) error {
 	return err
 }
 
-func (f *framedConn) Recv() ([]byte, time.Duration, error) {
+func (f *legacyFramedConn) Recv() ([]byte, time.Duration, error) {
 	f.recvMu.Lock()
 	defer f.recvMu.Unlock()
 	if _, err := io.ReadFull(f.c, f.recvLen[:]); err != nil {
@@ -98,10 +230,10 @@ func (f *framedConn) Recv() ([]byte, time.Duration, error) {
 	return p, 0, nil
 }
 
-func (f *framedConn) Close() error {
+func (f *legacyFramedConn) Close() error {
 	f.closed.Do(func() { f.closeErr = f.c.Close() })
 	return f.closeErr
 }
 
-func (f *framedConn) LocalAddr() string  { return f.c.LocalAddr().String() }
-func (f *framedConn) RemoteAddr() string { return f.c.RemoteAddr().String() }
+func (f *legacyFramedConn) LocalAddr() string  { return f.c.LocalAddr().String() }
+func (f *legacyFramedConn) RemoteAddr() string { return f.c.RemoteAddr().String() }

@@ -18,8 +18,12 @@ import (
 )
 
 // A Conn is a bidirectional, ordered, message-oriented connection.
-// Frames are delivered whole or not at all. Conns are safe for one
-// concurrent sender and one concurrent receiver.
+// Frames are delivered whole or not at all. Send and Recv are each safe
+// for concurrent use: any number of goroutines may Send (frames are
+// serialized, never interleaved) and any number may Recv (each frame is
+// delivered to exactly one receiver). The multiplexed RPC layer relies
+// on this: many callers send on one shared connection while a single
+// demux goroutine receives.
 type Conn interface {
 	// Send transmits one frame.
 	Send(p []byte) error
@@ -33,6 +37,17 @@ type Conn interface {
 	// "site:service" form for simulated networks and "host:port" for TCP.
 	LocalAddr() string
 	RemoteAddr() string
+}
+
+// A BatchSender is a Conn that can transmit several frames in one
+// operation — on TCP, one vectored write instead of a syscall per
+// frame. Frames are delivered in order, atomically with respect to
+// concurrent Send calls. The multiplexed RPC layer batches pipelined
+// requests and responses through it when available; callers must be
+// prepared for a plain Conn and fall back to per-frame Send.
+type BatchSender interface {
+	Conn
+	SendBatch(frames [][]byte) error
 }
 
 // A Listener accepts inbound connections for one transport address.

@@ -137,3 +137,111 @@ func TestTCPDialFailure(t *testing.T) {
 		t.Fatal("dialing a closed port must fail")
 	}
 }
+
+func TestTCPSendBatchOrderingAndInterleave(t *testing.T) {
+	client, server := pair(t)
+	bs, ok := client.(BatchSender)
+	if !ok {
+		t.Fatal("framed TCP conn must implement BatchSender")
+	}
+	// Interleave batched and plain sends from concurrent goroutines;
+	// every frame must arrive whole, in some serialized order.
+	const rounds = 30
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			batch := [][]byte{
+				bytes.Repeat([]byte{1}, i+1),
+				bytes.Repeat([]byte{2}, i+2),
+				bytes.Repeat([]byte{3}, i+3),
+			}
+			if err := bs.SendBatch(batch); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if err := client.Send(bytes.Repeat([]byte{9}, i+1)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	got := make(map[byte]int)
+	for i := 0; i < rounds*3+rounds; i++ {
+		p, _, err := server.Recv()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if len(p) == 0 {
+			t.Fatalf("frame %d empty", i)
+		}
+		for _, b := range p {
+			if b != p[0] {
+				t.Fatalf("frame %d interleaved: %v", i, p)
+			}
+		}
+		got[p[0]]++
+	}
+	for _, tag := range []byte{1, 2, 3, 9} {
+		if got[tag] != rounds {
+			t.Fatalf("tag %d: got %d frames, want %d", tag, got[tag], rounds)
+		}
+	}
+	wg.Wait()
+}
+
+func TestTCPSendBatchSizeBound(t *testing.T) {
+	client, _ := pair(t)
+	bs := client.(BatchSender)
+	err := bs.SendBatch([][]byte{{1}, make([]byte, MaxFrame+1)})
+	if !errors.Is(err, ErrFrameSize) {
+		t.Fatalf("err = %v, want ErrFrameSize", err)
+	}
+}
+
+func TestLegacyAndCurrentFramingInteroperate(t *testing.T) {
+	// TCPLegacy exists as a benchmark baseline; its byte stream must
+	// stay identical to TCP's so mixed deployments keep working.
+	var tcp TCP
+	l, err := tcp.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	acc := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			acc <- c
+		}
+	}()
+	var legacy TCPLegacy
+	cl, err := legacy.Dial("", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	srv := <-acc
+	defer srv.Close()
+
+	if err := cl.Send([]byte("old-to-new")); err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := srv.Recv()
+	if err != nil || string(p) != "old-to-new" {
+		t.Fatalf("legacy->current: %v %q", err, p)
+	}
+	if err := srv.Send([]byte("new-to-old")); err != nil {
+		t.Fatal(err)
+	}
+	p, _, err = cl.Recv()
+	if err != nil || string(p) != "new-to-old" {
+		t.Fatalf("current->legacy: %v %q", err, p)
+	}
+}

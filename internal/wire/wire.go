@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"gdn/internal/ids"
 )
@@ -40,38 +41,111 @@ var ErrTooLarge = errors.New("wire: field exceeds size limit")
 
 // Writer builds a message by appending fields. The zero value is ready
 // to use. Writers are not safe for concurrent use.
+//
+// Fields that would not survive the round trip — a string longer than
+// MaxString whose 16-bit length prefix would wrap, a byte string over
+// MaxBytes, a count over MaxCount — record an error instead of encoding
+// corrupt data. Like Reader, the writer goes inert after the first
+// error: subsequent appends are no-ops, Err returns the error, and
+// Bytes returns nil so a failed encode cannot be sent by accident.
 type Writer struct {
 	buf []byte
+	err error
 }
 
 // NewWriter returns a writer with capacity preallocated for n bytes.
 func NewWriter(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
 
-// Bytes returns the encoded message. The slice aliases the writer's
-// buffer; the caller must not keep writing afterwards.
-func (w *Writer) Bytes() []byte { return w.buf }
+// writerPool recycles encode buffers across messages. The RPC layer
+// encodes every request and response through it, so steady-state
+// traffic allocates no per-message buffers.
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// maxPooledWriter bounds the buffer capacity a pooled writer retains.
+// Occasional giant messages (file chunks) would otherwise pin their
+// buffers in the pool forever.
+const maxPooledWriter = 64 << 10
+
+// GetWriter returns a pooled writer with capacity preallocated for at
+// least n bytes. Call Free when the encoded bytes have been fully
+// consumed (sent or copied); the returned slice from Bytes must not be
+// retained past Free.
+func GetWriter(n int) *Writer {
+	w := writerPool.Get().(*Writer)
+	if cap(w.buf) < n {
+		w.buf = make([]byte, 0, n)
+	}
+	return w
+}
+
+// Free resets the writer and returns it to the package pool. The caller
+// must not use the writer, or any slice obtained from Bytes, afterwards.
+func (w *Writer) Free() {
+	if cap(w.buf) > maxPooledWriter {
+		w.buf = nil
+	}
+	w.Reset()
+	writerPool.Put(w)
+}
+
+// Bytes returns the encoded message, or nil if an append failed. The
+// slice aliases the writer's buffer; the caller must not keep writing
+// afterwards.
+func (w *Writer) Bytes() []byte {
+	if w.err != nil {
+		return nil
+	}
+	return w.buf
+}
+
+// Err returns the first encoding error, or nil.
+func (w *Writer) Err() error { return w.err }
 
 // Len returns the number of bytes encoded so far.
 func (w *Writer) Len() int { return len(w.buf) }
 
-// Reset discards the contents, retaining the buffer.
-func (w *Writer) Reset() { w.buf = w.buf[:0] }
+// Reset discards the contents and any recorded error, retaining the
+// buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.err = nil
+}
+
+func (w *Writer) wfail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
 
 // Uint8 appends a single byte.
-func (w *Writer) Uint8(v uint8) { w.buf = append(w.buf, v) }
+func (w *Writer) Uint8(v uint8) {
+	if w.err != nil {
+		return
+	}
+	w.buf = append(w.buf, v)
+}
 
 // Uint16 appends a big-endian 16-bit integer.
 func (w *Writer) Uint16(v uint16) {
+	if w.err != nil {
+		return
+	}
 	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
 }
 
 // Uint32 appends a big-endian 32-bit integer.
 func (w *Writer) Uint32(v uint32) {
+	if w.err != nil {
+		return
+	}
 	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
 }
 
 // Uint64 appends a big-endian 64-bit integer.
 func (w *Writer) Uint64(v uint64) {
+	if w.err != nil {
+		return
+	}
 	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
 }
 
@@ -90,23 +164,56 @@ func (w *Writer) Bool(v bool) {
 	}
 }
 
-// Bytes32 appends a byte string with a 32-bit length prefix.
+// Bytes32 appends a byte string with a 32-bit length prefix. Slices
+// over MaxBytes record ErrTooLarge — the peer's Reader would refuse
+// them anyway.
 func (w *Writer) Bytes32(b []byte) {
+	if w.err != nil {
+		return
+	}
+	if len(b) > MaxBytes {
+		w.wfail(fmt.Errorf("%w: %d-byte field", ErrTooLarge, len(b)))
+		return
+	}
 	w.Uint32(uint32(len(b)))
 	w.buf = append(w.buf, b...)
 }
 
-// Str appends a string with a 16-bit length prefix.
+// Str appends a string with a 16-bit length prefix. Strings over
+// MaxString record ErrTooLarge: encoding one would silently wrap the
+// length prefix and corrupt every field after it.
 func (w *Writer) Str(s string) {
+	if w.err != nil {
+		return
+	}
+	if len(s) > MaxString || len(s) > math.MaxUint16 {
+		w.wfail(fmt.Errorf("%w: %d-byte string", ErrTooLarge, len(s)))
+		return
+	}
 	w.Uint16(uint16(len(s)))
 	w.buf = append(w.buf, s...)
 }
 
 // OID appends an object identifier.
-func (w *Writer) OID(o ids.OID) { w.buf = append(w.buf, o[:]...) }
+func (w *Writer) OID(o ids.OID) {
+	if w.err != nil {
+		return
+	}
+	w.buf = append(w.buf, o[:]...)
+}
 
-// Count appends a list length prefix.
-func (w *Writer) Count(n int) { w.Uint32(uint32(n)) }
+// Count appends a list length prefix, bounded by MaxCount to mirror the
+// Reader.
+func (w *Writer) Count(n int) {
+	if w.err != nil {
+		return
+	}
+	if n < 0 || n > MaxCount {
+		w.wfail(fmt.Errorf("%w: count %d", ErrTooLarge, n))
+		return
+	}
+	w.Uint32(uint32(n))
+}
 
 // Reader decodes a message built by Writer. Decoding methods record the
 // first error and return zero values afterwards, so call sequences can

@@ -221,3 +221,77 @@ func TestStringTruncatesAtLimitBoundary(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWriterStrOverflowSurfacesError(t *testing.T) {
+	// A string whose length cannot fit the 16-bit prefix used to wrap
+	// silently and corrupt every following field; it must now record an
+	// error, go inert, and yield no bytes.
+	long := string(make([]byte, 70000))
+	w := NewWriter(0)
+	w.Uint8(7)
+	w.Str(long)
+	w.Uint32(42) // must be a no-op after the failure
+	if err := w.Err(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Err() = %v, want ErrTooLarge", err)
+	}
+	if b := w.Bytes(); b != nil {
+		t.Fatalf("failed writer leaked %d bytes", len(b))
+	}
+	if w.Len() != 1 {
+		t.Fatalf("writer kept appending after error: len %d", w.Len())
+	}
+}
+
+func TestWriterStrUint16Boundary(t *testing.T) {
+	// 65535 is the largest length the prefix can represent; 65536 (which
+	// is still <= MaxString) would wrap to 0 and must be refused.
+	w := NewWriter(0)
+	w.Str(string(make([]byte, 65536)))
+	if !errors.Is(w.Err(), ErrTooLarge) {
+		t.Fatalf("Err() = %v, want ErrTooLarge for prefix-wrapping string", w.Err())
+	}
+}
+
+func TestWriterBytes32AndCountLimits(t *testing.T) {
+	w := NewWriter(0)
+	w.Count(MaxCount + 1)
+	if !errors.Is(w.Err(), ErrTooLarge) {
+		t.Fatalf("Count over limit: Err() = %v", w.Err())
+	}
+	w2 := NewWriter(0)
+	w2.Count(-1)
+	if !errors.Is(w2.Err(), ErrTooLarge) {
+		t.Fatalf("negative Count: Err() = %v", w2.Err())
+	}
+}
+
+func TestPooledWriterRoundTrip(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		w := GetWriter(64)
+		w.Uint16(uint16(i))
+		w.Str("pooled")
+		w.Bytes32([]byte{byte(i)})
+		r := NewReader(w.Bytes())
+		if r.Uint16() != uint16(i) || r.Str() != "pooled" || !bytes.Equal(r.Bytes32(), []byte{byte(i)}) {
+			t.Fatalf("iteration %d: pooled writer corrupted message", i)
+		}
+		if err := r.Done(); err != nil {
+			t.Fatal(err)
+		}
+		w.Free()
+	}
+}
+
+func TestPooledWriterClearsErrorOnReuse(t *testing.T) {
+	w := GetWriter(8)
+	w.Str(string(make([]byte, 70000)))
+	if w.Err() == nil {
+		t.Fatal("expected error")
+	}
+	w.Free()
+	w2 := GetWriter(8)
+	defer w2.Free()
+	if w2.Err() != nil || w2.Len() != 0 {
+		t.Fatal("pooled writer carried error or bytes across Free")
+	}
+}
