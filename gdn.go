@@ -11,7 +11,9 @@
 //	internal/gls      the Globe Location Service (OID → contact address)
 //	internal/dns      a miniature DNS (substrate for the name service)
 //	internal/gns      the Globe Name Service and its Naming Authority
-//	internal/pkgobj   the package DSO (files, chunks, digests)
+//	internal/pkgobj   the package DSO (files, manifests, digests)
+//	internal/store    the content-addressed chunk store behind bulk
+//	                  content, caches and object-server persistence
 //	internal/gos      the Globe Object Server daemon logic
 //	internal/httpd    the GDN-enabled HTTPD / proxy
 //	internal/modtool  the moderator tool
@@ -557,6 +559,8 @@ type HTTPDConfig struct {
 	CacheParams map[string]string
 	// RegisterCaches registers caches in the location service.
 	RegisterCaches bool
+	// CacheBytes bounds the HTTPD's shared chunk cache (0 = default).
+	CacheBytes int64
 }
 
 // HTTPD starts a GDN-enabled HTTPD at a site and returns its handler.
@@ -587,6 +591,7 @@ func (w *World) HTTPD(site string, cfg HTTPDConfig) (*httpd.Handler, error) {
 		Disp:           disp,
 		CacheParams:    cfg.CacheParams,
 		RegisterCaches: cfg.RegisterCaches,
+		CacheBytes:     cfg.CacheBytes,
 	})
 	if err != nil {
 		return nil, err

@@ -31,11 +31,13 @@
 package core
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"gdn/internal/store"
 	"gdn/internal/wire"
 )
 
@@ -48,6 +50,9 @@ var (
 	ErrNoProtocol = errors.New("core: replication protocol not registered")
 	// ErrClosed is returned by invocations on a closed representative.
 	ErrClosed = errors.New("core: local representative is closed")
+	// ErrNoBulk is returned when bulk (manifest) access is asked of a
+	// semantics that does not store its content in a chunk store.
+	ErrNoBulk = errors.New("core: semantics has no chunked bulk content")
 )
 
 // Invocation is one marshalled method call: the opaque unit that
@@ -100,6 +105,101 @@ type Semantics interface {
 	UnmarshalState(b []byte) error
 }
 
+// Manifest describes one bulk item (a package file): its ordered
+// chunks in a content-addressed store, the total size, and the
+// whole-content digest a reader verifies end to end (paper §6.1).
+// Remote readers see only Size and Digest; Chunks stays local.
+type Manifest struct {
+	Chunks []store.Chunk
+	Size   int64
+	Digest [sha256.Size]byte
+}
+
+// Refs returns the manifest's chunk refs in order.
+func (m Manifest) Refs() []store.Ref {
+	out := make([]store.Ref, len(m.Chunks))
+	for i, c := range m.Chunks {
+		out[i] = c.Ref
+	}
+	return out
+}
+
+// WalkRange feeds fn the byte range [off, off+n) of the manifest's
+// content out of st, chunk by chunk (n < 0 means to end). Slices are
+// valid only during the callback. This is the single copy of the
+// range/clamp arithmetic behind local reads, streamed bulk reads and
+// chunked GetFileChunk.
+func (m Manifest) WalkRange(st *store.Store, off, n int64, fn func(p []byte) error) error {
+	if n < 0 {
+		n = m.Size
+	}
+	if off < 0 {
+		off = 0
+	}
+	end := off + n
+	if end > m.Size {
+		end = m.Size
+	}
+	pos := int64(0)
+	for _, c := range m.Chunks {
+		if pos >= end {
+			break
+		}
+		if pos+c.Size <= off {
+			pos += c.Size
+			continue
+		}
+		data, err := st.Get(c.Ref)
+		if err != nil {
+			return fmt.Errorf("core: bulk content lost chunk %s: %w", c.Ref.Short(), err)
+		}
+		if int64(len(data)) != c.Size {
+			// The hash vouches for the bytes, not the manifest's claimed
+			// length; never let a lying size drive slice arithmetic.
+			return fmt.Errorf("core: chunk %s is %d bytes, manifest claims %d", c.Ref.Short(), len(data), c.Size)
+		}
+		a, b := int64(0), c.Size
+		if off > pos {
+			a = off - pos
+		}
+		if pos+b > end {
+			b = end - pos
+		}
+		if err := fn(data[a:b]); err != nil {
+			return err
+		}
+		pos += c.Size
+	}
+	return nil
+}
+
+// ChunkStored is implemented by semantics subobjects that keep bulk
+// content in a content-addressed chunk store. The runtime injects the
+// hosting process's shared store (an object server's durable store, a
+// proxy cache's LRU store) before any state is seeded.
+type ChunkStored interface {
+	// UseStore re-homes the semantics onto st.
+	UseStore(st *store.Store)
+	// Store returns the store currently backing the semantics.
+	Store() *store.Store
+}
+
+// BulkSource is the optional semantics interface behind streamed bulk
+// reads: it maps a path to the manifest of its content. The returned
+// manifest's chunks are retained in the store on the caller's behalf;
+// the caller must Release them when done, so a concurrent write
+// cannot delete chunks out from under an in-flight stream.
+type BulkSource interface {
+	FileManifest(path string) (Manifest, error)
+}
+
+// ChunkedState is the optional semantics interface for delta state
+// transfer: a stateless parse of the chunk refs a marshalled state
+// references, so a receiver can fetch exactly the chunks it lacks.
+type ChunkedState interface {
+	StateRefs(state []byte) ([]store.Ref, error)
+}
+
 // LocalExec gives replication subobjects serialized access to the
 // semantics subobject co-resident in their LR.
 type LocalExec interface {
@@ -108,6 +208,19 @@ type LocalExec interface {
 	// MarshalState and UnmarshalState expose state transfer.
 	MarshalState() ([]byte, error)
 	UnmarshalState(b []byte) error
+}
+
+// BulkExec is the serialized counterpart of BulkSource; the standard
+// LocalExec implementation provides it when the wrapped semantics
+// does.
+type BulkExec interface {
+	FileManifest(path string) (Manifest, error)
+}
+
+// RefExec is the serialized counterpart of ChunkedState. A nil ref
+// slice with nil error means the semantics does not chunk its state.
+type RefExec interface {
+	StateRefs(state []byte) ([]store.Ref, error)
 }
 
 // NewLocalExec wraps a semantics subobject with a mutex so the local
@@ -139,6 +252,25 @@ func (le *lockedExec) UnmarshalState(b []byte) error {
 	return le.sem.UnmarshalState(b)
 }
 
+func (le *lockedExec) FileManifest(path string) (Manifest, error) {
+	bs, ok := le.sem.(BulkSource)
+	if !ok {
+		return Manifest{}, ErrNoBulk
+	}
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	return bs.FileManifest(path)
+}
+
+func (le *lockedExec) StateRefs(state []byte) ([]store.Ref, error) {
+	cs, ok := le.sem.(ChunkedState)
+	if !ok {
+		return nil, nil
+	}
+	// The parse is stateless; no lock needed.
+	return cs.StateRefs(state)
+}
+
 // Replication is the replication subobject's standard interface. A
 // proxy-side implementation forwards invocations to remote replicas; a
 // replica-side implementation executes locally and keeps peers
@@ -149,6 +281,18 @@ type Replication interface {
 	Invoke(inv Invocation) ([]byte, time.Duration, error)
 	// Close detaches from peers and releases endpoints.
 	Close() error
+}
+
+// BulkReader is the optional replication-subobject interface for
+// streamed bulk reads: fn receives the byte range [off, off+n) of the
+// named item in chunk-sized slices (n < 0 means to end of item), valid
+// only during the callback. Replica-side implementations read their
+// local store; proxy-side implementations open an OpBulkRead stream to
+// a remote representative, so peak buffering is O(chunk) either way.
+// The returned manifest carries at least the item's Size and Digest
+// for end-to-end verification.
+type BulkReader interface {
+	ReadBulk(path string, off, n int64, fn func(p []byte) error) (Manifest, time.Duration, error)
 }
 
 // Control is the control subobject: the bridge between an object's

@@ -38,6 +38,14 @@ const (
 	OpSubscribe
 	// OpUnsubscribe withdraws a subscription on teardown.
 	OpUnsubscribe
+	// OpChunkGet fetches content chunks by their store refs; the delta
+	// state transfer asks a parent for exactly the chunks the local
+	// store is missing.
+	OpChunkGet
+	// OpBulkRead opens a streaming read of one bulk item (a package
+	// file): the response arrives as a sequence of chunk-sized frames
+	// with the item's size and digest as the trailer.
+	OpBulkRead
 )
 
 // Dispatcher is the listening half of the communication subobject: one
@@ -155,6 +163,15 @@ func (p *PeerClient) Call(op uint16, body []byte) ([]byte, time.Duration, error)
 	buf = append(buf, p.oid[:]...)
 	buf = append(buf, body...)
 	return p.rpc.Call(op, buf)
+}
+
+// CallStream opens a streaming replica-protocol call (OpBulkRead),
+// prefixing the object identifier.
+func (p *PeerClient) CallStream(op uint16, body []byte) (*rpc.Stream, error) {
+	buf := make([]byte, 0, ids.Size+len(body))
+	buf = append(buf, p.oid[:]...)
+	buf = append(buf, body...)
+	return p.rpc.CallStream(op, buf)
 }
 
 // Close releases the connection.

@@ -50,8 +50,16 @@ func (lr *LR) Semantics() Semantics { return lr.sem }
 func (lr *LR) Replication() Replication { return lr.repl }
 
 // Close tears the representative down: the replication subobject
-// detaches from its peers and unregisters its endpoint.
-func (lr *LR) Close() error { return lr.ctrl.Close() }
+// detaches from its peers and unregisters its endpoint, and a
+// chunk-stored semantics drops its pins so a shared store can
+// reclaim (or start aging out) this replica's content.
+func (lr *LR) Close() error {
+	err := lr.ctrl.Close()
+	if rs, ok := lr.sem.(interface{ ReleaseStored() }); ok {
+		rs.ReleaseStored()
+	}
+	return err
+}
 
 // NewLocalLR composes a representative whose replication subobject
 // executes invocations directly against the given semantics — a single

@@ -9,6 +9,7 @@ import (
 	"gdn/internal/gls"
 	"gdn/internal/ids"
 	"gdn/internal/sec"
+	"gdn/internal/store"
 	"gdn/internal/transport"
 )
 
@@ -46,6 +47,11 @@ type Env struct {
 	Clock func() time.Time
 	// Logf receives diagnostics; never nil after registry construction.
 	Logf func(string, ...any)
+	// Store is the chunk store backing the co-resident semantics' bulk
+	// content; replication subobjects serve chunk fetches and bulk-read
+	// streams from it and fill it during delta state transfer. Nil when
+	// the semantics keeps no chunked content.
+	Store *store.Store
 }
 
 // Now reads the environment clock.

@@ -10,6 +10,7 @@ import (
 	"gdn/internal/gns"
 	"gdn/internal/ids"
 	"gdn/internal/sec"
+	"gdn/internal/store"
 	"gdn/internal/transport"
 )
 
@@ -145,6 +146,7 @@ func (rt *Runtime) proxyFromAddrs(oid ids.OID, addrs []gls.ContactAddress) (*LR,
 		Peers: addrs,
 		Clock: rt.clock,
 		Logf:  rt.logf,
+		Store: semStore(sem, nil),
 	}
 	repl, err := proto.NewProxy(env)
 	if err != nil {
@@ -157,6 +159,18 @@ func (rt *Runtime) pick(n int) int {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.rnd.Intn(n)
+}
+
+// semStore resolves the chunk store serving a semantics' bulk
+// content: the explicitly assigned one, else the semantics' own.
+func semStore(sem Semantics, assigned *store.Store) *store.Store {
+	if assigned != nil {
+		return assigned
+	}
+	if cs, ok := sem.(ChunkStored); ok {
+		return cs.Store()
+	}
+	return nil
 }
 
 // ReplicaSpec describes one hosted replica to construct.
@@ -177,6 +191,12 @@ type ReplicaSpec struct {
 	// InitState, when non-nil, seeds the semantics state (recovery from
 	// a checkpoint or replica creation with state transfer).
 	InitState []byte
+	// Store, when non-nil, is the chunk store the replica's bulk
+	// content must live in: an object server's durable store or a
+	// proxy cache's LRU store. It is injected into the semantics
+	// before InitState is installed, so a manifest-based state finds
+	// its chunks. Nil leaves the semantics on its own private store.
+	Store *store.Store
 }
 
 // NewReplica composes a hosted representative serving on disp and
@@ -193,6 +213,14 @@ func (rt *Runtime) NewReplica(spec ReplicaSpec, disp *Dispatcher) (*LR, gls.Cont
 	sem, err := rt.registry.NewSemantics(spec.Impl)
 	if err != nil {
 		return nil, gls.ContactAddress{}, err
+	}
+	// Home the semantics' bulk content on the hosting process's store
+	// before any state arrives, so a manifest-based InitState finds
+	// its chunks there and chunk fetches are served from it.
+	if spec.Store != nil {
+		if cs, ok := sem.(ChunkStored); ok {
+			cs.UseStore(spec.Store)
+		}
 	}
 	if spec.InitState != nil {
 		if err := sem.UnmarshalState(spec.InitState); err != nil {
@@ -215,6 +243,7 @@ func (rt *Runtime) NewReplica(spec ReplicaSpec, disp *Dispatcher) (*LR, gls.Cont
 		Peers:  spec.Peers,
 		Clock:  rt.clock,
 		Logf:   rt.logf,
+		Store:  semStore(sem, spec.Store),
 	}
 	repl, err := proto.NewReplica(env)
 	if err != nil {

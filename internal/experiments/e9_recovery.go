@@ -91,7 +91,14 @@ func runE9(size int) (ckptMS, diskKB, recMS float64, verified bool) {
 	if err != nil {
 		panic(err)
 	}
+	refs, err := pkgobj.StateRefs(state)
+	if err != nil {
+		panic(err)
+	}
 	cl := gos.NewClient(w.Net, site, site+":gos9-cmd", nil)
+	if _, err := cl.PutChunks(staged.Store(), refs); err != nil {
+		panic(err)
+	}
 	oid, _, _, err := cl.CreateReplica(gos.CreateRequest{
 		Impl: pkgobj.Impl, Protocol: gdn.ProtocolClientServer, Role: "server",
 		InitState: state,

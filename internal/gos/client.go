@@ -1,12 +1,14 @@
 package gos
 
 import (
+	"fmt"
 	"time"
 
 	"gdn/internal/gls"
 	"gdn/internal/ids"
 	"gdn/internal/rpc"
 	"gdn/internal/sec"
+	"gdn/internal/store"
 	"gdn/internal/transport"
 	"gdn/internal/wire"
 )
@@ -93,6 +95,66 @@ func (c *Client) ListReplicas() ([]ReplicaInfo, error) {
 func (c *Client) Checkpoint() error {
 	_, _, err := c.rpc.Call(OpCheckpoint, nil)
 	return err
+}
+
+// putChunksBatch bounds one OpPutChunks request so upload frames stay
+// chunk-scaled, never content-scaled.
+const (
+	putChunksMaxRefs  = 16
+	putChunksMaxBytes = 4 << 20
+)
+
+// PutChunks uploads content chunks into the server's store in bounded
+// batches, returning the accumulated virtual cost. Duplicate refs are
+// uploaded once. A moderator deploying a package uploads its staged
+// chunks with this before sending the manifest-bearing create command.
+func (c *Client) PutChunks(src *store.Store, refs []store.Ref) (time.Duration, error) {
+	refs = dedupRefs(refs)
+	var total time.Duration
+	for len(refs) > 0 {
+		var bodies [][]byte
+		var bytes int64
+		for _, ref := range refs {
+			if len(bodies) == putChunksMaxRefs {
+				break
+			}
+			data, err := src.Get(ref)
+			if err != nil {
+				return total, fmt.Errorf("gos: read chunk %s for upload: %w", ref.Short(), err)
+			}
+			if len(bodies) > 0 && bytes+int64(len(data)) > putChunksMaxBytes {
+				break
+			}
+			bodies = append(bodies, data)
+			bytes += int64(len(data))
+		}
+		w := wire.NewWriter(64 + int(bytes))
+		w.Count(len(bodies))
+		for i, data := range bodies {
+			w.Hash(refs[i])
+			w.Bytes32(data)
+		}
+		_, cost, err := c.rpc.Call(OpPutChunks, w.Bytes())
+		total += cost
+		if err != nil {
+			return total, err
+		}
+		refs = refs[len(bodies):]
+	}
+	return total, nil
+}
+
+// dedupRefs drops duplicate refs, preserving order.
+func dedupRefs(refs []store.Ref) []store.Ref {
+	seen := make(map[store.Ref]bool, len(refs))
+	out := refs[:0:0]
+	for _, r := range refs {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // ServerInfo describes one object server.

@@ -14,6 +14,7 @@
 package gos
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -27,6 +28,7 @@ import (
 	"gdn/internal/ids"
 	"gdn/internal/rpc"
 	"gdn/internal/sec"
+	"gdn/internal/store"
 	"gdn/internal/transport"
 	"gdn/internal/wire"
 )
@@ -48,6 +50,11 @@ const (
 	// hosted-replica count; moderator tools use it to build contact
 	// addresses without address-derivation conventions.
 	OpServerInfo
+	// OpPutChunks uploads content chunks into the server's chunk
+	// store ahead of a create command whose InitState references them
+	// by content address. Each chunk is verified against its claimed
+	// address on arrival.
+	OpPutChunks
 )
 
 // Config assembles an object server.
@@ -76,6 +83,11 @@ type hosted struct {
 	lr   *core.LR
 	spec core.ReplicaSpec
 	ca   gls.ContactAddress
+	// ckptMu serializes checkpoints of this replica: concurrent
+	// OpCheckpoint commands could otherwise interleave the file rename
+	// and the pin swap in opposite orders, leaving the durable
+	// manifest's chunks unpinned.
+	ckptMu sync.Mutex
 }
 
 // Server is a running Globe Object Server.
@@ -86,8 +98,21 @@ type Server struct {
 	disp *core.Dispatcher
 	cmd  *rpc.Server
 
+	// chunks is the server-wide content store every hosted replica's
+	// bulk content lives in: disk-backed under StateDir (durable
+	// across reboots, §4), memory-backed otherwise. Content shared
+	// between replicas — or between a replica and its checkpoints —
+	// is stored once.
+	chunks *store.Store
+
 	mu      sync.Mutex
 	objects map[ids.OID]*hosted
+	closing bool
+	// pins records, per object, the chunk refs its last durable
+	// checkpoint references. Those refs stay retained in the store
+	// until the checkpoint is superseded or removed, so live-state
+	// churn can never delete a chunk an on-disk manifest still needs.
+	pins map[ids.OID][]store.Ref
 }
 
 // Start launches an object server and recovers any replicas found in
@@ -99,13 +124,38 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	s := &Server{cfg: cfg, net: net, objects: make(map[ids.OID]*hosted)}
+	s := &Server{
+		cfg:     cfg,
+		net:     net,
+		objects: make(map[ids.OID]*hosted),
+		pins:    make(map[ids.OID][]store.Ref),
+	}
+	chunkDir := ""
+	if cfg.StateDir != "" {
+		chunkDir = filepath.Join(cfg.StateDir, "chunks")
+	}
+	chunks, err := store.Open(chunkDir)
+	if err != nil {
+		return nil, fmt.Errorf("gos: open chunk store: %w", err)
+	}
+	s.chunks = chunks
 
 	disp, err := core.NewDispatcher(net, cfg.Site, cfg.ObjAddr, cfg.Auth, cfg.Logf)
 	if err != nil {
 		return nil, err
 	}
 	s.disp = disp
+
+	// Recover before the command endpoint opens: the recovery sweep
+	// reclaims every unreferenced chunk, and a moderator upload
+	// accepted mid-recovery would be unreferenced by definition.
+	if err := s.recover(); err != nil {
+		disp.Close()
+		for _, h := range s.objects {
+			h.lr.Close()
+		}
+		return nil, err
+	}
 
 	opts := []rpc.ServerOption{rpc.WithServerLog(cfg.Logf)}
 	if cfg.Auth != nil {
@@ -114,14 +164,12 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 	cmd, err := rpc.Serve(net, cfg.CmdAddr, s.handle, opts...)
 	if err != nil {
 		disp.Close()
+		for _, h := range s.objects {
+			h.lr.Close()
+		}
 		return nil, err
 	}
 	s.cmd = cmd
-
-	if err := s.recover(); err != nil {
-		s.Close()
-		return nil, err
-	}
 	return s, nil
 }
 
@@ -159,6 +207,7 @@ func (s *Server) Close() error {
 		err = derr
 	}
 	s.mu.Lock()
+	s.closing = true
 	objects := s.objects
 	s.objects = make(map[ids.OID]*hosted)
 	s.mu.Unlock()
@@ -190,6 +239,8 @@ func (s *Server) handle(call *rpc.Call) ([]byte, error) {
 		return s.handleList()
 	case OpCheckpoint:
 		return nil, s.CheckpointAll()
+	case OpPutChunks:
+		return s.handlePutChunks(call)
 	case OpServerInfo:
 		w := wire.NewWriter(64)
 		w.Str(s.cfg.Site)
@@ -213,6 +264,33 @@ func (s *Server) authorize(call *rpc.Call) error {
 		return fmt.Errorf("%w: peer %q may not command this object server", sec.ErrUnauthorized, call.Peer)
 	}
 	return nil
+}
+
+// Chunks exposes the server's content store; tests and experiments
+// inspect it.
+func (s *Server) Chunks() *store.Store { return s.chunks }
+
+// handlePutChunks stores uploaded content chunks, verifying each
+// against its claimed content address — a moderator cannot be
+// spoofed into serving bytes that do not hash to their name, and
+// uploading a chunk the server already has is a no-op (dedup).
+func (s *Server) handlePutChunks(call *rpc.Call) ([]byte, error) {
+	r := wire.NewReader(call.Body)
+	n := r.Count()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		ref := store.Ref(r.Hash())
+		data := r.Bytes32()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if err := s.chunks.PutRef(ref, data); err != nil {
+			return nil, err
+		}
+	}
+	return nil, r.Done()
 }
 
 // CreateRequest is the body of OpCreateReplica.
@@ -331,6 +409,7 @@ func (s *Server) create(req CreateRequest) (oid ids.OID, ca gls.ContactAddress, 
 		Params:    req.Params,
 		Peers:     req.Peers,
 		InitState: req.InitState,
+		Store:     s.chunks,
 	}
 	lr, ca, err := s.cfg.Runtime.NewReplica(spec, s.disp)
 	if err != nil {
@@ -434,40 +513,91 @@ func (s *Server) CheckpointAll() error {
 	return nil
 }
 
-// checkpoint writes one replica's spec and current state atomically
-// (write to a temporary name, then rename).
+// checkpoint writes one replica's spec and current state durably
+// (write to a temporary name, fsync, then rename). The state is a
+// manifest into the server's chunk store, so checkpointing a huge
+// package rewrites a few kilobytes of manifest — the chunks are
+// already durable, written when the content arrived. The refs the
+// manifest names are pinned in the store until this checkpoint is
+// superseded, so they survive any live-state churn in between.
 func (s *Server) checkpoint(h *hosted) error {
 	if s.cfg.StateDir == "" {
 		return nil
 	}
-	state, err := h.lr.Semantics().MarshalState()
-	if err != nil {
-		return fmt.Errorf("gos: marshal %s: %w", h.spec.OID.Short(), err)
-	}
-	w := wire.NewWriter(256 + len(state))
-	w.OID(h.spec.OID)
-	w.Str(h.spec.Impl)
-	w.Str(h.spec.Protocol)
-	w.Str(h.spec.Role)
-	keys := make([]string, 0, len(h.spec.Params))
-	for k := range h.spec.Params {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	w.Count(len(keys))
-	for _, k := range keys {
-		w.Str(k)
-		w.Str(h.spec.Params[k])
-	}
-	w.Bytes32(gls.EncodeAddrs(h.spec.Peers))
-	w.Bytes32(state)
+	h.ckptMu.Lock()
+	defer h.ckptMu.Unlock()
+	// A write landing between MarshalState and Retain can release (and,
+	// in plain mode, delete) a chunk the freshly marshalled manifest
+	// references; the Retain then fails. The state that replaced it is
+	// just as good a checkpoint, so re-marshal and try again.
+	for attempt := 0; ; attempt++ {
+		state, err := h.lr.Semantics().MarshalState()
+		if err != nil {
+			return fmt.Errorf("gos: marshal %s: %w", h.spec.OID.Short(), err)
+		}
+		// Pin the new manifest's chunks before the file becomes the
+		// checkpoint, so there is no instant where the on-disk manifest
+		// references unpinned chunks.
+		refs, err := stateRefsOf(h.lr.Semantics(), state)
+		if err != nil {
+			return fmt.Errorf("gos: checkpoint refs %s: %w", h.spec.OID.Short(), err)
+		}
+		if err := s.chunks.Retain(refs); err != nil {
+			if errors.Is(err, store.ErrMissing) && attempt < 5 {
+				continue
+			}
+			return fmt.Errorf("gos: pin checkpoint %s: %w", h.spec.OID.Short(), err)
+		}
 
-	name := s.checkpointName(h.spec.OID)
-	tmp := name + ".tmp"
-	if err := os.WriteFile(tmp, w.Bytes(), 0o600); err != nil {
-		return err
+		w := wire.NewWriter(256 + len(state))
+		w.OID(h.spec.OID)
+		w.Str(h.spec.Impl)
+		w.Str(h.spec.Protocol)
+		w.Str(h.spec.Role)
+		keys := make([]string, 0, len(h.spec.Params))
+		for k := range h.spec.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		w.Count(len(keys))
+		for _, k := range keys {
+			w.Str(k)
+			w.Str(h.spec.Params[k])
+		}
+		w.Bytes32(gls.EncodeAddrs(h.spec.Peers))
+		w.Bytes32(state)
+
+		if err := store.WriteFileSync(s.checkpointName(h.spec.OID), w.Bytes()); err != nil {
+			s.chunks.Release(refs)
+			return err
+		}
+		s.mu.Lock()
+		if s.objects[h.spec.OID] != h && !s.closing {
+			// The replica was removed while we checkpointed; a written
+			// image would resurrect it on the next reboot. Undo. (On
+			// server close the map is emptied too, but there the image
+			// must survive — that is the crash-recovery contract.)
+			s.mu.Unlock()
+			os.Remove(s.checkpointName(h.spec.OID))
+			s.chunks.Release(refs)
+			return nil
+		}
+		old := s.pins[h.spec.OID]
+		s.pins[h.spec.OID] = refs
+		s.mu.Unlock()
+		s.chunks.Release(old)
+		return nil
 	}
-	return os.Rename(tmp, name)
+}
+
+// stateRefsOf parses the chunk refs out of a marshalled state when
+// the semantics chunks its content; nil refs otherwise.
+func stateRefsOf(sem core.Semantics, state []byte) ([]store.Ref, error) {
+	cs, ok := sem.(core.ChunkedState)
+	if !ok {
+		return nil, nil
+	}
+	return cs.StateRefs(state)
 }
 
 func (s *Server) removeCheckpoint(oid ids.OID) {
@@ -475,6 +605,11 @@ func (s *Server) removeCheckpoint(oid ids.OID) {
 		return
 	}
 	os.Remove(s.checkpointName(oid))
+	s.mu.Lock()
+	refs := s.pins[oid]
+	delete(s.pins, oid)
+	s.mu.Unlock()
+	s.chunks.Release(refs)
 }
 
 // rolePriority orders recovery so state-holding roles come up before
@@ -525,6 +660,7 @@ func (s *Server) recover() error {
 	})
 
 	for _, p := range specs {
+		p.spec.Store = s.chunks
 		lr, ca, err := s.cfg.Runtime.NewReplica(p.spec, s.disp)
 		if err != nil {
 			return fmt.Errorf("gos: recover %s: %w", p.spec.OID.Short(), err)
@@ -533,10 +669,26 @@ func (s *Server) recover() error {
 			lr.Close()
 			return fmt.Errorf("gos: re-register %s: %w", p.spec.OID.Short(), err)
 		}
+		// Re-pin the surviving checkpoint's refs so the durable image
+		// keeps protecting its chunks until the next checkpoint.
+		refs, err := stateRefsOf(lr.Semantics(), p.spec.InitState)
+		if err == nil && refs != nil {
+			if err := s.chunks.Retain(refs); err == nil {
+				s.mu.Lock()
+				s.pins[p.spec.OID] = refs
+				s.mu.Unlock()
+			}
+		}
 		s.mu.Lock()
 		s.objects[p.spec.OID] = &hosted{lr: lr, spec: p.spec, ca: ca}
 		s.mu.Unlock()
 		s.cfg.Logf("gos: recovered replica %s (%s/%s)", p.spec.OID.Short(), p.spec.Protocol, p.spec.Role)
+	}
+	// Everything the recovered manifests reference is now retained;
+	// whatever remains unreferenced is an orphan a crash left behind
+	// (content written but never checkpointed). Reclaim it.
+	if chunks, bytes := s.chunks.Sweep(); chunks > 0 {
+		s.cfg.Logf("gos: swept %d orphaned chunks (%d bytes)", chunks, bytes)
 	}
 	return nil
 }

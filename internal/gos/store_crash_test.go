@@ -1,0 +1,173 @@
+package gos
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"gdn/internal/pkgobj"
+	"gdn/internal/repl"
+	"gdn/internal/store"
+)
+
+// TestCrashMidWriteRecoversVerifiedAndSweepsOrphans kills an object
+// server between a content write and the next checkpoint, restarts it
+// over the same state directory, and checks the two halves of the
+// durability contract: recovered replicas serve exactly the content
+// of the last checkpoint (verified against its SHA-256 manifest), and
+// the chunks the interrupted write left behind — durable on disk but
+// referenced by no checkpoint — are garbage collected by the
+// recovery sweep.
+func TestCrashMidWriteRecoversVerifiedAndSweepsOrphans(t *testing.T) {
+	f := newFixture(t, nil)
+	stateDir := t.TempDir()
+	first := f.startGOS("eu-gos", stateDir, nil)
+
+	cl := NewClient(f.net, "mod", "eu-gos:gos-cmd", nil)
+	oid, _, _, err := cl.CreateReplica(CreateRequest{
+		Impl: pkgobj.Impl, Protocol: repl.ClientServer, Role: repl.RoleServer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Durable content: several distinct chunks of random bytes.
+	payload := make([]byte, 3*pkgobj.DefaultChunkSize+12345)
+	rand.New(rand.NewSource(42)).Read(payload)
+	wantDigest := sha256.Sum256(payload)
+
+	lr, _, err := f.rts["mod"].Bind(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := pkgobj.NewStub(lr)
+	if err := stub.AddFile("pkg.tar", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	durable := first.Chunks().Stats()
+
+	// The interrupted write: fresh chunks reach the durable store, but
+	// the server dies before any checkpoint references them.
+	orphan := make([]byte, 2*pkgobj.DefaultChunkSize)
+	rand.New(rand.NewSource(43)).Read(orphan)
+	if err := stub.AddFile("wip.tar", orphan); err != nil {
+		t.Fatal(err)
+	}
+	if got := first.Chunks().Stats().Chunks; got <= durable.Chunks {
+		t.Fatalf("mid-write chunks not in store: %d <= %d", got, durable.Chunks)
+	}
+	lr.Close()
+	cl.Close()
+	first.Close() // crash: no checkpoint of wip.tar
+
+	// A hard kill would leave the interrupted write's chunks on disk
+	// with no manifest referencing them; simulate that by writing
+	// orphans straight into the (now quiescent) chunk directory.
+	orphanStore, err := store.Open(filepath.Join(stateDir, "chunks"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphanRef, err := orphanStore.Put(orphan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot over the same directory.
+	srv2 := f.restartGOS("eu-gos", stateDir)
+	if srv2.Chunks().Has(orphanRef) {
+		t.Fatal("crash-orphaned chunk survived the recovery sweep")
+	}
+	if srv2.Hosted() != 1 {
+		t.Fatalf("recovered %d replicas, want 1", srv2.Hosted())
+	}
+
+	// Orphan GC: the store holds exactly the checkpointed chunk set
+	// again; the interrupted write's chunks are gone from disk.
+	if got := srv2.Chunks().Stats(); got.Chunks != durable.Chunks || got.Bytes != durable.Bytes {
+		t.Fatalf("store after recovery = %d chunks/%d bytes, want %d/%d (orphans swept)",
+			got.Chunks, got.Bytes, durable.Chunks, durable.Bytes)
+	}
+
+	// Content integrity: the recovered replica serves byte-identical,
+	// digest-verified content.
+	lr2, _, err := f.rts["mod"].Bind(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr2.Close()
+	stub2 := pkgobj.NewStub(lr2)
+	if err := stub2.VerifyFile("pkg.tar"); err != nil {
+		t.Fatalf("recovered content failed digest verification: %v", err)
+	}
+	got, err := stub2.GetFileContents("pkg.tar")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("recovered content differs: %v", err)
+	}
+	fi, err := stub2.Stat("pkg.tar")
+	if err != nil || fi.Digest != wantDigest {
+		t.Fatalf("recovered digest differs: %v", err)
+	}
+	if _, err := stub2.GetFileContents("wip.tar"); err == nil {
+		t.Fatal("uncheckpointed file must be gone after crash")
+	}
+}
+
+// TestCheckpointPinsSurviveLiveChurn overwrites a checkpointed file
+// and verifies the superseded checkpoint's chunks stay on disk until
+// the next checkpoint replaces the durable image — a crash at any
+// point must find every chunk its on-disk manifests name.
+func TestCheckpointPinsSurviveLiveChurn(t *testing.T) {
+	f := newFixture(t, nil)
+	stateDir := t.TempDir()
+	srv := f.startGOS("eu-gos", stateDir, nil)
+
+	cl := NewClient(f.net, "mod", "eu-gos:gos-cmd", nil)
+	defer cl.Close()
+	oid, _, _, err := cl.CreateReplica(CreateRequest{
+		Impl: pkgobj.Impl, Protocol: repl.ClientServer, Role: repl.RoleServer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v1 := make([]byte, pkgobj.DefaultChunkSize+100)
+	rand.New(rand.NewSource(1)).Read(v1)
+	lr, _, err := f.rts["mod"].Bind(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr.Close()
+	stub := pkgobj.NewStub(lr)
+	if err := stub.AddFile("f", v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	v1ref := store.RefOf(v1[:pkgobj.DefaultChunkSize])
+
+	// Overwrite: live state releases v1's chunks, but the checkpoint
+	// still references them, so they must survive on disk.
+	v2 := make([]byte, pkgobj.DefaultChunkSize)
+	rand.New(rand.NewSource(2)).Read(v2)
+	if err := stub.AddFile("f", v2); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Chunks().Has(v1ref) {
+		t.Fatal("checkpointed chunk deleted while its on-disk manifest still references it")
+	}
+
+	// The next checkpoint supersedes the old image; only then may the
+	// old content go.
+	if err := cl.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Chunks().Has(v1ref) {
+		t.Fatal("superseded checkpoint chunk survived the new checkpoint")
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"gdn/internal/ids"
 	"gdn/internal/pkgobj"
 	"gdn/internal/repl"
+	"gdn/internal/store"
 )
 
 // Config assembles a GDN-enabled HTTPD.
@@ -66,8 +67,11 @@ type Config struct {
 	// service, making this HTTPD a replica other clients can find —
 	// the paper's "may act as a replica" in full.
 	RegisterCaches bool
-	// ChunkSize is the read size for file streaming (default 256 KiB).
-	ChunkSize int64
+	// CacheBytes bounds the shared content store behind cache replicas
+	// (caching mode only): chunks of dropped or expired state age out
+	// least-recently-used first instead of vanishing, so a refill
+	// fetches only what was actually evicted. 0 selects 256 MiB.
+	CacheBytes int64
 	// Logf receives diagnostics; nil discards them.
 	Logf func(string, ...any)
 }
@@ -88,6 +92,11 @@ type Stats struct {
 // Handler is the GDN-enabled HTTPD logic.
 type Handler struct {
 	cfg Config
+
+	// chunks backs every cache replica this HTTPD hosts: one shared
+	// LRU store, so content cached for one package survives that
+	// package's state drops and is deduplicated across packages.
+	chunks *store.Store
 
 	mu       sync.Mutex
 	bindings map[string]*binding
@@ -114,13 +123,17 @@ func New(cfg Config) (*Handler, error) {
 	if cfg.CacheObjects && cfg.Disp == nil {
 		return nil, fmt.Errorf("httpd: caching mode needs a dispatcher")
 	}
-	if cfg.ChunkSize <= 0 {
-		cfg.ChunkSize = 256 << 10
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 256 << 20
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Handler{cfg: cfg, bindings: make(map[string]*binding)}, nil
+	h := &Handler{cfg: cfg, bindings: make(map[string]*binding)}
+	if cfg.CacheObjects {
+		h.chunks = store.Mem(store.WithCapacity(cfg.CacheBytes))
+	}
+	return h, nil
 }
 
 // Stats snapshots the handler's counters.
@@ -223,6 +236,7 @@ func (h *Handler) bind(objectName string) (*binding, time.Duration, error) {
 			Role:     repl.RoleCache,
 			Params:   h.cfg.CacheParams,
 			Peers:    peers,
+			Store:    h.chunks,
 		}, h.cfg.Disp)
 		if err != nil {
 			return nil, cost, err
@@ -456,8 +470,15 @@ func (h *Handler) serveSearch(w http.ResponseWriter, query string) {
 	}
 }
 
-// serveFile streams a file in chunks so large files never materialize
-// in one message.
+// serveFile streams a file to the browser with chunk-bounded
+// buffering: the content flows replica store → frame stream → HTTP
+// body one chunk at a time, and the stub verifies the SHA-256 digest
+// end to end as it passes through (§6.1). A mismatch detected before
+// the body completes truncates the download (short of Content-Length,
+// which HTTP clients treat as failure); length-preserving corruption
+// can only be flagged after the final byte, where HTTP offers the
+// server no in-band signal — clients with end-to-end requirements
+// verify the body against the X-GDN-Digest header themselves.
 func (h *Handler) serveFile(w http.ResponseWriter, b *binding, filePath string) {
 	fi, err := b.stub.Stat(filePath)
 	if err != nil {
@@ -470,19 +491,9 @@ func (h *Handler) serveFile(w http.ResponseWriter, b *binding, filePath string) 
 	w.Header().Set("Content-Length", fmt.Sprint(fi.Size))
 	w.Header().Set("X-GDN-Digest", fmt.Sprintf("%x", fi.Digest))
 
-	var served int64
-	for off := int64(0); off < fi.Size; {
-		chunk, err := b.stub.GetFileChunk(filePath, off, h.cfg.ChunkSize)
-		if err != nil || len(chunk) == 0 {
-			h.cfg.Logf("httpd: stream %s/%s at %d: %v", b.name, filePath, off, err)
-			break
-		}
-		n, werr := w.Write(chunk)
-		served += int64(n)
-		if werr != nil {
-			break
-		}
-		off += int64(len(chunk))
+	served, err := b.stub.ReadFileTo(w, filePath)
+	if err != nil {
+		h.cfg.Logf("httpd: stream %s/%s after %d bytes: %v", b.name, filePath, served, err)
 	}
 	cost := b.stub.TakeCost()
 	h.count(func(s *Stats) {

@@ -138,7 +138,7 @@ func (t *Tool) CreatePackage(name string, scenario core.Scenario, pkg Package) (
 	}
 	sort.Strings(paths)
 	for _, path := range paths {
-		if err := stagedStub.AddFile(path, pkg.Files[path]); err != nil {
+		if err := stagedStub.UploadFile(path, pkg.Files[path]); err != nil {
 			return ids.Nil, 0, fmt.Errorf("modtool: stage %q: %w", path, err)
 		}
 	}
@@ -157,6 +157,15 @@ func (t *Tool) CreatePackage(name string, scenario core.Scenario, pkg Package) (
 
 	var total time.Duration
 
+	// The state is a manifest; ship the content chunks it references
+	// ahead of it, in chunk-sized batches, so no frame ever scales
+	// with package size. The remaining servers pull their chunks from
+	// the first replica through the replication protocol's delta sync.
+	refs, err := pkgobj.StateRefs(state)
+	if err != nil {
+		return ids.Nil, 0, err
+	}
+
 	// Create the first replica, seeding it with the staged state. The
 	// object identifier is allocated during registration.
 	role, err := headRole(scenario.Protocol)
@@ -165,6 +174,11 @@ func (t *Tool) CreatePackage(name string, scenario core.Scenario, pkg Package) (
 	}
 	first := t.gosClient(scenario.Servers[0])
 	defer first.Close()
+	cost, err := first.PutChunks(staged.Store(), refs)
+	total += cost
+	if err != nil {
+		return ids.Nil, total, fmt.Errorf("modtool: upload content to %s: %w", scenario.Servers[0], err)
+	}
 	oid, firstCA, cost, err := first.CreateReplica(gos.CreateRequest{
 		Impl:      pkgobj.Impl,
 		Protocol:  scenario.Protocol,

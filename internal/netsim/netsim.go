@@ -478,7 +478,7 @@ func (c *conn) Send(p []byte) error {
 		return fmt.Errorf("%w: %s -> %s", transport.ErrUnreachable, c.local.ID, c.remote.ID)
 	}
 	cost := c.net.model.Cost(c.local, c.remote, len(p))
-	cp := make([]byte, len(p))
+	cp := transport.GetFrame(len(p))
 	copy(cp, p)
 	select {
 	case <-c.closed:

@@ -156,16 +156,72 @@ func TestPathValidation(t *testing.T) {
 	}
 }
 
-func TestFileSizeBound(t *testing.T) {
+func TestNoFileSizeCeiling(t *testing.T) {
+	// The seed capped files at 15 MiB because content had to fit in
+	// protocol messages; manifests removed the cap. Exercise the same
+	// shape scaled down: a file of many thousands of chunks, written
+	// in slices, reads back intact.
 	p := New()
+	p.chunkSize = 64
 	s := newLocalStub(t, p)
-	if err := s.AddFile("big", make([]byte, 1<<20)); err != nil {
+	slice := bytes.Repeat([]byte("0123456789abcdef"), 64) // 1 KiB
+	const slices = 300
+	for i := 0; i < slices; i++ {
+		slice[0] = byte(i)
+		if err := s.AppendFile("big", slice); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fi, err := s.Stat("big")
+	if err != nil {
 		t.Fatal(err)
 	}
-	// Appending past the bound must fail and leave the file intact.
-	p.files["big"].size = MaxFileSize - 10
-	if err := s.AppendFile("big", make([]byte, 100)); !errors.Is(err, ErrTooLarge) {
-		t.Fatalf("err = %v, want ErrTooLarge", err)
+	if want := int64(len(slice) * slices); fi.Size != want {
+		t.Fatalf("size = %d, want %d", fi.Size, want)
+	}
+	if err := s.VerifyFile("big"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWholeContentReadsAboveInlineBound(t *testing.T) {
+	// GetFileContents and GetFileAtVersion must keep working past the
+	// one-message inline bound by degrading to chunked assembly.
+	p := New()
+	s := newLocalStub(t, p)
+	content := make([]byte, MaxInlineRead+12345)
+	rand.New(rand.NewSource(11)).Read(content)
+	if err := s.UploadFile("huge", content); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TagVersion("v1"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetFileContents("huge")
+	if err != nil || !bytes.Equal(got, content) {
+		t.Fatalf("inline-fallback read failed: %v", err)
+	}
+	got, err = s.GetFileAtVersion("v1", "huge")
+	if err != nil || !bytes.Equal(got, content) {
+		t.Fatalf("versioned inline-fallback read failed: %v", err)
+	}
+}
+
+func TestDedupAcrossFiles(t *testing.T) {
+	// Identical content stored under two paths costs one set of chunks.
+	p := New()
+	s := newLocalStub(t, p)
+	content := bytes.Repeat([]byte{7}, 3*DefaultChunkSize)
+	if err := s.AddFile("a", content); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddFile("b", content); err != nil {
+		t.Fatal(err)
+	}
+	// All chunks are identical (repeating content) and shared between
+	// files, so the store holds exactly one chunk.
+	if st := p.Store().Stats(); st.Chunks != 1 {
+		t.Fatalf("store holds %d chunks, want 1 (content-addressed dedup)", st.Chunks)
 	}
 }
 
@@ -202,8 +258,13 @@ func TestVerifyFileDetectsCorruption(t *testing.T) {
 	if err := s.VerifyFile("pkg.tar"); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt a stored chunk behind the digest's back.
-	p.files["pkg.tar"].chunks[0][0] ^= 0xFF
+	// Corrupt the stored chunk bytes behind the digest's back (the
+	// memory store hands out its internal slice).
+	data, err := p.Store().Get(p.files["pkg.tar"].chunks[0].Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xFF
 	if err := s.VerifyFile("pkg.tar"); err == nil {
 		t.Fatal("corruption must be detected")
 	}
@@ -255,8 +316,11 @@ func TestStateRoundTripCanonical(t *testing.T) {
 		t.Fatal("canonical state encoding differs for identical content")
 	}
 
-	// Round trip restores everything.
+	// Round trip restores everything. State is manifests; the chunks
+	// travel out of band, so the receiver shares (or pre-fills) a
+	// store — here it shares a's.
 	c := New()
+	c.UseStore(a.Store())
 	if err := c.UnmarshalState(stA); err != nil {
 		t.Fatal(err)
 	}
@@ -292,12 +356,17 @@ func TestStateQuickProperty(t *testing.T) {
 			return false
 		}
 		q := New()
+		q.UseStore(p.Store())
 		if q.UnmarshalState(st) != nil {
 			return false
 		}
 		got := make(map[string]string)
 		for path, f := range q.files {
-			got[path] = string(f.read(0, f.size))
+			content, err := f.read(q.st, 0, f.size)
+			if err != nil {
+				return false
+			}
+			got[path] = string(content)
 		}
 		return reflect.DeepEqual(want, got)
 	}
@@ -370,6 +439,7 @@ func TestVersionManagement(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := New()
+	q.UseStore(p.Store())
 	if err := q.UnmarshalState(st); err != nil {
 		t.Fatal(err)
 	}
@@ -407,6 +477,7 @@ func TestVersionsReplicateThroughState(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := New()
+	b.UseStore(a.Store())
 	if err := b.UnmarshalState(st); err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,11 @@
 package pkgobj
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"fmt"
+	"io"
+	"strings"
 	"sync"
 	"time"
 
@@ -61,6 +64,35 @@ func (s *Stub) AddFile(path string, data []byte) error {
 	return err
 }
 
+// uploadSliceSize bounds one AddFile/AppendFile invocation so upload
+// messages stay far under the wire field limit regardless of file
+// size.
+const uploadSliceSize = 4 << 20
+
+// UploadFile stores a file of any size, slicing it into bounded
+// AddFile/AppendFile invocations — the moderator-tool upload path.
+// No single protocol message scales with the file.
+func (s *Stub) UploadFile(path string, data []byte) error {
+	first := data
+	if len(first) > uploadSliceSize {
+		first = first[:uploadSliceSize]
+	}
+	if err := s.AddFile(path, first); err != nil {
+		return err
+	}
+	for off := len(first); off < len(data); {
+		end := off + uploadSliceSize
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := s.AppendFile(path, data[off:end]); err != nil {
+			return err
+		}
+		off = end
+	}
+	return nil
+}
+
 // AppendFile appends to a file, creating it when missing; moderator
 // tools upload very large files in slices with it.
 func (s *Stub) AppendFile(path string, data []byte) error {
@@ -100,11 +132,31 @@ func (s *Stub) ListContents() ([]FileInfo, error) {
 	return infos, nil
 }
 
-// GetFileContents returns a file's full content.
+// isInlineRead recognizes ErrInlineRead across an RPC boundary, where
+// remote errors arrive flattened to text. The one string probe both
+// whole-content fallbacks share; a structured error code over the
+// wire would replace it (ROADMAP follow-up).
+func isInlineRead(err error) bool {
+	return err != nil && strings.Contains(err.Error(), ErrInlineRead.Error())
+}
+
+// GetFileContents returns a file's full content. Files above
+// MaxInlineRead cannot travel as one protocol message; the stub
+// transparently assembles them through the chunk-bounded streaming
+// read instead, so callers keep working at any size (though they
+// still hold the whole content in memory — prefer ReadFileTo).
 func (s *Stub) GetFileContents(path string) ([]byte, error) {
 	w := wire.NewWriter(4 + len(path))
 	w.Str(path)
-	return s.invoke(MethodGetFile, false, w.Bytes())
+	out, err := s.invoke(MethodGetFile, false, w.Bytes())
+	if isInlineRead(err) {
+		var buf bytes.Buffer
+		if _, rerr := s.ReadFileTo(&buf, path); rerr != nil {
+			return nil, rerr
+		}
+		return buf.Bytes(), nil
+	}
+	return out, err
 }
 
 // GetFileChunk reads up to n bytes at offset off; short reads signal
@@ -133,21 +185,77 @@ func (s *Stub) Stat(path string) (FileInfo, error) {
 	return fi, nil
 }
 
-// VerifyFile downloads a file and checks its digest against Stat —
-// the end-to-end integrity check the GDN's security story leans on.
-func (s *Stub) VerifyFile(path string) error {
+// streamChunkSize is the fallback read size when the replication
+// subobject cannot stream and ReadFileTo degrades to chunk RPCs.
+const streamChunkSize = int64(DefaultChunkSize)
+
+// ReadFileTo streams a file's full content into w with chunk-bounded
+// buffering and verifies the SHA-256 digest end to end as the bytes
+// flow — the GDN's integrity guarantee (§6.1) on the download path.
+// When the replication subobject supports bulk streaming the content
+// arrives as a frame stream over one call; otherwise it degrades to a
+// sequence of chunk reads. It returns the byte count written.
+func (s *Stub) ReadFileTo(w io.Writer, path string) (int64, error) {
+	h := sha256.New()
+	var written int64
+	sink := func(p []byte) error {
+		h.Write(p)
+		n, err := w.Write(p)
+		written += int64(n)
+		return err
+	}
+
+	if br, ok := s.lr.Replication().(core.BulkReader); ok {
+		m, cost, err := br.ReadBulk(path, 0, -1, sink)
+		s.mu.Lock()
+		s.cost += cost
+		s.mu.Unlock()
+		if err != nil {
+			return written, err
+		}
+		if written != m.Size {
+			return written, fmt.Errorf("pkgobj: %q truncated: %d of %d bytes", path, written, m.Size)
+		}
+		var got [sha256.Size]byte
+		h.Sum(got[:0])
+		if got != m.Digest {
+			return written, fmt.Errorf("pkgobj: %q digest mismatch: content corrupted in transit or at a replica", path)
+		}
+		return written, nil
+	}
+
+	// Fallback: chunk-at-a-time reads through the invocation path.
 	fi, err := s.Stat(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	data, err := s.GetFileContents(path)
-	if err != nil {
-		return err
+	for off := int64(0); off < fi.Size; {
+		chunk, err := s.GetFileChunk(path, off, streamChunkSize)
+		if err != nil {
+			return written, err
+		}
+		if len(chunk) == 0 {
+			return written, fmt.Errorf("pkgobj: %q truncated at offset %d", path, off)
+		}
+		if err := sink(chunk); err != nil {
+			return written, err
+		}
+		off += int64(len(chunk))
 	}
-	if got := sha256.Sum256(data); got != fi.Digest {
-		return fmt.Errorf("pkgobj: %q digest mismatch: content corrupted in transit or at a replica", path)
+	var got [sha256.Size]byte
+	h.Sum(got[:0])
+	if got != fi.Digest {
+		return written, fmt.Errorf("pkgobj: %q digest mismatch: content corrupted in transit or at a replica", path)
 	}
-	return nil
+	return written, nil
+}
+
+// VerifyFile downloads a file with chunk-bounded buffering and checks
+// its digest — the end-to-end integrity check the GDN's security
+// story leans on.
+func (s *Stub) VerifyFile(path string) error {
+	_, err := s.ReadFileTo(io.Discard, path)
+	return err
 }
 
 // SetMeta sets one metadata entry; an empty value deletes the key.

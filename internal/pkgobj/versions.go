@@ -21,16 +21,12 @@ const (
 	MethodTagVersion   = "tagVersion"
 	MethodListVersions = "listVersions"
 	MethodGetFileAt    = "getFileAtVersion"
+	MethodGetChunkAt   = "getFileChunkAtVersion"
 	MethodDropVersion  = "dropVersion"
 )
 
 // ErrNoVersion is returned for unknown version labels.
 var ErrNoVersion = fmt.Errorf("pkgobj: no such version")
-
-// version is one immutable snapshot: path → content.
-type version struct {
-	files map[string][]byte
-}
 
 // invokeVersion handles the version-management methods; it reports
 // whether the method belonged to this extension.
@@ -67,18 +63,44 @@ func (p *Package) invokeVersion(inv core.Invocation, r *wire.Reader) (handled bo
 		if !ok {
 			return true, nil, fmt.Errorf("%w: %q", ErrNoVersion, label)
 		}
-		content, ok := v.files[path]
+		f, ok := v.files[path]
 		if !ok {
 			return true, nil, fmt.Errorf("%w: %q at version %q", ErrNoFile, path, label)
 		}
-		return true, append([]byte(nil), content...), nil
+		if f.size > MaxInlineRead {
+			return true, nil, fmt.Errorf("%w: %q@%q is %d bytes", ErrInlineRead, path, label, f.size)
+		}
+		out, err := f.read(p.st, 0, f.size)
+		return true, out, err
+	case MethodGetChunkAt:
+		label := r.Str()
+		path := r.Str()
+		off := r.Int64()
+		n := r.Int64()
+		if err := r.Done(); err != nil {
+			return true, nil, err
+		}
+		v, ok := p.versions[label]
+		if !ok {
+			return true, nil, fmt.Errorf("%w: %q", ErrNoVersion, label)
+		}
+		f, ok := v.files[path]
+		if !ok {
+			return true, nil, fmt.Errorf("%w: %q at version %q", ErrNoFile, path, label)
+		}
+		out, err := f.read(p.st, off, n)
+		return true, out, err
 	case MethodDropVersion:
 		label := r.Str()
 		if err := r.Done(); err != nil {
 			return true, nil, err
 		}
-		if _, ok := p.versions[label]; !ok {
+		v, ok := p.versions[label]
+		if !ok {
 			return true, nil, fmt.Errorf("%w: %q", ErrNoVersion, label)
+		}
+		for _, f := range v.files {
+			p.st.Release(f.refs())
 		}
 		delete(p.versions, label)
 		return true, nil, nil
@@ -87,8 +109,12 @@ func (p *Package) invokeVersion(inv core.Invocation, r *wire.Reader) (handled bo
 	}
 }
 
-// tagVersion snapshots the current files under a label. Re-tagging an
-// existing label is refused: published versions are immutable.
+// tagVersion snapshots the current files under a label. Snapshots are
+// manifests pinning their chunks in the content store, so a version
+// of a multi-gigabyte package that shares most content with the
+// working files costs almost nothing — content addressing is the
+// version store. Re-tagging an existing label is refused: published
+// versions are immutable.
 func (p *Package) tagVersion(label string) error {
 	if label == "" {
 		return fmt.Errorf("pkgobj: empty version label")
@@ -96,9 +122,17 @@ func (p *Package) tagVersion(label string) error {
 	if _, taken := p.versions[label]; taken {
 		return fmt.Errorf("pkgobj: version %q already exists", label)
 	}
-	snap := version{files: make(map[string][]byte, len(p.files))}
+	snap := version{files: make(map[string]*file, len(p.files))}
 	for path, f := range p.files {
-		snap.files[path] = f.read(0, f.size)
+		c := f.clone()
+		if err := p.st.Retain(c.refs()); err != nil {
+			// Roll back the pins taken so far.
+			for _, prev := range snap.files {
+				p.st.Release(prev.refs())
+			}
+			return err
+		}
+		snap.files[path] = c
 	}
 	if p.versions == nil {
 		p.versions = make(map[string]version)
@@ -125,8 +159,7 @@ func (p *Package) encodeVersions(w *wire.Writer) {
 		sort.Strings(paths)
 		w.Count(len(paths))
 		for _, path := range paths {
-			w.Str(path)
-			w.Bytes32(v.files[path])
+			encodeManifest(w, path, v.files[path])
 		}
 	}
 }
@@ -147,10 +180,19 @@ func decodeVersions(r *wire.Reader) (map[string]version, error) {
 		if r.Err() != nil {
 			return nil, r.Err()
 		}
-		v := version{files: make(map[string][]byte, nf)}
+		v := version{files: make(map[string]*file, nf)}
 		for j := 0; j < nf; j++ {
-			path := r.Str()
-			v.files[path] = append([]byte(nil), r.Bytes32()...)
+			path, f, err := decodeManifest(r)
+			if err != nil {
+				return nil, err
+			}
+			// Version paths face the same consumers as live paths
+			// (file systems, URLs); hostile state must not smuggle
+			// malformed ones in through a snapshot.
+			if !validPath(path) {
+				return nil, fmt.Errorf("%w: %q in version %q", ErrBadPath, path, label)
+			}
+			v.files[path] = f
 		}
 		out[label] = v
 	}
@@ -190,12 +232,38 @@ func (s *Stub) ListVersions() ([]string, error) {
 }
 
 // GetFileAtVersion reads a file's content as it was when the version
-// was tagged.
+// was tagged. Versioned files above MaxInlineRead are assembled from
+// chunk reads, so tagged content has no size ceiling either.
 func (s *Stub) GetFileAtVersion(label, path string) ([]byte, error) {
 	w := wire.NewWriter(8 + len(label) + len(path))
 	w.Str(label)
 	w.Str(path)
-	return s.invoke(MethodGetFileAt, false, w.Bytes())
+	out, err := s.invoke(MethodGetFileAt, false, w.Bytes())
+	if isInlineRead(err) {
+		return s.getVersionChunked(label, path)
+	}
+	return out, err
+}
+
+// getVersionChunked reassembles a large versioned file chunk by chunk.
+func (s *Stub) getVersionChunked(label, path string) ([]byte, error) {
+	var out []byte
+	for off := int64(0); ; {
+		w := wire.NewWriter(24 + len(label) + len(path))
+		w.Str(label)
+		w.Str(path)
+		w.Int64(off)
+		w.Int64(streamChunkSize)
+		chunk, err := s.invoke(MethodGetChunkAt, false, w.Bytes())
+		if err != nil {
+			return nil, err
+		}
+		if len(chunk) == 0 {
+			return out, nil
+		}
+		out = append(out, chunk...)
+		off += int64(len(chunk))
+	}
 }
 
 // DropVersion removes a tagged version.

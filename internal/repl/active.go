@@ -157,11 +157,13 @@ func newActivePeer(env *core.Env) (core.Replication, error) {
 	}
 	p := &activePeer{replicaBase: newReplicaBase(env), seqAddr: seqs[0].Address}
 
-	_, version, state, _, err := p.fetchState(p.seqAddr, 0)
+	_, version, state, pins, _, err := p.fetchState(p.seqAddr, 0)
 	if err != nil {
 		return nil, fmt.Errorf("repl: %s peer: initial state transfer: %w", Active, err)
 	}
-	if err := env.Exec.UnmarshalState(state); err != nil {
+	err = env.Exec.UnmarshalState(state)
+	p.releasePins(pins)
+	if err != nil {
 		return nil, fmt.Errorf("repl: %s peer: install state: %w", Active, err)
 	}
 	p.setVersion(version)
@@ -236,7 +238,7 @@ func (p *activePeer) apply(call *rpc.Call) error {
 		p.version = version
 		return nil
 	default:
-		fresh, v, state, cost, err := p.fetchState(p.seqAddr, p.version)
+		fresh, v, state, pins, cost, err := p.fetchState(p.seqAddr, p.version)
 		call.Charge(cost)
 		if err != nil {
 			return fmt.Errorf("repl: %s peer: resync after gap: %w", Active, err)
@@ -244,10 +246,14 @@ func (p *activePeer) apply(call *rpc.Call) error {
 		// fresh means the "gap" was a forged or duplicated version — the
 		// sequencer confirms our state is current, so apply nothing.
 		if !fresh {
-			if err := p.env.Exec.UnmarshalState(state); err != nil {
+			err := p.env.Exec.UnmarshalState(state)
+			p.releasePins(pins)
+			if err != nil {
 				return err
 			}
 			p.version = v
+		} else {
+			p.releasePins(pins)
 		}
 		return nil
 	}
@@ -324,6 +330,14 @@ func (p *activeProxy) Invoke(inv core.Invocation) ([]byte, time.Duration, error)
 		p.mu.Unlock()
 	}
 	return p.peer(addr).Call(core.OpInvoke, inv.Encode())
+}
+
+// ReadBulk implements core.BulkReader by streaming from a read peer.
+func (p *activeProxy) ReadBulk(path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
+	p.mu.Lock()
+	addr := p.readAddrs[p.rnd.Intn(len(p.readAddrs))]
+	p.mu.Unlock()
+	return streamBulkFrom(p.peer(addr), path, off, n, fn)
 }
 
 func (p *activeProxy) Close() error {

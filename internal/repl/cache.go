@@ -130,6 +130,18 @@ func (c *CacheReplica) Invoke(inv core.Invocation) ([]byte, time.Duration, error
 	return out, cost, err
 }
 
+// ReadBulk implements core.BulkReader: the cache fills (or
+// revalidates) first, then streams from its local copy — repeated
+// downloads through a GDN proxy cost no upstream traffic.
+func (c *CacheReplica) ReadBulk(path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
+	cost, err := c.ensureFresh()
+	if err != nil {
+		return core.Manifest{}, cost, err
+	}
+	m, readCost, err := c.readLocalBulk(path, off, n, fn)
+	return m, cost + readCost, err
+}
+
 func (c *CacheReplica) Close() error {
 	c.env.Disp.Unregister(c.env.OID)
 	if c.mode == ModeInvalidate {
@@ -159,16 +171,19 @@ func (c *CacheReplica) ensureFresh() (time.Duration, error) {
 			return 0, nil
 		}
 		// TTL expired: revalidate against the parent by version.
-		fresh, version, state, cost, err := c.fetchState(c.parentAddr, c.currentVersion())
+		fresh, version, state, pins, cost, err := c.fetchState(c.parentAddr, c.currentVersion())
 		if err != nil {
 			return cost, fmt.Errorf("repl: %s: revalidate: %w", Cache, err)
 		}
 		c.fetchedAt = now
 		if fresh {
+			c.releasePins(pins)
 			c.stats.Revalidations++
 			return cost, nil
 		}
-		if err := c.env.Exec.UnmarshalState(state); err != nil {
+		err = c.env.Exec.UnmarshalState(state)
+		c.releasePins(pins)
+		if err != nil {
 			return cost, err
 		}
 		c.setVersion(version)
@@ -176,11 +191,13 @@ func (c *CacheReplica) ensureFresh() (time.Duration, error) {
 		return cost, nil
 	}
 
-	_, version, state, cost, err := c.fetchState(c.parentAddr, 0)
+	_, version, state, pins, cost, err := c.fetchState(c.parentAddr, 0)
 	if err != nil {
 		return cost, fmt.Errorf("repl: %s: fill: %w", Cache, err)
 	}
-	if err := c.env.Exec.UnmarshalState(state); err != nil {
+	err = c.env.Exec.UnmarshalState(state)
+	c.releasePins(pins)
+	if err != nil {
 		return cost, err
 	}
 	c.setVersion(version)
@@ -191,6 +208,15 @@ func (c *CacheReplica) ensureFresh() (time.Duration, error) {
 }
 
 func (c *CacheReplica) handle(call *rpc.Call) ([]byte, error) {
+	if call.Op == core.OpBulkRead {
+		// A registered cache serves streamed reads to other clients;
+		// fill or revalidate before the base handler reads local state.
+		cost, err := c.ensureFresh()
+		call.Charge(cost)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if handled, resp, err := c.handleCommon(call); handled {
 		return resp, err
 	}

@@ -119,6 +119,12 @@ func (p *forwardingProxy) Invoke(inv core.Invocation) ([]byte, time.Duration, er
 	return p.peer.Call(core.OpInvoke, inv.Encode())
 }
 
+// ReadBulk implements core.BulkReader by streaming from the forwarded
+// representative.
+func (p *forwardingProxy) ReadBulk(path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
+	return streamBulkFrom(p.peer, path, off, n, fn)
+}
+
 func (p *forwardingProxy) Close() error { return p.peer.Close() }
 
 // pickPeer returns the address of the first peer matching the earliest

@@ -167,11 +167,13 @@ func newMSSlave(env *core.Env) (core.Replication, error) {
 
 	// State transfer, then subscription; a push racing between the two
 	// only delivers a version we already have or newer.
-	_, version, state, _, err := s.fetchState(s.masterAddr, 0)
+	_, version, state, pins, _, err := s.fetchState(s.masterAddr, 0)
 	if err != nil {
 		return nil, fmt.Errorf("repl: %s slave: initial state transfer: %w", MasterSlave, err)
 	}
-	if err := env.Exec.UnmarshalState(state); err != nil {
+	err = env.Exec.UnmarshalState(state)
+	s.releasePins(pins)
+	if err != nil {
 		return nil, fmt.Errorf("repl: %s slave: install state: %w", MasterSlave, err)
 	}
 	s.setVersion(version)
@@ -229,7 +231,18 @@ func (s *msSlave) handle(call *rpc.Call) ([]byte, error) {
 		if version <= s.currentVersion() {
 			return nil, nil // stale or duplicate push
 		}
-		if err := s.env.Exec.UnmarshalState(state); err != nil {
+		// The push carries manifests; pull only the chunks we are
+		// missing back from the master before installing — the delta
+		// that makes an append to a huge package cost only the
+		// appended chunks, not a full-state reship.
+		pins, cost, err := s.fillChunks(s.masterAddr, state)
+		call.Charge(cost)
+		if err != nil {
+			return nil, err
+		}
+		err = s.env.Exec.UnmarshalState(state)
+		s.releasePins(pins)
+		if err != nil {
 			return nil, err
 		}
 		s.setVersion(version)
@@ -295,6 +308,15 @@ func (p *msProxy) Invoke(inv core.Invocation) ([]byte, time.Duration, error) {
 		p.mu.Unlock()
 	}
 	return p.peer(addr).Call(core.OpInvoke, inv.Encode())
+}
+
+// ReadBulk implements core.BulkReader by streaming from one of the
+// read replicas (the location service returned the nearest ones).
+func (p *msProxy) ReadBulk(path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
+	p.mu.Lock()
+	addr := p.readAddrs[p.rnd.Intn(len(p.readAddrs))]
+	p.mu.Unlock()
+	return streamBulkFrom(p.peer(addr), path, off, n, fn)
 }
 
 func (p *msProxy) Close() error {

@@ -33,6 +33,7 @@ package repl
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"time"
@@ -40,6 +41,7 @@ import (
 	"gdn/internal/core"
 	"gdn/internal/rpc"
 	"gdn/internal/sec"
+	"gdn/internal/store"
 	"gdn/internal/wire"
 )
 
@@ -206,11 +208,18 @@ func (rb *replicaBase) subscribers(role string) []subscriber {
 }
 
 // handleCommon serves the operations every replica answers: state
-// fetches and (un)subscriptions. It reports whether it handled the op.
+// fetches, chunk fetches, streamed bulk reads and (un)subscriptions.
+// It reports whether it handled the op.
 func (rb *replicaBase) handleCommon(call *rpc.Call) (handled bool, resp []byte, err error) {
 	switch call.Op {
 	case core.OpStateGet:
 		resp, err = rb.handleStateGet(call)
+		return true, resp, err
+	case core.OpChunkGet:
+		resp, err = rb.handleChunkGet(call)
+		return true, resp, err
+	case core.OpBulkRead:
+		resp, err = rb.handleBulkRead(call)
 		return true, resp, err
 	case core.OpSubscribe:
 		resp, err = rb.handleSubscribe(call, true)
@@ -221,6 +230,253 @@ func (rb *replicaBase) handleCommon(call *rpc.Call) (handled bool, resp []byte, 
 	default:
 		return false, nil, nil
 	}
+}
+
+// chunkGetMaxBatch bounds one OpChunkGet response: enough chunks to
+// amortize the round trip, small enough that no response frame grows
+// with package size.
+const (
+	chunkGetMaxRefs  = 32
+	chunkGetMaxBytes = 8 << 20
+)
+
+// handleChunkGet serves chunk bytes by ref from the local store — the
+// supplier side of delta state transfer. The response may cover a
+// prefix of the requested refs (size cap); the caller re-requests the
+// rest. Like OpStateGet, it serves reads without write authorization.
+func (rb *replicaBase) handleChunkGet(call *rpc.Call) ([]byte, error) {
+	if rb.env.Store == nil {
+		return nil, fmt.Errorf("repl: %s has no chunk store", rb.env.OID.Short())
+	}
+	r := wire.NewReader(call.Body)
+	n := r.Count()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > chunkGetMaxRefs {
+		n = chunkGetMaxRefs
+	}
+	refs := make([]store.Ref, 0, n)
+	for i := 0; i < n; i++ {
+		refs = append(refs, r.Hash())
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+
+	w := wire.NewWriter(4096)
+	sent := 0
+	var bytes int64
+	var bodies [][]byte
+	for _, ref := range refs {
+		data, err := rb.env.Store.Get(ref)
+		if err != nil {
+			return nil, fmt.Errorf("repl: chunk %s: %w", ref.Short(), err)
+		}
+		if sent > 0 && bytes+int64(len(data)) > chunkGetMaxBytes {
+			break
+		}
+		bodies = append(bodies, data)
+		bytes += int64(len(data))
+		sent++
+	}
+	w.Count(sent)
+	for _, data := range bodies {
+		w.Bytes32(data)
+	}
+	if err := w.Err(); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// fillChunks makes every chunk a marshalled state references present
+// in the local store, fetching missing ones from the parent replica
+// in bounded batches — the receiver side of delta state transfer. On
+// an unchanged file only the changed chunks cross the wire.
+//
+// Every referenced chunk (present or fetched) is pinned before
+// fillChunks returns, so a capacity-mode store cannot evict the early
+// chunks of a transfer larger than its budget before UnmarshalState
+// takes its own pins. The caller must Release the returned refs once
+// the state install (successful or not) is done.
+func (rb *replicaBase) fillChunks(parentAddr string, state []byte) (pinned []store.Ref, cost time.Duration, err error) {
+	st := rb.env.Store
+	re, ok := rb.env.Exec.(core.RefExec)
+	if st == nil || !ok {
+		return nil, 0, nil
+	}
+	refs, err := re.StateRefs(state)
+	if err != nil {
+		return nil, 0, fmt.Errorf("repl: parse state refs: %w", err)
+	}
+	if refs == nil {
+		return nil, 0, nil // semantics does not chunk its state
+	}
+
+	// Pin what is already resident; collect the rest for fetching.
+	var missing []store.Ref
+	seen := make(map[store.Ref]bool, len(refs))
+	for _, ref := range refs {
+		if seen[ref] {
+			continue
+		}
+		seen[ref] = true
+		if st.Retain([]store.Ref{ref}) == nil {
+			pinned = append(pinned, ref)
+		} else {
+			missing = append(missing, ref)
+		}
+	}
+	fail := func(err error) ([]store.Ref, time.Duration, error) {
+		st.Release(pinned)
+		return nil, cost, err
+	}
+
+	for len(missing) > 0 {
+		batch := missing
+		if len(batch) > chunkGetMaxRefs {
+			batch = batch[:chunkGetMaxRefs]
+		}
+		w := wire.NewWriter(8 + 32*len(batch))
+		w.Count(len(batch))
+		for _, ref := range batch {
+			w.Hash(ref)
+		}
+		resp, c, err := rb.peer(parentAddr).Call(core.OpChunkGet, w.Bytes())
+		cost += c
+		if err != nil {
+			return fail(fmt.Errorf("repl: fetch %d chunks: %w", len(batch), err))
+		}
+		r := wire.NewReader(resp)
+		k := r.Count()
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		if k == 0 || k > len(batch) {
+			return fail(fmt.Errorf("repl: chunk fetch returned %d of %d", k, len(batch)))
+		}
+		for i := 0; i < k; i++ {
+			data := r.Bytes32()
+			if err := r.Err(); err != nil {
+				return fail(err)
+			}
+			// PutPinned verifies the bytes hash to a ref (so a corrupt
+			// or hostile parent cannot poison the store) and pins the
+			// chunk against eviction for the rest of the transfer.
+			got, err := st.PutPinned(data)
+			if err != nil {
+				return fail(err)
+			}
+			if got != batch[i] {
+				st.Release([]store.Ref{got})
+				return fail(fmt.Errorf("%w: asked for %s, parent sent %s",
+					store.ErrCorrupt, batch[i].Short(), got.Short()))
+			}
+			pinned = append(pinned, got)
+		}
+		if err := r.Done(); err != nil {
+			return fail(err)
+		}
+		missing = missing[k:]
+	}
+	return pinned, cost, nil
+}
+
+// handleBulkRead streams the byte range [off, off+n) of one file to
+// the caller in chunk-sized frames, reading straight from the content
+// store. The manifest's chunks are retained for the duration of the
+// stream so a concurrent write cannot delete them mid-transfer; the
+// trailer carries the file's size and digest for end-to-end
+// verification.
+func (rb *replicaBase) handleBulkRead(call *rpc.Call) ([]byte, error) {
+	r := wire.NewReader(call.Body)
+	path := r.Str()
+	off := r.Int64()
+	n := r.Int64()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	be, ok := rb.env.Exec.(core.BulkExec)
+	if !ok || rb.env.Store == nil {
+		return nil, core.ErrNoBulk
+	}
+	m, err := be.FileManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	defer rb.env.Store.Release(m.Refs())
+
+	sw, err := call.OpenStream()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.WalkRange(rb.env.Store, off, n, sw.Send); err != nil {
+		return nil, err
+	}
+	w := wire.NewWriter(48)
+	w.Int64(m.Size)
+	w.Hash(m.Digest)
+	return w.Bytes(), nil
+}
+
+// readLocalBulk is the replica-side core.BulkReader: it reads from
+// the co-resident store with no network traffic.
+func (rb *replicaBase) readLocalBulk(path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
+	be, ok := rb.env.Exec.(core.BulkExec)
+	if !ok || rb.env.Store == nil {
+		return core.Manifest{}, 0, core.ErrNoBulk
+	}
+	m, err := be.FileManifest(path)
+	if err != nil {
+		return core.Manifest{}, 0, err
+	}
+	defer rb.env.Store.Release(m.Refs())
+	if err := m.WalkRange(rb.env.Store, off, n, fn); err != nil {
+		return m, 0, err
+	}
+	return m, 0, nil
+}
+
+// ReadBulk implements core.BulkReader for every replica type that
+// embeds replicaBase (method promotion): the content is local, so the
+// read never touches the network. Protocol types whose local state
+// can be stale (the cache) override it.
+func (rb *replicaBase) ReadBulk(path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
+	return rb.readLocalBulk(path, off, n, fn)
+}
+
+// streamBulkFrom is the proxy-side core.BulkReader body: it opens an
+// OpBulkRead stream to a remote representative and feeds each frame
+// to fn. Peak buffering is one frame.
+func streamBulkFrom(pc *core.PeerClient, path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
+	w := wire.NewWriter(32 + len(path))
+	w.Str(path)
+	w.Int64(off)
+	w.Int64(n)
+	st, err := pc.CallStream(core.OpBulkRead, w.Bytes())
+	if err != nil {
+		return core.Manifest{}, 0, err
+	}
+	defer st.Close()
+	for {
+		p, _, err := st.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return core.Manifest{}, st.Cost(), err
+		}
+		if err := fn(p); err != nil {
+			return core.Manifest{}, st.Cost(), err
+		}
+	}
+	r := wire.NewReader(st.Trailer())
+	m := core.Manifest{Size: r.Int64(), Digest: r.Hash()}
+	if err := r.Done(); err != nil {
+		return core.Manifest{}, st.Cost(), err
+	}
+	return m, st.Cost(), nil
 }
 
 // handleStateGet answers a versioned state fetch: when the caller's
@@ -291,22 +547,42 @@ func (rb *replicaBase) unsubscribeFrom(parentAddr, ownAddr string) {
 }
 
 // fetchState pulls state from a parent replica. It returns fresh=true
-// when the parent confirmed haveVersion is current.
-func (rb *replicaBase) fetchState(parentAddr string, haveVersion uint64) (fresh bool, version uint64, state []byte, cost time.Duration, err error) {
+// when the parent confirmed haveVersion is current. The state is a
+// manifest for chunk-stored semantics; fetchState completes the delta
+// sync by pulling exactly the referenced chunks the local store lacks,
+// so the caller can install the state directly. The returned pins
+// hold every referenced chunk against eviction; the caller passes
+// them to releasePins once the install is done.
+func (rb *replicaBase) fetchState(parentAddr string, haveVersion uint64) (fresh bool, version uint64, state []byte, pins []store.Ref, cost time.Duration, err error) {
 	w := wire.NewWriter(8)
 	w.Uint64(haveVersion)
 	resp, cost, err := rb.peer(parentAddr).Call(core.OpStateGet, w.Bytes())
 	if err != nil {
-		return false, 0, nil, cost, err
+		return false, 0, nil, nil, cost, err
 	}
 	r := wire.NewReader(resp)
 	fresh = r.Bool()
 	version = r.Uint64()
 	state = r.Bytes32()
 	if err := r.Done(); err != nil {
-		return false, 0, nil, cost, err
+		return false, 0, nil, nil, cost, err
 	}
-	return fresh, version, state, cost, nil
+	if !fresh {
+		var fillCost time.Duration
+		pins, fillCost, err = rb.fillChunks(parentAddr, state)
+		cost += fillCost
+		if err != nil {
+			return false, 0, nil, nil, cost, err
+		}
+	}
+	return fresh, version, state, pins, cost, nil
+}
+
+// releasePins drops the transfer pins fetchState/fillChunks took.
+func (rb *replicaBase) releasePins(refs []store.Ref) {
+	if rb.env.Store != nil && len(refs) > 0 {
+		rb.env.Store.Release(refs)
+	}
 }
 
 // pushAll delivers op+body to every address concurrently and returns

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gdn/internal/transport"
+	"gdn/internal/wire"
 )
 
 // pipelineTarget is the in-flight depth at which a client configured
@@ -167,6 +168,18 @@ func (c *Client) Call(op uint16, body []byte) (resp []byte, cost time.Duration, 
 	return mc.call(op, body, c.Timeout)
 }
 
+// CallStream sends one request whose response arrives as a stream of
+// data frames — the bulk-transfer call shape. The client's Timeout
+// applies per frame (an idle limit), so arbitrarily large transfers
+// survive as long as data keeps flowing.
+func (c *Client) CallStream(op uint16, body []byte) (*Stream, error) {
+	mc, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	return mc.callStream(op, body, c.Timeout)
+}
+
 // callResult is what the demux goroutine (or the deadline sweeper, or a
 // connection-failure broadcast) hands back to a waiting caller.
 type callResult struct {
@@ -181,6 +194,7 @@ type pendingCall struct {
 	timeout  time.Duration
 	deadline time.Time       // zero when the call has no timeout
 	done     chan callResult // buffered; exactly one result is ever sent
+	stream   *Stream         // non-nil for streaming calls
 }
 
 // muxConn is one shared connection carrying many in-flight calls. A
@@ -211,18 +225,26 @@ func newMuxConn(conn transport.Conn, addr string) *muxConn {
 	return m
 }
 
-func (m *muxConn) call(op uint16, body []byte, timeout time.Duration) ([]byte, time.Duration, error) {
-	pc := &pendingCall{op: op, timeout: timeout, done: make(chan callResult, 1)}
+// register installs a pending call and sends its request frame. It
+// reports the assigned ID and whether registration succeeded; on an
+// encode failure the call is withdrawn and the error returned.
+func (m *muxConn) register(pc *pendingCall, op uint16, body []byte) (uint64, error) {
+	if op >= opReserved {
+		// Reserved ops are consumed by the RPC layer on the server; a
+		// service call using one would be misread as flow control and
+		// hang or condemn the shared connection. Fail loudly instead.
+		return 0, fmt.Errorf("rpc: op %#x is reserved for the protocol", op)
+	}
 	m.mu.Lock()
 	if m.dead.Load() {
 		err := m.deadErr
 		m.mu.Unlock()
-		return nil, 0, err
+		return 0, err
 	}
 	id := m.nextID
 	m.nextID++
-	if timeout > 0 {
-		pc.deadline = time.Now().Add(timeout)
+	if pc.timeout > 0 {
+		pc.deadline = time.Now().Add(pc.timeout)
 		m.armSweepLocked(pc.deadline)
 	}
 	m.pending[id] = pc
@@ -239,23 +261,96 @@ func (m *muxConn) call(op uint16, body []byte, timeout time.Duration) ([]byte, t
 			delete(m.pending, id)
 			m.inflight.Add(-1)
 			m.mu.Unlock()
-			return nil, 0, err
+			return id, err
 		}
 		m.mu.Unlock()
-		r := <-pc.done
-		return r.resp, r.cost, r.err
+		return id, nil // a racing failure broadcast owns the result
 	}
 	// Hand the frame to the flush-combining sender. A send failure
 	// condemns the connection, and the failure broadcast delivers the
 	// error to our pending entry — no per-call error path needed.
 	m.sender.enqueue(w)
+	return id, nil
+}
+
+func (m *muxConn) call(op uint16, body []byte, timeout time.Duration) ([]byte, time.Duration, error) {
+	pc := &pendingCall{op: op, timeout: timeout, done: make(chan callResult, 1)}
+	if _, err := m.register(pc, op, body); err != nil {
+		return nil, 0, err
+	}
 	r := <-pc.done
 	return r.resp, r.cost, r.err
+}
+
+// callStream opens a streaming call. The returned Stream yields the
+// response's data frames; the call's timeout acts per frame (an idle
+// limit), not on the whole transfer.
+func (m *muxConn) callStream(op uint16, body []byte, timeout time.Duration) (*Stream, error) {
+	st := &Stream{mc: m, events: make(chan streamEvent, streamWindow+2)}
+	pc := &pendingCall{op: op, timeout: timeout, done: make(chan callResult, 1), stream: st}
+	id, err := m.register(pc, op, body)
+	if err != nil {
+		return nil, err
+	}
+	st.id = id
+	return st, nil
+}
+
+// sendCredit grants the server n more data frames for a stream.
+func (m *muxConn) sendCredit(id uint64, n uint32) {
+	ack := encodeAckBody(n)
+	w := wire.GetWriter(18)
+	w.Uint64(id)
+	w.Uint16(opStreamAck)
+	w.Bytes32(ack[:])
+	m.sender.enqueue(w)
+}
+
+// touchStream refreshes a stream's idle deadline on consumer
+// progress. Frame arrival refreshes it too, but a consumer slower
+// than the flow-control window would otherwise see no arrivals for a
+// whole timeout despite actively reading.
+func (m *muxConn) touchStream(id uint64) {
+	m.mu.Lock()
+	if pc, ok := m.pending[id]; ok && pc.timeout > 0 {
+		pc.deadline = time.Now().Add(pc.timeout)
+		m.armSweepLocked(pc.deadline)
+	}
+	m.mu.Unlock()
+}
+
+// cancelStream withdraws a stream's pending entry and tells the
+// server to stop sending.
+func (m *muxConn) cancelStream(id uint64) {
+	m.mu.Lock()
+	if _, ok := m.pending[id]; ok {
+		delete(m.pending, id)
+		m.inflight.Add(-1)
+	}
+	dead := m.dead.Load()
+	m.mu.Unlock()
+	if dead {
+		return
+	}
+	m.sendCancelFrame(id)
+}
+
+// sendCancelFrame tells the server to abort one response stream, so
+// its handler does not stay parked waiting for flow-control credit
+// that will never come.
+func (m *muxConn) sendCancelFrame(id uint64) {
+	w := wire.GetWriter(14)
+	w.Uint64(id)
+	w.Uint16(opStreamCancel)
+	w.Bytes32(nil)
+	m.sender.enqueue(w)
 }
 
 // recvLoop is the per-connection demux goroutine: it receives response
 // frames, adds each frame's own virtual cost to the server-reported
 // cost, and wakes the caller registered under the frame's request ID.
+// Stream data frames are routed to their Stream without completing
+// the call; each one also refreshes the call's idle deadline.
 func (m *muxConn) recvLoop() {
 	for {
 		frame, frameCost, err := m.conn.Recv()
@@ -264,11 +359,45 @@ func (m *muxConn) recvLoop() {
 			return
 		}
 		m.lastRecv.Store(time.Now().UnixNano())
-		id, body, cost, rerr, derr := decodeResponse(frame)
+		id, status, body, cost, rerr, derr := decodeResponse(frame)
 		if derr != nil {
 			m.fail(fmt.Errorf("rpc: malformed response from %s: %w", m.addr, derr))
 			return
 		}
+
+		if status == statusStream {
+			m.mu.Lock()
+			pc := m.pending[id]
+			if pc != nil && pc.stream != nil && pc.timeout > 0 {
+				// Progress resets the clock: the timeout bounds silence,
+				// not the whole transfer.
+				pc.deadline = time.Now().Add(pc.timeout)
+				m.armSweepLocked(pc.deadline)
+			}
+			m.mu.Unlock()
+			switch {
+			case pc == nil:
+				// Canceled or timed-out stream; drop the late frame.
+				transport.PutFrame(frame)
+			case pc.stream == nil:
+				// A data frame for a unary call: op/shape mismatch.
+				// Fail the call and stop the sender instead of wedging.
+				m.mu.Lock()
+				delete(m.pending, id)
+				m.inflight.Add(-1)
+				m.mu.Unlock()
+				pc.done <- callResult{err: fmt.Errorf("rpc: streaming response to unary call (op %d)", pc.op)}
+				m.cancelStream(id)
+				transport.PutFrame(frame)
+			default:
+				if !pc.stream.deliver(streamEvent{data: body, frame: frame, cost: frameCost}) {
+					m.fail(fmt.Errorf("rpc: %s overran the stream window", m.addr))
+					return
+				}
+			}
+			continue
+		}
+
 		m.mu.Lock()
 		pc := m.pending[id]
 		if pc != nil {
@@ -276,11 +405,28 @@ func (m *muxConn) recvLoop() {
 			m.inflight.Add(-1)
 		}
 		m.mu.Unlock()
-		if pc != nil {
-			pc.done <- callResult{resp: body, cost: frameCost + cost, err: rerr}
+		switch {
+		case pc == nil:
+			// A response with no pending entry belongs to a call that
+			// timed out; recycle and drop it.
+			transport.PutFrame(frame)
+		case pc.stream != nil:
+			// The trailer's bytes escape to the stream consumer, so its
+			// frame is not recycled.
+			pc.stream.deliver(streamEvent{final: true, resp: body, cost: frameCost + cost, err: rerr})
+		default:
+			// The response body escapes to the caller; hand it a
+			// right-sized copy so the (size-classed, typically larger)
+			// receive buffer goes back to the pool instead of leaking
+			// out of it one response at a time.
+			var resp []byte
+			if len(body) > 0 {
+				resp = make([]byte, len(body))
+				copy(resp, body)
+			}
+			transport.PutFrame(frame)
+			pc.done <- callResult{resp: resp, cost: frameCost + cost, err: rerr}
 		}
-		// A response with no pending entry belongs to a call that timed
-		// out; drop it.
 	}
 }
 
@@ -304,8 +450,18 @@ func (m *muxConn) fail(err error) {
 	m.sender.fail(err)
 	for _, pc := range pend {
 		m.inflight.Add(-1)
-		pc.done <- callResult{err: err}
+		deliverFailure(pc, err)
 	}
+}
+
+// deliverFailure completes one withdrawn pending call with err,
+// through its stream when it has one.
+func deliverFailure(pc *pendingCall, err error) {
+	if pc.stream != nil {
+		pc.stream.deliver(streamEvent{final: true, err: err})
+		return
+	}
+	pc.done <- callResult{err: err}
 }
 
 // armSweepLocked ensures the sweep timer fires no later than dl. Called
@@ -339,7 +495,11 @@ func (m *muxConn) armSweepLocked(dl time.Time) {
 // got by closing the connection on every timeout.
 func (m *muxConn) sweep() {
 	now := time.Now()
-	var expired []*pendingCall
+	type expiredCall struct {
+		id uint64
+		pc *pendingCall
+	}
+	var expired []expiredCall
 	var wedged bool
 	m.mu.Lock()
 	if m.dead.Load() {
@@ -358,7 +518,7 @@ func (m *muxConn) sweep() {
 		if !pc.deadline.After(now) {
 			delete(m.pending, id)
 			m.inflight.Add(-1)
-			expired = append(expired, pc)
+			expired = append(expired, expiredCall{id: id, pc: pc})
 			if started := pc.deadline.Add(-pc.timeout); lastRecv.Before(started) {
 				wedged = true
 			}
@@ -375,8 +535,14 @@ func (m *muxConn) sweep() {
 		m.timer.Reset(time.Until(next))
 	}
 	m.mu.Unlock()
-	for _, pc := range expired {
-		pc.done <- callResult{err: fmt.Errorf("rpc: call to %s op %d timed out after %v", m.addr, pc.op, pc.timeout)}
+	for _, e := range expired {
+		deliverFailure(e.pc, fmt.Errorf("rpc: call to %s op %d timed out after %v", m.addr, e.pc.op, e.pc.timeout))
+		if e.pc.stream != nil && !m.dead.Load() {
+			// The server side of a timed-out stream is still parked
+			// waiting for credit; release it, or its handler goroutine
+			// would be leaked for the life of the connection.
+			m.sendCancelFrame(e.id)
+		}
 	}
 	if wedged {
 		m.fail(fmt.Errorf("rpc: connection to %s silent through a full timeout window", m.addr))

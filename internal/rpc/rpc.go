@@ -62,6 +62,10 @@ func IsRemote(err error) bool {
 }
 
 // Call carries one inbound request to a handler.
+//
+// Body is valid only until the handler returns: the receive buffer
+// behind it is recycled. Handlers that retain request bytes must
+// copy them.
 type Call struct {
 	// Op is the service-specific operation code.
 	Op uint16
@@ -74,6 +78,22 @@ type Call struct {
 	RemoteAddr string
 
 	cost time.Duration
+
+	// openStream is installed by the server so handlers can switch the
+	// response into the streaming shape; nil for calls constructed
+	// outside a served connection.
+	openStream func() (*StreamWriter, error)
+}
+
+// OpenStream switches this call's response into the streaming shape:
+// the returned writer sends data frames to the caller, and the
+// handler's eventual return value becomes the stream's trailer. Only
+// calls delivered by a Server can stream.
+func (c *Call) OpenStream() (*StreamWriter, error) {
+	if c.openStream == nil {
+		return nil, errNotStreamable
+	}
+	return c.openStream()
 }
 
 // Charge adds the virtual cost of a nested call made while serving this
@@ -228,6 +248,10 @@ func (s *Server) serveConn(raw transport.Conn) {
 	// concurrently completing handlers cost one vectored write. A send
 	// failure closes the connection, which the read loop observes.
 	sender := newConnSender(conn, func(error) { conn.Close() })
+	// Response streams for this connection; torn down with it so no
+	// handler stays blocked on flow-control credit.
+	streams := newStreamTable(sender)
+	defer streams.closeAll(transport.ErrClosed)
 	// Requests are dispatched to a lazily grown per-connection worker
 	// pool: steady pipelined traffic reuses parked goroutines instead of
 	// spawning one per request. The hand-off channel is unbuffered, so a
@@ -247,15 +271,35 @@ func (s *Server) serveConn(raw transport.Conn) {
 			s.logf("rpc: malformed request from %s: %v", conn.RemoteAddr(), err)
 			return
 		}
+		if call.Op >= opReserved {
+			// Stream flow-control frames are consumed by the RPC layer
+			// itself, never dispatched.
+			switch call.Op {
+			case opStreamAck:
+				n, err := decodeAck(call.Body)
+				if err != nil {
+					s.logf("rpc: %v from %s", err, conn.RemoteAddr())
+					return
+				}
+				streams.ack(id, n)
+			case opStreamCancel:
+				streams.cancel(id)
+			default:
+				s.logf("rpc: unknown reserved op %d from %s", call.Op, conn.RemoteAddr())
+			}
+			transport.PutFrame(frame)
+			continue
+		}
 		call.Peer = peer
 		call.RemoteAddr = conn.RemoteAddr()
-		r := serverRequest{id: id, call: call, frameCost: frameCost}
+		call.openStream = func() (*StreamWriter, error) { return streams.open(id) }
+		r := serverRequest{id: id, call: call, frameCost: frameCost, frame: frame}
 		select {
 		case reqs <- r:
 		default:
 			if workers < maxConnRequests {
 				workers++
-				go s.connWorker(sender, reqs)
+				go s.connWorker(sender, streams, reqs)
 			}
 			reqs <- r
 		}
@@ -266,25 +310,33 @@ type serverRequest struct {
 	id        uint64
 	call      *Call
 	frameCost time.Duration
+	frame     []byte
 }
 
-func (s *Server) connWorker(sender *connSender, reqs <-chan serverRequest) {
+func (s *Server) connWorker(sender *connSender, streams *streamTable, reqs <-chan serverRequest) {
 	for r := range reqs {
-		s.handleRequest(sender, r.id, r.call, r.frameCost)
+		s.handleRequest(sender, streams, r)
 	}
 }
 
-func (s *Server) handleRequest(sender *connSender, id uint64, call *Call, frameCost time.Duration) {
+func (s *Server) handleRequest(sender *connSender, streams *streamTable, r serverRequest) {
+	id, call := r.id, r.call
 	body, herr := s.safeHandle(call)
-	w := encodeResponse(id, body, herr, frameCost+call.Cost())
+	w := encodeResponse(id, body, herr, r.frameCost+call.Cost())
 	if err := w.Err(); err != nil {
 		// The response body itself cannot be encoded (e.g. over the wire
 		// size limit); deliver the encode failure as a remote error so
 		// the caller learns why instead of losing the connection.
 		w.Free()
-		w = encodeResponse(id, nil, fmt.Errorf("response unencodable: %v", err), frameCost+call.Cost())
+		w = encodeResponse(id, nil, fmt.Errorf("response unencodable: %v", err), r.frameCost+call.Cost())
 	}
+	// If the handler streamed, its return value travels as the final
+	// (trailer) frame; data frames are already queued ahead of it on
+	// the same sender, so ordering holds.
+	streams.take(id)
 	sender.enqueue(w)
+	// The handler is done with the request body; recycle its frame.
+	transport.PutFrame(r.frame)
 }
 
 // safeHandle runs the handler, converting a panic into an error so one
@@ -351,20 +403,26 @@ func truncateErr(s string) string {
 // decodeResponse splits a response frame. err is the remote
 // application error (a *RemoteError) when the handler failed; derr is a
 // decode failure, which condemns the whole connection.
-func decodeResponse(frame []byte) (id uint64, body []byte, cost time.Duration, err, derr error) {
+func decodeResponse(frame []byte) (id uint64, status uint8, body []byte, cost time.Duration, err, derr error) {
 	r := wire.NewReader(frame)
 	id = r.Uint64()
-	status := r.Uint8()
+	status = r.Uint8()
 	msg := r.Str()
 	cost = time.Duration(r.Int64())
 	body = r.Bytes32()
 	if derr = r.Done(); derr != nil {
-		return 0, nil, 0, nil, derr
+		return 0, 0, nil, 0, nil, derr
 	}
-	if status != 0 {
-		return id, nil, cost, &RemoteError{Msg: msg}, nil
+	switch status {
+	case statusOK, statusStream:
+		return id, status, body, cost, nil, nil
+	case statusErr:
+		return id, status, nil, cost, &RemoteError{Msg: msg}, nil
+	default:
+		// An unknown status byte means a corrupt or incompatible peer;
+		// condemn the connection like any other malformed frame.
+		return 0, 0, nil, 0, nil, fmt.Errorf("rpc: unknown response status %d", status)
 	}
-	return id, body, cost, nil, nil
 }
 
 // LogTo is the default diagnostic sink for servers created without

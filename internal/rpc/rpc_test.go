@@ -646,43 +646,6 @@ func TestWedgedConnCondemnedAndRedialed(t *testing.T) {
 	}
 }
 
-// TestPooledClientBaseline keeps the benchmark baseline honest: the
-// checkout-per-call client must still speak the mux wire format.
-func TestPooledClientBaseline(t *testing.T) {
-	n := simNet(t)
-	srv, err := Serve(n, "server:pooled", echoHandler)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
-
-	cl := NewPooledClient(n, "client", "server:pooled", 4)
-	defer cl.Close()
-	var wg sync.WaitGroup
-	for g := 0; g < 16; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for i := 0; i < 10; i++ {
-				resp, cost, err := cl.Call(uint16(g), []byte{byte(i)})
-				if err != nil {
-					t.Errorf("pooled call: %v", err)
-					return
-				}
-				if cost <= 0 {
-					t.Error("pooled call lost virtual cost")
-					return
-				}
-				if !bytes.Equal(resp, []byte{byte(g), byte(i)}) {
-					t.Errorf("pooled resp %q", resp)
-					return
-				}
-			}
-		}(g)
-	}
-	wg.Wait()
-}
-
 func TestLargeBody(t *testing.T) {
 	n := simNet(t)
 	srv, err := Serve(n, "server:big", echoHandler)

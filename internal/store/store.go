@@ -1,0 +1,506 @@
+// Package store implements the content-addressed chunk store that
+// backs bulk package content everywhere in the GDN: object servers
+// persist replica state through it, GDN HTTPDs cache downloaded
+// chunks in it, and the replication protocols ship only the chunks a
+// receiver is missing because equal content always has the equal key.
+//
+// A chunk is an immutable byte string addressed by its SHA-256 digest
+// (its Ref). Addressing by content gives three properties the paper
+// asks of the GDN at once: identical content stored once no matter how
+// many packages or versions reference it (packages "can be very
+// large", §2), end-to-end integrity — a reader that verifies the
+// digest cannot be served corrupted content by a replica or proxy
+// (§6.1) — and cheap delta transfer, because a receiver can name
+// exactly the chunks it lacks.
+//
+// # Ownership
+//
+// Chunks are reference counted. Retain pins a chunk on behalf of a
+// manifest that names it (a package file, a tagged version, an object
+// server's on-disk checkpoint); Release drops the pin. What happens
+// when the count reaches zero depends on the store's mode:
+//
+//   - plain stores delete the chunk immediately — the store holds
+//     exactly the content live manifests reference;
+//   - cache stores (WithCapacity) keep released chunks on an LRU list
+//     and evict from its cold end only when the capacity is exceeded.
+//     This is the proxy-cache mode: a cache replica that drops its
+//     state keeps the bytes around, so a later refill fetches only
+//     chunks that were actually evicted.
+//
+// # Durability
+//
+// A disk-backed store (Open with a directory) writes each chunk to a
+// temporary file, fsyncs it, and renames it into place, so a crash
+// leaves either the whole chunk or nothing. Orphans from a crash —
+// chunks written but never referenced by a durable manifest — are
+// reclaimed by Sweep, which object servers run after recovery.
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Ref is a chunk's content address: the SHA-256 of its bytes.
+type Ref [sha256.Size]byte
+
+// RefOf returns the content address of data.
+func RefOf(data []byte) Ref { return sha256.Sum256(data) }
+
+// String renders the full hex digest.
+func (r Ref) String() string { return hex.EncodeToString(r[:]) }
+
+// Short renders an abbreviated digest for logs.
+func (r Ref) Short() string { return hex.EncodeToString(r[:6]) }
+
+// Chunk is one manifest entry: a content address plus the chunk's
+// length, so manifest holders can do offset arithmetic without
+// touching chunk data.
+type Chunk struct {
+	Ref  Ref
+	Size int64
+}
+
+// Errors reported by the store.
+var (
+	// ErrMissing is returned when a referenced chunk is not present.
+	ErrMissing = errors.New("store: chunk not present")
+	// ErrCorrupt is returned when on-disk chunk bytes no longer match
+	// their content address.
+	ErrCorrupt = errors.New("store: chunk bytes do not match their address")
+)
+
+// Stats counts store effectiveness for experiments and tests.
+type Stats struct {
+	// Chunks and Bytes are the current resident totals.
+	Chunks int
+	Bytes  int64
+	// Dedup counts Put calls that found their chunk already present.
+	Dedup int64
+	// Evictions counts chunks dropped by the capacity policy.
+	Evictions int64
+}
+
+// entry is the in-memory record of one chunk. data is nil for
+// disk-resident chunks; elem is non-nil while the chunk sits on the
+// cold (refs == 0) LRU list.
+type entry struct {
+	size int64
+	refs int
+	data []byte
+	elem *list.Element
+}
+
+// Store is a content-addressed chunk store. The zero value is not
+// usable; call Mem or Open. Stores are safe for concurrent use.
+type Store struct {
+	dir string
+	cap int64
+
+	mu     sync.Mutex
+	chunks map[Ref]*entry
+	cold   *list.List // refs == 0, front = most recently used
+	bytes  int64
+	stats  Stats
+}
+
+// Option configures a store.
+type Option func(*Store)
+
+// WithCapacity switches the store to cache mode: released chunks are
+// kept (up to roughly capBytes of total content) and evicted least-
+// recently-used first. Retained chunks are never evicted, so a live
+// working set larger than the capacity simply overshoots it.
+func WithCapacity(capBytes int64) Option {
+	return func(s *Store) { s.cap = capBytes }
+}
+
+// Mem returns a memory-backed store.
+func Mem(opts ...Option) *Store {
+	s, _ := Open("", opts...)
+	return s
+}
+
+// Open returns a store rooted at dir, creating the directory as
+// needed and indexing any chunks a previous process left behind
+// (recovery). An empty dir selects a memory-backed store.
+func Open(dir string, opts ...Option) (*Store, error) {
+	s := &Store{
+		dir:    dir,
+		chunks: make(map[Ref]*entry),
+		cold:   list.New(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, err
+	}
+	if err := s.index(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// index scans the directory for chunks left by a previous run. They
+// enter the table unreferenced; recovery retains the ones its
+// manifests name and Sweep reclaims the rest.
+func (s *Store) index() error {
+	fanouts, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, fo := range fanouts {
+		if !fo.IsDir() || len(fo.Name()) != 2 {
+			continue
+		}
+		sub := filepath.Join(s.dir, fo.Name())
+		files, err := os.ReadDir(sub)
+		if err != nil {
+			return err
+		}
+		for _, f := range files {
+			name := f.Name()
+			b, err := hex.DecodeString(name)
+			if err != nil || len(b) != sha256.Size {
+				// Stray temporary or foreign file; a crash mid-write
+				// leaves .tmp files here. Remove it.
+				os.Remove(filepath.Join(sub, name))
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			var ref Ref
+			copy(ref[:], b)
+			e := &entry{size: info.Size()}
+			e.elem = s.cold.PushBack(coldRef{ref})
+			s.chunks[ref] = e
+			s.bytes += e.size
+		}
+	}
+	return nil
+}
+
+// coldRef is the LRU list payload: the ref of a refs==0 chunk.
+type coldRef struct{ ref Ref }
+
+// path returns the on-disk location of one chunk, with a two-hex-digit
+// fanout directory so no single directory grows unbounded.
+func (s *Store) path(ref Ref) string {
+	hexRef := ref.String()
+	return filepath.Join(s.dir, hexRef[:2], hexRef)
+}
+
+// Put stores data under its content address and returns the address.
+// Storing content that is already present is a cheap no-op (the
+// content-addressing dedup). The chunk enters unreferenced; callers
+// that hold it in a manifest must Retain it.
+func (s *Store) Put(data []byte) (Ref, error) {
+	ref := RefOf(data)
+	return ref, s.putRef(ref, data, false)
+}
+
+// PutRef stores data that is claimed to have address ref, verifying
+// the claim — the integrity gate every chunk received from the
+// network passes through.
+func (s *Store) PutRef(ref Ref, data []byte) error {
+	return s.putRef(ref, data, false)
+}
+
+// PutPinned stores data with one reference already held, atomically
+// with the insert — a pinned chunk can never be the victim of the
+// eviction its own arrival triggers, even when the pinned working
+// set already exceeds a cache store's capacity.
+func (s *Store) PutPinned(data []byte) (Ref, error) {
+	ref := RefOf(data)
+	return ref, s.putRef(ref, data, true)
+}
+
+func (s *Store) putRef(ref Ref, data []byte, pin bool) error {
+	if RefOf(data) != ref {
+		return fmt.Errorf("%w: got %d bytes hashing to %s, want %s",
+			ErrCorrupt, len(data), RefOf(data).Short(), ref.Short())
+	}
+	s.mu.Lock()
+	if e, ok := s.chunks[ref]; ok {
+		s.dedupLocked(ref, e, pin)
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	if s.dir != "" {
+		if err := s.writeChunk(ref, data); err != nil {
+			return err
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.chunks[ref]; ok {
+		// Raced with another Put of the same content.
+		s.dedupLocked(ref, e, pin)
+		return nil
+	}
+	e := &entry{size: int64(len(data))}
+	if s.dir == "" {
+		e.data = append([]byte(nil), data...)
+	}
+	if pin {
+		e.refs = 1
+	} else {
+		e.elem = s.cold.PushFront(coldRef{ref})
+	}
+	s.chunks[ref] = e
+	s.bytes += e.size
+	s.evictLocked()
+	return nil
+}
+
+// dedupLocked accounts a Put that found its chunk already present,
+// taking the pin when asked.
+func (s *Store) dedupLocked(ref Ref, e *entry, pin bool) {
+	s.stats.Dedup++
+	if pin {
+		if e.refs == 0 && e.elem != nil {
+			s.cold.Remove(e.elem)
+			e.elem = nil
+		}
+		e.refs++
+		return
+	}
+	s.touchLocked(ref, e)
+}
+
+// writeChunk persists one chunk durably. Concurrent writers of the
+// same content race benignly — the rename is atomic and the bytes
+// identical.
+func (s *Store) writeChunk(ref Ref, data []byte) error {
+	return WriteFileSync(s.path(ref), data)
+}
+
+// WriteFileSync writes data durably at name: temporary file in the
+// same directory, fsync, rename into place, then fsync the directory
+// so the rename itself survives a crash. The store uses it for
+// chunks; object servers use it for checkpoint manifests.
+func WriteFileSync(name string, data []byte) error {
+	dir := filepath.Dir(name)
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(name)+".tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), name); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck // advisory; some filesystems refuse dir fsync
+		d.Close()
+	}
+	return nil
+}
+
+// Get returns a chunk's bytes. Disk reads are verified against the
+// content address, so a corrupted chunk file surfaces as ErrCorrupt
+// rather than as silently wrong content. Callers must not modify the
+// returned slice of a memory-backed store.
+func (s *Store) Get(ref Ref) ([]byte, error) {
+	s.mu.Lock()
+	e, ok := s.chunks[ref]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrMissing, ref.Short())
+	}
+	s.touchLocked(ref, e)
+	data := e.data
+	s.mu.Unlock()
+	if data != nil {
+		return data, nil
+	}
+	data, err := os.ReadFile(s.path(ref))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrMissing, ref.Short(), err)
+	}
+	if RefOf(data) != ref {
+		return nil, fmt.Errorf("%w: %s", ErrCorrupt, ref.Short())
+	}
+	return data, nil
+}
+
+// Has reports whether a chunk is present.
+func (s *Store) Has(ref Ref) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.chunks[ref]
+	return ok
+}
+
+// Missing filters refs down to the ones not present, deduplicated,
+// in first-seen order. It is a preflight/diagnostic answer only: a
+// transfer that must hold chunks across the check pins them instead
+// (Retain/PutPinned), as the answer can go stale under eviction.
+func (s *Store) Missing(refs []Ref) []Ref {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Ref
+	seen := make(map[Ref]bool)
+	for _, ref := range refs {
+		if seen[ref] {
+			continue
+		}
+		seen[ref] = true
+		if _, ok := s.chunks[ref]; !ok {
+			out = append(out, ref)
+		}
+	}
+	return out
+}
+
+// Retain pins every listed chunk (once per occurrence). It fails
+// without side effects if any chunk is absent, so a manifest is
+// either fully pinned or not at all.
+func (s *Store) Retain(refs []Ref) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ref := range refs {
+		if _, ok := s.chunks[ref]; !ok {
+			return fmt.Errorf("%w: %s", ErrMissing, ref.Short())
+		}
+	}
+	for _, ref := range refs {
+		e := s.chunks[ref]
+		if e.refs == 0 && e.elem != nil {
+			s.cold.Remove(e.elem)
+			e.elem = nil
+		}
+		e.refs++
+	}
+	return nil
+}
+
+// Release drops one pin per listed chunk. Unknown refs are ignored so
+// teardown paths need not track exactly what a failed Retain pinned.
+func (s *Store) Release(refs []Ref) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ref := range refs {
+		e, ok := s.chunks[ref]
+		if !ok || e.refs == 0 {
+			continue
+		}
+		e.refs--
+		if e.refs > 0 {
+			continue
+		}
+		if s.cap > 0 {
+			e.elem = s.cold.PushFront(coldRef{ref})
+		} else {
+			s.dropLocked(ref, e)
+		}
+	}
+	s.evictLocked()
+}
+
+// Sweep deletes every unreferenced chunk — the recovery-time garbage
+// collection that reclaims orphans a crash left behind. It returns
+// the number of chunks and bytes reclaimed.
+func (s *Store) Sweep() (chunks int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for el := s.cold.Front(); el != nil; {
+		next := el.Next()
+		ref := el.Value.(coldRef).ref
+		e := s.chunks[ref]
+		chunks++
+		bytes += e.size
+		s.dropLocked(ref, e)
+		el = next
+	}
+	return chunks, bytes
+}
+
+// touchLocked refreshes a chunk's LRU position.
+func (s *Store) touchLocked(ref Ref, e *entry) {
+	if e.elem != nil {
+		s.cold.MoveToFront(e.elem)
+	}
+	_ = ref
+}
+
+// evictLocked enforces the capacity by dropping cold chunks, oldest
+// first. Retained chunks are never touched.
+func (s *Store) evictLocked() {
+	if s.cap <= 0 {
+		return
+	}
+	for s.bytes > s.cap {
+		el := s.cold.Back()
+		if el == nil {
+			return // everything resident is pinned
+		}
+		ref := el.Value.(coldRef).ref
+		s.dropLocked(ref, s.chunks[ref])
+		s.stats.Evictions++
+	}
+}
+
+// dropLocked removes one chunk from the table (and disk).
+func (s *Store) dropLocked(ref Ref, e *entry) {
+	if e.elem != nil {
+		s.cold.Remove(e.elem)
+		e.elem = nil
+	}
+	delete(s.chunks, ref)
+	s.bytes -= e.size
+	if s.dir != "" {
+		os.Remove(s.path(ref))
+	}
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Chunks = len(s.chunks)
+	st.Bytes = s.bytes
+	return st
+}
+
+// Refs returns the refs of every resident chunk; tests and sweeps use
+// it.
+func (s *Store) Refs() []Ref {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Ref, 0, len(s.chunks))
+	for ref := range s.chunks {
+		out = append(out, ref)
+	}
+	return out
+}

@@ -128,8 +128,9 @@ func (f *framedConn) Recv() ([]byte, time.Duration, error) {
 		f.c.Close()
 		return nil, 0, fmt.Errorf("%w: %d bytes", ErrFrameSize, n)
 	}
-	p := make([]byte, n)
+	p := GetFrame(int(n))
 	if _, err := io.ReadFull(f.br, p); err != nil {
+		PutFrame(p)
 		return nil, 0, err
 	}
 	return p, 0, nil
@@ -142,98 +143,3 @@ func (f *framedConn) Close() error {
 
 func (f *framedConn) LocalAddr() string  { return f.c.LocalAddr().String() }
 func (f *framedConn) RemoteAddr() string { return f.c.RemoteAddr().String() }
-
-// TCPLegacy is the seed-era TCP transport, retained only as a
-// benchmark baseline: every frame costs two Write syscalls (prefix,
-// then payload) and every Recv two unbuffered reads. The byte stream
-// is identical to TCP's, so the two interoperate freely — which is what
-// lets the pooled-vs-mux comparison benchmarks in the repository root
-// measure exactly the overhead the single-write framing and the
-// multiplexed client removed. New code should use TCP.
-type TCPLegacy struct{}
-
-// Listen starts a TCP listener whose accepted connections use the
-// legacy two-write framing.
-func (TCPLegacy) Listen(addr string) (Listener, error) {
-	l, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return &legacyListener{l: l}, nil
-}
-
-// Dial connects to addr with the legacy two-write framing.
-func (TCPLegacy) Dial(from, addr string) (Conn, error) {
-	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
-	if err != nil {
-		return nil, err
-	}
-	return &legacyFramedConn{c: c}, nil
-}
-
-type legacyListener struct {
-	l net.Listener
-}
-
-func (tl *legacyListener) Accept() (Conn, error) {
-	c, err := tl.l.Accept()
-	if err != nil {
-		return nil, err
-	}
-	return &legacyFramedConn{c: c}, nil
-}
-
-func (tl *legacyListener) Close() error { return tl.l.Close() }
-func (tl *legacyListener) Addr() string { return tl.l.Addr().String() }
-
-// legacyFramedConn is the seed framing implementation, verbatim: one
-// Write for the length prefix, one for the payload, unbuffered reads.
-type legacyFramedConn struct {
-	c        net.Conn
-	sendMu   sync.Mutex
-	recvMu   sync.Mutex
-	lenBuf   [4]byte
-	recvLen  [4]byte
-	closed   sync.Once
-	closeErr error
-}
-
-func (f *legacyFramedConn) Send(p []byte) error {
-	if len(p) > MaxFrame {
-		return ErrFrameSize
-	}
-	f.sendMu.Lock()
-	defer f.sendMu.Unlock()
-	binary.BigEndian.PutUint32(f.lenBuf[:], uint32(len(p)))
-	if _, err := f.c.Write(f.lenBuf[:]); err != nil {
-		return err
-	}
-	_, err := f.c.Write(p)
-	return err
-}
-
-func (f *legacyFramedConn) Recv() ([]byte, time.Duration, error) {
-	f.recvMu.Lock()
-	defer f.recvMu.Unlock()
-	if _, err := io.ReadFull(f.c, f.recvLen[:]); err != nil {
-		return nil, 0, err
-	}
-	n := binary.BigEndian.Uint32(f.recvLen[:])
-	if n > MaxFrame {
-		f.c.Close()
-		return nil, 0, fmt.Errorf("%w: %d bytes", ErrFrameSize, n)
-	}
-	p := make([]byte, n)
-	if _, err := io.ReadFull(f.c, p); err != nil {
-		return nil, 0, err
-	}
-	return p, 0, nil
-}
-
-func (f *legacyFramedConn) Close() error {
-	f.closed.Do(func() { f.closeErr = f.c.Close() })
-	return f.closeErr
-}
-
-func (f *legacyFramedConn) LocalAddr() string  { return f.c.LocalAddr().String() }
-func (f *legacyFramedConn) RemoteAddr() string { return f.c.RemoteAddr().String() }

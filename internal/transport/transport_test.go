@@ -205,43 +205,3 @@ func TestTCPSendBatchSizeBound(t *testing.T) {
 	}
 }
 
-func TestLegacyAndCurrentFramingInteroperate(t *testing.T) {
-	// TCPLegacy exists as a benchmark baseline; its byte stream must
-	// stay identical to TCP's so mixed deployments keep working.
-	var tcp TCP
-	l, err := tcp.Listen("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer l.Close()
-	acc := make(chan Conn, 1)
-	go func() {
-		c, err := l.Accept()
-		if err == nil {
-			acc <- c
-		}
-	}()
-	var legacy TCPLegacy
-	cl, err := legacy.Dial("", l.Addr())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer cl.Close()
-	srv := <-acc
-	defer srv.Close()
-
-	if err := cl.Send([]byte("old-to-new")); err != nil {
-		t.Fatal(err)
-	}
-	p, _, err := srv.Recv()
-	if err != nil || string(p) != "old-to-new" {
-		t.Fatalf("legacy->current: %v %q", err, p)
-	}
-	if err := srv.Send([]byte("new-to-old")); err != nil {
-		t.Fatal(err)
-	}
-	p, _, err = cl.Recv()
-	if err != nil || string(p) != "new-to-old" {
-		t.Fatalf("current->legacy: %v %q", err, p)
-	}
-}

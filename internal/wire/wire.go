@@ -194,6 +194,15 @@ func (w *Writer) Str(s string) {
 	w.buf = append(w.buf, s...)
 }
 
+// Hash appends a fixed 32-byte digest (a chunk ref or SHA-256) with
+// no length prefix.
+func (w *Writer) Hash(h [32]byte) {
+	if w.err != nil {
+		return
+	}
+	w.buf = append(w.buf, h[:]...)
+}
+
 // OID appends an object identifier.
 func (w *Writer) OID(o ids.OID) {
 	if w.err != nil {
@@ -335,6 +344,13 @@ func (r *Reader) Str() string {
 		return ""
 	}
 	return string(r.take(int(n)))
+}
+
+// Hash decodes a fixed 32-byte digest.
+func (r *Reader) Hash() [32]byte {
+	var h [32]byte
+	copy(h[:], r.take(len(h)))
+	return h
 }
 
 // OID decodes an object identifier.
