@@ -21,6 +21,7 @@ import (
 	"gdn/internal/experiments"
 	"gdn/internal/gls"
 	"gdn/internal/gns"
+	"gdn/internal/gos"
 	"gdn/internal/ids"
 	"gdn/internal/netsim"
 	"gdn/internal/pkgobj"
@@ -591,3 +592,91 @@ func benchRemoteRead(b *testing.B, secure bool) {
 
 func BenchmarkE10_RemoteRead_Open(b *testing.B)    { benchRemoteRead(b, false) }
 func BenchmarkE10_RemoteRead_Secured(b *testing.B) { benchRemoteRead(b, true) }
+
+// --- Upload path: streamed deploys and negotiation ---------------------
+
+// BenchmarkUpload_Stream measures raw upload-stream throughput over
+// loopback TCP: 256 KiB data frames (the store chunk size) flowing
+// client → server under the credit window, against a handler that
+// drains them. The deploy-direction mirror of the E5 download numbers.
+func BenchmarkUpload_Stream(b *testing.B) {
+	var tcp transport.TCP
+	srv, err := rpc.Serve(tcp, "127.0.0.1:0", func(c *rpc.Call) ([]byte, error) {
+		ur := c.Upload()
+		for {
+			if _, err := ur.Recv(); err != nil {
+				return nil, nil
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	cl := rpc.NewClient(tcp, "", srv.Addr())
+	b.Cleanup(func() { cl.Close() })
+
+	const frame = 256 << 10
+	const framesPerOp = 64 // 16 MiB per op
+	buf := make([]byte, frame)
+	b.SetBytes(frame * framesPerOp)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		us, err := cl.CallUpload(1, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < framesPerOp; j++ {
+			if err := us.Send(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, _, err := us.CloseAndRecv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeploy_Redeploy measures the negotiated no-op re-deploy: a
+// 16 MiB package whose chunks the object server already holds. Only
+// OpChunkHave negotiation frames cross the wire, so the number tracks
+// negotiation overhead, not content size.
+func BenchmarkDeploy_Redeploy(b *testing.B) {
+	w, err := gdn.NewWorld(gdn.DefaultTopology())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(w.Close)
+
+	staged := pkgobj.New()
+	if err := pkgobj.NewStub(core.NewLocalLR(ids.Nil, staged)).UploadFile("blob", make([]byte, 16<<20)); err != nil {
+		b.Fatal(err)
+	}
+	state, err := staged.MarshalState()
+	if err != nil {
+		b.Fatal(err)
+	}
+	refs, err := pkgobj.StateRefs(state)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := gos.NewClient(w.Net, "eu-de-tu", w.GOSAddrs("eu-nl-vu")[0], nil)
+	b.Cleanup(func() { cl.Close() })
+	// First deploy moves the content; every measured iteration re-runs
+	// the full PutChunks and must move none.
+	if _, _, err := cl.PutChunks(staged.Store(), refs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, _, err := cl.PutChunks(staged.Store(), refs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Sent != 0 {
+			b.Fatalf("re-deploy uploaded %d chunks", stats.Sent)
+		}
+	}
+}

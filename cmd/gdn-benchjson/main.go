@@ -1,0 +1,182 @@
+// Command gdn-benchjson converts `go test -json -bench` output into a
+// compact machine-readable benchmark report, so CI can upload one JSON
+// artifact per commit and the perf trajectory of the bulk path is
+// recorded instead of scrolled away in build logs.
+//
+//	go test -run 'xxx^' -bench . -benchmem -json ./... | gdn-benchjson -out BENCH_ci.json
+//
+// The converter reads the test2json event stream (one JSON object per
+// line), extracts benchmark result lines, and emits:
+//
+//	{
+//	  "commit": "...", "goos": "...", "goarch": "...", "generated": "...",
+//	  "results": [{"package": "gdn/internal/rpc", "name": "BenchmarkRPC_CallParallel",
+//	               "procs": 4, "iterations": 100, "ns_per_op": 5312.0,
+//	               "mb_per_s": 0, "bytes_per_op": 745, "allocs_per_op": 13}, ...]
+//	}
+//
+// Lines that are not benchmark results pass through silently; a stream
+// with no benchmarks at all is reported as an error so a CI
+// misconfiguration (benchmarks filtered out) fails loudly instead of
+// uploading an empty artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// testEvent is the subset of the test2json event schema we consume.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// result is one parsed benchmark line.
+type result struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// report is the artifact layout.
+type report struct {
+	Commit    string    `json:"commit,omitempty"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	Generated time.Time `json:"generated"`
+	Results   []result  `json:"results"`
+}
+
+func main() {
+	in := flag.String("in", "-", "test2json input file (- = stdin)")
+	out := flag.String("out", "BENCH_ci.json", "output artifact path")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	results, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results in input; is -bench wired through?"))
+	}
+
+	rep := report{
+		Commit:    os.Getenv("GITHUB_SHA"),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Generated: time.Now().UTC(),
+		Results:   results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("gdn-benchjson: wrote %d results to %s\n", len(results), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gdn-benchjson:", err)
+	os.Exit(1)
+}
+
+// parse consumes a test2json stream and returns every benchmark
+// result found in output events.
+func parse(r io.Reader) ([]result, error) {
+	var results []result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Tolerate interleaved non-JSON noise (panics, build output).
+			continue
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		if res, ok := parseBenchLine(ev.Package, strings.TrimSpace(ev.Output)); ok {
+			results = append(results, res)
+		}
+	}
+	return results, sc.Err()
+}
+
+// parseBenchLine parses one "BenchmarkName-P  N  x ns/op  [y MB/s]
+// [z B/op] [w allocs/op]" line; ok reports whether the line was one.
+func parseBenchLine(pkg, line string) (result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return result{}, false
+	}
+	name, procs := fields[0], 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	res := result{Package: pkg, Name: name, Procs: procs, Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			seen = true
+		case "MB/s":
+			res.MBPerS = v
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		}
+	}
+	return res, seen
+}

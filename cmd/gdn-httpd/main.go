@@ -23,12 +23,14 @@ func main() {
 	var cf daemon.ClientFlags
 	cf.Register(flag.CommandLine)
 	var (
-		listen    = flag.String("listen", ":8080", "HTTP listen address")
-		cache     = flag.Bool("cache", false, "install cache replicas during binding (proxy flavour)")
-		cacheObj  = flag.String("cache-obj-addr", "", "replica-traffic address for hosted caches (required with -cache)")
-		cacheTTL  = flag.String("cache-ttl", "30s", "cache TTL")
-		cacheMode = flag.String("cache-mode", "ttl", "cache coherence: ttl or invalidate")
-		register  = flag.Bool("register-caches", false, "register caches in the location service")
+		listen     = flag.String("listen", ":8080", "HTTP listen address")
+		cache      = flag.Bool("cache", false, "install cache replicas during binding (proxy flavour)")
+		cacheObj   = flag.String("cache-obj-addr", "", "replica-traffic address for hosted caches (required with -cache)")
+		cacheTTL   = flag.String("cache-ttl", "30s", "cache TTL")
+		cacheMode  = flag.String("cache-mode", "ttl", "cache coherence: ttl or invalidate")
+		register   = flag.Bool("register-caches", false, "register caches in the location service")
+		cacheBytes = flag.Int64("cache-bytes", 0, "cache capacity in bytes (0 = default 256 MiB)")
+		stateDir   = flag.String("statedir", "", "disk directory for the proxy cache; survives restarts (\"\" = in-memory)")
 	)
 	flag.Parse()
 
@@ -58,6 +60,8 @@ func main() {
 		Disp:           disp,
 		CacheParams:    map[string]string{"ttl": *cacheTTL, "mode": *cacheMode},
 		RegisterCaches: *register,
+		CacheBytes:     *cacheBytes,
+		StateDir:       *stateDir,
 		Logf:           daemon.Logf("gdn-httpd"),
 	})
 	if err != nil {

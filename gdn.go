@@ -561,6 +561,9 @@ type HTTPDConfig struct {
 	RegisterCaches bool
 	// CacheBytes bounds the HTTPD's shared chunk cache (0 = default).
 	CacheBytes int64
+	// StateDir roots the chunk cache on disk so it survives restarts
+	// ("" = in-memory).
+	StateDir string
 }
 
 // HTTPD starts a GDN-enabled HTTPD at a site and returns its handler.
@@ -592,6 +595,7 @@ func (w *World) HTTPD(site string, cfg HTTPDConfig) (*httpd.Handler, error) {
 		CacheParams:    cfg.CacheParams,
 		RegisterCaches: cfg.RegisterCaches,
 		CacheBytes:     cfg.CacheBytes,
+		StateDir:       cfg.StateDir,
 	})
 	if err != nil {
 		return nil, err

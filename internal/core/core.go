@@ -295,6 +295,25 @@ type BulkReader interface {
 	ReadBulk(path string, off, n int64, fn func(p []byte) error) (Manifest, time.Duration, error)
 }
 
+// ChunkNegotiator is the optional replication-subobject interface
+// behind negotiated bulk writes: proxies whose writes land on a single
+// well-known replica (the clientserver server, the masterslave master)
+// let an uploader ask that replica which content chunks it already has
+// (OpChunkHave) and ship only the rest (OpChunkPut, an upload stream),
+// before a manifest-bearing write names them. Protocols that replicate
+// write invocations to every peer (active replication) must not
+// implement it — a chunk present at the negotiating replica may be
+// absent at another peer, so their writes have to carry content bytes.
+type ChunkNegotiator interface {
+	// MissingChunks reports which of refs the write-target replica's
+	// store lacks, deduplicated, in first-seen order.
+	MissingChunks(refs []store.Ref) ([]store.Ref, time.Duration, error)
+	// PushChunks uploads chunk bodies into the write-target replica's
+	// store, where they sit unreferenced (and crash-sweepable) until a
+	// manifest write pins them.
+	PushChunks(chunks [][]byte) (time.Duration, error)
+}
+
 // Control is the control subobject: the bridge between an object's
 // user-defined interfaces and the standard replication interface
 // (§3.3). Typed stubs (the hand-written equivalent of the paper's

@@ -46,6 +46,17 @@ const (
 	// file): the response arrives as a sequence of chunk-sized frames
 	// with the item's size and digest as the trailer.
 	OpBulkRead
+	// OpChunkHave is the which-of-these-do-you-have negotiation: the
+	// body carries content refs, the response the subset the receiver's
+	// store lacks. Writers ask before shipping chunk bodies, so a
+	// re-deploy of mostly-unchanged content uploads only what changed.
+	OpChunkHave
+	// OpChunkPut uploads content chunks into the receiver's store ahead
+	// of a manifest write that names them. It is an upload-stream call
+	// (one chunk per data frame); chunks are verified against their
+	// content address on arrival and sit unreferenced until a manifest
+	// pins them.
+	OpChunkPut
 )
 
 // Dispatcher is the listening half of the communication subobject: one
@@ -172,6 +183,15 @@ func (p *PeerClient) CallStream(op uint16, body []byte) (*rpc.Stream, error) {
 	buf = append(buf, p.oid[:]...)
 	buf = append(buf, body...)
 	return p.rpc.CallStream(op, buf)
+}
+
+// CallUpload opens an upload-stream replica-protocol call
+// (OpChunkPut), prefixing the object identifier to the header.
+func (p *PeerClient) CallUpload(op uint16, header []byte) (*rpc.UploadStream, error) {
+	buf := make([]byte, 0, ids.Size+len(header))
+	buf = append(buf, p.oid[:]...)
+	buf = append(buf, header...)
+	return p.rpc.CallUpload(op, buf)
 }
 
 // Close releases the connection.

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gdn/internal/store"
+	"gdn/internal/wire"
+)
+
+// Chunk-negotiation wire shape, shared by the replica protocol
+// (OpChunkHave) and the object-server command endpoint
+// (gos.OpChunkHave): both carry a counted list of content refs in the
+// request and the missing subset in the response.
+
+// ChunkHaveMaxRefs bounds one negotiation request so bodies stay
+// kilobytes even for very large packages; clients batch
+// (MissingChunksVia does), servers reject bigger requests.
+const ChunkHaveMaxRefs = 1024
+
+// EncodeRefs serializes a counted ref list.
+func EncodeRefs(refs []store.Ref) []byte {
+	w := wire.NewWriter(8 + 32*len(refs))
+	w.Count(len(refs))
+	for _, ref := range refs {
+		w.Hash(ref)
+	}
+	return w.Bytes()
+}
+
+// DecodeRefs reverses EncodeRefs. max > 0 rejects longer lists — the
+// server-side guard on negotiation requests.
+func DecodeRefs(body []byte, max int) ([]store.Ref, error) {
+	r := wire.NewReader(body)
+	n := r.Count()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if max > 0 && n > max {
+		return nil, fmt.Errorf("core: chunk negotiation of %d refs exceeds the %d bound", n, max)
+	}
+	refs := make([]store.Ref, 0, n)
+	for i := 0; i < n; i++ {
+		refs = append(refs, r.Hash())
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return refs, nil
+}
+
+// MissingChunksVia runs the which-of-these-do-you-have negotiation in
+// bounded batches through call (one request/response round per batch)
+// and returns the union of missing refs with the accumulated virtual
+// cost. Both negotiation clients — replica proxies and the GOS
+// command client — are this function with their transport plugged in.
+func MissingChunksVia(call func(body []byte) ([]byte, time.Duration, error), refs []store.Ref) ([]store.Ref, time.Duration, error) {
+	var missing []store.Ref
+	var total time.Duration
+	for len(refs) > 0 {
+		batch := refs
+		if len(batch) > ChunkHaveMaxRefs {
+			batch = batch[:ChunkHaveMaxRefs]
+		}
+		resp, cost, err := call(EncodeRefs(batch))
+		total += cost
+		if err != nil {
+			return nil, total, err
+		}
+		got, err := DecodeRefs(resp, 0)
+		if err != nil {
+			return nil, total, err
+		}
+		missing = append(missing, got...)
+		refs = refs[len(batch):]
+	}
+	return missing, total, nil
+}

@@ -96,7 +96,7 @@ func runE9(size int) (ckptMS, diskKB, recMS float64, verified bool) {
 		panic(err)
 	}
 	cl := gos.NewClient(w.Net, site, site+":gos9-cmd", nil)
-	if _, err := cl.PutChunks(staged.Store(), refs); err != nil {
+	if _, _, err := cl.PutChunks(staged.Store(), refs); err != nil {
 		panic(err)
 	}
 	oid, _, _, err := cl.CreateReplica(gos.CreateRequest{

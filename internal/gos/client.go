@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"gdn/internal/core"
 	"gdn/internal/gls"
 	"gdn/internal/ids"
 	"gdn/internal/rpc"
@@ -97,51 +98,67 @@ func (c *Client) Checkpoint() error {
 	return err
 }
 
-// putChunksBatch bounds one OpPutChunks request so upload frames stay
-// chunk-scaled, never content-scaled.
-const (
-	putChunksMaxRefs  = 16
-	putChunksMaxBytes = 4 << 20
-)
+// UploadStats reports what a negotiated chunk upload actually moved;
+// tests and deploy tooling read it to confirm that re-deploys of
+// unchanged content short-circuit.
+type UploadStats struct {
+	// Offered counts the deduplicated refs the deploy names.
+	Offered int
+	// Sent counts the chunk bodies that crossed the wire (the refs the
+	// server was missing).
+	Sent int
+	// SentBytes is their content size.
+	SentBytes int64
+}
 
-// PutChunks uploads content chunks into the server's store in bounded
-// batches, returning the accumulated virtual cost. Duplicate refs are
-// uploaded once. A moderator deploying a package uploads its staged
-// chunks with this before sending the manifest-bearing create command.
-func (c *Client) PutChunks(src *store.Store, refs []store.Ref) (time.Duration, error) {
+// MissingChunks asks the server which of refs its store lacks — the
+// negotiation run before an upload. Batches are bounded so request
+// bodies stay kilobytes regardless of package size.
+func (c *Client) MissingChunks(refs []store.Ref) ([]store.Ref, time.Duration, error) {
+	return core.MissingChunksVia(func(body []byte) ([]byte, time.Duration, error) {
+		return c.rpc.Call(OpChunkHave, body)
+	}, refs)
+}
+
+// PutChunks makes every listed chunk present in the server's store,
+// shipping only the ones it is missing: a which-of-these-do-you-have
+// negotiation (OpChunkHave) names the gaps, and their bodies flow over
+// one upload stream (OpPutChunks), a chunk per frame, so peak
+// buffering is O(chunk) at both ends and a re-deploy of unchanged
+// content uploads nothing. A moderator deploying a package runs this
+// before sending the manifest-bearing create command.
+func (c *Client) PutChunks(src *store.Store, refs []store.Ref) (UploadStats, time.Duration, error) {
 	refs = dedupRefs(refs)
-	var total time.Duration
-	for len(refs) > 0 {
-		var bodies [][]byte
-		var bytes int64
-		for _, ref := range refs {
-			if len(bodies) == putChunksMaxRefs {
-				break
-			}
-			data, err := src.Get(ref)
-			if err != nil {
-				return total, fmt.Errorf("gos: read chunk %s for upload: %w", ref.Short(), err)
-			}
-			if len(bodies) > 0 && bytes+int64(len(data)) > putChunksMaxBytes {
-				break
-			}
-			bodies = append(bodies, data)
-			bytes += int64(len(data))
-		}
-		w := wire.NewWriter(64 + int(bytes))
-		w.Count(len(bodies))
-		for i, data := range bodies {
-			w.Hash(refs[i])
-			w.Bytes32(data)
-		}
-		_, cost, err := c.rpc.Call(OpPutChunks, w.Bytes())
-		total += cost
-		if err != nil {
-			return total, err
-		}
-		refs = refs[len(bodies):]
+	stats := UploadStats{Offered: len(refs)}
+
+	missing, total, err := c.MissingChunks(refs)
+	if err != nil {
+		return stats, total, err
 	}
-	return total, nil
+	if len(missing) == 0 {
+		return stats, total, nil
+	}
+
+	us, err := c.rpc.CallUpload(OpPutChunks, nil)
+	if err != nil {
+		return stats, total, err
+	}
+	for _, ref := range missing {
+		data, gerr := src.Get(ref)
+		if gerr != nil {
+			us.Cancel()
+			return stats, total, fmt.Errorf("gos: read chunk %s for upload: %w", ref.Short(), gerr)
+		}
+		if err := us.Send(data); err != nil {
+			// The server already answered; CloseAndRecv reports why.
+			break
+		}
+		stats.Sent++
+		stats.SentBytes += int64(len(data))
+	}
+	_, cost, err := us.CloseAndRecv()
+	total += cost
+	return stats, total, err
 }
 
 // dedupRefs drops duplicate refs, preserving order.

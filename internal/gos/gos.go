@@ -16,6 +16,7 @@ package gos
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -53,8 +54,15 @@ const (
 	// OpPutChunks uploads content chunks into the server's chunk
 	// store ahead of a create command whose InitState references them
 	// by content address. Each chunk is verified against its claimed
-	// address on arrival.
+	// address on arrival. The call is normally an upload stream (one
+	// chunk per data frame); a unary body carrying a counted batch of
+	// (ref, bytes) pairs is accepted too.
 	OpPutChunks
+	// OpChunkHave is the which-of-these-do-you-have negotiation run
+	// before OpPutChunks: refs in, the subset the server's store lacks
+	// out. A moderator re-deploying a mostly-unchanged package learns
+	// it can skip almost every upload.
+	OpChunkHave
 )
 
 // Config assembles an object server.
@@ -71,12 +79,26 @@ type Config struct {
 	Runtime *core.Runtime
 	// StateDir is the checkpoint directory; "" disables persistence.
 	StateDir string
+	// ScrubEvery is the interval between background scrubbing passes
+	// over the disk chunk store (persistent servers only). 0 selects a
+	// default; negative disables scrubbing.
+	ScrubEvery time.Duration
+	// ScrubBytes bounds one scrubbing pass; 0 selects a default.
+	ScrubBytes int64
 	// Auth protects both endpoints when non-nil. Commands additionally
 	// require the moderator or admin role (§6.1, requirement 1).
 	Auth *sec.Config
 	// Logf receives diagnostics; nil discards them.
 	Logf func(string, ...any)
 }
+
+// Default scrubbing rate: a pass over up to 256 MiB of chunk content
+// every 30 seconds — roughly 8 MiB/s of sequential read, background
+// noise against the bulk path it protects.
+const (
+	defaultScrubEvery = 30 * time.Second
+	defaultScrubBytes = 256 << 20
+)
 
 // hosted is one replica this server runs.
 type hosted struct {
@@ -97,6 +119,10 @@ type Server struct {
 
 	disp *core.Dispatcher
 	cmd  *rpc.Server
+
+	// stopScrub halts the background chunk scrubber; nil when
+	// scrubbing is disabled.
+	stopScrub func()
 
 	// chunks is the server-wide content store every hosted replica's
 	// bulk content lives in: disk-backed under StateDir (durable
@@ -170,6 +196,24 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.cmd = cmd
+
+	// Background scrubbing re-verifies the durable chunks this server
+	// is trusted to serve; a quarantined chunk is refetched by the next
+	// state transfer that needs it (repair by delta sync).
+	if cfg.StateDir != "" && cfg.ScrubEvery >= 0 {
+		every, bytes := cfg.ScrubEvery, cfg.ScrubBytes
+		if every == 0 {
+			every = defaultScrubEvery
+		}
+		if bytes == 0 {
+			bytes = defaultScrubBytes
+		}
+		s.stopScrub = s.chunks.StartScrubber(every, bytes, func(bad []store.Ref) {
+			for _, ref := range bad {
+				cfg.Logf("gos: scrub quarantined corrupt chunk %s", ref.Short())
+			}
+		})
+	}
 	return s, nil
 }
 
@@ -202,6 +246,9 @@ func (s *Server) HostedLR(oid ids.OID) (*core.LR, bool) {
 // of a crash or an abrupt reboot. Checkpoints and location-service
 // registrations survive, which is what recovery builds on.
 func (s *Server) Close() error {
+	if s.stopScrub != nil {
+		s.stopScrub()
+	}
 	err := s.cmd.Close()
 	if derr := s.disp.Close(); err == nil {
 		err = derr
@@ -241,6 +288,8 @@ func (s *Server) handle(call *rpc.Call) ([]byte, error) {
 		return nil, s.CheckpointAll()
 	case OpPutChunks:
 		return s.handlePutChunks(call)
+	case OpChunkHave:
+		return s.handleChunkHave(call)
 	case OpServerInfo:
 		w := wire.NewWriter(64)
 		w.Str(s.cfg.Site)
@@ -270,11 +319,38 @@ func (s *Server) authorize(call *rpc.Call) error {
 // inspect it.
 func (s *Server) Chunks() *store.Store { return s.chunks }
 
+// handleChunkHave answers the upload negotiation: refs in, the subset
+// missing from the server's store out.
+func (s *Server) handleChunkHave(call *rpc.Call) ([]byte, error) {
+	refs, err := core.DecodeRefs(call.Body, core.ChunkHaveMaxRefs)
+	if err != nil {
+		return nil, err
+	}
+	return core.EncodeRefs(s.chunks.Missing(refs)), nil
+}
+
 // handlePutChunks stores uploaded content chunks, verifying each
 // against its claimed content address — a moderator cannot be
 // spoofed into serving bytes that do not hash to their name, and
 // uploading a chunk the server already has is a no-op (dedup).
+// Streamed uploads carry one raw chunk per data frame (the content
+// address is recomputed on arrival); unary batches carry claimed
+// (ref, bytes) pairs.
 func (s *Server) handlePutChunks(call *rpc.Call) ([]byte, error) {
+	if ur := call.Upload(); ur != nil {
+		for {
+			data, err := ur.Recv()
+			if err == io.EOF {
+				return nil, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			if _, err := s.chunks.Put(data); err != nil {
+				return nil, err
+			}
+		}
+	}
 	r := wire.NewReader(call.Body)
 	n := r.Count()
 	if err := r.Err(); err != nil {

@@ -36,7 +36,9 @@ import (
 	"html/template"
 	"net/http"
 	"path"
+	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -72,9 +74,26 @@ type Config struct {
 	// least-recently-used first instead of vanishing, so a refill
 	// fetches only what was actually evicted. 0 selects 256 MiB.
 	CacheBytes int64
+	// StateDir roots the cache's chunk store on disk (caching mode
+	// only), so the proxy cache survives restarts: a rebooted HTTPD
+	// re-indexes the chunks a previous process left and refills only
+	// what it never had. "" keeps the cache in memory.
+	StateDir string
+	// ScrubEvery is the interval between background scrubbing passes
+	// over a disk-backed cache. 0 selects a default; negative disables.
+	ScrubEvery time.Duration
+	// ScrubBytes bounds one scrubbing pass; 0 selects a default.
+	ScrubBytes int64
 	// Logf receives diagnostics; nil discards them.
 	Logf func(string, ...any)
 }
+
+// Default scrubbing rate for disk-backed caches; see gos for the
+// rationale.
+const (
+	defaultScrubEvery = 30 * time.Second
+	defaultScrubBytes = 256 << 20
+)
 
 // Stats counts served traffic for the experiments.
 type Stats struct {
@@ -82,6 +101,11 @@ type Stats struct {
 	Listings  int64
 	Downloads int64
 	Errors    int64
+	// Ranges counts downloads answered 206 (a byte range, not the
+	// whole file); they are included in Downloads too.
+	Ranges int64
+	// NotModified counts conditional requests answered 304.
+	NotModified int64
 	// BytesServed is payload bytes sent to HTTP clients.
 	BytesServed int64
 	// VirtualCost accumulates the Globe-side network cost of all
@@ -96,7 +120,11 @@ type Handler struct {
 	// chunks backs every cache replica this HTTPD hosts: one shared
 	// LRU store, so content cached for one package survives that
 	// package's state drops and is deduplicated across packages.
+	// Disk-backed when Config.StateDir is set, so it also survives
+	// restarts.
 	chunks *store.Store
+	// stopScrub halts the disk cache's background scrubber.
+	stopScrub func()
 
 	mu       sync.Mutex
 	bindings map[string]*binding
@@ -131,10 +159,37 @@ func New(cfg Config) (*Handler, error) {
 	}
 	h := &Handler{cfg: cfg, bindings: make(map[string]*binding)}
 	if cfg.CacheObjects {
-		h.chunks = store.Mem(store.WithCapacity(cfg.CacheBytes))
+		if cfg.StateDir != "" {
+			dir := filepath.Join(cfg.StateDir, "cache-chunks")
+			chunks, err := store.Open(dir, store.WithCapacity(cfg.CacheBytes))
+			if err != nil {
+				return nil, fmt.Errorf("httpd: open disk cache: %w", err)
+			}
+			h.chunks = chunks
+			if cfg.ScrubEvery >= 0 {
+				every, bytes := cfg.ScrubEvery, cfg.ScrubBytes
+				if every == 0 {
+					every = defaultScrubEvery
+				}
+				if bytes == 0 {
+					bytes = defaultScrubBytes
+				}
+				h.stopScrub = chunks.StartScrubber(every, bytes, func(bad []store.Ref) {
+					for _, ref := range bad {
+						cfg.Logf("httpd: scrub quarantined corrupt cache chunk %s", ref.Short())
+					}
+				})
+			}
+		} else {
+			h.chunks = store.Mem(store.WithCapacity(cfg.CacheBytes))
+		}
 	}
 	return h, nil
 }
+
+// Chunks exposes the shared cache store (nil in non-caching mode);
+// tests and experiments inspect it.
+func (h *Handler) Chunks() *store.Store { return h.chunks }
 
 // Stats snapshots the handler's counters.
 func (h *Handler) Stats() Stats {
@@ -145,6 +200,9 @@ func (h *Handler) Stats() Stats {
 
 // Close releases all cached bindings and deregisters registered caches.
 func (h *Handler) Close() error {
+	if h.stopScrub != nil {
+		h.stopScrub()
+	}
 	h.mu.Lock()
 	bindings := h.bindings
 	h.bindings = make(map[string]*binding)
@@ -183,7 +241,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case strings.HasPrefix(r.URL.Path, "/browse/"):
 		h.serveBrowse(w, strings.TrimPrefix(r.URL.Path, "/browse"))
 	case strings.HasPrefix(r.URL.Path, "/pkg/"):
-		h.servePackage(w, strings.TrimPrefix(r.URL.Path, "/pkg"))
+		h.servePackage(w, r, strings.TrimPrefix(r.URL.Path, "/pkg"))
 	case r.URL.Path == "/search":
 		h.serveSearch(w, r.URL.Query().Get("q"))
 	default:
@@ -348,7 +406,7 @@ type listingFile struct {
 	Digest string
 }
 
-func (h *Handler) servePackage(w http.ResponseWriter, p string) {
+func (h *Handler) servePackage(w http.ResponseWriter, r *http.Request, p string) {
 	objectName, filePath := splitObjectURL(p)
 	if objectName == "" || objectName == "/" {
 		h.fail(w, http.StatusNotFound, "missing package name")
@@ -370,7 +428,7 @@ func (h *Handler) servePackage(w http.ResponseWriter, p string) {
 		h.serveListing(w, b)
 		return
 	}
-	h.serveFile(w, b, filePath)
+	h.serveFile(w, r, b, filePath)
 }
 
 func (h *Handler) serveListing(w http.ResponseWriter, b *binding) {
@@ -472,14 +530,24 @@ func (h *Handler) serveSearch(w http.ResponseWriter, query string) {
 
 // serveFile streams a file to the browser with chunk-bounded
 // buffering: the content flows replica store → frame stream → HTTP
-// body one chunk at a time, and the stub verifies the SHA-256 digest
-// end to end as it passes through (§6.1). A mismatch detected before
-// the body completes truncates the download (short of Content-Length,
-// which HTTP clients treat as failure); length-preserving corruption
-// can only be flagged after the final byte, where HTTP offers the
-// server no in-band signal — clients with end-to-end requirements
-// verify the body against the X-GDN-Digest header themselves.
-func (h *Handler) serveFile(w http.ResponseWriter, b *binding, filePath string) {
+// body one chunk at a time, and for whole-file downloads the stub
+// verifies the SHA-256 digest end to end as it passes through (§6.1).
+// A mismatch detected before the body completes truncates the download
+// (short of Content-Length, which HTTP clients treat as failure);
+// length-preserving corruption can only be flagged after the final
+// byte, where HTTP offers the server no in-band signal — clients with
+// end-to-end requirements verify the body against the X-GDN-Digest
+// header themselves.
+//
+// The manifest's whole-file SHA-256 doubles as a strong ETag, which
+// makes the standard HTTP machinery for cheap re-fetches work against
+// the GDN: If-None-Match revalidation answers 304 from a Stat alone,
+// and single byte ranges (a download manager resuming, a client
+// fetching the changed tail of a mostly-unchanged artifact) are served
+// 206 straight from the chunk store — OpBulkRead always took [off, n).
+// Partial bodies cannot be digest-verified end to end; they rest on
+// the chunk layer's per-chunk verification instead.
+func (h *Handler) serveFile(w http.ResponseWriter, r *http.Request, b *binding, filePath string) {
 	fi, err := b.stub.Stat(filePath)
 	if err != nil {
 		h.count(func(s *Stats) { s.VirtualCost += b.stub.TakeCost() })
@@ -487,13 +555,67 @@ func (h *Handler) serveFile(w http.ResponseWriter, b *binding, filePath string) 
 		return
 	}
 
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", fmt.Sprint(fi.Size))
+	etag := fmt.Sprintf(`"%x"`, fi.Digest)
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Accept-Ranges", "bytes")
 	w.Header().Set("X-GDN-Digest", fmt.Sprintf("%x", fi.Digest))
 
-	served, err := b.stub.ReadFileTo(w, filePath)
-	if err != nil {
-		h.cfg.Logf("httpd: stream %s/%s after %d bytes: %v", b.name, filePath, served, err)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		h.count(func(s *Stats) { s.NotModified++; s.VirtualCost += b.stub.TakeCost() })
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+
+	// A Range is honoured only when the client's copy is current: an
+	// If-Range naming another version means its partial copy is of
+	// different content, so it gets the whole file.
+	rangeHdr := r.Header.Get("Range")
+	if ir := r.Header.Get("If-Range"); ir != "" && strings.TrimSpace(ir) != etag {
+		rangeHdr = ""
+	}
+	if rangeHdr != "" {
+		off, n, ok, satisfiable := parseRange(rangeHdr, fi.Size)
+		switch {
+		case !ok:
+			// Syntactically malformed (or multi-range, which this server
+			// does not slice): per RFC 9110 the header is ignored and the
+			// whole file served.
+		case !satisfiable:
+			w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", fi.Size))
+			h.fail(w, http.StatusRequestedRangeNotSatisfiable,
+				fmt.Sprintf("range %q outside %d-byte file", rangeHdr, fi.Size))
+			return
+		default:
+			w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+			w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", off, off+n-1, fi.Size))
+			w.WriteHeader(http.StatusPartialContent)
+			var served int64
+			if r.Method != http.MethodHead {
+				served, err = b.stub.ReadFileRangeTo(w, filePath, off, n)
+				if err != nil {
+					h.cfg.Logf("httpd: stream range %s/%s after %d bytes: %v", b.name, filePath, served, err)
+				}
+			}
+			cost := b.stub.TakeCost()
+			h.count(func(s *Stats) {
+				s.Downloads++
+				s.Ranges++
+				s.BytesServed += served
+				s.VirtualCost += cost
+			})
+			return
+		}
+	}
+
+	w.Header().Set("Content-Length", strconv.FormatInt(fi.Size, 10))
+	var served int64
+	if r.Method != http.MethodHead {
+		served, err = b.stub.ReadFileTo(w, filePath)
+		if err != nil {
+			h.cfg.Logf("httpd: stream %s/%s after %d bytes: %v", b.name, filePath, served, err)
+		}
 	}
 	cost := b.stub.TakeCost()
 	h.count(func(s *Stats) {
@@ -501,4 +623,67 @@ func (h *Handler) serveFile(w http.ResponseWriter, b *binding, filePath string) 
 		s.BytesServed += served
 		s.VirtualCost += cost
 	})
+}
+
+// etagMatch implements the If-None-Match comparison: a comma-separated
+// list of entity tags, or "*" for any. Our tags are strong, but a
+// client echoing one back weakened (W/ prefix) still names the same
+// bytes, so the weak comparison is used.
+func etagMatch(header, etag string) bool {
+	for _, candidate := range strings.Split(header, ",") {
+		candidate = strings.TrimSpace(candidate)
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate != "" && (candidate == "*" || candidate == etag) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseRange interprets a single-range "bytes=" header against a file
+// of the given size, returning the [off, off+n) window. ok reports a
+// syntactically usable single range (multi-range headers and other
+// units report !ok and are ignored by the caller, which RFC 9110
+// permits); satisfiable reports whether it selects at least one byte.
+func parseRange(header string, size int64) (off, n int64, ok, satisfiable bool) {
+	spec, isBytes := strings.CutPrefix(strings.TrimSpace(header), "bytes=")
+	if !isBytes || strings.Contains(spec, ",") {
+		return 0, 0, false, false
+	}
+	first, last, dashed := strings.Cut(strings.TrimSpace(spec), "-")
+	if !dashed {
+		return 0, 0, false, false
+	}
+	if first == "" {
+		// Suffix form "-N": the final N bytes.
+		suffix, err := strconv.ParseInt(last, 10, 64)
+		if err != nil || suffix < 0 {
+			return 0, 0, false, false
+		}
+		if suffix == 0 || size == 0 {
+			return 0, 0, true, false
+		}
+		if suffix > size {
+			suffix = size
+		}
+		return size - suffix, suffix, true, true
+	}
+	start, err := strconv.ParseInt(first, 10, 64)
+	if err != nil || start < 0 {
+		return 0, 0, false, false
+	}
+	end := size - 1 // open form "N-"
+	if last != "" {
+		end, err = strconv.ParseInt(last, 10, 64)
+		if err != nil || end < start {
+			return 0, 0, false, false
+		}
+	}
+	if start >= size {
+		return 0, 0, true, false
+	}
+	if end >= size {
+		end = size - 1
+	}
+	return start, end - start + 1, true, true
 }

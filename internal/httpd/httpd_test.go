@@ -2,6 +2,7 @@ package httpd_test
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"gdn"
+	"gdn/internal/core"
 	"gdn/internal/httpd"
 )
 
@@ -316,5 +318,206 @@ func TestAttributeSearch(t *testing.T) {
 	resp, _ := get(t, ts.URL+"/search")
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("empty query = %d", resp.StatusCode)
+	}
+}
+
+// getWith issues a GET with extra headers.
+func getWith(t *testing.T, url string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestRangeRequests(t *testing.T) {
+	_, h, ts := world(t, "na-ny-cu", gdn.HTTPDConfig{})
+	full := bytes.Repeat([]byte("pixel"), 100_000)
+	url := ts.URL + "/pkg/apps/graphics/gimp/-/src/gimp.tar"
+
+	cases := []struct {
+		name, spec string
+		wantFrom   int64
+		wantTo     int64 // inclusive
+	}{
+		{"middle", "bytes=100000-299999", 100_000, 299_999},
+		{"open-ended", "bytes=499990-", 499_990, 499_999},
+		{"suffix", "bytes=-5", 499_995, 499_999},
+		{"first-byte", "bytes=0-0", 0, 0},
+		{"clamped-end", "bytes=499000-900000", 499_000, 499_999},
+	}
+	for _, tc := range cases {
+		resp, body := getWith(t, url, map[string]string{"Range": tc.spec})
+		if resp.StatusCode != http.StatusPartialContent {
+			t.Fatalf("%s: status %d, want 206", tc.name, resp.StatusCode)
+		}
+		if !bytes.Equal(body, full[tc.wantFrom:tc.wantTo+1]) {
+			t.Fatalf("%s: wrong bytes (%d returned)", tc.name, len(body))
+		}
+		wantCR := fmt.Sprintf("bytes %d-%d/%d", tc.wantFrom, tc.wantTo, len(full))
+		if cr := resp.Header.Get("Content-Range"); cr != wantCR {
+			t.Fatalf("%s: Content-Range %q, want %q", tc.name, cr, wantCR)
+		}
+		if resp.Header.Get("ETag") == "" || resp.Header.Get("Accept-Ranges") != "bytes" {
+			t.Fatalf("%s: range response misses ETag/Accept-Ranges", tc.name)
+		}
+	}
+
+	// Unsatisfiable ranges answer 416 with the star form.
+	for _, spec := range []string{"bytes=500000-", "bytes=-0", "bytes=9999999-10000000"} {
+		resp, _ := getWith(t, url, map[string]string{"Range": spec})
+		if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+			t.Fatalf("%s: status %d, want 416", spec, resp.StatusCode)
+		}
+		if cr := resp.Header.Get("Content-Range"); cr != fmt.Sprintf("bytes */%d", len(full)) {
+			t.Fatalf("%s: Content-Range %q", spec, cr)
+		}
+	}
+
+	// Malformed and multi-range headers are ignored: full 200 body.
+	for _, spec := range []string{"bytes=10-5", "bytes=a-b", "chunks=0-5", "bytes=0-5,10-15"} {
+		resp, body := getWith(t, url, map[string]string{"Range": spec})
+		if resp.StatusCode != http.StatusOK || len(body) != len(full) {
+			t.Fatalf("%s: status %d body %d; want the full file", spec, resp.StatusCode, len(body))
+		}
+	}
+
+	if st := h.Stats(); st.Ranges != int64(len(cases)) {
+		t.Fatalf("stats.Ranges = %d, want %d", st.Ranges, len(cases))
+	}
+}
+
+func TestETagRevalidationAndIfRange(t *testing.T) {
+	_, h, ts := world(t, "na-ny-cu", gdn.HTTPDConfig{})
+	url := ts.URL + "/pkg/apps/graphics/gimp/-/README"
+
+	resp, body := get(t, url)
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("download carries no ETag")
+	}
+	if want := fmt.Sprintf(`"%x"`, sha256.Sum256(body)); etag != want {
+		t.Fatalf("ETag %s is not the content digest %s", etag, want)
+	}
+
+	// If-None-Match with the current tag: 304, nothing streamed.
+	resp, body = getWith(t, url, map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("revalidation = %d with %d body bytes, want bare 304", resp.StatusCode, len(body))
+	}
+	if h.Stats().NotModified != 1 {
+		t.Fatalf("stats.NotModified = %d", h.Stats().NotModified)
+	}
+	// A list containing the tag matches; a stale tag does not.
+	resp, _ = getWith(t, url, map[string]string{"If-None-Match": `"deadbeef", ` + etag})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("list revalidation = %d", resp.StatusCode)
+	}
+	resp, _ = getWith(t, url, map[string]string{"If-None-Match": `"deadbeef"`})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale revalidation = %d, want 200", resp.StatusCode)
+	}
+
+	// If-Range with the current tag honours the range; with a stale tag
+	// the whole (changed) file is served instead of a misaligned slice.
+	resp, part := getWith(t, url, map[string]string{"Range": "bytes=0-3", "If-Range": etag})
+	if resp.StatusCode != http.StatusPartialContent || len(part) != 4 {
+		t.Fatalf("If-Range match: %d with %d bytes", resp.StatusCode, len(part))
+	}
+	resp, part = getWith(t, url, map[string]string{"Range": "bytes=0-3", "If-Range": `"stale"`})
+	if resp.StatusCode != http.StatusOK || len(part) == 4 {
+		t.Fatalf("If-Range mismatch: %d with %d bytes, want the full file", resp.StatusCode, len(part))
+	}
+}
+
+// TestDiskCacheSurvivesRestart reboots a caching HTTPD on the same
+// StateDir and checks the second instance refills from disk, not the
+// network: the whole point of wiring StateDir through httpd.Config.
+func TestDiskCacheSurvivesRestart(t *testing.T) {
+	w, err := gdn.NewWorld(gdn.DefaultTopology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	mod, err := w.Moderator("eu-nl-vu", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := bytes.Repeat([]byte("cache me"), 100_000)
+	if _, _, err := mod.CreatePackage("/apps/tool", gdn.Scenario{
+		Protocol: gdn.ProtocolClientServer,
+		Servers:  w.GOSAddrs("eu-nl-vu"),
+	}, gdn.Package{Files: map[string][]byte{"tool.bin": content}}); err != nil {
+		t.Fatal(err)
+	}
+
+	stateDir := t.TempDir()
+	rt, err := w.UserRuntime("ap-jp-ut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := func(objAddr string) *httpd.Handler {
+		disp, err := core.NewDispatcher(w.Net, "ap-jp-ut", objAddr, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { disp.Close() })
+		h, err := httpd.New(httpd.Config{
+			Runtime:      rt,
+			CacheObjects: true,
+			Disp:         disp,
+			CacheParams:  map[string]string{"ttl": "1h"},
+			StateDir:     stateDir,
+			ScrubEvery:   -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { h.Close() })
+		return h
+	}
+
+	h1 := start("ap-jp-ut:hcache1")
+	ts1 := httptest.NewServer(h1)
+	_, body := get(t, ts1.URL+"/pkg/apps/tool/-/tool.bin")
+	if !bytes.Equal(body, content) {
+		t.Fatal("first download corrupt")
+	}
+	chunksOnDisk := h1.Chunks().Stats().Chunks
+	if chunksOnDisk == 0 {
+		t.Fatal("first download cached nothing")
+	}
+	ts1.Close()
+	h1.Close()
+
+	// Reboot: a fresh handler on the same directory re-indexes the
+	// chunks the first one wrote.
+	h2 := start("ap-jp-ut:hcache2")
+	ts2 := httptest.NewServer(h2)
+	t.Cleanup(ts2.Close)
+	if got := h2.Chunks().Stats().Chunks; got != chunksOnDisk {
+		t.Fatalf("restart recovered %d chunks, want %d", got, chunksOnDisk)
+	}
+	before := h2.Chunks().Stats()
+	_, body = get(t, ts2.URL+"/pkg/apps/tool/-/tool.bin")
+	if !bytes.Equal(body, content) {
+		t.Fatal("post-restart download corrupt")
+	}
+	after := h2.Chunks().Stats()
+	if after.Chunks != before.Chunks || after.Dedup != before.Dedup {
+		t.Fatalf("post-restart refill fetched chunk bodies (%+v -> %+v); disk cache not reused", before, after)
 	}
 }

@@ -172,9 +172,12 @@ func (t *Tool) CreatePackage(name string, scenario core.Scenario, pkg Package) (
 	if err != nil {
 		return ids.Nil, 0, err
 	}
+	// PutChunks negotiates first (OpChunkHave), so re-deploying a
+	// package whose content the server mostly has — a version bump of
+	// a large mostly-unchanged tree — uploads only the new chunks.
 	first := t.gosClient(scenario.Servers[0])
 	defer first.Close()
-	cost, err := first.PutChunks(staged.Store(), refs)
+	_, cost, err := first.PutChunks(staged.Store(), refs)
 	total += cost
 	if err != nil {
 		return ids.Nil, total, fmt.Errorf("modtool: upload content to %s: %w", scenario.Servers[0], err)

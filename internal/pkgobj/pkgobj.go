@@ -43,6 +43,7 @@ const DefaultChunkSize = 256 << 10
 // Method names of the package DSO interface.
 const (
 	MethodAddFile      = "addFile"
+	MethodAddManifest  = "addManifest"
 	MethodAppendFile   = "appendFile"
 	MethodRemoveFile   = "removeFile"
 	MethodListContents = "listContents"
@@ -309,6 +310,15 @@ func (p *Package) Invoke(inv core.Invocation) ([]byte, error) {
 			return nil, err
 		}
 		return nil, p.addFile(path, data, false)
+	case MethodAddManifest:
+		path, f, err := decodeManifest(r)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return nil, p.addManifest(path, f)
 	case MethodAppendFile:
 		path := r.Str()
 		data := r.Bytes32()
@@ -422,6 +432,35 @@ func chunkInto(f *file, st *store.Store, chunkSize int, data []byte) error {
 	return nil
 }
 
+// addManifest installs a file from its manifest alone — the landing
+// half of a negotiated bulk write, where the chunk bodies arrived
+// separately (OpChunkPut) or were already present. Every referenced
+// chunk must be resident or the write fails without touching state.
+// Boundaries must be canonical (chunkInto's invariant: every chunk
+// exactly chunkSize except the tail), so a file written by manifest
+// marshals identically to the same content written by AddFile. Like
+// state installs, the whole-content digest is the authorized writer's
+// claim; readers verify it end to end.
+func (p *Package) addManifest(path string, f *file) error {
+	if !validPath(path) {
+		return fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	for i, c := range f.chunks {
+		if c.Size > int64(p.chunkSize) || (c.Size != int64(p.chunkSize) && i != len(f.chunks)-1) {
+			return fmt.Errorf("pkgobj: manifest for %q has non-canonical chunk boundaries (chunk %d is %d bytes, store chunks at %d)",
+				path, i, c.Size, p.chunkSize)
+		}
+	}
+	if err := p.st.Retain(f.refs()); err != nil {
+		return fmt.Errorf("pkgobj: install manifest %q: %w", path, err)
+	}
+	if old := p.files[path]; old != nil {
+		p.st.Release(old.refs())
+	}
+	p.files[path] = f
+	return nil
+}
+
 // addFile stores data, chunked, into the content store, replacing or
 // extending the manifest at path. An append re-chunks at most the old
 // partial tail chunk, so appending to a huge file costs O(appended
@@ -471,7 +510,7 @@ func (p *Package) addFile(path string, data []byte, appendTo bool) error {
 		merged = append(merged, data...)
 		data = merged
 		dropTail = []store.Ref{tail.Ref}
-		f.chunks = f.chunks[:n-1:n-1]
+		f.chunks = f.chunks[: n-1 : n-1]
 		f.size -= tail.Size
 	}
 	if err := chunkInto(f, p.st, p.chunkSize, data); err != nil {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gdn/internal/core"
+	"gdn/internal/store"
 	"gdn/internal/wire"
 )
 
@@ -69,10 +70,30 @@ func (s *Stub) AddFile(path string, data []byte) error {
 // size.
 const uploadSliceSize = 4 << 20
 
-// UploadFile stores a file of any size, slicing it into bounded
-// AddFile/AppendFile invocations — the moderator-tool upload path.
-// No single protocol message scales with the file.
+// UploadFile stores a file of any size — the moderator-tool upload
+// path. No single protocol message scales with the file. When the
+// replication subobject supports chunk negotiation the transfer is a
+// delta: the remote names the content chunks it lacks, only those
+// bodies cross the wire (as an upload stream), and a manifest write
+// installs the file — so re-deploying a mostly-unchanged file costs
+// its changed chunks, and an unchanged one costs no content bytes at
+// all. Otherwise the content travels in bounded AddFile/AppendFile
+// slices as before.
 func (s *Stub) UploadFile(path string, data []byte) error {
+	// Re-deploy short-circuit: the remote file already holds exactly
+	// this content (size and whole-file digest agree), so there is
+	// nothing to transfer in either shape.
+	if fi, err := s.Stat(path); err == nil && fi.Size == int64(len(data)) && fi.Digest == sha256.Sum256(data) {
+		return nil
+	}
+	if neg, ok := s.lr.Replication().(core.ChunkNegotiator); ok {
+		if err := s.uploadNegotiated(neg, path, data); err == nil {
+			return nil
+		}
+		// Any negotiated-path failure falls back to the content-bearing
+		// slice upload; its error (if the problem persists) is the
+		// authoritative one.
+	}
 	first := data
 	if len(first) > uploadSliceSize {
 		first = first[:uploadSliceSize]
@@ -91,6 +112,67 @@ func (s *Stub) UploadFile(path string, data []byte) error {
 		off = end
 	}
 	return nil
+}
+
+// uploadNegotiated ships data as a negotiated delta: canonical chunk
+// refs, a which-of-these-do-you-have round, missing bodies over an
+// upload stream, then the manifest write.
+func (s *Stub) uploadNegotiated(neg core.ChunkNegotiator, path string, data []byte) error {
+	var chunks []store.Chunk
+	bodies := make(map[store.Ref][]byte)
+	refs := make([]store.Ref, 0, len(data)/DefaultChunkSize+1)
+	for off := 0; off < len(data); {
+		n := DefaultChunkSize
+		if n > len(data)-off {
+			n = len(data) - off
+		}
+		body := data[off : off+n]
+		ref := store.RefOf(body)
+		chunks = append(chunks, store.Chunk{Ref: ref, Size: int64(n)})
+		refs = append(refs, ref)
+		bodies[ref] = body
+		off += n
+	}
+
+	missing, cost, err := neg.MissingChunks(refs)
+	s.addCost(cost)
+	if err != nil {
+		return err
+	}
+	if len(missing) > 0 {
+		push := make([][]byte, 0, len(missing))
+		for _, ref := range missing {
+			body, ok := bodies[ref]
+			if !ok {
+				return fmt.Errorf("pkgobj: negotiation asked for chunk %s we never offered", ref.Short())
+			}
+			push = append(push, body)
+		}
+		cost, err := neg.PushChunks(push)
+		s.addCost(cost)
+		if err != nil {
+			return err
+		}
+	}
+
+	w := wire.NewWriter(64 + len(path) + 40*len(chunks))
+	w.Str(path)
+	w.Int64(int64(len(data)))
+	w.Hash(sha256.Sum256(data))
+	w.Count(len(chunks))
+	for _, c := range chunks {
+		w.Hash(c.Ref)
+		w.Int64(c.Size)
+	}
+	_, err = s.invoke(MethodAddManifest, true, w.Bytes())
+	return err
+}
+
+// addCost accumulates virtual network cost incurred outside invoke.
+func (s *Stub) addCost(d time.Duration) {
+	s.mu.Lock()
+	s.cost += d
+	s.mu.Unlock()
 }
 
 // AppendFile appends to a file, creating it when missing; moderator
@@ -246,6 +328,58 @@ func (s *Stub) ReadFileTo(w io.Writer, path string) (int64, error) {
 	h.Sum(got[:0])
 	if got != fi.Digest {
 		return written, fmt.Errorf("pkgobj: %q digest mismatch: content corrupted in transit or at a replica", path)
+	}
+	return written, nil
+}
+
+// ReadFileRangeTo streams the byte range [off, off+n) of a file into w
+// with chunk-bounded buffering (n < 0 means to end of file) and
+// returns the byte count written. Unlike ReadFileTo there is no
+// whole-file digest to verify — a partial body cannot be checked
+// against the manifest's digest — so integrity rests on the chunk
+// layer: stores verify chunk bytes against their content address on
+// every disk read and network fill. Callers that need end-to-end
+// verification fetch the whole file or check the assembled ranges
+// against the digest themselves (it rides the X-GDN-Digest header on
+// the HTTP path).
+func (s *Stub) ReadFileRangeTo(w io.Writer, path string, off, n int64) (int64, error) {
+	var written int64
+	sink := func(p []byte) error {
+		m, err := w.Write(p)
+		written += int64(m)
+		return err
+	}
+	if br, ok := s.lr.Replication().(core.BulkReader); ok {
+		_, cost, err := br.ReadBulk(path, off, n, sink)
+		s.addCost(cost)
+		return written, err
+	}
+
+	// Fallback: chunk-at-a-time reads through the invocation path.
+	fi, err := s.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	end := fi.Size
+	if n >= 0 && off+n < end {
+		end = off + n
+	}
+	for pos := off; pos < end; {
+		want := end - pos
+		if want > streamChunkSize {
+			want = streamChunkSize
+		}
+		chunk, err := s.GetFileChunk(path, pos, want)
+		if err != nil {
+			return written, err
+		}
+		if len(chunk) == 0 {
+			return written, fmt.Errorf("pkgobj: %q truncated at offset %d", path, pos)
+		}
+		if err := sink(chunk); err != nil {
+			return written, err
+		}
+		pos += int64(len(chunk))
 	}
 	return written, nil
 }

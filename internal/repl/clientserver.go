@@ -6,6 +6,7 @@ import (
 
 	"gdn/internal/core"
 	"gdn/internal/rpc"
+	"gdn/internal/store"
 )
 
 // ClientServerProtocol returns the client/(single) server protocol: one
@@ -123,6 +124,18 @@ func (p *forwardingProxy) Invoke(inv core.Invocation) ([]byte, time.Duration, er
 // representative.
 func (p *forwardingProxy) ReadBulk(path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
 	return streamBulkFrom(p.peer, path, off, n, fn)
+}
+
+// MissingChunks and PushChunks implement core.ChunkNegotiator: writes
+// and negotiation both land on the single forwarded representative, so
+// a chunk it confirms holding is a chunk the manifest write will find.
+func (p *forwardingProxy) MissingChunks(refs []store.Ref) ([]store.Ref, time.Duration, error) {
+	return missingChunksFrom(p.peer, refs)
+}
+
+// PushChunks implements core.ChunkNegotiator.
+func (p *forwardingProxy) PushChunks(chunks [][]byte) (time.Duration, error) {
+	return pushChunksTo(p.peer, chunks)
 }
 
 func (p *forwardingProxy) Close() error { return p.peer.Close() }

@@ -8,6 +8,7 @@ import (
 
 	"gdn/internal/core"
 	"gdn/internal/rpc"
+	"gdn/internal/store"
 )
 
 // MasterSlaveProtocol returns the master/slave protocol: one master
@@ -264,6 +265,11 @@ type msProxy struct {
 
 	readAddrs []string
 	writeAddr string
+	// writeIsMaster records that writeAddr is the master itself.
+	// Negotiated bulk writes are only sound then: probing and feeding a
+	// forwarding slave's store would not help the master execute the
+	// manifest write.
+	writeIsMaster bool
 }
 
 func newMSProxy(env *core.Env) (core.Replication, error) {
@@ -277,6 +283,7 @@ func newMSProxy(env *core.Env) (core.Replication, error) {
 	}
 	if masters := env.PeersWithRole(RoleMaster); len(masters) > 0 {
 		p.writeAddr = masters[0].Address
+		p.writeIsMaster = true
 		if len(p.readAddrs) == 0 {
 			p.readAddrs = []string{p.writeAddr}
 		}
@@ -317,6 +324,30 @@ func (p *msProxy) ReadBulk(path string, off, n int64, fn func([]byte) error) (co
 	addr := p.readAddrs[p.rnd.Intn(len(p.readAddrs))]
 	p.mu.Unlock()
 	return streamBulkFrom(p.peer(addr), path, off, n, fn)
+}
+
+// errNoMasterContact declines negotiation when writes reach the master
+// only through a forwarding slave; uploaders fall back to writes that
+// carry their content bytes.
+var errNoMasterContact = fmt.Errorf("repl: %s proxy has no master contact address; negotiated writes unavailable", MasterSlave)
+
+// MissingChunks and PushChunks implement core.ChunkNegotiator against
+// the master — the replica that will execute the manifest write is the
+// one whose store is probed and fed, and the protocol's state pushes
+// carry the new chunks onward to the slaves by delta sync.
+func (p *msProxy) MissingChunks(refs []store.Ref) ([]store.Ref, time.Duration, error) {
+	if !p.writeIsMaster {
+		return nil, 0, errNoMasterContact
+	}
+	return missingChunksFrom(p.peer(p.writeAddr), refs)
+}
+
+// PushChunks implements core.ChunkNegotiator.
+func (p *msProxy) PushChunks(chunks [][]byte) (time.Duration, error) {
+	if !p.writeIsMaster {
+		return 0, errNoMasterContact
+	}
+	return pushChunksTo(p.peer(p.writeAddr), chunks)
 }
 
 func (p *msProxy) Close() error {

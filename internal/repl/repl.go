@@ -218,6 +218,12 @@ func (rb *replicaBase) handleCommon(call *rpc.Call) (handled bool, resp []byte, 
 	case core.OpChunkGet:
 		resp, err = rb.handleChunkGet(call)
 		return true, resp, err
+	case core.OpChunkHave:
+		resp, err = rb.handleChunkHave(call)
+		return true, resp, err
+	case core.OpChunkPut:
+		resp, err = rb.handleChunkPut(call)
+		return true, resp, err
 	case core.OpBulkRead:
 		resp, err = rb.handleBulkRead(call)
 		return true, resp, err
@@ -288,6 +294,96 @@ func (rb *replicaBase) handleChunkGet(call *rpc.Call) ([]byte, error) {
 		return nil, err
 	}
 	return w.Bytes(), nil
+}
+
+// handleChunkHave answers the which-of-these-do-you-have negotiation:
+// refs in, the subset the local store lacks out. Like OpStateGet it
+// serves without write authorization — it reveals only which content
+// addresses are present, which OpChunkGet already serves by content.
+func (rb *replicaBase) handleChunkHave(call *rpc.Call) ([]byte, error) {
+	if rb.env.Store == nil {
+		return nil, fmt.Errorf("repl: %s has no chunk store", rb.env.OID.Short())
+	}
+	refs, err := core.DecodeRefs(call.Body, core.ChunkHaveMaxRefs)
+	if err != nil {
+		return nil, err
+	}
+	return core.EncodeRefs(rb.env.Store.Missing(refs)), nil
+}
+
+// handleChunkPut stores uploaded chunk bodies — the supply side of a
+// negotiated bulk write. Every chunk is verified against its content
+// address (Put hashes the bytes), so a hostile writer cannot plant
+// content under a foreign name; what it can do is limited to what
+// AddFile already allows an authorized writer. The call is normally an
+// upload stream (one chunk per frame); a unary body carrying a counted
+// batch is accepted too.
+func (rb *replicaBase) handleChunkPut(call *rpc.Call) ([]byte, error) {
+	if err := authorizeWrite(rb.env, call); err != nil {
+		return nil, err
+	}
+	if rb.env.Store == nil {
+		return nil, fmt.Errorf("repl: %s has no chunk store", rb.env.OID.Short())
+	}
+	if ur := call.Upload(); ur != nil {
+		for {
+			data, err := ur.Recv()
+			if err == io.EOF {
+				return nil, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			if _, err := rb.env.Store.Put(data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	r := wire.NewReader(call.Body)
+	n := r.Count()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		data := r.Bytes32()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if _, err := rb.env.Store.Put(data); err != nil {
+			return nil, err
+		}
+	}
+	return nil, r.Done()
+}
+
+// missingChunksFrom runs the OpChunkHave negotiation against a remote
+// representative in bounded batches.
+func missingChunksFrom(pc *core.PeerClient, refs []store.Ref) ([]store.Ref, time.Duration, error) {
+	return core.MissingChunksVia(func(body []byte) ([]byte, time.Duration, error) {
+		return pc.Call(core.OpChunkHave, body)
+	}, refs)
+}
+
+// pushChunksTo ships chunk bodies to a remote representative over an
+// OpChunkPut upload stream, one chunk per frame — peak buffering stays
+// O(chunk) at both ends no matter how much content moves.
+func pushChunksTo(pc *core.PeerClient, chunks [][]byte) (time.Duration, error) {
+	if len(chunks) == 0 {
+		return 0, nil
+	}
+	us, err := pc.CallUpload(core.OpChunkPut, nil)
+	if err != nil {
+		return 0, err
+	}
+	for _, data := range chunks {
+		if err := us.Send(data); err != nil {
+			// The server already answered (an error, or teardown); the
+			// receive below returns the authoritative result.
+			break
+		}
+	}
+	_, cost, err := us.CloseAndRecv()
+	return cost, err
 }
 
 // fillChunks makes every chunk a marshalled state references present

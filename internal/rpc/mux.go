@@ -180,6 +180,20 @@ func (c *Client) CallStream(op uint16, body []byte) (*Stream, error) {
 	return mc.callStream(op, body, c.Timeout)
 }
 
+// CallUpload opens one request whose body arrives at the server as a
+// stream of data frames — the bulk-transfer call shape in the
+// deploying direction. header is delivered as the handler's request
+// body; the handler's return value answers CloseAndRecv. The client's
+// Timeout acts per credit grant (an idle limit), so arbitrarily large
+// uploads survive as long as the server keeps consuming.
+func (c *Client) CallUpload(op uint16, header []byte) (*UploadStream, error) {
+	mc, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	return mc.callUpload(op, header, c.Timeout)
+}
+
 // callResult is what the demux goroutine (or the deadline sweeper, or a
 // connection-failure broadcast) hands back to a waiting caller.
 type callResult struct {
@@ -194,7 +208,8 @@ type pendingCall struct {
 	timeout  time.Duration
 	deadline time.Time       // zero when the call has no timeout
 	done     chan callResult // buffered; exactly one result is ever sent
-	stream   *Stream         // non-nil for streaming calls
+	stream   *Stream         // non-nil for streaming (download) calls
+	upload   *UploadStream   // non-nil for upload calls
 }
 
 // muxConn is one shared connection carrying many in-flight calls. A
@@ -235,6 +250,13 @@ func (m *muxConn) register(pc *pendingCall, op uint16, body []byte) (uint64, err
 		// hang or condemn the shared connection. Fail loudly instead.
 		return 0, fmt.Errorf("rpc: op %#x is reserved for the protocol", op)
 	}
+	return m.registerFrame(pc, op, body)
+}
+
+// registerFrame is register without the reserved-op guard: upload
+// opens legitimately carry a reserved frame op (the real op rides the
+// envelope body).
+func (m *muxConn) registerFrame(pc *pendingCall, op uint16, body []byte) (uint64, error) {
 	m.mu.Lock()
 	if m.dead.Load() {
 		err := m.deadErr
@@ -294,6 +316,39 @@ func (m *muxConn) callStream(op uint16, body []byte, timeout time.Duration) (*St
 	}
 	st.id = id
 	return st, nil
+}
+
+// callUpload opens an upload call. The returned UploadStream carries
+// data frames to the handler; its timeout acts per credit grant (an
+// idle limit), not on the whole transfer.
+func (m *muxConn) callUpload(op uint16, header []byte, timeout time.Duration) (*UploadStream, error) {
+	if op >= opReserved {
+		return nil, fmt.Errorf("rpc: op %#x is reserved for the protocol", op)
+	}
+	us := &UploadStream{mc: m, credits: streamWindow}
+	us.cond = sync.NewCond(&us.mu)
+	pc := &pendingCall{op: op, timeout: timeout, done: make(chan callResult, 1), upload: us}
+	us.pc = pc
+	id, err := m.registerFrame(pc, opUploadOpen, encodeUploadOpen(op, header))
+	if err != nil {
+		return nil, err
+	}
+	us.id = id
+	return us, nil
+}
+
+// withdraw removes one pending call, reporting whether this caller
+// owned it (false when a failure broadcast or completion already took
+// it, and the result channel is or will be filled by that owner).
+func (m *muxConn) withdraw(id uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.pending[id]; !ok {
+		return false
+	}
+	delete(m.pending, id)
+	m.inflight.Add(-1)
+	return true
 }
 
 // sendCredit grants the server n more data frames for a stream.
@@ -365,6 +420,28 @@ func (m *muxConn) recvLoop() {
 			return
 		}
 
+		if status == statusCredit {
+			// Upload flow control: more data frames granted. Progress
+			// refreshes the idle deadline like stream data frames do.
+			m.mu.Lock()
+			pc := m.pending[id]
+			if pc != nil && pc.upload != nil && pc.timeout > 0 {
+				pc.deadline = time.Now().Add(pc.timeout)
+				m.armSweepLocked(pc.deadline)
+			}
+			m.mu.Unlock()
+			if pc != nil && pc.upload != nil {
+				n, err := decodeAck(body)
+				if err != nil {
+					m.fail(fmt.Errorf("rpc: malformed credit from %s: %w", m.addr, err))
+					return
+				}
+				pc.upload.addCredit(n)
+			}
+			transport.PutFrame(frame)
+			continue
+		}
+
 		if status == statusStream {
 			m.mu.Lock()
 			pc := m.pending[id]
@@ -414,6 +491,17 @@ func (m *muxConn) recvLoop() {
 			// The trailer's bytes escape to the stream consumer, so its
 			// frame is not recycled.
 			pc.stream.deliver(streamEvent{final: true, resp: body, cost: frameCost + cost, err: rerr})
+		case pc.upload != nil:
+			// The server answered the upload (the handler returned,
+			// possibly before the client finished sending): unblock a
+			// parked Send and hand CloseAndRecv the result.
+			var resp []byte
+			if len(body) > 0 {
+				resp = make([]byte, len(body))
+				copy(resp, body)
+			}
+			transport.PutFrame(frame)
+			pc.upload.finish(callResult{resp: resp, cost: frameCost + cost, err: rerr})
 		default:
 			// The response body escapes to the caller; hand it a
 			// right-sized copy so the (size-classed, typically larger)
@@ -460,6 +548,10 @@ func deliverFailure(pc *pendingCall, err error) {
 	if pc.stream != nil {
 		pc.stream.deliver(streamEvent{final: true, err: err})
 		return
+	}
+	if pc.upload != nil {
+		// Wake a Send parked on credit before completing the call.
+		pc.upload.abort(err)
 	}
 	pc.done <- callResult{err: err}
 }
@@ -537,10 +629,11 @@ func (m *muxConn) sweep() {
 	m.mu.Unlock()
 	for _, e := range expired {
 		deliverFailure(e.pc, fmt.Errorf("rpc: call to %s op %d timed out after %v", m.addr, e.pc.op, e.pc.timeout))
-		if e.pc.stream != nil && !m.dead.Load() {
+		if (e.pc.stream != nil || e.pc.upload != nil) && !m.dead.Load() {
 			// The server side of a timed-out stream is still parked
-			// waiting for credit; release it, or its handler goroutine
-			// would be leaked for the life of the connection.
+			// waiting for credit (or for upload data frames); release
+			// it, or its handler goroutine would be leaked for the life
+			// of the connection.
 			m.sendCancelFrame(e.id)
 		}
 	}

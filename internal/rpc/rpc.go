@@ -83,6 +83,10 @@ type Call struct {
 	// response into the streaming shape; nil for calls constructed
 	// outside a served connection.
 	openStream func() (*StreamWriter, error)
+
+	// upload carries the client's data frames when the call was opened
+	// as an upload stream; nil for unary calls.
+	upload *UploadReader
 }
 
 // OpenStream switches this call's response into the streaming shape:
@@ -95,6 +99,12 @@ func (c *Call) OpenStream() (*StreamWriter, error) {
 	}
 	return c.openStream()
 }
+
+// Upload returns the reader for the client's data frames when this
+// call was opened as an upload stream (Client.CallUpload), nil for a
+// unary call. Handlers that accept both shapes probe it and fall back
+// to decoding the request body.
+func (c *Call) Upload() *UploadReader { return c.upload }
 
 // Charge adds the virtual cost of a nested call made while serving this
 // request; it is reflected back to the caller in the response. Each
@@ -252,6 +262,10 @@ func (s *Server) serveConn(raw transport.Conn) {
 	// handler stays blocked on flow-control credit.
 	streams := newStreamTable(sender)
 	defer streams.closeAll(transport.ErrClosed)
+	// Inbound upload streams; torn down with the connection so no
+	// handler stays parked in Recv.
+	uploads := newUploadTable(sender)
+	defer uploads.closeAll(transport.ErrClosed)
 	// Requests are dispatched to a lazily grown per-connection worker
 	// pool: steady pipelined traffic reuses parked goroutines instead of
 	// spawning one per request. The hand-off channel is unbuffered, so a
@@ -272,8 +286,10 @@ func (s *Server) serveConn(raw transport.Conn) {
 			return
 		}
 		if call.Op >= opReserved {
-			// Stream flow-control frames are consumed by the RPC layer
-			// itself, never dispatched.
+			// Stream flow-control and upload frames are consumed by the
+			// RPC layer itself, never dispatched — except opUploadOpen,
+			// which unwraps into an ordinary dispatch with a reader
+			// attached.
 			switch call.Op {
 			case opStreamAck:
 				n, err := decodeAck(call.Body)
@@ -283,13 +299,48 @@ func (s *Server) serveConn(raw transport.Conn) {
 				}
 				streams.ack(id, n)
 			case opStreamCancel:
+				// A request ID names at most one stream direction; tell
+				// both tables and let the other shrug.
 				streams.cancel(id)
+				uploads.cancel(id)
+			case opUploadOpen:
+				innerOp, header, err := decodeUploadOpen(call.Body)
+				if err != nil {
+					s.logf("rpc: malformed upload open from %s: %v", conn.RemoteAddr(), err)
+					return
+				}
+				if innerOp >= opReserved {
+					sender.enqueue(encodeResponse(id, nil, fmt.Errorf("rpc: op %#x is reserved for the protocol", innerOp), frameCost))
+					break
+				}
+				ur, err := uploads.open(id)
+				if err != nil {
+					// Over the upload cap (or racing teardown): answer the
+					// call with the error instead of wedging the uploader.
+					sender.enqueue(encodeResponse(id, nil, err, frameCost))
+					break
+				}
+				call.Op = innerOp
+				call.Body = header
+				call.upload = ur
+				goto dispatch
+			case opUploadData:
+				if ok, overrun := uploads.deliver(id, uploadEvent{data: call.Body, frame: frame, cost: frameCost}); ok {
+					continue // the reader owns the frame now
+				} else if overrun {
+					s.logf("rpc: %s overran the upload window", conn.RemoteAddr())
+					return
+				}
+				// No reader (handler already answered); drop the frame.
+			case opUploadEnd:
+				uploads.deliver(id, uploadEvent{final: true, cost: frameCost}) //nolint:errcheck // late end frames are harmless
 			default:
 				s.logf("rpc: unknown reserved op %d from %s", call.Op, conn.RemoteAddr())
 			}
 			transport.PutFrame(frame)
 			continue
 		}
+	dispatch:
 		call.Peer = peer
 		call.RemoteAddr = conn.RemoteAddr()
 		call.openStream = func() (*StreamWriter, error) { return streams.open(id) }
@@ -299,7 +350,7 @@ func (s *Server) serveConn(raw transport.Conn) {
 		default:
 			if workers < maxConnRequests {
 				workers++
-				go s.connWorker(sender, streams, reqs)
+				go s.connWorker(sender, streams, uploads, reqs)
 			}
 			reqs <- r
 		}
@@ -313,15 +364,24 @@ type serverRequest struct {
 	frame     []byte
 }
 
-func (s *Server) connWorker(sender *connSender, streams *streamTable, reqs <-chan serverRequest) {
+func (s *Server) connWorker(sender *connSender, streams *streamTable, uploads *uploadTable, reqs <-chan serverRequest) {
 	for r := range reqs {
-		s.handleRequest(sender, streams, r)
+		s.handleRequest(sender, streams, uploads, r)
 	}
 }
 
-func (s *Server) handleRequest(sender *connSender, streams *streamTable, r serverRequest) {
+func (s *Server) handleRequest(sender *connSender, streams *streamTable, uploads *uploadTable, r serverRequest) {
 	id, call := r.id, r.call
 	body, herr := s.safeHandle(call)
+	if call.upload != nil {
+		// The handler is done with the upload: withdraw the reader so
+		// late data frames are dropped, recycle anything it never
+		// consumed, and fold the data frames' virtual cost into the
+		// response like any nested charge.
+		if ur := uploads.take(id); ur != nil {
+			call.Charge(ur.drain())
+		}
+	}
 	w := encodeResponse(id, body, herr, r.frameCost+call.Cost())
 	if err := w.Err(); err != nil {
 		// The response body itself cannot be encoded (e.g. over the wire
@@ -414,7 +474,7 @@ func decodeResponse(frame []byte) (id uint64, status uint8, body []byte, cost ti
 		return 0, 0, nil, 0, nil, derr
 	}
 	switch status {
-	case statusOK, statusStream:
+	case statusOK, statusStream, statusCredit:
 		return id, status, body, cost, nil, nil
 	case statusErr:
 		return id, status, nil, cost, &RemoteError{Msg: msg}, nil

@@ -35,18 +35,23 @@ import (
 
 // Reserved operation codes, carried in request frames but consumed by
 // the RPC layer itself. Services must not register handlers for ops
-// at or above opReserved.
+// at or above opReserved. (The upload-stream codes opUploadOpen/Data/
+// End live in upload.go; opStreamCancel is shared by both stream
+// directions — a request ID is only ever one kind of stream.)
 const (
 	opReserved     uint16 = 0xFF00
 	opStreamAck    uint16 = 0xFFFF
 	opStreamCancel uint16 = 0xFFFE
 )
 
-// Response status codes.
+// Response status codes. statusCredit frames carry upload flow-control
+// grants (upload.go); like statusStream frames they never complete the
+// call.
 const (
 	statusOK     uint8 = 0
 	statusErr    uint8 = 1
 	statusStream uint8 = 2
+	statusCredit uint8 = 3
 )
 
 // streamWindow is the number of data frames a server may have

@@ -1,0 +1,400 @@
+package rpc
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gdn/internal/transport"
+	"gdn/internal/wire"
+)
+
+// Upload streams: the client-to-server mirror of the response stream
+// shape, so a bulk transfer INTO a server (a moderator deploying a
+// package's chunks) flows as a sequence of bounded frames instead of
+// unary batches, with the same properties the download path already
+// has — peak buffering O(frame), per-stream flow control, and a slow
+// consumer stalling only its own stream.
+//
+// Wire shape. The client opens an upload with a reserved-op request
+// frame (opUploadOpen) whose body wraps the real operation code and a
+// header body; the server dispatches it to the op's handler like any
+// request, with an UploadReader attached to the Call. Data travels as
+// further request frames under the same request ID (opUploadData, the
+// body is the payload), terminated by one opUploadEnd frame. The
+// handler's return value answers the call as an ordinary unary
+// response — the upload's trailer, in the opposite direction of the
+// download stream's.
+//
+// Flow control. The client may have streamWindow data frames
+// outstanding; the server grants more as the handler consumes them,
+// with a statusCredit response frame carrying the consumed count. A
+// handler that stops reading therefore stalls its own uploader — not
+// the connection — and per-upload buffering is bounded by the window.
+// Either side can abandon the transfer: the client with the shared
+// opStreamCancel frame, the server by returning from the handler
+// early (the response completes the call and fails further Sends).
+
+// Reserved upload operation codes; see stream.go for the registry.
+const (
+	opUploadOpen uint16 = 0xFFFD
+	opUploadData uint16 = 0xFFFC
+	opUploadEnd  uint16 = 0xFFFB
+)
+
+// maxConnUploads bounds concurrently open upload calls per connection.
+// An upload handler parks its worker in Recv awaiting data frames that
+// only the connection's read loop can deliver; together with
+// maxConnStreams (half the worker pool) this cap keeps a quarter of
+// the pool free, so the read loop always has a worker to hand the next
+// request to and can keep draining the frames that unpark the rest.
+const maxConnUploads = maxConnRequests / 4
+
+// ErrTooManyUploads rejects opening an upload beyond the
+// per-connection cap; it reaches the caller as a remote error.
+var ErrTooManyUploads = errors.New("rpc: too many concurrent uploads on this connection")
+
+// errUploadFinished fails Send after the server already answered the
+// call — the handler stopped reading, deliberately or with an error;
+// CloseAndRecv returns the authoritative result.
+var errUploadFinished = errors.New("rpc: server closed the upload; result available")
+
+// encodeUploadOpen wraps an operation and its header body into an
+// opUploadOpen envelope.
+func encodeUploadOpen(op uint16, header []byte) []byte {
+	w := wire.NewWriter(8 + len(header))
+	w.Uint16(op)
+	w.Bytes32(header)
+	return w.Bytes()
+}
+
+// decodeUploadOpen reverses encodeUploadOpen. The header aliases body.
+func decodeUploadOpen(body []byte) (op uint16, header []byte, err error) {
+	r := wire.NewReader(body)
+	op = r.Uint16()
+	header = r.Bytes32()
+	if err := r.Done(); err != nil {
+		return 0, nil, err
+	}
+	return op, header, nil
+}
+
+// encodeCreditFrame builds a statusCredit response frame granting n
+// more data frames for one upload.
+func encodeCreditFrame(id uint64, n uint32) *wire.Writer {
+	ack := encodeAckBody(n)
+	w := wire.GetWriter(28)
+	w.Uint64(id)
+	w.Uint8(statusCredit)
+	w.Str("")
+	w.Int64(0)
+	w.Bytes32(ack[:])
+	return w
+}
+
+// --- server side ------------------------------------------------------
+
+// uploadEvent is one delivery from the connection read loop to an
+// upload handler: a data frame, the end marker, or a failure.
+type uploadEvent struct {
+	data  []byte // payload (aliases frame)
+	frame []byte // backing receive buffer, recycled after consumption
+	cost  time.Duration
+	final bool
+	err   error
+}
+
+// uploadTable tracks the open upload readers of one server connection.
+type uploadTable struct {
+	sender *connSender
+
+	// n mirrors len(m) so the per-request cleanup probe on the unary
+	// hot path is one atomic load, not a mutex acquisition.
+	n atomic.Int32
+
+	mu     sync.Mutex
+	m      map[uint64]*UploadReader
+	closed bool
+}
+
+func newUploadTable(sender *connSender) *uploadTable {
+	return &uploadTable{sender: sender, m: make(map[uint64]*UploadReader)}
+}
+
+// open registers an upload for one request ID.
+func (t *uploadTable) open(id uint64) (*UploadReader, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, transport.ErrClosed
+	}
+	if len(t.m) >= maxConnUploads {
+		return nil, ErrTooManyUploads
+	}
+	ur := &UploadReader{
+		table:  t,
+		id:     id,
+		events: make(chan uploadEvent, streamWindow+2),
+	}
+	t.m[id] = ur
+	t.n.Store(int32(len(t.m)))
+	return ur, nil
+}
+
+// deliver routes one event to an upload's reader. The channel send
+// happens under the table lock, so once take has removed the reader no
+// further events can race its drain. It reports false when the event
+// had a reader but its buffer was full — a peer overrunning the
+// flow-control window. Events for unknown IDs (the handler already
+// finished) are dropped with ok=true; the caller recycles the frame.
+func (t *uploadTable) deliver(id uint64, ev uploadEvent) (accepted, overrun bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ur := t.m[id]
+	if ur == nil {
+		return false, false
+	}
+	select {
+	case ur.events <- ev:
+		return true, false
+	default:
+		return false, true
+	}
+}
+
+// take removes an upload when its handler completes, returning it (nil
+// if the call was not an upload).
+func (t *uploadTable) take(id uint64) *UploadReader {
+	if t.n.Load() == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ur := t.m[id]
+	delete(t.m, id)
+	t.n.Store(int32(len(t.m)))
+	return ur
+}
+
+// cancel aborts an upload on the client's request.
+func (t *uploadTable) cancel(id uint64) {
+	t.mu.Lock()
+	ur := t.m[id]
+	t.mu.Unlock()
+	if ur != nil {
+		ur.abort(ErrStreamCanceled)
+	}
+}
+
+// closeAll aborts every upload when the connection dies, so no handler
+// stays parked waiting for data frames that can never arrive.
+func (t *uploadTable) closeAll(err error) {
+	t.mu.Lock()
+	t.closed = true
+	readers := make([]*UploadReader, 0, len(t.m))
+	for _, ur := range t.m {
+		readers = append(readers, ur)
+	}
+	t.m = make(map[uint64]*UploadReader)
+	t.n.Store(0)
+	t.mu.Unlock()
+	for _, ur := range readers {
+		ur.abort(err)
+	}
+}
+
+// UploadReader is the server half of an upload: the handler receives
+// the client's data frames through it, then returns normally; the
+// return value answers the call. Exactly one goroutine (the handler)
+// may call Recv.
+type UploadReader struct {
+	table  *uploadTable
+	id     uint64
+	events chan uploadEvent
+
+	aborted atomic.Bool // one abort event is ever delivered
+
+	// Handler-goroutine state; no lock needed.
+	consumed int
+	cost     time.Duration
+	prev     []byte
+	done     bool
+}
+
+// Recv returns the next data frame's payload. It returns io.EOF once
+// the client finished the upload. The returned slice is valid only
+// until the next Recv call — the buffer is recycled. Consuming frames
+// grants the client more flow-control credit.
+func (u *UploadReader) Recv() ([]byte, error) {
+	if u.prev != nil {
+		transport.PutFrame(u.prev)
+		u.prev = nil
+	}
+	if u.done {
+		return nil, io.EOF
+	}
+	ev := <-u.events
+	u.cost += ev.cost
+	if ev.err != nil {
+		u.done = true
+		return nil, ev.err
+	}
+	if ev.final {
+		u.done = true
+		return nil, io.EOF
+	}
+	u.consumed++
+	if u.consumed >= streamWindow/2 {
+		u.table.sender.enqueue(encodeCreditFrame(u.id, uint32(u.consumed)))
+		u.consumed = 0
+	}
+	u.prev = ev.frame
+	return ev.data, nil
+}
+
+// abort fails the upload; Recv returns err from then on. The event
+// channel's capacity covers the window plus the end marker plus this
+// one failure event, so the non-blocking send cannot drop it unless
+// the peer overran its window (which condemns the connection anyway).
+func (u *UploadReader) abort(err error) {
+	if u.aborted.Swap(true) {
+		return
+	}
+	select {
+	case u.events <- uploadEvent{err: err}:
+	default:
+	}
+}
+
+// drain recycles buffered frames after the handler finished without
+// consuming the whole upload, and returns the cost of everything the
+// handler never saw so the response still accounts the full call tree.
+func (u *UploadReader) drain() time.Duration {
+	if u.prev != nil {
+		transport.PutFrame(u.prev)
+		u.prev = nil
+	}
+	cost := u.cost
+	u.cost = 0
+	for {
+		select {
+		case ev := <-u.events:
+			cost += ev.cost
+			if ev.frame != nil {
+				transport.PutFrame(ev.frame)
+			}
+		default:
+			return cost
+		}
+	}
+}
+
+// --- client side ------------------------------------------------------
+
+// UploadStream is the client half of an upload call. Exactly one
+// goroutine may drive it: Send any number of times, then CloseAndRecv
+// (or Cancel).
+type UploadStream struct {
+	mc *muxConn
+	id uint64
+	pc *pendingCall
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	credits int
+	err     error
+	ended   bool
+}
+
+// Send transmits one data frame, blocking while the flow-control
+// window is exhausted. It fails once the server answered the call, the
+// upload was canceled, or the connection died; CloseAndRecv then
+// returns the authoritative result.
+func (u *UploadStream) Send(p []byte) error {
+	u.mu.Lock()
+	for u.credits == 0 && u.err == nil {
+		u.cond.Wait()
+	}
+	if u.err != nil {
+		err := u.err
+		u.mu.Unlock()
+		return err
+	}
+	u.credits--
+	u.mu.Unlock()
+
+	w := encodeRequest(u.id, opUploadData, p)
+	if err := w.Err(); err != nil {
+		w.Free()
+		return err
+	}
+	u.mc.sender.enqueue(w)
+	return nil
+}
+
+// addCredit grants more data frames; the demux goroutine calls it for
+// each statusCredit frame.
+func (u *UploadStream) addCredit(n uint32) {
+	u.mu.Lock()
+	u.credits += int(n)
+	u.mu.Unlock()
+	u.cond.Broadcast()
+}
+
+// abort fails future Sends and wakes a blocked one.
+func (u *UploadStream) abort(err error) {
+	u.mu.Lock()
+	if u.err == nil {
+		u.err = err
+	}
+	u.mu.Unlock()
+	u.cond.Broadcast()
+}
+
+// finish records the server's answer: it unblocks Send with a
+// sentinel and completes the pending call for CloseAndRecv.
+func (u *UploadStream) finish(r callResult) {
+	if r.err != nil {
+		u.abort(r.err)
+	} else {
+		u.abort(errUploadFinished)
+	}
+	u.pc.done <- r
+}
+
+// CloseAndRecv marks the upload complete and waits for the server's
+// response — the handler's return value, exactly as a unary call
+// would deliver it.
+func (u *UploadStream) CloseAndRecv() ([]byte, time.Duration, error) {
+	u.mu.Lock()
+	alreadyEnded, failed := u.ended, u.err != nil
+	u.ended = true
+	u.mu.Unlock()
+	if !alreadyEnded && !failed {
+		w := encodeRequest(u.id, opUploadEnd, nil)
+		u.mc.sender.enqueue(w)
+	}
+	r := <-u.pc.done
+	return r.resp, r.cost, r.err
+}
+
+// Cancel abandons the upload: the pending call is withdrawn, the
+// server's handler is told to stop reading, and a later CloseAndRecv
+// reports the cancellation. Canceling a completed call is a no-op.
+func (u *UploadStream) Cancel() {
+	u.mu.Lock()
+	if u.ended {
+		u.mu.Unlock()
+		return
+	}
+	u.ended = true
+	u.mu.Unlock()
+
+	if u.mc.withdraw(u.id) {
+		u.abort(ErrStreamCanceled)
+		u.mc.sendCancelFrame(u.id)
+		u.pc.done <- callResult{err: ErrStreamCanceled}
+	}
+}

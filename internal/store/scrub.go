@@ -1,0 +1,200 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Background scrubbing: disk chunks are written once and read rarely,
+// which is exactly the access pattern under which silent media
+// corruption goes unnoticed until a client's end-to-end digest check
+// fails mid-download. The scrubber re-reads resident chunks at a
+// bounded rate and verifies each against its content address — the
+// address is self-certifying, so no separate checksum database is
+// needed. A corrupt chunk is quarantined: its bytes move to
+// <dir>/quarantine/ for post-mortem and the ref starts answering
+// ErrMissing, so the next state transfer or cache fill that touches it
+// fetches a fresh verified copy from a peer and heals the entry
+// in place (the reference count of live manifests is preserved across
+// the round trip).
+
+// quarantineDir is the subdirectory corrupt chunk files are moved to.
+// Its name is deliberately not two hex digits, so the recovery index
+// never mistakes it for a fanout directory.
+const quarantineDir = "quarantine"
+
+// ScrubResult reports one scrubbing pass.
+type ScrubResult struct {
+	// Chunks and Bytes are how much content this pass verified.
+	Chunks int
+	Bytes  int64
+	// Quarantined lists the refs found corrupt and moved aside.
+	Quarantined []Ref
+	// Wrapped reports that the pass reached the end of the ref space
+	// and the next pass restarts from the beginning.
+	Wrapped bool
+}
+
+// Scrub verifies up to limit bytes of disk-resident chunks against
+// their content addresses, resuming where the previous pass stopped
+// (refs are walked in ascending order, so bounded passes cover the
+// whole store over time). limit <= 0 verifies everything resident.
+// Corrupt chunks are quarantined. Memory-backed stores have nothing to
+// scrub: their bytes were verified on Put and cannot rot.
+func (s *Store) Scrub(limit int64) ScrubResult {
+	var res ScrubResult
+	if s.dir == "" {
+		return res
+	}
+
+	s.mu.Lock()
+	refs := make([]Ref, 0, len(s.chunks))
+	for ref, e := range s.chunks {
+		if !e.gone {
+			refs = append(refs, ref)
+		}
+	}
+	start := s.cursor
+	started := s.scrubbed
+	s.mu.Unlock()
+
+	sort.Slice(refs, func(i, j int) bool {
+		return bytes.Compare(refs[i][:], refs[j][:]) < 0
+	})
+	// Resume strictly after the cursor; a fresh store starts at the
+	// lowest ref.
+	pos := 0
+	if started {
+		pos = sort.Search(len(refs), func(i int) bool {
+			return bytes.Compare(refs[i][:], start[:]) > 0
+		})
+	}
+
+	// Visit each resident ref at most once, starting at the cursor and
+	// wrapping to the low end of the ref space.
+	for n := 0; n < len(refs); n++ {
+		if limit > 0 && res.Bytes >= limit {
+			break
+		}
+		idx := (pos + n) % len(refs)
+		if idx == len(refs)-1 {
+			// Reached the top of the ref space: the next pass restarts
+			// from the bottom.
+			res.Wrapped = true
+		}
+		ref := refs[idx]
+		size, corrupt := s.verifyDisk(ref)
+		res.Chunks++
+		res.Bytes += size
+		if corrupt && s.quarantine(ref) {
+			res.Quarantined = append(res.Quarantined, ref)
+		}
+		s.mu.Lock()
+		s.cursor = ref
+		s.scrubbed = true
+		s.stats.Scrubbed += size
+		s.mu.Unlock()
+	}
+	return res
+}
+
+// verifyDisk re-reads one chunk file and checks it hashes to its name.
+// A file that vanished is not corruption: eviction or Release raced
+// the scrub.
+func (s *Store) verifyDisk(ref Ref) (size int64, corrupt bool) {
+	data, err := os.ReadFile(s.path(ref))
+	if err != nil {
+		return 0, false
+	}
+	return int64(len(data)), RefOf(data) != ref
+}
+
+// quarantine moves one corrupt chunk aside and marks its entry gone.
+// Unreferenced chunks are simply dropped (nothing will miss them);
+// referenced ones keep a placeholder entry so the pins of live
+// manifests survive until a verified Put heals the ref. It reports
+// whether the chunk was still resident.
+func (s *Store) quarantine(ref Ref) bool {
+	dst := filepath.Join(s.dir, quarantineDir, ref.String())
+	if err := os.MkdirAll(filepath.Dir(dst), 0o700); err == nil {
+		// Best effort: if the rename fails the file is deleted below via
+		// dropLocked, losing the post-mortem copy but never the safety.
+		os.Rename(s.path(ref), dst) //nolint:errcheck
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.chunks[ref]
+	if !ok || e.gone {
+		return false
+	}
+	s.stats.Quarantined++
+	if e.refs == 0 {
+		s.dropLocked(ref, e)
+		return true
+	}
+	if e.elem != nil {
+		s.cold.Remove(e.elem)
+		e.elem = nil
+	}
+	s.bytes -= e.size
+	e.size = 0
+	e.data = nil
+	e.gone = true
+	s.gone++
+	return true
+}
+
+// StartScrubber launches a background goroutine that scrubs up to
+// bytesPerPass of content every interval, and reports quarantined refs
+// through onBad (nil discards them). It returns a stop function; the
+// store must not be used after its stop function would race Close-like
+// teardown, so hosts call stop before discarding the store. Starting a
+// second scrubber stops the first.
+func (s *Store) StartScrubber(interval time.Duration, bytesPerPass int64, onBad func([]Ref)) (stop func()) {
+	if s.dir == "" || interval <= 0 {
+		return func() {}
+	}
+	s.StopScrubber()
+
+	stopCh := make(chan struct{})
+	doneCh := make(chan struct{})
+	s.mu.Lock()
+	s.scrubStop, s.scrubDone = stopCh, doneCh
+	s.mu.Unlock()
+
+	go func() {
+		defer close(doneCh)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-t.C:
+				res := s.Scrub(bytesPerPass)
+				if len(res.Quarantined) > 0 && onBad != nil {
+					onBad(res.Quarantined)
+				}
+			}
+		}
+	}()
+	return s.StopScrubber
+}
+
+// StopScrubber halts the background scrubber, waiting for an in-flight
+// pass to finish. It is safe to call when none is running.
+func (s *Store) StopScrubber() {
+	s.mu.Lock()
+	stopCh, doneCh := s.scrubStop, s.scrubDone
+	s.scrubStop, s.scrubDone = nil, nil
+	s.mu.Unlock()
+	if stopCh == nil {
+		return
+	}
+	close(stopCh)
+	<-doneCh
+}

@@ -86,16 +86,30 @@ type Stats struct {
 	Dedup int64
 	// Evictions counts chunks dropped by the capacity policy.
 	Evictions int64
+	// Quarantined counts chunks the scrubber found corrupt on disk and
+	// moved aside (cumulative).
+	Quarantined int64
+	// Repaired counts quarantined chunks healed by a later Put
+	// (cumulative).
+	Repaired int64
+	// Scrubbed counts bytes of chunk content the scrubber has verified
+	// (cumulative).
+	Scrubbed int64
 }
 
 // entry is the in-memory record of one chunk. data is nil for
 // disk-resident chunks; elem is non-nil while the chunk sits on the
-// cold (refs == 0) LRU list.
+// cold (refs == 0) LRU list. gone marks a quarantined chunk: the
+// scrubber found its bytes corrupt and moved them aside, but live
+// manifests still pin the ref, so the entry stays in the table —
+// carrying the reference count across the repair — while behaving as
+// absent to every reader until a fresh Put heals it.
 type entry struct {
 	size int64
 	refs int
 	data []byte
 	elem *list.Element
+	gone bool
 }
 
 // Store is a content-addressed chunk store. The zero value is not
@@ -108,7 +122,17 @@ type Store struct {
 	chunks map[Ref]*entry
 	cold   *list.List // refs == 0, front = most recently used
 	bytes  int64
+	gone   int // quarantined placeholder entries in chunks
 	stats  Stats
+
+	// cursor is the scrubber's resume point: scrubbing walks refs in
+	// ascending order and carries on where the previous pass stopped,
+	// so a bounded pass still covers the whole store eventually.
+	cursor   Ref
+	scrubbed bool // cursor is valid (a pass has started)
+
+	scrubStop chan struct{} // non-nil while a background scrubber runs
+	scrubDone chan struct{}
 }
 
 // Option configures a store.
@@ -234,7 +258,7 @@ func (s *Store) putRef(ref Ref, data []byte, pin bool) error {
 			ErrCorrupt, len(data), RefOf(data).Short(), ref.Short())
 	}
 	s.mu.Lock()
-	if e, ok := s.chunks[ref]; ok {
+	if e, ok := s.chunks[ref]; ok && !e.gone {
 		s.dedupLocked(ref, e, pin)
 		s.mu.Unlock()
 		return nil
@@ -250,6 +274,27 @@ func (s *Store) putRef(ref Ref, data []byte, pin bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.chunks[ref]; ok {
+		if e.gone {
+			// Healing a quarantined chunk: the fresh (verified) bytes are
+			// on disk again. The entry kept the reference count of every
+			// manifest that still names the ref, so pins survive the
+			// corruption-and-repair round trip.
+			e.gone = false
+			s.gone--
+			e.size = int64(len(data))
+			if s.dir == "" {
+				e.data = append([]byte(nil), data...)
+			}
+			s.bytes += e.size
+			s.stats.Repaired++
+			if pin {
+				e.refs++
+			} else if e.refs == 0 && e.elem == nil {
+				e.elem = s.cold.PushFront(coldRef{ref})
+			}
+			s.evictLocked()
+			return nil
+		}
 		// Raced with another Put of the same content.
 		s.dedupLocked(ref, e, pin)
 		return nil
@@ -333,7 +378,7 @@ func WriteFileSync(name string, data []byte) error {
 func (s *Store) Get(ref Ref) ([]byte, error) {
 	s.mu.Lock()
 	e, ok := s.chunks[ref]
-	if !ok {
+	if !ok || e.gone {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrMissing, ref.Short())
 	}
@@ -353,12 +398,12 @@ func (s *Store) Get(ref Ref) ([]byte, error) {
 	return data, nil
 }
 
-// Has reports whether a chunk is present.
+// Has reports whether a chunk is present (and not quarantined).
 func (s *Store) Has(ref Ref) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.chunks[ref]
-	return ok
+	e, ok := s.chunks[ref]
+	return ok && !e.gone
 }
 
 // Missing filters refs down to the ones not present, deduplicated,
@@ -375,7 +420,7 @@ func (s *Store) Missing(refs []Ref) []Ref {
 			continue
 		}
 		seen[ref] = true
-		if _, ok := s.chunks[ref]; !ok {
+		if e, ok := s.chunks[ref]; !ok || e.gone {
 			out = append(out, ref)
 		}
 	}
@@ -389,7 +434,7 @@ func (s *Store) Retain(refs []Ref) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, ref := range refs {
-		if _, ok := s.chunks[ref]; !ok {
+		if e, ok := s.chunks[ref]; !ok || e.gone {
 			return fmt.Errorf("%w: %s", ErrMissing, ref.Short())
 		}
 	}
@@ -418,7 +463,11 @@ func (s *Store) Release(refs []Ref) {
 		if e.refs > 0 {
 			continue
 		}
-		if s.cap > 0 {
+		if e.gone {
+			// The last manifest naming a quarantined chunk is gone; there
+			// are no bytes to cache, so the placeholder entry goes too.
+			s.dropLocked(ref, e)
+		} else if s.cap > 0 {
 			e.elem = s.cold.PushFront(coldRef{ref})
 		} else {
 			s.dropLocked(ref, e)
@@ -476,6 +525,9 @@ func (s *Store) dropLocked(ref Ref, e *entry) {
 		s.cold.Remove(e.elem)
 		e.elem = nil
 	}
+	if e.gone {
+		s.gone--
+	}
 	delete(s.chunks, ref)
 	s.bytes -= e.size
 	if s.dir != "" {
@@ -488,7 +540,8 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
-	st.Chunks = len(s.chunks)
+	// Quarantined placeholders hold no content; they are not chunks.
+	st.Chunks = len(s.chunks) - s.gone
 	st.Bytes = s.bytes
 	return st
 }
@@ -499,8 +552,10 @@ func (s *Store) Refs() []Ref {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]Ref, 0, len(s.chunks))
-	for ref := range s.chunks {
-		out = append(out, ref)
+	for ref, e := range s.chunks {
+		if !e.gone {
+			out = append(out, ref)
+		}
 	}
 	return out
 }

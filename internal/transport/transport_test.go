@@ -204,4 +204,3 @@ func TestTCPSendBatchSizeBound(t *testing.T) {
 		t.Fatalf("err = %v, want ErrFrameSize", err)
 	}
 }
-

@@ -1,6 +1,7 @@
 package gdn_test
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"fmt"
 	"io"
@@ -10,6 +11,10 @@ import (
 	"testing"
 
 	"gdn"
+	"gdn/internal/core"
+	"gdn/internal/gos"
+	"gdn/internal/ids"
+	"gdn/internal/pkgobj"
 	"gdn/internal/transport"
 )
 
@@ -90,5 +95,82 @@ func TestLargeFileRoundTrip(t *testing.T) {
 	defer stub.Close()
 	if err := stub.VerifyFile("dvd.iso"); err != nil {
 		t.Fatal(err)
+	}
+
+	// A curl -r-style range request travels HTTPD → replica → store and
+	// returns exactly the asked-for bytes with the manifest digest as a
+	// strong ETag.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/pkg/apps/huge/-/dvd.iso", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rangeFrom, rangeTo = 40 << 20, 40<<20 + 999 // crosses no chunk boundary guarantees
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", rangeFrom, rangeTo))
+	rresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	if rresp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("range status %d, want 206", rresp.StatusCode)
+	}
+	if cr := rresp.Header.Get("Content-Range"); cr != fmt.Sprintf("bytes %d-%d/%d", rangeFrom, rangeTo, size) {
+		t.Fatalf("Content-Range = %q", cr)
+	}
+	part, err := io.ReadAll(rresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(part, content[rangeFrom:rangeTo+1]) {
+		t.Fatalf("range body mismatch (%d bytes)", len(part))
+	}
+	etag := rresp.Header.Get("ETag")
+	if etag != fmt.Sprintf(`"%x"`, wantDigest) {
+		t.Fatalf("ETag = %q, want the manifest digest", etag)
+	}
+
+	// The ETag round-trips: a conditional re-fetch is answered 304 with
+	// no body.
+	req2, err := http.NewRequest(http.MethodGet, ts.URL+"/pkg/apps/huge/-/dvd.iso", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set("If-None-Match", etag)
+	cresp, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cresp.Body.Close()
+	if cresp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional status %d, want 304", cresp.StatusCode)
+	}
+
+	// Re-deploying the unchanged 64 MiB package short-circuits: the
+	// OpChunkHave negotiation names nothing missing and no chunk body
+	// crosses the wire.
+	staged := pkgobj.New()
+	if err := pkgobj.NewStub(core.NewLocalLR(ids.Nil, staged)).UploadFile("dvd.iso", content); err != nil {
+		t.Fatal(err)
+	}
+	state, err := staged.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := pkgobj.StateRefs(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := gos.NewClient(w.Net, "eu-de-tu", w.GOSAddrs("eu-nl-vu")[0], nil)
+	defer cl.Close()
+	stats, _, err := cl.PutChunks(staged.Store(), refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Offered == 0 {
+		t.Fatal("re-deploy offered no refs; staging broke")
+	}
+	if stats.Sent != 0 || stats.SentBytes != 0 {
+		t.Fatalf("re-deploy of unchanged content uploaded %d chunks (%d bytes); negotiation failed to short-circuit",
+			stats.Sent, stats.SentBytes)
 	}
 }
