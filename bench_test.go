@@ -10,6 +10,7 @@ package gdn_test
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -678,5 +679,67 @@ func BenchmarkDeploy_Redeploy(b *testing.B) {
 		if stats.Sent != 0 {
 			b.Fatalf("re-deploy uploaded %d chunks", stats.Sent)
 		}
+	}
+}
+
+// BenchmarkDownload_Failover tracks what a dead replica costs the
+// download path: a master/slave pair shares one location record, the
+// read-preferred slave is crashed, and every measured download must
+// route around the corpse — first by failover, then via the failure
+// backoff that keeps traffic off it. CI records this next to the
+// healthy-path E5 numbers, so a regression in the routing layer's
+// failure handling shows up as failover latency per commit.
+func BenchmarkDownload_Failover(b *testing.B) {
+	w, err := gdn.NewWorld(gdn.Topology{
+		Regions: map[string][]string{
+			"eu": {"eu-1", "eu-2"},
+			"na": {"na-1"},
+		},
+		SharedRegionLeaves: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(w.Close)
+
+	const size = 1 << 20
+	mod, err := w.Moderator("eu-1", "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := mod.CreatePackage("/apps/ha", gdn.Scenario{
+		Protocol: gdn.ProtocolMasterSlave,
+		Servers:  w.GOSAddrs("eu-1", "eu-2"),
+	}, gdn.Package{Files: map[string][]byte{"blob": make([]byte, size)}}); err != nil {
+		b.Fatal(err)
+	}
+
+	h, err := w.HTTPD("na-1", gdn.HTTPDConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	b.Cleanup(ts.Close)
+
+	// Kill the slave (the preferred read target) before measuring.
+	w.Net.SetDown("eu-2", true)
+
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(ts.URL + "/pkg/apps/ha/-/blob")
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, _ := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || n != size {
+			b.Fatalf("status %d, %d bytes", resp.StatusCode, n)
+		}
+	}
+	b.StopTimer()
+	if errs := h.Stats().Errors; errs != 0 {
+		b.Fatalf("handler served %d errors with a dead replica", errs)
 	}
 }

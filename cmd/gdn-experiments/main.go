@@ -56,6 +56,9 @@ var runners = []struct {
 	{"E10", "security admission", func() []*experiments.Table {
 		return []*experiments.Table{experiments.E10Admission()}
 	}},
+	{"E11", "replica failover under a fleet of downloads", func() []*experiments.Table {
+		return []*experiments.Table{experiments.E11Failover(experiments.E11Config{})}
+	}},
 }
 
 func main() {

@@ -88,6 +88,14 @@ type Topology struct {
 	// (§3.5); 1 (default) means unpartitioned. Extra subnode sites are
 	// created in the hub's domain.
 	RootSubnodes int
+	// SharedRegionLeaves attaches every site of a region to the region's
+	// directory node directly instead of giving each site its own leaf
+	// node. Replicas hosted anywhere in the region then register in one
+	// record, so a single lookup returns every regional replica — the
+	// peer set a binding client needs for instant intra-region failover.
+	// The failover experiments use this; the default (per-site leaves)
+	// preserves the paper's deeper hierarchy.
+	SharedRegionLeaves bool
 	// Zone is the GDN Zone name; defaults to "gdn.cs.vu.nl".
 	Zone string
 	// GNSBatchSize batches naming-authority updates (§5); default 1.
@@ -274,8 +282,10 @@ func NewWorld(top Topology) (*World, error) {
 	rootSpec := gls.DomainSpec{Name: "root", Sites: rootSites}
 	for _, region := range w.regions {
 		regionSpec := gls.DomainSpec{Name: region, Sites: []string{top.Regions[region][0]}}
-		for _, site := range top.Regions[region] {
-			regionSpec.Children = append(regionSpec.Children, gls.Leaf(region+"/"+site, site))
+		if !top.SharedRegionLeaves {
+			for _, site := range top.Regions[region] {
+				regionSpec.Children = append(regionSpec.Children, gls.Leaf(region+"/"+site, site))
+			}
 		}
 		rootSpec.Children = append(rootSpec.Children, regionSpec)
 	}
@@ -422,11 +432,16 @@ func (w *World) startObjectServers() error {
 	return nil
 }
 
-// leafDomain returns the location-service leaf domain of a site.
+// leafDomain returns the location-service domain a site's clients and
+// servers attach to: the site's own leaf, or the whole region's node
+// when the topology shares leaves.
 func (w *World) leafDomain(site string) (string, error) {
 	for _, region := range w.regions {
 		for _, s := range w.topology.Regions[region] {
 			if s == site {
+				if w.topology.SharedRegionLeaves {
+					return region, nil
+				}
 				return region + "/" + site, nil
 			}
 		}

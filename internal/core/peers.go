@@ -1,0 +1,441 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gdn/internal/gls"
+	"gdn/internal/rpc"
+	"gdn/internal/transport"
+)
+
+// PeerSet is the shared ranked peer-set behind every proxy-side
+// replication subobject: the contact addresses the location service
+// returned, tracked with per-peer health (consecutive failures, a
+// latency EWMA of successful calls) and refreshed through the runtime
+// so replicas that appear after binding are discovered and dead ones
+// age out. It replaces the bind-time "pin Peers[0] forever" behaviour
+// that turned one replica crash into an outage for every client bound
+// before it.
+//
+// Ranking: peers are grouped by role preference (most capable first),
+// healthy peers come before ones in failure backoff, and the healthy
+// group is shuffled per call so concurrent proxies spread load across
+// interchangeable replicas instead of herding onto one — with
+// chronically slow peers (latency EWMA far above the group's best)
+// demoted to the back of their group.
+//
+// Failover: Do walks the ranking and retries the attempt on the next
+// candidate when the failure class allows it. Reads fail over on any
+// transport-level error; writes only on errors that prove the request
+// never reached a replica (unreachable destination, no listener) —
+// a connection that died mid-call leaves a write's fate unknown, and
+// replaying it is the caller's decision, not the routing layer's.
+type PeerSet struct {
+	env        *Env
+	protocol   string   // contact-address protocol this set serves
+	readPrefs  []string // role preference order for reads
+	writePrefs []string // role preference order for writes
+
+	mu         sync.Mutex
+	rnd        *rand.Rand
+	peers      map[string]*peerState
+	clients    map[string]*PeerClient
+	resolvedAt time.Time
+
+	failovers atomic.Int64
+	resolves  atomic.Int64
+}
+
+// peerState is one candidate's health record.
+type peerState struct {
+	ca       gls.ContactAddress
+	fails    int           // consecutive failures
+	lastFail time.Time     // when the streak's latest failure happened
+	ewma     time.Duration // latency EWMA of successful calls (virtual cost)
+}
+
+// Peer-set tuning. Constants rather than scenario parameters: these
+// shape routing inside one address space, not replica consistency.
+const (
+	// peerFailBackoff is the base cool-down after a failure; it doubles
+	// per consecutive failure up to peerMaxBackoff. A peer in backoff
+	// ranks behind every healthy candidate but is never unreachable —
+	// when everything else is down it still gets tried.
+	peerFailBackoff = 2 * time.Second
+	peerMaxBackoff  = 30 * time.Second
+	// peerRefreshEvery re-resolves the contact-address set through the
+	// runtime on a slow cadence; exhausting every candidate forces an
+	// immediate re-resolve regardless.
+	peerRefreshEvery = 30 * time.Second
+	// peerSlowFactor demotes a peer whose latency EWMA exceeds this
+	// multiple of the best in its ranking group.
+	peerSlowFactor = 4
+)
+
+// peerSeed distinguishes every PeerSet's RNG. Seeding from object
+// bytes (the old msProxy scheme) made every proxy of one object pick
+// the same "random" replica order world-wide, herding its whole read
+// load onto one slave; a process-wide counter keeps instances
+// independent while staying deterministic enough to debug.
+var peerSeed atomic.Int64
+
+// NewPeerSet builds the ranked peer-set for a proxy. The initial
+// candidates come from env.Peers (the lookup that bound the object),
+// filtered to the given protocol; readPrefs and writePrefs order the
+// roles from most to least capable for each operation class.
+func NewPeerSet(env *Env, protocol string, readPrefs, writePrefs []string) (*PeerSet, error) {
+	ps := &PeerSet{
+		env:        env,
+		protocol:   protocol,
+		readPrefs:  readPrefs,
+		writePrefs: writePrefs,
+		rnd:        rand.New(rand.NewSource(peerSeed.Add(1)*0x5851F42D4C957F2D + time.Now().UnixNano())),
+		peers:      make(map[string]*peerState),
+		clients:    make(map[string]*PeerClient),
+		resolvedAt: env.Now(),
+	}
+	ps.mergeLocked(env.Peers)
+	if len(ps.peers) == 0 {
+		return nil, fmt.Errorf("core: no contactable representative among %d peers", len(env.Peers))
+	}
+	return ps, nil
+}
+
+// mergeLocked reconciles the candidate set with a fresh lookup result:
+// new addresses join with clean health, known ones keep their health
+// record, and addresses the location service no longer returns are
+// dropped (their connections closed). Callers hold ps.mu or own ps
+// exclusively (construction).
+func (ps *PeerSet) mergeLocked(addrs []gls.ContactAddress) {
+	seen := make(map[string]bool, len(addrs))
+	for _, ca := range addrs {
+		if ps.protocol != "" && ca.Protocol != ps.protocol {
+			continue
+		}
+		seen[ca.Address] = true
+		if st, ok := ps.peers[ca.Address]; ok {
+			st.ca = ca // role may have changed (slave promoted, ...)
+			continue
+		}
+		ps.peers[ca.Address] = &peerState{ca: ca}
+	}
+	for addr := range ps.peers {
+		if !seen[addr] {
+			delete(ps.peers, addr)
+			if pc := ps.clients[addr]; pc != nil {
+				pc.Close()
+				delete(ps.clients, addr)
+			}
+		}
+	}
+}
+
+// refresh re-resolves the contact-address set through the runtime.
+// force skips the staleness check (used when every candidate failed).
+// It reports whether a lookup actually ran.
+func (ps *PeerSet) refresh(force bool) (time.Duration, bool) {
+	if ps.env.Resolve == nil {
+		return 0, false
+	}
+	now := ps.env.Now()
+	ps.mu.Lock()
+	stale := now.Sub(ps.resolvedAt) >= peerRefreshEvery
+	ps.mu.Unlock()
+	if !stale && !force {
+		return 0, false
+	}
+	addrs, cost, err := ps.env.Resolve()
+	ps.resolves.Add(1)
+	if err != nil {
+		// A failed lookup (location service unreachable, or the object
+		// gone) keeps the current set: stale candidates still beat none.
+		ps.env.Logf("core: peer-set re-resolve for %s: %v", ps.env.OID.Short(), err)
+		return cost, false
+	}
+	ps.mu.Lock()
+	ps.mergeLocked(addrs)
+	ps.resolvedAt = now
+	ps.mu.Unlock()
+	return cost, true
+}
+
+// client returns the cached connection for a candidate.
+func (ps *PeerSet) client(addr string) *PeerClient {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	pc, ok := ps.clients[addr]
+	if !ok {
+		pc = ps.env.Dial(addr)
+		ps.clients[addr] = pc
+	}
+	return pc
+}
+
+// backoff returns the cool-down after n consecutive failures.
+func backoff(n int) time.Duration {
+	d := peerFailBackoff
+	for i := 1; i < n && d < peerMaxBackoff; i++ {
+		d *= 2
+	}
+	if d > peerMaxBackoff {
+		d = peerMaxBackoff
+	}
+	return d
+}
+
+// prefIndex maps a role to its rank in a preference list; unlisted
+// roles rank last (still usable, like pickPeer's final fallback).
+func prefIndex(prefs []string, role string) int {
+	for i, p := range prefs {
+		if p == role {
+			return i
+		}
+	}
+	return len(prefs)
+}
+
+// candidates returns the ranked address order for one attempt.
+func (ps *PeerSet) candidates(write bool) []string {
+	prefs := ps.readPrefs
+	if write {
+		prefs = ps.writePrefs
+	}
+	now := ps.env.Now()
+
+	type ranked struct {
+		addr    string
+		pref    int
+		healthy bool
+		fails   int
+		ewma    time.Duration
+		shuffle int
+	}
+	ps.mu.Lock()
+	out := make([]ranked, 0, len(ps.peers))
+	for addr, st := range ps.peers {
+		healthy := st.fails == 0 || now.Sub(st.lastFail) >= backoff(st.fails)
+		out = append(out, ranked{
+			addr:    addr,
+			pref:    prefIndex(prefs, st.ca.Role),
+			healthy: healthy,
+			fails:   st.fails,
+			ewma:    st.ewma,
+			shuffle: ps.rnd.Int(),
+		})
+	}
+	ps.mu.Unlock()
+
+	// Latency demotion: within each (pref, healthy) group, a peer whose
+	// EWMA is far above the group's best goes behind its siblings.
+	best := make(map[int]time.Duration)
+	for _, r := range out {
+		if !r.healthy || r.ewma == 0 {
+			continue
+		}
+		if b, ok := best[r.pref]; !ok || r.ewma < b {
+			best[r.pref] = r.ewma
+		}
+	}
+	slow := func(r ranked) bool {
+		b, ok := best[r.pref]
+		return ok && r.healthy && r.ewma > time.Duration(peerSlowFactor)*b
+	}
+	sortRanked(out, func(a, b ranked) bool {
+		// Health outranks role preference: a healthy fallback beats a
+		// preferred-role peer in failure backoff — the whole point of
+		// the set is never handing traffic to a known corpse while an
+		// alternative lives.
+		if a.healthy != b.healthy {
+			return a.healthy
+		}
+		if !a.healthy {
+			if a.pref != b.pref {
+				return a.pref < b.pref
+			}
+			return a.fails < b.fails
+		}
+		if a.pref != b.pref {
+			return a.pref < b.pref
+		}
+		if sa, sb := slow(a), slow(b); sa != sb {
+			return !sa
+		}
+		return a.shuffle < b.shuffle
+	})
+	addrs := make([]string, len(out))
+	for i, r := range out {
+		addrs[i] = r.addr
+	}
+	return addrs
+}
+
+// sortRanked is insertion sort: peer sets are a handful of entries,
+// and it saves pulling in sort/slices closure machinery on a hot path.
+func sortRanked[T any](s []T, less func(a, b T) bool) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// noteSuccess resets a peer's failure streak and folds the observed
+// latency into its EWMA.
+func (ps *PeerSet) noteSuccess(addr string, cost time.Duration) {
+	ps.mu.Lock()
+	if st, ok := ps.peers[addr]; ok {
+		st.fails = 0
+		if cost > 0 {
+			if st.ewma == 0 {
+				st.ewma = cost
+			} else {
+				st.ewma = (3*st.ewma + cost) / 4
+			}
+		}
+	}
+	ps.mu.Unlock()
+}
+
+// noteFailure extends a peer's failure streak.
+func (ps *PeerSet) noteFailure(addr string) {
+	now := ps.env.Now()
+	ps.mu.Lock()
+	if st, ok := ps.peers[addr]; ok {
+		st.fails++
+		st.lastFail = now
+	}
+	ps.mu.Unlock()
+}
+
+// noFailoverError marks an error as terminal for the failover loop:
+// the failure is the caller's (a sink that refused bytes, a policy
+// decision), not the candidate's, so trying another replica would
+// repeat work that already partially happened.
+type noFailoverError struct{ err error }
+
+func (e *noFailoverError) Error() string { return e.err.Error() }
+func (e *noFailoverError) Unwrap() error { return e.err }
+
+// NoFailover wraps err so Do propagates it instead of retrying on the
+// next candidate. errors.Is/As see through the wrapper.
+func NoFailover(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &noFailoverError{err: err}
+}
+
+// Failoverable classifies an error for retry-on-another-replica. App
+// errors (the remote handler ran and said no) never fail over; for
+// writes, only failures that prove the request never executed do —
+// retrying an ambiguous write is an at-least-once decision the caller
+// must make explicitly.
+func Failoverable(err error, write bool) bool {
+	var nf *noFailoverError
+	if err == nil || rpc.IsRemote(err) || errors.As(err, &nf) {
+		return false
+	}
+	if !write {
+		return true
+	}
+	return errors.Is(err, transport.ErrUnreachable) || errors.Is(err, transport.ErrNoListener)
+}
+
+// Do runs attempt against ranked candidates until one succeeds, the
+// error stops being failover-safe, or every candidate (including any
+// discovered by a forced re-resolve) has been tried. It returns the
+// accumulated virtual cost of all attempts plus any refresh lookup.
+func (ps *PeerSet) Do(write bool, attempt func(pc *PeerClient) (time.Duration, error)) (time.Duration, error) {
+	cost, _ := ps.refresh(false)
+	tried := make(map[string]bool)
+	var lastErr error
+	for round := 0; round < 2; round++ {
+		progressed := false
+		for _, addr := range ps.candidates(write) {
+			if tried[addr] {
+				continue
+			}
+			tried[addr] = true
+			progressed = true
+			c, err := attempt(ps.client(addr))
+			cost += c
+			if err == nil {
+				ps.noteSuccess(addr, c)
+				return cost, nil
+			}
+			lastErr = err
+			var nf *noFailoverError
+			if rpc.IsRemote(err) || errors.As(err, &nf) {
+				// The peer is alive (it answered, or the failure was the
+				// caller's own); its health record is not to blame.
+				return cost, err
+			}
+			ps.noteFailure(addr)
+			if !Failoverable(err, write) {
+				return cost, err
+			}
+			ps.failovers.Add(1)
+		}
+		if round == 1 || !progressed {
+			break
+		}
+		// Every known candidate failed: ask the location service for a
+		// fresh set once — replicas created after we bound may be alive.
+		c, ok := ps.refresh(true)
+		cost += c
+		if !ok {
+			break
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("core: no contactable representative for %s", ps.env.OID.Short())
+	}
+	return cost, lastErr
+}
+
+// Call is Do specialised to one unary replica-protocol operation.
+func (ps *PeerSet) Call(op uint16, body []byte, write bool) ([]byte, time.Duration, error) {
+	var resp []byte
+	cost, err := ps.Do(write, func(pc *PeerClient) (time.Duration, error) {
+		r, c, err := pc.Call(op, body)
+		if err == nil {
+			resp = r
+		}
+		return c, err
+	})
+	return resp, cost, err
+}
+
+// Failovers returns how many attempts were retried on another
+// candidate; tests assert failover happened (or didn't).
+func (ps *PeerSet) Failovers() int64 { return ps.failovers.Load() }
+
+// Resolves returns how many re-resolve lookups ran.
+func (ps *PeerSet) Resolves() int64 { return ps.resolves.Load() }
+
+// Addrs returns the current candidate addresses, unranked.
+func (ps *PeerSet) Addrs() []string {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	out := make([]string, 0, len(ps.peers))
+	for addr := range ps.peers {
+		out = append(out, addr)
+	}
+	return out
+}
+
+// Close releases every cached connection.
+func (ps *PeerSet) Close() error {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for _, pc := range ps.clients {
+		pc.Close()
+	}
+	ps.clients = make(map[string]*PeerClient)
+	return nil
+}

@@ -42,6 +42,11 @@ type Env struct {
 	// representatives known at construction time (from the GLS during
 	// binding, or from the moderator's scenario during creation).
 	Peers []gls.ContactAddress
+	// Resolve re-runs the location-service lookup that produced Peers.
+	// Proxy-side peer sets call it to discover replicas created after
+	// binding and to age out dead ones; nil (hosted replicas, whose
+	// peers come from the scenario) disables re-resolution.
+	Resolve func() ([]gls.ContactAddress, time.Duration, error)
 	// Clock supplies the time for TTL-based consistency decisions; nil
 	// means wall time. Simulations install virtual clocks here.
 	Clock func() time.Time

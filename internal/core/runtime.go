@@ -144,6 +144,9 @@ func (rt *Runtime) proxyFromAddrs(oid ids.OID, addrs []gls.ContactAddress) (*LR,
 		Exec:  NewLocalExec(sem),
 		Auth:  rt.auth,
 		Peers: addrs,
+		Resolve: func() ([]gls.ContactAddress, time.Duration, error) {
+			return rt.resolver.Lookup(oid)
+		},
 		Clock: rt.clock,
 		Logf:  rt.logf,
 		Store: semStore(sem, nil),

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+
+	"gdn"
+)
+
+// E11Config tunes the replica-failover experiment.
+type E11Config struct {
+	// Replicas is the number of object servers hosting the package
+	// (one master plus slaves, all in one shared-leaf region).
+	// Default 3.
+	Replicas int
+	// Fleet is the number of concurrent downloads in flight when a
+	// replica is killed. Default 8.
+	Fleet int
+	// FileSize is the package payload in bytes. Default 8 MiB — larger
+	// than the stream credit window plus HTTP buffering, so every
+	// transfer is genuinely mid-stream when the kill lands.
+	FileSize int
+}
+
+// E11Failover is the kill-a-replica-mid-fleet experiment: the
+// replica-health layer's reason to exist. A package is replicated
+// within one region whose sites share a location-service record (so a
+// binding client learns every replica in one lookup), a fleet of
+// concurrent downloads streams through remote GDN HTTPDs, and one
+// read replica is crashed while all of them are mid-transfer. With
+// truthful location data and ranked-peer failover, every download
+// must finish bit-exact with zero HTTP errors — the property that
+// lets later PRs buy availability by simply adding replicas.
+func E11Failover(cfg E11Config) *Table {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.Fleet <= 0 {
+		cfg.Fleet = 8
+	}
+	if cfg.FileSize <= 0 {
+		cfg.FileSize = 8 << 20
+	}
+
+	t := &Table{
+		ID:    "E11",
+		Title: "replica failover: kill a read replica under a fleet of downloads",
+		Columns: []string{
+			"phase", "downloads", "ok", "http 5xx", "bit-exact",
+		},
+		Notes: fmt.Sprintf("%d masterslave replicas in one shared-leaf region, %d concurrent %d KiB downloads, one slave crashed mid-fleet",
+			cfg.Replicas, cfg.Fleet, cfg.FileSize/1024),
+	}
+
+	run := newE11World(cfg)
+	defer run.close()
+
+	for _, phase := range []string{"all replicas up", "slave killed mid-fleet", "after the kill"} {
+		killMidFleet := phase == "slave killed mid-fleet"
+		ok, bad, exact := run.fleet(cfg.Fleet, killMidFleet)
+		t.AddRow(phase, fmt.Sprint(cfg.Fleet), fmt.Sprint(ok), fmt.Sprint(bad), fmt.Sprint(exact))
+	}
+	return t
+}
+
+// e11World is the deployed scenario: replicas in "eu", HTTPDs and
+// clients in "na".
+type e11World struct {
+	w       *gdn.World
+	ts      *httptest.Server
+	content []byte
+	victim  string
+}
+
+func newE11World(cfg E11Config) *e11World {
+	var euSites []string
+	for i := 0; i < cfg.Replicas; i++ {
+		euSites = append(euSites, fmt.Sprintf("eu-%d", i+1))
+	}
+	w := newWorld(gdn.Topology{
+		Regions: map[string][]string{
+			"eu": euSites,
+			"na": {"na-1", "na-2"},
+		},
+		// One record per region: the binding lookup returns every eu
+		// replica, which is what the ranked peer set fails over across.
+		SharedRegionLeaves: true,
+	})
+
+	content := bytes.Repeat([]byte("gdn failover experiment "), cfg.FileSize/24+1)[:cfg.FileSize]
+	mod, err := w.Moderator("eu-1", "e11-moderator")
+	if err != nil {
+		panic(err)
+	}
+	if _, _, err := mod.CreatePackage("/apps/ha", gdn.Scenario{
+		Protocol: gdn.ProtocolMasterSlave,
+		Servers:  w.GOSAddrs(euSites...),
+	}, gdn.Package{Files: map[string][]byte{"blob": content}}); err != nil {
+		panic(fmt.Sprintf("e11: deploy: %v", err))
+	}
+
+	h, err := w.HTTPD("na-1", gdn.HTTPDConfig{})
+	if err != nil {
+		panic(err)
+	}
+	ts := httptest.NewServer(h)
+	return &e11World{
+		w:       w,
+		ts:      ts,
+		content: content,
+		// The last slave: never the master, so writes stay possible.
+		victim: euSites[len(euSites)-1],
+	}
+}
+
+func (r *e11World) close() {
+	r.ts.Close()
+	r.w.Close()
+}
+
+// fleet runs n concurrent downloads; when kill is set, the victim
+// replica's site is crashed as soon as every transfer is mid-stream.
+// It reports completed downloads, HTTP >= 500 responses, and how many
+// bodies matched the deployed content byte for byte.
+func (r *e11World) fleet(n int, kill bool) (ok, bad5xx, bitExact int) {
+	var started, okC, badC, exactC atomic.Int64
+	firstBytes := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(r.ts.URL + "/pkg/apps/ha/-/blob")
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode >= 500 {
+				badC.Add(1)
+				return
+			}
+			// Read a head slice, signal the killer once every transfer
+			// is provably mid-stream, then drain.
+			head := make([]byte, 64<<10)
+			if _, err := io.ReadFull(resp.Body, head); err != nil {
+				return
+			}
+			if started.Add(1) == int64(n) {
+				close(firstBytes)
+			}
+			rest, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return
+			}
+			okC.Add(1)
+			if bytes.Equal(append(head, rest...), r.content) {
+				exactC.Add(1)
+			}
+		}()
+	}
+	if kill {
+		<-firstBytes
+		r.w.Net.SetDown(r.victim, true)
+	}
+	wg.Wait()
+	return int(okC.Load()), int(badC.Load()), int(exactC.Load())
+}

@@ -12,6 +12,7 @@
 //	E8  the two shipped protocols under read/write mixes (§7)
 //	E9  object-server checkpoint/recovery (§4)
 //	E10 security admission: every unauthorized path is closed (§6.1)
+//	E11 replica failover: kill a replica under a fleet of downloads
 //
 // Each driver returns a Table whose rows are printed by
 // cmd/gdn-experiments; the benchmarks in bench_test.go wrap the same
@@ -140,5 +141,6 @@ func All() []*Table {
 		E8Protocols(E8Config{}),
 		E9Recovery(E9Config{}),
 		E10Admission(),
+		E11Failover(E11Config{}),
 	}
 }

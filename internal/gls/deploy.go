@@ -3,6 +3,7 @@ package gls
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"gdn/internal/sec"
 	"gdn/internal/transport"
@@ -46,7 +47,21 @@ type DeployOption func(*deployOptions)
 type deployOptions struct {
 	auth    *sec.Config
 	service string
+	clock   func() time.Time
+	sweep   time.Duration
 	logf    func(string, ...any)
+}
+
+// WithTreeClock installs a time source on every directory node; lease
+// expiry is judged against it. Tests install controllable clocks.
+func WithTreeClock(clock func() time.Time) DeployOption {
+	return func(o *deployOptions) { o.clock = clock }
+}
+
+// WithTreeSweep sets the lease-janitor interval on every node
+// (negative disables the janitor; tests sweep by hand).
+func WithTreeSweep(d time.Duration) DeployOption {
+	return func(o *deployOptions) { o.sweep = d }
 }
 
 // WithTreeAuth runs every directory node with the given security
@@ -102,14 +117,16 @@ func (t *Tree) deploy(spec DomainSpec, parent Ref, o *deployOptions) error {
 	d := &deployedDomain{spec: spec, ref: self, leaf: len(spec.Children) == 0}
 	for i, site := range spec.Sites {
 		node, err := Start(t.net, Config{
-			Domain: spec.Name,
-			Site:   site,
-			Addr:   self.Addrs[i],
-			Self:   self,
-			Parent: parent,
-			Seed:   int64(len(t.order))*1000 + int64(i),
-			Auth:   o.auth,
-			Logf:   o.logf,
+			Domain:     spec.Name,
+			Site:       site,
+			Addr:       self.Addrs[i],
+			Self:       self,
+			Parent:     parent,
+			Seed:       int64(len(t.order))*1000 + int64(i),
+			Auth:       o.auth,
+			Clock:      o.clock,
+			SweepEvery: o.sweep,
+			Logf:       o.logf,
 		})
 		if err != nil {
 			for _, n := range d.nodes {

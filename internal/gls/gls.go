@@ -57,6 +57,13 @@ const (
 	OpStats
 	// OpDump returns the node's full state; used by persistence and tests.
 	OpDump
+	// OpDrain marks (or unmarks) a transport address as draining at this
+	// node: its contact addresses stop appearing in lookup responses
+	// while other replicas remain, without deleting any registration
+	// state. Object servers send it when their chunk store turns
+	// chronically corrupt, so traffic shifts to healthy replicas until
+	// the store heals (ROADMAP: "scrub results feed the GLS").
+	OpDrain
 )
 
 // ContactAddress describes where one local representative of an object
@@ -122,6 +129,39 @@ func DecodeAddrs(b []byte) ([]ContactAddress, error) {
 	return addrs, nil
 }
 
+// EncodeLookupResult serializes a lookup response: the healthy contact
+// addresses plus, separately, addresses that are alive but draining.
+// Keeping the two apart lets every node on the search path keep
+// looking for healthy replicas elsewhere in the tree when a subtree
+// answers with drained ones only — a draining replica must not shadow
+// a healthy sibling — while still flowing the drained set upward as
+// the last resort the client gets when nothing healthy exists.
+func EncodeLookupResult(healthy, drained []ContactAddress) []byte {
+	h := EncodeAddrs(healthy)
+	d := EncodeAddrs(drained)
+	w := wire.NewWriter(16 + len(h) + len(d))
+	w.Bytes32(h)
+	w.Bytes32(d)
+	return w.Bytes()
+}
+
+// DecodeLookupResult reverses EncodeLookupResult.
+func DecodeLookupResult(b []byte) (healthy, drained []ContactAddress, err error) {
+	r := wire.NewReader(b)
+	hb := r.Bytes32()
+	db := r.Bytes32()
+	if err := r.Done(); err != nil {
+		return nil, nil, err
+	}
+	if healthy, err = DecodeAddrs(hb); err != nil {
+		return nil, nil, err
+	}
+	if drained, err = DecodeAddrs(db); err != nil {
+		return nil, nil, err
+	}
+	return healthy, drained, nil
+}
+
 func decodeAddrList(r *wire.Reader) []ContactAddress {
 	n := r.Count()
 	if r.Err() != nil {
@@ -176,14 +216,16 @@ func decodeRef(r *wire.Reader) Ref {
 type Counters struct {
 	Lookups  int64 // up-phase lookups handled
 	Descends int64 // down-phase lookups handled
-	Inserts  int64 // contact-address registrations
+	Inserts  int64 // contact-address registrations (including renewals)
 	Deletes  int64 // deregistrations
 	PtrOps   int64 // forwarding-pointer installs and removals
+	Expiries int64 // leased contact addresses aged out
+	Drains   int64 // drain/undrain requests handled
 }
 
 // Total sums all operation classes.
 func (c Counters) Total() int64 {
-	return c.Lookups + c.Descends + c.Inserts + c.Deletes + c.PtrOps
+	return c.Lookups + c.Descends + c.Inserts + c.Deletes + c.PtrOps + c.Drains
 }
 
 func (c Counters) encode(w *wire.Writer) {
@@ -192,6 +234,8 @@ func (c Counters) encode(w *wire.Writer) {
 	w.Int64(c.Inserts)
 	w.Int64(c.Deletes)
 	w.Int64(c.PtrOps)
+	w.Int64(c.Expiries)
+	w.Int64(c.Drains)
 }
 
 func decodeCounters(r *wire.Reader) Counters {
@@ -201,5 +245,7 @@ func decodeCounters(r *wire.Reader) Counters {
 		Inserts:  r.Int64(),
 		Deletes:  r.Int64(),
 		PtrOps:   r.Int64(),
+		Expiries: r.Int64(),
+		Drains:   r.Int64(),
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"gdn/internal/ids"
 	"gdn/internal/rpc"
@@ -37,8 +38,34 @@ type Config struct {
 	// pointer operations only from fellow directory nodes (paper §6.1,
 	// requirement 2).
 	Auth *sec.Config
+	// Clock supplies the time lease expiry is judged against; nil means
+	// wall time. Tests install controllable clocks here.
+	Clock func() time.Time
+	// SweepEvery is the interval between lease-expiry sweeps that
+	// reclaim aged-out records (and tear down their pointer chains).
+	// Correctness does not depend on it — lookups filter expired leases
+	// lazily — so it defaults generously (5s); negative disables the
+	// janitor entirely.
+	SweepEvery time.Duration
 	// Logf receives diagnostics; nil discards them.
 	Logf func(format string, args ...any)
+}
+
+// defaultSweepEvery is the lease-janitor interval when the config does
+// not choose one.
+const defaultSweepEvery = 5 * time.Second
+
+// leasedAddr is one registered contact address with its lease expiry;
+// a zero expiry means the registration is permanent (the pre-lease
+// behaviour, still used by experiments that register addresses by
+// hand and never heartbeat).
+type leasedAddr struct {
+	ca      ContactAddress
+	expires time.Time
+}
+
+func (la leasedAddr) expired(now time.Time) bool {
+	return !la.expires.IsZero() && now.After(la.expires)
 }
 
 // record is one object's entry in a directory node: contact addresses
@@ -47,7 +74,7 @@ type Config struct {
 // normally hold only pointers, but may hold addresses for highly mobile
 // objects (§3.5).
 type record struct {
-	addrs []ContactAddress
+	addrs []leasedAddr
 	ptrs  map[string]Ref // child domain -> child node reference
 }
 
@@ -60,8 +87,9 @@ type Node struct {
 	cfg Config
 	net transport.Network
 
-	mu   sync.RWMutex
-	recs map[ids.OID]*record
+	mu      sync.RWMutex
+	recs    map[ids.OID]*record
+	drained map[string]bool // transport address -> draining
 
 	rndMu sync.Mutex
 	rnd   *rand.Rand
@@ -72,7 +100,9 @@ type Node struct {
 	clientMu sync.Mutex
 	clients  map[string]*rpc.Client
 
-	server *rpc.Server
+	server    *rpc.Server
+	stopSweep chan struct{}
+	sweepOnce sync.Once
 }
 
 // Start creates a directory subnode and begins serving it.
@@ -86,10 +116,17 @@ func Start(net transport.Network, cfg Config) (*Node, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.SweepEvery == 0 {
+		cfg.SweepEvery = defaultSweepEvery
+	}
 	n := &Node{
 		cfg:     cfg,
 		net:     net,
 		recs:    make(map[ids.OID]*record),
+		drained: make(map[string]bool),
 		rnd:     rand.New(rand.NewSource(cfg.Seed)),
 		clients: make(map[string]*rpc.Client),
 	}
@@ -102,6 +139,10 @@ func Start(net transport.Network, cfg Config) (*Node, error) {
 		return nil, err
 	}
 	n.server = srv
+	if cfg.SweepEvery > 0 {
+		n.stopSweep = make(chan struct{})
+		go n.sweepLoop(n.stopSweep)
+	}
 	return n, nil
 }
 
@@ -113,6 +154,9 @@ func (n *Node) Addr() string { return n.cfg.Addr }
 
 // Close stops serving and releases client connections.
 func (n *Node) Close() error {
+	if n.stopSweep != nil {
+		n.sweepOnce.Do(func() { close(n.stopSweep) })
+	}
 	err := n.server.Close()
 	n.clientMu.Lock()
 	for _, c := range n.clients {
@@ -175,12 +219,22 @@ func (n *Node) handle(call *rpc.Call) ([]byte, error) {
 		return n.handleInstallPtr(call)
 	case OpRemovePtr:
 		return n.handleRemovePtr(call)
+	case OpDrain:
+		return n.handleDrain(call)
 	case OpStats:
 		return n.handleStats()
 	case OpDump:
 		return n.Snapshot(), nil
 	default:
 		return nil, fmt.Errorf("gls: unknown op %d", call.Op)
+	}
+}
+
+// charge records nested cost on a call when one exists; janitor-driven
+// operations run without a call to charge.
+func charge(call *rpc.Call, d time.Duration) {
+	if call != nil {
+		call.Charge(d)
 	}
 }
 
@@ -212,62 +266,125 @@ func (n *Node) handleLookup(call *rpc.Call, down bool) ([]byte, error) {
 		n.count(func(c *Counters) { c.Lookups++ })
 	}
 
+	now := n.cfg.Clock()
 	n.mu.RLock()
 	rec := n.recs[oid]
-	var addrs []ContactAddress
+	var addrs, drainedAddrs []ContactAddress
 	var childRefs []Ref
 	if rec != nil {
-		addrs = append([]ContactAddress(nil), rec.addrs...)
+		for _, la := range rec.addrs {
+			switch {
+			case la.expired(now):
+				// A lease its owner stopped renewing: the replica is gone
+				// (or cut off); it must not be handed to clients. The
+				// sweep janitor reclaims the entry itself.
+			case n.drained[la.ca.Address]:
+				drainedAddrs = append(drainedAddrs, la.ca)
+			default:
+				addrs = append(addrs, la.ca)
+			}
+		}
 		for _, ref := range rec.ptrs {
 			childRefs = append(childRefs, ref)
 		}
 	}
 	n.mu.RUnlock()
 
-	// Contact addresses stored here end the search immediately.
+	// Healthy contact addresses stored here end the search immediately;
+	// a local drained set is only the fallback of last resort.
 	if len(addrs) > 0 {
-		return EncodeAddrs(addrs), nil
+		return EncodeLookupResult(addrs, nil), nil
 	}
 
-	// A forwarding pointer sends the search down into one child subtree,
-	// chosen at random when there are several (§3.5).
+	// Forwarding pointers send the search down into a child subtree,
+	// starting with a random one when there are several (§3.5). A
+	// subtree whose entries all expired, died or drained does not end
+	// the search: the remaining children are tried, and in the up
+	// phase it finally continues toward the root — neither a stale
+	// pointer chain (sweep-driven teardown pending) nor a draining
+	// replica may hide replicas that are healthy elsewhere in the
+	// tree. Drained addresses encountered along the way are carried as
+	// the fallback.
 	if len(childRefs) > 0 {
-		ref := childRefs[0]
 		if len(childRefs) > 1 {
 			n.rndMu.Lock()
-			ref = childRefs[n.rnd.Intn(len(childRefs))]
+			n.rnd.Shuffle(len(childRefs), func(i, j int) {
+				childRefs[i], childRefs[j] = childRefs[j], childRefs[i]
+			})
 			n.rndMu.Unlock()
 		}
-		resp, cost, err := n.client(ref.Route(oid)).Call(OpLookupDown, encodeOID(oid))
-		call.Charge(cost)
-		if err != nil {
-			return nil, fmt.Errorf("gls: %s: descend failed: %w", n.cfg.Domain, err)
+		var descendErr error
+		for _, ref := range childRefs {
+			resp, cost, err := n.client(ref.Route(oid)).Call(OpLookupDown, encodeOID(oid))
+			charge(call, cost)
+			if err != nil {
+				if descendErr == nil {
+					descendErr = fmt.Errorf("gls: %s: descend failed: %w", n.cfg.Domain, err)
+				}
+				continue
+			}
+			healthy, drained, err := DecodeLookupResult(resp)
+			if err != nil {
+				continue
+			}
+			if len(healthy) > 0 {
+				return resp, nil
+			}
+			drainedAddrs = append(drainedAddrs, drained...)
 		}
-		return resp, nil
+		if down && descendErr != nil && len(drainedAddrs) == 0 {
+			return nil, descendErr
+		}
 	}
 
-	if down {
-		// A pointer led here but nothing remains: the entry raced with a
-		// deletion. Report a miss rather than an error; the resolver
-		// treats an empty address set as not-found.
-		return EncodeAddrs(nil), nil
+	if !down && !n.isRoot() {
+		// Up phase: the rest of the tree may hold healthy replicas;
+		// only settle for a drained set after the root came up empty.
+		resp, cost, err := n.client(n.cfg.Parent.Route(oid)).Call(OpLookup, encodeOID(oid))
+		charge(call, cost)
+		if err != nil {
+			if len(drainedAddrs) > 0 {
+				return EncodeLookupResult(nil, drainedAddrs), nil
+			}
+			return nil, fmt.Errorf("gls: %s: forward to parent failed: %w", n.cfg.Domain, err)
+		}
+		healthy, drained, derr := DecodeLookupResult(resp)
+		if derr != nil {
+			return nil, derr
+		}
+		if len(healthy) > 0 {
+			return resp, nil
+		}
+		drainedAddrs = append(drainedAddrs, drained...)
 	}
-	if n.isRoot() {
-		// No entry anywhere in the tree.
-		return EncodeAddrs(nil), nil
-	}
-	resp, cost, err := n.client(n.cfg.Parent.Route(oid)).Call(OpLookup, encodeOID(oid))
-	call.Charge(cost)
-	if err != nil {
-		return nil, fmt.Errorf("gls: %s: forward to parent failed: %w", n.cfg.Domain, err)
-	}
-	return resp, nil
+
+	// Nothing healthy remains reachable from here: report the drained
+	// fallback (a degraded replica beats ErrNotFound), or a miss.
+	return EncodeLookupResult(nil, dedupAddrs(drainedAddrs)), nil
 }
 
-// handleInsert registers a contact address at this node and installs the
-// chain of forwarding pointers up to the root. The response carries the
-// object identifier, which the service allocates when the request's is
-// nil.
+// dedupAddrs drops duplicate contact addresses, preserving order; a
+// drained set can pick up the same address from several search paths.
+func dedupAddrs(addrs []ContactAddress) []ContactAddress {
+	if len(addrs) < 2 {
+		return addrs
+	}
+	seen := make(map[ContactAddress]bool, len(addrs))
+	out := addrs[:0]
+	for _, ca := range addrs {
+		if !seen[ca] {
+			seen[ca] = true
+			out = append(out, ca)
+		}
+	}
+	return out
+}
+
+// handleInsert registers a contact address at this node — as a lease
+// when the request carries a TTL, renewed by re-inserting — and
+// installs the chain of forwarding pointers up to the root. The
+// response carries the object identifier, which the service allocates
+// when the request's is nil.
 func (n *Node) handleInsert(call *rpc.Call) ([]byte, error) {
 	if err := n.authorize(call, sec.RoleGOS, sec.RoleAdmin, sec.RoleGLS); err != nil {
 		return nil, err
@@ -275,6 +392,7 @@ func (n *Node) handleInsert(call *rpc.Call) ([]byte, error) {
 	r := wire.NewReader(call.Body)
 	oid := r.OID()
 	ca := decodeContactAddress(r)
+	ttl := time.Duration(r.Uint32()) * time.Second
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
@@ -283,6 +401,10 @@ func (n *Node) handleInsert(call *rpc.Call) ([]byte, error) {
 	}
 	n.count(func(c *Counters) { c.Inserts++ })
 
+	var expires time.Time
+	if ttl > 0 {
+		expires = n.cfg.Clock().Add(ttl)
+	}
 	n.mu.Lock()
 	rec := n.recs[oid]
 	wasEmpty := rec == nil
@@ -291,14 +413,17 @@ func (n *Node) handleInsert(call *rpc.Call) ([]byte, error) {
 		n.recs[oid] = rec
 	}
 	dup := false
-	for _, have := range rec.addrs {
-		if have == ca {
+	for i, have := range rec.addrs {
+		if have.ca == ca {
+			// A re-registration is a lease renewal (and a permanent
+			// insert, ttl 0, upgrades the entry to permanent).
+			rec.addrs[i].expires = expires
 			dup = true
 			break
 		}
 	}
 	if !dup {
-		rec.addrs = append(rec.addrs, ca)
+		rec.addrs = append(rec.addrs, leasedAddr{ca: ca, expires: expires})
 	}
 	n.mu.Unlock()
 
@@ -325,7 +450,7 @@ func (n *Node) propagateInstall(call *rpc.Call, oid ids.OID) error {
 	w.Str(n.cfg.Domain)
 	n.cfg.Self.encode(w)
 	_, cost, err := n.client(n.cfg.Parent.Route(oid)).Call(OpInstallPtr, w.Bytes())
-	call.Charge(cost)
+	charge(call, cost)
 	if err != nil {
 		return fmt.Errorf("gls: %s: install pointer at parent: %w", n.cfg.Domain, err)
 	}
@@ -384,9 +509,9 @@ func (n *Node) handleDelete(call *rpc.Call) ([]byte, error) {
 	removedAll := false
 	if rec != nil {
 		kept := rec.addrs[:0]
-		for _, ca := range rec.addrs {
-			if ca.Address != addr {
-				kept = append(kept, ca)
+		for _, la := range rec.addrs {
+			if la.ca.Address != addr {
+				kept = append(kept, la)
 			}
 		}
 		rec.addrs = kept
@@ -411,7 +536,7 @@ func (n *Node) propagateRemove(call *rpc.Call, oid ids.OID) error {
 	w.OID(oid)
 	w.Str(n.cfg.Domain)
 	_, cost, err := n.client(n.cfg.Parent.Route(oid)).Call(OpRemovePtr, w.Bytes())
-	call.Charge(cost)
+	charge(call, cost)
 	if err != nil {
 		return fmt.Errorf("gls: %s: remove pointer at parent: %w", n.cfg.Domain, err)
 	}
@@ -448,6 +573,110 @@ func (n *Node) handleRemovePtr(call *rpc.Call) ([]byte, error) {
 	return nil, nil
 }
 
+// handleDrain marks or clears the draining state of one transport
+// address. Draining is node-local and address-wide: every record whose
+// contact addresses live at that address stops returning them while
+// alternatives exist. Registrations (and their leases) are untouched,
+// so undraining restores service instantly — the point of drain over
+// delete.
+func (n *Node) handleDrain(call *rpc.Call) ([]byte, error) {
+	if err := n.authorize(call, sec.RoleGOS, sec.RoleAdmin, sec.RoleGLS); err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(call.Body)
+	addr := r.Str()
+	draining := r.Bool()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if addr == "" {
+		return nil, fmt.Errorf("gls: drain without a transport address")
+	}
+	n.count(func(c *Counters) { c.Drains++ })
+	n.mu.Lock()
+	if draining {
+		n.drained[addr] = true
+	} else {
+		delete(n.drained, addr)
+	}
+	n.mu.Unlock()
+	return nil, nil
+}
+
+// Draining reports whether an address is currently drained at this
+// subnode; tests and diagnostics read it.
+func (n *Node) Draining(addr string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.drained[addr]
+}
+
+// sweepLoop periodically reclaims expired leases. Lookups already
+// filter them lazily; the sweep's job is to delete emptied records and
+// tear down their forwarding-pointer chains so the tree does not
+// accumulate dead entries for every replica that ever lived.
+func (n *Node) sweepLoop(stop <-chan struct{}) {
+	ticker := time.NewTicker(n.cfg.SweepEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			n.SweepExpired()
+		}
+	}
+}
+
+// SweepExpired removes aged-out leases now and returns how many
+// contact addresses were reclaimed. The janitor calls it on a timer;
+// tests call it directly.
+func (n *Node) SweepExpired() int {
+	now := n.cfg.Clock()
+	var emptied []ids.OID
+	expired := 0
+	n.mu.Lock()
+	for oid, rec := range n.recs {
+		kept := rec.addrs[:0]
+		for _, la := range rec.addrs {
+			if la.expired(now) {
+				expired++
+			} else {
+				kept = append(kept, la)
+			}
+		}
+		rec.addrs = kept
+		if rec.empty() {
+			delete(n.recs, oid)
+			emptied = append(emptied, oid)
+		}
+	}
+	n.mu.Unlock()
+	if expired > 0 {
+		n.count(func(c *Counters) { c.Expiries += int64(expired) })
+	}
+	for _, oid := range emptied {
+		if err := n.propagateRemove(nil, oid); err != nil {
+			n.cfg.Logf("gls: %s: tear down pointers for expired %s: %v", n.cfg.Domain, oid.Short(), err)
+			continue
+		}
+		// A renewal racing the teardown can re-create the record between
+		// the locked delete above and the propagateRemove: its own
+		// pointer install then loses to our removal, and — since later
+		// renewals find the record non-empty — would never be repeated.
+		// Re-check and reinstall, so the record converges to findable.
+		n.mu.RLock()
+		revived := n.recs[oid] != nil
+		n.mu.RUnlock()
+		if revived {
+			if err := n.propagateInstall(nil, oid); err != nil {
+				n.cfg.Logf("gls: %s: reinstall pointers for revived %s: %v", n.cfg.Domain, oid.Short(), err)
+			}
+		}
+	}
+	return expired
+}
+
 func (n *Node) handleStats() ([]byte, error) {
 	w := wire.NewWriter(64)
 	n.Stats().encode(w)
@@ -463,7 +692,11 @@ func encodeOID(oid ids.OID) []byte {
 // Snapshot serializes the node's records for persistent storage. The
 // paper's Java GLS supports "persistent storage of the state of a
 // directory node (location information and forwarding pointers)" (§7);
-// object servers and the gdn-gls daemon checkpoint with this.
+// object servers and the gdn-gls daemon checkpoint with this. Lease
+// expiries are deliberately not encoded: a restored leased entry is
+// permanent until its owner's next heartbeat re-establishes the lease,
+// which avoids mass-expiring a whole node's registrations because a
+// restart took longer than one TTL.
 func (n *Node) Snapshot() []byte {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
@@ -473,8 +706,8 @@ func (n *Node) Snapshot() []byte {
 	for oid, rec := range n.recs {
 		w.OID(oid)
 		w.Count(len(rec.addrs))
-		for _, ca := range rec.addrs {
-			ca.encode(w)
+		for _, la := range rec.addrs {
+			la.ca.encode(w)
 		}
 		w.Count(len(rec.ptrs))
 		for child, ref := range rec.ptrs {
@@ -506,7 +739,7 @@ func (n *Node) Restore(b []byte) error {
 			return r.Err()
 		}
 		for j := 0; j < na; j++ {
-			rec.addrs = append(rec.addrs, decodeContactAddress(r))
+			rec.addrs = append(rec.addrs, leasedAddr{ca: decodeContactAddress(r)})
 		}
 		np := r.Count()
 		if r.Err() != nil {

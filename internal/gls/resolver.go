@@ -74,28 +74,44 @@ func (r *Resolver) client(addr string) *rpc.Client {
 }
 
 // Lookup maps an object identifier to the contact addresses of the
-// nearest replicas. The returned cost is the virtual network cost of the
-// whole lookup path (up the tree, down the pointers, and back).
+// nearest healthy replicas — falling back to draining ones when the
+// whole tree holds nothing healthier, since a degraded replica still
+// beats not-found. The returned cost is the virtual network cost of
+// the whole lookup path (up the tree, down the pointers, and back).
 func (r *Resolver) Lookup(oid ids.OID) ([]ContactAddress, time.Duration, error) {
 	resp, cost, err := r.client(r.leaf.Route(oid)).Call(OpLookup, encodeOID(oid))
 	if err != nil {
 		return nil, cost, err
 	}
-	addrs, err := DecodeAddrs(resp)
+	healthy, drained, err := DecodeLookupResult(resp)
 	if err != nil {
 		return nil, cost, err
 	}
-	if len(addrs) == 0 {
-		return nil, cost, fmt.Errorf("%w: %s", ErrNotFound, oid.Short())
+	if len(healthy) > 0 {
+		return healthy, cost, nil
 	}
-	return addrs, cost, nil
+	if len(drained) > 0 {
+		return drained, cost, nil
+	}
+	return nil, cost, fmt.Errorf("%w: %s", ErrNotFound, oid.Short())
 }
 
-// Insert registers a contact address in the client's leaf domain. A nil
-// oid asks the service to allocate a fresh identifier; the identifier
-// actually registered is returned either way.
+// Insert registers a contact address in the client's leaf domain,
+// permanently (no lease). A nil oid asks the service to allocate a
+// fresh identifier; the identifier actually registered is returned
+// either way.
 func (r *Resolver) Insert(oid ids.OID, ca ContactAddress) (ids.OID, time.Duration, error) {
-	return r.insertAt(r.leaf, oid, ca)
+	return r.insertAt(r.leaf, oid, ca, 0)
+}
+
+// InsertLease registers a contact address as a lease that ages out of
+// lookups after ttl unless renewed by re-inserting — the liveness
+// contract object servers heartbeat under, so a crashed server's
+// replicas vanish from the location service within one TTL instead of
+// 502ing clients forever. A ttl of 0 is a permanent Insert; sub-second
+// TTLs round up to one second (the wire carries whole seconds).
+func (r *Resolver) InsertLease(oid ids.OID, ca ContactAddress, ttl time.Duration) (ids.OID, time.Duration, error) {
+	return r.insertAt(r.leaf, oid, ca, ttl)
 }
 
 // InsertAt registers a contact address at an arbitrary directory node
@@ -103,10 +119,10 @@ func (r *Resolver) Insert(oid ids.OID, ca ContactAddress) (ids.OID, time.Duratio
 // node trades lookup locality for cheaper updates on highly mobile
 // objects (§3.5); the E2 ablation uses this.
 func (r *Resolver) InsertAt(node Ref, oid ids.OID, ca ContactAddress) (ids.OID, time.Duration, error) {
-	return r.insertAt(node, oid, ca)
+	return r.insertAt(node, oid, ca, 0)
 }
 
-func (r *Resolver) insertAt(node Ref, oid ids.OID, ca ContactAddress) (ids.OID, time.Duration, error) {
+func (r *Resolver) insertAt(node Ref, oid ids.OID, ca ContactAddress, ttl time.Duration) (ids.OID, time.Duration, error) {
 	if node.IsZero() {
 		return ids.Nil, 0, ErrNoAddrs
 	}
@@ -116,9 +132,14 @@ func (r *Resolver) insertAt(node Ref, oid ids.OID, ca ContactAddress) (ids.OID, 
 	if oid.IsNil() {
 		oid = ids.New()
 	}
+	ttlSecs := uint32(0)
+	if ttl > 0 {
+		ttlSecs = uint32((ttl + time.Second - 1) / time.Second)
+	}
 	w := wire.NewWriter(96)
 	w.OID(oid)
 	ca.encode(w)
+	w.Uint32(ttlSecs)
 	resp, cost, err := r.client(node.Route(oid)).Call(OpInsert, w.Bytes())
 	if err != nil {
 		return ids.Nil, cost, err
@@ -128,6 +149,35 @@ func (r *Resolver) insertAt(node Ref, oid ids.OID, ca ContactAddress) (ids.OID, 
 		return ids.Nil, cost, err
 	}
 	return got, cost, nil
+}
+
+// Drain marks (draining=true) or clears (false) the draining state of
+// a transport address at every subnode of the client's leaf directory
+// node — the node where that address's replicas registered. Drained
+// addresses stop appearing in lookups while healthy alternatives
+// exist; registrations stay intact, so recovery is one Drain(false)
+// away. Object servers call this when background scrubbing finds
+// their chunk store chronically corrupt.
+func (r *Resolver) Drain(addr string, draining bool) (time.Duration, error) {
+	if r.leaf.IsZero() {
+		return 0, ErrNoAddrs
+	}
+	w := wire.NewWriter(16 + len(addr))
+	w.Str(addr)
+	w.Bool(draining)
+	body := w.Bytes()
+	var total time.Duration
+	var firstErr error
+	// Drain state is per subnode; every subnode of the leaf must hear
+	// it, since each owns a slice of the identifier space.
+	for _, sub := range r.leaf.Addrs {
+		_, cost, err := r.client(sub).Call(OpDrain, body)
+		total += cost
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, firstErr
 }
 
 // Delete deregisters the contact address with the given transport

@@ -231,6 +231,15 @@ func (a *Authority) handleAdd(call *rpc.Call) ([]byte, error) {
 		return nil, err
 	}
 	child := parts[len(parts)-1]
+	// The immediate parent additionally gets a package marker, so a
+	// single listing query classifies this child as an object — even
+	// when the entry chain already existed (the name was a directory
+	// before it became a package too).
+	parentDNS, err := NameToDNS(dirs[0], a.cfg.Zone)
+	if err != nil {
+		return nil, err
+	}
+	a.stage(dns.RR{Name: parentDNS, Type: dns.TypeTXT, Class: dns.ClassIN, TTL: recordTTL, Data: EncodePkgRecord(child)})
 	for i, dir := range dirs {
 		kids := a.children[dir]
 		if kids == nil {
@@ -294,6 +303,13 @@ func (a *Authority) handleRemove(call *rpc.Call) ([]byte, error) {
 	}
 	current := canonical
 	child := parts[len(parts)-1]
+	// The object is gone, so its package marker at the immediate parent
+	// goes regardless of whether the name survives as a directory.
+	parentDNS, err := NameToDNS(dirs[0], a.cfg.Zone)
+	if err != nil {
+		return nil, err
+	}
+	a.stage(dns.RR{Name: parentDNS, Type: dns.TypeTXT, Class: dns.ClassNone, Data: EncodePkgRecord(child)})
 	for _, dir := range dirs {
 		if len(a.children[current]) > 0 {
 			break // still a non-empty directory; keep its entry
@@ -453,6 +469,15 @@ func (a *Authority) ResyncZone() error {
 			return err
 		}
 		a.stage(dns.RR{Name: dnsName, Type: dns.TypeTXT, Class: dns.ClassIN, TTL: recordTTL, Data: EncodeOIDRecord(oid)})
+		dirs, err := ParentDirs(name)
+		if err != nil {
+			return err
+		}
+		parentDNS, err := NameToDNS(dirs[0], a.cfg.Zone)
+		if err != nil {
+			return err
+		}
+		a.stage(dns.RR{Name: parentDNS, Type: dns.TypeTXT, Class: dns.ClassIN, TTL: recordTTL, Data: EncodePkgRecord(lastLabel(name))})
 	}
 	for dir, kids := range a.children {
 		dirDNS, err := NameToDNS(dir, a.cfg.Zone)

@@ -262,6 +262,55 @@ func TestDirectoryListing(t *testing.T) {
 	}
 }
 
+func TestEntriesClassifyInOneRoundTrip(t *testing.T) {
+	w := newGNSWorld(t, 1, nil, nil)
+	for _, n := range []string{"/apps/graphics/gimp", "/apps/tex"} {
+		if _, err := w.client.Add(n, ids.Derive(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	entries, _, err := w.service.Entries("/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{{Name: "graphics", Package: false}, {Name: "tex", Package: true}}
+	if len(entries) != 2 || entries[0] != want[0] || entries[1] != want[1] {
+		t.Fatalf("entries = %v, want %v", entries, want)
+	}
+	// One TXT query classifies every child: no per-child Resolve.
+	if qs := w.servers[0].QueriesHandled() + w.servers[1].QueriesHandled(); qs != 1 {
+		t.Fatalf("entries listing issued %d DNS queries, want 1", qs)
+	}
+
+	// A directory that later becomes a package too flips its marker.
+	if _, err := w.client.Add("/apps/graphics", ids.Derive("graphics-pkg")); err != nil {
+		t.Fatal(err)
+	}
+	w.resolver.FlushCache()
+	entries, _, err = w.service.Entries("/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || !entries[0].Package {
+		t.Fatalf("entries after dir-becomes-package = %v", entries)
+	}
+
+	// Removing the package (children remain) demotes it back to a
+	// plain directory entry.
+	if _, err := w.client.Remove("/apps/graphics"); err != nil {
+		t.Fatal(err)
+	}
+	w.resolver.FlushCache()
+	entries, _, err = w.service.Entries("/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Package {
+		t.Fatalf("entries after package removal = %v", entries)
+	}
+}
+
 func TestUpdateBatching(t *testing.T) {
 	w := newGNSWorld(t, 50, nil, nil)
 

@@ -45,6 +45,12 @@ const oidPrefix = "globe-oid="
 // entryPrefix tags TXT records enumerating a directory's children.
 const entryPrefix = "entry="
 
+// pkgPrefix tags TXT records marking a directory child as itself a
+// registered object (a package). It lives alongside the child's entry
+// record at the parent, so one TXT query classifies every child as
+// directory or package without a resolution round trip per child.
+const pkgPrefix = "pkg="
+
 // SplitObjectName validates and splits a hierarchical object name such
 // as "/apps/graphics/gimp" into its components, lowercased. Components
 // must be valid DNS labels — the name-syntax restriction the paper
@@ -168,4 +174,15 @@ func DecodeEntryRecord(txt string) (string, bool) {
 		return "", false
 	}
 	return strings.TrimPrefix(txt, entryPrefix), true
+}
+
+// EncodePkgRecord renders a child-is-a-package marker as TXT data.
+func EncodePkgRecord(child string) string { return pkgPrefix + child }
+
+// DecodePkgRecord parses package-marker TXT data.
+func DecodePkgRecord(txt string) (string, bool) {
+	if !strings.HasPrefix(txt, pkgPrefix) {
+		return "", false
+	}
+	return strings.TrimPrefix(txt, pkgPrefix), true
 }

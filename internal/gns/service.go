@@ -79,6 +79,49 @@ func (ns *NameService) List(dir string) ([]string, time.Duration, error) {
 	return children, result.Cost, nil
 }
 
+// Entry describes one child of a GNS directory.
+type Entry struct {
+	// Name is the child's label within the directory.
+	Name string
+	// Package reports that the child is itself a registered object; it
+	// may additionally be a directory with children of its own.
+	Package bool
+}
+
+// Entries returns a directory's children with their directory-versus-
+// package classification, from one TXT query: the parent's record set
+// carries a package marker alongside each object child's entry record.
+// Callers that previously probed every child with Resolve (N extra
+// round trips, cost uncounted) list with this instead.
+func (ns *NameService) Entries(dir string) ([]Entry, time.Duration, error) {
+	dnsName, err := NameToDNS(dir, ns.zone)
+	if err != nil {
+		return nil, 0, err
+	}
+	texts, result, err := ns.res.QueryTXT(dnsName)
+	if err != nil {
+		if result.RCode == dns.RCodeNXDomain {
+			return nil, result.Cost, fmt.Errorf("%w: %s", ErrNotFound, dir)
+		}
+		return nil, result.Cost, err
+	}
+	pkgs := make(map[string]bool)
+	var names []string
+	for _, txt := range texts {
+		if child, ok := DecodeEntryRecord(txt); ok {
+			names = append(names, child)
+		} else if child, ok := DecodePkgRecord(txt); ok {
+			pkgs[child] = true
+		}
+	}
+	sort.Strings(names)
+	entries := make([]Entry, 0, len(names))
+	for _, name := range names {
+		entries = append(entries, Entry{Name: name, Package: pkgs[name]})
+	}
+	return entries, result.Cost, nil
+}
+
 // maxWalkDepth bounds Walk's recursion so a cyclic or hostile
 // directory graph terminates.
 const maxWalkDepth = 16

@@ -85,6 +85,22 @@ type Config struct {
 	ScrubEvery time.Duration
 	// ScrubBytes bounds one scrubbing pass; 0 selects a default.
 	ScrubBytes int64
+	// LeaseTTL is the lifetime of this server's location-service
+	// registrations. The server re-registers every hosted replica on a
+	// heartbeat (a third of the TTL), so entries stay live while the
+	// server does and age out of lookups within one TTL of a crash —
+	// the location layer stops advertising dead replicas. 0 selects
+	// the default (30s); negative disables leasing (permanent
+	// registrations, no heartbeat — the pre-lease behaviour).
+	LeaseTTL time.Duration
+	// DrainAfter is the cumulative count of scrubber-quarantined chunks
+	// at which the server declares its store chronically corrupt and
+	// drains its replicas out of location-service lookups (without
+	// deregistering — state and leases survive, and the server
+	// undrains itself once a full scrub pass runs clean and every
+	// quarantined ref has been re-fetched). 0 selects the default (4);
+	// negative disables draining.
+	DrainAfter int
 	// Auth protects both endpoints when non-nil. Commands additionally
 	// require the moderator or admin role (§6.1, requirement 1).
 	Auth *sec.Config
@@ -98,6 +114,14 @@ type Config struct {
 const (
 	defaultScrubEvery = 30 * time.Second
 	defaultScrubBytes = 256 << 20
+)
+
+// Default replica-health knobs: registrations live 30 seconds past
+// the last heartbeat, and four quarantined chunks mark a store as
+// chronically corrupt.
+const (
+	defaultLeaseTTL   = 30 * time.Second
+	defaultDrainAfter = 4
 )
 
 // hosted is one replica this server runs.
@@ -123,6 +147,15 @@ type Server struct {
 	// stopScrub halts the background chunk scrubber; nil when
 	// scrubbing is disabled.
 	stopScrub func()
+	// stopHeartbeat halts the lease-renewal loop; nil when leasing is
+	// disabled.
+	stopHeartbeat func()
+
+	// healthMu guards the scrub-health accounting feeding GLS drain.
+	healthMu sync.Mutex
+	drained  bool
+	scrubBad int // quarantined chunks since the last healthy wrap
+	wrapBad  int // quarantined chunks in the current scrub wrap
 
 	// chunks is the server-wide content store every hosted replica's
 	// bulk content lives in: disk-backed under StateDir (durable
@@ -199,7 +232,9 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 
 	// Background scrubbing re-verifies the durable chunks this server
 	// is trusted to serve; a quarantined chunk is refetched by the next
-	// state transfer that needs it (repair by delta sync).
+	// state transfer that needs it (repair by delta sync). Scrub
+	// results feed the location service: chronic corruption drains
+	// this server's replicas out of lookups until the store heals.
 	if cfg.StateDir != "" && cfg.ScrubEvery >= 0 {
 		every, bytes := cfg.ScrubEvery, cfg.ScrubBytes
 		if every == 0 {
@@ -208,13 +243,185 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 		if bytes == 0 {
 			bytes = defaultScrubBytes
 		}
-		s.stopScrub = s.chunks.StartScrubber(every, bytes, func(bad []store.Ref) {
-			for _, ref := range bad {
-				cfg.Logf("gos: scrub quarantined corrupt chunk %s", ref.Short())
-			}
-		})
+		s.stopScrub = s.startScrubLoop(every, bytes)
+	}
+
+	// Heartbeat: re-register every hosted replica at a third of the
+	// lease TTL, so registrations stay live exactly as long as the
+	// server does.
+	if cfg.LeaseTTL >= 0 {
+		s.stopHeartbeat = s.startHeartbeat(s.leaseTTL() / 3)
 	}
 	return s, nil
+}
+
+// leaseTTL returns the effective registration TTL (0 when leasing is
+// disabled).
+func (s *Server) leaseTTL() time.Duration {
+	switch {
+	case s.cfg.LeaseTTL < 0:
+		return 0
+	case s.cfg.LeaseTTL == 0:
+		return defaultLeaseTTL
+	default:
+		return s.cfg.LeaseTTL
+	}
+}
+
+// drainAfter returns the effective chronic-corruption threshold (0
+// when draining is disabled).
+func (s *Server) drainAfter() int {
+	switch {
+	case s.cfg.DrainAfter < 0:
+		return 0
+	case s.cfg.DrainAfter == 0:
+		return defaultDrainAfter
+	default:
+		return s.cfg.DrainAfter
+	}
+}
+
+// register (re-)inserts one replica's contact address, leased when
+// leasing is on.
+func (s *Server) register(oid ids.OID, ca gls.ContactAddress) (time.Duration, error) {
+	if ttl := s.leaseTTL(); ttl > 0 {
+		_, cost, err := s.cfg.Runtime.Resolver().InsertLease(oid, ca, ttl)
+		return cost, err
+	}
+	_, cost, err := s.cfg.Runtime.Resolver().Insert(oid, ca)
+	return cost, err
+}
+
+// startHeartbeat renews every hosted replica's lease on a ticker.
+func (s *Server) startHeartbeat(every time.Duration) func() {
+	if every <= 0 {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.Heartbeat()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(stop) }); <-done }
+}
+
+// Heartbeat renews the lease of every hosted replica now. The
+// background loop calls it on a ticker; tests call it directly.
+func (s *Server) Heartbeat() {
+	s.mu.Lock()
+	regs := make([]*hosted, 0, len(s.objects))
+	for _, h := range s.objects {
+		regs = append(regs, h)
+	}
+	s.mu.Unlock()
+	for _, h := range regs {
+		if _, err := s.register(h.spec.OID, h.ca); err != nil {
+			s.cfg.Logf("gos: renew lease for %s: %v", h.spec.OID.Short(), err)
+		}
+	}
+}
+
+// startScrubLoop drives bounded scrub passes and feeds their results
+// into the drain policy.
+func (s *Server) startScrubLoop(every time.Duration, bytesPerPass int64) func() {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.ScrubPass(bytesPerPass)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(stop) }); <-done }
+}
+
+// ScrubPass runs one bounded scrub pass and applies the drain policy:
+// crossing the chronic-corruption threshold drains this server's
+// replicas out of location-service lookups; a full wrap over the
+// store with zero corruption and every quarantined ref re-fetched
+// undrains them. The background loop calls it on a ticker; tests call
+// it directly. limit <= 0 selects the configured pass bound.
+func (s *Server) ScrubPass(limit int64) store.ScrubResult {
+	if limit <= 0 {
+		limit = s.cfg.ScrubBytes
+		if limit <= 0 {
+			limit = defaultScrubBytes
+		}
+	}
+	res := s.chunks.Scrub(limit)
+	for _, ref := range res.Quarantined {
+		s.cfg.Logf("gos: scrub quarantined corrupt chunk %s", ref.Short())
+	}
+
+	threshold := s.drainAfter()
+	var drain, undrain bool
+	s.healthMu.Lock()
+	s.scrubBad += len(res.Quarantined)
+	s.wrapBad += len(res.Quarantined)
+	if threshold > 0 && !s.drained && s.scrubBad >= threshold {
+		s.drained = true
+		drain = true
+	}
+	if res.Wrapped {
+		if s.drained && s.wrapBad == 0 && s.chunks.Lost() == 0 {
+			// The whole store verified clean and every quarantined ref
+			// healed: the replica is trustworthy again.
+			s.drained = false
+			s.scrubBad = 0
+			undrain = true
+		}
+		s.wrapBad = 0
+	}
+	s.healthMu.Unlock()
+
+	if drain {
+		s.setDrain(true)
+	}
+	if undrain {
+		s.setDrain(false)
+	}
+	return res
+}
+
+// Drained reports whether this server has drained its replicas out of
+// location-service lookups.
+func (s *Server) Drained() bool {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	return s.drained
+}
+
+// setDrain tells the location service to hide (or restore) every
+// contact address at this server's replica endpoint.
+func (s *Server) setDrain(draining bool) {
+	if _, err := s.cfg.Runtime.Resolver().Drain(s.disp.Addr(), draining); err != nil {
+		s.cfg.Logf("gos: drain(%v) %s: %v", draining, s.disp.Addr(), err)
+		return
+	}
+	if draining {
+		s.cfg.Logf("gos: store chronically corrupt; drained %s from location lookups", s.disp.Addr())
+	} else {
+		s.cfg.Logf("gos: store healed; undrained %s", s.disp.Addr())
+	}
 }
 
 // Addr returns the command endpoint address.
@@ -246,6 +453,9 @@ func (s *Server) HostedLR(oid ids.OID) (*core.LR, bool) {
 // of a crash or an abrupt reboot. Checkpoints and location-service
 // registrations survive, which is what recovery builds on.
 func (s *Server) Close() error {
+	if s.stopHeartbeat != nil {
+		s.stopHeartbeat()
+	}
 	if s.stopScrub != nil {
 		s.stopScrub()
 	}
@@ -492,7 +702,7 @@ func (s *Server) create(req CreateRequest) (oid ids.OID, ca gls.ContactAddress, 
 		return ids.Nil, gls.ContactAddress{}, 0, err
 	}
 
-	_, insCost, err := s.cfg.Runtime.Resolver().Insert(oid, ca)
+	insCost, err := s.register(oid, ca)
 	if err != nil {
 		lr.Close()
 		return ids.Nil, gls.ContactAddress{}, insCost, fmt.Errorf("gos: register %s: %w", oid.Short(), err)
@@ -741,7 +951,7 @@ func (s *Server) recover() error {
 		if err != nil {
 			return fmt.Errorf("gos: recover %s: %w", p.spec.OID.Short(), err)
 		}
-		if _, _, err := s.cfg.Runtime.Resolver().Insert(p.spec.OID, ca); err != nil {
+		if _, err := s.register(p.spec.OID, ca); err != nil {
 			lr.Close()
 			return fmt.Errorf("gos: re-register %s: %w", p.spec.OID.Short(), err)
 		}

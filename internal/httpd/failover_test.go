@@ -1,0 +1,205 @@
+package httpd_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gdn"
+	"gdn/internal/gos"
+)
+
+func TestLastModifiedAndIfModifiedSince(t *testing.T) {
+	_, h, ts := world(t, "na-ny-cu", gdn.HTTPDConfig{})
+	url := ts.URL + "/pkg/apps/graphics/gimp/-/README"
+
+	resp, _ := get(t, url)
+	lm := resp.Header.Get("Last-Modified")
+	if lm == "" {
+		t.Fatal("download must carry Last-Modified (the package's replicated change stamp)")
+	}
+	when, err := http.ParseTime(lm)
+	if err != nil {
+		t.Fatalf("Last-Modified %q: %v", lm, err)
+	}
+	if d := time.Since(when); d < 0 || d > time.Hour {
+		t.Fatalf("Last-Modified %v is not a recent deploy stamp", when)
+	}
+
+	// An up-to-date dumb client (dates only, no ETags) revalidates for
+	// free.
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-Modified-Since", lm)
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-Modified-Since(current) = %d, want 304", r2.StatusCode)
+	}
+
+	// A stale copy gets the body.
+	req.Header.Set("If-Modified-Since", when.Add(-time.Hour).Format(http.TimeFormat))
+	r3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(r3.Body)
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("If-Modified-Since(old) = %d with %d bytes, want 200 + body", r3.StatusCode, len(body))
+	}
+
+	// If-None-Match wins over If-Modified-Since (RFC 9110): a matching
+	// tag answers 304 even with an ancient date; a mismatched tag gets
+	// the body even with a current date.
+	req.Header.Set("If-None-Match", resp.Header.Get("ETag"))
+	r4, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4.Body.Close()
+	if r4.StatusCode != http.StatusNotModified {
+		t.Fatalf("ETag match + old date = %d, want 304", r4.StatusCode)
+	}
+	req.Header.Set("If-None-Match", `"deadbeef"`)
+	req.Header.Set("If-Modified-Since", lm)
+	r5, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5.Body.Close()
+	if r5.StatusCode != http.StatusOK {
+		t.Fatalf("ETag mismatch + current date = %d, want 200", r5.StatusCode)
+	}
+	if h.Stats().NotModified < 2 {
+		t.Fatalf("stats = %+v", h.Stats())
+	}
+}
+
+func TestRebindRetriesThroughFreshPeers(t *testing.T) {
+	// The binding caches a proxy pinned (via the location service) to
+	// the nearest replica. When that replica is torn down, the next
+	// request must drop the corpse and retry once through a fresh
+	// lookup — answering 200 off the surviving replica, not 502.
+	w, h, ts := world(t, "na-ny-cu", gdn.HTTPDConfig{})
+	url := ts.URL + "/pkg/apps/graphics/gimp/-/README"
+
+	// Warm the binding: the na-ny HTTPD binds to the na-ca slave.
+	if resp, _ := get(t, url); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up status = %d", resp.StatusCode)
+	}
+
+	// Tear the slave replica down (deregistered and unhosted).
+	srv, ok := w.GOS("na-ca-ucb")
+	if !ok {
+		t.Fatal("no GOS at na-ca-ucb")
+	}
+	cl := gos.NewClient(w.Net, "na-ca-ucb", srv.Addr(), nil)
+	defer cl.Close()
+	infos, err := cl.ListReplicas()
+	if err != nil || len(infos) != 1 {
+		t.Fatalf("replicas = %v, %v", infos, err)
+	}
+	if _, err := cl.RemoveReplica(infos[0].OID); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := get(t, url)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status after replica removal = %d, want 200 via rebind", resp.StatusCode)
+	}
+	if !bytes.Equal(body, []byte("The GNU Image Manipulation Program")) {
+		t.Fatalf("body = %q", body)
+	}
+	if errs := h.Stats().Errors; errs != 0 {
+		t.Fatalf("handler served %d errors", errs)
+	}
+}
+
+// TestKillReplicaMidDownloadFailsOver is the acceptance scenario: two
+// registered replicas, the one the proxy is bound to dies mid-download,
+// and the fleet of requests finishes hash-verified with zero 5xx after
+// at most one retried request per transfer.
+func TestKillReplicaMidDownloadFailsOver(t *testing.T) {
+	top := gdn.Topology{
+		Regions: map[string][]string{
+			"eu": {"eu-1", "eu-2"},
+			"na": {"na-1"},
+		},
+		// One GLS record per region: a binding client learns both eu
+		// replicas in one lookup, which is what makes instant failover
+		// possible before the dead one's lease expires.
+		SharedRegionLeaves: true,
+	}
+	w, err := gdn.NewWorld(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+
+	// 16 MiB: far more than the stream credit window plus any HTTP
+	// buffering, so the kill lands mid-transfer.
+	content := bytes.Repeat([]byte("highly available bits! "), 730_000)
+	mod, err := w.Moderator("eu-1", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mod.CreatePackage("/apps/big", gdn.Scenario{
+		Protocol: gdn.ProtocolMasterSlave,
+		Servers:  w.GOSAddrs("eu-1", "eu-2"), // master eu-1, slave eu-2
+	}, gdn.Package{Files: map[string][]byte{"blob": content}}); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := w.HTTPD("na-1", gdn.HTTPDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	url := ts.URL + "/pkg/apps/big/-/blob"
+
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// Consume a slice of the body, then crash the slave (the preferred
+	// read replica) mid-stream.
+	head := make([]byte, 256<<10)
+	if _, err := io.ReadFull(resp.Body, head); err != nil {
+		t.Fatal(err)
+	}
+	w.Net.SetDown("eu-2", true)
+	rest, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("download across replica death: %v", err)
+	}
+	got := append(head, rest...)
+	if !bytes.Equal(got, content) {
+		t.Fatalf("downloaded %d bytes, mismatch after failover (want %d)", len(got), len(content))
+	}
+
+	// The fleet keeps going: fresh requests (same binding, dead slave
+	// in backoff) succeed with zero 5xx.
+	r2, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(r2.Body)
+	r2.Body.Close()
+	if err != nil || r2.StatusCode != http.StatusOK || !bytes.Equal(body, content) {
+		t.Fatalf("post-kill download: status %d, %d bytes, err %v", r2.StatusCode, len(body), err)
+	}
+	if errs := h.Stats().Errors; errs != 0 {
+		t.Fatalf("handler served %d errors, want 0", errs)
+	}
+}

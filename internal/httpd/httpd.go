@@ -49,6 +49,7 @@ import (
 	"gdn/internal/ids"
 	"gdn/internal/pkgobj"
 	"gdn/internal/repl"
+	"gdn/internal/rpc"
 	"gdn/internal/store"
 )
 
@@ -138,6 +139,38 @@ type binding struct {
 	stub *pkgobj.Stub
 	// registered remembers a GLS registration to undo on Close.
 	registered bool
+
+	// modMu guards the cached package modification stamp, so serving
+	// Last-Modified does not cost a replica invocation per download.
+	modMu      sync.Mutex
+	modStamp   time.Time
+	modFetched time.Time
+}
+
+// modStampTTL bounds how stale a binding's cached Last-Modified may
+// run. The ETag (fetched fresh per request) stays the precise
+// validator; a date at most this stale is within ordinary HTTP
+// Last-Modified semantics.
+const modStampTTL = 10 * time.Second
+
+// modified returns the binding's package modification stamp, cached.
+// The zero time means the package carries no stamp.
+func (h *Handler) modified(b *binding) time.Time {
+	now := time.Now()
+	b.modMu.Lock()
+	defer b.modMu.Unlock()
+	if !b.modFetched.IsZero() && now.Sub(b.modFetched) < modStampTTL {
+		return b.modStamp
+	}
+	b.modStamp = time.Time{}
+	if stamp, err := b.stub.GetMeta(pkgobj.MetaModified); err == nil && stamp != "" {
+		if secs, perr := strconv.ParseInt(stamp, 10, 64); perr == nil {
+			b.modStamp = time.Unix(secs, 0).UTC()
+		}
+	}
+	h.count(func(s *Stats) { s.VirtualCost += b.stub.TakeCost() })
+	b.modFetched = now
+	return b.modStamp
 }
 
 // New builds a handler.
@@ -360,8 +393,11 @@ func (h *Handler) serveBrowse(w http.ResponseWriter, dir string) {
 	if dir == "" {
 		dir = "/"
 	}
-	names := h.cfg.Runtime.Names()
-	children, cost, err := names.List(dir)
+	// One Entries round trip lists and classifies every child: the
+	// parent's record set carries a package marker per object child, so
+	// no per-child Resolve probes (whose virtual cost the old code also
+	// forgot to count) are needed.
+	children, cost, err := h.cfg.Runtime.Names().Entries(dir)
 	h.count(func(s *Stats) { s.VirtualCost += cost })
 	if err != nil {
 		h.fail(w, http.StatusNotFound, fmt.Sprintf("directory %s: %v", dir, err))
@@ -370,13 +406,11 @@ func (h *Handler) serveBrowse(w http.ResponseWriter, dir string) {
 
 	entries := make([]browseEntry, 0, len(children))
 	for _, child := range children {
-		full := path.Join(dir, child)
-		// A child with further children is a directory; one with an OID
-		// is a package. Probe the cheap way: try resolving it.
-		if _, _, err := names.Resolve(full); err == nil {
-			entries = append(entries, browseEntry{Name: child, Href: "/pkg" + full})
+		full := path.Join(dir, child.Name)
+		if child.Package {
+			entries = append(entries, browseEntry{Name: child.Name, Href: "/pkg" + full})
 		} else {
-			entries = append(entries, browseEntry{Name: child + "/", Href: "/browse" + full})
+			entries = append(entries, browseEntry{Name: child.Name + "/", Href: "/browse" + full})
 		}
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -406,39 +440,81 @@ type listingFile struct {
 	Digest string
 }
 
+// notFound classifies a final failure as 404-shaped.
+func notFound(err error) bool {
+	return errors.Is(err, gns.ErrNotFound) || errors.Is(err, gls.ErrNotFound) ||
+		strings.Contains(err.Error(), pkgobj.ErrNoFile.Error())
+}
+
+// retryable reports whether a fresh binding might cure a failure:
+// transport-level errors mean the bound replica (or the path to it)
+// died, and the dispatcher's replica-gone error means the contact
+// address outlived the replica behind it. Application refusals — an
+// unknown name (gns/gls not-found sentinels are raised locally, not
+// remotely), a missing file, a denied write — are final: retrying
+// them would only double the resolution load of every 404.
+func retryable(err error) bool {
+	if err == nil || notFound(err) {
+		return false
+	}
+	if !rpc.IsRemote(err) {
+		return true
+	}
+	return strings.Contains(err.Error(), "no representative for object")
+}
+
 func (h *Handler) servePackage(w http.ResponseWriter, r *http.Request, p string) {
 	objectName, filePath := splitObjectURL(p)
 	if objectName == "" || objectName == "/" {
 		h.fail(w, http.StatusNotFound, "missing package name")
 		return
 	}
-
-	b, bindCost, err := h.bind(objectName)
-	h.count(func(s *Stats) { s.VirtualCost += bindCost })
-	if err != nil {
-		status := http.StatusNotFound
-		if !errors.Is(err, gns.ErrNotFound) && !errors.Is(err, gls.ErrNotFound) {
-			status = http.StatusBadGateway
-		}
-		h.fail(w, status, fmt.Sprintf("package %s: %v", objectName, err))
-		return
-	}
-
-	if filePath == "" {
-		h.serveListing(w, b)
-		return
-	}
-	h.serveFile(w, r, b, filePath)
+	h.serveObject(w, r, objectName, filePath, false)
 }
 
-func (h *Handler) serveListing(w http.ResponseWriter, b *binding) {
+// serveObject binds and serves one listing or download. When the
+// attempt fails before any body byte in a way a fresh binding might
+// cure — the cached binding points at a replica that has since died —
+// the binding is dropped and the request retried exactly once through
+// fresh peers, instead of answering 502 off a cached corpse. (Failures
+// after body bytes flowed cannot be retried at this layer; mid-stream
+// replica failover lives in the replication subobject.)
+func (h *Handler) serveObject(w http.ResponseWriter, r *http.Request, objectName, filePath string, retried bool) {
+	b, bindCost, err := h.bind(objectName)
+	h.count(func(s *Stats) { s.VirtualCost += bindCost })
+	if err == nil {
+		if filePath == "" {
+			err = h.serveListing(w, b)
+		} else {
+			err = h.serveFile(w, r, b, filePath)
+		}
+		if retryable(err) {
+			// Only failures a fresh binding might cure cost the cached
+			// binding; an app-level refusal (missing file) keeps it.
+			h.dropBinding(objectName)
+		}
+	}
+	if err == nil {
+		return
+	}
+	if !retried && retryable(err) {
+		h.cfg.Logf("httpd: %s: retrying through fresh peers: %v", objectName, err)
+		h.serveObject(w, r, objectName, filePath, true)
+		return
+	}
+	status := http.StatusBadGateway
+	if notFound(err) {
+		status = http.StatusNotFound
+	}
+	h.fail(w, status, fmt.Sprintf("package %s: %v", objectName, err))
+}
+
+func (h *Handler) serveListing(w http.ResponseWriter, b *binding) error {
 	infos, err := b.stub.ListContents()
 	cost := b.stub.TakeCost()
 	h.count(func(s *Stats) { s.VirtualCost += cost })
 	if err != nil {
-		h.dropBinding(b.name)
-		h.fail(w, http.StatusBadGateway, fmt.Sprintf("list %s: %v", b.name, err))
-		return
+		return fmt.Errorf("list: %w", err)
 	}
 	desc, _ := b.stub.GetMeta("description")
 	h.count(func(s *Stats) { s.VirtualCost += b.stub.TakeCost() })
@@ -462,6 +538,7 @@ func (h *Handler) serveListing(w http.ResponseWriter, b *binding) {
 	}); err != nil {
 		h.cfg.Logf("httpd: render listing %s: %v", b.name, err)
 	}
+	return nil
 }
 
 var searchTemplate = template.Must(template.New("search").Parse(`<!DOCTYPE html>
@@ -547,12 +624,11 @@ func (h *Handler) serveSearch(w http.ResponseWriter, query string) {
 // 206 straight from the chunk store — OpBulkRead always took [off, n).
 // Partial bodies cannot be digest-verified end to end; they rest on
 // the chunk layer's per-chunk verification instead.
-func (h *Handler) serveFile(w http.ResponseWriter, r *http.Request, b *binding, filePath string) {
+func (h *Handler) serveFile(w http.ResponseWriter, r *http.Request, b *binding, filePath string) error {
 	fi, err := b.stub.Stat(filePath)
 	if err != nil {
 		h.count(func(s *Stats) { s.VirtualCost += b.stub.TakeCost() })
-		h.fail(w, http.StatusNotFound, fmt.Sprintf("file %s in %s: %v", filePath, b.name, err))
-		return
+		return fmt.Errorf("file %s: %w", filePath, err)
 	}
 
 	etag := fmt.Sprintf(`"%x"`, fi.Digest)
@@ -560,10 +636,30 @@ func (h *Handler) serveFile(w http.ResponseWriter, r *http.Request, b *binding, 
 	w.Header().Set("Accept-Ranges", "bytes")
 	w.Header().Set("X-GDN-Digest", fmt.Sprintf("%x", fi.Digest))
 
+	// Last-Modified rides the package's replicated modification stamp;
+	// per-file granularity is deliberately not claimed (any moderator
+	// change bumps the whole package). The ETag stays the precise
+	// validator; Last-Modified serves clients that only speak dates,
+	// from a per-binding cache so the hot download path pays no extra
+	// replica invocation.
+	lastMod := h.modified(b)
+	if !lastMod.IsZero() {
+		w.Header().Set("Last-Modified", lastMod.Format(http.TimeFormat))
+	}
+
 	if etagMatch(r.Header.Get("If-None-Match"), etag) {
 		h.count(func(s *Stats) { s.NotModified++; s.VirtualCost += b.stub.TakeCost() })
 		w.WriteHeader(http.StatusNotModified)
-		return
+		return nil
+	}
+	// If-Modified-Since applies only without If-None-Match (RFC 9110
+	// §13.1.3): a date is a weaker validator than an entity tag.
+	if ims := r.Header.Get("If-Modified-Since"); ims != "" && r.Header.Get("If-None-Match") == "" && !lastMod.IsZero() {
+		if t, perr := http.ParseTime(ims); perr == nil && !lastMod.After(t) {
+			h.count(func(s *Stats) { s.NotModified++ })
+			w.WriteHeader(http.StatusNotModified)
+			return nil
+		}
 	}
 
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -586,7 +682,7 @@ func (h *Handler) serveFile(w http.ResponseWriter, r *http.Request, b *binding, 
 			w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", fi.Size))
 			h.fail(w, http.StatusRequestedRangeNotSatisfiable,
 				fmt.Sprintf("range %q outside %d-byte file", rangeHdr, fi.Size))
-			return
+			return nil
 		default:
 			w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
 			w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", off, off+n-1, fi.Size))
@@ -595,6 +691,8 @@ func (h *Handler) serveFile(w http.ResponseWriter, r *http.Request, b *binding, 
 			if r.Method != http.MethodHead {
 				served, err = b.stub.ReadFileRangeTo(w, filePath, off, n)
 				if err != nil {
+					// Headers (and possibly bytes) are out; the response
+					// cannot be retried, only truncated.
 					h.cfg.Logf("httpd: stream range %s/%s after %d bytes: %v", b.name, filePath, served, err)
 				}
 			}
@@ -605,7 +703,7 @@ func (h *Handler) serveFile(w http.ResponseWriter, r *http.Request, b *binding, 
 				s.BytesServed += served
 				s.VirtualCost += cost
 			})
-			return
+			return nil
 		}
 	}
 
@@ -623,6 +721,7 @@ func (h *Handler) serveFile(w http.ResponseWriter, r *http.Request, b *binding, 
 		s.BytesServed += served
 		s.VirtualCost += cost
 	})
+	return nil
 }
 
 // etagMatch implements the If-None-Match comparison: a comma-separated

@@ -40,6 +40,17 @@ import (
 // replication scenario.
 const ScenarioMetaKey = "gdn.scenario"
 
+// ModifiedMetaKey is the package metadata key holding the time of the
+// last moderator change, as decimal Unix seconds. It replicates with
+// the rest of the state, so every replica agrees on it; the GDN HTTPD
+// serves it as Last-Modified for clients too dumb for ETags.
+const ModifiedMetaKey = pkgobj.MetaModified
+
+// stampModified records the change time on a package.
+func stampModified(stub *pkgobj.Stub) error {
+	return stub.SetMeta(ModifiedMetaKey, fmt.Sprintf("%d", time.Now().Unix()))
+}
+
 // Config assembles a moderator tool.
 type Config struct {
 	// Site is where the moderator runs.
@@ -150,6 +161,9 @@ func (t *Tool) CreatePackage(name string, scenario core.Scenario, pkg Package) (
 	if err := stagedStub.SetMeta(ScenarioMetaKey, hex.EncodeToString(scenario.Encode())); err != nil {
 		return ids.Nil, 0, err
 	}
+	if err := stampModified(stagedStub); err != nil {
+		return ids.Nil, 0, err
+	}
 	state, err := staged.MarshalState()
 	if err != nil {
 		return ids.Nil, 0, err
@@ -239,6 +253,9 @@ func (t *Tool) UpdatePackage(name string, fn func(*pkgobj.Stub) error) (time.Dur
 	defer lr.Close()
 	stub := pkgobj.NewStub(lr)
 	if err := fn(stub); err != nil {
+		return cost + stub.TakeCost(), err
+	}
+	if err := stampModified(stub); err != nil {
 		return cost + stub.TakeCost(), err
 	}
 	return cost + stub.TakeCost(), nil

@@ -54,6 +54,13 @@ const (
 	MethodGetMeta      = "getMeta"
 )
 
+// MetaModified is the metadata key conventionally holding the time of
+// the package's last moderator change, as decimal Unix seconds. The
+// moderator tool stamps it on create and update; replicated with the
+// rest of the state, every replica agrees on it, and the GDN HTTPD
+// serves it as Last-Modified.
+const MetaModified = "gdn.modified"
+
 // MaxInlineRead bounds MethodGetFile/MethodGetFileAt responses: a
 // whole-content read materializes the file in one protocol message,
 // which must stay under the wire field limit. Storage itself has no

@@ -3,7 +3,6 @@ package repl
 import (
 	"encoding/binary"
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -273,79 +272,34 @@ func decodeApply(b []byte) (uint64, core.Invocation, error) {
 	return binary.BigEndian.Uint64(b), inv, err
 }
 
-// activeProxy sends reads to a random peer and writes to the sequencer.
+// activeProxy sends reads to a healthy peer replica (spread by the
+// ranked peer set) and writes to the sequencer, failing over to a
+// forwarding peer when the sequencer address is unreachable. It must
+// not implement core.ChunkNegotiator: writes replay at every peer, so
+// a chunk present at one replica may be absent at another.
 type activeProxy struct {
-	env *core.Env
-
-	mu    sync.Mutex
-	rnd   *rand.Rand
-	peers map[string]*core.PeerClient
-
-	readAddrs []string
-	writeAddr string
+	env   *core.Env
+	peers *core.PeerSet
 }
 
 func newActiveProxy(env *core.Env) (core.Replication, error) {
-	p := &activeProxy{
-		env:   env,
-		rnd:   rand.New(rand.NewSource(int64(env.OID[2])<<8 | int64(env.OID[3]))),
-		peers: make(map[string]*core.PeerClient),
+	ps, err := core.NewPeerSet(env, "",
+		[]string{RolePeer, RoleSequencer},
+		[]string{RoleSequencer, RolePeer})
+	if err != nil {
+		return nil, fmt.Errorf("repl: %s proxy for %s: %w", Active, env.OID.Short(), err)
 	}
-	for _, ca := range env.Peers {
-		switch ca.Role {
-		case RolePeer:
-			p.readAddrs = append(p.readAddrs, ca.Address)
-		case RoleSequencer:
-			p.writeAddr = ca.Address
-		}
-	}
-	if p.writeAddr == "" && len(p.readAddrs) > 0 {
-		p.writeAddr = p.readAddrs[0] // peers forward writes
-	}
-	if p.writeAddr == "" {
-		return nil, fmt.Errorf("repl: %s proxy for %s: no usable contact address", Active, env.OID.Short())
-	}
-	if len(p.readAddrs) == 0 {
-		p.readAddrs = []string{p.writeAddr}
-	}
-	return p, nil
-}
-
-func (p *activeProxy) peer(addr string) *core.PeerClient {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	pc, ok := p.peers[addr]
-	if !ok {
-		pc = p.env.Dial(addr)
-		p.peers[addr] = pc
-	}
-	return pc
+	return &activeProxy{env: env, peers: ps}, nil
 }
 
 func (p *activeProxy) Invoke(inv core.Invocation) ([]byte, time.Duration, error) {
-	addr := p.writeAddr
-	if !inv.Write {
-		p.mu.Lock()
-		addr = p.readAddrs[p.rnd.Intn(len(p.readAddrs))]
-		p.mu.Unlock()
-	}
-	return p.peer(addr).Call(core.OpInvoke, inv.Encode())
+	return p.peers.Call(core.OpInvoke, inv.Encode(), inv.Write)
 }
 
-// ReadBulk implements core.BulkReader by streaming from a read peer.
+// ReadBulk implements core.BulkReader by streaming from a read peer,
+// resuming on the next candidate when one dies mid-stream.
 func (p *activeProxy) ReadBulk(path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
-	p.mu.Lock()
-	addr := p.readAddrs[p.rnd.Intn(len(p.readAddrs))]
-	p.mu.Unlock()
-	return streamBulkFrom(p.peer(addr), path, off, n, fn)
+	return streamBulkVia(p.peers, path, off, n, fn)
 }
 
-func (p *activeProxy) Close() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, pc := range p.peers {
-		pc.Close()
-	}
-	p.peers = make(map[string]*core.PeerClient)
-	return nil
-}
+func (p *activeProxy) Close() error { return p.peers.Close() }

@@ -208,6 +208,13 @@ func (c *CacheReplica) ensureFresh() (time.Duration, error) {
 }
 
 func (c *CacheReplica) handle(call *rpc.Call) ([]byte, error) {
+	// Negotiated writes read and feed the parent chain's store, never
+	// the cache's own (a chunk banked here would be invisible to the
+	// manifest write upstream). Forward both negotiation ops; a parent
+	// that is itself a slave relays onward to the master.
+	if handled, resp, err := c.relayChunkOps(call, c.parentAddr); handled {
+		return resp, err
+	}
 	if call.Op == core.OpBulkRead {
 		// A registered cache serves streamed reads to other clients;
 		// fill or revalidate before the base handler reads local state.

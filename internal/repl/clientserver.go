@@ -99,46 +99,59 @@ func (s *csServer) invalidateCaches() (time.Duration, error) {
 	return s.pushAll(addrs, core.OpInvalidate, nil)
 }
 
+// forwardingProxyPrefs is the capability order forwardingProxy ranks
+// candidates by: the most capable representative the location service
+// returned serves every invocation.
+var forwardingProxyPrefs = []string{RoleServer, RoleMaster, RoleSlave, RoleCache, RoleSequencer, RolePeer}
+
 // forwardingProxy is the proxy side shared by clientserver and cache:
-// every invocation is forwarded to one remote representative. The
-// target preference order picks the most capable peer the location
-// service returned.
+// every invocation is forwarded to a remote representative chosen from
+// a ranked peer set — failing over to the next candidate (and
+// re-resolving through the location service) when the bound one dies,
+// instead of staying pinned to a bind-time corpse.
 type forwardingProxy struct {
-	env  *core.Env
-	peer *core.PeerClient
+	env   *core.Env
+	peers *core.PeerSet
 }
 
 func newForwardingProxy(env *core.Env) (core.Replication, error) {
-	addr := pickPeer(env, RoleServer, RoleMaster, RoleSlave, RoleCache, RoleSequencer, RolePeer)
-	if addr == "" {
-		return nil, fmt.Errorf("repl: no contactable representative among %d peers", len(env.Peers))
+	ps, err := core.NewPeerSet(env, "", forwardingProxyPrefs, forwardingProxyPrefs)
+	if err != nil {
+		return nil, fmt.Errorf("repl: %w", err)
 	}
-	return &forwardingProxy{env: env, peer: env.Dial(addr)}, nil
+	return &forwardingProxy{env: env, peers: ps}, nil
 }
 
 func (p *forwardingProxy) Invoke(inv core.Invocation) ([]byte, time.Duration, error) {
-	return p.peer.Call(core.OpInvoke, inv.Encode())
+	return p.peers.Call(core.OpInvoke, inv.Encode(), inv.Write)
 }
 
-// ReadBulk implements core.BulkReader by streaming from the forwarded
-// representative.
+// ReadBulk implements core.BulkReader by streaming from a forwarded
+// representative, resuming at the current offset on another replica
+// when one dies mid-stream.
 func (p *forwardingProxy) ReadBulk(path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
-	return streamBulkFrom(p.peer, path, off, n, fn)
+	return streamBulkVia(p.peers, path, off, n, fn)
 }
 
-// MissingChunks and PushChunks implement core.ChunkNegotiator: writes
-// and negotiation both land on the single forwarded representative, so
-// a chunk it confirms holding is a chunk the manifest write will find.
+// MissingChunks and PushChunks implement core.ChunkNegotiator: every
+// candidate either executes manifest writes itself (the clientserver
+// server) or forwards chunk traffic to the replica that does, so a
+// chunk a candidate confirms holding is a chunk the manifest write
+// will find.
 func (p *forwardingProxy) MissingChunks(refs []store.Ref) ([]store.Ref, time.Duration, error) {
-	return missingChunksFrom(p.peer, refs)
+	return missingChunksVia(p.peers, refs)
 }
 
 // PushChunks implements core.ChunkNegotiator.
 func (p *forwardingProxy) PushChunks(chunks [][]byte) (time.Duration, error) {
-	return pushChunksTo(p.peer, chunks)
+	return pushChunksVia(p.peers, chunks)
 }
 
-func (p *forwardingProxy) Close() error { return p.peer.Close() }
+func (p *forwardingProxy) Close() error { return p.peers.Close() }
+
+// Peers exposes the ranked peer set; tests and experiments read its
+// failover counters.
+func (p *forwardingProxy) Peers() *core.PeerSet { return p.peers }
 
 // pickPeer returns the address of the first peer matching the earliest
 // role in prefs; an empty role preference matches anything.

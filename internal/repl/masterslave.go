@@ -2,7 +2,6 @@ package repl
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -203,6 +202,15 @@ func (s *msSlave) Close() error {
 }
 
 func (s *msSlave) handle(call *rpc.Call) ([]byte, error) {
+	// Chunk negotiation targets the replica that executes manifest
+	// writes — the master. A slave answering OpChunkHave from its own
+	// store would promise chunks the master may lack, and accepting
+	// OpChunkPut locally would feed a store no write reads from; both
+	// are forwarded instead, so negotiated uploads work even for
+	// writers that only know slave addresses (ROADMAP open item).
+	if handled, resp, err := s.relayChunkOps(call, s.masterAddr); handled {
+		return resp, err
+	}
 	if handled, resp, err := s.handleCommon(call); handled {
 		return resp, err
 	}
@@ -253,109 +261,53 @@ func (s *msSlave) handle(call *rpc.Call) ([]byte, error) {
 	}
 }
 
-// msProxy is the binding client's subobject: reads go to a slave (the
-// location service returned the nearest representatives), writes go to
-// the master — directly when known, else through a slave.
+// msProxy is the binding client's subobject: reads go to a healthy
+// slave (the location service returned the nearest representatives,
+// and the peer set spreads load across them), writes go to the master
+// — directly when known, else through a slave. Candidate health,
+// failover and re-resolution live in the shared core.PeerSet.
 type msProxy struct {
-	env *core.Env
-
-	mu    sync.Mutex
-	rnd   *rand.Rand
-	peers map[string]*core.PeerClient
-
-	readAddrs []string
-	writeAddr string
-	// writeIsMaster records that writeAddr is the master itself.
-	// Negotiated bulk writes are only sound then: probing and feeding a
-	// forwarding slave's store would not help the master execute the
-	// manifest write.
-	writeIsMaster bool
+	env   *core.Env
+	peers *core.PeerSet
 }
 
 func newMSProxy(env *core.Env) (core.Replication, error) {
-	p := &msProxy{
-		env:   env,
-		rnd:   rand.New(rand.NewSource(int64(env.OID[0])<<8 | int64(env.OID[1]))),
-		peers: make(map[string]*core.PeerClient),
+	ps, err := core.NewPeerSet(env, "",
+		[]string{RoleSlave, RoleMaster},
+		[]string{RoleMaster, RoleSlave})
+	if err != nil {
+		return nil, fmt.Errorf("repl: %s proxy for %s: %w", MasterSlave, env.OID.Short(), err)
 	}
-	for _, ca := range env.PeersWithRole(RoleSlave) {
-		p.readAddrs = append(p.readAddrs, ca.Address)
-	}
-	if masters := env.PeersWithRole(RoleMaster); len(masters) > 0 {
-		p.writeAddr = masters[0].Address
-		p.writeIsMaster = true
-		if len(p.readAddrs) == 0 {
-			p.readAddrs = []string{p.writeAddr}
-		}
-	} else if len(p.readAddrs) > 0 {
-		// No master visible: slaves forward writes on our behalf.
-		p.writeAddr = p.readAddrs[0]
-	} else {
-		return nil, fmt.Errorf("repl: %s proxy for %s: no usable contact address", MasterSlave, env.OID.Short())
-	}
-	return p, nil
-}
-
-func (p *msProxy) peer(addr string) *core.PeerClient {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	pc, ok := p.peers[addr]
-	if !ok {
-		pc = p.env.Dial(addr)
-		p.peers[addr] = pc
-	}
-	return pc
+	return &msProxy{env: env, peers: ps}, nil
 }
 
 func (p *msProxy) Invoke(inv core.Invocation) ([]byte, time.Duration, error) {
-	addr := p.writeAddr
-	if !inv.Write {
-		p.mu.Lock()
-		addr = p.readAddrs[p.rnd.Intn(len(p.readAddrs))]
-		p.mu.Unlock()
-	}
-	return p.peer(addr).Call(core.OpInvoke, inv.Encode())
+	return p.peers.Call(core.OpInvoke, inv.Encode(), inv.Write)
 }
 
-// ReadBulk implements core.BulkReader by streaming from one of the
-// read replicas (the location service returned the nearest ones).
+// ReadBulk implements core.BulkReader by streaming from a read
+// replica, resuming on the next candidate when one dies mid-stream.
 func (p *msProxy) ReadBulk(path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
-	p.mu.Lock()
-	addr := p.readAddrs[p.rnd.Intn(len(p.readAddrs))]
-	p.mu.Unlock()
-	return streamBulkFrom(p.peer(addr), path, off, n, fn)
+	return streamBulkVia(p.peers, path, off, n, fn)
 }
 
-// errNoMasterContact declines negotiation when writes reach the master
-// only through a forwarding slave; uploaders fall back to writes that
-// carry their content bytes.
-var errNoMasterContact = fmt.Errorf("repl: %s proxy has no master contact address; negotiated writes unavailable", MasterSlave)
-
-// MissingChunks and PushChunks implement core.ChunkNegotiator against
-// the master — the replica that will execute the manifest write is the
-// one whose store is probed and fed, and the protocol's state pushes
-// carry the new chunks onward to the slaves by delta sync.
+// MissingChunks and PushChunks implement core.ChunkNegotiator. The
+// store that is probed and fed is always the master's — slaves forward
+// both ops there — so the manifest write (which the protocol also
+// routes to the master) finds every chunk the negotiation promised,
+// and state pushes carry the new chunks onward to the slaves by delta
+// sync. Negotiation therefore no longer needs a direct master contact
+// address.
 func (p *msProxy) MissingChunks(refs []store.Ref) ([]store.Ref, time.Duration, error) {
-	if !p.writeIsMaster {
-		return nil, 0, errNoMasterContact
-	}
-	return missingChunksFrom(p.peer(p.writeAddr), refs)
+	return missingChunksVia(p.peers, refs)
 }
 
 // PushChunks implements core.ChunkNegotiator.
 func (p *msProxy) PushChunks(chunks [][]byte) (time.Duration, error) {
-	if !p.writeIsMaster {
-		return 0, errNoMasterContact
-	}
-	return pushChunksTo(p.peer(p.writeAddr), chunks)
+	return pushChunksVia(p.peers, chunks)
 }
 
-func (p *msProxy) Close() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, pc := range p.peers {
-		pc.Close()
-	}
-	p.peers = make(map[string]*core.PeerClient)
-	return nil
-}
+func (p *msProxy) Close() error { return p.peers.Close() }
+
+// Peers exposes the ranked peer set for tests and experiments.
+func (p *msProxy) Peers() *core.PeerSet { return p.peers }

@@ -356,12 +356,95 @@ func (rb *replicaBase) handleChunkPut(call *rpc.Call) ([]byte, error) {
 	return nil, r.Done()
 }
 
+// relayChunkOps forwards chunk-negotiation traffic (OpChunkHave,
+// OpChunkPut) to the upstream representative whose store manifest
+// writes actually read — slaves relay to their master, caches to
+// their parent. Answering either op from a forwarding replica's own
+// store would negotiate against the wrong store: promising chunks the
+// write target lacks, or banking uploads where no write will find
+// them. Uploads are relayed one frame at a time, so the forwarder
+// buffers one chunk, never the transfer. It reports whether it
+// handled the op.
+func (rb *replicaBase) relayChunkOps(call *rpc.Call, upstream string) (handled bool, resp []byte, err error) {
+	switch call.Op {
+	case core.OpChunkHave:
+		resp, cost, err := rb.peer(upstream).Call(core.OpChunkHave, call.Body)
+		call.Charge(cost)
+		return true, resp, err
+	case core.OpChunkPut:
+		resp, err := rb.relayChunkPut(call, upstream)
+		return true, resp, err
+	default:
+		return false, nil, nil
+	}
+}
+
+func (rb *replicaBase) relayChunkPut(call *rpc.Call, upstream string) ([]byte, error) {
+	if err := authorizeWrite(rb.env, call); err != nil {
+		return nil, err
+	}
+	ur := call.Upload()
+	if ur == nil {
+		// Unary batch shape: forward the body as-is.
+		resp, cost, err := rb.peer(upstream).Call(core.OpChunkPut, call.Body)
+		call.Charge(cost)
+		return resp, err
+	}
+	us, err := rb.peer(upstream).CallUpload(core.OpChunkPut, nil)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		data, err := ur.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			us.Cancel()
+			return nil, err
+		}
+		if err := us.Send(data); err != nil {
+			// Upstream already answered (an error or teardown); the
+			// receive below returns the authoritative result.
+			break
+		}
+	}
+	resp, cost, err := us.CloseAndRecv()
+	call.Charge(cost)
+	return resp, err
+}
+
 // missingChunksFrom runs the OpChunkHave negotiation against a remote
 // representative in bounded batches.
 func missingChunksFrom(pc *core.PeerClient, refs []store.Ref) ([]store.Ref, time.Duration, error) {
 	return core.MissingChunksVia(func(body []byte) ([]byte, time.Duration, error) {
 		return pc.Call(core.OpChunkHave, body)
 	}, refs)
+}
+
+// missingChunksVia is missingChunksFrom with peer-set failover: the
+// negotiation is a read (it changes nothing), so any candidate that
+// answers — or forwards to the write-target replica — will do.
+func missingChunksVia(ps *core.PeerSet, refs []store.Ref) ([]store.Ref, time.Duration, error) {
+	var missing []store.Ref
+	cost, err := ps.Do(false, func(pc *core.PeerClient) (time.Duration, error) {
+		m, c, err := missingChunksFrom(pc, refs)
+		if err == nil {
+			missing = m
+		}
+		return c, err
+	})
+	return missing, cost, err
+}
+
+// pushChunksVia ships chunk bodies with peer-set failover. Chunk puts
+// are idempotent (content-addressed stores deduplicate), so a transfer
+// that died half-way is safely replayed against the next candidate:
+// the chunks that already landed become no-ops.
+func pushChunksVia(ps *core.PeerSet, chunks [][]byte) (time.Duration, error) {
+	return ps.Do(false, func(pc *core.PeerClient) (time.Duration, error) {
+		return pushChunksTo(pc, chunks)
+	})
 }
 
 // pushChunksTo ships chunk bodies to a remote representative over an
@@ -573,6 +656,46 @@ func streamBulkFrom(pc *core.PeerClient, path string, off, n int64, fn func([]by
 		return core.Manifest{}, st.Cost(), err
 	}
 	return m, st.Cost(), nil
+}
+
+// streamBulkVia is streamBulkFrom with peer-set failover: when the
+// streaming replica dies mid-transfer the read resumes on the next
+// candidate at the byte position already delivered, so the consumer
+// sees one uninterrupted range and a replica crash costs one retried
+// request instead of a failed download. Errors raised by fn itself
+// (the consumer) are terminal — retrying elsewhere would replay bytes
+// the consumer already took.
+func streamBulkVia(ps *core.PeerSet, path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
+	var m core.Manifest
+	var delivered int64
+	cost, err := ps.Do(false, func(pc *core.PeerClient) (time.Duration, error) {
+		remaining := n
+		if n >= 0 {
+			remaining = n - delivered
+			if remaining <= 0 && delivered > 0 {
+				// Everything asked for already flowed; only the trailer
+				// was lost. Fetch it via a zero-length read.
+				remaining = 0
+			}
+		}
+		var sinkErr error
+		got, c, err := streamBulkFrom(pc, path, off+delivered, remaining, func(p []byte) error {
+			if err := fn(p); err != nil {
+				sinkErr = err
+				return err
+			}
+			delivered += int64(len(p))
+			return nil
+		})
+		if sinkErr != nil {
+			return c, core.NoFailover(sinkErr)
+		}
+		if err == nil {
+			m = got
+		}
+		return c, err
+	})
+	return m, cost, err
 }
 
 // handleStateGet answers a versioned state fetch: when the caller's

@@ -535,6 +535,15 @@ func (s *Store) dropLocked(ref Ref, e *entry) {
 	}
 }
 
+// Lost returns the number of quarantined placeholder entries still
+// awaiting repair: refs that live manifests pin but that currently
+// answer ErrMissing. A store is healed when this returns to zero.
+func (s *Store) Lost() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gone
+}
+
 // Stats snapshots the store counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
