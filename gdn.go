@@ -579,6 +579,12 @@ type HTTPDConfig struct {
 	// StateDir roots the chunk cache on disk so it survives restarts
 	// ("" = in-memory).
 	StateDir string
+	// LeaseTTL is the registration-session lifetime for registered
+	// caches (0 = default 30s, negative = permanent registrations).
+	LeaseTTL time.Duration
+	// RenewEvery overrides the session heartbeat cadence (negative
+	// disables the loop; tests renew by hand).
+	RenewEvery time.Duration
 }
 
 // HTTPD starts a GDN-enabled HTTPD at a site and returns its handler.
@@ -611,6 +617,8 @@ func (w *World) HTTPD(site string, cfg HTTPDConfig) (*httpd.Handler, error) {
 		RegisterCaches: cfg.RegisterCaches,
 		CacheBytes:     cfg.CacheBytes,
 		StateDir:       cfg.StateDir,
+		LeaseTTL:       cfg.LeaseTTL,
+		RenewEvery:     cfg.RenewEvery,
 	})
 	if err != nil {
 		return nil, err

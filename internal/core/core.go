@@ -296,14 +296,15 @@ type BulkReader interface {
 }
 
 // ChunkNegotiator is the optional replication-subobject interface
-// behind negotiated bulk writes: proxies whose writes land on a single
-// well-known replica (the clientserver server, the masterslave master)
-// let an uploader ask that replica which content chunks it already has
-// (OpChunkHave) and ship only the rest (OpChunkPut, an upload stream),
-// before a manifest-bearing write names them. Protocols that replicate
-// write invocations to every peer (active replication) must not
-// implement it — a chunk present at the negotiating replica may be
-// absent at another peer, so their writes have to carry content bytes.
+// behind negotiated bulk writes: the uploader asks which content
+// chunks the write-target stores already have (OpChunkHave) and ships
+// only the rest (OpChunkPut, an upload stream) before a
+// manifest-bearing write names them. Proxies whose writes land on a
+// single well-known replica (the clientserver server, the masterslave
+// master) negotiate with that replica; active replication — whose
+// writes replay at every peer — negotiates with all of them, reporting
+// a chunk missing unless every replica holds it and shipping each
+// replica exactly its own gap.
 type ChunkNegotiator interface {
 	// MissingChunks reports which of refs the write-target replica's
 	// store lacks, deduplicated, in first-seen order.

@@ -40,6 +40,8 @@ type PeerSet struct {
 	protocol   string   // contact-address protocol this set serves
 	readPrefs  []string // role preference order for reads
 	writePrefs []string // role preference order for writes
+	exclude    string   // own dispatcher address, never a candidate
+	pinned     bool     // fixed candidate set; no re-resolution
 
 	mu         sync.Mutex
 	rnd        *rand.Rand
@@ -84,24 +86,43 @@ const (
 // independent while staying deterministic enough to debug.
 var peerSeed atomic.Int64
 
-// NewPeerSet builds the ranked peer-set for a proxy. The initial
-// candidates come from env.Peers (the lookup that bound the object),
-// filtered to the given protocol; readPrefs and writePrefs order the
-// roles from most to least capable for each operation class.
+// NewPeerSet builds the ranked peer-set for a proxy or a hosted
+// replica. The initial candidates come from env.Peers (the lookup that
+// bound the object, or the creation scenario), filtered to the given
+// protocol; readPrefs and writePrefs order the roles from most to
+// least capable for each operation class. A hosted replica's own
+// dispatcher address is never a candidate — a registered cache must
+// not discover itself as its own parent on a re-resolve.
 func NewPeerSet(env *Env, protocol string, readPrefs, writePrefs []string) (*PeerSet, error) {
+	return newPeerSet(env, env.Peers, protocol, readPrefs, writePrefs, false)
+}
+
+// NewPeerSetPinned builds a single-candidate set for a scenario that
+// pins its upstream to one address (the cache protocol's "parent"
+// parameter): same health bookkeeping and call plumbing, but no role
+// ranking and no re-resolution.
+func NewPeerSetPinned(env *Env, addr string) (*PeerSet, error) {
+	return newPeerSet(env, []gls.ContactAddress{{Address: addr}}, "", nil, nil, true)
+}
+
+func newPeerSet(env *Env, cas []gls.ContactAddress, protocol string, readPrefs, writePrefs []string, pinned bool) (*PeerSet, error) {
 	ps := &PeerSet{
 		env:        env,
 		protocol:   protocol,
 		readPrefs:  readPrefs,
 		writePrefs: writePrefs,
+		pinned:     pinned,
 		rnd:        rand.New(rand.NewSource(peerSeed.Add(1)*0x5851F42D4C957F2D + time.Now().UnixNano())),
 		peers:      make(map[string]*peerState),
 		clients:    make(map[string]*PeerClient),
 		resolvedAt: env.Now(),
 	}
-	ps.mergeLocked(env.Peers)
+	if env.Disp != nil {
+		ps.exclude = env.Disp.Addr()
+	}
+	ps.mergeLocked(cas)
 	if len(ps.peers) == 0 {
-		return nil, fmt.Errorf("core: no contactable representative among %d peers", len(env.Peers))
+		return nil, fmt.Errorf("core: no contactable representative among %d peers", len(cas))
 	}
 	return ps, nil
 }
@@ -109,15 +130,30 @@ func NewPeerSet(env *Env, protocol string, readPrefs, writePrefs []string) (*Pee
 // mergeLocked reconciles the candidate set with a fresh lookup result:
 // new addresses join with clean health, known ones keep their health
 // record, and addresses the location service no longer returns are
-// dropped (their connections closed). Callers hold ps.mu or own ps
-// exclusively (construction).
+// dropped (their connections closed). A result with no usable
+// candidate leaves the set untouched — lookups are proximity-based, so
+// a registered cache asking the location service for its object gets
+// its own (excluded) address back as the nearest replica, and emptying
+// the set on that answer would orphan the cache from its parents.
+// Callers hold ps.mu or own ps exclusively (construction).
 func (ps *PeerSet) mergeLocked(addrs []gls.ContactAddress) {
 	seen := make(map[string]bool, len(addrs))
 	for _, ca := range addrs {
 		if ps.protocol != "" && ca.Protocol != ps.protocol {
 			continue
 		}
+		if ps.exclude != "" && ca.Address == ps.exclude {
+			continue
+		}
 		seen[ca.Address] = true
+	}
+	if len(seen) == 0 && len(ps.peers) > 0 {
+		return
+	}
+	for _, ca := range addrs {
+		if !seen[ca.Address] {
+			continue
+		}
 		if st, ok := ps.peers[ca.Address]; ok {
 			st.ca = ca // role may have changed (slave promoted, ...)
 			continue
@@ -139,7 +175,7 @@ func (ps *PeerSet) mergeLocked(addrs []gls.ContactAddress) {
 // force skips the staleness check (used when every candidate failed).
 // It reports whether a lookup actually ran.
 func (ps *PeerSet) refresh(force bool) (time.Duration, bool) {
-	if ps.env.Resolve == nil {
+	if ps.env.Resolve == nil || ps.pinned {
 		return 0, false
 	}
 	now := ps.env.Now()
@@ -164,8 +200,11 @@ func (ps *PeerSet) refresh(force bool) (time.Duration, bool) {
 	return cost, true
 }
 
-// client returns the cached connection for a candidate.
-func (ps *PeerSet) client(addr string) *PeerClient {
+// ClientFor returns the cached connection for a candidate address,
+// dialing on first use. Callers that orchestrate per-candidate traffic
+// themselves (the active protocol's all-peer chunk negotiation) share
+// the set's connections through it.
+func (ps *PeerSet) ClientFor(addr string) *PeerClient {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	pc, ok := ps.clients[addr]
@@ -174,6 +213,17 @@ func (ps *PeerSet) client(addr string) *PeerClient {
 		ps.clients[addr] = pc
 	}
 	return pc
+}
+
+// PickAddr returns the currently top-ranked candidate for the given
+// operation class — the address a caller should treat as its upstream
+// right now (the cache protocol's parent). false when the set is empty.
+func (ps *PeerSet) PickAddr(write bool) (string, bool) {
+	addrs := ps.candidates(write)
+	if len(addrs) == 0 {
+		return "", false
+	}
+	return addrs[0], true
 }
 
 // backoff returns the cool-down after n consecutive failures.
@@ -348,9 +398,12 @@ func Failoverable(err error, write bool) bool {
 
 // Do runs attempt against ranked candidates until one succeeds, the
 // error stops being failover-safe, or every candidate (including any
-// discovered by a forced re-resolve) has been tried. It returns the
-// accumulated virtual cost of all attempts plus any refresh lookup.
-func (ps *PeerSet) Do(write bool, attempt func(pc *PeerClient) (time.Duration, error)) (time.Duration, error) {
+// discovered by a forced re-resolve) has been tried. The attempt
+// receives the candidate's address alongside its connection, so
+// callers that must remember who served them (a cache re-subscribing
+// at its new parent) can. It returns the accumulated virtual cost of
+// all attempts plus any refresh lookup.
+func (ps *PeerSet) Do(write bool, attempt func(addr string, pc *PeerClient) (time.Duration, error)) (time.Duration, error) {
 	cost, _ := ps.refresh(false)
 	tried := make(map[string]bool)
 	var lastErr error
@@ -362,7 +415,7 @@ func (ps *PeerSet) Do(write bool, attempt func(pc *PeerClient) (time.Duration, e
 			}
 			tried[addr] = true
 			progressed = true
-			c, err := attempt(ps.client(addr))
+			c, err := attempt(addr, ps.ClientFor(addr))
 			cost += c
 			if err == nil {
 				ps.noteSuccess(addr, c)
@@ -401,7 +454,7 @@ func (ps *PeerSet) Do(write bool, attempt func(pc *PeerClient) (time.Duration, e
 // Call is Do specialised to one unary replica-protocol operation.
 func (ps *PeerSet) Call(op uint16, body []byte, write bool) ([]byte, time.Duration, error) {
 	var resp []byte
-	cost, err := ps.Do(write, func(pc *PeerClient) (time.Duration, error) {
+	cost, err := ps.Do(write, func(_ string, pc *PeerClient) (time.Duration, error) {
 		r, c, err := pc.Call(op, body)
 		if err == nil {
 			resp = r

@@ -43,9 +43,10 @@ type Env struct {
 	// binding, or from the moderator's scenario during creation).
 	Peers []gls.ContactAddress
 	// Resolve re-runs the location-service lookup that produced Peers.
-	// Proxy-side peer sets call it to discover replicas created after
-	// binding and to age out dead ones; nil (hosted replicas, whose
-	// peers come from the scenario) disables re-resolution.
+	// Peer sets call it to discover replicas created after binding and
+	// to age out dead ones — proxy-side sets always, and replica-side
+	// sets such as the cache protocol's parent set. Nil (a runtime
+	// without a resolver) disables re-resolution.
 	Resolve func() ([]gls.ContactAddress, time.Duration, error)
 	// Clock supplies the time for TTL-based consistency decisions; nil
 	// means wall time. Simulations install virtual clocks here.

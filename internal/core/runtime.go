@@ -234,19 +234,31 @@ func (rt *Runtime) NewReplica(spec ReplicaSpec, disp *Dispatcher) (*LR, gls.Cont
 	if err != nil {
 		return nil, gls.ContactAddress{}, err
 	}
+	// Hosted replicas that route through a ranked peer set (the cache
+	// protocol re-parenting) re-resolve through the location service
+	// just like proxies; runtimes without a resolver (moderator staging
+	// worlds) leave the set on its construction-time peers.
+	var resolve func() ([]gls.ContactAddress, time.Duration, error)
+	if rt.resolver != nil {
+		oid := spec.OID
+		resolve = func() ([]gls.ContactAddress, time.Duration, error) {
+			return rt.resolver.Lookup(oid)
+		}
+	}
 	env := &Env{
-		OID:    spec.OID,
-		Site:   rt.site,
-		Net:    rt.net,
-		Exec:   NewLocalExec(sem),
-		Disp:   disp,
-		Auth:   rt.auth,
-		Role:   spec.Role,
-		Params: spec.Params,
-		Peers:  spec.Peers,
-		Clock:  rt.clock,
-		Logf:   rt.logf,
-		Store:  semStore(sem, spec.Store),
+		OID:     spec.OID,
+		Site:    rt.site,
+		Net:     rt.net,
+		Exec:    NewLocalExec(sem),
+		Disp:    disp,
+		Auth:    rt.auth,
+		Role:    spec.Role,
+		Params:  spec.Params,
+		Peers:   spec.Peers,
+		Resolve: resolve,
+		Clock:   rt.clock,
+		Logf:    rt.logf,
+		Store:   semStore(sem, spec.Store),
 	}
 	repl, err := proto.NewReplica(env)
 	if err != nil {

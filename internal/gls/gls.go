@@ -22,6 +22,7 @@ package gls
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"gdn/internal/ids"
 	"gdn/internal/wire"
@@ -34,6 +35,21 @@ var ErrNotFound = errors.New("gls: object not found")
 // ErrNoAddrs is returned when constructing a reference to a directory
 // node with no subnode addresses.
 var ErrNoAddrs = errors.New("gls: directory node reference has no addresses")
+
+// ErrUnknownSession is returned by session-scoped operations naming a
+// session the directory node does not hold — the node restarted without
+// its snapshot, or the session aged out. The owner reacts by reopening
+// the session and re-attaching its registrations.
+var ErrUnknownSession = errors.New("gls: unknown registration session")
+
+// IsUnknownSession recognizes ErrUnknownSession across an RPC boundary,
+// where remote errors arrive flattened to text.
+func IsUnknownSession(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrUnknownSession) || strings.Contains(err.Error(), ErrUnknownSession.Error())
+}
 
 // Operation codes of the directory-node protocol.
 const (
@@ -62,8 +78,25 @@ const (
 	// while other replicas remain, without deleting any registration
 	// state. Object servers send it when their chunk store turns
 	// chronically corrupt, so traffic shifts to healthy replicas until
-	// the store heals (ROADMAP: "scrub results feed the GLS").
+	// the store heals (ROADMAP: "scrub results feed the GLS"). When the
+	// address belongs to a registration session the flag is recorded on
+	// the session, so it survives snapshot/restore with it.
 	OpDrain
+	// OpSessionOpen opens (or refreshes) a registration session: one
+	// lease covering every contact address a server attaches through it.
+	// The body carries the session identifier (allocated by the server),
+	// the server's transport address, and the TTL in whole seconds.
+	OpSessionOpen
+	// OpSessionRenew renews a session's lease in one round trip — the
+	// batched heartbeat that keeps renewal traffic O(servers) rather
+	// than O(replicas). The response reports whether the node knows the
+	// session; an unknown session must be reopened and its entries
+	// re-attached.
+	OpSessionRenew
+	// OpSessionClose ends a session; every entry attached to it expires
+	// immediately. The orderly-shutdown counterpart of letting the
+	// session age out.
+	OpSessionClose
 )
 
 // ContactAddress describes where one local representative of an object
@@ -214,18 +247,22 @@ func decodeRef(r *wire.Reader) Ref {
 // partitioning experiment (§3.5) reads these to show load spreading
 // across subnodes.
 type Counters struct {
-	Lookups  int64 // up-phase lookups handled
-	Descends int64 // down-phase lookups handled
-	Inserts  int64 // contact-address registrations (including renewals)
-	Deletes  int64 // deregistrations
-	PtrOps   int64 // forwarding-pointer installs and removals
-	Expiries int64 // leased contact addresses aged out
-	Drains   int64 // drain/undrain requests handled
+	Lookups       int64 // up-phase lookups handled
+	Descends      int64 // down-phase lookups handled
+	Inserts       int64 // contact-address registrations (including renewals)
+	Deletes       int64 // deregistrations
+	PtrOps        int64 // forwarding-pointer installs and removals
+	Expiries      int64 // leased contact addresses aged out
+	Drains        int64 // drain/undrain requests handled
+	SessionOpens  int64 // registration sessions opened (or reopened)
+	SessionRenews int64 // batched session renewals handled
+	SessionCloses int64 // orderly session closes handled
 }
 
 // Total sums all operation classes.
 func (c Counters) Total() int64 {
-	return c.Lookups + c.Descends + c.Inserts + c.Deletes + c.PtrOps + c.Drains
+	return c.Lookups + c.Descends + c.Inserts + c.Deletes + c.PtrOps + c.Drains +
+		c.SessionOpens + c.SessionRenews + c.SessionCloses
 }
 
 func (c Counters) encode(w *wire.Writer) {
@@ -236,16 +273,22 @@ func (c Counters) encode(w *wire.Writer) {
 	w.Int64(c.PtrOps)
 	w.Int64(c.Expiries)
 	w.Int64(c.Drains)
+	w.Int64(c.SessionOpens)
+	w.Int64(c.SessionRenews)
+	w.Int64(c.SessionCloses)
 }
 
 func decodeCounters(r *wire.Reader) Counters {
 	return Counters{
-		Lookups:  r.Int64(),
-		Descends: r.Int64(),
-		Inserts:  r.Int64(),
-		Deletes:  r.Int64(),
-		PtrOps:   r.Int64(),
-		Expiries: r.Int64(),
-		Drains:   r.Int64(),
+		Lookups:       r.Int64(),
+		Descends:      r.Int64(),
+		Inserts:       r.Int64(),
+		Deletes:       r.Int64(),
+		PtrOps:        r.Int64(),
+		Expiries:      r.Int64(),
+		Drains:        r.Int64(),
+		SessionOpens:  r.Int64(),
+		SessionRenews: r.Int64(),
+		SessionCloses: r.Int64(),
 	}
 }

@@ -55,16 +55,49 @@ type Config struct {
 // not choose one.
 const defaultSweepEvery = 5 * time.Second
 
-// leasedAddr is one registered contact address with its lease expiry;
-// a zero expiry means the registration is permanent (the pre-lease
-// behaviour, still used by experiments that register addresses by
-// hand and never heartbeat).
+// session is one server's registration session: a single lease covering
+// every contact address the server attached through it. Renewal touches
+// the session, not the entries, so a server hosting thousands of
+// replicas keeps them all alive with one renew per heartbeat — and a
+// server that dies takes every attached entry out of lookups within one
+// TTL. All fields are guarded by the owning node's mu.
+type session struct {
+	id      ids.OID
+	addr    string // the server's transport address
+	ttl     time.Duration
+	expires time.Time
+	closed  bool
+	// drained records the OpDrain state as a session attribute, so a
+	// snapshot restore brings the drain back with the session instead
+	// of forgetting it until the server's next scrub pass.
+	drained bool
+	// attached counts the entries riding this session. Renewal
+	// responses echo it, so a server can tell that the node rolled
+	// back to a snapshot older than some attaches (the count
+	// disagrees with its own books) and re-attach — the self-healing
+	// the per-replica heartbeat used to provide for free.
+	attached int
+}
+
+func (s *session) expired(now time.Time) bool {
+	return s.closed || now.After(s.expires)
+}
+
+// leasedAddr is one registered contact address with its liveness
+// contract: attached to a session (sess non-nil — expiry and drain
+// follow the session), under its own lease (expires non-zero), or
+// permanent (the pre-lease behaviour, still used by experiments that
+// register addresses by hand and never heartbeat).
 type leasedAddr struct {
 	ca      ContactAddress
 	expires time.Time
+	sess    *session
 }
 
 func (la leasedAddr) expired(now time.Time) bool {
+	if la.sess != nil {
+		return la.sess.expired(now)
+	}
 	return !la.expires.IsZero() && now.After(la.expires)
 }
 
@@ -87,9 +120,10 @@ type Node struct {
 	cfg Config
 	net transport.Network
 
-	mu      sync.RWMutex
-	recs    map[ids.OID]*record
-	drained map[string]bool // transport address -> draining
+	mu       sync.RWMutex
+	recs     map[ids.OID]*record
+	drained  map[string]bool // transport address -> draining
+	sessions map[ids.OID]*session
 
 	rndMu sync.Mutex
 	rnd   *rand.Rand
@@ -123,12 +157,13 @@ func Start(net transport.Network, cfg Config) (*Node, error) {
 		cfg.SweepEvery = defaultSweepEvery
 	}
 	n := &Node{
-		cfg:     cfg,
-		net:     net,
-		recs:    make(map[ids.OID]*record),
-		drained: make(map[string]bool),
-		rnd:     rand.New(rand.NewSource(cfg.Seed)),
-		clients: make(map[string]*rpc.Client),
+		cfg:      cfg,
+		net:      net,
+		recs:     make(map[ids.OID]*record),
+		drained:  make(map[string]bool),
+		sessions: make(map[ids.OID]*session),
+		rnd:      rand.New(rand.NewSource(cfg.Seed)),
+		clients:  make(map[string]*rpc.Client),
 	}
 	opts := []rpc.ServerOption{rpc.WithServerLog(cfg.Logf)}
 	if cfg.Auth != nil {
@@ -221,6 +256,12 @@ func (n *Node) handle(call *rpc.Call) ([]byte, error) {
 		return n.handleRemovePtr(call)
 	case OpDrain:
 		return n.handleDrain(call)
+	case OpSessionOpen:
+		return n.handleSessionOpen(call)
+	case OpSessionRenew:
+		return n.handleSessionRenew(call)
+	case OpSessionClose:
+		return n.handleSessionClose(call)
 	case OpStats:
 		return n.handleStats()
 	case OpDump:
@@ -275,10 +316,10 @@ func (n *Node) handleLookup(call *rpc.Call, down bool) ([]byte, error) {
 		for _, la := range rec.addrs {
 			switch {
 			case la.expired(now):
-				// A lease its owner stopped renewing: the replica is gone
-				// (or cut off); it must not be handed to clients. The
-				// sweep janitor reclaims the entry itself.
-			case n.drained[la.ca.Address]:
+				// A lease (or session) its owner stopped renewing: the
+				// replica is gone (or cut off); it must not be handed to
+				// clients. The sweep janitor reclaims the entry itself.
+			case n.drained[la.ca.Address] || (la.sess != nil && la.sess.drained):
 				drainedAddrs = append(drainedAddrs, la.ca)
 			default:
 				addrs = append(addrs, la.ca)
@@ -380,19 +421,21 @@ func dedupAddrs(addrs []ContactAddress) []ContactAddress {
 	return out
 }
 
-// handleInsert registers a contact address at this node — as a lease
-// when the request carries a TTL, renewed by re-inserting — and
-// installs the chain of forwarding pointers up to the root. The
+// handleInsert registers a contact address at this node — attached to a
+// registration session when the request names one, as a per-entry lease
+// when it carries a TTL (renewed by re-inserting), permanent otherwise —
+// and installs the chain of forwarding pointers up to the root. The
 // response carries the object identifier, which the service allocates
 // when the request's is nil.
 func (n *Node) handleInsert(call *rpc.Call) ([]byte, error) {
-	if err := n.authorize(call, sec.RoleGOS, sec.RoleAdmin, sec.RoleGLS); err != nil {
+	if err := n.authorize(call, sec.RoleGOS, sec.RoleAdmin, sec.RoleGLS, sec.RoleHTTPD); err != nil {
 		return nil, err
 	}
 	r := wire.NewReader(call.Body)
 	oid := r.OID()
 	ca := decodeContactAddress(r)
 	ttl := time.Duration(r.Uint32()) * time.Second
+	sid := r.OID()
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
@@ -406,6 +449,19 @@ func (n *Node) handleInsert(call *rpc.Call) ([]byte, error) {
 		expires = n.cfg.Clock().Add(ttl)
 	}
 	n.mu.Lock()
+	var sess *session
+	if !sid.IsNil() {
+		// Session attach: liveness (and drain) follow the session, so the
+		// request's TTL is ignored. An unknown session means this node
+		// lost it (restart, age-out); the owner must reopen before
+		// attaching, or the entry would never expire with its server.
+		sess = n.sessions[sid]
+		if sess == nil || sess.closed {
+			n.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s at %s", ErrUnknownSession, sid.Short(), n.cfg.Domain)
+		}
+		expires = time.Time{}
+	}
 	rec := n.recs[oid]
 	wasEmpty := rec == nil
 	if rec == nil {
@@ -415,15 +471,28 @@ func (n *Node) handleInsert(call *rpc.Call) ([]byte, error) {
 	dup := false
 	for i, have := range rec.addrs {
 		if have.ca == ca {
-			// A re-registration is a lease renewal (and a permanent
-			// insert, ttl 0, upgrades the entry to permanent).
+			// A re-registration is a lease renewal; it may also move the
+			// entry between liveness contracts (attach it to a session, or
+			// upgrade it to permanent with ttl 0 and no session).
 			rec.addrs[i].expires = expires
+			if old := rec.addrs[i].sess; old != sess {
+				if old != nil {
+					old.attached--
+				}
+				if sess != nil {
+					sess.attached++
+				}
+				rec.addrs[i].sess = sess
+			}
 			dup = true
 			break
 		}
 	}
 	if !dup {
-		rec.addrs = append(rec.addrs, leasedAddr{ca: ca, expires: expires})
+		rec.addrs = append(rec.addrs, leasedAddr{ca: ca, expires: expires, sess: sess})
+		if sess != nil {
+			sess.attached++
+		}
 	}
 	n.mu.Unlock()
 
@@ -493,7 +562,7 @@ func (n *Node) handleInstallPtr(call *rpc.Call) ([]byte, error) {
 // handleDelete removes one contact address; when the record empties, the
 // pointer chain above is torn down.
 func (n *Node) handleDelete(call *rpc.Call) ([]byte, error) {
-	if err := n.authorize(call, sec.RoleGOS, sec.RoleAdmin, sec.RoleGLS); err != nil {
+	if err := n.authorize(call, sec.RoleGOS, sec.RoleAdmin, sec.RoleGLS, sec.RoleHTTPD); err != nil {
 		return nil, err
 	}
 	r := wire.NewReader(call.Body)
@@ -512,6 +581,8 @@ func (n *Node) handleDelete(call *rpc.Call) ([]byte, error) {
 		for _, la := range rec.addrs {
 			if la.ca.Address != addr {
 				kept = append(kept, la)
+			} else if la.sess != nil {
+				la.sess.attached--
 			}
 		}
 		rec.addrs = kept
@@ -578,9 +649,11 @@ func (n *Node) handleRemovePtr(call *rpc.Call) ([]byte, error) {
 // contact addresses live at that address stops returning them while
 // alternatives exist. Registrations (and their leases) are untouched,
 // so undraining restores service instantly — the point of drain over
-// delete.
+// delete. When the address belongs to a registration session the flag
+// is recorded on the session too, so it rides the session through
+// snapshot/restore instead of evaporating on a node restart.
 func (n *Node) handleDrain(call *rpc.Call) ([]byte, error) {
-	if err := n.authorize(call, sec.RoleGOS, sec.RoleAdmin, sec.RoleGLS); err != nil {
+	if err := n.authorize(call, sec.RoleGOS, sec.RoleAdmin, sec.RoleGLS, sec.RoleHTTPD); err != nil {
 		return nil, err
 	}
 	r := wire.NewReader(call.Body)
@@ -599,8 +672,120 @@ func (n *Node) handleDrain(call *rpc.Call) ([]byte, error) {
 	} else {
 		delete(n.drained, addr)
 	}
+	for _, sess := range n.sessions {
+		if sess.addr == addr {
+			sess.drained = draining
+		}
+	}
 	n.mu.Unlock()
 	return nil, nil
+}
+
+// handleSessionOpen creates (or refreshes) a registration session. The
+// operation is idempotent: reopening an existing session resets its
+// lease and transport address, which is exactly what a server does
+// after a directory-node restart.
+func (n *Node) handleSessionOpen(call *rpc.Call) ([]byte, error) {
+	if err := n.authorize(call, sec.RoleGOS, sec.RoleAdmin, sec.RoleGLS, sec.RoleHTTPD); err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(call.Body)
+	sid := r.OID()
+	addr := r.Str()
+	ttl := time.Duration(r.Uint32()) * time.Second
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if sid.IsNil() || addr == "" || ttl <= 0 {
+		return nil, fmt.Errorf("gls: session open needs an identifier, an address and a TTL")
+	}
+	n.count(func(c *Counters) { c.SessionOpens++ })
+	now := n.cfg.Clock()
+	n.mu.Lock()
+	sess := n.sessions[sid]
+	if sess == nil {
+		sess = &session{id: sid}
+		n.sessions[sid] = sess
+	}
+	sess.addr = addr
+	sess.ttl = ttl
+	sess.expires = now.Add(ttl)
+	sess.closed = false
+	// A fresh session inherits the address-wide drain state: a server
+	// that drained itself, crashed and reopened is still draining until
+	// it says otherwise.
+	sess.drained = n.drained[addr]
+	n.mu.Unlock()
+	return nil, nil
+}
+
+// handleSessionRenew extends a session's lease — the one-round-trip
+// heartbeat covering every entry attached to it. The response reports
+// whether the session is known here and how many entries ride it, so
+// the owner can detect a node that rolled back to a snapshot older
+// than some attaches and repair it. Renewing an expired-but-unswept
+// session revives it (and with it every attached entry), while an
+// unknown one tells the owner to reopen and re-attach.
+func (n *Node) handleSessionRenew(call *rpc.Call) ([]byte, error) {
+	if err := n.authorize(call, sec.RoleGOS, sec.RoleAdmin, sec.RoleGLS, sec.RoleHTTPD); err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(call.Body)
+	sid := r.OID()
+	ttl := time.Duration(r.Uint32()) * time.Second
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	n.count(func(c *Counters) { c.SessionRenews++ })
+	now := n.cfg.Clock()
+	n.mu.Lock()
+	sess := n.sessions[sid]
+	known := sess != nil && !sess.closed
+	attached := 0
+	if known {
+		if ttl > 0 {
+			sess.ttl = ttl
+		}
+		sess.expires = now.Add(sess.ttl)
+		attached = sess.attached
+	}
+	n.mu.Unlock()
+	w := wire.NewWriter(8)
+	w.Bool(known)
+	w.Uint32(uint32(attached))
+	return w.Bytes(), nil
+}
+
+// handleSessionClose ends a session now: every attached entry expires
+// with it (lookups filter them immediately; the sweep reclaims the
+// records and tears down their pointer chains).
+func (n *Node) handleSessionClose(call *rpc.Call) ([]byte, error) {
+	if err := n.authorize(call, sec.RoleGOS, sec.RoleAdmin, sec.RoleGLS, sec.RoleHTTPD); err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(call.Body)
+	sid := r.OID()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	n.count(func(c *Counters) { c.SessionCloses++ })
+	n.mu.Lock()
+	if sess := n.sessions[sid]; sess != nil {
+		// Entries keep their pointer to the struct; marking it closed
+		// expires them all at once, wherever they are referenced.
+		sess.closed = true
+		delete(n.sessions, sid)
+	}
+	n.mu.Unlock()
+	return nil, nil
+}
+
+// Sessions returns the number of live registration sessions at this
+// subnode; tests and diagnostics read it.
+func (n *Node) Sessions() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.sessions)
 }
 
 // Draining reports whether an address is currently drained at this
@@ -628,9 +813,9 @@ func (n *Node) sweepLoop(stop <-chan struct{}) {
 	}
 }
 
-// SweepExpired removes aged-out leases now and returns how many
-// contact addresses were reclaimed. The janitor calls it on a timer;
-// tests call it directly.
+// SweepExpired removes aged-out leases (and the sessions they hung
+// from) now and returns how many contact addresses were reclaimed. The
+// janitor calls it on a timer; tests call it directly.
 func (n *Node) SweepExpired() int {
 	now := n.cfg.Clock()
 	var emptied []ids.OID
@@ -641,6 +826,9 @@ func (n *Node) SweepExpired() int {
 		for _, la := range rec.addrs {
 			if la.expired(now) {
 				expired++
+				if la.sess != nil {
+					la.sess.attached--
+				}
 			} else {
 				kept = append(kept, la)
 			}
@@ -649,6 +837,14 @@ func (n *Node) SweepExpired() int {
 		if rec.empty() {
 			delete(n.recs, oid)
 			emptied = append(emptied, oid)
+		}
+	}
+	// Reap expired sessions in the same pass: their entries were just
+	// removed above, and a server that comes back later learns from the
+	// unknown-session renewal response that it must re-attach.
+	for sid, sess := range n.sessions {
+		if sess.expired(now) {
+			delete(n.sessions, sid)
 		}
 	}
 	n.mu.Unlock()
@@ -689,25 +885,81 @@ func encodeOID(oid ids.OID) []byte {
 	return w.Bytes()
 }
 
-// Snapshot serializes the node's records for persistent storage. The
+// snapshotMagic marks the version-2 snapshot layout, which persists
+// sessions, per-entry lease deadlines and drain flags. Version-1
+// snapshots (which started straight with the domain string and carried
+// bare contact addresses) are still readable; their entries restore as
+// permanent, the pre-session behaviour.
+const snapshotMagic = "gls-snapshot/2"
+
+// Lease kinds in a version-2 snapshot entry.
+const (
+	leasePermanent = uint8(iota) // no expiry
+	leaseOwn                     // per-entry lease; remaining seconds follow
+	leaseSession                 // attached to a session; its id follows
+)
+
+// Snapshot serializes the node's state for persistent storage. The
 // paper's Java GLS supports "persistent storage of the state of a
 // directory node (location information and forwarding pointers)" (§7);
-// object servers and the gdn-gls daemon checkpoint with this. Lease
-// expiries are deliberately not encoded: a restored leased entry is
-// permanent until its owner's next heartbeat re-establishes the lease,
-// which avoids mass-expiring a whole node's registrations because a
-// restart took longer than one TTL.
+// object servers and the gdn-gls daemon checkpoint with this. Liveness
+// state is part of the image: registration sessions with their
+// remaining TTL and drain attribute, per-entry lease deadlines (as
+// seconds remaining, so the restored clock regime does not matter) and
+// the address drain set — a restored node can therefore never
+// resurrect a dead server's replicas as permanent, which the
+// version-1 layout did. Entries and sessions already expired at
+// snapshot time are not encoded.
 func (n *Node) Snapshot() []byte {
+	now := n.cfg.Clock()
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	w := wire.NewWriter(1024)
+	w.Str(snapshotMagic)
 	w.Str(n.cfg.Domain)
+
+	w.Count(len(n.drained))
+	for addr := range n.drained {
+		w.Str(addr)
+	}
+
+	live := make([]*session, 0, len(n.sessions))
+	for _, sess := range n.sessions {
+		if !sess.expired(now) {
+			live = append(live, sess)
+		}
+	}
+	w.Count(len(live))
+	for _, sess := range live {
+		w.OID(sess.id)
+		w.Str(sess.addr)
+		w.Uint32(wholeSeconds(sess.ttl))
+		w.Uint32(remainingSeconds(now, sess.expires))
+		w.Bool(sess.drained)
+	}
+
 	w.Count(len(n.recs))
 	for oid, rec := range n.recs {
 		w.OID(oid)
-		w.Count(len(rec.addrs))
+		kept := make([]leasedAddr, 0, len(rec.addrs))
 		for _, la := range rec.addrs {
+			if !la.expired(now) {
+				kept = append(kept, la)
+			}
+		}
+		w.Count(len(kept))
+		for _, la := range kept {
 			la.ca.encode(w)
+			switch {
+			case la.sess != nil:
+				w.Uint8(leaseSession)
+				w.OID(la.sess.id)
+			case !la.expires.IsZero():
+				w.Uint8(leaseOwn)
+				w.Uint32(remainingSeconds(now, la.expires))
+			default:
+				w.Uint8(leasePermanent)
+			}
 		}
 		w.Count(len(rec.ptrs))
 		for child, ref := range rec.ptrs {
@@ -718,17 +970,141 @@ func (n *Node) Snapshot() []byte {
 	return w.Bytes()
 }
 
-// Restore replaces the node's records with a snapshot taken by Snapshot.
-// The snapshot must come from a node serving the same domain.
+// wholeSeconds rounds a duration up to whole seconds for the wire.
+func wholeSeconds(d time.Duration) uint32 {
+	if d <= 0 {
+		return 0
+	}
+	return uint32((d + time.Second - 1) / time.Second)
+}
+
+// remainingSeconds encodes a deadline as whole seconds left, at least
+// one for a deadline still in the future.
+func remainingSeconds(now, deadline time.Time) uint32 {
+	return wholeSeconds(deadline.Sub(now))
+}
+
+// Restore replaces the node's state with a snapshot taken by Snapshot.
+// The snapshot must come from a node serving the same domain. Lease
+// deadlines restart relative to the restoring node's clock: an entry
+// snapshot with five seconds left has five seconds to be renewed after
+// the restore, and a dead server's entries age out within one TTL of
+// the restart instead of living forever.
 func (n *Node) Restore(b []byte) error {
 	r := wire.NewReader(b)
+	first := r.Str()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if first != snapshotMagic {
+		// Version-1 layout: the first string is the domain and every
+		// entry restores as permanent.
+		return n.restoreV1(first, r)
+	}
 	domain := r.Str()
-	count := r.Count()
 	if r.Err() != nil {
 		return r.Err()
 	}
 	if domain != n.cfg.Domain {
 		return fmt.Errorf("gls: snapshot is for domain %q, node serves %q", domain, n.cfg.Domain)
+	}
+	now := n.cfg.Clock()
+
+	nd := r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	drained := make(map[string]bool, nd)
+	for i := 0; i < nd; i++ {
+		drained[r.Str()] = true
+	}
+
+	ns := r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	sessions := make(map[ids.OID]*session, ns)
+	for i := 0; i < ns; i++ {
+		sess := &session{
+			id:   r.OID(),
+			addr: r.Str(),
+			ttl:  time.Duration(r.Uint32()) * time.Second,
+		}
+		sess.expires = now.Add(time.Duration(r.Uint32()) * time.Second)
+		sess.drained = r.Bool()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		sessions[sess.id] = sess
+	}
+
+	count := r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	recs := make(map[ids.OID]*record, count)
+	for i := 0; i < count; i++ {
+		oid := r.OID()
+		rec := &record{}
+		na := r.Count()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		for j := 0; j < na; j++ {
+			la := leasedAddr{ca: decodeContactAddress(r)}
+			switch r.Uint8() {
+			case leaseOwn:
+				la.expires = now.Add(time.Duration(r.Uint32()) * time.Second)
+			case leaseSession:
+				sid := r.OID()
+				la.sess = sessions[sid]
+				if r.Err() == nil && la.sess == nil {
+					return fmt.Errorf("gls: snapshot entry references unknown session %s", sid.Short())
+				}
+				if la.sess != nil {
+					// Counts are recomputed from the entries themselves, so
+					// the snapshot cannot carry a stale tally.
+					la.sess.attached++
+				}
+			}
+			if r.Err() != nil {
+				return r.Err()
+			}
+			rec.addrs = append(rec.addrs, la)
+		}
+		np := r.Count()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if np > 0 {
+			rec.ptrs = make(map[string]Ref, np)
+		}
+		for j := 0; j < np; j++ {
+			child := r.Str()
+			rec.ptrs[child] = decodeRef(r)
+		}
+		recs[oid] = rec
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.recs = recs
+	n.drained = drained
+	n.sessions = sessions
+	n.mu.Unlock()
+	return nil
+}
+
+// restoreV1 decodes the pre-session snapshot layout; r is positioned
+// just past the leading domain string.
+func (n *Node) restoreV1(domain string, r *wire.Reader) error {
+	if domain != n.cfg.Domain {
+		return fmt.Errorf("gls: snapshot is for domain %q, node serves %q", domain, n.cfg.Domain)
+	}
+	count := r.Count()
+	if r.Err() != nil {
+		return r.Err()
 	}
 	recs := make(map[ids.OID]*record, count)
 	for i := 0; i < count; i++ {
@@ -759,6 +1135,8 @@ func (n *Node) Restore(b []byte) error {
 	}
 	n.mu.Lock()
 	n.recs = recs
+	n.drained = make(map[string]bool)
+	n.sessions = make(map[ids.OID]*session)
 	n.mu.Unlock()
 	return nil
 }

@@ -101,17 +101,19 @@ func (r *Resolver) Lookup(oid ids.OID) ([]ContactAddress, time.Duration, error) 
 // fresh identifier; the identifier actually registered is returned
 // either way.
 func (r *Resolver) Insert(oid ids.OID, ca ContactAddress) (ids.OID, time.Duration, error) {
-	return r.insertAt(r.leaf, oid, ca, 0)
+	return r.insertAt(r.leaf, oid, ca, 0, ids.Nil)
 }
 
 // InsertLease registers a contact address as a lease that ages out of
-// lookups after ttl unless renewed by re-inserting — the liveness
-// contract object servers heartbeat under, so a crashed server's
-// replicas vanish from the location service within one TTL instead of
-// 502ing clients forever. A ttl of 0 is a permanent Insert; sub-second
-// TTLs round up to one second (the wire carries whole seconds).
+// lookups after ttl unless renewed by re-inserting — the per-entry
+// liveness contract single-replica clients heartbeat under, so a
+// crashed owner's entry vanishes from the location service within one
+// TTL instead of 502ing clients forever. Servers hosting many replicas
+// batch their liveness through a registration session instead
+// (OpenSession). A ttl of 0 is a permanent Insert; sub-second TTLs
+// round up to one second (the wire carries whole seconds).
 func (r *Resolver) InsertLease(oid ids.OID, ca ContactAddress, ttl time.Duration) (ids.OID, time.Duration, error) {
-	return r.insertAt(r.leaf, oid, ca, ttl)
+	return r.insertAt(r.leaf, oid, ca, ttl, ids.Nil)
 }
 
 // InsertAt registers a contact address at an arbitrary directory node
@@ -119,10 +121,10 @@ func (r *Resolver) InsertLease(oid ids.OID, ca ContactAddress, ttl time.Duration
 // node trades lookup locality for cheaper updates on highly mobile
 // objects (§3.5); the E2 ablation uses this.
 func (r *Resolver) InsertAt(node Ref, oid ids.OID, ca ContactAddress) (ids.OID, time.Duration, error) {
-	return r.insertAt(node, oid, ca, 0)
+	return r.insertAt(node, oid, ca, 0, ids.Nil)
 }
 
-func (r *Resolver) insertAt(node Ref, oid ids.OID, ca ContactAddress, ttl time.Duration) (ids.OID, time.Duration, error) {
+func (r *Resolver) insertAt(node Ref, oid ids.OID, ca ContactAddress, ttl time.Duration, sid ids.OID) (ids.OID, time.Duration, error) {
 	if node.IsZero() {
 		return ids.Nil, 0, ErrNoAddrs
 	}
@@ -140,6 +142,7 @@ func (r *Resolver) insertAt(node Ref, oid ids.OID, ca ContactAddress, ttl time.D
 	w.OID(oid)
 	ca.encode(w)
 	w.Uint32(ttlSecs)
+	w.OID(sid)
 	resp, cost, err := r.client(node.Route(oid)).Call(OpInsert, w.Bytes())
 	if err != nil {
 		return ids.Nil, cost, err

@@ -1,0 +1,243 @@
+package gls
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gdn/internal/ids"
+	"gdn/internal/wire"
+)
+
+// ServerSession is the client side of a registration session: one lease
+// a server (a GOS, or a caching HTTPD acting as a replica) holds with
+// its leaf directory node, covering every contact address attached
+// through it. The server heartbeats with a single Renew per interval —
+// O(1) in the number of hosted replicas — and when it dies, every
+// attached entry ages out of lookups within one TTL.
+//
+// A leaf directory node may be partitioned into subnodes, each owning a
+// slice of the object-identifier space; the session is opened at every
+// subnode, attaches route to the subnode owning each identifier, and
+// Renew touches each subnode once. The session remembers what it
+// attached, so a directory subnode that lost the session (restarted
+// without its snapshot, or reaped it after missed heartbeats) is
+// repaired transparently: the next Renew reopens the session there and
+// re-attaches the entries that subnode owns.
+//
+// ServerSession is safe for concurrent use.
+type ServerSession struct {
+	res  *Resolver
+	id   ids.OID
+	addr string
+	ttl  time.Duration
+
+	mu       sync.Mutex
+	attached map[ids.OID]ContactAddress
+}
+
+// OpenSession opens a registration session for a server at the given
+// transport address: its registrations are attached with Attach and
+// kept alive with Renew. The ttl must be positive; sub-second TTLs
+// round up to one second.
+func (r *Resolver) OpenSession(addr string, ttl time.Duration) (*ServerSession, time.Duration, error) {
+	if r.leaf.IsZero() {
+		return nil, 0, ErrNoAddrs
+	}
+	if addr == "" || ttl <= 0 {
+		return nil, 0, fmt.Errorf("gls: a registration session needs an address and a positive TTL")
+	}
+	s := &ServerSession{
+		res:      r,
+		id:       ids.New(),
+		addr:     addr,
+		ttl:      ttl,
+		attached: make(map[ids.OID]ContactAddress),
+	}
+	var total time.Duration
+	for _, sub := range r.leaf.Addrs {
+		cost, err := s.openAt(sub)
+		total += cost
+		if err != nil {
+			return nil, total, fmt.Errorf("gls: open session at %s: %w", sub, err)
+		}
+	}
+	return s, total, nil
+}
+
+// ID returns the session identifier.
+func (s *ServerSession) ID() ids.OID { return s.id }
+
+// Addr returns the transport address the session covers.
+func (s *ServerSession) Addr() string { return s.addr }
+
+// TTL returns the session lease lifetime.
+func (s *ServerSession) TTL() time.Duration { return s.ttl }
+
+// Attached returns how many registrations ride this session.
+func (s *ServerSession) Attached() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.attached)
+}
+
+func (s *ServerSession) ttlSecs() uint32 {
+	return uint32((s.ttl + time.Second - 1) / time.Second)
+}
+
+// openAt (re)opens the session at one subnode.
+func (s *ServerSession) openAt(sub string) (time.Duration, error) {
+	w := wire.NewWriter(64 + len(s.addr))
+	w.OID(s.id)
+	w.Str(s.addr)
+	w.Uint32(s.ttlSecs())
+	_, cost, err := s.res.client(sub).Call(OpSessionOpen, w.Bytes())
+	return cost, err
+}
+
+// Attach registers one contact address through the session: the entry
+// stays in lookups exactly as long as the session is renewed. A nil oid
+// asks the service to allocate a fresh identifier; the identifier
+// actually registered is returned either way. When the owning subnode
+// no longer knows the session, Attach reopens it there and retries
+// once.
+func (s *ServerSession) Attach(oid ids.OID, ca ContactAddress) (ids.OID, time.Duration, error) {
+	if oid.IsNil() {
+		oid = ids.New()
+	}
+	got, cost, err := s.res.insertAt(s.res.leaf, oid, ca, 0, s.id)
+	if IsUnknownSession(err) {
+		c, oerr := s.openAt(s.res.leaf.Route(oid))
+		cost += c
+		if oerr != nil {
+			return ids.Nil, cost, fmt.Errorf("gls: reopen session: %w", oerr)
+		}
+		got, c, err = s.res.insertAt(s.res.leaf, oid, ca, 0, s.id)
+		cost += c
+	}
+	if err != nil {
+		return ids.Nil, cost, err
+	}
+	s.mu.Lock()
+	s.attached[got] = ca
+	s.mu.Unlock()
+	return got, cost, nil
+}
+
+// Detach deregisters one attached entry now (rather than letting it die
+// with the session) and drops it from the session's re-attach set.
+func (s *ServerSession) Detach(oid ids.OID) (time.Duration, error) {
+	s.mu.Lock()
+	ca, ok := s.attached[oid]
+	delete(s.attached, oid)
+	s.mu.Unlock()
+	if !ok {
+		return 0, nil
+	}
+	return s.res.Delete(oid, ca.Address)
+}
+
+// Renew extends the session lease — one round trip per leaf subnode, no
+// matter how many entries are attached. A subnode whose state disagrees
+// with the server's books is repaired in place: one that lost the
+// session entirely (known=false), or one that rolled back to a snapshot
+// older than some attaches (its attached-entry count differs), gets the
+// session reopened and the entries that subnode owns re-attached.
+func (s *ServerSession) Renew() (time.Duration, error) {
+	w := wire.NewWriter(32)
+	w.OID(s.id)
+	w.Uint32(s.ttlSecs())
+	body := w.Bytes()
+
+	// What each subnode should be holding, by the server's own books.
+	expect := make(map[string]int, len(s.res.leaf.Addrs))
+	s.mu.Lock()
+	for oid := range s.attached {
+		expect[s.res.leaf.Route(oid)]++
+	}
+	s.mu.Unlock()
+
+	var total time.Duration
+	var firstErr error
+	for _, sub := range s.res.leaf.Addrs {
+		resp, cost, err := s.res.client(sub).Call(OpSessionRenew, body)
+		total += cost
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("gls: renew session at %s: %w", sub, err)
+			}
+			continue
+		}
+		r := wire.NewReader(resp)
+		known := r.Bool()
+		attached := int(r.Uint32())
+		if err := r.Done(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !known || attached != expect[sub] {
+			cost, err := s.reattachAt(sub)
+			total += cost
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return total, firstErr
+}
+
+// reattachAt reopens the session at one subnode and re-registers every
+// attached entry that subnode owns — the recovery path for a directory
+// subnode that restarted without (or beyond) its snapshot.
+func (s *ServerSession) reattachAt(sub string) (time.Duration, error) {
+	total, err := s.openAt(sub)
+	if err != nil {
+		return total, fmt.Errorf("gls: reopen session at %s: %w", sub, err)
+	}
+	s.mu.Lock()
+	entries := make(map[ids.OID]ContactAddress, len(s.attached))
+	for oid, ca := range s.attached {
+		if s.res.leaf.Route(oid) == sub {
+			entries[oid] = ca
+		}
+	}
+	s.mu.Unlock()
+	for oid, ca := range entries {
+		_, cost, err := s.res.insertAt(s.res.leaf, oid, ca, 0, s.id)
+		total += cost
+		if err != nil {
+			return total, fmt.Errorf("gls: re-attach %s: %w", oid.Short(), err)
+		}
+	}
+	return total, nil
+}
+
+// Drain marks (or clears) the session's transport address as draining:
+// attached entries stop appearing in lookups while healthy alternatives
+// exist, without losing any registration state. The directory node
+// records the flag on the session, so it survives a snapshot restore
+// with it.
+func (s *ServerSession) Drain(draining bool) (time.Duration, error) {
+	return s.res.Drain(s.addr, draining)
+}
+
+// Close ends the session at every subnode: each attached entry expires
+// immediately. This is the orderly-shutdown path; a crashed server
+// simply stops renewing and its entries age out within one TTL.
+func (s *ServerSession) Close() (time.Duration, error) {
+	w := wire.NewWriter(ids.Size)
+	w.OID(s.id)
+	body := w.Bytes()
+	var total time.Duration
+	var firstErr error
+	for _, sub := range s.res.leaf.Addrs {
+		_, cost, err := s.res.client(sub).Call(OpSessionClose, body)
+		total += cost
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, firstErr
+}

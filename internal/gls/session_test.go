@@ -1,0 +1,467 @@
+package gls
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gdn/internal/ids"
+	"gdn/internal/wire"
+)
+
+// Registration-session tests: one leased session per server covers
+// every attached entry, renewal is O(1) in the number of replicas,
+// session death ages everything out within one TTL, and session state
+// (including drain) survives snapshot/restore.
+
+func openTestSession(t *testing.T, res *Resolver, addr string, ttl time.Duration) *ServerSession {
+	t.Helper()
+	sess, _, err := res.OpenSession(addr, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+func TestSessionAttachRenewExpire(t *testing.T) {
+	tree, clock := deployLeaseWorld(t)
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+	sess := openTestSession(t, res, "eu-nl-vu:gos-obj", 10*time.Second)
+
+	ca := testAddr("eu-nl-vu")
+	var oids []ids.OID
+	for i := 0; i < 3; i++ {
+		oid, _, err := sess.Attach(ids.Nil, ca)
+		if err != nil {
+			t.Fatalf("attach %d: %v", i, err)
+		}
+		oids = append(oids, oid)
+	}
+	for _, oid := range oids {
+		if addrs, _, err := res.Lookup(oid); err != nil || len(addrs) != 1 {
+			t.Fatalf("lookup while session lives: %v (%d addrs)", err, len(addrs))
+		}
+	}
+
+	// Renewals keep every attached entry alive well past the TTL —
+	// without touching any entry individually.
+	for i := 0; i < 5; i++ {
+		clock.Advance(6 * time.Second)
+		if _, err := sess.Renew(); err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+	}
+	for _, oid := range oids {
+		if _, _, err := res.Lookup(oid); err != nil {
+			t.Fatalf("lookup after renewals: %v", err)
+		}
+	}
+
+	// Stop renewing: one TTL later every attached entry is gone from
+	// lookups, before any janitor runs (lazy expiry).
+	clock.Advance(11 * time.Second)
+	for _, oid := range oids {
+		if _, _, err := res.Lookup(oid); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("lookup after session expiry = %v, want ErrNotFound", err)
+		}
+	}
+}
+
+func TestSessionRenewalIsOneCallPerSubnode(t *testing.T) {
+	tree, clock := deployLeaseWorld(t)
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+	sess := openTestSession(t, res, "eu-nl-vu:gos-obj", 10*time.Second)
+
+	ca := testAddr("eu-nl-vu")
+	for i := 0; i < 50; i++ {
+		if _, _, err := sess.Attach(ids.Nil, ca); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leaf := tree.Nodes("eu/nl")[0]
+	before := leaf.Stats()
+
+	for i := 0; i < 3; i++ {
+		clock.Advance(3 * time.Second)
+		if _, err := sess.Renew(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := leaf.Stats()
+	// The heartbeat is one batched renew: no per-entry inserts, however
+	// many replicas ride the session.
+	if got := after.Inserts - before.Inserts; got != 0 {
+		t.Fatalf("renewals performed %d inserts, want 0", got)
+	}
+	if got := after.SessionRenews - before.SessionRenews; got != 3 {
+		t.Fatalf("SessionRenews delta = %d, want 3", got)
+	}
+}
+
+func TestSessionDeathAgesOut1000Replicas(t *testing.T) {
+	tree, clock := deployLeaseWorld(t)
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+	sess := openTestSession(t, res, "eu-nl-vu:gos-obj", 10*time.Second)
+
+	const n = 1000
+	ca := testAddr("eu-nl-vu")
+	oids := make([]ids.OID, n)
+	for i := range oids {
+		oid, _, err := sess.Attach(ids.Nil, ca)
+		if err != nil {
+			t.Fatalf("attach %d: %v", i, err)
+		}
+		oids[i] = oid
+	}
+	leaf := tree.Nodes("eu/nl")[0]
+	if got := leaf.Records(); got != n {
+		t.Fatalf("leaf records = %d, want %d", got, n)
+	}
+
+	// The server dies (no renewals): within one TTL every entry is out
+	// of lookups.
+	clock.Advance(11 * time.Second)
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		if _, _, err := res.Lookup(oids[i]); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("lookup %d one TTL after death = %v, want ErrNotFound", i, err)
+		}
+	}
+
+	// The sweep reclaims every record and tears down the pointer
+	// chains, so the tree does not accumulate a dead server's entries.
+	if got := leaf.SweepExpired(); got != n {
+		t.Fatalf("SweepExpired = %d, want %d", got, n)
+	}
+	if got := leaf.Records(); got != 0 {
+		t.Fatalf("leaf records after sweep = %d, want 0", got)
+	}
+	if got := tree.Nodes("root")[0].Records(); got != 0 {
+		t.Fatalf("root records after sweep = %d, want 0", got)
+	}
+	if got := leaf.Sessions(); got != 0 {
+		t.Fatalf("sessions after sweep = %d, want 0", got)
+	}
+}
+
+func TestSessionCloseExpiresAttachedEntries(t *testing.T) {
+	tree, _ := deployLeaseWorld(t)
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+	sess := openTestSession(t, res, "eu-nl-vu:gos-obj", 10*time.Second)
+
+	oid, _, err := sess.Attach(ids.Nil, testAddr("eu-nl-vu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := res.Lookup(oid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Orderly shutdown: no clock advance needed, the entries are gone
+	// at once.
+	if _, _, err := res.Lookup(oid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lookup after session close = %v, want ErrNotFound", err)
+	}
+	if got := tree.Nodes("eu/nl")[0].Sessions(); got != 0 {
+		t.Fatalf("sessions after close = %d, want 0", got)
+	}
+}
+
+func TestSessionDrainIsASessionAttribute(t *testing.T) {
+	tree, _ := deployLeaseWorld(t)
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+	sess := openTestSession(t, res, "eu-nl-vu:gos-obj", 10*time.Second)
+
+	sick := ContactAddress{Protocol: "masterslave", Address: sess.Addr(), Impl: "pkg/1", Role: "master"}
+	healthy := testAddr("eu-de-tu")
+	oid, _, err := sess.Attach(ids.Nil, sick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := res.Insert(oid, healthy); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := sess.Drain(true); err != nil {
+		t.Fatal(err)
+	}
+	addrs, _, err := res.Lookup(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1 || addrs[0] != healthy {
+		t.Fatalf("addrs while drained = %v, want just %v", addrs, healthy)
+	}
+
+	// The drain travels with the session through snapshot/restore: a
+	// node restart no longer forgets it until the next scrub pass.
+	leaf := tree.Nodes("eu/nl")[0]
+	snap := leaf.Snapshot()
+	if err := leaf.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	addrs, _, err = res.Lookup(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1 || addrs[0] != healthy {
+		t.Fatalf("addrs after restore = %v, want drain remembered (just %v)", addrs, healthy)
+	}
+
+	if _, err := sess.Drain(false); err != nil {
+		t.Fatal(err)
+	}
+	addrs, _, err = res.Lookup(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 2 {
+		t.Fatalf("addrs after undrain = %v, want both", addrs)
+	}
+}
+
+func TestSnapshotPersistsLeaseDeadlines(t *testing.T) {
+	tree, clock := deployLeaseWorld(t)
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+
+	// One per-entry lease and one permanent entry.
+	leased := testAddr("eu-nl-vu")
+	permanent := testAddr("eu-de-tu")
+	oid, _, err := res.InsertLease(ids.Nil, leased, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := res.Insert(oid, permanent); err != nil {
+		t.Fatal(err)
+	}
+
+	leaf := tree.Nodes("eu/nl")[0]
+	snap := leaf.Snapshot()
+	if err := leaf.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Within the restored TTL both entries serve.
+	addrs, _, err := res.Lookup(oid)
+	if err != nil || len(addrs) != 2 {
+		t.Fatalf("lookup within restored lease: %v (%d addrs)", err, len(addrs))
+	}
+
+	// Past it, the leased entry is gone — a restored node can no longer
+	// resurrect a dead server's replicas as permanent (the PR 4 bug).
+	clock.Advance(11 * time.Second)
+	addrs, _, err = res.Lookup(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1 || addrs[0] != permanent {
+		t.Fatalf("addrs after restored lease expired = %v, want just %v", addrs, permanent)
+	}
+}
+
+func TestSnapshotRestoreRenewRoundTrip(t *testing.T) {
+	tree, clock := deployLeaseWorld(t)
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+	sess := openTestSession(t, res, "eu-nl-vu:gos-obj", 10*time.Second)
+
+	ca := testAddr("eu-nl-vu")
+	var oids []ids.OID
+	for i := 0; i < 4; i++ {
+		oid, _, err := sess.Attach(ids.Nil, ca)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+
+	// Snapshot, restart the node (restore), and keep heartbeating: the
+	// restored session accepts renewals — no re-registration storm.
+	leaf := tree.Nodes("eu/nl")[0]
+	snap := leaf.Snapshot()
+	if err := leaf.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	before := leaf.Stats()
+	for i := 0; i < 4; i++ {
+		clock.Advance(6 * time.Second)
+		if _, err := sess.Renew(); err != nil {
+			t.Fatalf("renew after restore: %v", err)
+		}
+	}
+	if got := leaf.Stats().Inserts - before.Inserts; got != 0 {
+		t.Fatalf("renewals after restore performed %d inserts, want 0 (session survived the snapshot)", got)
+	}
+	for _, oid := range oids {
+		if _, _, err := res.Lookup(oid); err != nil {
+			t.Fatalf("lookup after restore+renew: %v", err)
+		}
+	}
+	// And once the server dies, the restored session still ages its
+	// entries out.
+	clock.Advance(11 * time.Second)
+	if _, _, err := res.Lookup(oids[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lookup after death = %v, want ErrNotFound", err)
+	}
+}
+
+func TestSessionLossReattachesOnRenew(t *testing.T) {
+	tree, _ := deployLeaseWorld(t)
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+
+	// Capture the node's empty state, then attach through a session.
+	leaf := tree.Nodes("eu/nl")[0]
+	empty := leaf.Snapshot()
+
+	sess := openTestSession(t, res, "eu-nl-vu:gos-obj", 10*time.Second)
+	ca := testAddr("eu-nl-vu")
+	var oids []ids.OID
+	for i := 0; i < 3; i++ {
+		oid, _, err := sess.Attach(ids.Nil, ca)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+
+	// The node restarts having lost everything since the empty
+	// snapshot: session and entries are gone.
+	if err := leaf.Restore(empty); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := res.Lookup(oids[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lookup after amnesiac restart = %v, want ErrNotFound", err)
+	}
+
+	// The next heartbeat learns the session is unknown, reopens it and
+	// re-attaches every entry — the server repairs the node's memory.
+	if _, err := sess.Renew(); err != nil {
+		t.Fatalf("renew after session loss: %v", err)
+	}
+	for _, oid := range oids {
+		if addrs, _, err := res.Lookup(oid); err != nil || len(addrs) != 1 {
+			t.Fatalf("lookup after re-attach: %v (%d addrs)", err, len(addrs))
+		}
+	}
+}
+
+func TestRenewRepairsSnapshotRollback(t *testing.T) {
+	tree, _ := deployLeaseWorld(t)
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+	sess := openTestSession(t, res, "eu-nl-vu:gos-obj", 10*time.Second)
+
+	ca := testAddr("eu-nl-vu")
+	var oids []ids.OID
+	for i := 0; i < 3; i++ {
+		oid, _, err := sess.Attach(ids.Nil, ca)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+	// Snapshot, then attach two more entries the snapshot predates.
+	leaf := tree.Nodes("eu/nl")[0]
+	snap := leaf.Snapshot()
+	for i := 0; i < 2; i++ {
+		oid, _, err := sess.Attach(ids.Nil, ca)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+
+	// The node rolls back: the session is known (it is in the
+	// snapshot), but the two young attaches are gone — the dangerous
+	// case, since a bare known/unknown bit would report all-is-well
+	// forever.
+	if err := leaf.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := res.Lookup(oids[4]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("young attach after rollback = %v, want ErrNotFound", err)
+	}
+
+	// The next heartbeat sees the attached-entry count disagree with
+	// its books and re-attaches.
+	if _, err := sess.Renew(); err != nil {
+		t.Fatal(err)
+	}
+	for i, oid := range oids {
+		if addrs, _, err := res.Lookup(oid); err != nil || len(addrs) != 1 {
+			t.Fatalf("lookup %d after repairing rollback: %v (%d addrs)", i, err, len(addrs))
+		}
+	}
+	// And once repaired, heartbeats go back to being pure renewals.
+	before := leaf.Stats()
+	if _, err := sess.Renew(); err != nil {
+		t.Fatal(err)
+	}
+	if got := leaf.Stats().Inserts - before.Inserts; got != 0 {
+		t.Fatalf("renew after repair performed %d inserts, want 0", got)
+	}
+}
+
+func TestAttachUnknownSessionReopens(t *testing.T) {
+	tree, _ := deployLeaseWorld(t)
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+
+	leaf := tree.Nodes("eu/nl")[0]
+	empty := leaf.Snapshot()
+	sess := openTestSession(t, res, "eu-nl-vu:gos-obj", 10*time.Second)
+
+	// Node forgets the session before the first attach.
+	if err := leaf.Restore(empty); err != nil {
+		t.Fatal(err)
+	}
+	oid, _, err := sess.Attach(ids.Nil, testAddr("eu-nl-vu"))
+	if err != nil {
+		t.Fatalf("attach after session loss: %v", err)
+	}
+	if addrs, _, err := res.Lookup(oid); err != nil || len(addrs) != 1 {
+		t.Fatalf("lookup after reopened attach: %v (%d addrs)", err, len(addrs))
+	}
+}
+
+func TestV1SnapshotStillRestores(t *testing.T) {
+	tree, _ := deployLeaseWorld(t)
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+	leaf := tree.Nodes("eu/nl")[0]
+
+	oid, _, err := res.Insert(ids.Nil, testAddr("eu-nl-vu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-build the version-1 layout for the same record set the node
+	// holds: domain, then per-record bare contact addresses + pointers.
+	v1 := encodeV1Snapshot(leaf)
+	if err := leaf.Restore(v1); err != nil {
+		t.Fatalf("restore v1 snapshot: %v", err)
+	}
+	if addrs, _, err := res.Lookup(oid); err != nil || len(addrs) != 1 {
+		t.Fatalf("lookup after v1 restore: %v (%d addrs)", err, len(addrs))
+	}
+}
+
+// encodeV1Snapshot re-encodes a node's records in the pre-session
+// snapshot layout (domain first, bare contact addresses) — the image a
+// daemon checkpointed before this PR.
+func encodeV1Snapshot(n *Node) []byte {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	w := wire.NewWriter(1024)
+	w.Str(n.cfg.Domain)
+	w.Count(len(n.recs))
+	for oid, rec := range n.recs {
+		w.OID(oid)
+		w.Count(len(rec.addrs))
+		for _, la := range rec.addrs {
+			la.ca.encode(w)
+		}
+		w.Count(len(rec.ptrs))
+		for child, ref := range rec.ptrs {
+			w.Str(child)
+			ref.encode(w)
+		}
+	}
+	return w.Bytes()
+}

@@ -85,13 +85,15 @@ type Config struct {
 	ScrubEvery time.Duration
 	// ScrubBytes bounds one scrubbing pass; 0 selects a default.
 	ScrubBytes int64
-	// LeaseTTL is the lifetime of this server's location-service
-	// registrations. The server re-registers every hosted replica on a
-	// heartbeat (a third of the TTL), so entries stay live while the
-	// server does and age out of lookups within one TTL of a crash —
-	// the location layer stops advertising dead replicas. 0 selects
-	// the default (30s); negative disables leasing (permanent
-	// registrations, no heartbeat — the pre-lease behaviour).
+	// LeaseTTL is the lifetime of this server's registration session
+	// with the location service. Every hosted replica is attached to
+	// the one session, and a heartbeat (a third of the TTL) renews them
+	// all with a single batched call per leaf subnode — renewal traffic
+	// is O(servers), not O(replicas) — so entries stay live while the
+	// server does and age out of lookups within one TTL of a crash: the
+	// location layer stops advertising dead replicas. 0 selects the
+	// default (30s); negative disables leasing (permanent
+	// registrations, no heartbeat — the pre-session behaviour).
 	LeaseTTL time.Duration
 	// DrainAfter is the cumulative count of scrubber-quarantined chunks
 	// at which the server declares its store chronically corrupt and
@@ -147,9 +149,13 @@ type Server struct {
 	// stopScrub halts the background chunk scrubber; nil when
 	// scrubbing is disabled.
 	stopScrub func()
-	// stopHeartbeat halts the lease-renewal loop; nil when leasing is
+	// stopHeartbeat halts the session-renewal loop; nil when leasing is
 	// disabled.
 	stopHeartbeat func()
+	// sess is the registration session every hosted replica's contact
+	// address is attached to; nil when leasing is disabled (or the
+	// runtime has no resolver).
+	sess *gls.ServerSession
 
 	// healthMu guards the scrub-health accounting feeding GLS drain.
 	healthMu sync.Mutex
@@ -205,6 +211,18 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 	}
 	s.disp = disp
 
+	// One registration session covers every replica this server will
+	// host: replicas attach to it as they are created or recovered, and
+	// the heartbeat renews them all with a single batched call.
+	if ttl := s.leaseTTL(); ttl > 0 && cfg.Runtime.Resolver() != nil {
+		sess, _, err := cfg.Runtime.Resolver().OpenSession(disp.Addr(), ttl)
+		if err != nil {
+			disp.Close()
+			return nil, fmt.Errorf("gos: open registration session: %w", err)
+		}
+		s.sess = sess
+	}
+
 	// Recover before the command endpoint opens: the recovery sweep
 	// reclaims every unreferenced chunk, and a moderator upload
 	// accepted mid-recovery would be unreferenced by definition.
@@ -246,10 +264,10 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 		s.stopScrub = s.startScrubLoop(every, bytes)
 	}
 
-	// Heartbeat: re-register every hosted replica at a third of the
-	// lease TTL, so registrations stay live exactly as long as the
-	// server does.
-	if cfg.LeaseTTL >= 0 {
+	// Heartbeat: renew the registration session at a third of the lease
+	// TTL, so every attached registration stays live exactly as long as
+	// the server does.
+	if s.sess != nil {
 		s.stopHeartbeat = s.startHeartbeat(s.leaseTTL() / 3)
 	}
 	return s, nil
@@ -281,15 +299,25 @@ func (s *Server) drainAfter() int {
 	}
 }
 
-// register (re-)inserts one replica's contact address, leased when
-// leasing is on.
+// register inserts one replica's contact address — attached to the
+// server's registration session when leasing is on, permanent
+// otherwise.
 func (s *Server) register(oid ids.OID, ca gls.ContactAddress) (time.Duration, error) {
-	if ttl := s.leaseTTL(); ttl > 0 {
-		_, cost, err := s.cfg.Runtime.Resolver().InsertLease(oid, ca, ttl)
+	if s.sess != nil {
+		_, cost, err := s.sess.Attach(oid, ca)
 		return cost, err
 	}
 	_, cost, err := s.cfg.Runtime.Resolver().Insert(oid, ca)
 	return cost, err
+}
+
+// deregister removes one replica's contact address and, when leasing is
+// on, drops it from the session's re-attach set.
+func (s *Server) deregister(oid ids.OID) (time.Duration, error) {
+	if s.sess != nil {
+		return s.sess.Detach(oid)
+	}
+	return s.cfg.Runtime.Resolver().Delete(oid, s.disp.Addr())
 }
 
 // startHeartbeat renews every hosted replica's lease on a ticker.
@@ -316,19 +344,16 @@ func (s *Server) startHeartbeat(every time.Duration) func() {
 	return func() { once.Do(func() { close(stop) }); <-done }
 }
 
-// Heartbeat renews the lease of every hosted replica now. The
-// background loop calls it on a ticker; tests call it directly.
+// Heartbeat renews the registration session now — one batched call per
+// leaf subnode keeps every hosted replica's entry alive, however many
+// there are. The background loop calls it on a ticker; tests call it
+// directly.
 func (s *Server) Heartbeat() {
-	s.mu.Lock()
-	regs := make([]*hosted, 0, len(s.objects))
-	for _, h := range s.objects {
-		regs = append(regs, h)
+	if s.sess == nil {
+		return
 	}
-	s.mu.Unlock()
-	for _, h := range regs {
-		if _, err := s.register(h.spec.OID, h.ca); err != nil {
-			s.cfg.Logf("gos: renew lease for %s: %v", h.spec.OID.Short(), err)
-		}
+	if _, err := s.sess.Renew(); err != nil {
+		s.cfg.Logf("gos: renew registration session: %v", err)
 	}
 }
 
@@ -451,7 +476,9 @@ func (s *Server) HostedLR(oid ids.OID) (*core.LR, bool) {
 
 // Close stops the server without deregistering replicas — the behaviour
 // of a crash or an abrupt reboot. Checkpoints and location-service
-// registrations survive, which is what recovery builds on.
+// registrations survive (the registration session simply stops being
+// renewed and ages out with its entries), which is what recovery
+// builds on.
 func (s *Server) Close() error {
 	if s.stopHeartbeat != nil {
 		s.stopHeartbeat()
@@ -734,7 +761,7 @@ func (s *Server) handleRemove(call *rpc.Call) ([]byte, error) {
 		return nil, fmt.Errorf("gos: not hosting %s", oid.Short())
 	}
 
-	cost, err := s.cfg.Runtime.Resolver().Delete(oid, s.disp.Addr())
+	cost, err := s.deregister(oid)
 	call.Charge(cost)
 	if err != nil {
 		s.cfg.Logf("gos: deregister %s: %v", oid.Short(), err)

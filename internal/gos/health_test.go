@@ -146,6 +146,58 @@ func TestCrashedServerLeaseAgesOut(t *testing.T) {
 	}
 }
 
+// TestHeartbeatIsOneRenewalForManyReplicas pins the control-plane
+// contract of registration sessions: a server hosting N replicas costs
+// the location service O(1) RPCs per heartbeat interval, not O(N) —
+// the renewal touches the session, never the entries.
+func TestHeartbeatIsOneRenewalForManyReplicas(t *testing.T) {
+	f := newHealthFixture(t)
+	srv := f.startGOS("eu-gos", Config{LeaseTTL: 30 * time.Second})
+
+	cl := NewClient(f.net, "mod", "eu-gos:gos-cmd", nil)
+	defer cl.Close()
+	const replicas = 24
+	var oids []ids.OID
+	for i := 0; i < replicas; i++ {
+		oid, _, _, err := cl.CreateReplica(CreateRequest{
+			Impl: pkgobj.Impl, Protocol: repl.ClientServer, Role: repl.RoleServer,
+		})
+		if err != nil {
+			t.Fatalf("create replica %d: %v", i, err)
+		}
+		oids = append(oids, oid)
+	}
+
+	leaf := f.tree.Nodes("lan")[0]
+	before := leaf.Stats()
+	const beats = 4
+	for i := 0; i < beats; i++ {
+		f.clock.Advance(10 * time.Second)
+		srv.Heartbeat()
+	}
+	after := leaf.Stats()
+	if got := after.Inserts - before.Inserts; got != 0 {
+		t.Fatalf("heartbeats performed %d per-replica inserts, want 0", got)
+	}
+	if got := after.SessionRenews - before.SessionRenews; got != beats {
+		t.Fatalf("SessionRenews delta = %d, want %d (one per heartbeat)", got, beats)
+	}
+	// The renewals actually kept all the replicas alive.
+	for _, oid := range []ids.OID{oids[0], oids[replicas-1]} {
+		if addrs, err := f.lookup(oid); err != nil || len(addrs) != 1 {
+			t.Fatalf("lookup after heartbeats: %v (%d addrs)", err, len(addrs))
+		}
+	}
+	// And a removed replica leaves the session's re-attach set: a later
+	// renewal-driven re-attach cannot resurrect it.
+	if _, err := cl.RemoveReplica(oids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.lookup(oids[0]); !errors.Is(err, gls.ErrNotFound) {
+		t.Fatalf("lookup of removed replica = %v, want ErrNotFound", err)
+	}
+}
+
 func TestChronicScrubCorruptionDrainsThenHeals(t *testing.T) {
 	f := newHealthFixture(t)
 	stateDir := t.TempDir()

@@ -70,6 +70,19 @@ type Config struct {
 	// service, making this HTTPD a replica other clients can find —
 	// the paper's "may act as a replica" in full.
 	RegisterCaches bool
+	// LeaseTTL is the lifetime of this HTTPD's registration session
+	// with the location service (RegisterCaches mode): every cache
+	// registration is attached to one session, renewed by a single
+	// batched heartbeat, so a killed proxy's caches vanish from
+	// lookups within one TTL — exactly the liveness contract object
+	// servers run under. 0 selects the default (30s); negative
+	// disables leasing (permanent registrations, the pre-session
+	// behaviour).
+	LeaseTTL time.Duration
+	// RenewEvery overrides the heartbeat cadence (default LeaseTTL/3);
+	// negative disables the background loop (tests renew by hand with
+	// RenewLeases).
+	RenewEvery time.Duration
 	// CacheBytes bounds the shared content store behind cache replicas
 	// (caching mode only): chunks of dropped or expired state age out
 	// least-recently-used first instead of vanishing, so a refill
@@ -95,6 +108,10 @@ const (
 	defaultScrubEvery = 30 * time.Second
 	defaultScrubBytes = 256 << 20
 )
+
+// defaultLeaseTTL matches the object servers' registration lifetime: a
+// registered cache is a replica and lives under the same contract.
+const defaultLeaseTTL = 30 * time.Second
 
 // Stats counts served traffic for the experiments.
 type Stats struct {
@@ -126,6 +143,12 @@ type Handler struct {
 	chunks *store.Store
 	// stopScrub halts the disk cache's background scrubber.
 	stopScrub func()
+
+	// sess is the registration session cache registrations attach to
+	// (RegisterCaches mode with leasing); nil otherwise.
+	sess *gls.ServerSession
+	// stopRenew halts the session heartbeat loop.
+	stopRenew func()
 
 	mu       sync.Mutex
 	bindings map[string]*binding
@@ -217,7 +240,60 @@ func New(cfg Config) (*Handler, error) {
 			h.chunks = store.Mem(store.WithCapacity(cfg.CacheBytes))
 		}
 	}
+	// A registering proxy is a replica server and leases like one: one
+	// session covers every cache registration, and a single batched
+	// renewal per heartbeat keeps them all alive — so a killed proxy's
+	// caches age out of lookups within one TTL instead of lingering
+	// forever (the old permanent-registration behaviour).
+	if cfg.CacheObjects && cfg.RegisterCaches && cfg.LeaseTTL >= 0 {
+		if cfg.Runtime.Resolver() == nil {
+			return nil, fmt.Errorf("httpd: registering caches needs a location-service resolver")
+		}
+		ttl := cfg.LeaseTTL
+		if ttl == 0 {
+			ttl = defaultLeaseTTL
+		}
+		sess, _, err := cfg.Runtime.Resolver().OpenSession(cfg.Disp.Addr(), ttl)
+		if err != nil {
+			return nil, fmt.Errorf("httpd: open registration session: %w", err)
+		}
+		h.sess = sess
+		every := cfg.RenewEvery
+		if every == 0 {
+			every = ttl / 3
+		}
+		if every > 0 {
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				t := time.NewTicker(every)
+				defer t.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-t.C:
+						h.RenewLeases()
+					}
+				}
+			}()
+			var once sync.Once
+			h.stopRenew = func() { once.Do(func() { close(stop) }); <-done }
+		}
+	}
 	return h, nil
+}
+
+// RenewLeases renews the registration session now. The background loop
+// calls it on a ticker; tests call it directly.
+func (h *Handler) RenewLeases() {
+	if h.sess == nil {
+		return
+	}
+	if _, err := h.sess.Renew(); err != nil {
+		h.cfg.Logf("httpd: renew registration session: %v", err)
+	}
 }
 
 // Chunks exposes the shared cache store (nil in non-caching mode);
@@ -231,17 +307,35 @@ func (h *Handler) Stats() Stats {
 	return h.stats
 }
 
-// Close releases all cached bindings and deregisters registered caches.
+// Close releases all cached bindings, deregisters registered caches and
+// ends the registration session — the orderly-shutdown path. A killed
+// proxy skips all of this; its session simply ages out.
 func (h *Handler) Close() error {
 	if h.stopScrub != nil {
 		h.stopScrub()
 	}
+	if h.stopRenew != nil {
+		h.stopRenew()
+	}
 	h.mu.Lock()
 	bindings := h.bindings
 	h.bindings = make(map[string]*binding)
+	if h.sess != nil {
+		// The session close below expires every attached registration
+		// in one round trip per subnode; per-binding deregistration
+		// would just repeat that N times.
+		for _, b := range bindings {
+			b.registered = false
+		}
+	}
 	h.mu.Unlock()
 	for _, b := range bindings {
 		h.releaseBinding(b)
+	}
+	if h.sess != nil {
+		if _, err := h.sess.Close(); err != nil {
+			h.cfg.Logf("httpd: close registration session: %v", err)
+		}
 	}
 	return nil
 }
@@ -249,7 +343,13 @@ func (h *Handler) Close() error {
 func (h *Handler) releaseBinding(b *binding) {
 	if b.registered {
 		oid := b.stub.LR().OID()
-		if _, err := h.cfg.Runtime.Resolver().Delete(oid, h.cfg.Disp.Addr()); err != nil {
+		var err error
+		if h.sess != nil {
+			_, err = h.sess.Detach(oid)
+		} else {
+			_, err = h.cfg.Runtime.Resolver().Delete(oid, h.cfg.Disp.Addr())
+		}
+		if err != nil {
 			h.cfg.Logf("httpd: deregister cache for %s: %v", b.name, err)
 		}
 	}
@@ -333,8 +433,17 @@ func (h *Handler) bind(objectName string) (*binding, time.Duration, error) {
 			return nil, cost, err
 		}
 		if h.cfg.RegisterCaches {
-			if _, regCost, err := rt.Resolver().Insert(oid, ca); err != nil {
-				h.cfg.Logf("httpd: register cache for %s: %v", objectName, err)
+			// Leased (attached to the proxy's registration session) when
+			// leasing is on, permanent otherwise.
+			var regCost time.Duration
+			var regErr error
+			if h.sess != nil {
+				_, regCost, regErr = h.sess.Attach(oid, ca)
+			} else {
+				_, regCost, regErr = rt.Resolver().Insert(oid, ca)
+			}
+			if regErr != nil {
+				h.cfg.Logf("httpd: register cache for %s: %v", objectName, regErr)
 			} else {
 				cost += regCost
 				registered = true

@@ -1,0 +1,110 @@
+package httpd_test
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"gdn"
+)
+
+// Registered-cache leasing: a caching HTTPD that registers its cache
+// replicas holds a registration session with the location service,
+// renewed by heartbeat, so a killed proxy's caches vanish from lookups
+// within one TTL — the same liveness contract object servers run under
+// (the ROADMAP open item "cache replicas still register permanently").
+
+// cacheRegistered reports whether the na-ny-cu proxy's cache replica is
+// what a nearby lookup returns.
+func cacheRegistered(t *testing.T, w *gdn.World, name string) bool {
+	t.Helper()
+	oid, _, err := w.NameService("na-ny-cu").Resolve(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.GLSResolver("na-ny-cu", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	addrs, _, err := res.Lookup(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ca := range addrs {
+		if ca.Address == "na-ny-cu:httpd-obj" {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRegisteredCacheLeasesAndAgesOut(t *testing.T) {
+	const ttl = time.Second
+	w, h, ts := world(t, "na-ny-cu", gdn.HTTPDConfig{
+		Caching:        true,
+		RegisterCaches: true,
+		LeaseTTL:       ttl,
+		RenewEvery:     -1, // the test heartbeats by hand to simulate life and death
+	})
+
+	const name = "/apps/graphics/gimp"
+	resp, _ := get(t, ts.URL+"/pkg"+name+"/-/README")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("download status = %d", resp.StatusCode)
+	}
+	if !cacheRegistered(t, w, name) {
+		t.Fatal("cache replica must be registered after the first download")
+	}
+
+	// Heartbeats keep the registration alive well past the original
+	// TTL.
+	for i := 0; i < 6; i++ {
+		time.Sleep(ttl / 4)
+		h.RenewLeases()
+	}
+	if !cacheRegistered(t, w, name) {
+		t.Fatal("renewed cache registration must stay in lookups past the TTL")
+	}
+
+	// The proxy is killed (no orderly close, no more heartbeats): the
+	// cache ages out of lookups within one TTL, and clients fall back
+	// to the package's real replicas.
+	deadline := time.Now().Add(10 * ttl)
+	for cacheRegistered(t, w, name) {
+		if time.Now().After(deadline) {
+			t.Fatal("killed proxy's cache registration never aged out")
+		}
+		time.Sleep(ttl / 5)
+	}
+	// The object itself is still resolvable through its GOS replicas.
+	resp, _ = get(t, ts.URL+"/pkg"+name+"/-/README")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("download after age-out status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPDCloseEndsSessionImmediately(t *testing.T) {
+	w, h, ts := world(t, "na-ny-cu", gdn.HTTPDConfig{
+		Caching:        true,
+		RegisterCaches: true,
+		LeaseTTL:       time.Minute, // far longer than the test
+		RenewEvery:     -1,
+	})
+	const name = "/apps/graphics/gimp"
+	if resp, _ := get(t, ts.URL+"/pkg"+name+"/-/README"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("download status = %d", resp.StatusCode)
+	}
+	if !cacheRegistered(t, w, name) {
+		t.Fatal("cache replica must be registered after the first download")
+	}
+
+	// Orderly shutdown closes the registration session: no TTL wait,
+	// the caches are out of lookups at once.
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cacheRegistered(t, w, name) {
+		t.Fatal("closed proxy's cache registration must vanish immediately")
+	}
+}

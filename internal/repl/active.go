@@ -8,6 +8,8 @@ import (
 
 	"gdn/internal/core"
 	"gdn/internal/rpc"
+	"gdn/internal/store"
+	"gdn/internal/wire"
 )
 
 // ActiveProtocol returns active replication: every peer replica holds
@@ -32,6 +34,40 @@ func ActiveProtocol() *core.Protocol {
 			}
 		},
 	}
+}
+
+// opPeerRoster asks an active replica for the full replica roster
+// (sequencer first): location-service lookups return the nearest
+// replicas, but all-peer chunk negotiation needs every one. The
+// sequencer answers from its peer bookkeeping; peers relay to the
+// sequencer. Outside the core replica-op range (0x10+) and far from
+// the rpc-reserved band (0xFF00+).
+const opPeerRoster uint16 = 0x30
+
+// encodeRoster serializes an address list (sequencer first).
+func encodeRoster(addrs []string) []byte {
+	w := wire.NewWriter(16 + 32*len(addrs))
+	w.Count(len(addrs))
+	for _, a := range addrs {
+		w.Str(a)
+	}
+	return w.Bytes()
+}
+
+func decodeRoster(b []byte) ([]string, error) {
+	r := wire.NewReader(b)
+	n := r.Count()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		addrs = append(addrs, r.Str())
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return addrs, nil
 }
 
 // sequencer orders all writes: it executes each locally, stamps it with
@@ -67,6 +103,11 @@ func (s *sequencer) Close() error {
 func (s *sequencer) handle(call *rpc.Call) ([]byte, error) {
 	if handled, resp, err := s.handleCommon(call); handled {
 		return resp, err
+	}
+	if call.Op == opPeerRoster {
+		// The roster reveals only transport addresses, which lookups
+		// serve anyway; no write authorization needed.
+		return encodeRoster(append([]string{s.env.Disp.Addr()}, s.peerAddrs()...)), nil
 	}
 	if call.Op != core.OpInvoke {
 		return nil, fmt.Errorf("repl: %s sequencer: unexpected op %d", Active, call.Op)
@@ -156,7 +197,7 @@ func newActivePeer(env *core.Env) (core.Replication, error) {
 	}
 	p := &activePeer{replicaBase: newReplicaBase(env), seqAddr: seqs[0].Address}
 
-	_, version, state, pins, _, err := p.fetchState(p.seqAddr, 0)
+	_, version, state, pins, _, err := p.fetchState(p.peer(p.seqAddr), 0)
 	if err != nil {
 		return nil, fmt.Errorf("repl: %s peer: initial state transfer: %w", Active, err)
 	}
@@ -190,6 +231,12 @@ func (p *activePeer) Close() error {
 
 func (p *activePeer) handle(call *rpc.Call) ([]byte, error) {
 	if handled, resp, err := p.handleCommon(call); handled {
+		return resp, err
+	}
+	if call.Op == opPeerRoster {
+		// The sequencer owns the authoritative roster; relay.
+		resp, cost, err := p.peer(p.seqAddr).Call(opPeerRoster, call.Body)
+		call.Charge(cost)
 		return resp, err
 	}
 	switch call.Op {
@@ -237,7 +284,7 @@ func (p *activePeer) apply(call *rpc.Call) error {
 		p.version = version
 		return nil
 	default:
-		fresh, v, state, pins, cost, err := p.fetchState(p.seqAddr, p.version)
+		fresh, v, state, pins, cost, err := p.fetchState(p.peer(p.seqAddr), p.version)
 		call.Charge(cost)
 		if err != nil {
 			return fmt.Errorf("repl: %s peer: resync after gap: %w", Active, err)
@@ -274,9 +321,7 @@ func decodeApply(b []byte) (uint64, core.Invocation, error) {
 
 // activeProxy sends reads to a healthy peer replica (spread by the
 // ranked peer set) and writes to the sequencer, failing over to a
-// forwarding peer when the sequencer address is unreachable. It must
-// not implement core.ChunkNegotiator: writes replay at every peer, so
-// a chunk present at one replica may be absent at another.
+// forwarding peer when the sequencer address is unreachable.
 type activeProxy struct {
 	env   *core.Env
 	peers *core.PeerSet
@@ -300,6 +345,103 @@ func (p *activeProxy) Invoke(inv core.Invocation) ([]byte, time.Duration, error)
 // resuming on the next candidate when one dies mid-stream.
 func (p *activeProxy) ReadBulk(path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
 	return streamBulkVia(p.peers, path, off, n, fn)
+}
+
+// roster fetches the full replica roster (sequencer first) through any
+// reachable candidate: the binding lookup only returned the nearest
+// replicas, but all-peer negotiation must reach every one, wherever it
+// registered.
+func (p *activeProxy) roster() ([]string, time.Duration, error) {
+	var addrs []string
+	cost, err := p.peers.Do(false, func(_ string, pc *core.PeerClient) (time.Duration, error) {
+		resp, c, err := pc.Call(opPeerRoster, nil)
+		if err != nil {
+			return c, err
+		}
+		got, derr := decodeRoster(resp)
+		if derr != nil {
+			return c, core.NoFailover(derr)
+		}
+		addrs = got
+		return c, nil
+	})
+	if err != nil {
+		return nil, cost, fmt.Errorf("repl: %s proxy for %s: fetch replica roster: %w", Active, p.env.OID.Short(), err)
+	}
+	if len(addrs) == 0 {
+		return nil, cost, fmt.Errorf("repl: %s proxy for %s: empty replica roster", Active, p.env.OID.Short())
+	}
+	return addrs, cost, nil
+}
+
+// MissingChunks implements core.ChunkNegotiator for active replication
+// by negotiating against every replica in the roster: because writes
+// replay at every peer, a manifest write needs its chunks present at
+// every store, so a chunk may be skipped only when every replica
+// already holds it — the reported missing set is the complement of the
+// intersection of the replicas' have-sets. Any unreachable replica
+// aborts the negotiation (the uploader falls back to content-bearing
+// writes, which the sequencer replays with the bytes attached), so no
+// peer is ever left without the chunks a manifest names.
+func (p *activeProxy) MissingChunks(refs []store.Ref) ([]store.Ref, time.Duration, error) {
+	addrs, total, err := p.roster()
+	if err != nil {
+		return nil, total, err
+	}
+	var union []store.Ref
+	seen := make(map[store.Ref]bool)
+	for _, addr := range addrs {
+		missing, cost, err := missingChunksFrom(p.peers.ClientFor(addr), refs)
+		total += cost
+		if err != nil {
+			return nil, total, fmt.Errorf("repl: %s: negotiate with %s: %w", Active, addr, err)
+		}
+		for _, ref := range missing {
+			if !seen[ref] {
+				seen[ref] = true
+				union = append(union, ref)
+			}
+		}
+	}
+	return union, total, nil
+}
+
+// PushChunks implements core.ChunkNegotiator: each roster replica
+// receives exactly the chunks its own store lacks (a per-replica
+// re-probe keeps the call stateless), so an unchanged re-deploy moves
+// zero chunk bodies and a partially-shared one ships every replica
+// only its gap.
+func (p *activeProxy) PushChunks(chunks [][]byte) (time.Duration, error) {
+	refs := make([]store.Ref, len(chunks))
+	byRef := make(map[store.Ref][]byte, len(chunks))
+	for i, data := range chunks {
+		refs[i] = store.RefOf(data)
+		byRef[refs[i]] = data
+	}
+	addrs, total, err := p.roster()
+	if err != nil {
+		return total, err
+	}
+	for _, addr := range addrs {
+		pc := p.peers.ClientFor(addr)
+		missing, cost, err := missingChunksFrom(pc, refs)
+		total += cost
+		if err != nil {
+			return total, fmt.Errorf("repl: %s: negotiate with %s: %w", Active, addr, err)
+		}
+		push := make([][]byte, 0, len(missing))
+		for _, ref := range missing {
+			if body, ok := byRef[ref]; ok {
+				push = append(push, body)
+			}
+		}
+		cost, err = pushChunksTo(pc, push)
+		total += cost
+		if err != nil {
+			return total, fmt.Errorf("repl: %s: push %d chunks to %s: %w", Active, len(push), addr, err)
+		}
+	}
+	return total, nil
 }
 
 func (p *activeProxy) Close() error { return p.peers.Close() }

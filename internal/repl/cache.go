@@ -19,7 +19,8 @@ import (
 //     revalidated against the parent (a cheap version check that ships
 //     state only when it changed);
 //   - "invalidate": the copy stays valid until the parent's writer
-//     pushes an invalidation; the cache subscribes at construction.
+//     pushes an invalidation; the cache subscribes at construction and
+//     re-subscribes wherever it re-parents.
 //
 // The TTL-versus-invalidation trade-off is one of the ablations the
 // differentiated-replication experiment runs (DESIGN.md §4, E4).
@@ -45,18 +46,42 @@ type CacheStats struct {
 	Invalidations int64
 }
 
+// cacheParentPrefs ranks parent candidates for TTL-mode caches:
+// state-holding replicas first (a nearby slave beats the master for
+// fills), protocol drivers next, and unlisted roles — other caches
+// included — as the last resort. The cache's own address is never a
+// candidate (the peer set excludes the hosting dispatcher), so a
+// registered cache cannot re-parent onto itself.
+var cacheParentPrefs = []string{RoleSlave, RoleServer, RoleMaster, RolePeer, RoleSequencer}
+
+// invalidateParentPrefs ranks parents for invalidation-mode caches:
+// only the protocol's write driver pushes OpInvalidate to its cache
+// subscribers (the clientserver server, the masterslave master, the
+// active sequencer — slaves and peers do not relay it), so filling
+// and subscribing anywhere else would leave the cache serving stale
+// state forever. Non-driver roles remain as last-resort fallbacks.
+var invalidateParentPrefs = []string{RoleServer, RoleMaster, RoleSequencer}
+
 // CacheReplica is the concrete caching subobject; it is exported so
-// experiments can read its statistics after driving a workload.
+// experiments can read its statistics after driving a workload. The
+// parent is not a bind-time pin: a ranked peer set tracks every
+// eligible upstream, fills fail over to the next candidate when one
+// dies, and re-resolution discovers parents that appear after
+// construction (closing the last pickPeer pin the ROADMAP named).
 type CacheReplica struct {
 	*replicaBase
-	parentAddr string
-	mode       string
-	ttl        time.Duration
+	parents *core.PeerSet
+	mode    string
+	ttl     time.Duration
 
 	cacheMu   sync.Mutex
 	haveState bool
 	fetchedAt time.Time
 	stats     CacheStats
+	// subscribedAt is the parent currently delivering invalidations
+	// (invalidate mode only); when a fill is served by a different
+	// parent the subscription follows it.
+	subscribedAt string
 }
 
 // Cache modes.
@@ -65,18 +90,13 @@ const (
 	ModeInvalidate = "invalidate"
 )
 
-// NewCacheReplica constructs a caching representative. The parent is
-// the first non-cache peer, overridable with the "parent" parameter.
+// NewCacheReplica constructs a caching representative. The parent set
+// is every non-cache peer the location service (or scenario) named,
+// overridable with the "parent" parameter, which pins a single
+// upstream address.
 func NewCacheReplica(env *core.Env) (*CacheReplica, error) {
 	if env.Disp == nil {
 		return nil, fmt.Errorf("repl: %s replica needs a dispatcher", Cache)
-	}
-	parent := env.Param("parent", "")
-	if parent == "" {
-		parent = pickPeer(env, RoleSlave, RoleServer, RoleMaster, RolePeer, RoleSequencer)
-	}
-	if parent == "" {
-		return nil, fmt.Errorf("repl: %s replica for %s: no parent replica", Cache, env.OID.Short())
 	}
 	mode := env.Param("mode", ModeTTL)
 	if mode != ModeTTL && mode != ModeInvalidate {
@@ -86,17 +106,35 @@ func NewCacheReplica(env *core.Env) (*CacheReplica, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repl: %s: bad ttl: %w", Cache, err)
 	}
+	prefs := cacheParentPrefs
+	if mode == ModeInvalidate {
+		prefs = invalidateParentPrefs
+	}
+	var parents *core.PeerSet
+	if pin := env.Param("parent", ""); pin != "" {
+		parents, err = core.NewPeerSetPinned(env, pin)
+	} else {
+		parents, err = core.NewPeerSet(env, "", prefs, prefs)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("repl: %s replica for %s: no parent replica: %w", Cache, env.OID.Short(), err)
+	}
 
 	c := &CacheReplica{
 		replicaBase: newReplicaBase(env),
-		parentAddr:  parent,
+		parents:     parents,
 		mode:        mode,
 		ttl:         ttl,
 	}
 	if mode == ModeInvalidate {
+		parent, ok := parents.PickAddr(false)
+		if !ok {
+			return nil, fmt.Errorf("repl: %s replica for %s: no parent replica", Cache, env.OID.Short())
+		}
 		if err := c.subscribeTo(parent, env.Disp.Addr(), RoleCache); err != nil {
 			return nil, fmt.Errorf("repl: %s: subscribe for invalidations: %w", Cache, err)
 		}
+		c.subscribedAt = parent
 	}
 	env.Disp.Register(env.OID, c.handle)
 	return c, nil
@@ -109,14 +147,20 @@ func (c *CacheReplica) Stats() CacheStats {
 	return c.stats
 }
 
-// Parent returns the upstream replica address.
-func (c *CacheReplica) Parent() string { return c.parentAddr }
+// Parent returns the currently preferred upstream replica address.
+func (c *CacheReplica) Parent() string {
+	addr, _ := c.parents.PickAddr(false)
+	return addr
+}
+
+// Parents exposes the ranked parent set for tests and experiments.
+func (c *CacheReplica) Parents() *core.PeerSet { return c.parents }
 
 func (c *CacheReplica) Invoke(inv core.Invocation) ([]byte, time.Duration, error) {
 	if inv.Write {
 		// Write-through: the parent's protocol handles consistency; our
 		// copy is stale the moment the write succeeds, so drop it.
-		resp, cost, err := c.peer(c.parentAddr).Call(core.OpInvoke, inv.Encode())
+		resp, cost, err := c.parents.Call(core.OpInvoke, inv.Encode(), true)
 		if err == nil {
 			c.drop()
 		}
@@ -145,8 +189,14 @@ func (c *CacheReplica) ReadBulk(path string, off, n int64, fn func([]byte) error
 func (c *CacheReplica) Close() error {
 	c.env.Disp.Unregister(c.env.OID)
 	if c.mode == ModeInvalidate {
-		c.unsubscribeFrom(c.parentAddr, c.env.Disp.Addr())
+		c.cacheMu.Lock()
+		subscribed := c.subscribedAt
+		c.cacheMu.Unlock()
+		if subscribed != "" {
+			c.unsubscribeFrom(subscribed, c.env.Disp.Addr())
+		}
 	}
+	c.parents.Close()
 	c.closePeers()
 	return nil
 }
@@ -158,8 +208,26 @@ func (c *CacheReplica) drop() {
 	c.cacheMu.Unlock()
 }
 
+// followParent moves the invalidation subscription to the parent that
+// actually served the latest fill: invalidations for the state we now
+// hold must come from where it came from. Called with cacheMu held.
+func (c *CacheReplica) followParent(servedBy string) {
+	if c.mode != ModeInvalidate || servedBy == "" || servedBy == c.subscribedAt {
+		return
+	}
+	if err := c.subscribeTo(servedBy, c.env.Disp.Addr(), RoleCache); err != nil {
+		c.env.Logf("repl: %s: re-subscribe at %s: %v", Cache, servedBy, err)
+		return
+	}
+	if c.subscribedAt != "" {
+		c.unsubscribeFrom(c.subscribedAt, c.env.Disp.Addr())
+	}
+	c.subscribedAt = servedBy
+}
+
 // ensureFresh guarantees the local copy is usable under the configured
-// coherence mode, fetching or revalidating as needed.
+// coherence mode, fetching or revalidating as needed — against the
+// best-ranked live parent, not a bind-time pin.
 func (c *CacheReplica) ensureFresh() (time.Duration, error) {
 	c.cacheMu.Lock()
 	defer c.cacheMu.Unlock()
@@ -170,12 +238,13 @@ func (c *CacheReplica) ensureFresh() (time.Duration, error) {
 			c.stats.Hits++
 			return 0, nil
 		}
-		// TTL expired: revalidate against the parent by version.
-		fresh, version, state, pins, cost, err := c.fetchState(c.parentAddr, c.currentVersion())
+		// TTL expired: revalidate against a parent by version.
+		servedBy, fresh, version, state, pins, cost, err := c.fetchStateVia(c.parents, c.currentVersion())
 		if err != nil {
 			return cost, fmt.Errorf("repl: %s: revalidate: %w", Cache, err)
 		}
 		c.fetchedAt = now
+		c.followParent(servedBy)
 		if fresh {
 			c.releasePins(pins)
 			c.stats.Revalidations++
@@ -191,7 +260,7 @@ func (c *CacheReplica) ensureFresh() (time.Duration, error) {
 		return cost, nil
 	}
 
-	_, version, state, pins, cost, err := c.fetchState(c.parentAddr, 0)
+	servedBy, _, version, state, pins, cost, err := c.fetchStateVia(c.parents, 0)
 	if err != nil {
 		return cost, fmt.Errorf("repl: %s: fill: %w", Cache, err)
 	}
@@ -200,6 +269,7 @@ func (c *CacheReplica) ensureFresh() (time.Duration, error) {
 	if err != nil {
 		return cost, err
 	}
+	c.followParent(servedBy)
 	c.setVersion(version)
 	c.haveState = true
 	c.fetchedAt = now
@@ -210,10 +280,17 @@ func (c *CacheReplica) ensureFresh() (time.Duration, error) {
 func (c *CacheReplica) handle(call *rpc.Call) ([]byte, error) {
 	// Negotiated writes read and feed the parent chain's store, never
 	// the cache's own (a chunk banked here would be invisible to the
-	// manifest write upstream). Forward both negotiation ops; a parent
-	// that is itself a slave relays onward to the master.
-	if handled, resp, err := c.relayChunkOps(call, c.parentAddr); handled {
-		return resp, err
+	// manifest write upstream). Forward both negotiation ops to the
+	// currently preferred parent; one that is itself a slave relays
+	// onward to the master.
+	if call.Op == core.OpChunkHave || call.Op == core.OpChunkPut {
+		upstream, ok := c.parents.PickAddr(true)
+		if !ok {
+			return nil, fmt.Errorf("repl: %s: no parent to relay chunk ops to", Cache)
+		}
+		if handled, resp, err := c.relayChunkOps(call, upstream); handled {
+			return resp, err
+		}
 	}
 	if call.Op == core.OpBulkRead {
 		// A registered cache serves streamed reads to other clients;
@@ -222,6 +299,21 @@ func (c *CacheReplica) handle(call *rpc.Call) ([]byte, error) {
 		call.Charge(cost)
 		if err != nil {
 			return nil, err
+		}
+	}
+	if call.Op == core.OpStateGet {
+		// A cache may seed another representative (a peer cache that
+		// re-parented here), but only from state it actually holds: a
+		// cold cache answering version-0 empty state would be installed
+		// as a successful fill — silent wrong data. Refusing instead
+		// makes the peer walk on to a live candidate or fail loudly.
+		// Filling here on demand is not an option: two caches orphaned
+		// together would recurse into each other forever.
+		c.cacheMu.Lock()
+		have := c.haveState
+		c.cacheMu.Unlock()
+		if !have {
+			return nil, fmt.Errorf("repl: %s for %s: cold cache cannot seed a peer", Cache, c.env.OID.Short())
 		}
 	}
 	if handled, resp, err := c.handleCommon(call); handled {

@@ -167,7 +167,7 @@ func newMSSlave(env *core.Env) (core.Replication, error) {
 
 	// State transfer, then subscription; a push racing between the two
 	// only delivers a version we already have or newer.
-	_, version, state, pins, _, err := s.fetchState(s.masterAddr, 0)
+	_, version, state, pins, _, err := s.fetchState(s.peer(s.masterAddr), 0)
 	if err != nil {
 		return nil, fmt.Errorf("repl: %s slave: initial state transfer: %w", MasterSlave, err)
 	}
@@ -244,7 +244,7 @@ func (s *msSlave) handle(call *rpc.Call) ([]byte, error) {
 		// missing back from the master before installing — the delta
 		// that makes an append to a huge package cost only the
 		// appended chunks, not a full-state reship.
-		pins, cost, err := s.fillChunks(s.masterAddr, state)
+		pins, cost, err := s.fillChunks(s.peer(s.masterAddr), state)
 		call.Charge(cost)
 		if err != nil {
 			return nil, err

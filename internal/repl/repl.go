@@ -427,7 +427,7 @@ func missingChunksFrom(pc *core.PeerClient, refs []store.Ref) ([]store.Ref, time
 // answers — or forwards to the write-target replica — will do.
 func missingChunksVia(ps *core.PeerSet, refs []store.Ref) ([]store.Ref, time.Duration, error) {
 	var missing []store.Ref
-	cost, err := ps.Do(false, func(pc *core.PeerClient) (time.Duration, error) {
+	cost, err := ps.Do(false, func(_ string, pc *core.PeerClient) (time.Duration, error) {
 		m, c, err := missingChunksFrom(pc, refs)
 		if err == nil {
 			missing = m
@@ -442,7 +442,7 @@ func missingChunksVia(ps *core.PeerSet, refs []store.Ref) ([]store.Ref, time.Dur
 // that died half-way is safely replayed against the next candidate:
 // the chunks that already landed become no-ops.
 func pushChunksVia(ps *core.PeerSet, chunks [][]byte) (time.Duration, error) {
-	return ps.Do(false, func(pc *core.PeerClient) (time.Duration, error) {
+	return ps.Do(false, func(_ string, pc *core.PeerClient) (time.Duration, error) {
 		return pushChunksTo(pc, chunks)
 	})
 }
@@ -479,7 +479,7 @@ func pushChunksTo(pc *core.PeerClient, chunks [][]byte) (time.Duration, error) {
 // chunks of a transfer larger than its budget before UnmarshalState
 // takes its own pins. The caller must Release the returned refs once
 // the state install (successful or not) is done.
-func (rb *replicaBase) fillChunks(parentAddr string, state []byte) (pinned []store.Ref, cost time.Duration, err error) {
+func (rb *replicaBase) fillChunks(parent *core.PeerClient, state []byte) (pinned []store.Ref, cost time.Duration, err error) {
 	st := rb.env.Store
 	re, ok := rb.env.Exec.(core.RefExec)
 	if st == nil || !ok {
@@ -522,7 +522,7 @@ func (rb *replicaBase) fillChunks(parentAddr string, state []byte) (pinned []sto
 		for _, ref := range batch {
 			w.Hash(ref)
 		}
-		resp, c, err := rb.peer(parentAddr).Call(core.OpChunkGet, w.Bytes())
+		resp, c, err := parent.Call(core.OpChunkGet, w.Bytes())
 		cost += c
 		if err != nil {
 			return fail(fmt.Errorf("repl: fetch %d chunks: %w", len(batch), err))
@@ -668,7 +668,7 @@ func streamBulkFrom(pc *core.PeerClient, path string, off, n int64, fn func([]by
 func streamBulkVia(ps *core.PeerSet, path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
 	var m core.Manifest
 	var delivered int64
-	cost, err := ps.Do(false, func(pc *core.PeerClient) (time.Duration, error) {
+	cost, err := ps.Do(false, func(_ string, pc *core.PeerClient) (time.Duration, error) {
 		remaining := n
 		if n >= 0 {
 			remaining = n - delivered
@@ -772,10 +772,10 @@ func (rb *replicaBase) unsubscribeFrom(parentAddr, ownAddr string) {
 // so the caller can install the state directly. The returned pins
 // hold every referenced chunk against eviction; the caller passes
 // them to releasePins once the install is done.
-func (rb *replicaBase) fetchState(parentAddr string, haveVersion uint64) (fresh bool, version uint64, state []byte, pins []store.Ref, cost time.Duration, err error) {
+func (rb *replicaBase) fetchState(parent *core.PeerClient, haveVersion uint64) (fresh bool, version uint64, state []byte, pins []store.Ref, cost time.Duration, err error) {
 	w := wire.NewWriter(8)
 	w.Uint64(haveVersion)
-	resp, cost, err := rb.peer(parentAddr).Call(core.OpStateGet, w.Bytes())
+	resp, cost, err := parent.Call(core.OpStateGet, w.Bytes())
 	if err != nil {
 		return false, 0, nil, nil, cost, err
 	}
@@ -788,13 +788,29 @@ func (rb *replicaBase) fetchState(parentAddr string, haveVersion uint64) (fresh 
 	}
 	if !fresh {
 		var fillCost time.Duration
-		pins, fillCost, err = rb.fillChunks(parentAddr, state)
+		pins, fillCost, err = rb.fillChunks(parent, state)
 		cost += fillCost
 		if err != nil {
 			return false, 0, nil, nil, cost, err
 		}
 	}
 	return fresh, version, state, pins, cost, nil
+}
+
+// fetchStateVia is fetchState with peer-set failover: the fetch (and
+// its delta chunk fill) runs against the top-ranked parent candidate
+// and retries down the ranking when one is dead. The address that
+// actually served is returned so the caller can track its current
+// parent (an invalidation-mode cache re-subscribes there).
+func (rb *replicaBase) fetchStateVia(ps *core.PeerSet, haveVersion uint64) (servedBy string, fresh bool, version uint64, state []byte, pins []store.Ref, cost time.Duration, err error) {
+	cost, err = ps.Do(false, func(addr string, pc *core.PeerClient) (time.Duration, error) {
+		f, v, st, p, c, e := rb.fetchState(pc, haveVersion)
+		if e == nil {
+			servedBy, fresh, version, state, pins = addr, f, v, st, p
+		}
+		return c, e
+	})
+	return servedBy, fresh, version, state, pins, cost, err
 }
 
 // releasePins drops the transfer pins fetchState/fillChunks took.
