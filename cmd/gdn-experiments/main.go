@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"gdn/internal/experiments"
@@ -32,8 +33,8 @@ var runners = []struct {
 	{"E2", "GLS lookup distance + mobile-object ablation", func() []*experiments.Table {
 		return []*experiments.Table{experiments.E2LookupDistance(), experiments.E2MobileAblation()}
 	}},
-	{"E3", "GLS root partitioning", func() []*experiments.Table {
-		return []*experiments.Table{experiments.E3RootPartitioning(experiments.E3Config{})}
+	{"E3", "GLS root partitioning + one-way partitions", func() []*experiments.Table {
+		return []*experiments.Table{experiments.E3RootPartitioning(experiments.E3Config{}), experiments.E3OneWayPartition()}
 	}},
 	{"E4", "differentiated replication vs global policies", func() []*experiments.Table {
 		return []*experiments.Table{experiments.E4Differentiated(experiments.E4Config{})}
@@ -59,11 +60,30 @@ var runners = []struct {
 	{"E11", "replica failover under a fleet of downloads", func() []*experiments.Table {
 		return []*experiments.Table{experiments.E11Failover(experiments.E11Config{})}
 	}},
+	{"E12", "chaos soak: seeded fault schedules vs the invariants", func() []*experiments.Table {
+		return []*experiments.Table{experiments.E12ChaosSoak(experiments.E12Config{Seeds: e12Seeds})}
+	}},
 }
+
+// e12Seeds carries the -seeds flag to the E12 runner; empty keeps the
+// experiment's default seed sweep.
+var e12Seeds []int64
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
+	seeds := flag.String("seeds", "", "comma-separated chaos seeds for E12 (default 1,2,3)")
 	flag.Parse()
+
+	if *seeds != "" {
+		for _, s := range strings.Split(*seeds, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gdn-experiments: bad -seeds value %q: %v\n", s, err)
+				os.Exit(2)
+			}
+			e12Seeds = append(e12Seeds, v)
+		}
+	}
 
 	if *list {
 		for _, r := range runners {

@@ -103,6 +103,10 @@ type Topology struct {
 	// Secure runs every service with two-way authenticated channels and
 	// role-based admission (§6.3).
 	Secure bool
+	// GOSLeaseTTL overrides the object servers' registration-session
+	// TTL. 0 keeps the gos default (30s); chaos experiments shrink it
+	// so partition-heal repair is observable in wall-clock seconds.
+	GOSLeaseTTL time.Duration
 }
 
 // DefaultTopology is a small three-region world used by examples and
@@ -417,11 +421,12 @@ func (w *World) startObjectServers() error {
 			return err
 		}
 		srv, err := gos.Start(w.Net, gos.Config{
-			Site:    site,
-			CmdAddr: site + ":gos-cmd",
-			ObjAddr: site + ":gos-obj",
-			Runtime: rt,
-			Auth:    auth,
+			Site:     site,
+			CmdAddr:  site + ":gos-cmd",
+			ObjAddr:  site + ":gos-obj",
+			Runtime:  rt,
+			Auth:     auth,
+			LeaseTTL: w.topology.GOSLeaseTTL,
 		})
 		if err != nil {
 			return err

@@ -29,12 +29,22 @@ import (
 // chronically slow peers (latency EWMA far above the group's best)
 // demoted to the back of their group.
 //
+// Health is tracked per operation class (reads and writes separately)
+// and in three tiers: healthy (no active streak), probing (streak
+// present but its backoff expired — one attempt is allowed through to
+// test recovery), and backed-off. A peer only returns to healthy on an
+// actual success, so a backoff expiring does not flip it ahead of
+// proven-good candidates — the flapping an asymmetric partition used
+// to cause, where a peer reachable for writes but timing out on reads
+// bounced between top- and bottom-ranked every backoff period.
+//
 // Failover: Do walks the ranking and retries the attempt on the next
 // candidate when the failure class allows it. Reads fail over on any
 // transport-level error; writes only on errors that prove the request
-// never reached a replica (unreachable destination, no listener) —
-// a connection that died mid-call leaves a write's fate unknown, and
-// replaying it is the caller's decision, not the routing layer's.
+// never reached a replica (unreachable destination, no listener, a
+// provably-unsent rpc failure) — a connection that died mid-call
+// leaves a write's fate unknown, and replaying it is the caller's
+// decision, not the routing layer's.
 type PeerSet struct {
 	env        *Env
 	protocol   string   // contact-address protocol this set serves
@@ -53,12 +63,49 @@ type PeerSet struct {
 	resolves  atomic.Int64
 }
 
+// Operation classes for per-peer health. A one-way partition can leave
+// a peer serving one class while the other times out; sharing a single
+// streak would let write successes mask read deadness (and vice
+// versa), so each class keeps its own record.
+const (
+	opRead = iota
+	opWrite
+	opClasses
+)
+
+func opClass(write bool) int {
+	if write {
+		return opWrite
+	}
+	return opRead
+}
+
 // peerState is one candidate's health record.
 type peerState struct {
 	ca       gls.ContactAddress
-	fails    int           // consecutive failures
-	lastFail time.Time     // when the streak's latest failure happened
-	ewma     time.Duration // latency EWMA of successful calls (virtual cost)
+	fails    [opClasses]int       // consecutive failures per operation class
+	lastFail [opClasses]time.Time // when each streak's latest failure happened
+	ewma     time.Duration        // latency EWMA of successful calls (virtual cost)
+}
+
+// Health tiers, best first. Probing sits between: the streak's backoff
+// has expired, so the peer may be tried — but only behind every
+// healthy candidate, and it must actually succeed to regain tierGood.
+const (
+	tierGood = iota
+	tierProbe
+	tierBackedOff
+)
+
+// tier classifies one operation class's health at time now.
+func (st *peerState) tier(class int, now time.Time) int {
+	if st.fails[class] == 0 {
+		return tierGood
+	}
+	if now.Sub(st.lastFail[class]) >= backoff(st.fails[class]) {
+		return tierProbe
+	}
+	return tierBackedOff
 }
 
 // Peer-set tuning. Constants rather than scenario parameters: these
@@ -256,11 +303,12 @@ func (ps *PeerSet) candidates(write bool) []string {
 		prefs = ps.writePrefs
 	}
 	now := ps.env.Now()
+	class := opClass(write)
 
 	type ranked struct {
 		addr    string
 		pref    int
-		healthy bool
+		tier    int
 		fails   int
 		ewma    time.Duration
 		shuffle int
@@ -268,23 +316,22 @@ func (ps *PeerSet) candidates(write bool) []string {
 	ps.mu.Lock()
 	out := make([]ranked, 0, len(ps.peers))
 	for addr, st := range ps.peers {
-		healthy := st.fails == 0 || now.Sub(st.lastFail) >= backoff(st.fails)
 		out = append(out, ranked{
 			addr:    addr,
 			pref:    prefIndex(prefs, st.ca.Role),
-			healthy: healthy,
-			fails:   st.fails,
+			tier:    st.tier(class, now),
+			fails:   st.fails[class],
 			ewma:    st.ewma,
 			shuffle: ps.rnd.Int(),
 		})
 	}
 	ps.mu.Unlock()
 
-	// Latency demotion: within each (pref, healthy) group, a peer whose
+	// Latency demotion: within each healthy pref group, a peer whose
 	// EWMA is far above the group's best goes behind its siblings.
 	best := make(map[int]time.Duration)
 	for _, r := range out {
-		if !r.healthy || r.ewma == 0 {
+		if r.tier != tierGood || r.ewma == 0 {
 			continue
 		}
 		if b, ok := best[r.pref]; !ok || r.ewma < b {
@@ -293,17 +340,19 @@ func (ps *PeerSet) candidates(write bool) []string {
 	}
 	slow := func(r ranked) bool {
 		b, ok := best[r.pref]
-		return ok && r.healthy && r.ewma > time.Duration(peerSlowFactor)*b
+		return ok && r.tier == tierGood && r.ewma > time.Duration(peerSlowFactor)*b
 	}
 	sortRanked(out, func(a, b ranked) bool {
 		// Health outranks role preference: a healthy fallback beats a
 		// preferred-role peer in failure backoff — the whole point of
 		// the set is never handing traffic to a known corpse while an
-		// alternative lives.
-		if a.healthy != b.healthy {
-			return a.healthy
+		// alternative lives. An expired backoff only promotes a peer to
+		// the probing tier, still behind everything healthy, so one
+		// probe (not the whole herd) tests its recovery.
+		if a.tier != b.tier {
+			return a.tier < b.tier
 		}
-		if !a.healthy {
+		if a.tier != tierGood {
 			if a.pref != b.pref {
 				return a.pref < b.pref
 			}
@@ -334,12 +383,14 @@ func sortRanked[T any](s []T, less func(a, b T) bool) {
 	}
 }
 
-// noteSuccess resets a peer's failure streak and folds the observed
-// latency into its EWMA.
-func (ps *PeerSet) noteSuccess(addr string, cost time.Duration) {
+// noteSuccess resets a peer's failure streak for one operation class
+// and folds the observed latency into its EWMA. Only the served class
+// recovers: a write landing on a peer whose reads time out (an
+// asymmetric partition) must not relaunch read traffic at it.
+func (ps *PeerSet) noteSuccess(addr string, write bool, cost time.Duration) {
 	ps.mu.Lock()
 	if st, ok := ps.peers[addr]; ok {
-		st.fails = 0
+		st.fails[opClass(write)] = 0
 		if cost > 0 {
 			if st.ewma == 0 {
 				st.ewma = cost
@@ -351,13 +402,14 @@ func (ps *PeerSet) noteSuccess(addr string, cost time.Duration) {
 	ps.mu.Unlock()
 }
 
-// noteFailure extends a peer's failure streak.
-func (ps *PeerSet) noteFailure(addr string) {
+// noteFailure extends a peer's failure streak for one operation class.
+func (ps *PeerSet) noteFailure(addr string, write bool) {
 	now := ps.env.Now()
 	ps.mu.Lock()
 	if st, ok := ps.peers[addr]; ok {
-		st.fails++
-		st.lastFail = now
+		class := opClass(write)
+		st.fails[class]++
+		st.lastFail[class] = now
 	}
 	ps.mu.Unlock()
 }
@@ -393,7 +445,8 @@ func Failoverable(err error, write bool) bool {
 	if !write {
 		return true
 	}
-	return errors.Is(err, transport.ErrUnreachable) || errors.Is(err, transport.ErrNoListener)
+	return errors.Is(err, transport.ErrUnreachable) || errors.Is(err, transport.ErrNoListener) ||
+		rpc.IsUnsent(err)
 }
 
 // Do runs attempt against ranked candidates until one succeeds, the
@@ -418,7 +471,7 @@ func (ps *PeerSet) Do(write bool, attempt func(addr string, pc *PeerClient) (tim
 			c, err := attempt(addr, ps.ClientFor(addr))
 			cost += c
 			if err == nil {
-				ps.noteSuccess(addr, c)
+				ps.noteSuccess(addr, write, c)
 				return cost, nil
 			}
 			lastErr = err
@@ -428,7 +481,7 @@ func (ps *PeerSet) Do(write bool, attempt func(addr string, pc *PeerClient) (tim
 				// caller's own); its health record is not to blame.
 				return cost, err
 			}
-			ps.noteFailure(addr)
+			ps.noteFailure(addr, write)
 			if !Failoverable(err, write) {
 				return cost, err
 			}

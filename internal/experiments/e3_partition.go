@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"gdn/internal/gls"
 	"gdn/internal/ids"
 	"gdn/internal/netsim"
+	"gdn/internal/rpc"
 )
 
 // E3Config tunes the root-partitioning experiment.
@@ -54,6 +56,120 @@ func E3RootPartitioning(cfg E3Config) *Table {
 			ratio = fmt.Sprintf("%.2f", float64(maxLoad)/float64(baselineMax))
 		}
 		t.AddRow(fmt.Sprint(n), fmt.Sprint(total), fmt.Sprint(maxLoad), fmt.Sprint(minLoad), ratio)
+	}
+	return t
+}
+
+// E3OneWayPartition exercises the us-to-root link under asymmetric
+// failure, the case a symmetric partition model cannot express: first
+// the request direction is cut (us-a -> hub-0, lookups die on the way
+// up), then the reply direction (hub-0 -> us-a, lookups die on the way
+// back). Lookups must fail in both cut phases and recover after each
+// heal — the healed phases tolerate a short settle window because the
+// rpc dial-backoff gate deliberately holds a failing peer out for up
+// to a second.
+func E3OneWayPartition() *Table {
+	// Reply-direction cuts surface as call timeouts, so the 30s
+	// default deadline would stretch each failed lookup into half a
+	// minute. Clients copy the default at creation: lower it before
+	// the tree is deployed.
+	savedTimeout := rpc.DefaultTimeout
+	rpc.DefaultTimeout = 500 * time.Millisecond
+	defer func() { rpc.DefaultTimeout = savedTimeout }()
+
+	net := netsim.New(nil)
+	net.AddSite("hub-0", "hub", "core")
+	net.AddSite("eu-a", "eu-a", "eu")
+	net.AddSite("us-a", "us-a", "us")
+
+	tree, err := gls.Deploy(net, gls.DomainSpec{
+		Name: "root", Sites: []string{"hub-0"},
+		Children: []gls.DomainSpec{
+			{Name: "eu", Sites: []string{"eu-a"}, Children: []gls.DomainSpec{gls.Leaf("eu/a", "eu-a")}},
+			{Name: "us", Sites: []string{"us-a"}, Children: []gls.DomainSpec{gls.Leaf("us/a", "us-a")}},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer tree.Close()
+
+	owner, err := tree.Resolver("eu-a", "eu/a")
+	if err != nil {
+		panic(err)
+	}
+	defer owner.Close()
+	remote, err := tree.Resolver("us-a", "us/a")
+	if err != nil {
+		panic(err)
+	}
+	defer remote.Close()
+
+	const objects = 8
+	oids := make([]ids.OID, objects)
+	for i := range oids {
+		oid, _, err := owner.Insert(ids.Nil, gls.ContactAddress{
+			Protocol: "clientserver", Address: "eu-a:gos-obj", Impl: "package/1", Role: "server",
+		})
+		if err != nil {
+			panic(err)
+		}
+		oids[i] = oid
+	}
+
+	t := &Table{
+		ID:      "E3b",
+		Title:   "GLS lookups across one-way partitions of the root link",
+		Columns: []string{"phase", "lookups", "ok", "failed"},
+		Notes:   "objects in eu, lookups from us; every lookup crosses the us->root link, cut one direction at a time",
+	}
+
+	lookups := func() (ok, failed int) {
+		for _, oid := range oids {
+			if _, _, err := remote.Lookup(oid); err == nil {
+				ok++
+			} else {
+				failed++
+			}
+		}
+		return ok, failed
+	}
+	settle := func() {
+		deadline := time.Now().Add(3 * time.Second)
+		for {
+			if _, _, err := remote.Lookup(oids[0]); err == nil || time.Now().After(deadline) {
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	phases := []struct {
+		name     string
+		change   func()
+		expectOK bool
+	}{
+		{"healthy", nil, true},
+		{"cut us->root (requests lost)", func() { net.PartitionOneWay("us-a", "hub-0") }, false},
+		{"healed us->root", func() { net.HealOneWay("us-a", "hub-0") }, true},
+		{"cut root->us (replies lost)", func() { net.PartitionOneWay("hub-0", "us-a") }, false},
+		{"healed root->us", func() { net.HealOneWay("hub-0", "us-a") }, true},
+	}
+	for _, p := range phases {
+		if p.change != nil {
+			p.change()
+		}
+		if p.expectOK {
+			settle()
+		}
+		ok, failed := lookups()
+		if p.expectOK && failed > 0 {
+			panic(fmt.Sprintf("E3b phase %q: %d/%d lookups failed on a healthy path", p.name, failed, objects))
+		}
+		if !p.expectOK && ok > 0 {
+			panic(fmt.Sprintf("E3b phase %q: %d/%d lookups succeeded across a cut link", p.name, ok, objects))
+		}
+		t.AddRow(p.name, fmt.Sprint(objects), fmt.Sprint(ok), fmt.Sprint(failed))
 	}
 	return t
 }

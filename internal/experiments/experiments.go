@@ -13,6 +13,7 @@
 //	E9  object-server checkpoint/recovery (§4)
 //	E10 security admission: every unauthorized path is closed (§6.1)
 //	E11 replica failover: kill a replica under a fleet of downloads
+//	E12 chaos soak: seeded fault schedules vs the robustness invariants
 //
 // Each driver returns a Table whose rows are printed by
 // cmd/gdn-experiments; the benchmarks in bench_test.go wrap the same
@@ -133,6 +134,7 @@ func All() []*Table {
 		E2LookupDistance(),
 		E2MobileAblation(),
 		E3RootPartitioning(E3Config{}),
+		E3OneWayPartition(),
 		E4Differentiated(E4Config{}),
 		E5Download(E5Config{}),
 		E5ChunkAblation(),
@@ -142,5 +144,8 @@ func All() []*Table {
 		E9Recovery(E9Config{}),
 		E10Admission(),
 		E11Failover(E11Config{}),
+		// One seed here: the full seed sweep is the chaos-smoke CI
+		// job's business, not every All() caller's.
+		E12ChaosSoak(E12Config{Seeds: []int64{1}}),
 	}
 }

@@ -97,6 +97,15 @@ const (
 	// immediately. The orderly-shutdown counterpart of letting the
 	// session age out.
 	OpSessionClose
+	// OpSessionReattach reopens a session and re-attaches a batch of
+	// entries in one round trip — the repair path after a directory
+	// subnode lost the session (restart, age-out behind a partition).
+	// Without it a heal triggered one insert RPC per attached entry, a
+	// reopen storm proportional to the server's replica count. The body
+	// carries the session open fields (identifier, address, TTL)
+	// followed by the entries: a count, then (oid, contact address)
+	// pairs.
+	OpSessionReattach
 )
 
 // ContactAddress describes where one local representative of an object

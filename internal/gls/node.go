@@ -262,6 +262,8 @@ func (n *Node) handle(call *rpc.Call) ([]byte, error) {
 		return n.handleSessionRenew(call)
 	case OpSessionClose:
 		return n.handleSessionClose(call)
+	case OpSessionReattach:
+		return n.handleSessionReattach(call)
 	case OpStats:
 		return n.handleStats()
 	case OpDump:
@@ -777,6 +779,94 @@ func (n *Node) handleSessionClose(call *rpc.Call) ([]byte, error) {
 		delete(n.sessions, sid)
 	}
 	n.mu.Unlock()
+	return nil, nil
+}
+
+// handleSessionReattach reopens a session and re-attaches a batch of
+// entries in one round trip — the repair path after this subnode lost
+// the session (restart without a snapshot, or age-out behind a
+// partition). Semantically it is one OpSessionOpen followed by one
+// OpInsert per entry, collapsed into a single message so a
+// partition-heal does not cost a storm of RPCs proportional to the
+// server's replica count.
+func (n *Node) handleSessionReattach(call *rpc.Call) ([]byte, error) {
+	if err := n.authorize(call, sec.RoleGOS, sec.RoleAdmin, sec.RoleGLS, sec.RoleHTTPD); err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(call.Body)
+	sid := r.OID()
+	addr := r.Str()
+	ttl := time.Duration(r.Uint32()) * time.Second
+	cnt := r.Count()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	type entry struct {
+		oid ids.OID
+		ca  ContactAddress
+	}
+	entries := make([]entry, 0, cnt)
+	for i := 0; i < cnt; i++ {
+		entries = append(entries, entry{oid: r.OID(), ca: decodeContactAddress(r)})
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if sid.IsNil() || addr == "" || ttl <= 0 {
+		return nil, fmt.Errorf("gls: session reattach needs an identifier, an address and a TTL")
+	}
+	n.count(func(c *Counters) {
+		c.SessionOpens++
+		c.Inserts += int64(len(entries))
+	})
+	now := n.cfg.Clock()
+	n.mu.Lock()
+	sess := n.sessions[sid]
+	if sess == nil {
+		sess = &session{id: sid}
+		n.sessions[sid] = sess
+	}
+	sess.addr = addr
+	sess.ttl = ttl
+	sess.expires = now.Add(ttl)
+	sess.closed = false
+	sess.drained = n.drained[addr]
+	// Attach every entry under the one lock hold, remembering which
+	// objects had no record here: only those pay the pointer-chain climb.
+	var fresh []ids.OID
+	for _, e := range entries {
+		rec := n.recs[e.oid]
+		if rec == nil {
+			rec = &record{}
+			n.recs[e.oid] = rec
+			fresh = append(fresh, e.oid)
+		}
+		dup := false
+		for i, have := range rec.addrs {
+			if have.ca == e.ca {
+				rec.addrs[i].expires = time.Time{}
+				if old := rec.addrs[i].sess; old != sess {
+					if old != nil {
+						old.attached--
+					}
+					sess.attached++
+					rec.addrs[i].sess = sess
+				}
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			rec.addrs = append(rec.addrs, leasedAddr{ca: e.ca, sess: sess})
+			sess.attached++
+		}
+	}
+	n.mu.Unlock()
+	for _, oid := range fresh {
+		if err := n.propagateInstall(call, oid); err != nil {
+			return nil, err
+		}
+	}
 	return nil, nil
 }
 

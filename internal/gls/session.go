@@ -34,7 +34,24 @@ type ServerSession struct {
 
 	mu       sync.Mutex
 	attached map[ids.OID]ContactAddress
+
+	reopenMu  sync.Mutex
+	reopening map[string]*reopenFlight
 }
+
+// reopenFlight is one in-progress session reopen at a subnode, shared
+// by every caller that observed ErrUnknownSession while it was running.
+type reopenFlight struct {
+	done chan struct{}
+	cost time.Duration
+	err  error
+}
+
+// sessionCloseTimeout bounds each per-subnode RPC in Close. Close runs
+// on shutdown paths, and an unreachable subnode (crashed, or behind a
+// partition) must not wedge them: its entries age out within one
+// session TTL anyway, so waiting longer buys nothing.
+var sessionCloseTimeout = 2 * time.Second
 
 // OpenSession opens a registration session for a server at the given
 // transport address: its registrations are attached with Attach and
@@ -107,7 +124,7 @@ func (s *ServerSession) Attach(oid ids.OID, ca ContactAddress) (ids.OID, time.Du
 	}
 	got, cost, err := s.res.insertAt(s.res.leaf, oid, ca, 0, s.id)
 	if IsUnknownSession(err) {
-		c, oerr := s.openAt(s.res.leaf.Route(oid))
+		c, oerr := s.reopenAt(s.res.leaf.Route(oid))
 		cost += c
 		if oerr != nil {
 			return ids.Nil, cost, fmt.Errorf("gls: reopen session: %w", oerr)
@@ -188,14 +205,42 @@ func (s *ServerSession) Renew() (time.Duration, error) {
 	return total, firstErr
 }
 
-// reattachAt reopens the session at one subnode and re-registers every
-// attached entry that subnode owns — the recovery path for a directory
-// subnode that restarted without (or beyond) its snapshot.
-func (s *ServerSession) reattachAt(sub string) (time.Duration, error) {
-	total, err := s.openAt(sub)
-	if err != nil {
-		return total, fmt.Errorf("gls: reopen session at %s: %w", sub, err)
+// reopenAt coalesces concurrent session reopens at one subnode. When a
+// partition heals, every in-flight Attach observes ErrUnknownSession at
+// once; without coalescing each would issue its own OpSessionOpen — a
+// reopen storm proportional to the attach concurrency. The first caller
+// performs the RPC, the rest wait for its outcome; only the leader
+// reports the RPC's cost, so the network meter stays honest.
+func (s *ServerSession) reopenAt(sub string) (time.Duration, error) {
+	s.reopenMu.Lock()
+	if f := s.reopening[sub]; f != nil {
+		s.reopenMu.Unlock()
+		<-f.done
+		return 0, f.err
 	}
+	f := &reopenFlight{done: make(chan struct{})}
+	if s.reopening == nil {
+		s.reopening = make(map[string]*reopenFlight)
+	}
+	s.reopening[sub] = f
+	s.reopenMu.Unlock()
+
+	f.cost, f.err = s.openAt(sub)
+
+	s.reopenMu.Lock()
+	delete(s.reopening, sub)
+	s.reopenMu.Unlock()
+	close(f.done)
+	return f.cost, f.err
+}
+
+// reattachAt repairs a directory subnode that lost the session
+// (restarted without — or rolled back beyond — its snapshot): one
+// OpSessionReattach round trip reopens the session there and
+// re-registers every attached entry that subnode owns. The batched op
+// replaces the earlier open-plus-insert-per-entry sequence, whose cost
+// after a partition heal grew with the server's replica count.
+func (s *ServerSession) reattachAt(sub string) (time.Duration, error) {
 	s.mu.Lock()
 	entries := make(map[ids.OID]ContactAddress, len(s.attached))
 	for oid, ca := range s.attached {
@@ -204,14 +249,20 @@ func (s *ServerSession) reattachAt(sub string) (time.Duration, error) {
 		}
 	}
 	s.mu.Unlock()
+	w := wire.NewWriter(64 + len(s.addr) + 80*len(entries))
+	w.OID(s.id)
+	w.Str(s.addr)
+	w.Uint32(s.ttlSecs())
+	w.Count(len(entries))
 	for oid, ca := range entries {
-		_, cost, err := s.res.insertAt(s.res.leaf, oid, ca, 0, s.id)
-		total += cost
-		if err != nil {
-			return total, fmt.Errorf("gls: re-attach %s: %w", oid.Short(), err)
-		}
+		w.OID(oid)
+		ca.encode(w)
 	}
-	return total, nil
+	_, cost, err := s.res.client(sub).Call(OpSessionReattach, w.Bytes())
+	if err != nil {
+		return cost, fmt.Errorf("gls: re-attach session at %s: %w", sub, err)
+	}
+	return cost, nil
 }
 
 // Drain marks (or clears) the session's transport address as draining:
@@ -225,7 +276,10 @@ func (s *ServerSession) Drain(draining bool) (time.Duration, error) {
 
 // Close ends the session at every subnode: each attached entry expires
 // immediately. This is the orderly-shutdown path; a crashed server
-// simply stops renewing and its entries age out within one TTL.
+// simply stops renewing and its entries age out within one TTL. Each
+// per-subnode close is bounded by a short deadline so an unreachable
+// subnode cannot block shutdown indefinitely — its entries expire with
+// the unrenewed session regardless.
 func (s *ServerSession) Close() (time.Duration, error) {
 	w := wire.NewWriter(ids.Size)
 	w.OID(s.id)
@@ -233,7 +287,7 @@ func (s *ServerSession) Close() (time.Duration, error) {
 	var total time.Duration
 	var firstErr error
 	for _, sub := range s.res.leaf.Addrs {
-		_, cost, err := s.res.client(sub).Call(OpSessionClose, body)
+		_, cost, err := s.res.client(sub).CallTimeout(OpSessionClose, body, sessionCloseTimeout)
 		total += cost
 		if err != nil && firstErr == nil {
 			firstErr = err

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gdn/internal/ids"
+	"gdn/internal/netsim"
 	"gdn/internal/wire"
 )
 
@@ -464,4 +465,89 @@ func encodeV1Snapshot(n *Node) []byte {
 		}
 	}
 	return w.Bytes()
+}
+
+// TestReattachIsOneMessagePerSubnode: repairing an amnesiac leaf must
+// cost one batched OpSessionReattach round trip on the client<->leaf
+// link, not one insert RPC per attached entry — the reopen storm a
+// partition heal used to trigger.
+func TestReattachIsOneMessagePerSubnode(t *testing.T) {
+	net := worldNet(t)
+	tree, err := Deploy(net, worldSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tree.Close)
+	res := mustResolver(t, tree, "eu-nl-vu", "eu/nl")
+
+	leaf := tree.Nodes("eu/nl")[0]
+	empty := leaf.Snapshot()
+	sess := openTestSession(t, res, "eu-nl-vu:gos-obj", 10*time.Second)
+
+	const n = 40
+	ca := testAddr("eu-nl-vu")
+	var oids []ids.OID
+	for i := 0; i < n; i++ {
+		oid, _, err := sess.Attach(ids.Nil, ca)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, oid)
+	}
+
+	// The leaf restarts with no memory; the next heartbeat repairs it.
+	if err := leaf.Restore(empty); err != nil {
+		t.Fatal(err)
+	}
+	net.ResetMeter()
+	if _, err := sess.Renew(); err != nil {
+		t.Fatal(err)
+	}
+	// Client and leaf share a site, so their traffic is the loopback
+	// class: one renew plus one batched reattach, each a request and a
+	// response — nothing proportional to the n attached entries. (The
+	// leaf's pointer re-installs climb regional links and are excluded.)
+	if got := net.Meter().Frames[netsim.Loopback]; got > 6 {
+		t.Fatalf("repair cost %d loopback frames for %d entries, want a batched handful", got, n)
+	}
+	for _, oid := range oids {
+		if addrs, _, err := res.Lookup(oid); err != nil || len(addrs) != 1 {
+			t.Fatalf("lookup after batched re-attach: %v (%d addrs)", err, len(addrs))
+		}
+	}
+}
+
+// TestSessionCloseBoundedWhenLeafUnreachable: Close must not hang on a
+// subnode that receives requests but cannot answer (the one-way
+// partition); each per-subnode close is cut off by its deadline.
+func TestSessionCloseBoundedWhenLeafUnreachable(t *testing.T) {
+	net := worldNet(t)
+	tree, err := Deploy(net, worldSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tree.Close)
+	// The resolver lives one site over from its leaf node, so the link
+	// between them can be cut one way.
+	res := mustResolver(t, tree, "eu-de-tu", "eu/nl")
+	sess := openTestSession(t, res, "eu-de-tu:gos-obj", 10*time.Second)
+	if _, _, err := sess.Attach(ids.Nil, testAddr("eu-de-tu")); err != nil {
+		t.Fatal(err)
+	}
+
+	old := sessionCloseTimeout
+	sessionCloseTimeout = 250 * time.Millisecond
+	t.Cleanup(func() { sessionCloseTimeout = old })
+
+	// Responses from the leaf's site no longer reach the client: the
+	// close request arrives, its answer does not.
+	net.PartitionOneWay("eu-nl-vu", "eu-de-tu")
+	start := time.Now()
+	_, err = sess.Close()
+	if err == nil {
+		t.Fatal("close through a one-way partition must error")
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("close took %v, want bounded by the per-subnode deadline", took)
+	}
 }

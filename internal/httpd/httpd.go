@@ -51,6 +51,7 @@ import (
 	"gdn/internal/repl"
 	"gdn/internal/rpc"
 	"gdn/internal/store"
+	"gdn/internal/transport"
 )
 
 // Config assembles a GDN-enabled HTTPD.
@@ -578,17 +579,25 @@ func (h *Handler) servePackage(w http.ResponseWriter, r *http.Request, p string)
 		h.fail(w, http.StatusNotFound, "missing package name")
 		return
 	}
-	h.serveObject(w, r, objectName, filePath, false)
+	h.serveObject(w, r, objectName, filePath, 0)
 }
 
-// serveObject binds and serves one listing or download. When the
+// serveObjectRetries is how many times one request re-binds through
+// fresh peers before answering 502. Two attempts after the original
+// ride out a replica that died with its registration still cached AND
+// the brief window where the replacement's dial gate is still backing
+// off — the double fault chaos crash/restart schedules produce.
+const serveObjectRetries = 2
+
+// serveObject binds and serves one listing or download. When an
 // attempt fails before any body byte in a way a fresh binding might
 // cure — the cached binding points at a replica that has since died —
-// the binding is dropped and the request retried exactly once through
-// fresh peers, instead of answering 502 off a cached corpse. (Failures
-// after body bytes flowed cannot be retried at this layer; mid-stream
-// replica failover lives in the replication subobject.)
-func (h *Handler) serveObject(w http.ResponseWriter, r *http.Request, objectName, filePath string, retried bool) {
+// the binding is dropped and the request retried through fresh peers
+// (with a short jittered pause between attempts), instead of answering
+// 502 off a cached corpse. (Failures after body bytes flowed cannot be
+// retried at this layer; mid-stream replica failover lives in the
+// replication subobject.)
+func (h *Handler) serveObject(w http.ResponseWriter, r *http.Request, objectName, filePath string, attempt int) {
 	b, bindCost, err := h.bind(objectName)
 	h.count(func(s *Stats) { s.VirtualCost += bindCost })
 	if err == nil {
@@ -606,9 +615,15 @@ func (h *Handler) serveObject(w http.ResponseWriter, r *http.Request, objectName
 	if err == nil {
 		return
 	}
-	if !retried && retryable(err) {
+	if attempt < serveObjectRetries && retryable(err) {
 		h.cfg.Logf("httpd: %s: retrying through fresh peers: %v", objectName, err)
-		h.serveObject(w, r, objectName, filePath, true)
+		if attempt > 0 {
+			// Pause before second and later retries: an instant rebind
+			// after a double fault tends to land inside the dead path's
+			// dial-backoff window and burn the budget for nothing.
+			time.Sleep(transport.Backoff(attempt, 5*time.Millisecond, 50*time.Millisecond))
+		}
+		h.serveObject(w, r, objectName, filePath, attempt+1)
 		return
 	}
 	status := http.StatusBadGateway

@@ -14,13 +14,53 @@
 // CPU speed yet report wide-area latency and traffic shapes comparable
 // to a real deployment, which is the property the paper's claims are
 // about (see DESIGN.md §2, substitution 1).
+//
+// # Fault model
+//
+// Beyond clean delivery, the network injects faults at three levels:
+//
+//   - Connectivity: Partition/PartitionOneWay cut a site pair in both
+//     or one direction (an asymmetric partition: A still reaches B
+//     while B's frames to A fail), Heal/HealOneWay/HealAll restore it,
+//     and SetDown marks a whole site unreachable. Crash additionally
+//     severs every established connection touching the site — the
+//     in-process servers keep running (their listeners persist), so
+//     Restart models a machine returning with its network identity
+//     intact; recovering soft state is the protocols' job (leases,
+//     re-registration, re-subscription).
+//   - Frame perturbation: SetLinkFaults attaches a LinkFaults spec to a
+//     link class — probabilistic loss, duplication, a one-frame
+//     reordering window, and added virtual-cost jitter. Faults apply at
+//     send time on connections whose path has that class.
+//   - Programs: a Schedule is a list of timestamped fault actions (cut,
+//     heal, crash, restart, fault bursts) applied by a Runner as the
+//     experiment's clock advances, so a whole chaos run is a value that
+//     can be stored, printed and replayed.
+//
+// # Seed discipline
+//
+// Chaos runs are reproducible from a single seed. The schedule timeline
+// — which faults fire, in what order, at which virtual times — is
+// exactly deterministic: Runner applies steps in sorted order and its
+// Timeline/Digest are pure functions of the Schedule. Frame-level fault
+// decisions (which frame is lost or duplicated) come from a per-
+// connection PRNG seeded from SeedFaults' seed, the connection's
+// endpoint addresses, and a connection sequence number, so a given
+// connection's fault pattern replays exactly when dials happen in the
+// same order. Under concurrent load the dial order — and therefore the
+// exact set of perturbed frames — may vary between runs; experiments
+// that assert bit-identical results across runs must therefore compare
+// scheduling-independent quantities (the timeline digest, corruption
+// counts, invariant booleans), not raw loss counters.
 package netsim
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gdn/internal/transport"
@@ -194,15 +234,24 @@ func (s Stats) String() string {
 type Network struct {
 	model CostModel
 
-	mu          sync.RWMutex
-	sites       map[string]Site
-	listeners   map[string]*listener // "site:service" -> listener
-	partitioned map[[2]string]bool   // unordered site pairs
-	down        map[string]bool
+	mu        sync.RWMutex
+	sites     map[string]Site
+	listeners map[string]*listener // "site:service" -> listener
+	cut       map[[2]string]bool   // ordered (from, to): frames from->to fail
+	down      map[string]bool
+	conns     map[*conn]struct{} // established endpoints, for Crash
+	faults    [WideArea + 1]LinkFaults
+
+	seed    int64 // fault PRNG seed (SeedFaults)
+	connSeq int64 // per-dial sequence, part of each conn's PRNG seed
 
 	meterMu sync.Mutex
 	frames  [WideArea + 1]int64
 	bytes   [WideArea + 1]int64
+
+	lost    atomic.Int64
+	duped   atomic.Int64
+	heldCnt atomic.Int64
 }
 
 var _ transport.Network = (*Network)(nil)
@@ -214,11 +263,13 @@ func New(model CostModel) *Network {
 		model = NewDefaultModel()
 	}
 	return &Network{
-		model:       model,
-		sites:       make(map[string]Site),
-		listeners:   make(map[string]*listener),
-		partitioned: make(map[[2]string]bool),
-		down:        make(map[string]bool),
+		model:     model,
+		sites:     make(map[string]Site),
+		listeners: make(map[string]*listener),
+		cut:       make(map[[2]string]bool),
+		down:      make(map[string]bool),
+		conns:     make(map[*conn]struct{}),
+		seed:      1,
 	}
 }
 
@@ -266,31 +317,80 @@ func (n *Network) Classify(fromSite, toSite string) (LinkClass, error) {
 
 // SetDown marks a site as crashed (true) or recovered (false). Frames to
 // or from a crashed site fail, and its listeners refuse connections.
+// Established connections survive in a wedged state; use Crash to sever
+// them too.
 func (n *Network) SetDown(site string, down bool) {
 	n.mu.Lock()
 	n.down[site] = down
 	n.mu.Unlock()
 }
 
+// Crash marks a site down and severs every established connection that
+// touches it, the way a machine losing power kills its TCP sessions.
+// Peers observe transport.ErrClosed on their next receive rather than a
+// silent wedge.
+func (n *Network) Crash(site string) {
+	n.mu.Lock()
+	n.down[site] = true
+	victims := make([]*conn, 0, 8)
+	for c := range n.conns {
+		if c.local.ID == site || c.remote.ID == site {
+			victims = append(victims, c)
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+}
+
+// Restart brings a crashed site back. Listeners registered before the
+// crash still accept (the site returns with its network identity
+// intact); recovering soft state — re-registration, lease renewal,
+// re-subscription — is the protocols' job.
+func (n *Network) Restart(site string) {
+	n.SetDown(site, false)
+}
+
+// PartitionOneWay cuts connectivity from site a to site b only: a's
+// dials and frames toward b fail, while b can still dial and send to a.
+// This is the asymmetric partition of the chaos plane — a peer that is
+// reachable for requests but whose responses vanish.
+func (n *Network) PartitionOneWay(a, b string) {
+	n.mu.Lock()
+	n.cut[[2]string{a, b}] = true
+	n.mu.Unlock()
+}
+
+// HealOneWay restores connectivity from site a to site b.
+func (n *Network) HealOneWay(a, b string) {
+	n.mu.Lock()
+	delete(n.cut, [2]string{a, b})
+	n.mu.Unlock()
+}
+
 // Partition cuts connectivity between two sites in both directions.
 func (n *Network) Partition(a, b string) {
 	n.mu.Lock()
-	n.partitioned[pairKey(a, b)] = true
+	n.cut[[2]string{a, b}] = true
+	n.cut[[2]string{b, a}] = true
 	n.mu.Unlock()
 }
 
-// Heal restores connectivity between two sites.
+// Heal restores connectivity between two sites in both directions.
 func (n *Network) Heal(a, b string) {
 	n.mu.Lock()
-	delete(n.partitioned, pairKey(a, b))
+	delete(n.cut, [2]string{a, b})
+	delete(n.cut, [2]string{b, a})
 	n.mu.Unlock()
 }
 
-func pairKey(a, b string) [2]string {
-	if a > b {
-		a, b = b, a
-	}
-	return [2]string{a, b}
+// HealAll removes every partition (one-way and symmetric) at once, the
+// way a schedule ends a partition episode.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	n.cut = make(map[[2]string]bool)
+	n.mu.Unlock()
 }
 
 // Meter returns a snapshot of traffic counted since construction or the
@@ -364,7 +464,7 @@ func (n *Network) Dial(from, addr string) (transport.Conn, error) {
 	l := n.listeners[addr]
 	downFrom := n.down[from]
 	downTo := n.down[toSite]
-	cut := n.partitioned[pairKey(from, toSite)]
+	cut := n.cut[[2]string{from, toSite}]
 	n.mu.RUnlock()
 
 	if !okFrom {
@@ -395,11 +495,16 @@ func (n *Network) removeListener(addr string) {
 	n.mu.Unlock()
 }
 
-// reachable reports whether frames can currently flow between two sites.
-func (n *Network) reachable(a, b string) bool {
+// linkState reports whether frames can currently flow from site a to
+// site b, and the fault spec active on that link class when they can.
+func (n *Network) linkState(a, b Site) (ok bool, class LinkClass, fl LinkFaults) {
+	class = n.model.Classify(a, b)
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	return !n.down[a] && !n.down[b] && !n.partitioned[pairKey(a, b)]
+	if n.down[a.ID] || n.down[b.ID] || n.cut[[2]string{a.ID, b.ID}] {
+		return false, class, LinkFaults{}
+	}
+	return true, class, n.faults[class]
 }
 
 type listener struct {
@@ -447,6 +552,13 @@ type conn struct {
 	closeOnce  sync.Once
 	closed     chan struct{}
 	peerClosed chan struct{}
+
+	// Fault state, lazily engaged when the link class carries faults.
+	rngSeed int64
+	faultMu sync.Mutex
+	rng     *rand.Rand
+	held    *frame      // one frame delayed by the reordering window
+	hasHeld atomic.Bool // fast-path check so clean sends skip faultMu
 }
 
 func newConnPair(n *Network, dialer, target Site, dialerAddr, targetAddr string) (*conn, *conn) {
@@ -464,6 +576,14 @@ func newConnPair(n *Network, dialer, target Site, dialerAddr, targetAddr string)
 		localAddr: targetAddr, remoteAddr: dialerAddr,
 		out: bToA, in: aToB, closed: closedB, peerClosed: closedA,
 	}
+	n.mu.Lock()
+	seq := n.connSeq
+	n.connSeq++
+	a.rngSeed = faultSeed(n.seed, dialerAddr, targetAddr, seq, 0)
+	b.rngSeed = faultSeed(n.seed, dialerAddr, targetAddr, seq, 1)
+	n.conns[a] = struct{}{}
+	n.conns[b] = struct{}{}
+	n.mu.Unlock()
 	return a, b
 }
 
@@ -474,19 +594,30 @@ func (c *conn) Send(p []byte) error {
 	if len(p) > transport.MaxFrame {
 		return transport.ErrFrameSize
 	}
-	if !c.net.reachable(c.local.ID, c.remote.ID) {
+	ok, class, fl := c.net.linkState(c.local, c.remote)
+	if !ok {
 		return fmt.Errorf("%w: %s -> %s", transport.ErrUnreachable, c.local.ID, c.remote.ID)
 	}
 	cost := c.net.model.Cost(c.local, c.remote, len(p))
+	if !fl.isZero() || c.hasHeld.Load() {
+		return c.sendFaulty(p, class, cost, fl)
+	}
+	return c.deliver(p, class, cost)
+}
+
+// deliver copies and enqueues one frame toward the peer.
+func (c *conn) deliver(p []byte, class LinkClass, cost time.Duration) error {
 	cp := transport.GetFrame(len(p))
 	copy(cp, p)
 	select {
 	case <-c.closed:
+		transport.PutFrame(cp)
 		return transport.ErrClosed
 	case <-c.peerClosed:
+		transport.PutFrame(cp)
 		return transport.ErrClosed
 	case c.out <- frame{payload: cp, cost: cost}:
-		c.net.record(c.net.model.Classify(c.local, c.remote), len(p))
+		c.net.record(class, len(p))
 		return nil
 	}
 }
@@ -511,7 +642,19 @@ func (c *conn) Recv() ([]byte, time.Duration, error) {
 
 // Close implements transport.Conn.
 func (c *conn) Close() error {
-	c.closeOnce.Do(func() { close(c.closed) })
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.net.mu.Lock()
+		delete(c.net.conns, c)
+		c.net.mu.Unlock()
+		c.faultMu.Lock()
+		if c.held != nil {
+			transport.PutFrame(c.held.payload)
+			c.held = nil
+			c.hasHeld.Store(false)
+		}
+		c.faultMu.Unlock()
+	})
 	return nil
 }
 

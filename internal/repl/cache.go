@@ -73,6 +73,7 @@ type CacheReplica struct {
 	parents *core.PeerSet
 	mode    string
 	ttl     time.Duration
+	resub   time.Duration
 
 	cacheMu   sync.Mutex
 	haveState bool
@@ -82,6 +83,10 @@ type CacheReplica struct {
 	// (invalidate mode only); when a fill is served by a different
 	// parent the subscription follows it.
 	subscribedAt string
+	// checkedAt is when the subscription was last confirmed alive (a
+	// successful subscribe or revalidation); the resub lease measures
+	// from here.
+	checkedAt time.Time
 }
 
 // Cache modes.
@@ -106,6 +111,17 @@ func NewCacheReplica(env *core.Env) (*CacheReplica, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repl: %s: bad ttl: %w", Cache, err)
 	}
+	// "resub" (invalidate mode) is the subscription lease: how long the
+	// cache trusts its invalidation subscription before re-confirming
+	// it with a version revalidation and a fresh subscribe. A parent
+	// that crashed, restarted, or sat behind a partition silently
+	// forgets its subscribers; without the lease such a cache serves
+	// stale state forever. Zero (the default) keeps the pure
+	// invalidate-mode contract: valid until told otherwise.
+	resub, err := time.ParseDuration(env.Param("resub", "0s"))
+	if err != nil {
+		return nil, fmt.Errorf("repl: %s: bad resub: %w", Cache, err)
+	}
 	prefs := cacheParentPrefs
 	if mode == ModeInvalidate {
 		prefs = invalidateParentPrefs
@@ -125,6 +141,7 @@ func NewCacheReplica(env *core.Env) (*CacheReplica, error) {
 		parents:     parents,
 		mode:        mode,
 		ttl:         ttl,
+		resub:       resub,
 	}
 	if mode == ModeInvalidate {
 		parent, ok := parents.PickAddr(false)
@@ -135,6 +152,7 @@ func NewCacheReplica(env *core.Env) (*CacheReplica, error) {
 			return nil, fmt.Errorf("repl: %s: subscribe for invalidations: %w", Cache, err)
 		}
 		c.subscribedAt = parent
+		c.checkedAt = env.Now()
 	}
 	env.Disp.Register(env.OID, c.handle)
 	return c, nil
@@ -234,17 +252,44 @@ func (c *CacheReplica) ensureFresh() (time.Duration, error) {
 
 	now := c.env.Now()
 	if c.haveState {
-		if c.mode == ModeInvalidate || now.Sub(c.fetchedAt) < c.ttl {
+		stale := now.Sub(c.fetchedAt) >= c.ttl
+		if c.mode == ModeInvalidate {
+			// Valid until invalidated — unless a subscription lease is
+			// configured and has run out, in which case the copy is only
+			// trusted after the subscription is confirmed still alive.
+			stale = c.resub > 0 && now.Sub(c.checkedAt) >= c.resub
+		}
+		if !stale {
 			c.stats.Hits++
 			return 0, nil
 		}
-		// TTL expired: revalidate against a parent by version.
+		// TTL (or subscription lease) expired: revalidate against a
+		// parent by version.
 		servedBy, fresh, version, state, pins, cost, err := c.fetchStateVia(c.parents, c.currentVersion())
 		if err != nil {
+			if c.mode == ModeInvalidate {
+				// No parent reachable to confirm the subscription. Keep
+				// serving the local copy — availability through a
+				// partition is the documented invalidate-mode trade-off —
+				// and check again one lease from now rather than paying a
+				// failed fetch on every read.
+				c.checkedAt = now
+				c.stats.Hits++
+				c.env.Logf("repl: %s: subscription check failed, serving cached copy: %v", Cache, err)
+				return cost, nil
+			}
 			return cost, fmt.Errorf("repl: %s: revalidate: %w", Cache, err)
 		}
 		c.fetchedAt = now
-		c.followParent(servedBy)
+		if c.mode == ModeInvalidate {
+			// Re-subscribe even at an unchanged parent: it may have
+			// restarted (or been healed back) having forgotten its
+			// subscriber table, and subscribing is idempotent.
+			c.resubscribe(servedBy)
+			c.checkedAt = now
+		} else {
+			c.followParent(servedBy)
+		}
 		if fresh {
 			c.releasePins(pins)
 			c.stats.Revalidations++
@@ -273,8 +318,31 @@ func (c *CacheReplica) ensureFresh() (time.Duration, error) {
 	c.setVersion(version)
 	c.haveState = true
 	c.fetchedAt = now
+	if c.mode == ModeInvalidate {
+		c.checkedAt = now
+	}
 	c.stats.Misses++
 	return cost, nil
+}
+
+// resubscribe re-issues the invalidation subscription after its lease
+// ran out — even at an unchanged parent, which may have restarted and
+// forgotten its subscribers. Called with cacheMu held.
+func (c *CacheReplica) resubscribe(servedBy string) {
+	if servedBy == "" {
+		servedBy = c.subscribedAt
+	}
+	if servedBy == "" {
+		return
+	}
+	if err := c.subscribeTo(servedBy, c.env.Disp.Addr(), RoleCache); err != nil {
+		c.env.Logf("repl: %s: re-subscribe at %s: %v", Cache, servedBy, err)
+		return
+	}
+	if c.subscribedAt != "" && c.subscribedAt != servedBy {
+		c.unsubscribeFrom(c.subscribedAt, c.env.Disp.Addr())
+	}
+	c.subscribedAt = servedBy
 }
 
 func (c *CacheReplica) handle(call *rpc.Call) ([]byte, error) {

@@ -645,3 +645,54 @@ func TestMaintainerRoleScopedToPackage(t *testing.T) {
 		t.Fatalf("foreign package modified: %q", val)
 	}
 }
+
+// TestCacheSubscriptionLeaseRepairsForgottenSubscription: a parent that
+// restarts (or sat behind a partition) forgets its subscriber table; a
+// pure invalidate-mode cache then serves stale state forever. With a
+// subscription lease ("resub") the cache re-confirms within one lease —
+// revalidating by version and re-subscribing — so the next upstream
+// write invalidates it again.
+func TestCacheSubscriptionLeaseRepairsForgottenSubscription(t *testing.T) {
+	f := newFixture(t, nil)
+	oid := ids.New()
+	srvLR, serverCA := f.replica(oid, "origin", ClientServer, RoleServer, nil, nil)
+	cacheLR, _ := f.replica(oid, "us-client", Cache, RoleCache,
+		map[string]string{"mode": "invalidate", "resub": "30s"}, []gls.ContactAddress{serverCA})
+	cache := cacheRepl(t, cacheLR)
+
+	origin := f.bind("origin", oid)
+	mustSet(t, origin, "pkg", "v1")
+	if val, _ := mustGet(t, cacheLR, "pkg"); val != "v1" {
+		t.Fatal("fill failed")
+	}
+
+	// The server "restarts": its in-memory subscriber table is gone,
+	// and the cache has no way to know.
+	srv := srvLR.Replication().(*csServer)
+	srv.mu.Lock()
+	srv.subs = make(map[string]subscriber)
+	srv.mu.Unlock()
+
+	// A write now reaches no subscriber; inside the lease the cache
+	// serves its stale copy (the documented trade-off)...
+	mustSet(t, origin, "pkg", "v2")
+	if val, _ := mustGet(t, cacheLR, "pkg"); val != "v1" {
+		t.Fatalf("cache read = %q, expected stale v1 inside the lease", val)
+	}
+
+	// ...but once the lease runs out, the next read revalidates, picks
+	// up v2 and re-subscribes.
+	f.clock.Advance(31 * time.Second)
+	if val, _ := mustGet(t, cacheLR, "pkg"); val != "v2" {
+		t.Fatalf("cache read after lease expiry = %q, want revalidated v2", val)
+	}
+
+	// The repaired subscription delivers invalidations again.
+	mustSet(t, origin, "pkg", "v3")
+	if val, _ := mustGet(t, cacheLR, "pkg"); val != "v3" {
+		t.Fatalf("cache read after repair = %q, want v3", val)
+	}
+	if s := cache.Stats(); s.Invalidations == 0 {
+		t.Fatalf("stats = %+v, want an invalidation after the repaired subscription", s)
+	}
+}

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,43 @@ import (
 // pipelined calls onto an existing one.
 const pipelineTarget = 64
 
+// DefaultTimeout bounds a call when the client's Timeout field is left
+// zero (or set negative), so no operation can hang forever on a wedged
+// connection — the failure mode one-way partitions produce, where
+// requests flow out but responses never come back. Chaos experiments
+// lower it for the run.
+var DefaultTimeout = 30 * time.Second
+
+// Dial backoff: after repeated failed dials the slot refuses further
+// dial attempts for a jittered, exponentially growing cooldown, so the
+// many callers sharing a client do not re-dial a dead remote full-rate.
+// The gate arms only after dialBackoffAfter consecutive failures —
+// below that every caller really dials, so a remote that bounced once
+// is reached again the moment it is back — and the cap is kept small
+// relative to lease TTLs so recovery after a heal is prompt.
+const (
+	dialBackoffBase  = 25 * time.Millisecond
+	dialBackoffMax   = time.Second
+	dialBackoffAfter = 3
+)
+
+// unsentError marks a failure that provably happened before the request
+// left this process (dial failed, or the shared connection was already
+// dead at registration). Such failures are always safe to retry — on
+// this client or on another replica — because the remote cannot have
+// executed anything.
+type unsentError struct{ err error }
+
+func (e *unsentError) Error() string { return e.err.Error() }
+func (e *unsentError) Unwrap() error { return e.err }
+
+// IsUnsent reports whether err is a provably-unsent failure (see
+// unsentError). Failover layers use it to retry writes safely.
+func IsUnsent(err error) bool {
+	var ue *unsentError
+	return errors.As(err, &ue)
+}
+
 // Client issues calls to one service address over a small set of shared
 // multiplexed connections (one by default). Any number of goroutines
 // may call concurrently; their requests are pipelined over the shared
@@ -26,20 +64,36 @@ type Client struct {
 	addr string
 	wrap ConnWrapper
 
-	// Timeout bounds one call once its connection is established. It
-	// exists to keep real-TCP deployments from hanging forever; the
-	// simulated network never blocks long enough to trigger it.
+	// Timeout bounds one call once its connection is established. Zero
+	// or negative selects DefaultTimeout — every call has a deadline,
+	// so a wedged or one-way-partitioned connection can never park a
+	// caller forever.
 	Timeout time.Duration
+
+	// Retries is the per-call retry budget for provably-unsent
+	// failures (IsUnsent): dial errors and dead-at-registration
+	// connections. The default 0 keeps the seed behaviour — failover
+	// across replicas belongs to core.PeerSet; this budget is for
+	// callers with a single backend riding out a redial.
+	Retries int
 
 	slots []*connSlot
 	shut  atomic.Bool
 }
 
 // connSlot holds one shared connection. mu serializes (re)dialing the
-// slot; readers go through the atomic pointer without locking.
+// slot and guards the dial-backoff gate; readers go through the atomic
+// pointer without locking.
 type connSlot struct {
 	mu sync.Mutex
 	mc atomic.Pointer[muxConn]
+
+	// Dial-backoff gate (guarded by mu): after consecutive dial
+	// failures the slot fails fast until nextTry instead of re-dialing
+	// a dead remote at the callers' full rate.
+	fails   int
+	nextTry time.Time
+	lastErr error
 }
 
 // ClientOption configures a Client.
@@ -65,7 +119,7 @@ func WithMaxConns(n int) ClientOption {
 // NewClient returns a client that dials addr over net from the named
 // site (the site matters only on simulated networks).
 func NewClient(net transport.Network, from, addr string, opts ...ClientOption) *Client {
-	c := &Client{net: net, from: from, addr: addr, Timeout: 30 * time.Second}
+	c := &Client{net: net, from: from, addr: addr, Timeout: DefaultTimeout}
 	c.slots = make([]*connSlot, 1)
 	for _, o := range opts {
 		o(c)
@@ -133,19 +187,38 @@ func (c *Client) dial(s *connSlot) (*muxConn, error) {
 	if mc := s.mc.Load(); mc != nil && !mc.dead.Load() {
 		return mc, nil
 	}
+	if s.fails >= dialBackoffAfter && time.Now().Before(s.nextTry) {
+		// Inside the cooldown window: fail fast with the last dial
+		// error instead of hammering a dead remote. The wrapper keeps
+		// the underlying error visible to errors.Is, so failover
+		// classification is unchanged.
+		return nil, &unsentError{fmt.Errorf("rpc: dial %s backed off (%d consecutive failures): %w", c.addr, s.fails, s.lastErr)}
+	}
 	raw, err := c.net.Dial(c.from, c.addr)
 	if err != nil {
-		return nil, err
+		s.fails++
+		s.lastErr = err
+		s.nextTry = time.Now().Add(transport.Backoff(s.fails-dialBackoffAfter+1, dialBackoffBase, dialBackoffMax))
+		return nil, &unsentError{err}
 	}
-	conn := raw
+	// The sequence layer sits directly on the raw connection, below any
+	// security channel, so link-level frame faults are caught before
+	// they can scramble the multiplexed (or encrypted) stream.
+	conn := sequenced(raw)
 	if c.wrap != nil {
 		var werr error
-		conn, _, werr = c.wrap(raw)
+		conn, _, werr = c.wrap(conn)
 		if werr != nil {
 			raw.Close()
+			// A failed upgrade exchanged frames with the remote, so it
+			// is not provably unsent — but it still arms the gate.
+			s.fails++
+			s.lastErr = werr
+			s.nextTry = time.Now().Add(transport.Backoff(s.fails-dialBackoffAfter+1, dialBackoffBase, dialBackoffMax))
 			return nil, werr
 		}
 	}
+	s.fails, s.lastErr, s.nextTry = 0, nil, time.Time{}
 	mc := newMuxConn(conn, c.addr)
 	s.mc.Store(mc)
 	if c.shut.Load() {
@@ -161,11 +234,36 @@ func (c *Client) dial(s *connSlot) (*muxConn, error) {
 // is the virtual network cost of the full call tree: request frame,
 // the server's nested calls, and the response frame.
 func (c *Client) Call(op uint16, body []byte) (resp []byte, cost time.Duration, err error) {
-	mc, err := c.conn()
-	if err != nil {
-		return nil, 0, err
+	return c.CallTimeout(op, body, c.Timeout)
+}
+
+// CallTimeout is Call with a per-call deadline overriding the client's
+// Timeout — for callers that must bound one operation tighter than the
+// rest (an orderly shutdown closing sessions on a possibly-dead
+// remote). Zero or negative selects DefaultTimeout; every call runs
+// under some deadline.
+func (c *Client) CallTimeout(op uint16, body []byte, timeout time.Duration) ([]byte, time.Duration, error) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
 	}
-	return mc.call(op, body, c.Timeout)
+	var cost time.Duration
+	for attempt := 0; ; attempt++ {
+		mc, err := c.conn()
+		var resp []byte
+		if err == nil {
+			var cc time.Duration
+			resp, cc, err = mc.call(op, body, timeout)
+			cost += cc
+		}
+		// Only provably-unsent failures are retried: the remote cannot
+		// have executed anything, so the retry is safe even for
+		// non-idempotent ops. Timeouts are never retried here — the
+		// request's fate is unknown.
+		if err == nil || attempt >= c.Retries || !IsUnsent(err) {
+			return resp, cost, err
+		}
+		time.Sleep(transport.Backoff(attempt+1, 5*time.Millisecond, 250*time.Millisecond))
+	}
 }
 
 // CallStream sends one request whose response arrives as a stream of
@@ -177,7 +275,11 @@ func (c *Client) CallStream(op uint16, body []byte) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	return mc.callStream(op, body, c.Timeout)
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return mc.callStream(op, body, timeout)
 }
 
 // CallUpload opens one request whose body arrives at the server as a
@@ -191,7 +293,11 @@ func (c *Client) CallUpload(op uint16, header []byte) (*UploadStream, error) {
 	if err != nil {
 		return nil, err
 	}
-	return mc.callUpload(op, header, c.Timeout)
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return mc.callUpload(op, header, timeout)
 }
 
 // callResult is what the demux goroutine (or the deadline sweeper, or a
@@ -261,7 +367,9 @@ func (m *muxConn) registerFrame(pc *pendingCall, op uint16, body []byte) (uint64
 	if m.dead.Load() {
 		err := m.deadErr
 		m.mu.Unlock()
-		return 0, err
+		// Dead at registration: the request was never sent, which makes
+		// the failure safe to retry here or on another replica.
+		return 0, &unsentError{err}
 	}
 	id := m.nextID
 	m.nextID++

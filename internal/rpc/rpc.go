@@ -236,10 +236,12 @@ func (s *Server) untrack(c transport.Conn) {
 // complete, tagged with the request ID, so they may overtake slower
 // requests received earlier.
 func (s *Server) serveConn(raw transport.Conn) {
-	conn, peer := raw, ""
+	// Mirror of Client.dial: the sequence layer wraps the raw
+	// connection on both ends, below any security channel.
+	conn, peer := sequenced(raw), ""
 	if s.wrap != nil {
 		var err error
-		conn, peer, err = s.wrap(raw)
+		conn, peer, err = s.wrap(conn)
 		if err != nil {
 			s.logf("rpc: connection upgrade from %s failed: %v", raw.RemoteAddr(), err)
 			raw.Close()

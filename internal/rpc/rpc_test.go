@@ -534,6 +534,10 @@ func TestTimeoutLeavesPendingTableClean(t *testing.T) {
 		t.Fatal("shared conn vanished")
 	}
 
+	// Set the timeout before the background caller starts: Call reads
+	// it unsynchronized, so writing it later would race.
+	cl.Timeout = 50 * time.Millisecond
+
 	// Keep fast traffic flowing on the same connection so it shows
 	// signs of life while the op-2 calls hang and time out.
 	stopFast := make(chan struct{})
@@ -551,7 +555,6 @@ func TestTimeoutLeavesPendingTableClean(t *testing.T) {
 		}
 	}()
 
-	cl.Timeout = 50 * time.Millisecond
 	const timedOut = 8
 	var wg sync.WaitGroup
 	for i := 0; i < timedOut; i++ {

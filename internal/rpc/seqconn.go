@@ -1,0 +1,159 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"gdn/internal/transport"
+)
+
+// seqHeader is the per-frame sequence header length.
+const seqHeader = 8
+
+// sequencedConn guards the RPC layer against a transport that breaks
+// its in-order, exactly-once framing promise — which is precisely what
+// the chaos plane's link faults do (netsim.LinkFaults: duplicated and
+// reordered frames are delivered, lost frames simply never arrive).
+// Without it those faults scramble multiplexed frames silently: a
+// duplicated or swapped stream data frame yields a complete,
+// plausible-looking transfer with corrupt bytes.
+//
+// Every frame is stamped with a connection-local sequence number.
+// The receiver delivers in-order frames straight through, drops
+// duplicates, repairs a one-frame reordering window (the window the
+// fault model injects), and condemns the connection on a genuine gap —
+// so a lost frame becomes a visible connection error the retry layers
+// above recover from, never silent corruption. On real TCP the header
+// is 8 redundant bytes per frame; the end-to-end check stays cheap and
+// both transports stay interchangeable.
+//
+// Both ends of every RPC connection speak this framing: Client.dial
+// and Server.serveConn wrap the raw connection before any security
+// channel, so the sequence check sits directly above the lossy link.
+type sequencedConn struct {
+	conn transport.Conn
+
+	// smu makes stamp+send atomic, so concurrent senders cannot emit
+	// sequence numbers out of order.
+	smu  sync.Mutex
+	next uint64
+
+	// rmu serializes receivers over the reorder-repair state.
+	rmu      sync.Mutex
+	want     uint64
+	held     []byte // out-of-order frame parked until the gap fills
+	heldSeq  uint64
+	heldCost time.Duration
+	rerr     error // sticky failure: a desynced connection stays dead
+}
+
+func sequenced(c transport.Conn) transport.Conn {
+	return &sequencedConn{conn: c}
+}
+
+// stamp prepends the next sequence number. Caller holds smu. The
+// returned buffer is pooled; recycle it after the underlying Send
+// returns (both transports have consumed the payload by then).
+func (c *sequencedConn) stamp(p []byte) []byte {
+	f := transport.GetFrame(len(p) + seqHeader)
+	binary.BigEndian.PutUint64(f, c.next)
+	c.next++
+	copy(f[seqHeader:], p)
+	return f
+}
+
+func (c *sequencedConn) Send(p []byte) error {
+	c.smu.Lock()
+	f := c.stamp(p)
+	err := c.conn.Send(f)
+	c.smu.Unlock()
+	transport.PutFrame(f)
+	return err
+}
+
+// SendBatch stamps each frame and forwards the batch through the
+// underlying vectored write when available.
+func (c *sequencedConn) SendBatch(frames [][]byte) error {
+	c.smu.Lock()
+	stamped := make([][]byte, len(frames))
+	for i, p := range frames {
+		stamped[i] = c.stamp(p)
+	}
+	var err error
+	if bs, ok := c.conn.(transport.BatchSender); ok {
+		err = bs.SendBatch(stamped)
+	} else {
+		for _, f := range stamped {
+			if err = c.conn.Send(f); err != nil {
+				break
+			}
+		}
+	}
+	c.smu.Unlock()
+	for _, f := range stamped {
+		transport.PutFrame(f)
+	}
+	return err
+}
+
+func (c *sequencedConn) Recv() ([]byte, time.Duration, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if c.rerr != nil {
+		return nil, 0, c.rerr
+	}
+	for {
+		if c.held != nil && c.heldSeq == c.want {
+			// The gap filled on a previous iteration; release the
+			// parked frame in order.
+			p, cost := c.held, c.heldCost
+			c.held = nil
+			c.want++
+			return p, cost, nil
+		}
+		p, cost, err := c.conn.Recv()
+		if err != nil {
+			c.rerr = err
+			return nil, 0, err
+		}
+		if len(p) < seqHeader {
+			return nil, 0, c.condemn(fmt.Errorf("rpc: undersized sequenced frame (%d bytes) from %s", len(p), c.conn.RemoteAddr()))
+		}
+		seq := binary.BigEndian.Uint64(p)
+		body := p[seqHeader:]
+		switch {
+		case seq == c.want:
+			c.want++
+			return body, cost, nil
+		case seq < c.want || (c.held != nil && seq == c.heldSeq):
+			// A duplicate of something already delivered or parked.
+			transport.PutFrame(p)
+		case c.held == nil:
+			// One frame ahead of the gap: park it and wait for the
+			// overtaken frame.
+			c.held, c.heldSeq, c.heldCost = body, seq, cost
+		default:
+			// A second frame beyond the gap: the missing frame is
+			// genuinely lost, and silently skipping it would hand the
+			// layers above a corrupted frame sequence. Fail visibly.
+			transport.PutFrame(p)
+			return nil, 0, c.condemn(fmt.Errorf("rpc: sequence gap from %s: want frame %d, have %d and %d — frame lost in transit",
+				c.conn.RemoteAddr(), c.want, c.heldSeq, seq))
+		}
+	}
+}
+
+// condemn records a sticky receive failure and closes the underlying
+// connection. Caller holds rmu.
+func (c *sequencedConn) condemn(err error) error {
+	c.rerr = err
+	c.held = nil
+	c.conn.Close()
+	return err
+}
+
+func (c *sequencedConn) Close() error       { return c.conn.Close() }
+func (c *sequencedConn) LocalAddr() string  { return c.conn.LocalAddr() }
+func (c *sequencedConn) RemoteAddr() string { return c.conn.RemoteAddr() }

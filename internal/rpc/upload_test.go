@@ -6,9 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
+	"gdn/internal/netsim"
 	"gdn/internal/transport"
 )
 
@@ -375,5 +378,97 @@ func TestUploadOverTCP(t *testing.T) {
 	want := fmt.Sprintf("%d %x", frames, h.Sum(nil))
 	if string(resp) != want {
 		t.Fatalf("TCP upload summed %q, want %q", resp, want)
+	}
+}
+
+// TestUploadSweeperFailsWaitersOnWedgedConn covers the pending-table
+// sweeper when the connection wedges mid-upload with credit frames in
+// flight: the link silently eats every frame (loss 1.0), so the
+// server's credit grants never arrive and senders parked on the
+// flow-control window would otherwise wait forever. The sweeper must
+// fail every waiter within roughly one sweep interval (the call's
+// timeout), and no goroutine may leak.
+func TestUploadSweeperFailsWaitersOnWedgedConn(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	n := simNet(t)
+	gotFrame := make(chan struct{}, 64)
+	srv, err := Serve(n, "server:wedge", func(c *Call) ([]byte, error) {
+		for {
+			if _, err := c.Upload().Recv(); err != nil {
+				return nil, nil
+			}
+			gotFrame <- struct{}{}
+		}
+	}, WithServerLog(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl := NewClient(n, "client", "server:wedge")
+	cl.Timeout = 200 * time.Millisecond
+	us, err := cl.CallUpload(9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prove the connection live, then wedge the link.
+	if err := us.Send([]byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	<-gotFrame
+	n.SetLinkFaults(netsim.WideArea, netsim.LinkFaults{Loss: 1})
+
+	// Far more senders than the flow-control window: the first few
+	// spend the remaining credit (their frames vanish silently — the
+	// sender cannot know), the rest park waiting for credit that can
+	// never arrive.
+	const senders = 40
+	start := time.Now()
+	errs := make(chan error, senders)
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- us.Send(make([]byte, 1024))
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("senders still parked long after the sweep interval")
+	}
+	if elapsed := time.Since(start); elapsed > 10*cl.Timeout {
+		t.Fatalf("waiters released after %v, want within ~one sweep interval (%v)", elapsed, cl.Timeout)
+	}
+	close(errs)
+	var failed int
+	for err := range errs {
+		if err != nil {
+			failed++
+			if IsRemote(err) {
+				t.Fatalf("wedged-conn failure surfaced as remote error: %v", err)
+			}
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no parked sender observed the sweeper's failure")
+	}
+	// The authoritative result reports the failure too, promptly.
+	if _, _, err := us.CloseAndRecv(); err == nil {
+		t.Fatal("CloseAndRecv survived a wedged connection")
+	}
+
+	n.ClearFaults()
+	cl.Close()
+	srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

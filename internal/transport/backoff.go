@@ -1,0 +1,37 @@
+package transport
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff returns the delay before the next attempt after n consecutive
+// failures (n starts at 1), growing exponentially from base and capped
+// at max, with half-range jitter: the result is uniform in [d/2, d]
+// where d is the capped exponential. The jitter decorrelates the many
+// clients of one dead remote, so a heal is not greeted by a synchronized
+// redial storm (the thundering herd the chaos runs exposed).
+func Backoff(n int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if n < 1 {
+		n = 1
+	}
+	d := base
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= max || d <= 0 { // d <= 0 on overflow
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
