@@ -19,6 +19,20 @@
 // with no benchmarks at all is reported as an error so a CI
 // misconfiguration (benchmarks filtered out) fails loudly instead of
 // uploading an empty artifact.
+//
+// With -baseline the converter additionally gates on regressions: the
+// fresh report is compared against a committed baseline report and the
+// run fails when ns/op of any benchmark named in -compare regressed by
+// more than -max-regress percent:
+//
+//	gdn-benchjson -in bench-raw.ndjson -out BENCH_ci.json \
+//	    -baseline BENCH_seed.json \
+//	    -compare BenchmarkE5_Download_Large,BenchmarkRPC_CallParallel \
+//	    -max-regress 25
+//
+// A gated benchmark missing from either report is an error, not a
+// pass — renaming a benchmark of record must not silently disarm the
+// gate.
 package main
 
 import (
@@ -65,6 +79,9 @@ type report struct {
 func main() {
 	in := flag.String("in", "-", "test2json input file (- = stdin)")
 	out := flag.String("out", "BENCH_ci.json", "output artifact path")
+	baseline := flag.String("baseline", "", "baseline report to compare against (enables the regression gate)")
+	compare := flag.String("compare", "", "comma-separated benchmark names the gate checks (requires -baseline)")
+	maxRegress := flag.Float64("max-regress", 25, "fail when a gated benchmark's ns/op regresses more than this percent")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -99,12 +116,78 @@ func main() {
 	data = append(data, '\n')
 	if *out == "-" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("gdn-benchjson: wrote %d results to %s\n", len(results), *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fatal(err)
+
+	if *baseline != "" {
+		if err := compareAgainst(*baseline, results, splitNames(*compare), *maxRegress); err != nil {
+			fatal(err)
+		}
 	}
-	fmt.Printf("gdn-benchjson: wrote %d results to %s\n", len(results), *out)
+}
+
+// splitNames parses the -compare list, tolerating spaces and empty
+// entries.
+func splitNames(s string) []string {
+	var names []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// compareAgainst gates the fresh results on a committed baseline: each
+// named benchmark's ns/op may regress by at most maxRegress percent.
+// Faster-than-baseline runs always pass; a gated name absent from
+// either side fails the gate rather than disarming it.
+func compareAgainst(baselinePath string, current []result, names []string, maxRegress float64) error {
+	if len(names) == 0 {
+		return fmt.Errorf("-baseline given but -compare names no benchmarks")
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	index := func(rs []result) map[string]result {
+		m := make(map[string]result, len(rs))
+		for _, r := range rs {
+			m[r.Name] = r
+		}
+		return m
+	}
+	baseBy, curBy := index(base.Results), index(current)
+
+	var failures []string
+	for _, name := range names {
+		b, okB := baseBy[name]
+		c, okC := curBy[name]
+		switch {
+		case !okB:
+			return fmt.Errorf("gated benchmark %s missing from baseline %s", name, baselinePath)
+		case !okC:
+			return fmt.Errorf("gated benchmark %s missing from this run", name)
+		}
+		pct := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		fmt.Printf("gdn-benchjson: %s: baseline %.0f ns/op, current %.0f ns/op (%+.1f%%)\n",
+			name, b.NsPerOp, c.NsPerOp, pct)
+		if pct > maxRegress {
+			failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (budget %.0f%%)", name, pct, maxRegress))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 func fatal(err error) {
@@ -113,9 +196,13 @@ func fatal(err error) {
 }
 
 // parse consumes a test2json stream and returns every benchmark
-// result found in output events.
+// result found in output events. One logical output line can be split
+// across several events — the testing package writes the padded
+// benchmark name and the numbers separately — so output is reassembled
+// per package and parsed only at newline boundaries.
 func parse(r io.Reader) ([]result, error) {
 	var results []result
+	partial := make(map[string]string) // package → output tail awaiting its newline
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -131,9 +218,18 @@ func parse(r io.Reader) ([]result, error) {
 		if ev.Action != "output" {
 			continue
 		}
-		if res, ok := parseBenchLine(ev.Package, strings.TrimSpace(ev.Output)); ok {
-			results = append(results, res)
+		buf := partial[ev.Package] + ev.Output
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			if res, ok := parseBenchLine(ev.Package, strings.TrimSpace(buf[:nl])); ok {
+				results = append(results, res)
+			}
+			buf = buf[nl+1:]
 		}
+		partial[ev.Package] = buf
 	}
 	return results, sc.Err()
 }

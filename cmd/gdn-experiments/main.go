@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"gdn/internal/experiments"
+	"gdn/internal/obs"
 )
 
 // runners maps experiment identifiers to their drivers with default
@@ -72,6 +73,7 @@ var e12Seeds []int64
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	seeds := flag.String("seeds", "", "comma-separated chaos seeds for E12 (default 1,2,3)")
+	metricsDump := flag.Bool("metrics-dump", false, "print the final metrics-registry snapshot (Prometheus text) after the experiments")
 	flag.Parse()
 
 	if *seeds != "" {
@@ -112,5 +114,12 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "gdn-experiments: nothing matched %v (try -list)\n", flag.Args())
 		os.Exit(1)
+	}
+	if *metricsDump {
+		fmt.Println("== metrics registry ==")
+		if err := obs.WritePrometheus(os.Stdout, obs.Default); err != nil {
+			fmt.Fprintf(os.Stderr, "gdn-experiments: metrics dump: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -32,6 +32,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed for random forwarding-pointer choice")
 		snapshot = flag.String("snapshot", "", "snapshot file for persistence across restarts")
 	)
+	var df daemon.DebugFlags
+	df.Register(flag.CommandLine)
 	flag.Parse()
 	if *domain == "" || *addr == "" {
 		flag.Usage()
@@ -64,6 +66,9 @@ func main() {
 		}
 	}
 	fmt.Printf("gdn-gls: directory node for %q serving on %s\n", *domain, *addr)
+	if dbg := df.Serve(daemon.Logf("gdn-gls")); dbg != "" {
+		fmt.Printf("gdn-gls: debug endpoint on http://%s/debug/gdn/metrics\n", dbg)
+	}
 
 	sig := daemon.WaitForSignal()
 	fmt.Printf("gdn-gls: %v, shutting down\n", sig)

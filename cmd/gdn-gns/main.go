@@ -37,6 +37,8 @@ func main() {
 		batch    = flag.Int("batch", 1, "naming-authority update batch size")
 		snapshot = flag.String("snapshot", "", "authority name-table snapshot file")
 	)
+	var df daemon.DebugFlags
+	df.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *dnsAddr == "" && *naAddr == "" {
@@ -103,6 +105,9 @@ func main() {
 			}
 		}
 		fmt.Printf("gdn-gns: naming authority for %q on %s (batch %d)\n", *zoneName, *naAddr, *batch)
+	}
+	if dbg := df.Serve(daemon.Logf("gdn-gns")); dbg != "" {
+		fmt.Printf("gdn-gns: debug endpoint on http://%s/debug/gdn/metrics\n", dbg)
 	}
 
 	sig := daemon.WaitForSignal()

@@ -23,6 +23,8 @@ func main() {
 		objAddr  = flag.String("obj-addr", "", "listen address for replica traffic (required)")
 		stateDir = flag.String("state", "", "checkpoint directory (empty disables persistence)")
 	)
+	var df daemon.DebugFlags
+	df.Register(flag.CommandLine)
 	flag.Parse()
 	if *cmdAddr == "" || *objAddr == "" {
 		flag.Usage()
@@ -46,6 +48,9 @@ func main() {
 	}
 	fmt.Printf("gdn-gos: commands on %s, replica traffic on %s, %d replicas recovered\n",
 		*cmdAddr, *objAddr, srv.Hosted())
+	if dbg := df.Serve(daemon.Logf("gdn-gos")); dbg != "" {
+		fmt.Printf("gdn-gos: debug endpoint on http://%s/debug/gdn/metrics\n", dbg)
+	}
 
 	sig := daemon.WaitForSignal()
 	fmt.Printf("gdn-gos: %v, checkpointing and shutting down\n", sig)

@@ -32,6 +32,8 @@ func main() {
 		cacheBytes = flag.Int64("cache-bytes", 0, "cache capacity in bytes (0 = default 256 MiB)")
 		stateDir   = flag.String("statedir", "", "disk directory for the proxy cache; survives restarts (\"\" = in-memory)")
 	)
+	var df daemon.DebugFlags
+	df.Register(flag.CommandLine)
 	flag.Parse()
 
 	rt, err := cf.Runtime()
@@ -70,6 +72,9 @@ func main() {
 	defer h.Close()
 
 	fmt.Printf("gdn-httpd: serving on %s (cache=%v)\n", *listen, *cache)
+	if dbg := df.Serve(daemon.Logf("gdn-httpd")); dbg != "" {
+		fmt.Printf("gdn-httpd: debug endpoint on http://%s/debug/gdn/metrics\n", dbg)
+	}
 	if err := http.ListenAndServe(*listen, h); err != nil {
 		daemon.Fatal(err)
 	}

@@ -26,6 +26,8 @@ func main() {
 	var cf daemon.ClientFlags
 	cf.Register(flag.CommandLine)
 	na := flag.String("na", "", "Naming Authority address (required)")
+	var df daemon.DebugFlags
+	df.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *na == "" || flag.NArg() < 1 {
@@ -46,6 +48,7 @@ func main() {
 		daemon.Fatal(err)
 	}
 	defer tool.Close()
+	df.Serve(daemon.Logf("gdn-modtool"))
 
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	switch cmd {

@@ -6,16 +6,32 @@
 // verifies it — the end-to-end path of the paper's Figure 3.
 //
 //	go run ./examples/quickstart
+//
+// With -debug-addr the process stays up after the tour and serves the
+// observability plane alongside the GDN-enabled web server, so one
+// command demonstrates end-to-end request tracing:
+//
+//	go run ./examples/quickstart -debug-addr :8090
+//	curl -s localhost:8090/debug/gdn/traces | head -40
+//	curl -s localhost:8090/debug/gdn/metrics | grep gdn_httpd
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
 
 	"gdn"
+	"gdn/internal/daemon"
 )
 
 func main() {
+	debugAddr := flag.String("debug-addr", "",
+		"after the tour, keep serving the package and /debug/gdn/{metrics,traces} on this address (empty: exit)")
+	flag.Parse()
 	// 1. Build the world: regions eu/na/ap with two sites each, a GLS
 	//    hierarchy, DNS + naming authority, and one object server per
 	//    site.
@@ -82,4 +98,41 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("digest verification: OK")
+
+	// 5. Optionally stay up as a live deployment: the Tokyo edge's
+	//    GDN-enabled web server and the debug endpoints on one listener.
+	if *debugAddr != "" {
+		serveDebug(world, *debugAddr)
+	}
+}
+
+// serveDebug mounts the /pkg/ handler and the observability plane on
+// addr, performs one traced download through the edge so the trace
+// ring has a hop chain to show immediately, and blocks.
+func serveDebug(world *gdn.World, addr string) {
+	h, err := world.HTTPD("ap-jp-ut", gdn.HTTPDConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mux := daemon.DebugMux()
+	mux.Handle("/pkg/", h)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, mux) //nolint:errcheck
+
+	bound := ln.Addr().String()
+	url := "http://" + bound + "/pkg/apps/compilers/gcc/-/gcc-2.95.tar"
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	fmt.Printf("\nserving on %s (downloaded %d bytes through the edge to seed a trace)\n", bound, n)
+	fmt.Printf("  package:  %s\n", url)
+	fmt.Printf("  traces:   http://%s/debug/gdn/traces\n", bound)
+	fmt.Printf("  metrics:  http://%s/debug/gdn/metrics\n", bound)
+	select {}
 }

@@ -37,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"gdn/internal/obs"
 	"gdn/internal/store"
 	"gdn/internal/wire"
 )
@@ -291,8 +292,13 @@ type Replication interface {
 // a remote representative, so peak buffering is O(chunk) either way.
 // The returned manifest carries at least the item's Size and Digest
 // for end-to-end verification.
+//
+// tc is the caller's trace context: proxy-side implementations carry
+// it across the OpBulkRead hop (and any cache-fill calls it forces)
+// so a traced download's hop chain stays connected; the zero context
+// means untraced and costs nothing.
 type BulkReader interface {
-	ReadBulk(path string, off, n int64, fn func(p []byte) error) (Manifest, time.Duration, error)
+	ReadBulk(tc obs.SpanContext, path string, off, n int64, fn func(p []byte) error) (Manifest, time.Duration, error)
 }
 
 // ChunkNegotiator is the optional replication-subobject interface

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gdn/internal/ids"
+	"gdn/internal/obs"
 	"gdn/internal/rpc"
 	"gdn/internal/sec"
 	"gdn/internal/transport"
@@ -170,28 +171,44 @@ func (p *PeerClient) Addr() string { return p.rpc.Addr() }
 // Call sends one replica-protocol operation, prefixing the object
 // identifier.
 func (p *PeerClient) Call(op uint16, body []byte) ([]byte, time.Duration, error) {
+	return p.CallT(obs.SpanContext{}, op, body)
+}
+
+// CallT is Call carrying a trace context into the RPC layer, so a
+// replica-protocol hop joins the caller's trace.
+func (p *PeerClient) CallT(tc obs.SpanContext, op uint16, body []byte) ([]byte, time.Duration, error) {
 	buf := make([]byte, 0, ids.Size+len(body))
 	buf = append(buf, p.oid[:]...)
 	buf = append(buf, body...)
-	return p.rpc.Call(op, buf)
+	return p.rpc.CallT(tc, op, buf)
 }
 
 // CallStream opens a streaming replica-protocol call (OpBulkRead),
 // prefixing the object identifier.
 func (p *PeerClient) CallStream(op uint16, body []byte) (*rpc.Stream, error) {
+	return p.CallStreamT(obs.SpanContext{}, op, body)
+}
+
+// CallStreamT is CallStream carrying a trace context.
+func (p *PeerClient) CallStreamT(tc obs.SpanContext, op uint16, body []byte) (*rpc.Stream, error) {
 	buf := make([]byte, 0, ids.Size+len(body))
 	buf = append(buf, p.oid[:]...)
 	buf = append(buf, body...)
-	return p.rpc.CallStream(op, buf)
+	return p.rpc.CallStreamT(tc, op, buf)
 }
 
 // CallUpload opens an upload-stream replica-protocol call
 // (OpChunkPut), prefixing the object identifier to the header.
 func (p *PeerClient) CallUpload(op uint16, header []byte) (*rpc.UploadStream, error) {
+	return p.CallUploadT(obs.SpanContext{}, op, header)
+}
+
+// CallUploadT is CallUpload carrying a trace context.
+func (p *PeerClient) CallUploadT(tc obs.SpanContext, op uint16, header []byte) (*rpc.UploadStream, error) {
 	buf := make([]byte, 0, ids.Size+len(header))
 	buf = append(buf, p.oid[:]...)
 	buf = append(buf, header...)
-	return p.rpc.CallUpload(op, buf)
+	return p.rpc.CallUploadT(tc, op, buf)
 }
 
 // Close releases the connection.

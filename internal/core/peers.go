@@ -9,8 +9,18 @@ import (
 	"time"
 
 	"gdn/internal/gls"
+	"gdn/internal/obs"
 	"gdn/internal/rpc"
 	"gdn/internal/transport"
+)
+
+// Process-wide mirrors of the per-set counters, so the registry shows
+// failover and re-resolve pressure across every proxy at once.
+var (
+	mFailovers = obs.Default.Counter("gdn_peerset_failovers_total",
+		"calls moved to the next ranked peer after a failoverable error")
+	mResolves = obs.Default.Counter("gdn_peerset_resolves_total",
+		"location-service re-resolves of a peer set")
 )
 
 // PeerSet is the shared ranked peer-set behind every proxy-side
@@ -234,6 +244,7 @@ func (ps *PeerSet) refresh(force bool) (time.Duration, bool) {
 	}
 	addrs, cost, err := ps.env.Resolve()
 	ps.resolves.Add(1)
+	mResolves.Inc()
 	if err != nil {
 		// A failed lookup (location service unreachable, or the object
 		// gone) keeps the current set: stale candidates still beat none.
@@ -486,6 +497,7 @@ func (ps *PeerSet) Do(write bool, attempt func(addr string, pc *PeerClient) (tim
 				return cost, err
 			}
 			ps.failovers.Add(1)
+			mFailovers.Inc()
 		}
 		if round == 1 || !progressed {
 			break

@@ -16,7 +16,9 @@ import (
 	"gdn/internal/gls"
 	"gdn/internal/ids"
 	"gdn/internal/netsim"
+	"gdn/internal/obs"
 	"gdn/internal/rpc"
+	"gdn/internal/testutil"
 )
 
 // E12Config tunes the chaos soak.
@@ -57,7 +59,11 @@ var e12Families = []string{"loss-reorder", "oneway-partition", "crash-restart"}
 //     fails visibly or is bit-exact;
 //   - after a heal or restart, every replica is re-registered in the
 //     location service within one lease TTL;
-//   - the world tears down without leaking goroutines.
+//   - the world tears down without leaking goroutines;
+//   - no RPC handler panics (registry counter delta), and under
+//     loss-reorder every sequencing-layer condemnation is accounted for
+//     by an injected frame fault — the rpc layer never condemns a
+//     connection the chaos plane left alone.
 //
 // An invariant violation panics with the schedule family and seed, so
 // a failing CI run names the exact schedule to replay.
@@ -171,13 +177,16 @@ func e12Schedule(family string, seed int64) netsim.Schedule {
 // against it, checks the invariants, and tears everything down.
 func runE12(cfg E12Config, family string, seed int64) e12Result {
 	// The soak polls in wall-clock seconds, so the 30s default RPC
-	// deadline would hide every hang. Clients copy the default at
-	// creation, so it must be lowered before the world is built.
+	// deadline would hide every hang. Each Client copies the default
+	// into its Timeout field at creation, so lowering the var before the
+	// world is built reaches every client without racing in-flight calls.
 	savedTimeout := rpc.DefaultTimeout
 	rpc.DefaultTimeout = time.Second
 	defer func() { rpc.DefaultTimeout = savedTimeout }()
 
 	g0 := runtime.NumGoroutine()
+	panics0 := obs.Default.CounterValue("gdn_rpc_server_panics_total")
+	seqgap0 := obs.Default.CounterValue(`gdn_rpc_conns_condemned_total{cause="seqgap"}`)
 
 	w := newWorld(gdn.Topology{
 		Regions: map[string][]string{
@@ -331,12 +340,30 @@ func runE12(cfg E12Config, family string, seed int64) e12Result {
 	}
 	e12PostHeal(client, url, content, family, seed)
 
+	// Registry-counter invariants. Handler panics are recoverable at
+	// the rpc layer but always a bug, in any family. Under loss-reorder,
+	// the sequencing layer may condemn connections, but only ever as
+	// many as the chaos plane actually disturbed: condemnations are
+	// bounded by injected frame faults. (The counters are process-global
+	// while FaultStats is per-world, hence the before/after deltas.)
+	if d := obs.Default.CounterValue("gdn_rpc_server_panics_total") - panics0; d != 0 {
+		panicE12(family, seed, fmt.Sprintf("%d RPC handler panics during the run", d))
+	}
+	if family == "loss-reorder" {
+		faults := w.Net.FaultStats()
+		injected := faults.Lost + faults.Duplicated + faults.Reordered
+		if d := obs.Default.CounterValue(`gdn_rpc_conns_condemned_total{cause="seqgap"}`) - seqgap0; d > injected {
+			panicE12(family, seed, fmt.Sprintf(
+				"%d seqconn condemnations but only %d injected frame faults — the rpc layer condemned connections chaos left alone", d, injected))
+		}
+	}
+
 	res.Close()
 	ts.Close()
 	tr.CloseIdleConnections()
 	w.Close()
 	r.timeline = run.Timeline()
-	r.leaked = e12Leaked(g0)
+	r.leaked = testutil.Leaked(g0, 2, 3*time.Second)
 	if r.leaked > 0 {
 		panicE12(family, seed, fmt.Sprintf("%d goroutines leaked after teardown", r.leaked))
 	}
@@ -407,22 +434,5 @@ func e12PollAddrs(res *gls.Resolver, oid ids.OID, window time.Duration, want fun
 			return time.Since(start), false
 		}
 		time.Sleep(50 * time.Millisecond)
-	}
-}
-
-// e12Leaked waits for the torn-down world's goroutines to drain and
-// returns how many remain above the pre-run baseline (with a small
-// allowance for runtime background goroutines).
-func e12Leaked(g0 int) int {
-	deadline := time.Now().Add(3 * time.Second)
-	for {
-		n := runtime.NumGoroutine()
-		if n <= g0+2 {
-			return 0
-		}
-		if time.Now().After(deadline) {
-			return n - g0
-		}
-		time.Sleep(25 * time.Millisecond)
 	}
 }

@@ -71,8 +71,9 @@ func E3RootPartitioning(cfg E3Config) *Table {
 func E3OneWayPartition() *Table {
 	// Reply-direction cuts surface as call timeouts, so the 30s
 	// default deadline would stretch each failed lookup into half a
-	// minute. Clients copy the default at creation: lower it before
-	// the tree is deployed.
+	// minute. Each Client copies the default into its Timeout field at
+	// creation, so lowering the var before the tree is deployed reaches
+	// every client without racing in-flight calls.
 	savedTimeout := rpc.DefaultTimeout
 	rpc.DefaultTimeout = 500 * time.Millisecond
 	defer func() { rpc.DefaultTimeout = savedTimeout }()

@@ -241,6 +241,10 @@ func (n *Node) isRoot() bool { return n.cfg.Parent.IsZero() }
 
 // handle dispatches one directory-node protocol request.
 func (n *Node) handle(call *rpc.Call) ([]byte, error) {
+	if h := mOpSeconds[call.Op]; h != nil {
+		start := time.Now()
+		defer h.ObserveSince(start)
+	}
 	switch call.Op {
 	case OpLookup:
 		return n.handleLookup(call, false)
@@ -702,6 +706,7 @@ func (n *Node) handleSessionOpen(call *rpc.Call) ([]byte, error) {
 		return nil, fmt.Errorf("gls: session open needs an identifier, an address and a TTL")
 	}
 	n.count(func(c *Counters) { c.SessionOpens++ })
+	mSessionsOpened.Inc()
 	now := n.cfg.Clock()
 	n.mu.Lock()
 	sess := n.sessions[sid]
@@ -771,6 +776,7 @@ func (n *Node) handleSessionClose(call *rpc.Call) ([]byte, error) {
 		return nil, err
 	}
 	n.count(func(c *Counters) { c.SessionCloses++ })
+	mSessionsClosed.Inc()
 	n.mu.Lock()
 	if sess := n.sessions[sid]; sess != nil {
 		// Entries keep their pointer to the struct; marking it closed
@@ -935,6 +941,7 @@ func (n *Node) SweepExpired() int {
 	for sid, sess := range n.sessions {
 		if sess.expired(now) {
 			delete(n.sessions, sid)
+			mSessionsExpired.Inc()
 		}
 	}
 	n.mu.Unlock()

@@ -79,6 +79,8 @@ func (r *Resolver) client(addr string) *rpc.Client {
 // beats not-found. The returned cost is the virtual network cost of
 // the whole lookup path (up the tree, down the pointers, and back).
 func (r *Resolver) Lookup(oid ids.OID) ([]ContactAddress, time.Duration, error) {
+	start := time.Now()
+	defer mResolverLookupSeconds.ObserveSince(start)
 	resp, cost, err := r.client(r.leaf.Route(oid)).Call(OpLookup, encodeOID(oid))
 	if err != nil {
 		return nil, cost, err

@@ -161,6 +161,8 @@ func (s *ServerSession) Detach(oid ids.OID) (time.Duration, error) {
 // older than some attaches (its attached-entry count differs), gets the
 // session reopened and the entries that subnode owns re-attached.
 func (s *ServerSession) Renew() (time.Duration, error) {
+	start := time.Now()
+	defer mSessionRenewSeconds.ObserveSince(start)
 	w := wire.NewWriter(32)
 	w.OID(s.id)
 	w.Uint32(s.ttlSecs())

@@ -41,12 +41,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gdn/internal/core"
 	"gdn/internal/gls"
 	"gdn/internal/gns"
 	"gdn/internal/ids"
+	"gdn/internal/obs"
 	"gdn/internal/pkgobj"
 	"gdn/internal/repl"
 	"gdn/internal/rpc"
@@ -132,6 +134,19 @@ type Stats struct {
 	VirtualCost time.Duration
 }
 
+// handlerStats is the live form of Stats: independent atomic counters,
+// so concurrent downloads bump them without sharing a lock on the hot
+// streaming path. Stats() assembles the exported snapshot view.
+type handlerStats struct {
+	listings    atomic.Int64
+	downloads   atomic.Int64
+	errors      atomic.Int64
+	ranges      atomic.Int64
+	notModified atomic.Int64
+	bytesServed atomic.Int64
+	virtualCost atomic.Int64 // nanoseconds
+}
+
 // Handler is the GDN-enabled HTTPD logic.
 type Handler struct {
 	cfg Config
@@ -153,7 +168,8 @@ type Handler struct {
 
 	mu       sync.Mutex
 	bindings map[string]*binding
-	stats    Stats
+
+	stats handlerStats
 }
 
 // binding caches one bound object so repeated requests skip the
@@ -192,7 +208,7 @@ func (h *Handler) modified(b *binding) time.Time {
 			b.modStamp = time.Unix(secs, 0).UTC()
 		}
 	}
-	h.count(func(s *Stats) { s.VirtualCost += b.stub.TakeCost() })
+	h.addCost(b.stub.TakeCost())
 	b.modFetched = now
 	return b.modStamp
 }
@@ -301,11 +317,20 @@ func (h *Handler) RenewLeases() {
 // tests and experiments inspect it.
 func (h *Handler) Chunks() *store.Store { return h.chunks }
 
-// Stats snapshots the handler's counters.
+// Stats snapshots the handler's counters. The snapshot is assembled
+// from independent atomic loads: each field is exact, but a concurrent
+// request may land between loads, so cross-field sums can be off by
+// the requests in flight — the same guarantee the registry gives.
 func (h *Handler) Stats() Stats {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.stats
+	return Stats{
+		Listings:    h.stats.listings.Load(),
+		Downloads:   h.stats.downloads.Load(),
+		Errors:      h.stats.errors.Load(),
+		Ranges:      h.stats.ranges.Load(),
+		NotModified: h.stats.notModified.Load(),
+		BytesServed: h.stats.bytesServed.Load(),
+		VirtualCost: time.Duration(h.stats.virtualCost.Load()),
+	}
 }
 
 // Close releases all cached bindings, deregisters registered caches and
@@ -357,14 +382,38 @@ func (h *Handler) releaseBinding(b *binding) {
 	b.stub.Close()
 }
 
-func (h *Handler) count(f func(*Stats)) {
-	h.mu.Lock()
-	f(&h.stats)
-	h.mu.Unlock()
+// addCost accumulates virtual network cost on the atomic counter.
+func (h *Handler) addCost(d time.Duration) {
+	if d != 0 {
+		h.stats.virtualCost.Add(int64(d))
+	}
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request runs under a fresh
+// trace: the root span covers the whole service time, and the trace
+// context flows with the download path through the replication layer
+// to whichever store finally walks the chunks — the edge → httpd →
+// replica → store chain /debug/gdn/traces shows.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	span := obs.StartTrace("httpd " + r.Method + " " + r.URL.Path)
+	sw := &statusWriter{ResponseWriter: w, started: func() {
+		mTTFBSeconds.ObserveSince(start)
+	}}
+	defer func() {
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		requestClass(sw.status).Inc()
+		mBytesServed.Add(sw.bytes)
+		mRequestSeconds.ObserveSince(start)
+		if sw.status >= 500 {
+			span.SetError(fmt.Errorf("status %d", sw.status))
+		}
+		span.End()
+	}()
+	w = sw
+
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		h.fail(w, http.StatusMethodNotAllowed, "only GET is supported")
 		return
@@ -375,7 +424,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case strings.HasPrefix(r.URL.Path, "/browse/"):
 		h.serveBrowse(w, strings.TrimPrefix(r.URL.Path, "/browse"))
 	case strings.HasPrefix(r.URL.Path, "/pkg/"):
-		h.servePackage(w, r, strings.TrimPrefix(r.URL.Path, "/pkg"))
+		h.servePackage(w, r, span.Context(), strings.TrimPrefix(r.URL.Path, "/pkg"))
 	case r.URL.Path == "/search":
 		h.serveSearch(w, r.URL.Query().Get("q"))
 	default:
@@ -384,7 +433,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) fail(w http.ResponseWriter, status int, msg string) {
-	h.count(func(s *Stats) { s.Errors++ })
+	h.stats.errors.Add(1)
 	http.Error(w, msg, status)
 }
 
@@ -508,7 +557,7 @@ func (h *Handler) serveBrowse(w http.ResponseWriter, dir string) {
 	// no per-child Resolve probes (whose virtual cost the old code also
 	// forgot to count) are needed.
 	children, cost, err := h.cfg.Runtime.Names().Entries(dir)
-	h.count(func(s *Stats) { s.VirtualCost += cost })
+	h.addCost(cost)
 	if err != nil {
 		h.fail(w, http.StatusNotFound, fmt.Sprintf("directory %s: %v", dir, err))
 		return
@@ -525,7 +574,7 @@ func (h *Handler) serveBrowse(w http.ResponseWriter, dir string) {
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	w.Header().Set("X-GDN-Cost", cost.String())
-	h.count(func(s *Stats) { s.Listings++ })
+	h.stats.listings.Add(1)
 	if err := browseTemplate.Execute(w, map[string]any{"Dir": dir, "Entries": entries}); err != nil {
 		h.cfg.Logf("httpd: render browse %s: %v", dir, err)
 	}
@@ -573,13 +622,13 @@ func retryable(err error) bool {
 	return strings.Contains(err.Error(), "no representative for object")
 }
 
-func (h *Handler) servePackage(w http.ResponseWriter, r *http.Request, p string) {
+func (h *Handler) servePackage(w http.ResponseWriter, r *http.Request, tc obs.SpanContext, p string) {
 	objectName, filePath := splitObjectURL(p)
 	if objectName == "" || objectName == "/" {
 		h.fail(w, http.StatusNotFound, "missing package name")
 		return
 	}
-	h.serveObject(w, r, objectName, filePath, 0)
+	h.serveObject(w, r, tc, objectName, filePath, 0)
 }
 
 // serveObjectRetries is how many times one request re-binds through
@@ -597,14 +646,14 @@ const serveObjectRetries = 2
 // 502 off a cached corpse. (Failures after body bytes flowed cannot be
 // retried at this layer; mid-stream replica failover lives in the
 // replication subobject.)
-func (h *Handler) serveObject(w http.ResponseWriter, r *http.Request, objectName, filePath string, attempt int) {
+func (h *Handler) serveObject(w http.ResponseWriter, r *http.Request, tc obs.SpanContext, objectName, filePath string, attempt int) {
 	b, bindCost, err := h.bind(objectName)
-	h.count(func(s *Stats) { s.VirtualCost += bindCost })
+	h.addCost(bindCost)
 	if err == nil {
 		if filePath == "" {
 			err = h.serveListing(w, b)
 		} else {
-			err = h.serveFile(w, r, b, filePath)
+			err = h.serveFile(w, r, tc, b, filePath)
 		}
 		if retryable(err) {
 			// Only failures a fresh binding might cure cost the cached
@@ -623,7 +672,7 @@ func (h *Handler) serveObject(w http.ResponseWriter, r *http.Request, objectName
 			// dial-backoff window and burn the budget for nothing.
 			time.Sleep(transport.Backoff(attempt, 5*time.Millisecond, 50*time.Millisecond))
 		}
-		h.serveObject(w, r, objectName, filePath, attempt+1)
+		h.serveObject(w, r, tc, objectName, filePath, attempt+1)
 		return
 	}
 	status := http.StatusBadGateway
@@ -636,12 +685,12 @@ func (h *Handler) serveObject(w http.ResponseWriter, r *http.Request, objectName
 func (h *Handler) serveListing(w http.ResponseWriter, b *binding) error {
 	infos, err := b.stub.ListContents()
 	cost := b.stub.TakeCost()
-	h.count(func(s *Stats) { s.VirtualCost += cost })
+	h.addCost(cost)
 	if err != nil {
 		return fmt.Errorf("list: %w", err)
 	}
 	desc, _ := b.stub.GetMeta("description")
-	h.count(func(s *Stats) { s.VirtualCost += b.stub.TakeCost() })
+	h.addCost(b.stub.TakeCost())
 
 	files := make([]listingFile, 0, len(infos))
 	for _, fi := range infos {
@@ -656,7 +705,7 @@ func (h *Handler) serveListing(w http.ResponseWriter, b *binding) error {
 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	w.Header().Set("X-GDN-Cost", cost.String())
-	h.count(func(s *Stats) { s.Listings++ })
+	h.stats.listings.Add(1)
 	if err := listingTemplate.Execute(w, map[string]any{
 		"Name": b.name, "Description": desc, "Files": files,
 	}); err != nil {
@@ -697,12 +746,12 @@ func (h *Handler) serveSearch(w http.ResponseWriter, query string) {
 			return nil
 		}
 		b, bindCost, err := h.bind(name)
-		h.count(func(s *Stats) { s.VirtualCost += bindCost })
+		h.addCost(bindCost)
 		if err != nil {
 			return nil // tolerate races with removals
 		}
 		meta, err := b.stub.Meta()
-		h.count(func(s *Stats) { s.VirtualCost += b.stub.TakeCost() })
+		h.addCost(b.stub.TakeCost())
 		if err != nil {
 			return nil
 		}
@@ -717,13 +766,13 @@ func (h *Handler) serveSearch(w http.ResponseWriter, query string) {
 		}
 		return nil
 	})
-	h.count(func(s *Stats) { s.VirtualCost += cost })
+	h.addCost(cost)
 	if err != nil {
 		h.fail(w, http.StatusBadGateway, fmt.Sprintf("search: %v", err))
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	h.count(func(s *Stats) { s.Listings++ })
+	h.stats.listings.Add(1)
 	if err := searchTemplate.Execute(w, map[string]any{"Query": query, "Hits": hits}); err != nil {
 		h.cfg.Logf("httpd: render search: %v", err)
 	}
@@ -748,10 +797,10 @@ func (h *Handler) serveSearch(w http.ResponseWriter, query string) {
 // 206 straight from the chunk store — OpBulkRead always took [off, n).
 // Partial bodies cannot be digest-verified end to end; they rest on
 // the chunk layer's per-chunk verification instead.
-func (h *Handler) serveFile(w http.ResponseWriter, r *http.Request, b *binding, filePath string) error {
+func (h *Handler) serveFile(w http.ResponseWriter, r *http.Request, tc obs.SpanContext, b *binding, filePath string) error {
 	fi, err := b.stub.Stat(filePath)
 	if err != nil {
-		h.count(func(s *Stats) { s.VirtualCost += b.stub.TakeCost() })
+		h.addCost(b.stub.TakeCost())
 		return fmt.Errorf("file %s: %w", filePath, err)
 	}
 
@@ -772,7 +821,8 @@ func (h *Handler) serveFile(w http.ResponseWriter, r *http.Request, b *binding, 
 	}
 
 	if etagMatch(r.Header.Get("If-None-Match"), etag) {
-		h.count(func(s *Stats) { s.NotModified++; s.VirtualCost += b.stub.TakeCost() })
+		h.stats.notModified.Add(1)
+		h.addCost(b.stub.TakeCost())
 		w.WriteHeader(http.StatusNotModified)
 		return nil
 	}
@@ -780,7 +830,7 @@ func (h *Handler) serveFile(w http.ResponseWriter, r *http.Request, b *binding, 
 	// §13.1.3): a date is a weaker validator than an entity tag.
 	if ims := r.Header.Get("If-Modified-Since"); ims != "" && r.Header.Get("If-None-Match") == "" && !lastMod.IsZero() {
 		if t, perr := http.ParseTime(ims); perr == nil && !lastMod.After(t) {
-			h.count(func(s *Stats) { s.NotModified++ })
+			h.stats.notModified.Add(1)
 			w.WriteHeader(http.StatusNotModified)
 			return nil
 		}
@@ -813,20 +863,17 @@ func (h *Handler) serveFile(w http.ResponseWriter, r *http.Request, b *binding, 
 			w.WriteHeader(http.StatusPartialContent)
 			var served int64
 			if r.Method != http.MethodHead {
-				served, err = b.stub.ReadFileRangeTo(w, filePath, off, n)
+				served, err = b.stub.ReadFileRangeToT(tc, w, filePath, off, n)
 				if err != nil {
 					// Headers (and possibly bytes) are out; the response
 					// cannot be retried, only truncated.
 					h.cfg.Logf("httpd: stream range %s/%s after %d bytes: %v", b.name, filePath, served, err)
 				}
 			}
-			cost := b.stub.TakeCost()
-			h.count(func(s *Stats) {
-				s.Downloads++
-				s.Ranges++
-				s.BytesServed += served
-				s.VirtualCost += cost
-			})
+			h.stats.downloads.Add(1)
+			h.stats.ranges.Add(1)
+			h.stats.bytesServed.Add(served)
+			h.addCost(b.stub.TakeCost())
 			return nil
 		}
 	}
@@ -834,17 +881,14 @@ func (h *Handler) serveFile(w http.ResponseWriter, r *http.Request, b *binding, 
 	w.Header().Set("Content-Length", strconv.FormatInt(fi.Size, 10))
 	var served int64
 	if r.Method != http.MethodHead {
-		served, err = b.stub.ReadFileTo(w, filePath)
+		served, err = b.stub.ReadFileToT(tc, w, filePath)
 		if err != nil {
 			h.cfg.Logf("httpd: stream %s/%s after %d bytes: %v", b.name, filePath, served, err)
 		}
 	}
-	cost := b.stub.TakeCost()
-	h.count(func(s *Stats) {
-		s.Downloads++
-		s.BytesServed += served
-		s.VirtualCost += cost
-	})
+	h.stats.downloads.Add(1)
+	h.stats.bytesServed.Add(served)
+	h.addCost(b.stub.TakeCost())
 	return nil
 }
 

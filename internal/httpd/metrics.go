@@ -1,0 +1,71 @@
+package httpd
+
+import (
+	"net/http"
+
+	"gdn/internal/obs"
+)
+
+// Registry handles for the HTTP edge. Stats remains the per-handler
+// view for experiments; these aggregate across every handler in the
+// process and add the latency distributions the per-struct counters
+// never had.
+var (
+	mRequests2xx = obs.Default.Counter(`gdn_httpd_requests_total{class="2xx"}`,
+		"HTTP responses by status class")
+	mRequests3xx = obs.Default.Counter(`gdn_httpd_requests_total{class="3xx"}`,
+		"HTTP responses by status class")
+	mRequests4xx = obs.Default.Counter(`gdn_httpd_requests_total{class="4xx"}`,
+		"HTTP responses by status class")
+	mRequests5xx = obs.Default.Counter(`gdn_httpd_requests_total{class="5xx"}`,
+		"HTTP responses by status class")
+	mBytesServed = obs.Default.Counter("gdn_httpd_bytes_served_total",
+		"payload bytes sent to HTTP clients")
+	mTTFBSeconds = obs.Default.Histogram("gdn_httpd_ttfb_seconds",
+		"time from request arrival to the first response byte",
+		obs.Seconds, obs.TimeBuckets)
+	mRequestSeconds = obs.Default.Histogram("gdn_httpd_request_seconds",
+		"full HTTP request service time, body streaming included",
+		obs.Seconds, obs.TimeBuckets)
+)
+
+func requestClass(status int) *obs.Counter {
+	switch {
+	case status >= 500:
+		return mRequests5xx
+	case status >= 400:
+		return mRequests4xx
+	case status >= 300:
+		return mRequests3xx
+	default:
+		return mRequests2xx
+	}
+}
+
+// statusWriter wraps a ResponseWriter to observe the status code, the
+// payload byte count, and the time to first byte — the edge metrics —
+// without touching the handlers that produce the response.
+type statusWriter struct {
+	http.ResponseWriter
+	status  int
+	bytes   int64
+	started func() // invoked once, just before the first header/byte leaves
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+		sw.started()
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+		sw.started()
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}

@@ -91,8 +91,9 @@ func (n *Network) SeedFaults(seed int64) {
 
 // FaultStats counts frame-level fault injections since the last
 // SeedFaults. These are diagnostic: they depend on how many frames the
-// workload happened to send, so deterministic experiments report them
-// but must not assert on them.
+// workload happened to send, so deterministic experiments must not
+// assert exact values — though one-sided bounds are safe (e.g. E12's
+// "seqconn condemnations never exceed injected faults").
 type FaultStats struct {
 	Lost       int64
 	Duplicated int64

@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing count. All methods are
+// lock-free and safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; counters only go up).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by d (negative d allowed).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Unit names a histogram's native integer unit and how exposition
+// scales it: durations are recorded in nanoseconds and exposed in
+// seconds (the Prometheus convention), sizes are recorded and exposed
+// in bytes.
+type Unit int
+
+const (
+	// Seconds: Observe takes nanoseconds, exposition divides by 1e9.
+	Seconds Unit = iota
+	// Bytes: Observe takes bytes, exposed unscaled.
+	Bytes
+)
+
+func (u Unit) scale() float64 {
+	if u == Seconds {
+		return 1e-9
+	}
+	return 1
+}
+
+// TimeBuckets is the default latency bucket layout, in nanoseconds:
+// 10µs to 10s, roughly 2.5x apart — wide enough to cover a pooled-hit
+// store get and a WAN-chaos RPC in the same histogram.
+var TimeBuckets = []int64{
+	10e3, 25e3, 50e3, 100e3, 250e3, 500e3,
+	1e6, 2.5e6, 5e6, 10e6, 25e6, 50e6, 100e6, 250e6, 500e6,
+	1e9, 2.5e9, 5e9, 10e9,
+}
+
+// SizeBuckets is the default size bucket layout, in bytes: 1 KiB to
+// 64 MiB, 4x apart — chunk-sized payloads land mid-range.
+var SizeBuckets = []int64{
+	1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+	1 << 20, 4 << 20, 16 << 20, 64 << 20,
+}
+
+// Histogram is a fixed-bucket histogram with a lock-free Observe:
+// per-bucket atomic counts plus an atomic sum and total. Snapshots
+// read the atomics without stopping writers, so a snapshot taken
+// during a burst may be internally skewed by in-flight observations —
+// fine for monitoring, documented so tests quiesce first.
+type Histogram struct {
+	unit    Unit
+	bounds  []int64 // ascending upper bounds; an implicit +Inf bucket follows
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func newHistogram(unit Unit, bounds []int64) *Histogram {
+	return &Histogram{
+		unit:    unit,
+		bounds:  bounds,
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value in the histogram's native unit
+// (nanoseconds for Seconds histograms, bytes for Bytes histograms).
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the elapsed time since start; a convenience
+// for the common defer-style latency observation.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(int64(time.Since(start)))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values in the native unit.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// HistogramSnapshot is a point-in-time view of a histogram.
+type HistogramSnapshot struct {
+	Unit    Unit
+	Bounds  []int64 // upper bounds; Buckets has one more entry (+Inf)
+	Buckets []int64 // non-cumulative per-bucket counts
+	Count   int64
+	Sum     int64
+}
+
+// Snapshot reads the histogram's atomics. See the type comment for
+// the consistency caveat.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Unit:    h.unit,
+		Bounds:  h.bounds,
+		Buckets: make([]int64, len(h.buckets)),
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// metricKind tags registry entries for exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered series: a full name (which may carry a
+// {label="value"} suffix), an optional help string set by the first
+// registration of the family, and the instrument.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	ctr  *Counter
+	gge  *Gauge
+	hst  *Histogram
+}
+
+// family splits a series name into its family (the part before any
+// label braces) and the label suffix ("" when unlabelled).
+func family(name string) (string, string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// Registry is a named collection of metrics. Get-or-create lookups
+// take a short mutex; the returned instruments are lock-free, so call
+// sites cache the handle (typically in a package-level var) and never
+// touch the map on the hot path.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*metric
+	ordered []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// Default is the process-wide registry every package instruments
+// against; the daemon debug mux exposes it.
+var Default = NewRegistry()
+
+func (r *Registry) get(name, help string, kind metricKind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.ctr = &Counter{}
+	case kindGauge:
+		m.gge = &Gauge{}
+	}
+	r.byName[name] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// Counter returns the named counter, creating it on first use. name
+// follows Prometheus conventions (see doc.go); a registered name is
+// permanent for the life of the registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.get(name, help, kindCounter)
+	if m.ctr == nil {
+		panic("obs: " + name + " registered as a different kind")
+	}
+	return m.ctr
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.get(name, help, kindGauge)
+	if m.gge == nil {
+		panic("obs: " + name + " registered as a different kind")
+	}
+	return m.gge
+}
+
+// Histogram returns the named histogram, creating it on first use
+// with the given unit and bucket bounds. Later lookups of the same
+// name ignore the bounds arguments.
+func (r *Registry) Histogram(name, help string, unit Unit, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.hst == nil {
+			panic("obs: " + name + " registered as a different kind")
+		}
+		return m.hst
+	}
+	m := &metric{name: name, help: help, kind: kindHistogram, hst: newHistogram(unit, bounds)}
+	r.byName[name] = m
+	r.ordered = append(r.ordered, m)
+	return m.hst
+}
+
+// Sample is one series' value in a registry snapshot: exactly one of
+// Hist is non-nil (histograms) or Value is meaningful (counters and
+// gauges).
+type Sample struct {
+	Name  string
+	Kind  string // "counter", "gauge", "histogram"
+	Value int64
+	Hist  *HistogramSnapshot
+}
+
+// Snapshot returns every registered series, sorted by name. Used by
+// experiment dumps and the E12 invariant checks; exposition uses
+// WritePrometheus instead.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	ms := make([]*metric, len(r.ordered))
+	copy(ms, r.ordered)
+	r.mu.Unlock()
+
+	out := make([]Sample, 0, len(ms))
+	for _, m := range ms {
+		s := Sample{Name: m.name}
+		switch m.kind {
+		case kindCounter:
+			s.Kind, s.Value = "counter", m.ctr.Value()
+		case kindGauge:
+			s.Kind, s.Value = "gauge", m.gge.Value()
+		case kindHistogram:
+			h := m.hst.Snapshot()
+			s.Kind, s.Hist = "histogram", &h
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CounterValue returns the named counter's current value, or 0 when
+// it has not been registered — convenient for assertions that must
+// not themselves create series.
+func (r *Registry) CounterValue(name string) int64 {
+	r.mu.Lock()
+	m, ok := r.byName[name]
+	r.mu.Unlock()
+	if !ok || m.ctr == nil {
+		return 0
+	}
+	return m.ctr.Value()
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines while snapshots are being taken, then checks the final
+// totals are exact: Observe must lose nothing under contention.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram(Seconds, TimeBuckets)
+	const (
+		writers = 8
+		perG    = 20000
+	)
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		snaps.Add(1)
+		go func() {
+			defer snaps.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Snapshot()
+				var sum int64
+				for _, b := range s.Buckets {
+					sum += b
+				}
+				// A snapshot races individual observations, but bucket
+				// totals can never exceed the global count read after them.
+				if c := h.Count(); sum > c+writers*2 {
+					t.Errorf("snapshot buckets sum %d far ahead of count %d", sum, c)
+					return
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Spread observations across buckets deterministically.
+				h.Observe(int64(i%len(TimeBuckets))*100e3 + 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+
+	s := h.Snapshot()
+	if want := int64(writers * perG); s.Count != want {
+		t.Fatalf("Count = %d, want %d", s.Count, want)
+	}
+	var sum int64
+	for _, b := range s.Buckets {
+		sum += b
+	}
+	if want := int64(writers * perG); sum != want {
+		t.Fatalf("bucket sum = %d, want %d", sum, want)
+	}
+}
+
+// TestPrometheusExposition is the golden test for the text format:
+// counters, gauges, labelled series sharing one family, and a
+// histogram with cumulative buckets and unit scaling.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gdn_test_ops_total", "ops served").Add(3)
+	r.Counter(`gdn_test_responses_total{class="2xx"}`, "responses by class").Add(7)
+	r.Counter(`gdn_test_responses_total{class="5xx"}`, "responses by class").Add(1)
+	r.Gauge("gdn_test_inflight", "in-flight requests").Set(2)
+	h := r.Histogram("gdn_test_latency_seconds", "op latency", Seconds, []int64{1e6, 10e6})
+	h.Observe(5e5)  // 0.5ms -> first bucket
+	h.Observe(5e6)  // 5ms   -> second bucket
+	h.Observe(50e6) // 50ms  -> +Inf bucket
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP gdn_test_inflight in-flight requests
+# TYPE gdn_test_inflight gauge
+gdn_test_inflight 2
+# HELP gdn_test_latency_seconds op latency
+# TYPE gdn_test_latency_seconds histogram
+gdn_test_latency_seconds_bucket{le="0.001"} 1
+gdn_test_latency_seconds_bucket{le="0.01"} 2
+gdn_test_latency_seconds_bucket{le="+Inf"} 3
+gdn_test_latency_seconds_sum 0.0555
+gdn_test_latency_seconds_count 3
+# HELP gdn_test_ops_total ops served
+# TYPE gdn_test_ops_total counter
+gdn_test_ops_total 3
+# HELP gdn_test_responses_total responses by class
+# TYPE gdn_test_responses_total counter
+gdn_test_responses_total{class="2xx"} 7
+gdn_test_responses_total{class="5xx"} 1
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCounterValueAbsent(t *testing.T) {
+	r := NewRegistry()
+	if v := r.CounterValue("gdn_never_registered_total"); v != 0 {
+		t.Fatalf("CounterValue = %d, want 0", v)
+	}
+	if len(r.Snapshot()) != 0 {
+		t.Fatal("CounterValue must not create series")
+	}
+}
+
+// TestSpanTree checks hop regeneration: children share the trace ID,
+// get fresh span IDs, and record their parent.
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.StartTrace("edge")
+	child := tr.StartSpan(root.Context(), "hop1")
+	grand := tr.StartSpan(child.Context(), "hop2")
+	time.Sleep(time.Millisecond)
+	grand.End()
+	child.End()
+	root.End()
+
+	recs := tr.Recent()
+	if len(recs) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(recs))
+	}
+	byName := make(map[string]SpanRecord)
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	rootR, childR, grandR := byName["edge"], byName["hop1"], byName["hop2"]
+	if childR.Trace != rootR.Trace || grandR.Trace != rootR.Trace {
+		t.Fatal("trace ID not shared down the chain")
+	}
+	if childR.Span == rootR.Span || grandR.Span == childR.Span {
+		t.Fatal("span IDs must be regenerated at each hop")
+	}
+	if childR.Parent != rootR.Span || grandR.Parent != childR.Span {
+		t.Fatal("parent links broken")
+	}
+	if grandR.Duration <= 0 {
+		t.Fatal("duration not stamped")
+	}
+}
+
+// TestNoopSpan checks the untraced fast path: invalid parents yield
+// nil spans whose whole API is safe and records nothing.
+func TestNoopSpan(t *testing.T) {
+	tr := NewTracer(4)
+	sp := tr.StartSpan(SpanContext{}, "ignored")
+	if sp != nil {
+		t.Fatal("invalid parent must yield a nil span")
+	}
+	sp.SetError(fmt.Errorf("x"))
+	if sp.Context().Valid() {
+		t.Fatal("nil span context must be invalid")
+	}
+	sp.End()
+	if got := len(tr.Recent()); got != 0 {
+		t.Fatalf("nil span recorded %d spans", got)
+	}
+}
+
+// TestTracesJSON checks grouping, ordering, and the rendered shape.
+func TestTracesJSON(t *testing.T) {
+	tr := NewTracer(16)
+	a := tr.StartTrace("download A")
+	tr.StartSpan(a.Context(), "replica").End()
+	a.End()
+	b := tr.StartTrace("download B")
+	b.End()
+
+	var out struct {
+		Traces []struct {
+			Trace string `json:"trace"`
+			Spans []struct {
+				Name   string  `json:"name"`
+				Parent string  `json:"parent"`
+				Ms     float64 `json:"ms"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(tr.TracesJSON(10), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(out.Traces))
+	}
+	// Newest first.
+	if got := out.Traces[0].Spans[0].Name; got != "download B" {
+		t.Fatalf("first trace is %q, want the newest (download B)", got)
+	}
+	two := out.Traces[1]
+	if len(two.Spans) != 2 {
+		t.Fatalf("trace A has %d spans, want 2", len(two.Spans))
+	}
+	if want := fmt.Sprintf("%016x", a.Context().Trace); two.Trace != want {
+		t.Fatalf("trace ID %s, want %s", two.Trace, want)
+	}
+	names := []string{two.Spans[0].Name, two.Spans[1].Name}
+	if !strings.Contains(strings.Join(names, ","), "replica") {
+		t.Fatalf("child span missing from trace A: %v", names)
+	}
+}
+
+// TestRingBound checks the ring overwrites oldest-first at capacity.
+func TestRingBound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		s := tr.StartTrace(fmt.Sprintf("t%d", i))
+		s.End()
+	}
+	recs := tr.Recent()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recs))
+	}
+	if recs[0].Name != "t2" || recs[3].Name != "t5" {
+		t.Fatalf("ring order wrong: %q..%q", recs[0].Name, recs[3].Name)
+	}
+}

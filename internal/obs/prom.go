@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE pair per
+// metric family, then every series of the family. Histograms emit the
+// conventional cumulative _bucket series with an le label merged into
+// any labels the series name already carries, plus _sum and _count,
+// with Seconds histograms scaled from their native nanoseconds.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	samples := r.Snapshot()
+
+	// Group into families, preserving the sorted-by-name order.
+	type fam struct {
+		name, help, kind string
+		samples          []Sample
+	}
+	var fams []*fam
+	byName := make(map[string]*fam)
+	for _, s := range samples {
+		fname, _ := family(s.Name)
+		f, ok := byName[fname]
+		if !ok {
+			f = &fam{name: fname, kind: s.Kind, help: helpFor(r, s.Name)}
+			byName[fname] = f
+			fams = append(fams, f)
+		}
+		f.samples = append(f.samples, s)
+	}
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.samples {
+			var err error
+			if s.Hist != nil {
+				err = writeHistogram(w, s)
+			} else {
+				_, err = fmt.Fprintf(w, "%s %d\n", s.Name, s.Value)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// helpFor finds the help string registered for a series name.
+func helpFor(r *Registry, name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		return m.help
+	}
+	return ""
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// withLabel appends one label to a series name that may already carry
+// a {..} label suffix.
+func withLabel(name, label, value string) string {
+	fname, labels := family(name)
+	if labels == "" {
+		return fmt.Sprintf("%s{%s=%q}", fname, label, value)
+	}
+	// "{a="b"}" -> "{a="b",le="x"}"
+	return fmt.Sprintf("%s,%s=%q}", strings.TrimSuffix(name, "}"), label, value)
+}
+
+// formatBound renders a bucket's upper bound in the exposition unit.
+func formatBound(bound int64, u Unit) string {
+	v := float64(bound) * u.scale()
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeHistogram(w io.Writer, s Sample) error {
+	h := s.Hist
+	fname, _ := family(s.Name)
+	var cum int64
+	for i, b := range h.Bounds {
+		cum += h.Buckets[i]
+		name := withLabel(s.Name, "le", formatBound(b, h.Unit))
+		if _, err := fmt.Fprintf(w, "%s %d\n", strings.Replace(name, fname, fname+"_bucket", 1), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.Buckets[len(h.Bounds)]
+	inf := withLabel(s.Name, "le", "+Inf")
+	if _, err := fmt.Fprintf(w, "%s %d\n", strings.Replace(inf, fname, fname+"_bucket", 1), cum); err != nil {
+		return err
+	}
+	sum := strconv.FormatFloat(float64(h.Sum)*h.Unit.scale(), 'g', -1, 64)
+	fsum, labels := family(s.Name)
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fsum, labels, sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", fsum, labels, cum)
+	return err
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanContext identifies one span within one trace: 16 bytes on the
+// wire (trace ID then span ID, both uint64). The zero value means
+// "untraced" and every instrumentation site treats it as a no-op, so
+// requests that never started a trace pay nothing — no extra wire
+// bytes, no ring writes.
+type SpanContext struct {
+	Trace uint64
+	Span  uint64
+}
+
+// Valid reports whether the context belongs to a live trace.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 }
+
+// Span is one timed operation within a trace. End records it into
+// the tracer's ring; a nil *Span is a no-op, so call sites need no
+// traced/untraced branches.
+type Span struct {
+	tracer *Tracer
+	sc     SpanContext
+	parent uint64
+	name   string
+	start  time.Time
+	err    string
+}
+
+// Context returns the span's context, for propagation to children
+// and across process hops. Safe on a nil span (returns the zero,
+// untraced context).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// SetError annotates the span with a failure before End.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.err = err.Error()
+}
+
+// End stamps the span's duration and records it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tracer.record(SpanRecord{
+		Trace:    s.sc.Trace,
+		Span:     s.sc.Span,
+		Parent:   s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+		Err:      s.err,
+	})
+}
+
+// SpanRecord is one completed span as stored in the ring.
+type SpanRecord struct {
+	Trace    uint64
+	Span     uint64
+	Parent   uint64 // 0 for root spans
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Err      string
+}
+
+// defaultRingSize bounds the recent-span ring: enough for a few
+// hundred multi-hop requests, small enough that the ring is a fixed
+// ~1 MB no matter how long the daemon runs.
+const defaultRingSize = 4096
+
+// Tracer records completed spans into a bounded ring, newest
+// overwriting oldest. Recording takes one short mutex — only traced
+// requests pay it.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int
+	full bool
+}
+
+// NewTracer returns a tracer with a ring of n spans (n <= 0 selects
+// the default size).
+func NewTracer(n int) *Tracer {
+	if n <= 0 {
+		n = defaultRingSize
+	}
+	return &Tracer{ring: make([]SpanRecord, n)}
+}
+
+// DefaultTracer is the process-wide tracer; the daemon debug mux
+// serves its recent traces.
+var DefaultTracer = NewTracer(0)
+
+func (t *Tracer) record(r SpanRecord) {
+	t.mu.Lock()
+	t.ring[t.next] = r
+	t.next++
+	if t.next == len(t.ring) {
+		t.next, t.full = 0, true
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns the ring's contents, oldest first.
+func (t *Tracer) Recent() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		out := make([]SpanRecord, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]SpanRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// newID returns a non-zero random 64-bit ID.
+func newID() uint64 {
+	for {
+		if id := rand.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
+// StartTrace begins a new trace rooted at a span with the given name,
+// recorded into t when ended.
+func (t *Tracer) StartTrace(name string) *Span {
+	return &Span{
+		tracer: t,
+		sc:     SpanContext{Trace: newID(), Span: newID()},
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// StartSpan begins a child span of parent: a fresh span ID under the
+// same trace — the "regenerated span at each hop" of the RPC
+// propagation. An invalid parent returns nil (a no-op span), which is
+// how untraced requests skip all recording.
+func (t *Tracer) StartSpan(parent SpanContext, name string) *Span {
+	if !parent.Valid() {
+		return nil
+	}
+	return &Span{
+		tracer: t,
+		sc:     SpanContext{Trace: parent.Trace, Span: newID()},
+		parent: parent.Span,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// StartTrace begins a new trace on the default tracer.
+func StartTrace(name string) *Span { return DefaultTracer.StartTrace(name) }
+
+// StartSpan begins a child span on the default tracer; nil (no-op)
+// when parent is invalid.
+func StartSpan(parent SpanContext, name string) *Span { return DefaultTracer.StartSpan(parent, name) }
+
+// TracesJSON renders the default tracer's recent traces.
+func TracesJSON(limit int) []byte { return DefaultTracer.TracesJSON(limit) }
+
+// jsonSpan is the exposition shape of one span.
+type jsonSpan struct {
+	Span    string  `json:"span"`
+	Parent  string  `json:"parent,omitempty"`
+	Name    string  `json:"name"`
+	StartUS int64   `json:"start_us"` // microseconds into the trace
+	Ms      float64 `json:"ms"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// jsonTrace is the exposition shape of one trace.
+type jsonTrace struct {
+	Trace string     `json:"trace"`
+	Start time.Time  `json:"start"`
+	Spans []jsonSpan `json:"spans"`
+}
+
+// TracesJSON renders the ring's recent traces as JSON, newest trace
+// first, at most limit traces (limit <= 0 selects 50). Spans within a
+// trace are ordered by start time, so a multi-hop request reads top
+// to bottom as its hop chain.
+func (t *Tracer) TracesJSON(limit int) []byte {
+	if limit <= 0 {
+		limit = 50
+	}
+	recs := t.Recent()
+	byTrace := make(map[uint64][]SpanRecord)
+	for _, r := range recs {
+		byTrace[r.Trace] = append(byTrace[r.Trace], r)
+	}
+	traces := make([]jsonTrace, 0, len(byTrace))
+	for id, spans := range byTrace {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+		jt := jsonTrace{Trace: fmt.Sprintf("%016x", id), Start: spans[0].Start}
+		for _, s := range spans {
+			js := jsonSpan{
+				Span:    fmt.Sprintf("%016x", s.Span),
+				Name:    s.Name,
+				StartUS: s.Start.Sub(jt.Start).Microseconds(),
+				Ms:      float64(s.Duration) / float64(time.Millisecond),
+				Err:     s.Err,
+			}
+			if s.Parent != 0 {
+				js.Parent = fmt.Sprintf("%016x", s.Parent)
+			}
+			jt.Spans = append(jt.Spans, js)
+		}
+		traces = append(traces, jt)
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i].Start.After(traces[j].Start) })
+	if len(traces) > limit {
+		traces = traces[:limit]
+	}
+	b, err := json.MarshalIndent(struct {
+		Traces []jsonTrace `json:"traces"`
+	}{traces}, "", "  ")
+	if err != nil {
+		// The shape above cannot fail to marshal; keep the contract total.
+		return []byte(`{"traces":[]}`)
+	}
+	return b
+}

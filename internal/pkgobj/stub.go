@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gdn/internal/core"
+	"gdn/internal/obs"
 	"gdn/internal/store"
 	"gdn/internal/wire"
 )
@@ -278,6 +279,12 @@ const streamChunkSize = int64(DefaultChunkSize)
 // arrives as a frame stream over one call; otherwise it degrades to a
 // sequence of chunk reads. It returns the byte count written.
 func (s *Stub) ReadFileTo(w io.Writer, path string) (int64, error) {
+	return s.ReadFileToT(obs.SpanContext{}, w, path)
+}
+
+// ReadFileToT is ReadFileTo carrying a trace context, so the bulk
+// stream (and any upstream fill it triggers) joins the caller's trace.
+func (s *Stub) ReadFileToT(tc obs.SpanContext, w io.Writer, path string) (int64, error) {
 	h := sha256.New()
 	var written int64
 	sink := func(p []byte) error {
@@ -288,7 +295,7 @@ func (s *Stub) ReadFileTo(w io.Writer, path string) (int64, error) {
 	}
 
 	if br, ok := s.lr.Replication().(core.BulkReader); ok {
-		m, cost, err := br.ReadBulk(path, 0, -1, sink)
+		m, cost, err := br.ReadBulk(tc, path, 0, -1, sink)
 		s.mu.Lock()
 		s.cost += cost
 		s.mu.Unlock()
@@ -343,6 +350,11 @@ func (s *Stub) ReadFileTo(w io.Writer, path string) (int64, error) {
 // against the digest themselves (it rides the X-GDN-Digest header on
 // the HTTP path).
 func (s *Stub) ReadFileRangeTo(w io.Writer, path string, off, n int64) (int64, error) {
+	return s.ReadFileRangeToT(obs.SpanContext{}, w, path, off, n)
+}
+
+// ReadFileRangeToT is ReadFileRangeTo carrying a trace context.
+func (s *Stub) ReadFileRangeToT(tc obs.SpanContext, w io.Writer, path string, off, n int64) (int64, error) {
 	var written int64
 	sink := func(p []byte) error {
 		m, err := w.Write(p)
@@ -350,7 +362,7 @@ func (s *Stub) ReadFileRangeTo(w io.Writer, path string, off, n int64) (int64, e
 		return err
 	}
 	if br, ok := s.lr.Replication().(core.BulkReader); ok {
-		_, cost, err := br.ReadBulk(path, off, n, sink)
+		_, cost, err := br.ReadBulk(tc, path, off, n, sink)
 		s.addCost(cost)
 		return written, err
 	}

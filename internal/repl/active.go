@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gdn/internal/core"
+	"gdn/internal/obs"
 	"gdn/internal/rpc"
 	"gdn/internal/store"
 	"gdn/internal/wire"
@@ -197,7 +198,7 @@ func newActivePeer(env *core.Env) (core.Replication, error) {
 	}
 	p := &activePeer{replicaBase: newReplicaBase(env), seqAddr: seqs[0].Address}
 
-	_, version, state, pins, _, err := p.fetchState(p.peer(p.seqAddr), 0)
+	_, version, state, pins, _, err := p.fetchState(obs.SpanContext{}, p.peer(p.seqAddr), 0)
 	if err != nil {
 		return nil, fmt.Errorf("repl: %s peer: initial state transfer: %w", Active, err)
 	}
@@ -284,7 +285,7 @@ func (p *activePeer) apply(call *rpc.Call) error {
 		p.version = version
 		return nil
 	default:
-		fresh, v, state, pins, cost, err := p.fetchState(p.peer(p.seqAddr), p.version)
+		fresh, v, state, pins, cost, err := p.fetchState(call.TC, p.peer(p.seqAddr), p.version)
 		call.Charge(cost)
 		if err != nil {
 			return fmt.Errorf("repl: %s peer: resync after gap: %w", Active, err)
@@ -343,8 +344,8 @@ func (p *activeProxy) Invoke(inv core.Invocation) ([]byte, time.Duration, error)
 
 // ReadBulk implements core.BulkReader by streaming from a read peer,
 // resuming on the next candidate when one dies mid-stream.
-func (p *activeProxy) ReadBulk(path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
-	return streamBulkVia(p.peers, path, off, n, fn)
+func (p *activeProxy) ReadBulk(tc obs.SpanContext, path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
+	return streamBulkVia(tc, p.peers, path, off, n, fn)
 }
 
 // roster fetches the full replica roster (sequencer first) through any

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gdn/internal/core"
+	"gdn/internal/obs"
 	"gdn/internal/rpc"
 )
 
@@ -184,7 +185,7 @@ func (c *CacheReplica) Invoke(inv core.Invocation) ([]byte, time.Duration, error
 		}
 		return resp, cost, err
 	}
-	cost, err := c.ensureFresh()
+	cost, err := c.ensureFresh(obs.SpanContext{})
 	if err != nil {
 		return nil, cost, err
 	}
@@ -195,12 +196,12 @@ func (c *CacheReplica) Invoke(inv core.Invocation) ([]byte, time.Duration, error
 // ReadBulk implements core.BulkReader: the cache fills (or
 // revalidates) first, then streams from its local copy — repeated
 // downloads through a GDN proxy cost no upstream traffic.
-func (c *CacheReplica) ReadBulk(path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
-	cost, err := c.ensureFresh()
+func (c *CacheReplica) ReadBulk(tc obs.SpanContext, path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
+	cost, err := c.ensureFresh(tc)
 	if err != nil {
 		return core.Manifest{}, cost, err
 	}
-	m, readCost, err := c.readLocalBulk(path, off, n, fn)
+	m, readCost, err := c.readLocalBulk(tc, path, off, n, fn)
 	return m, cost + readCost, err
 }
 
@@ -246,7 +247,7 @@ func (c *CacheReplica) followParent(servedBy string) {
 // ensureFresh guarantees the local copy is usable under the configured
 // coherence mode, fetching or revalidating as needed — against the
 // best-ranked live parent, not a bind-time pin.
-func (c *CacheReplica) ensureFresh() (time.Duration, error) {
+func (c *CacheReplica) ensureFresh(tc obs.SpanContext) (time.Duration, error) {
 	c.cacheMu.Lock()
 	defer c.cacheMu.Unlock()
 
@@ -261,11 +262,12 @@ func (c *CacheReplica) ensureFresh() (time.Duration, error) {
 		}
 		if !stale {
 			c.stats.Hits++
+			mCacheHits.Inc()
 			return 0, nil
 		}
 		// TTL (or subscription lease) expired: revalidate against a
 		// parent by version.
-		servedBy, fresh, version, state, pins, cost, err := c.fetchStateVia(c.parents, c.currentVersion())
+		servedBy, fresh, version, state, pins, cost, err := c.fetchStateVia(tc, c.parents, c.currentVersion())
 		if err != nil {
 			if c.mode == ModeInvalidate {
 				// No parent reachable to confirm the subscription. Keep
@@ -275,6 +277,7 @@ func (c *CacheReplica) ensureFresh() (time.Duration, error) {
 				// failed fetch on every read.
 				c.checkedAt = now
 				c.stats.Hits++
+				mCacheHits.Inc()
 				c.env.Logf("repl: %s: subscription check failed, serving cached copy: %v", Cache, err)
 				return cost, nil
 			}
@@ -293,6 +296,7 @@ func (c *CacheReplica) ensureFresh() (time.Duration, error) {
 		if fresh {
 			c.releasePins(pins)
 			c.stats.Revalidations++
+			mCacheRevalidations.Inc()
 			return cost, nil
 		}
 		err = c.env.Exec.UnmarshalState(state)
@@ -302,10 +306,11 @@ func (c *CacheReplica) ensureFresh() (time.Duration, error) {
 		}
 		c.setVersion(version)
 		c.stats.Misses++
+		mCacheMisses.Inc()
 		return cost, nil
 	}
 
-	servedBy, _, version, state, pins, cost, err := c.fetchStateVia(c.parents, 0)
+	servedBy, _, version, state, pins, cost, err := c.fetchStateVia(tc, c.parents, 0)
 	if err != nil {
 		return cost, fmt.Errorf("repl: %s: fill: %w", Cache, err)
 	}
@@ -322,6 +327,7 @@ func (c *CacheReplica) ensureFresh() (time.Duration, error) {
 		c.checkedAt = now
 	}
 	c.stats.Misses++
+	mCacheMisses.Inc()
 	return cost, nil
 }
 
@@ -363,7 +369,7 @@ func (c *CacheReplica) handle(call *rpc.Call) ([]byte, error) {
 	if call.Op == core.OpBulkRead {
 		// A registered cache serves streamed reads to other clients;
 		// fill or revalidate before the base handler reads local state.
-		cost, err := c.ensureFresh()
+		cost, err := c.ensureFresh(call.TC)
 		call.Charge(cost)
 		if err != nil {
 			return nil, err
@@ -409,6 +415,7 @@ func (c *CacheReplica) handle(call *rpc.Call) ([]byte, error) {
 		c.haveState = false
 		c.stats.Invalidations++
 		c.cacheMu.Unlock()
+		mInvalidations.Inc()
 		return nil, nil
 	default:
 		return nil, fmt.Errorf("repl: %s: unexpected op %d", Cache, call.Op)

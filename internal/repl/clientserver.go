@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gdn/internal/core"
+	"gdn/internal/obs"
 	"gdn/internal/rpc"
 	"gdn/internal/store"
 )
@@ -129,8 +130,8 @@ func (p *forwardingProxy) Invoke(inv core.Invocation) ([]byte, time.Duration, er
 // ReadBulk implements core.BulkReader by streaming from a forwarded
 // representative, resuming at the current offset on another replica
 // when one dies mid-stream.
-func (p *forwardingProxy) ReadBulk(path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
-	return streamBulkVia(p.peers, path, off, n, fn)
+func (p *forwardingProxy) ReadBulk(tc obs.SpanContext, path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
+	return streamBulkVia(tc, p.peers, path, off, n, fn)
 }
 
 // MissingChunks and PushChunks implement core.ChunkNegotiator: every

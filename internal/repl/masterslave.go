@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gdn/internal/core"
+	"gdn/internal/obs"
 	"gdn/internal/rpc"
 	"gdn/internal/store"
 )
@@ -167,7 +168,7 @@ func newMSSlave(env *core.Env) (core.Replication, error) {
 
 	// State transfer, then subscription; a push racing between the two
 	// only delivers a version we already have or newer.
-	_, version, state, pins, _, err := s.fetchState(s.peer(s.masterAddr), 0)
+	_, version, state, pins, _, err := s.fetchState(obs.SpanContext{}, s.peer(s.masterAddr), 0)
 	if err != nil {
 		return nil, fmt.Errorf("repl: %s slave: initial state transfer: %w", MasterSlave, err)
 	}
@@ -244,7 +245,7 @@ func (s *msSlave) handle(call *rpc.Call) ([]byte, error) {
 		// missing back from the master before installing — the delta
 		// that makes an append to a huge package cost only the
 		// appended chunks, not a full-state reship.
-		pins, cost, err := s.fillChunks(s.peer(s.masterAddr), state)
+		pins, cost, err := s.fillChunks(call.TC, s.peer(s.masterAddr), state)
 		call.Charge(cost)
 		if err != nil {
 			return nil, err
@@ -287,8 +288,8 @@ func (p *msProxy) Invoke(inv core.Invocation) ([]byte, time.Duration, error) {
 
 // ReadBulk implements core.BulkReader by streaming from a read
 // replica, resuming on the next candidate when one dies mid-stream.
-func (p *msProxy) ReadBulk(path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
-	return streamBulkVia(p.peers, path, off, n, fn)
+func (p *msProxy) ReadBulk(tc obs.SpanContext, path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
+	return streamBulkVia(tc, p.peers, path, off, n, fn)
 }
 
 // MissingChunks and PushChunks implement core.ChunkNegotiator. The

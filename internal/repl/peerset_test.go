@@ -3,13 +3,16 @@ package repl
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"gdn/internal/core"
 	"gdn/internal/gls"
 	"gdn/internal/ids"
+	"gdn/internal/obs"
 	"gdn/internal/pkgobj"
 	"gdn/internal/rpc"
 	"gdn/internal/store"
@@ -266,14 +269,18 @@ func TestBulkReadResumesMidStreamOnReplicaDeath(t *testing.T) {
 
 	// Stream the file; after the first frame lands, crash the replica
 	// serving it (reads prefer the slave). The stream must resume on
-	// the master at the exact byte position already delivered.
+	// the master at the exact byte position already delivered. The read
+	// carries a trace so the resumed stream's spans can be checked for
+	// continuity below.
+	root := obs.StartTrace("test.failover-read")
 	var got bytes.Buffer
 	var killOnce sync.Once
-	m, _, err := p.(core.BulkReader).ReadBulk("blob", 0, -1, func(b []byte) error {
+	m, _, err := p.(core.BulkReader).ReadBulk(root.Context(), "blob", 0, -1, func(b []byte) error {
 		got.Write(b)
 		killOnce.Do(func() { f.net.SetDown("eu-client", true) })
 		return nil
 	})
+	root.End()
 	if err != nil {
 		t.Fatalf("bulk read across replica death: %v", err)
 	}
@@ -285,5 +292,63 @@ func TestBulkReadResumesMidStreamOnReplicaDeath(t *testing.T) {
 	}
 	if fo := mp.Peers().Failovers(); fo != 1 {
 		t.Fatalf("failovers = %d, want exactly 1 (one retried request)", fo)
+	}
+
+	// Trace continuity across the failover: both stream attempts (the
+	// one the crash cut short and the resumed one) must have recorded
+	// spans under the same trace ID.
+	var streamSpans int
+	for _, rec := range obs.DefaultTracer.Recent() {
+		if rec.Trace == root.Context().Trace && rec.Name == "repl.stream blob" {
+			streamSpans++
+		}
+	}
+	if streamSpans != 2 {
+		t.Fatalf("repl.stream spans in trace = %d, want 2 (original + resumed)", streamSpans)
+	}
+}
+
+func TestRelayedChunkOpsPropagateTrace(t *testing.T) {
+	// The relay path is where a trace most easily goes dark: the cache
+	// answers OpChunkHave by making a fresh outbound call to its
+	// parent, and only call.TC threads the incoming trace into it. A
+	// traced negotiation through the cache must therefore record a
+	// server-side span at both hops under one trace ID.
+	f := newFixture(t, nil)
+	pkgobj.Register(f.rts["origin"].Registry())
+	oid := ids.New()
+
+	_, serverCA, err := newPkgReplica(f, oid, "origin", ClientServer, RoleServer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := newPkgReplica(f, oid, "eu-client", Cache, RoleCache, []gls.ContactAddress{serverCA}); err != nil {
+		t.Fatal(err)
+	}
+
+	pc := core.DialPeer(f.net, "us-client", oid, "eu-client:objects", nil)
+	defer pc.Close()
+
+	root := obs.StartTrace("test.chunk-negotiate")
+	refs := []store.Ref{store.RefOf([]byte("chunk nobody has"))}
+	missing, _, err := core.MissingChunksVia(func(body []byte) ([]byte, time.Duration, error) {
+		return pc.CallT(root.Context(), core.OpChunkHave, body)
+	}, refs)
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 {
+		t.Fatalf("missing = %v, want the one absent ref", missing)
+	}
+
+	var serveSpans int
+	for _, rec := range obs.DefaultTracer.Recent() {
+		if rec.Trace == root.Context().Trace && strings.HasPrefix(rec.Name, "rpc.serve op") {
+			serveSpans++
+		}
+	}
+	if serveSpans != 2 {
+		t.Fatalf("rpc.serve spans in trace = %d, want 2 (cache hop + relayed parent hop)", serveSpans)
 	}
 }

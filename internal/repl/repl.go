@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"gdn/internal/core"
+	"gdn/internal/obs"
 	"gdn/internal/rpc"
 	"gdn/internal/sec"
 	"gdn/internal/store"
@@ -368,7 +369,7 @@ func (rb *replicaBase) handleChunkPut(call *rpc.Call) ([]byte, error) {
 func (rb *replicaBase) relayChunkOps(call *rpc.Call, upstream string) (handled bool, resp []byte, err error) {
 	switch call.Op {
 	case core.OpChunkHave:
-		resp, cost, err := rb.peer(upstream).Call(core.OpChunkHave, call.Body)
+		resp, cost, err := rb.peer(upstream).CallT(call.TC, core.OpChunkHave, call.Body)
 		call.Charge(cost)
 		return true, resp, err
 	case core.OpChunkPut:
@@ -386,11 +387,11 @@ func (rb *replicaBase) relayChunkPut(call *rpc.Call, upstream string) ([]byte, e
 	ur := call.Upload()
 	if ur == nil {
 		// Unary batch shape: forward the body as-is.
-		resp, cost, err := rb.peer(upstream).Call(core.OpChunkPut, call.Body)
+		resp, cost, err := rb.peer(upstream).CallT(call.TC, core.OpChunkPut, call.Body)
 		call.Charge(cost)
 		return resp, err
 	}
-	us, err := rb.peer(upstream).CallUpload(core.OpChunkPut, nil)
+	us, err := rb.peer(upstream).CallUploadT(call.TC, core.OpChunkPut, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -479,7 +480,7 @@ func pushChunksTo(pc *core.PeerClient, chunks [][]byte) (time.Duration, error) {
 // chunks of a transfer larger than its budget before UnmarshalState
 // takes its own pins. The caller must Release the returned refs once
 // the state install (successful or not) is done.
-func (rb *replicaBase) fillChunks(parent *core.PeerClient, state []byte) (pinned []store.Ref, cost time.Duration, err error) {
+func (rb *replicaBase) fillChunks(tc obs.SpanContext, parent *core.PeerClient, state []byte) (pinned []store.Ref, cost time.Duration, err error) {
 	st := rb.env.Store
 	re, ok := rb.env.Exec.(core.RefExec)
 	if st == nil || !ok {
@@ -522,7 +523,7 @@ func (rb *replicaBase) fillChunks(parent *core.PeerClient, state []byte) (pinned
 		for _, ref := range batch {
 			w.Hash(ref)
 		}
-		resp, c, err := parent.Call(core.OpChunkGet, w.Bytes())
+		resp, c, err := parent.CallT(tc, core.OpChunkGet, w.Bytes())
 		cost += c
 		if err != nil {
 			return fail(fmt.Errorf("repl: fetch %d chunks: %w", len(batch), err))
@@ -552,6 +553,8 @@ func (rb *replicaBase) fillChunks(parent *core.PeerClient, state []byte) (pinned
 				return fail(fmt.Errorf("%w: asked for %s, parent sent %s",
 					store.ErrCorrupt, batch[i].Short(), got.Short()))
 			}
+			mFillChunks.Inc()
+			mFillBytes.Add(int64(len(data)))
 			pinned = append(pinned, got)
 		}
 		if err := r.Done(); err != nil {
@@ -590,7 +593,11 @@ func (rb *replicaBase) handleBulkRead(call *rpc.Call) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := m.WalkRange(rb.env.Store, off, n, sw.Send); err != nil {
+	span := obs.StartSpan(call.TC, "store.walk "+path)
+	err = m.WalkRange(rb.env.Store, off, n, sw.Send)
+	span.SetError(err)
+	span.End()
+	if err != nil {
 		return nil, err
 	}
 	w := wire.NewWriter(48)
@@ -601,7 +608,7 @@ func (rb *replicaBase) handleBulkRead(call *rpc.Call) ([]byte, error) {
 
 // readLocalBulk is the replica-side core.BulkReader: it reads from
 // the co-resident store with no network traffic.
-func (rb *replicaBase) readLocalBulk(path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
+func (rb *replicaBase) readLocalBulk(tc obs.SpanContext, path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
 	be, ok := rb.env.Exec.(core.BulkExec)
 	if !ok || rb.env.Store == nil {
 		return core.Manifest{}, 0, core.ErrNoBulk
@@ -611,7 +618,11 @@ func (rb *replicaBase) readLocalBulk(path string, off, n int64, fn func([]byte) 
 		return core.Manifest{}, 0, err
 	}
 	defer rb.env.Store.Release(m.Refs())
-	if err := m.WalkRange(rb.env.Store, off, n, fn); err != nil {
+	span := obs.StartSpan(tc, "store.walk "+path)
+	err = m.WalkRange(rb.env.Store, off, n, fn)
+	span.SetError(err)
+	span.End()
+	if err != nil {
 		return m, 0, err
 	}
 	return m, 0, nil
@@ -621,19 +632,24 @@ func (rb *replicaBase) readLocalBulk(path string, off, n int64, fn func([]byte) 
 // embeds replicaBase (method promotion): the content is local, so the
 // read never touches the network. Protocol types whose local state
 // can be stale (the cache) override it.
-func (rb *replicaBase) ReadBulk(path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
-	return rb.readLocalBulk(path, off, n, fn)
+func (rb *replicaBase) ReadBulk(tc obs.SpanContext, path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
+	return rb.readLocalBulk(tc, path, off, n, fn)
 }
 
 // streamBulkFrom is the proxy-side core.BulkReader body: it opens an
 // OpBulkRead stream to a remote representative and feeds each frame
 // to fn. Peak buffering is one frame.
-func streamBulkFrom(pc *core.PeerClient, path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
+func streamBulkFrom(tc obs.SpanContext, pc *core.PeerClient, path string, off, n int64, fn func([]byte) error) (m core.Manifest, cost time.Duration, err error) {
+	span := obs.StartSpan(tc, "repl.stream "+path)
+	defer func() {
+		span.SetError(err)
+		span.End()
+	}()
 	w := wire.NewWriter(32 + len(path))
 	w.Str(path)
 	w.Int64(off)
 	w.Int64(n)
-	st, err := pc.CallStream(core.OpBulkRead, w.Bytes())
+	st, err := pc.CallStreamT(span.Context(), core.OpBulkRead, w.Bytes())
 	if err != nil {
 		return core.Manifest{}, 0, err
 	}
@@ -651,7 +667,7 @@ func streamBulkFrom(pc *core.PeerClient, path string, off, n int64, fn func([]by
 		}
 	}
 	r := wire.NewReader(st.Trailer())
-	m := core.Manifest{Size: r.Int64(), Digest: r.Hash()}
+	m = core.Manifest{Size: r.Int64(), Digest: r.Hash()}
 	if err := r.Done(); err != nil {
 		return core.Manifest{}, st.Cost(), err
 	}
@@ -665,7 +681,7 @@ func streamBulkFrom(pc *core.PeerClient, path string, off, n int64, fn func([]by
 // request instead of a failed download. Errors raised by fn itself
 // (the consumer) are terminal — retrying elsewhere would replay bytes
 // the consumer already took.
-func streamBulkVia(ps *core.PeerSet, path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
+func streamBulkVia(tc obs.SpanContext, ps *core.PeerSet, path string, off, n int64, fn func([]byte) error) (core.Manifest, time.Duration, error) {
 	var m core.Manifest
 	var delivered int64
 	cost, err := ps.Do(false, func(_ string, pc *core.PeerClient) (time.Duration, error) {
@@ -679,7 +695,7 @@ func streamBulkVia(ps *core.PeerSet, path string, off, n int64, fn func([]byte) 
 			}
 		}
 		var sinkErr error
-		got, c, err := streamBulkFrom(pc, path, off+delivered, remaining, func(p []byte) error {
+		got, c, err := streamBulkFrom(tc, pc, path, off+delivered, remaining, func(p []byte) error {
 			if err := fn(p); err != nil {
 				sinkErr = err
 				return err
@@ -772,10 +788,10 @@ func (rb *replicaBase) unsubscribeFrom(parentAddr, ownAddr string) {
 // so the caller can install the state directly. The returned pins
 // hold every referenced chunk against eviction; the caller passes
 // them to releasePins once the install is done.
-func (rb *replicaBase) fetchState(parent *core.PeerClient, haveVersion uint64) (fresh bool, version uint64, state []byte, pins []store.Ref, cost time.Duration, err error) {
+func (rb *replicaBase) fetchState(tc obs.SpanContext, parent *core.PeerClient, haveVersion uint64) (fresh bool, version uint64, state []byte, pins []store.Ref, cost time.Duration, err error) {
 	w := wire.NewWriter(8)
 	w.Uint64(haveVersion)
-	resp, cost, err := parent.Call(core.OpStateGet, w.Bytes())
+	resp, cost, err := parent.CallT(tc, core.OpStateGet, w.Bytes())
 	if err != nil {
 		return false, 0, nil, nil, cost, err
 	}
@@ -788,7 +804,7 @@ func (rb *replicaBase) fetchState(parent *core.PeerClient, haveVersion uint64) (
 	}
 	if !fresh {
 		var fillCost time.Duration
-		pins, fillCost, err = rb.fillChunks(parent, state)
+		pins, fillCost, err = rb.fillChunks(tc, parent, state)
 		cost += fillCost
 		if err != nil {
 			return false, 0, nil, nil, cost, err
@@ -802,9 +818,9 @@ func (rb *replicaBase) fetchState(parent *core.PeerClient, haveVersion uint64) (
 // and retries down the ranking when one is dead. The address that
 // actually served is returned so the caller can track its current
 // parent (an invalidation-mode cache re-subscribes there).
-func (rb *replicaBase) fetchStateVia(ps *core.PeerSet, haveVersion uint64) (servedBy string, fresh bool, version uint64, state []byte, pins []store.Ref, cost time.Duration, err error) {
+func (rb *replicaBase) fetchStateVia(tc obs.SpanContext, ps *core.PeerSet, haveVersion uint64) (servedBy string, fresh bool, version uint64, state []byte, pins []store.Ref, cost time.Duration, err error) {
 	cost, err = ps.Do(false, func(addr string, pc *core.PeerClient) (time.Duration, error) {
-		f, v, st, p, c, e := rb.fetchState(pc, haveVersion)
+		f, v, st, p, c, e := rb.fetchState(tc, pc, haveVersion)
 		if e == nil {
 			servedBy, fresh, version, state, pins = addr, f, v, st, p
 		}

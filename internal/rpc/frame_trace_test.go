@@ -1,0 +1,72 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+
+	"gdn/internal/obs"
+	"gdn/internal/wire"
+)
+
+// TestRequestFrameOldFormatCompat pins the wire compatibility contract
+// of the optional trace tail: an untraced request encodes to exactly
+// the pre-trace frame layout, and a frame from a peer predating trace
+// propagation (no 16-byte tail) decodes to an untraced call.
+func TestRequestFrameOldFormatCompat(t *testing.T) {
+	const id, op = uint64(7), uint16(42)
+	body := []byte("chunk request body")
+
+	// The seed frame layout: id, op, length-prefixed body. Nothing else.
+	old := wire.GetWriter(0)
+	defer old.Free()
+	old.Uint64(id)
+	old.Uint16(op)
+	old.Bytes32(body)
+
+	w := encodeRequest(id, op, body, obs.SpanContext{})
+	defer w.Free()
+	if !bytes.Equal(w.Bytes(), old.Bytes()) {
+		t.Fatalf("untraced request frame differs from the pre-trace layout:\n got %x\nwant %x",
+			w.Bytes(), old.Bytes())
+	}
+
+	gotID, call, err := decodeRequest(old.Bytes())
+	if err != nil {
+		t.Fatalf("decodeRequest(old frame): %v", err)
+	}
+	if gotID != id || call.Op != op || !bytes.Equal(call.Body, body) {
+		t.Fatalf("old frame decoded to id=%d op=%d body=%q", gotID, call.Op, call.Body)
+	}
+	if call.TC.Valid() {
+		t.Fatalf("old frame decoded to a traced call: %+v", call.TC)
+	}
+}
+
+// TestRequestFrameTraceRoundTrip checks the traced side of the same
+// contract: a valid span context rides the 16-byte tail and survives
+// encode/decode intact.
+func TestRequestFrameTraceRoundTrip(t *testing.T) {
+	tc := obs.SpanContext{Trace: 0xdeadbeefcafe, Span: 0x1234567890ab}
+	body := []byte("traced body")
+
+	w := encodeRequest(9, 3, body, tc)
+	defer w.Free()
+
+	untraced := encodeRequest(9, 3, body, obs.SpanContext{})
+	defer untraced.Free()
+	if w.Len() != untraced.Len()+traceTailLen {
+		t.Fatalf("traced frame is %d bytes, want untraced %d + tail %d",
+			w.Len(), untraced.Len(), traceTailLen)
+	}
+
+	_, call, err := decodeRequest(w.Bytes())
+	if err != nil {
+		t.Fatalf("decodeRequest(traced frame): %v", err)
+	}
+	if call.TC != tc {
+		t.Fatalf("trace context did not round-trip: got %+v, want %+v", call.TC, tc)
+	}
+	if !bytes.Equal(call.Body, body) {
+		t.Fatalf("body = %q, want %q", call.Body, body)
+	}
+}

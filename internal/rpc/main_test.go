@@ -1,0 +1,11 @@
+package rpc
+
+import (
+	"testing"
+
+	"gdn/internal/testutil"
+)
+
+// TestMain fails the suite when goroutines leak past the last test —
+// the whole-suite version of E12's teardown invariant.
+func TestMain(m *testing.M) { testutil.CheckMain(m) }

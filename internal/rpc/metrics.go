@@ -1,0 +1,40 @@
+package rpc
+
+import "gdn/internal/obs"
+
+// Registry handles for the rpc layer, cached once so the hot path
+// never touches the registry map. Dial outcomes cover the transport:
+// every connection a client opens goes through Client.dial.
+var (
+	mCallSeconds = obs.Default.Histogram("gdn_rpc_client_call_seconds",
+		"unary call round-trip latency, including queueing and retries",
+		obs.Seconds, obs.TimeBuckets)
+	mCallErrors = obs.Default.Counter("gdn_rpc_client_call_errors_total",
+		"unary calls that returned an error")
+	mRetries = obs.Default.Counter("gdn_rpc_client_retries_total",
+		"provably-unsent failures retried inside CallTimeout")
+	mTimeouts = obs.Default.Counter("gdn_rpc_client_timeouts_total",
+		"pending calls expired by the deadline sweeper")
+
+	mDialOK = obs.Default.Counter(`gdn_rpc_dials_total{outcome="ok"}`,
+		"transport dials by outcome")
+	mDialErr = obs.Default.Counter(`gdn_rpc_dials_total{outcome="err"}`,
+		"transport dials by outcome")
+	mDialBackoff = obs.Default.Counter(`gdn_rpc_dials_total{outcome="backoff"}`,
+		"transport dials by outcome (fast-failed inside the backoff gate)")
+
+	mCondemnedWedged = obs.Default.Counter(`gdn_rpc_conns_condemned_total{cause="wedged"}`,
+		"connections condemned after a full silent timeout window")
+	mSeqCondemned = obs.Default.Counter(`gdn_rpc_conns_condemned_total{cause="seqgap"}`,
+		"connections condemned by the sequence layer on a frame gap")
+	mSeqDups = obs.Default.Counter("gdn_rpc_seqconn_dup_frames_total",
+		"duplicate frames dropped by the sequence layer")
+	mSeqReorders = obs.Default.Counter("gdn_rpc_seqconn_reorders_total",
+		"one-frame reorders repaired by the sequence layer")
+
+	mServeSeconds = obs.Default.Histogram("gdn_rpc_server_op_seconds",
+		"server-side handler latency per dispatched request",
+		obs.Seconds, obs.TimeBuckets)
+	mServePanics = obs.Default.Counter("gdn_rpc_server_panics_total",
+		"handler panics converted to remote errors")
+)

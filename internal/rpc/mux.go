@@ -3,10 +3,12 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gdn/internal/obs"
 	"gdn/internal/transport"
 	"gdn/internal/wire"
 )
@@ -16,11 +18,13 @@ import (
 // pipelined calls onto an existing one.
 const pipelineTarget = 64
 
-// DefaultTimeout bounds a call when the client's Timeout field is left
-// zero (or set negative), so no operation can hang forever on a wedged
-// connection — the failure mode one-way partitions produce, where
-// requests flow out but responses never come back. Chaos experiments
-// lower it for the run.
+// DefaultTimeout seeds a Client's Timeout field at construction, so no
+// operation can hang forever on a wedged connection — the failure mode
+// one-way partitions produce, where requests flow out but responses
+// never come back. NewClient copies it exactly once; calls in flight
+// read only the client's own field (or WithTimeout's override), so
+// chaos experiments that lower the var around world construction never
+// race against live calls.
 var DefaultTimeout = 30 * time.Second
 
 // Dial backoff: after repeated failed dials the slot refuses further
@@ -64,10 +68,12 @@ type Client struct {
 	addr string
 	wrap ConnWrapper
 
-	// Timeout bounds one call once its connection is established. Zero
-	// or negative selects DefaultTimeout — every call has a deadline,
-	// so a wedged or one-way-partitioned connection can never park a
-	// caller forever.
+	// Timeout bounds one call once its connection is established.
+	// NewClient seeds it from DefaultTimeout; WithTimeout overrides it.
+	// Zero or negative (possible only on a hand-built Client) falls
+	// back to DefaultTimeout per call — every call has a deadline, so a
+	// wedged or one-way-partitioned connection can never park a caller
+	// forever.
 	Timeout time.Duration
 
 	// Retries is the per-call retry budget for provably-unsent
@@ -103,6 +109,18 @@ type ClientOption func(*Client)
 // dialed connection (e.g. the client side of a security channel).
 func WithClientWrapper(w ConnWrapper) ClientOption {
 	return func(c *Client) { c.wrap = w }
+}
+
+// WithTimeout overrides the construction-time default call timeout.
+// Chaos and e2e harnesses use it to bound calls tighter than
+// DefaultTimeout without mutating the package var while other clients
+// are live.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.Timeout = d
+		}
+	}
 }
 
 // WithMaxConns bounds the number of shared multiplexed connections
@@ -192,10 +210,12 @@ func (c *Client) dial(s *connSlot) (*muxConn, error) {
 		// error instead of hammering a dead remote. The wrapper keeps
 		// the underlying error visible to errors.Is, so failover
 		// classification is unchanged.
+		mDialBackoff.Inc()
 		return nil, &unsentError{fmt.Errorf("rpc: dial %s backed off (%d consecutive failures): %w", c.addr, s.fails, s.lastErr)}
 	}
 	raw, err := c.net.Dial(c.from, c.addr)
 	if err != nil {
+		mDialErr.Inc()
 		s.fails++
 		s.lastErr = err
 		s.nextTry = time.Now().Add(transport.Backoff(s.fails-dialBackoffAfter+1, dialBackoffBase, dialBackoffMax))
@@ -212,12 +232,14 @@ func (c *Client) dial(s *connSlot) (*muxConn, error) {
 			raw.Close()
 			// A failed upgrade exchanged frames with the remote, so it
 			// is not provably unsent — but it still arms the gate.
+			mDialErr.Inc()
 			s.fails++
 			s.lastErr = werr
 			s.nextTry = time.Now().Add(transport.Backoff(s.fails-dialBackoffAfter+1, dialBackoffBase, dialBackoffMax))
 			return nil, werr
 		}
 	}
+	mDialOK.Inc()
 	s.fails, s.lastErr, s.nextTry = 0, nil, time.Time{}
 	mc := newMuxConn(conn, c.addr)
 	s.mc.Store(mc)
@@ -230,29 +252,55 @@ func (c *Client) dial(s *connSlot) (*muxConn, error) {
 	return mc, nil
 }
 
+// timeout resolves the effective call deadline: the client's field,
+// seeded from DefaultTimeout at construction. The var is re-read only
+// for hand-built Clients whose field was left zero.
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultTimeout
+}
+
 // Call sends one request and waits for the response. The returned cost
 // is the virtual network cost of the full call tree: request frame,
 // the server's nested calls, and the response frame.
 func (c *Client) Call(op uint16, body []byte) (resp []byte, cost time.Duration, err error) {
-	return c.CallTimeout(op, body, c.Timeout)
+	return c.CallTimeoutT(obs.SpanContext{}, op, body, c.Timeout)
+}
+
+// CallT is Call carrying a trace context: the request is issued under
+// a fresh child span of tc (regenerated at this hop) that travels in
+// the frame's trace tail, and the round trip is recorded as a span.
+// An invalid tc makes CallT exactly Call.
+func (c *Client) CallT(tc obs.SpanContext, op uint16, body []byte) ([]byte, time.Duration, error) {
+	return c.CallTimeoutT(tc, op, body, c.Timeout)
 }
 
 // CallTimeout is Call with a per-call deadline overriding the client's
 // Timeout — for callers that must bound one operation tighter than the
 // rest (an orderly shutdown closing sessions on a possibly-dead
-// remote). Zero or negative selects DefaultTimeout; every call runs
-// under some deadline.
+// remote). Zero or negative selects the client's Timeout; every call
+// runs under some deadline.
 func (c *Client) CallTimeout(op uint16, body []byte, timeout time.Duration) ([]byte, time.Duration, error) {
+	return c.CallTimeoutT(obs.SpanContext{}, op, body, timeout)
+}
+
+// CallTimeoutT is CallTimeout carrying a trace context.
+func (c *Client) CallTimeoutT(tc obs.SpanContext, op uint16, body []byte, timeout time.Duration) ([]byte, time.Duration, error) {
 	if timeout <= 0 {
-		timeout = DefaultTimeout
+		timeout = c.timeout()
 	}
+	span := obs.StartSpan(tc, "rpc.call op 0x"+strconv.FormatUint(uint64(op), 16))
+	wtc := span.Context()
+	start := time.Now()
 	var cost time.Duration
 	for attempt := 0; ; attempt++ {
 		mc, err := c.conn()
 		var resp []byte
 		if err == nil {
 			var cc time.Duration
-			resp, cc, err = mc.call(op, body, timeout)
+			resp, cc, err = mc.call(op, body, timeout, wtc)
 			cost += cc
 		}
 		// Only provably-unsent failures are retried: the remote cannot
@@ -260,8 +308,15 @@ func (c *Client) CallTimeout(op uint16, body []byte, timeout time.Duration) ([]b
 		// non-idempotent ops. Timeouts are never retried here — the
 		// request's fate is unknown.
 		if err == nil || attempt >= c.Retries || !IsUnsent(err) {
+			mCallSeconds.ObserveSince(start)
+			if err != nil {
+				mCallErrors.Inc()
+			}
+			span.SetError(err)
+			span.End()
 			return resp, cost, err
 		}
+		mRetries.Inc()
 		time.Sleep(transport.Backoff(attempt+1, 5*time.Millisecond, 250*time.Millisecond))
 	}
 }
@@ -271,15 +326,19 @@ func (c *Client) CallTimeout(op uint16, body []byte, timeout time.Duration) ([]b
 // applies per frame (an idle limit), so arbitrarily large transfers
 // survive as long as data keeps flowing.
 func (c *Client) CallStream(op uint16, body []byte) (*Stream, error) {
+	return c.CallStreamT(obs.SpanContext{}, op, body)
+}
+
+// CallStreamT is CallStream carrying a trace context: the context
+// rides the request frame so the serving hop's spans join tc's trace.
+// The stream's duration is recorded by the serving handler's span, not
+// a client span — the client cannot know when the consumer finishes.
+func (c *Client) CallStreamT(tc obs.SpanContext, op uint16, body []byte) (*Stream, error) {
 	mc, err := c.conn()
 	if err != nil {
 		return nil, err
 	}
-	timeout := c.Timeout
-	if timeout <= 0 {
-		timeout = DefaultTimeout
-	}
-	return mc.callStream(op, body, timeout)
+	return mc.callStream(op, body, c.timeout(), tc)
 }
 
 // CallUpload opens one request whose body arrives at the server as a
@@ -289,15 +348,17 @@ func (c *Client) CallStream(op uint16, body []byte) (*Stream, error) {
 // Timeout acts per credit grant (an idle limit), so arbitrarily large
 // uploads survive as long as the server keeps consuming.
 func (c *Client) CallUpload(op uint16, header []byte) (*UploadStream, error) {
+	return c.CallUploadT(obs.SpanContext{}, op, header)
+}
+
+// CallUploadT is CallUpload carrying a trace context; it rides the
+// upload-open envelope frame, so the handler's span joins tc's trace.
+func (c *Client) CallUploadT(tc obs.SpanContext, op uint16, header []byte) (*UploadStream, error) {
 	mc, err := c.conn()
 	if err != nil {
 		return nil, err
 	}
-	timeout := c.Timeout
-	if timeout <= 0 {
-		timeout = DefaultTimeout
-	}
-	return mc.callUpload(op, header, timeout)
+	return mc.callUpload(op, header, c.timeout(), tc)
 }
 
 // callResult is what the demux goroutine (or the deadline sweeper, or a
@@ -349,20 +410,20 @@ func newMuxConn(conn transport.Conn, addr string) *muxConn {
 // register installs a pending call and sends its request frame. It
 // reports the assigned ID and whether registration succeeded; on an
 // encode failure the call is withdrawn and the error returned.
-func (m *muxConn) register(pc *pendingCall, op uint16, body []byte) (uint64, error) {
+func (m *muxConn) register(pc *pendingCall, op uint16, body []byte, tc obs.SpanContext) (uint64, error) {
 	if op >= opReserved {
 		// Reserved ops are consumed by the RPC layer on the server; a
 		// service call using one would be misread as flow control and
 		// hang or condemn the shared connection. Fail loudly instead.
 		return 0, fmt.Errorf("rpc: op %#x is reserved for the protocol", op)
 	}
-	return m.registerFrame(pc, op, body)
+	return m.registerFrame(pc, op, body, tc)
 }
 
 // registerFrame is register without the reserved-op guard: upload
 // opens legitimately carry a reserved frame op (the real op rides the
 // envelope body).
-func (m *muxConn) registerFrame(pc *pendingCall, op uint16, body []byte) (uint64, error) {
+func (m *muxConn) registerFrame(pc *pendingCall, op uint16, body []byte, tc obs.SpanContext) (uint64, error) {
 	m.mu.Lock()
 	if m.dead.Load() {
 		err := m.deadErr
@@ -381,7 +442,7 @@ func (m *muxConn) registerFrame(pc *pendingCall, op uint16, body []byte) (uint64
 	m.inflight.Add(1)
 	m.mu.Unlock()
 
-	w := encodeRequest(id, op, body)
+	w := encodeRequest(id, op, body, tc)
 	if err := w.Err(); err != nil {
 		// The body cannot be encoded (e.g. over the wire size limits).
 		// Fail just this call; the connection is untouched.
@@ -403,9 +464,9 @@ func (m *muxConn) registerFrame(pc *pendingCall, op uint16, body []byte) (uint64
 	return id, nil
 }
 
-func (m *muxConn) call(op uint16, body []byte, timeout time.Duration) ([]byte, time.Duration, error) {
+func (m *muxConn) call(op uint16, body []byte, timeout time.Duration, tc obs.SpanContext) ([]byte, time.Duration, error) {
 	pc := &pendingCall{op: op, timeout: timeout, done: make(chan callResult, 1)}
-	if _, err := m.register(pc, op, body); err != nil {
+	if _, err := m.register(pc, op, body, tc); err != nil {
 		return nil, 0, err
 	}
 	r := <-pc.done
@@ -415,10 +476,10 @@ func (m *muxConn) call(op uint16, body []byte, timeout time.Duration) ([]byte, t
 // callStream opens a streaming call. The returned Stream yields the
 // response's data frames; the call's timeout acts per frame (an idle
 // limit), not on the whole transfer.
-func (m *muxConn) callStream(op uint16, body []byte, timeout time.Duration) (*Stream, error) {
+func (m *muxConn) callStream(op uint16, body []byte, timeout time.Duration, tc obs.SpanContext) (*Stream, error) {
 	st := &Stream{mc: m, events: make(chan streamEvent, streamWindow+2)}
 	pc := &pendingCall{op: op, timeout: timeout, done: make(chan callResult, 1), stream: st}
-	id, err := m.register(pc, op, body)
+	id, err := m.register(pc, op, body, tc)
 	if err != nil {
 		return nil, err
 	}
@@ -429,7 +490,7 @@ func (m *muxConn) callStream(op uint16, body []byte, timeout time.Duration) (*St
 // callUpload opens an upload call. The returned UploadStream carries
 // data frames to the handler; its timeout acts per credit grant (an
 // idle limit), not on the whole transfer.
-func (m *muxConn) callUpload(op uint16, header []byte, timeout time.Duration) (*UploadStream, error) {
+func (m *muxConn) callUpload(op uint16, header []byte, timeout time.Duration, tc obs.SpanContext) (*UploadStream, error) {
 	if op >= opReserved {
 		return nil, fmt.Errorf("rpc: op %#x is reserved for the protocol", op)
 	}
@@ -437,7 +498,7 @@ func (m *muxConn) callUpload(op uint16, header []byte, timeout time.Duration) (*
 	us.cond = sync.NewCond(&us.mu)
 	pc := &pendingCall{op: op, timeout: timeout, done: make(chan callResult, 1), upload: us}
 	us.pc = pc
-	id, err := m.registerFrame(pc, opUploadOpen, encodeUploadOpen(op, header))
+	id, err := m.registerFrame(pc, opUploadOpen, encodeUploadOpen(op, header), tc)
 	if err != nil {
 		return nil, err
 	}
@@ -736,6 +797,7 @@ func (m *muxConn) sweep() {
 	}
 	m.mu.Unlock()
 	for _, e := range expired {
+		mTimeouts.Inc()
 		deliverFailure(e.pc, fmt.Errorf("rpc: call to %s op %d timed out after %v", m.addr, e.pc.op, e.pc.timeout))
 		if (e.pc.stream != nil || e.pc.upload != nil) && !m.dead.Load() {
 			// The server side of a timed-out stream is still parked
@@ -746,6 +808,7 @@ func (m *muxConn) sweep() {
 		}
 	}
 	if wedged {
+		mCondemnedWedged.Inc()
 		m.fail(fmt.Errorf("rpc: connection to %s silent through a full timeout window", m.addr))
 	}
 }

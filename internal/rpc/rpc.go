@@ -39,9 +39,11 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"strconv"
 	"sync"
 	"time"
 
+	"gdn/internal/obs"
 	"gdn/internal/transport"
 	"gdn/internal/wire"
 )
@@ -76,6 +78,12 @@ type Call struct {
 	Peer string
 	// RemoteAddr is the transport address of the caller.
 	RemoteAddr string
+
+	// TC is the request's trace context. For a call delivered by a
+	// Server it is the server-side span started for this request (the
+	// caller's context regenerated at this hop), so handlers propagate
+	// it into nested calls as-is; zero for untraced requests.
+	TC obs.SpanContext
 
 	cost time.Duration
 
@@ -374,7 +382,17 @@ func (s *Server) connWorker(sender *connSender, streams *streamTable, uploads *u
 
 func (s *Server) handleRequest(sender *connSender, streams *streamTable, uploads *uploadTable, r serverRequest) {
 	id, call := r.id, r.call
+	// Regenerate the span at this hop: the handler runs under a fresh
+	// server-side span whose context rides call.TC into any nested
+	// calls the handler makes. Untraced requests get a nil span and an
+	// unchanged (zero) TC.
+	span := obs.StartSpan(call.TC, "rpc.serve op 0x"+strconv.FormatUint(uint64(call.Op), 16))
+	call.TC = span.Context()
+	start := time.Now()
 	body, herr := s.safeHandle(call)
+	mServeSeconds.ObserveSince(start)
+	span.SetError(herr)
+	span.End()
 	if call.upload != nil {
 		// The handler is done with the upload: withdraw the reader so
 		// late data frames are dropped, recycle anything it never
@@ -408,30 +426,50 @@ func (s *Server) safeHandle(call *Call) (body []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("handler panic: %v", r)
+			mServePanics.Inc()
 			s.logf("rpc: handler panic serving op %d: %v", call.Op, r)
 		}
 	}()
 	return s.handler(call)
 }
 
+// decodeRequest splits a request frame. The 16-byte trace tail is
+// optional: frames from peers predating trace propagation simply end
+// after the body and decode to an untraced call, so the wire format
+// stays compatible in both directions.
 func decodeRequest(frame []byte) (uint64, *Call, error) {
 	r := wire.NewReader(frame)
 	id := r.Uint64()
 	op := r.Uint16()
 	body := r.Bytes32()
+	var tc obs.SpanContext
+	if r.Remaining() == traceTailLen {
+		tc.Trace = r.Uint64()
+		tc.Span = r.Uint64()
+	}
 	if err := r.Done(); err != nil {
 		return 0, nil, err
 	}
-	return id, &Call{Op: op, Body: body}, nil
+	return id, &Call{Op: op, Body: body, TC: tc}, nil
 }
 
+// traceTailLen is the size of the optional trace context appended to
+// request frames: trace ID then span ID, both uint64.
+const traceTailLen = 16
+
 // encodeRequest builds a request frame in a pooled writer. The caller
-// must Free it once the frame has been sent.
-func encodeRequest(id uint64, op uint16, body []byte) *wire.Writer {
-	w := wire.GetWriter(14 + len(body))
+// must Free it once the frame has been sent. A valid trace context is
+// appended as the optional 16-byte tail; untraced requests keep the
+// seed frame layout byte for byte.
+func encodeRequest(id uint64, op uint16, body []byte, tc obs.SpanContext) *wire.Writer {
+	w := wire.GetWriter(14 + traceTailLen + len(body))
 	w.Uint64(id)
 	w.Uint16(op)
 	w.Bytes32(body)
+	if tc.Valid() {
+		w.Uint64(tc.Trace)
+		w.Uint64(tc.Span)
+	}
 	return w
 }
 

@@ -129,10 +129,12 @@ func (c *sequencedConn) Recv() ([]byte, time.Duration, error) {
 			return body, cost, nil
 		case seq < c.want || (c.held != nil && seq == c.heldSeq):
 			// A duplicate of something already delivered or parked.
+			mSeqDups.Inc()
 			transport.PutFrame(p)
 		case c.held == nil:
 			// One frame ahead of the gap: park it and wait for the
 			// overtaken frame.
+			mSeqReorders.Inc()
 			c.held, c.heldSeq, c.heldCost = body, seq, cost
 		default:
 			// A second frame beyond the gap: the missing frame is
@@ -148,6 +150,7 @@ func (c *sequencedConn) Recv() ([]byte, time.Duration, error) {
 // condemn records a sticky receive failure and closes the underlying
 // connection. Caller holds rmu.
 func (c *sequencedConn) condemn(err error) error {
+	mSeqCondemned.Inc()
 	c.rerr = err
 	c.held = nil
 	c.conn.Close()

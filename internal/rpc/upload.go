@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gdn/internal/obs"
 	"gdn/internal/transport"
 	"gdn/internal/wire"
 )
@@ -325,7 +326,7 @@ func (u *UploadStream) Send(p []byte) error {
 	u.credits--
 	u.mu.Unlock()
 
-	w := encodeRequest(u.id, opUploadData, p)
+	w := encodeRequest(u.id, opUploadData, p, obs.SpanContext{})
 	if err := w.Err(); err != nil {
 		w.Free()
 		return err
@@ -373,7 +374,7 @@ func (u *UploadStream) CloseAndRecv() ([]byte, time.Duration, error) {
 	u.ended = true
 	u.mu.Unlock()
 	if !alreadyEnded && !failed {
-		w := encodeRequest(u.id, opUploadEnd, nil)
+		w := encodeRequest(u.id, opUploadEnd, nil, obs.SpanContext{})
 		u.mc.sender.enqueue(w)
 	}
 	r := <-u.pc.done

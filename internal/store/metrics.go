@@ -1,0 +1,27 @@
+package store
+
+import "gdn/internal/obs"
+
+// Registry handles for the content store. The per-instance Stats
+// struct remains as a view for tests and experiments; these aggregate
+// the same events across every store in the process.
+var (
+	mPutSeconds = obs.Default.Histogram("gdn_store_put_seconds",
+		"chunk insert latency, content hashing and disk write included",
+		obs.Seconds, obs.TimeBuckets)
+	mPutBytes = obs.Default.Histogram("gdn_store_put_bytes",
+		"chunk sizes entering the store", obs.Bytes, obs.SizeBuckets)
+	mGetSeconds = obs.Default.Histogram("gdn_store_get_seconds",
+		"chunk read latency, disk verification included",
+		obs.Seconds, obs.TimeBuckets)
+	mDedup = obs.Default.Counter("gdn_store_dedup_total",
+		"puts that found their chunk already present")
+	mEvictions = obs.Default.Counter("gdn_store_evictions_total",
+		"chunks dropped by the capacity policy")
+	mQuarantined = obs.Default.Counter("gdn_store_quarantined_total",
+		"chunks the scrubber found corrupt on disk and moved aside")
+	mRepaired = obs.Default.Counter("gdn_store_repaired_total",
+		"quarantined chunks healed by a later put of the same content")
+	mScrubbedBytes = obs.Default.Counter("gdn_store_scrubbed_bytes_total",
+		"chunk bytes the scrubber has verified against their address")
+)

@@ -91,12 +91,14 @@ func (s *Store) Scrub(limit int64) ScrubResult {
 		res.Bytes += size
 		if corrupt && s.quarantine(ref) {
 			res.Quarantined = append(res.Quarantined, ref)
+			mQuarantined.Inc()
 		}
 		s.mu.Lock()
 		s.cursor = ref
 		s.scrubbed = true
 		s.stats.Scrubbed += size
 		s.mu.Unlock()
+		mScrubbedBytes.Add(size)
 	}
 	return res
 }

@@ -46,6 +46,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // Ref is a chunk's content address: the SHA-256 of its bytes.
@@ -253,6 +254,9 @@ func (s *Store) PutPinned(data []byte) (Ref, error) {
 }
 
 func (s *Store) putRef(ref Ref, data []byte, pin bool) error {
+	start := time.Now()
+	defer mPutSeconds.ObserveSince(start)
+	mPutBytes.Observe(int64(len(data)))
 	if RefOf(data) != ref {
 		return fmt.Errorf("%w: got %d bytes hashing to %s, want %s",
 			ErrCorrupt, len(data), RefOf(data).Short(), ref.Short())
@@ -287,6 +291,7 @@ func (s *Store) putRef(ref Ref, data []byte, pin bool) error {
 			}
 			s.bytes += e.size
 			s.stats.Repaired++
+			mRepaired.Inc()
 			if pin {
 				e.refs++
 			} else if e.refs == 0 && e.elem == nil {
@@ -318,6 +323,7 @@ func (s *Store) putRef(ref Ref, data []byte, pin bool) error {
 // taking the pin when asked.
 func (s *Store) dedupLocked(ref Ref, e *entry, pin bool) {
 	s.stats.Dedup++
+	mDedup.Inc()
 	if pin {
 		if e.refs == 0 && e.elem != nil {
 			s.cold.Remove(e.elem)
@@ -376,6 +382,8 @@ func WriteFileSync(name string, data []byte) error {
 // rather than as silently wrong content. Callers must not modify the
 // returned slice of a memory-backed store.
 func (s *Store) Get(ref Ref) ([]byte, error) {
+	start := time.Now()
+	defer mGetSeconds.ObserveSince(start)
 	s.mu.Lock()
 	e, ok := s.chunks[ref]
 	if !ok || e.gone {
@@ -516,6 +524,7 @@ func (s *Store) evictLocked() {
 		ref := el.Value.(coldRef).ref
 		s.dropLocked(ref, s.chunks[ref])
 		s.stats.Evictions++
+		mEvictions.Inc()
 	}
 }
 

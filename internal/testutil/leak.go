@@ -1,0 +1,59 @@
+// Package testutil holds helpers shared by the package test suites.
+// It deliberately avoids importing the testing package so that
+// non-test binaries (the experiments driver asserts the same leak
+// invariant) can link it without dragging testing's flags along.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Leaked waits up to window for the process goroutine count to drain
+// back to within allowance of the baseline g0, then returns how many
+// goroutines remain above the baseline (0 when the drain succeeded).
+// The window exists because teardown is asynchronous: connection
+// readers and lease renewers notice closed sockets on their next
+// wakeup, not instantly.
+func Leaked(g0, allowance int, window time.Duration) int {
+	deadline := time.Now().Add(window)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= g0+allowance {
+			return 0
+		}
+		if time.Now().After(deadline) {
+			return n - g0
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// CheckMain wraps a suite's TestMain: it runs the tests and fails the
+// process when goroutines leak past the end of the run. The allowance
+// is generous — a whole suite legitimately leaves a few runtime and
+// httptest background goroutines behind — so a failure here means a
+// real leak (an unclosed server, client, or session), not jitter.
+//
+//	func TestMain(m *testing.M) { testutil.CheckMain(m) }
+func CheckMain(m interface{ Run() int }) {
+	g0 := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		if leaked := Leaked(g0, 8, 5*time.Second); leaked > 0 {
+			fmt.Fprintf(os.Stderr, "testutil: suite leaked %d goroutines past teardown\n%s\n",
+				leaked, stacks())
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// stacks renders all goroutine stacks, so a leak failure names the
+// goroutines that stuck around.
+func stacks() []byte {
+	buf := make([]byte, 1<<20)
+	return buf[:runtime.Stack(buf, true)]
+}
