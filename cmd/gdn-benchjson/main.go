@@ -82,6 +82,39 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline report to compare against (enables the regression gate)")
 	compare := flag.String("compare", "", "comma-separated benchmark names the gate checks (requires -baseline)")
 	maxRegress := flag.Float64("max-regress", 25, "fail when a gated benchmark's ns/op regresses more than this percent")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `usage: gdn-benchjson [flags]
+
+Converts a 'go test -json -bench' event stream into one JSON benchmark
+artifact, and optionally gates the run against a committed baseline.
+
+  go test -run 'xxx^' -bench . -benchmem -json ./... | gdn-benchjson -out BENCH_ci.json
+
+Flags:
+`)
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), `
+Regression gate (-baseline):
+  With -baseline, each benchmark named in -compare is looked up in both
+  the baseline report and the fresh run; the gate fails when its ns/op
+  regressed by more than -max-regress percent. Faster-than-baseline
+  runs always pass. A gated name missing from EITHER report is a hard
+  failure, not a pass — renaming or deleting a benchmark of record
+  must not silently disarm the gate. -baseline without any -compare
+  names is likewise an error.
+
+  gdn-benchjson -in bench-raw.ndjson -out /dev/null \
+      -baseline BENCH_seed.json \
+      -compare BenchmarkE5_Download_Large,BenchmarkRPC_CallParallel \
+      -max-regress 25
+
+Exit codes:
+  0  artifact written; gate (if armed) passed
+  1  any failure: unreadable input, no benchmark lines in the stream,
+     unwritable -out, unparsable baseline, a gated name missing from
+     baseline or current run, or a regression over budget
+`)
+	}
 	flag.Parse()
 
 	var r io.Reader = os.Stdin

@@ -125,12 +125,20 @@ func (m Manifest) Refs() []store.Ref {
 	return out
 }
 
-// WalkRange feeds fn the byte range [off, off+n) of the manifest's
-// content out of st, chunk by chunk (n < 0 means to end). Slices are
-// valid only during the callback. This is the single copy of the
-// range/clamp arithmetic behind local reads, streamed bulk reads and
-// chunked GetFileChunk.
-func (m Manifest) WalkRange(st *store.Store, off, n int64, fn func(p []byte) error) error {
+// ChunkSpan is one chunk's contribution to a byte range of a
+// manifest: the index into Chunks plus the intra-chunk bounds [A, B)
+// that fall inside the range.
+type ChunkSpan struct {
+	Index int
+	A, B  int64
+}
+
+// ChunkRange resolves the byte range [off, off+n) of the manifest
+// (n < 0 means to end) to the chunk spans covering it. This is the
+// single copy of the range/clamp arithmetic behind local reads,
+// streamed bulk reads and chunked GetFileChunk — prefetching serve
+// loops plan their fetches from the spans.
+func (m Manifest) ChunkRange(off, n int64) []ChunkSpan {
 	if n < 0 {
 		n = m.Size
 	}
@@ -141,23 +149,15 @@ func (m Manifest) WalkRange(st *store.Store, off, n int64, fn func(p []byte) err
 	if end > m.Size {
 		end = m.Size
 	}
+	var spans []ChunkSpan
 	pos := int64(0)
-	for _, c := range m.Chunks {
+	for i, c := range m.Chunks {
 		if pos >= end {
 			break
 		}
 		if pos+c.Size <= off {
 			pos += c.Size
 			continue
-		}
-		data, err := st.Get(c.Ref)
-		if err != nil {
-			return fmt.Errorf("core: bulk content lost chunk %s: %w", c.Ref.Short(), err)
-		}
-		if int64(len(data)) != c.Size {
-			// The hash vouches for the bytes, not the manifest's claimed
-			// length; never let a lying size drive slice arithmetic.
-			return fmt.Errorf("core: chunk %s is %d bytes, manifest claims %d", c.Ref.Short(), len(data), c.Size)
 		}
 		a, b := int64(0), c.Size
 		if off > pos {
@@ -166,10 +166,39 @@ func (m Manifest) WalkRange(st *store.Store, off, n int64, fn func(p []byte) err
 		if pos+b > end {
 			b = end - pos
 		}
-		if err := fn(data[a:b]); err != nil {
+		spans = append(spans, ChunkSpan{Index: i, A: a, B: b})
+		pos += c.Size
+	}
+	return spans
+}
+
+// WalkRange feeds fn the byte range [off, off+n) of the manifest's
+// content out of st, chunk by chunk (n < 0 means to end). Slices are
+// valid only during the callback — chunk bytes arrive through the
+// store's zero-copy read (GetZC), so pooled disk-read buffers are
+// recycled as soon as fn returns.
+func (m Manifest) WalkRange(st *store.Store, off, n int64, fn func(p []byte) error) error {
+	for _, sp := range m.ChunkRange(off, n) {
+		c := m.Chunks[sp.Index]
+		data, release, err := st.GetZC(c.Ref)
+		if err != nil {
+			return fmt.Errorf("core: bulk content lost chunk %s: %w", c.Ref.Short(), err)
+		}
+		if int64(len(data)) != c.Size {
+			// The hash vouches for the bytes, not the manifest's claimed
+			// length; never let a lying size drive slice arithmetic.
+			if release != nil {
+				release()
+			}
+			return fmt.Errorf("core: chunk %s is %d bytes, manifest claims %d", c.Ref.Short(), len(data), c.Size)
+		}
+		err = fn(data[sp.A:sp.B])
+		if release != nil {
+			release()
+		}
+		if err != nil {
 			return err
 		}
-		pos += c.Size
 	}
 	return nil
 }

@@ -158,7 +158,12 @@ type PeerClient struct {
 // DialPeer connects to the dispatcher at addr on behalf of object oid.
 // auth supplies client credentials for authenticated deployments.
 func DialPeer(net transport.Network, site string, oid ids.OID, addr string, auth *sec.Config) *PeerClient {
-	var opts []rpc.ClientOption
+	// Up to four shared connections per peer: a single conn's pipeline
+	// window saturates under many concurrent bulk streams (each stream
+	// occupies an in-flight slot for its whole transfer), and extra
+	// conns are dialed lazily only at that point — light peers still
+	// use exactly one.
+	opts := []rpc.ClientOption{rpc.WithMaxConns(4)}
 	if auth != nil {
 		opts = append(opts, rpc.WithClientWrapper(auth.WrapClient))
 	}

@@ -2,6 +2,7 @@ package httpd
 
 import (
 	"net/http"
+	"time"
 
 	"gdn/internal/obs"
 )
@@ -26,6 +27,9 @@ var (
 		obs.Seconds, obs.TimeBuckets)
 	mRequestSeconds = obs.Default.Histogram("gdn_httpd_request_seconds",
 		"full HTTP request service time, body streaming included",
+		obs.Seconds, obs.TimeBuckets)
+	mSinkWriteSeconds = obs.Default.Histogram("gdn_httpd_sink_write_seconds",
+		"time blocked writing one response buffer into the client connection",
 		obs.Seconds, obs.TimeBuckets)
 )
 
@@ -60,12 +64,21 @@ func (sw *statusWriter) WriteHeader(code int) {
 	sw.ResponseWriter.WriteHeader(code)
 }
 
+// Write forwards one buffer to the client connection. On the download
+// path p is a borrowed chunk buffer (pooled in the store or the RPC
+// stream layer and recycled the moment this call returns), so the
+// write must not retain p — net/http's copy into the socket is the one
+// boundary copy the edge pays. The histogram around it shows when the
+// client connection, not the GDN, is the bottleneck: sink-write time
+// is where a slow consumer's backpressure surfaces.
 func (sw *statusWriter) Write(p []byte) (int, error) {
 	if sw.status == 0 {
 		sw.status = http.StatusOK
 		sw.started()
 	}
+	start := time.Now()
 	n, err := sw.ResponseWriter.Write(p)
+	mSinkWriteSeconds.ObserveSince(start)
 	sw.bytes += int64(n)
 	return n, err
 }

@@ -605,10 +605,47 @@ func (c *conn) Send(p []byte) error {
 	return c.deliver(p, class, cost)
 }
 
+// SendVec implements transport.VecSender: the parts are assembled once
+// into the pooled delivery buffer, so a vectored frame costs a single
+// copy end to end where Send costs one on each side of the handoff.
+// Faulty links fall back to the contiguous path — fault injection
+// operates on whole frames and is far off the hot path.
+func (c *conn) SendVec(parts [][]byte) error {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total > transport.MaxFrame {
+		return transport.ErrFrameSize
+	}
+	ok, class, fl := c.net.linkState(c.local, c.remote)
+	if !ok {
+		return fmt.Errorf("%w: %s -> %s", transport.ErrUnreachable, c.local.ID, c.remote.ID)
+	}
+	cost := c.net.model.Cost(c.local, c.remote, total)
+	cp := transport.GetFrame(total)
+	off := 0
+	for _, p := range parts {
+		off += copy(cp[off:], p)
+	}
+	if !fl.isZero() || c.hasHeld.Load() {
+		err := c.sendFaulty(cp, class, cost, fl)
+		transport.PutFrame(cp)
+		return err
+	}
+	return c.deliverOwned(cp, total, class, cost)
+}
+
 // deliver copies and enqueues one frame toward the peer.
 func (c *conn) deliver(p []byte, class LinkClass, cost time.Duration) error {
 	cp := transport.GetFrame(len(p))
 	copy(cp, p)
+	return c.deliverOwned(cp, len(p), class, cost)
+}
+
+// deliverOwned enqueues an already-pooled buffer toward the peer,
+// taking ownership of cp.
+func (c *conn) deliverOwned(cp []byte, n int, class LinkClass, cost time.Duration) error {
 	select {
 	case <-c.closed:
 		transport.PutFrame(cp)
@@ -617,7 +654,7 @@ func (c *conn) deliver(p []byte, class LinkClass, cost time.Duration) error {
 		transport.PutFrame(cp)
 		return transport.ErrClosed
 	case c.out <- frame{payload: cp, cost: cost}:
-		c.net.record(class, len(p))
+		c.net.record(class, n)
 		return nil
 	}
 }

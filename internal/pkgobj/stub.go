@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"fmt"
+	"hash"
 	"io"
 	"strings"
 	"sync"
@@ -285,32 +286,24 @@ func (s *Stub) ReadFileTo(w io.Writer, path string) (int64, error) {
 // ReadFileToT is ReadFileTo carrying a trace context, so the bulk
 // stream (and any upstream fill it triggers) joins the caller's trace.
 func (s *Stub) ReadFileToT(tc obs.SpanContext, w io.Writer, path string) (int64, error) {
-	h := sha256.New()
-	var written int64
-	sink := func(p []byte) error {
-		h.Write(p)
-		n, err := w.Write(p)
-		written += int64(n)
-		return err
-	}
+	ds := newDigestSink(w)
+	defer ds.stop()
 
 	if br, ok := s.lr.Replication().(core.BulkReader); ok {
-		m, cost, err := br.ReadBulk(tc, path, 0, -1, sink)
+		m, cost, err := br.ReadBulk(tc, path, 0, -1, ds.sink)
 		s.mu.Lock()
 		s.cost += cost
 		s.mu.Unlock()
 		if err != nil {
-			return written, err
+			return ds.written, err
 		}
-		if written != m.Size {
-			return written, fmt.Errorf("pkgobj: %q truncated: %d of %d bytes", path, written, m.Size)
+		if ds.written != m.Size {
+			return ds.written, fmt.Errorf("pkgobj: %q truncated: %d of %d bytes", path, ds.written, m.Size)
 		}
-		var got [sha256.Size]byte
-		h.Sum(got[:0])
-		if got != m.Digest {
-			return written, fmt.Errorf("pkgobj: %q digest mismatch: content corrupted in transit or at a replica", path)
+		if ds.sum() != m.Digest {
+			return ds.written, fmt.Errorf("pkgobj: %q digest mismatch: content corrupted in transit or at a replica", path)
 		}
-		return written, nil
+		return ds.written, nil
 	}
 
 	// Fallback: chunk-at-a-time reads through the invocation path.
@@ -321,22 +314,74 @@ func (s *Stub) ReadFileToT(tc obs.SpanContext, w io.Writer, path string) (int64,
 	for off := int64(0); off < fi.Size; {
 		chunk, err := s.GetFileChunk(path, off, streamChunkSize)
 		if err != nil {
-			return written, err
+			return ds.written, err
 		}
 		if len(chunk) == 0 {
-			return written, fmt.Errorf("pkgobj: %q truncated at offset %d", path, off)
+			return ds.written, fmt.Errorf("pkgobj: %q truncated at offset %d", path, off)
 		}
-		if err := sink(chunk); err != nil {
-			return written, err
+		if err := ds.sink(chunk); err != nil {
+			return ds.written, err
 		}
 		off += int64(len(chunk))
 	}
-	var got [sha256.Size]byte
-	h.Sum(got[:0])
-	if got != fi.Digest {
-		return written, fmt.Errorf("pkgobj: %q digest mismatch: content corrupted in transit or at a replica", path)
+	if ds.sum() != fi.Digest {
+		return ds.written, fmt.Errorf("pkgobj: %q digest mismatch: content corrupted in transit or at a replica", path)
 	}
-	return written, nil
+	return ds.written, nil
+}
+
+// digestSink verifies a download end to end while writing it out.
+// SHA-256 is the dominant CPU cost of a verified download (it touches
+// every byte once more than the copy to the consumer does), so the
+// hash runs on its own goroutine concurrently with the consumer write:
+// each chunk costs max(hash, write) instead of their sum. Chunk slices
+// are only borrowed for the duration of sink (stream frames are pooled
+// and recycled by the caller), so sink joins the hasher before
+// returning — the goroutine never retains p.
+type digestSink struct {
+	h       hash.Hash
+	w       io.Writer
+	in      chan []byte
+	hashed  chan struct{}
+	written int64
+}
+
+func newDigestSink(w io.Writer) *digestSink {
+	ds := &digestSink{h: sha256.New(), w: w, in: make(chan []byte), hashed: make(chan struct{})}
+	go func() {
+		for p := range ds.in {
+			ds.h.Write(p)
+			ds.hashed <- struct{}{}
+		}
+		close(ds.hashed)
+	}()
+	return ds
+}
+
+func (ds *digestSink) sink(p []byte) error {
+	ds.in <- p
+	n, err := ds.w.Write(p)
+	ds.written += int64(n)
+	<-ds.hashed
+	return err
+}
+
+// stop joins the hasher goroutine; it is idempotent and safe after a
+// partial transfer.
+func (ds *digestSink) stop() {
+	if ds.in != nil {
+		close(ds.in)
+		<-ds.hashed
+		ds.in = nil
+	}
+}
+
+// sum joins the hasher and returns the digest of everything sunk.
+func (ds *digestSink) sum() [sha256.Size]byte {
+	ds.stop()
+	var got [sha256.Size]byte
+	ds.h.Sum(got[:0])
+	return got
 }
 
 // ReadFileRangeTo streams the byte range [off, off+n) of a file into w

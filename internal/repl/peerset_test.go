@@ -308,6 +308,65 @@ func TestBulkReadResumesMidStreamOnReplicaDeath(t *testing.T) {
 	}
 }
 
+func TestBulkRangeReadResumesAtPartialChunkOffset(t *testing.T) {
+	// The range-request flavour of mid-stream failover: the read starts
+	// inside a chunk (so the serving side's prefetch plan opens with a
+	// partial span) and the replica dies mid-transfer, forcing the
+	// resumed stream to re-plan its prefetch window from the delivered
+	// byte offset — which again lands mid-chunk. The consumer must see
+	// exactly content[off:off+n]: no duplicated bytes from a prefetch
+	// window that had run ahead of delivery, no gap at the seam.
+	f := newFixture(t, nil)
+	pkgobj.Register(f.rts["origin"].Registry())
+	oid := ids.New()
+
+	masterLR, masterCA, err := newPkgReplica(f, oid, "origin", MasterSlave, RoleMaster, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, 8<<20)
+	for i := range content {
+		content[i] = byte(i * 31)
+	}
+	if err := pkgobj.NewStub(masterLR).UploadFile("blob", content); err != nil {
+		t.Fatal(err)
+	}
+	_, slaveCA, err := newPkgReplica(f, oid, "eu-client", MasterSlave, RoleSlave, []gls.ContactAddress{masterCA})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	proto := MasterSlaveProtocol()
+	p, err := proto.NewProxy(&core.Env{
+		OID: oid, Site: "us-client", Net: f.net,
+		Peers: []gls.ContactAddress{masterCA, slaveCA},
+		Logf:  func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Both bounds land strictly inside chunks (256 KiB canonical size).
+	const off, n = 300_000, 5_000_000
+	var got bytes.Buffer
+	var killOnce sync.Once
+	_, _, err = p.(core.BulkReader).ReadBulk(obs.SpanContext{}, "blob", off, n, func(b []byte) error {
+		got.Write(b)
+		killOnce.Do(func() { f.net.SetDown("eu-client", true) })
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("range read across replica death: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), content[off:off+n]) {
+		t.Fatalf("range content mismatch after failover: got %d bytes, want %d", got.Len(), n)
+	}
+	if fo := p.(*msProxy).Peers().Failovers(); fo != 1 {
+		t.Fatalf("failovers = %d, want exactly 1", fo)
+	}
+}
+
 func TestRelayedChunkOpsPropagateTrace(t *testing.T) {
 	// The relay path is where a trace most easily goes dark: the cache
 	// answers OpChunkHave by making a fresh outbound call to its

@@ -1,39 +1,10 @@
-// Package repl implements Globe's replication subobjects: the
-// interchangeable protocols that keep the state of a distributed shared
-// object's representatives consistent (paper §3.3). Each protocol
-// provides a proxy side (installed in binding clients) and a replica
-// side (hosted by object servers and GDN HTTPDs), both implementing the
-// standard core.Replication interface over opaque invocations.
-//
-// The protocols:
-//
-//   - "local": a single non-contactable copy; no network traffic. Used
-//     for objects private to one address space.
-//   - "clientserver": one server replica holds the state; proxies
-//     forward every invocation to it. One of the two protocols the
-//     paper ships (§7).
-//   - "masterslave": a master accepts writes and synchronously pushes
-//     full state to slave replicas, which serve reads near clients. The
-//     paper's second shipped protocol (§7).
-//   - "active": writes are ordered by a sequencer replica and applied
-//     at every peer; reads are local at any peer. The "actively
-//     replicate all the state at all the local representatives"
-//     strategy of §3.3.
-//   - "cache": a pull-based replica for GDN proxy servers: it fills
-//     from a parent replica on demand and serves reads locally, with
-//     either TTL expiry or server-sent invalidations — the two
-//     coherence options the differentiated-replication study needs.
-//
-// A note on consistency semantics: "masterslave" pushes state
-// synchronously before acknowledging a write, so reads at any slave
-// after a write acknowledges see that write (the strong setting the
-// GDN wants for software integrity). "cache" serves stale reads up to
-// its TTL, which is the trade-off the E4 experiment quantifies.
 package repl
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -513,54 +484,76 @@ func (rb *replicaBase) fillChunks(tc obs.SpanContext, parent *core.PeerClient, s
 		return nil, cost, err
 	}
 
+	// Fetch in pipelined batches: while one OpChunkGet response is
+	// verified and stored locally, the next request is already on the
+	// wire (depth 2 keeps exactly one fetch ahead), so a cache fill
+	// pays max(network, hash+disk) per batch instead of their sum. A
+	// size-capped short response leaves a remainder; the outer loop
+	// replans those refs into fresh batches.
 	for len(missing) > 0 {
-		batch := missing
-		if len(batch) > chunkGetMaxRefs {
-			batch = batch[:chunkGetMaxRefs]
+		var batches [][]store.Ref
+		for i := 0; i < len(missing); i += chunkGetMaxRefs {
+			batches = append(batches, missing[i:min(i+chunkGetMaxRefs, len(missing))])
 		}
-		w := wire.NewWriter(8 + 32*len(batch))
-		w.Count(len(batch))
-		for _, ref := range batch {
-			w.Hash(ref)
-		}
-		resp, c, err := parent.CallT(tc, core.OpChunkGet, w.Bytes())
-		cost += c
-		if err != nil {
-			return fail(fmt.Errorf("repl: fetch %d chunks: %w", len(batch), err))
-		}
-		r := wire.NewReader(resp)
-		k := r.Count()
-		if err := r.Err(); err != nil {
-			return fail(err)
-		}
-		if k == 0 || k > len(batch) {
-			return fail(fmt.Errorf("repl: chunk fetch returned %d of %d", k, len(batch)))
-		}
-		for i := 0; i < k; i++ {
-			data := r.Bytes32()
-			if err := r.Err(); err != nil {
-				return fail(err)
+		var leftover []store.Ref
+		fetch := func(bi int) ([]byte, error) {
+			batch := batches[bi]
+			w := wire.NewWriter(8 + 32*len(batch))
+			w.Count(len(batch))
+			for _, ref := range batch {
+				w.Hash(ref)
 			}
-			// PutPinned verifies the bytes hash to a ref (so a corrupt
-			// or hostile parent cannot poison the store) and pins the
-			// chunk against eviction for the rest of the transfer.
-			got, err := st.PutPinned(data)
+			resp, c, err := parent.CallT(tc, core.OpChunkGet, w.Bytes())
+			cost += c
 			if err != nil {
-				return fail(err)
+				return nil, fmt.Errorf("repl: fetch %d chunks: %w", len(batch), err)
 			}
-			if got != batch[i] {
-				st.Release([]store.Ref{got})
-				return fail(fmt.Errorf("%w: asked for %s, parent sent %s",
-					store.ErrCorrupt, batch[i].Short(), got.Short()))
-			}
-			mFillChunks.Inc()
-			mFillBytes.Add(int64(len(data)))
-			pinned = append(pinned, got)
+			return resp, nil
 		}
-		if err := r.Done(); err != nil {
+		consume := func(bi int, resp []byte) error {
+			batch := batches[bi]
+			r := wire.NewReader(resp)
+			k := r.Count()
+			if err := r.Err(); err != nil {
+				return err
+			}
+			if k == 0 || k > len(batch) {
+				return fmt.Errorf("repl: chunk fetch returned %d of %d", k, len(batch))
+			}
+			for i := 0; i < k; i++ {
+				data := r.Bytes32()
+				if err := r.Err(); err != nil {
+					return err
+				}
+				// PutPinned verifies the bytes hash to a ref (so a corrupt
+				// or hostile parent cannot poison the store) and pins the
+				// chunk against eviction for the rest of the transfer.
+				got, err := st.PutPinned(data)
+				if err != nil {
+					return err
+				}
+				if got != batch[i] {
+					st.Release([]store.Ref{got})
+					return fmt.Errorf("%w: asked for %s, parent sent %s",
+						store.ErrCorrupt, batch[i].Short(), got.Short())
+				}
+				mFillChunks.Inc()
+				mFillBytes.Add(int64(len(data)))
+				pinned = append(pinned, got)
+			}
+			if err := r.Done(); err != nil {
+				return err
+			}
+			leftover = append(leftover, batch[k:]...)
+			return nil
+		}
+		// Responses own nothing (plain byte slices), so no drop hook;
+		// cost accumulation in fetch is safe because Pipeline joins the
+		// producer goroutine before returning.
+		if err := store.Pipeline(2, len(batches), fetch, consume, nil); err != nil {
 			return fail(err)
 		}
-		missing = missing[k:]
+		missing = leftover
 	}
 	return pinned, cost, nil
 }
@@ -594,7 +587,7 @@ func (rb *replicaBase) handleBulkRead(call *rpc.Call) ([]byte, error) {
 		return nil, err
 	}
 	span := obs.StartSpan(call.TC, "store.walk "+path)
-	err = m.WalkRange(rb.env.Store, off, n, sw.Send)
+	err = streamManifestRange(rb.env.Store, m, off, n, sw)
 	span.SetError(err)
 	span.End()
 	if err != nil {
@@ -604,6 +597,85 @@ func (rb *replicaBase) handleBulkRead(call *rpc.Call) ([]byte, error) {
 	w.Int64(m.Size)
 	w.Hash(m.Digest)
 	return w.Bytes(), nil
+}
+
+// bulkPrefetchDepth is how many chunks the OpBulkRead serve loop keeps
+// fetched ahead of the wire. Four 256 KiB chunks of lookahead hide a
+// disk read (or pooled verify) behind the previous chunk's send
+// without tying a meaningful slice of the buffer pool to one stream.
+const bulkPrefetchDepth = 4
+
+// servedChunk is one chunk span staged for the wire: either bytes plus
+// the ownership-release callback SendOwned fires at write completion,
+// or an open file handle positioned at the span start for SendFile to
+// splice (sendfile on TCP transports).
+type servedChunk struct {
+	data    []byte
+	release func()
+	file    *os.File
+	n       int64
+}
+
+// discard frees a staged chunk that will never reach the wire.
+func (sc servedChunk) discard() {
+	if sc.file != nil {
+		sc.file.Close()
+	}
+	if sc.release != nil {
+		sc.release()
+	}
+}
+
+// streamManifestRange streams [off, off+n) of m to sw, prefetching
+// bulkPrefetchDepth chunks ahead of the wire and handing each chunk's
+// backing buffer or file handle to the stream without an intermediate
+// copy. Spans come from ChunkRange, so a failover retry re-entering at
+// the delivered byte offset replans its prefetch window from exactly
+// that position — including a partial first chunk.
+func streamManifestRange(st *store.Store, m core.Manifest, off, n int64, sw *rpc.StreamWriter) error {
+	spans := m.ChunkRange(off, n)
+	fetch := func(i int) (servedChunk, error) {
+		sp := spans[i]
+		c := m.Chunks[sp.Index]
+		f, size, err := st.OpenChunk(c.Ref)
+		if err == nil {
+			if size != c.Size {
+				f.Close()
+				return servedChunk{}, fmt.Errorf("repl: chunk %s is %d bytes, manifest claims %d",
+					c.Ref.Short(), size, c.Size)
+			}
+			if sp.A > 0 {
+				if _, err := f.Seek(sp.A, io.SeekStart); err != nil {
+					f.Close()
+					return servedChunk{}, err
+				}
+			}
+			return servedChunk{file: f, n: sp.B - sp.A}, nil
+		}
+		if !errors.Is(err, store.ErrNotOnDisk) {
+			return servedChunk{}, fmt.Errorf("repl: bulk content lost chunk %s: %w", c.Ref.Short(), err)
+		}
+		data, release, err := st.GetZC(c.Ref)
+		if err != nil {
+			return servedChunk{}, fmt.Errorf("repl: bulk content lost chunk %s: %w", c.Ref.Short(), err)
+		}
+		if int64(len(data)) != c.Size {
+			if release != nil {
+				release()
+			}
+			return servedChunk{}, fmt.Errorf("repl: chunk %s is %d bytes, manifest claims %d",
+				c.Ref.Short(), len(data), c.Size)
+		}
+		return servedChunk{data: data[sp.A:sp.B], release: release}, nil
+	}
+	consume := func(_ int, sc servedChunk) error {
+		if sc.file != nil {
+			f := sc.file
+			return sw.SendFile(f, sc.n, func() { f.Close() })
+		}
+		return sw.SendOwned(sc.data, sc.release)
+	}
+	return store.Pipeline(bulkPrefetchDepth, len(spans), fetch, consume, servedChunk.discard)
 }
 
 // readLocalBulk is the replica-side core.BulkReader: it reads from

@@ -37,4 +37,21 @@ var (
 		obs.Seconds, obs.TimeBuckets)
 	mServePanics = obs.Default.Counter("gdn_rpc_server_panics_total",
 		"handler panics converted to remote errors")
+
+	// Zero-copy data-plane counters: where payload bytes stopped being
+	// copied. A vec frame's body reached the transport out of band
+	// (writev on TCP, single assembly on netsim); a sendfile frame's
+	// bytes were spliced disk→socket without entering user space; an
+	// assembled frame fell back to one pooled-buffer copy because the
+	// connection stack (e.g. a security channel) cannot vector.
+	mSendVecFrames = obs.Default.Counter("gdn_rpc_send_vec_frames_total",
+		"frames whose payload traveled out of band with no encoder copy")
+	mSendVecBytes = obs.Default.Counter("gdn_rpc_send_vec_bytes_total",
+		"payload bytes handed to the transport without an encoder copy")
+	mSendSendfileFrames = obs.Default.Counter("gdn_rpc_send_sendfile_frames_total",
+		"file-backed frames spliced by the transport (sendfile on TCP)")
+	mSendSendfileBytes = obs.Default.Counter("gdn_rpc_send_sendfile_bytes_total",
+		"payload bytes spliced from files by the transport")
+	mSendAssembledFrames = obs.Default.Counter("gdn_rpc_send_assembled_frames_total",
+		"vectored/file frames assembled into one pooled buffer (non-vectoring conn)")
 )

@@ -379,10 +379,26 @@ type pendingCall struct {
 	upload   *UploadStream   // non-nil for upload calls
 }
 
+// pendShards stripes the pending-call table. Every frame sent and
+// received crosses the table, so under high pipelining (64 in-flight
+// calls, streams acking every frame) one mutex became the hot spot;
+// IDs are sequential, so id&mask spreads registrations evenly.
+const pendShards = 8
+
+// pendShard is one stripe of the pending table with its own deadline
+// sweeper: the timer is armed for the stripe's earliest deadline, so
+// timeout bookkeeping never takes a lock shared with other stripes.
+type pendShard struct {
+	mu      sync.Mutex
+	pending map[uint64]*pendingCall
+	timer   *time.Timer // nil until the first deadline is armed
+	timerAt time.Time
+}
+
 // muxConn is one shared connection carrying many in-flight calls. A
-// single recvLoop goroutine demultiplexes responses to the pending
-// table; timeouts are swept by a single timer armed for the earliest
-// pending deadline.
+// single recvLoop goroutine demultiplexes responses to the striped
+// pending table; timeouts are swept per stripe by a timer armed for
+// that stripe's earliest pending deadline.
 type muxConn struct {
 	conn   transport.Conn
 	addr   string
@@ -391,20 +407,40 @@ type muxConn struct {
 	inflight atomic.Int64
 	dead     atomic.Bool
 	lastRecv atomic.Int64 // unix nanos of the last received frame
+	nextID   atomic.Uint64
 
-	mu      sync.Mutex
-	pending map[uint64]*pendingCall
-	nextID  uint64
+	// failMu serializes fail(); deadErr is written under it before the
+	// dead flag is raised, so any reader that observed dead may read it.
+	failMu  sync.Mutex
 	deadErr error
-	timer   *time.Timer // nil until the first deadline is armed
-	timerAt time.Time
+
+	shards [pendShards]pendShard
 }
 
 func newMuxConn(conn transport.Conn, addr string) *muxConn {
-	m := &muxConn{conn: conn, addr: addr, pending: make(map[uint64]*pendingCall)}
+	m := &muxConn{conn: conn, addr: addr}
+	for i := range m.shards {
+		m.shards[i].pending = make(map[uint64]*pendingCall)
+	}
 	m.lastRecv.Store(time.Now().UnixNano())
 	m.sender = newConnSender(conn, m.fail)
 	return m
+}
+
+func (m *muxConn) pendShardOf(id uint64) *pendShard {
+	return &m.shards[id&(pendShards-1)]
+}
+
+// pendingLen reports the total pending-call count (tests only).
+func (m *muxConn) pendingLen() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += len(sh.pending)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // register installs a pending call and sends its request frame. It
@@ -424,37 +460,39 @@ func (m *muxConn) register(pc *pendingCall, op uint16, body []byte, tc obs.SpanC
 // opens legitimately carry a reserved frame op (the real op rides the
 // envelope body).
 func (m *muxConn) registerFrame(pc *pendingCall, op uint16, body []byte, tc obs.SpanContext) (uint64, error) {
-	m.mu.Lock()
 	if m.dead.Load() {
-		err := m.deadErr
-		m.mu.Unlock()
 		// Dead at registration: the request was never sent, which makes
 		// the failure safe to retry here or on another replica.
-		return 0, &unsentError{err}
+		return 0, &unsentError{m.deadErr}
 	}
-	id := m.nextID
-	m.nextID++
+	id := m.nextID.Add(1) - 1
+	sh := m.pendShardOf(id)
+	sh.mu.Lock()
 	if pc.timeout > 0 {
 		pc.deadline = time.Now().Add(pc.timeout)
-		m.armSweepLocked(pc.deadline)
+		m.armSweepLocked(sh, pc.deadline)
 	}
-	m.pending[id] = pc
+	sh.pending[id] = pc
 	m.inflight.Add(1)
-	m.mu.Unlock()
+	sh.mu.Unlock()
+	if m.dead.Load() {
+		// fail() may have swept this stripe before our insert landed;
+		// withdraw the entry if it is still ours, else the broadcast
+		// owns the result and the caller hears from it.
+		if m.withdraw(id) {
+			return 0, &unsentError{m.deadErr}
+		}
+		return id, nil
+	}
 
 	w := encodeRequest(id, op, body, tc)
 	if err := w.Err(); err != nil {
 		// The body cannot be encoded (e.g. over the wire size limits).
 		// Fail just this call; the connection is untouched.
 		w.Free()
-		m.mu.Lock()
-		if _, mine := m.pending[id]; mine {
-			delete(m.pending, id)
-			m.inflight.Add(-1)
-			m.mu.Unlock()
+		if m.withdraw(id) {
 			return id, err
 		}
-		m.mu.Unlock()
 		return id, nil // a racing failure broadcast owns the result
 	}
 	// Hand the frame to the flush-combining sender. A send failure
@@ -510,12 +548,13 @@ func (m *muxConn) callUpload(op uint16, header []byte, timeout time.Duration, tc
 // owned it (false when a failure broadcast or completion already took
 // it, and the result channel is or will be filled by that owner).
 func (m *muxConn) withdraw(id uint64) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.pending[id]; !ok {
+	sh := m.pendShardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.pending[id]; !ok {
 		return false
 	}
-	delete(m.pending, id)
+	delete(sh.pending, id)
 	m.inflight.Add(-1)
 	return true
 }
@@ -535,25 +574,20 @@ func (m *muxConn) sendCredit(id uint64, n uint32) {
 // than the flow-control window would otherwise see no arrivals for a
 // whole timeout despite actively reading.
 func (m *muxConn) touchStream(id uint64) {
-	m.mu.Lock()
-	if pc, ok := m.pending[id]; ok && pc.timeout > 0 {
+	sh := m.pendShardOf(id)
+	sh.mu.Lock()
+	if pc, ok := sh.pending[id]; ok && pc.timeout > 0 {
 		pc.deadline = time.Now().Add(pc.timeout)
-		m.armSweepLocked(pc.deadline)
+		m.armSweepLocked(sh, pc.deadline)
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // cancelStream withdraws a stream's pending entry and tells the
 // server to stop sending.
 func (m *muxConn) cancelStream(id uint64) {
-	m.mu.Lock()
-	if _, ok := m.pending[id]; ok {
-		delete(m.pending, id)
-		m.inflight.Add(-1)
-	}
-	dead := m.dead.Load()
-	m.mu.Unlock()
-	if dead {
+	m.withdraw(id)
+	if m.dead.Load() {
 		return
 	}
 	m.sendCancelFrame(id)
@@ -592,13 +626,14 @@ func (m *muxConn) recvLoop() {
 		if status == statusCredit {
 			// Upload flow control: more data frames granted. Progress
 			// refreshes the idle deadline like stream data frames do.
-			m.mu.Lock()
-			pc := m.pending[id]
+			sh := m.pendShardOf(id)
+			sh.mu.Lock()
+			pc := sh.pending[id]
 			if pc != nil && pc.upload != nil && pc.timeout > 0 {
 				pc.deadline = time.Now().Add(pc.timeout)
-				m.armSweepLocked(pc.deadline)
+				m.armSweepLocked(sh, pc.deadline)
 			}
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			if pc != nil && pc.upload != nil {
 				n, err := decodeAck(body)
 				if err != nil {
@@ -612,15 +647,16 @@ func (m *muxConn) recvLoop() {
 		}
 
 		if status == statusStream {
-			m.mu.Lock()
-			pc := m.pending[id]
+			sh := m.pendShardOf(id)
+			sh.mu.Lock()
+			pc := sh.pending[id]
 			if pc != nil && pc.stream != nil && pc.timeout > 0 {
 				// Progress resets the clock: the timeout bounds silence,
 				// not the whole transfer.
 				pc.deadline = time.Now().Add(pc.timeout)
-				m.armSweepLocked(pc.deadline)
+				m.armSweepLocked(sh, pc.deadline)
 			}
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			switch {
 			case pc == nil:
 				// Canceled or timed-out stream; drop the late frame.
@@ -628,10 +664,7 @@ func (m *muxConn) recvLoop() {
 			case pc.stream == nil:
 				// A data frame for a unary call: op/shape mismatch.
 				// Fail the call and stop the sender instead of wedging.
-				m.mu.Lock()
-				delete(m.pending, id)
-				m.inflight.Add(-1)
-				m.mu.Unlock()
+				m.withdraw(id)
 				pc.done <- callResult{err: fmt.Errorf("rpc: streaming response to unary call (op %d)", pc.op)}
 				m.cancelStream(id)
 				transport.PutFrame(frame)
@@ -644,13 +677,14 @@ func (m *muxConn) recvLoop() {
 			continue
 		}
 
-		m.mu.Lock()
-		pc := m.pending[id]
+		sh := m.pendShardOf(id)
+		sh.mu.Lock()
+		pc := sh.pending[id]
 		if pc != nil {
-			delete(m.pending, id)
+			delete(sh.pending, id)
 			m.inflight.Add(-1)
 		}
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		switch {
 		case pc == nil:
 			// A response with no pending entry belongs to a call that
@@ -690,24 +724,30 @@ func (m *muxConn) recvLoop() {
 // fail marks the connection dead, closes it, and delivers err to every
 // pending call. It is idempotent.
 func (m *muxConn) fail(err error) {
-	m.mu.Lock()
+	m.failMu.Lock()
 	if m.dead.Load() {
-		m.mu.Unlock()
+		m.failMu.Unlock()
 		return
 	}
-	m.dead.Store(true)
 	m.deadErr = err
-	pend := m.pending
-	m.pending = nil
-	if m.timer != nil {
-		m.timer.Stop()
-	}
-	m.mu.Unlock()
+	m.dead.Store(true)
+	m.failMu.Unlock()
 	m.conn.Close()
 	m.sender.fail(err)
-	for _, pc := range pend {
-		m.inflight.Add(-1)
-		deliverFailure(pc, err)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		pend := sh.pending
+		sh.pending = make(map[uint64]*pendingCall)
+		if sh.timer != nil {
+			sh.timer.Stop()
+			sh.timer = nil
+		}
+		sh.mu.Unlock()
+		for _, pc := range pend {
+			m.inflight.Add(-1)
+			deliverFailure(pc, err)
+		}
 	}
 }
 
@@ -725,23 +765,23 @@ func deliverFailure(pc *pendingCall, err error) {
 	pc.done <- callResult{err: err}
 }
 
-// armSweepLocked ensures the sweep timer fires no later than dl. Called
-// with m.mu held.
-func (m *muxConn) armSweepLocked(dl time.Time) {
-	if m.timer == nil {
-		m.timerAt = dl
-		m.timer = time.AfterFunc(time.Until(dl), m.sweep)
+// armSweepLocked ensures sh's sweep timer fires no later than dl.
+// Called with sh.mu held.
+func (m *muxConn) armSweepLocked(sh *pendShard, dl time.Time) {
+	if sh.timer == nil {
+		sh.timerAt = dl
+		sh.timer = time.AfterFunc(time.Until(dl), func() { m.sweep(sh) })
 		return
 	}
-	if dl.Before(m.timerAt) {
-		m.timerAt = dl
-		m.timer.Reset(time.Until(dl))
+	if dl.Before(sh.timerAt) {
+		sh.timerAt = dl
+		sh.timer.Reset(time.Until(dl))
 	}
 }
 
-// sweep expires pending calls whose deadline has passed and re-arms the
-// timer for the next earliest deadline. One timer per connection
-// replaces the old goroutine-plus-timer per call.
+// sweep expires one stripe's pending calls whose deadline has passed
+// and re-arms the stripe's timer for its next earliest deadline. One
+// timer per stripe replaces the old goroutine-plus-timer per call.
 //
 // A timed-out call normally just leaves the table — the connection
 // stays usable and its late response (if any) is dropped by recvLoop,
@@ -754,7 +794,7 @@ func (m *muxConn) armSweepLocked(dl time.Time) {
 // closes it, unblocks any stuck writer, fails the remaining pending
 // calls, and makes the next Call redial — the recovery the seed client
 // got by closing the connection on every timeout.
-func (m *muxConn) sweep() {
+func (m *muxConn) sweep(sh *pendShard) {
 	now := time.Now()
 	type expiredCall struct {
 		id uint64
@@ -762,22 +802,22 @@ func (m *muxConn) sweep() {
 	}
 	var expired []expiredCall
 	var wedged bool
-	m.mu.Lock()
+	sh.mu.Lock()
 	if m.dead.Load() {
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
 	// Snapshot under the lock: a frame delivered while sweep waited on
-	// m.mu must count as a sign of life, or a live connection could be
+	// sh.mu must count as a sign of life, or a live connection could be
 	// condemned on a stale reading.
 	lastRecv := time.Unix(0, m.lastRecv.Load())
 	var next time.Time
-	for id, pc := range m.pending {
+	for id, pc := range sh.pending {
 		if pc.deadline.IsZero() {
 			continue
 		}
 		if !pc.deadline.After(now) {
-			delete(m.pending, id)
+			delete(sh.pending, id)
 			m.inflight.Add(-1)
 			expired = append(expired, expiredCall{id: id, pc: pc})
 			if started := pc.deadline.Add(-pc.timeout); lastRecv.Before(started) {
@@ -790,12 +830,12 @@ func (m *muxConn) sweep() {
 	if next.IsZero() {
 		// No armed deadlines remain; the next registration re-creates
 		// the timer.
-		m.timer = nil
+		sh.timer = nil
 	} else {
-		m.timerAt = next
-		m.timer.Reset(time.Until(next))
+		sh.timerAt = next
+		sh.timer.Reset(time.Until(next))
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	for _, e := range expired {
 		mTimeouts.Inc()
 		deliverFailure(e.pc, fmt.Errorf("rpc: call to %s op %d timed out after %v", m.addr, e.pc.op, e.pc.timeout))

@@ -1,38 +1,3 @@
-// Package rpc implements the request/response protocol every Globe
-// service in this repository speaks: location-service directory nodes,
-// object servers, replication peers and naming authorities.
-//
-// Messages are opaque bodies tagged with an operation code, matching the
-// paper's model of subobjects that exchange "opaque invocation messages"
-// (§3.3). The one Globe-specific feature is virtual cost propagation:
-// a server accumulates the simulated network cost of the nested calls it
-// makes on behalf of a request and reports it in the response, so a
-// client's Call returns the cost of the entire dependent call tree. This
-// is how experiments measure, for example, that a location-service
-// lookup costs time proportional to the distance between client and
-// nearest replica (paper §3.5) without any real sleeping.
-//
-// # Multiplexed framing
-//
-// Calls are multiplexed: one shared connection per remote carries many
-// in-flight requests, identified by a per-connection 64-bit request ID.
-// The frame layouts are
-//
-//	request:  id uint64 | op uint16 | body bytes32
-//	response: id uint64 | status uint8 | errmsg str16 | cost int64 | body bytes32
-//
-// all encoded with package wire. A client sends requests from any number
-// of goroutines; a single demux goroutine per connection receives
-// responses and routes each to the waiting caller recorded in the
-// pending-call table. Call timeouts are deadlines on that table, swept
-// by one timer per connection armed for the earliest deadline — not a
-// goroutine plus timer per call. The server reads requests in one loop
-// and dispatches each to its own (bounded) handler goroutine, so slow
-// requests do not head-of-line block pipelined ones and responses may
-// complete out of order; the request ID pairs them back up. Virtual
-// frame costs ride the same tables: the cost of each request frame is
-// charged to that request's response, and the response frame's own cost
-// is added by the demux goroutine before the caller is woken.
 package rpc
 
 import (

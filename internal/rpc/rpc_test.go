@@ -572,9 +572,7 @@ func TestTimeoutLeavesPendingTableClean(t *testing.T) {
 
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		mc.mu.Lock()
-		left := len(mc.pending)
-		mc.mu.Unlock()
+		left := mc.pendingLen()
 		inflight := mc.inflight.Load()
 		if left == 0 && inflight == 0 {
 			break

@@ -1,11 +1,49 @@
 package rpc
 
 import (
+	"os"
 	"sync"
 
 	"gdn/internal/transport"
 	"gdn/internal/wire"
 )
+
+// outFrame is one outbound frame queued on a connSender. Three shapes
+// exist:
+//
+//   - plain: w holds the whole encoded frame (unary requests and
+//     responses, credit grants). body and file are nil.
+//   - vectored: w holds only the frame header; body is an out-of-band
+//     payload whose bytes follow w's on the wire without ever being
+//     copied into the encoder. This is how chunk bodies travel from the
+//     store's buffers straight into the transport's writev.
+//   - file-backed: w holds the frame header; fileN bytes are read from
+//     file's current offset by the transport (sendfile on TCP).
+//
+// The sender owns everything in an outFrame: w is freed and release is
+// called exactly once, after the frame has been written to the
+// transport or dropped because the connection died. release is the
+// buffer-ownership handoff the zero-copy path is built on — the store
+// recycles a chunk buffer (or closes a chunk file) only when the wire
+// is done with it.
+type outFrame struct {
+	w       *wire.Writer
+	body    []byte
+	file    *os.File
+	fileN   int64
+	release func()
+}
+
+// plain reports whether the frame is fully encoded in w.
+func (f *outFrame) plain() bool { return f.body == nil && f.file == nil }
+
+// done releases everything the sender owned for this frame.
+func (f *outFrame) done() {
+	f.w.Free()
+	if f.release != nil {
+		f.release()
+	}
+}
 
 // connSender serializes outbound frames for one connection with flush
 // combining: the first enqueuer becomes the flusher and keeps draining
@@ -15,18 +53,19 @@ import (
 // requests (or responses) into one syscall; with a single caller it
 // degenerates to a plain immediate send, adding no latency.
 //
-// The sender owns every writer handed to enqueue and frees it after the
-// frame is sent or discarded. Send failures are reported once through
-// onErr; frames enqueued after a failure are silently dropped, which is
-// correct for RPC because a send failure condemns the connection and
-// the pending-call table delivers the failure to every caller.
+// The sender owns every frame handed to enqueue and releases it after
+// the frame is sent or discarded. Send failures are reported once
+// through onErr; frames enqueued after a failure are silently dropped,
+// which is correct for RPC because a send failure condemns the
+// connection and the pending-call table delivers the failure to every
+// caller.
 type connSender struct {
 	conn  transport.Conn
 	onErr func(error)
 
 	mu     sync.Mutex
-	queue  []*wire.Writer
-	spare  []*wire.Writer // recycled queue backing, swapped by flush
+	queue  []outFrame
+	spare  []outFrame // recycled queue backing, swapped by flush
 	active bool
 	dead   bool
 }
@@ -35,17 +74,23 @@ func newConnSender(conn transport.Conn, onErr func(error)) *connSender {
 	return &connSender{conn: conn, onErr: onErr}
 }
 
-// enqueue hands one encoded frame to the sender. It returns once the
-// frame is queued; the flush (possibly run by this goroutine) delivers
-// it in order.
+// enqueue hands one fully encoded frame to the sender. It returns once
+// the frame is queued; the flush (possibly run by this goroutine)
+// delivers it in order.
 func (s *connSender) enqueue(w *wire.Writer) {
+	s.enqueueOut(outFrame{w: w})
+}
+
+// enqueueOut hands one frame of any shape to the sender, transferring
+// ownership of its writer, body buffer and file handle.
+func (s *connSender) enqueueOut(f outFrame) {
 	s.mu.Lock()
 	if s.dead {
 		s.mu.Unlock()
-		w.Free()
+		f.done()
 		return
 	}
-	s.queue = append(s.queue, w)
+	s.queue = append(s.queue, f)
 	if s.active {
 		s.mu.Unlock()
 		return
@@ -64,8 +109,8 @@ func (s *connSender) flush() {
 			s.queue = nil
 			s.active = false
 			s.mu.Unlock()
-			for _, w := range q {
-				w.Free()
+			for i := range q {
+				q[i].done()
 			}
 			return
 		}
@@ -74,14 +119,36 @@ func (s *connSender) flush() {
 		s.spare = nil
 		s.mu.Unlock()
 
-		frames = frames[:0]
-		for _, w := range batch {
-			frames = append(frames, w.Bytes())
+		// Contiguous runs of plain frames go out as one batched write;
+		// vectored and file-backed frames go out individually (each is
+		// one whole frame to the transport). Order is preserved across
+		// the boundary — a stream's data frames and its trailer ride the
+		// same queue.
+		var err error
+		i := 0
+		for i < len(batch) && err == nil {
+			if batch[i].plain() {
+				j := i
+				frames = frames[:0]
+				for j < len(batch) && batch[j].plain() {
+					frames = append(frames, batch[j].w.Bytes())
+					j++
+				}
+				err = sendFrames(s.conn, frames)
+				for ; i < j; i++ {
+					batch[i].done()
+					batch[i] = outFrame{}
+				}
+			} else {
+				err = s.sendPayload(&batch[i])
+				batch[i].done()
+				batch[i] = outFrame{}
+				i++
+			}
 		}
-		err := sendFrames(s.conn, frames)
-		for i, w := range batch {
-			w.Free()
-			batch[i] = nil
+		for ; i < len(batch); i++ {
+			batch[i].done()
+			batch[i] = outFrame{}
 		}
 		if err != nil {
 			s.fail(err)
@@ -91,6 +158,28 @@ func (s *connSender) flush() {
 		s.spare = batch[:0]
 		s.mu.Unlock()
 	}
+}
+
+// sendPayload transmits one vectored or file-backed frame, counting
+// how its payload bytes actually traveled.
+func (s *connSender) sendPayload(f *outFrame) error {
+	hdr := f.w.Bytes()
+	if f.file != nil {
+		if _, ok := s.conn.(transport.FileSender); ok {
+			mSendSendfileFrames.Inc()
+			mSendSendfileBytes.Add(f.fileN)
+		} else {
+			mSendAssembledFrames.Inc()
+		}
+		return transport.SendFileFrame(s.conn, hdr, f.file, f.fileN)
+	}
+	if _, ok := s.conn.(transport.VecSender); ok {
+		mSendVecFrames.Inc()
+		mSendVecBytes.Add(int64(len(f.body)))
+	} else {
+		mSendAssembledFrames.Inc()
+	}
+	return transport.SendVec(s.conn, [][]byte{hdr, f.body})
 }
 
 // fail marks the sender dead, discards queued frames, and reports err
@@ -106,8 +195,8 @@ func (s *connSender) fail(err error) {
 	s.queue = nil
 	s.active = false
 	s.mu.Unlock()
-	for _, w := range q {
-		w.Free()
+	for i := range q {
+		q[i].done()
 	}
 	if s.onErr != nil {
 		s.onErr(err)

@@ -3,6 +3,7 @@ package rpc
 import (
 	"encoding/binary"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -37,8 +38,9 @@ type sequencedConn struct {
 
 	// smu makes stamp+send atomic, so concurrent senders cannot emit
 	// sequence numbers out of order.
-	smu  sync.Mutex
-	next uint64
+	smu        sync.Mutex
+	next       uint64
+	vecScratch [][]byte // part-vector backing reused across SendVec calls
 
 	// rmu serializes receivers over the reorder-repair state.
 	rmu      sync.Mutex
@@ -70,6 +72,40 @@ func (c *sequencedConn) Send(p []byte) error {
 	err := c.conn.Send(f)
 	c.smu.Unlock()
 	transport.PutFrame(f)
+	return err
+}
+
+// SendVec stamps and forwards one vectored frame. The 8-byte sequence
+// header rides as its own leading part, so the payload parts are never
+// copied here — the stamp that costs a full frame copy on the
+// contiguous path becomes a fixed 8-byte prepend.
+func (c *sequencedConn) SendVec(parts [][]byte) error {
+	var hdr [seqHeader]byte
+	c.smu.Lock()
+	binary.BigEndian.PutUint64(hdr[:], c.next)
+	c.next++
+	c.vecScratch = append(c.vecScratch[:0], hdr[:])
+	c.vecScratch = append(c.vecScratch, parts...)
+	err := transport.SendVec(c.conn, c.vecScratch)
+	for i := range c.vecScratch {
+		c.vecScratch[i] = nil
+	}
+	c.smu.Unlock()
+	return err
+}
+
+// SendFileFrame stamps and forwards one file-backed frame: the
+// sequence header and frame header travel as one small vectored part,
+// and the file section is spliced by the transport when it can be.
+func (c *sequencedConn) SendFileFrame(hdr []byte, f *os.File, n int64) error {
+	c.smu.Lock()
+	h := transport.GetFrame(seqHeader + len(hdr))
+	binary.BigEndian.PutUint64(h, c.next)
+	c.next++
+	copy(h[seqHeader:], hdr)
+	err := transport.SendFileFrame(c.conn, h, f, n)
+	c.smu.Unlock()
+	transport.PutFrame(h)
 	return err
 }
 

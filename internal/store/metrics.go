@@ -24,4 +24,25 @@ var (
 		"quarantined chunks healed by a later put of the same content")
 	mScrubbedBytes = obs.Default.Counter("gdn_store_scrubbed_bytes_total",
 		"chunk bytes the scrubber has verified against their address")
+
+	// Zero-copy serve counters: how chunk bytes left the store. A
+	// zerocopy byte was served by reference to the immutable resident
+	// buffer (memory stores); a pooled byte was read from disk into a
+	// recycled buffer handed down the stack with an ownership-releasing
+	// callback; a file open handed the transport a handle to splice
+	// (sendfile) without the bytes entering user space at all.
+	mServeZeroCopy = obs.Default.Counter("gdn_store_serve_zerocopy_bytes_total",
+		"chunk bytes served by reference with no copy")
+	mServePooled = obs.Default.Counter("gdn_store_serve_pooled_bytes_total",
+		"chunk bytes read from disk into pooled, ownership-tracked buffers")
+	mServeFileOpens = obs.Default.Counter("gdn_store_serve_file_opens_total",
+		"chunk file handles handed to transports for splicing")
+
+	// Prefetch pipeline counters: Pipeline fetches chunks ahead of the
+	// consumer; a stall means the consumer outran the prefetcher (the
+	// window or the backing read is the bottleneck, not the wire).
+	mPrefetchFetched = obs.Default.Counter("gdn_store_prefetch_fetched_total",
+		"items fetched ahead of their consumer by the prefetch pipeline")
+	mPrefetchStalls = obs.Default.Counter("gdn_store_prefetch_stalls_total",
+		"times a pipeline consumer had to wait for an in-flight fetch")
 )

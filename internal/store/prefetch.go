@@ -1,0 +1,80 @@
+package store
+
+// Prefetch pipelining: the bulk read path is a strict
+// fetch-chunk-then-send-chunk loop, which serializes storage latency
+// (disk read, hash verify, or an upstream RPC) with wire latency.
+// Pipeline overlaps them — a producer goroutine runs fetches up to
+// depth results ahead while the consumer drains in order — so the
+// slower of the two sides sets the pace instead of their sum. Both the
+// OpBulkRead server loop and the cache-fill chunk fetcher ride it.
+
+// Pipeline runs fetch for every index in [0, n), in order, up to depth
+// results ahead of consume, which also runs in order on the calling
+// goroutine. The first error from either side stops the pipeline and
+// is returned.
+//
+// Fetched values may carry owned resources (pooled buffers, open file
+// handles); drop is called for any fetched value that consume never
+// received — on early error, every in-flight or buffered value is
+// either consumed or dropped exactly once. A nil drop is allowed when
+// values own nothing.
+func Pipeline[T any](depth, n int, fetch func(i int) (T, error), consume func(i int, v T) error, drop func(v T)) error {
+	if n <= 0 {
+		return nil
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	type item struct {
+		v   T
+		err error
+	}
+	results := make(chan item, depth)
+	cancel := make(chan struct{})
+	go func() {
+		defer close(results)
+		for i := 0; i < n; i++ {
+			v, err := fetch(i)
+			if err == nil {
+				mPrefetchFetched.Inc()
+			}
+			select {
+			case results <- item{v: v, err: err}:
+				if err != nil {
+					return
+				}
+			case <-cancel:
+				if err == nil && drop != nil {
+					drop(v)
+				}
+				return
+			}
+		}
+	}()
+	defer func() {
+		close(cancel)
+		for it := range results {
+			if it.err == nil && drop != nil {
+				drop(it.v)
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		var it item
+		select {
+		case it = <-results:
+		default:
+			// The consumer outran the producer: storage, not the wire,
+			// is the bottleneck right now.
+			mPrefetchStalls.Inc()
+			it = <-results
+		}
+		if it.err != nil {
+			return it.err
+		}
+		if err := consume(i, it.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

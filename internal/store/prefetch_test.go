@@ -1,0 +1,215 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPipelineDeliversInOrder(t *testing.T) {
+	const n = 50
+	var consumed []int
+	err := Pipeline(4, n,
+		func(i int) (int, error) { return i * 10, nil },
+		func(i, v int) error {
+			if v != i*10 {
+				return fmt.Errorf("item %d carried %d", i, v)
+			}
+			consumed = append(consumed, i)
+			return nil
+		},
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(consumed) != n {
+		t.Fatalf("consumed %d of %d", len(consumed), n)
+	}
+	for i, got := range consumed {
+		if got != i {
+			t.Fatalf("out of order: position %d got item %d", i, got)
+		}
+	}
+}
+
+func TestPipelineBoundsLookahead(t *testing.T) {
+	// The producer may run at most a bounded window past the consumer.
+	// With the consumer parked on item 0, at most depth+2 fetches start:
+	// one result in the consumer's hands, depth buffered, and one whose
+	// send is parked on the full channel.
+	const depth = 3
+	const n = depth + 3
+	fetched := make(chan int)
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- Pipeline(depth, n,
+			func(i int) (int, error) { fetched <- i; return i, nil },
+			func(i, v int) error { <-release; return nil },
+			nil)
+	}()
+	for i := 0; i < depth+2; i++ {
+		<-fetched
+	}
+	select {
+	case i := <-fetched:
+		t.Fatalf("fetch %d ran more than depth+2=%d ahead of the consumer", i, depth+2)
+	default:
+	}
+	// A consumption opens a buffer slot and admits exactly the one
+	// remaining fetch.
+	release <- struct{}{}
+	<-fetched
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineConsumeErrorDropsInFlight(t *testing.T) {
+	// Every fetched value must be consumed or dropped exactly once,
+	// even when the consumer bails with fetches buffered and in flight.
+	var fetchedN, droppedN, consumedN atomic.Int64
+	bail := errors.New("consumer bails")
+	err := Pipeline(4, 100,
+		func(i int) (int, error) { fetchedN.Add(1); return i, nil },
+		func(i, v int) error {
+			consumedN.Add(1)
+			if i == 5 {
+				return bail
+			}
+			return nil
+		},
+		func(v int) { droppedN.Add(1) })
+	if !errors.Is(err, bail) {
+		t.Fatalf("err = %v, want the consumer's error", err)
+	}
+	if got := consumedN.Load() + droppedN.Load(); got != fetchedN.Load() {
+		t.Fatalf("fetched %d but consumed %d + dropped %d = %d",
+			fetchedN.Load(), consumedN.Load(), droppedN.Load(), got)
+	}
+}
+
+func TestPipelineFetchErrorStops(t *testing.T) {
+	boom := errors.New("fetch fails")
+	var consumed, dropped atomic.Int64
+	err := Pipeline(2, 100,
+		func(i int) (int, error) {
+			if i == 7 {
+				return 0, boom
+			}
+			return i, nil
+		},
+		func(i, v int) error { consumed.Add(1); return nil },
+		func(v int) { dropped.Add(1) })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the fetch error", err)
+	}
+	// Items 0..6 were fetched successfully; each was consumed or
+	// dropped, never both, never neither.
+	if got := consumed.Load() + dropped.Load(); got != 7 {
+		t.Fatalf("consumed %d + dropped %d = %d, want 7", consumed.Load(), dropped.Load(), got)
+	}
+}
+
+// TestServeChunkPathDoesNotAllocate pins the zero-copy claim with an
+// allocation budget: after warmup, serving a resident chunk through
+// GetZC (the hot path under every bulk stream) must not allocate —
+// pooled read buffers recycle, and memory-store serves are by
+// reference.
+func TestServeChunkPathDoesNotAllocate(t *testing.T) {
+	disk, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, chunkReadBuf)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	refD, err := disk.PutPinned(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refM, err := mem.PutPinned(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serve := func(s *Store, ref Ref) {
+		data, release, err := s.GetZC(ref)
+		if err != nil || len(data) != len(payload) {
+			t.Fatalf("GetZC: %d bytes, %v", len(data), err)
+		}
+		if release != nil {
+			release()
+		}
+	}
+	// Warm the pools (first disk read seeds the buffer pool entry).
+	serve(disk, refD)
+
+	if got := testing.AllocsPerRun(50, func() { serve(mem, refM) }); got > 0 {
+		t.Errorf("memory-store GetZC allocates %.1f objects per serve, want 0", got)
+	}
+	// The disk path's budget admits the os.Open bookkeeping (a handful
+	// of small objects) and the release closure; the 256 KiB data
+	// buffer itself must come from the pool. A failure here means each
+	// serve allocates the payload again — the regression this test
+	// exists to catch.
+	if got := testing.AllocsPerRun(50, func() { serve(disk, refD) }); got > 8 {
+		t.Errorf("disk-store GetZC allocates %.1f objects per serve, want the pooled-buffer path (<=8)", got)
+	}
+}
+
+// TestGetZCPooledBufferConcurrent hammers the pooled serve path from
+// many goroutines to let the race detector check the buffer-ownership
+// handoff: no two concurrent serves may observe each other's bytes.
+func TestGetZCPooledBufferConcurrent(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refs []Ref
+	for i := 0; i < 8; i++ {
+		payload := make([]byte, 4096)
+		for j := range payload {
+			payload[j] = byte(i)
+		}
+		ref, err := s.PutPinned(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				ref := refs[(g+k)%len(refs)]
+				data, release, err := s.GetZC(ref)
+				if err != nil {
+					t.Errorf("GetZC: %v", err)
+					return
+				}
+				want := byte((g + k) % len(refs))
+				for _, b := range data {
+					if b != want {
+						t.Errorf("buffer cross-talk: got byte %d, want %d", b, want)
+						break
+					}
+				}
+				if release != nil {
+					release()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

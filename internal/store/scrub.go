@@ -50,16 +50,11 @@ func (s *Store) Scrub(limit int64) ScrubResult {
 		return res
 	}
 
-	s.mu.Lock()
-	refs := make([]Ref, 0, len(s.chunks))
-	for ref, e := range s.chunks {
-		if !e.gone {
-			refs = append(refs, ref)
-		}
-	}
+	refs := s.Refs()
+	s.scrubMu.Lock()
 	start := s.cursor
 	started := s.scrubbed
-	s.mu.Unlock()
+	s.scrubMu.Unlock()
 
 	sort.Slice(refs, func(i, j int) bool {
 		return bytes.Compare(refs[i][:], refs[j][:]) < 0
@@ -93,11 +88,11 @@ func (s *Store) Scrub(limit int64) ScrubResult {
 			res.Quarantined = append(res.Quarantined, ref)
 			mQuarantined.Inc()
 		}
-		s.mu.Lock()
+		s.scrubMu.Lock()
 		s.cursor = ref
 		s.scrubbed = true
-		s.stats.Scrubbed += size
-		s.mu.Unlock()
+		s.scrubMu.Unlock()
+		s.scrubbedB.Add(size)
 		mScrubbedBytes.Add(size)
 	}
 	return res
@@ -127,26 +122,27 @@ func (s *Store) quarantine(ref Ref) bool {
 		os.Rename(s.path(ref), dst) //nolint:errcheck
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.chunks[ref]
+	sh := s.shardOf(ref)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.chunks[ref]
 	if !ok || e.gone {
 		return false
 	}
-	s.stats.Quarantined++
+	s.quarantined.Add(1)
 	if e.refs == 0 {
-		s.dropLocked(ref, e)
+		s.dropLocked(sh, ref, e)
 		return true
 	}
 	if e.elem != nil {
-		s.cold.Remove(e.elem)
+		sh.cold.Remove(e.elem)
 		e.elem = nil
 	}
-	s.bytes -= e.size
+	s.bytes.Add(-e.size)
 	e.size = 0
 	e.data = nil
 	e.gone = true
-	s.gone++
+	sh.gone++
 	return true
 }
 
@@ -164,9 +160,9 @@ func (s *Store) StartScrubber(interval time.Duration, bytesPerPass int64, onBad 
 
 	stopCh := make(chan struct{})
 	doneCh := make(chan struct{})
-	s.mu.Lock()
+	s.scrubMu.Lock()
 	s.scrubStop, s.scrubDone = stopCh, doneCh
-	s.mu.Unlock()
+	s.scrubMu.Unlock()
 
 	go func() {
 		defer close(doneCh)
@@ -190,10 +186,10 @@ func (s *Store) StartScrubber(interval time.Duration, bytesPerPass int64, onBad 
 // StopScrubber halts the background scrubber, waiting for an in-flight
 // pass to finish. It is safe to call when none is running.
 func (s *Store) StopScrubber() {
-	s.mu.Lock()
+	s.scrubMu.Lock()
 	stopCh, doneCh := s.scrubStop, s.scrubDone
 	s.scrubStop, s.scrubDone = nil, nil
-	s.mu.Unlock()
+	s.scrubMu.Unlock()
 	if stopCh == nil {
 		return
 	}

@@ -141,9 +141,10 @@ func TestQuarantinedPlaceholderReleasedToZeroDrops(t *testing.T) {
 	corruptOnDisk(t, s, ref)
 	s.Scrub(-1)
 	s.Release([]Ref{ref})
-	s.mu.Lock()
-	_, resident := s.chunks[ref]
-	s.mu.Unlock()
+	sh := s.shardOf(ref)
+	sh.mu.Lock()
+	_, resident := sh.chunks[ref]
+	sh.mu.Unlock()
 	if resident {
 		t.Fatalf("placeholder entry survived release of its last pin")
 	}
@@ -167,9 +168,10 @@ func TestScrubUnreferencedCorruptChunkIsDropped(t *testing.T) {
 	if s.Has(ref) {
 		t.Fatalf("unreferenced corrupt chunk still resident")
 	}
-	s.mu.Lock()
-	_, resident := s.chunks[ref]
-	s.mu.Unlock()
+	sh := s.shardOf(ref)
+	sh.mu.Lock()
+	_, resident := sh.chunks[ref]
+	sh.mu.Unlock()
 	if resident {
 		t.Fatalf("unreferenced corrupt chunk left a placeholder entry")
 	}

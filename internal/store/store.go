@@ -1,40 +1,3 @@
-// Package store implements the content-addressed chunk store that
-// backs bulk package content everywhere in the GDN: object servers
-// persist replica state through it, GDN HTTPDs cache downloaded
-// chunks in it, and the replication protocols ship only the chunks a
-// receiver is missing because equal content always has the equal key.
-//
-// A chunk is an immutable byte string addressed by its SHA-256 digest
-// (its Ref). Addressing by content gives three properties the paper
-// asks of the GDN at once: identical content stored once no matter how
-// many packages or versions reference it (packages "can be very
-// large", §2), end-to-end integrity — a reader that verifies the
-// digest cannot be served corrupted content by a replica or proxy
-// (§6.1) — and cheap delta transfer, because a receiver can name
-// exactly the chunks it lacks.
-//
-// # Ownership
-//
-// Chunks are reference counted. Retain pins a chunk on behalf of a
-// manifest that names it (a package file, a tagged version, an object
-// server's on-disk checkpoint); Release drops the pin. What happens
-// when the count reaches zero depends on the store's mode:
-//
-//   - plain stores delete the chunk immediately — the store holds
-//     exactly the content live manifests reference;
-//   - cache stores (WithCapacity) keep released chunks on an LRU list
-//     and evict from its cold end only when the capacity is exceeded.
-//     This is the proxy-cache mode: a cache replica that drops its
-//     state keeps the bytes around, so a later refill fetches only
-//     chunks that were actually evicted.
-//
-// # Durability
-//
-// A disk-backed store (Open with a directory) writes each chunk to a
-// temporary file, fsyncs it, and renames it into place, so a crash
-// leaves either the whole chunk or nothing. Orphans from a crash —
-// chunks written but never referenced by a durable manifest — are
-// reclaimed by Sweep, which object servers run after recovery.
 package store
 
 import (
@@ -43,9 +6,11 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -76,6 +41,9 @@ var (
 	// ErrCorrupt is returned when on-disk chunk bytes no longer match
 	// their content address.
 	ErrCorrupt = errors.New("store: chunk bytes do not match their address")
+	// ErrNotOnDisk is returned by OpenChunk when a chunk's bytes are not
+	// a plain file a transport could splice (memory-backed store).
+	ErrNotOnDisk = errors.New("store: chunk bytes not file-backed")
 )
 
 // Stats counts store effectiveness for experiments and tests.
@@ -99,9 +67,9 @@ type Stats struct {
 }
 
 // entry is the in-memory record of one chunk. data is nil for
-// disk-resident chunks; elem is non-nil while the chunk sits on the
-// cold (refs == 0) LRU list. gone marks a quarantined chunk: the
-// scrubber found its bytes corrupt and moved them aside, but live
+// disk-resident chunks; elem is non-nil while the chunk sits on its
+// shard's cold (refs == 0) LRU list. gone marks a quarantined chunk:
+// the scrubber found its bytes corrupt and moved them aside, but live
 // manifests still pin the ref, so the entry stays in the table —
 // carrying the reference count across the repair — while behaving as
 // absent to every reader until a fresh Put heals it.
@@ -113,28 +81,52 @@ type entry struct {
 	gone bool
 }
 
+// numShards stripes the index so concurrent readers on the bulk serve
+// path do not serialize on one mutex. SHA-256 refs are uniformly
+// distributed, so sharding by the first address byte balances for
+// free. Must be a power of two.
+const numShards = 16
+
+// shard is one stripe of the index: its own mutex, chunk table and
+// cold LRU list. Eviction order is per-shard LRU — globally an
+// approximation of LRU, exact within a stripe — while the capacity
+// bound itself stays exact via the store-wide byte counter.
+type shard struct {
+	mu     sync.Mutex
+	chunks map[Ref]*entry
+	cold   *list.List // refs == 0, front = most recently used
+	gone   int        // quarantined placeholder entries in chunks
+}
+
 // Store is a content-addressed chunk store. The zero value is not
 // usable; call Mem or Open. Stores are safe for concurrent use.
 type Store struct {
 	dir string
 	cap int64
 
-	mu     sync.Mutex
-	chunks map[Ref]*entry
-	cold   *list.List // refs == 0, front = most recently used
-	bytes  int64
-	gone   int // quarantined placeholder entries in chunks
-	stats  Stats
+	shards [numShards]shard
+	bytes  atomic.Int64 // resident content bytes across all shards
+
+	// Cumulative counters, mirrored into the obs registry.
+	dedup       atomic.Int64
+	evictions   atomic.Int64
+	quarantined atomic.Int64
+	repaired    atomic.Int64
+	scrubbedB   atomic.Int64
 
 	// cursor is the scrubber's resume point: scrubbing walks refs in
 	// ascending order and carries on where the previous pass stopped,
 	// so a bounded pass still covers the whole store eventually.
+	scrubMu  sync.Mutex
 	cursor   Ref
 	scrubbed bool // cursor is valid (a pass has started)
 
 	scrubStop chan struct{} // non-nil while a background scrubber runs
 	scrubDone chan struct{}
 }
+
+// shardOf returns the stripe owning ref.
+func (s *Store) shardOf(ref Ref) *shard { return &s.shards[ref[0]&(numShards-1)] }
 
 // Option configures a store.
 type Option func(*Store)
@@ -157,10 +149,10 @@ func Mem(opts ...Option) *Store {
 // needed and indexing any chunks a previous process left behind
 // (recovery). An empty dir selects a memory-backed store.
 func Open(dir string, opts ...Option) (*Store, error) {
-	s := &Store{
-		dir:    dir,
-		chunks: make(map[Ref]*entry),
-		cold:   list.New(),
+	s := &Store{dir: dir}
+	for i := range s.shards {
+		s.shards[i].chunks = make(map[Ref]*entry)
+		s.shards[i].cold = list.New()
 	}
 	for _, o := range opts {
 		o(s)
@@ -209,10 +201,11 @@ func (s *Store) index() error {
 			}
 			var ref Ref
 			copy(ref[:], b)
+			sh := s.shardOf(ref)
 			e := &entry{size: info.Size()}
-			e.elem = s.cold.PushBack(coldRef{ref})
-			s.chunks[ref] = e
-			s.bytes += e.size
+			e.elem = sh.cold.PushBack(coldRef{ref})
+			sh.chunks[ref] = e
+			s.bytes.Add(e.size)
 		}
 	}
 	return nil
@@ -261,13 +254,14 @@ func (s *Store) putRef(ref Ref, data []byte, pin bool) error {
 		return fmt.Errorf("%w: got %d bytes hashing to %s, want %s",
 			ErrCorrupt, len(data), RefOf(data).Short(), ref.Short())
 	}
-	s.mu.Lock()
-	if e, ok := s.chunks[ref]; ok && !e.gone {
-		s.dedupLocked(ref, e, pin)
-		s.mu.Unlock()
+	sh := s.shardOf(ref)
+	sh.mu.Lock()
+	if e, ok := sh.chunks[ref]; ok && !e.gone {
+		s.dedupLocked(sh, ref, e, pin)
+		sh.mu.Unlock()
 		return nil
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 
 	if s.dir != "" {
 		if err := s.writeChunk(ref, data); err != nil {
@@ -275,33 +269,34 @@ func (s *Store) putRef(ref Ref, data []byte, pin bool) error {
 		}
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e, ok := s.chunks[ref]; ok {
+	sh.mu.Lock()
+	if e, ok := sh.chunks[ref]; ok {
 		if e.gone {
 			// Healing a quarantined chunk: the fresh (verified) bytes are
 			// on disk again. The entry kept the reference count of every
 			// manifest that still names the ref, so pins survive the
 			// corruption-and-repair round trip.
 			e.gone = false
-			s.gone--
+			sh.gone--
 			e.size = int64(len(data))
 			if s.dir == "" {
 				e.data = append([]byte(nil), data...)
 			}
-			s.bytes += e.size
-			s.stats.Repaired++
+			s.bytes.Add(e.size)
+			s.repaired.Add(1)
 			mRepaired.Inc()
 			if pin {
 				e.refs++
 			} else if e.refs == 0 && e.elem == nil {
-				e.elem = s.cold.PushFront(coldRef{ref})
+				e.elem = sh.cold.PushFront(coldRef{ref})
 			}
-			s.evictLocked()
+			sh.mu.Unlock()
+			s.evict()
 			return nil
 		}
 		// Raced with another Put of the same content.
-		s.dedupLocked(ref, e, pin)
+		s.dedupLocked(sh, ref, e, pin)
+		sh.mu.Unlock()
 		return nil
 	}
 	e := &entry{size: int64(len(data))}
@@ -311,28 +306,30 @@ func (s *Store) putRef(ref Ref, data []byte, pin bool) error {
 	if pin {
 		e.refs = 1
 	} else {
-		e.elem = s.cold.PushFront(coldRef{ref})
+		e.elem = sh.cold.PushFront(coldRef{ref})
 	}
-	s.chunks[ref] = e
-	s.bytes += e.size
-	s.evictLocked()
+	sh.chunks[ref] = e
+	s.bytes.Add(e.size)
+	sh.mu.Unlock()
+	s.evict()
 	return nil
 }
 
 // dedupLocked accounts a Put that found its chunk already present,
-// taking the pin when asked.
-func (s *Store) dedupLocked(ref Ref, e *entry, pin bool) {
-	s.stats.Dedup++
+// taking the pin when asked. Caller holds sh.mu.
+func (s *Store) dedupLocked(sh *shard, ref Ref, e *entry, pin bool) {
+	s.dedup.Add(1)
 	mDedup.Inc()
 	if pin {
 		if e.refs == 0 && e.elem != nil {
-			s.cold.Remove(e.elem)
+			sh.cold.Remove(e.elem)
 			e.elem = nil
 		}
 		e.refs++
 		return
 	}
-	s.touchLocked(ref, e)
+	sh.touchLocked(e)
+	_ = ref
 }
 
 // writeChunk persists one chunk durably. Concurrent writers of the
@@ -382,35 +379,132 @@ func WriteFileSync(name string, data []byte) error {
 // rather than as silently wrong content. Callers must not modify the
 // returned slice of a memory-backed store.
 func (s *Store) Get(ref Ref) ([]byte, error) {
-	start := time.Now()
-	defer mGetSeconds.ObserveSince(start)
-	s.mu.Lock()
-	e, ok := s.chunks[ref]
-	if !ok || e.gone {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrMissing, ref.Short())
+	data, release, err := s.GetZC(ref)
+	if err != nil {
+		return nil, err
 	}
-	s.touchLocked(ref, e)
-	data := e.data
-	s.mu.Unlock()
-	if data != nil {
+	if release == nil {
 		return data, nil
 	}
-	data, err := os.ReadFile(s.path(ref))
+	// The caller keeps the slice indefinitely under Get's contract, so
+	// a pooled read buffer must be copied out before recycling.
+	out := append([]byte(nil), data...)
+	release()
+	return out, nil
+}
+
+// chunkReadBuf sizes the pooled read buffers for disk chunk serves:
+// one canonical 256 KiB content chunk. Larger (non-canonical) chunks
+// fall back to a plain allocation.
+const chunkReadBuf = 256 << 10
+
+// readBufPool recycles disk-read buffers across GetZC calls, so a
+// replica streaming a large file allocates no per-chunk buffers.
+var readBufPool = sync.Pool{New: func() any {
+	b := make([]byte, chunkReadBuf)
+	return &b
+}}
+
+// GetZC returns a chunk's bytes without copying when possible, plus a
+// release function (possibly nil) the caller must invoke exactly once
+// when it is completely done with the slice. For memory-backed stores
+// the slice aliases the immutable resident bytes and release is nil;
+// for disk-backed stores the bytes are read into a pooled buffer that
+// release recycles. Disk reads are verified against the content
+// address exactly like Get. The slice must be treated as read-only
+// and must not be used after release.
+func (s *Store) GetZC(ref Ref) (data []byte, release func(), err error) {
+	start := time.Now()
+	defer mGetSeconds.ObserveSince(start)
+	sh := s.shardOf(ref)
+	sh.mu.Lock()
+	e, ok := sh.chunks[ref]
+	if !ok || e.gone {
+		sh.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %s", ErrMissing, ref.Short())
+	}
+	sh.touchLocked(e)
+	mem := e.data
+	size := e.size
+	sh.mu.Unlock()
+	if mem != nil {
+		mServeZeroCopy.Add(int64(len(mem)))
+		return mem, nil, nil
+	}
+
+	f, err := os.Open(s.path(ref))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %s: %v", ErrMissing, ref.Short(), err)
+		return nil, nil, fmt.Errorf("%w: %s: %v", ErrMissing, ref.Short(), err)
 	}
-	if RefOf(data) != ref {
-		return nil, fmt.Errorf("%w: %s", ErrCorrupt, ref.Short())
+	var bp *[]byte
+	var buf []byte
+	if size <= chunkReadBuf {
+		bp = readBufPool.Get().(*[]byte)
+		buf = (*bp)[:size]
+	} else {
+		buf = make([]byte, size)
 	}
-	return data, nil
+	_, err = io.ReadFull(f, buf)
+	f.Close()
+	if err != nil {
+		if bp != nil {
+			readBufPool.Put(bp)
+		}
+		return nil, nil, fmt.Errorf("%w: %s: %v", ErrMissing, ref.Short(), err)
+	}
+	if RefOf(buf) != ref {
+		if bp != nil {
+			readBufPool.Put(bp)
+		}
+		return nil, nil, fmt.Errorf("%w: %s", ErrCorrupt, ref.Short())
+	}
+	mServePooled.Add(size)
+	if bp == nil {
+		return buf, nil, nil
+	}
+	return buf, func() { readBufPool.Put(bp) }, nil
+}
+
+// OpenChunk returns an open handle on a chunk's backing file plus its
+// size, so transports that can splice files (sendfile on TCP) serve
+// the bytes without them ever entering user space. Ownership of the
+// handle passes to the caller.
+//
+// The bytes are deliberately NOT re-verified against the content
+// address on this path — that would require reading them, defeating
+// the splice. Integrity is still covered twice over: the client
+// verifies the whole file's end-to-end digest from the manifest, and
+// the background scrubber re-reads resident chunks and quarantines
+// corruption at the source. Memory-backed stores return ErrNotOnDisk;
+// callers fall back to GetZC.
+func (s *Store) OpenChunk(ref Ref) (*os.File, int64, error) {
+	if s.dir == "" {
+		return nil, 0, ErrNotOnDisk
+	}
+	sh := s.shardOf(ref)
+	sh.mu.Lock()
+	e, ok := sh.chunks[ref]
+	if !ok || e.gone {
+		sh.mu.Unlock()
+		return nil, 0, fmt.Errorf("%w: %s", ErrMissing, ref.Short())
+	}
+	sh.touchLocked(e)
+	size := e.size
+	sh.mu.Unlock()
+	f, err := os.Open(s.path(ref))
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %s: %v", ErrMissing, ref.Short(), err)
+	}
+	mServeFileOpens.Inc()
+	return f, size, nil
 }
 
 // Has reports whether a chunk is present (and not quarantined).
 func (s *Store) Has(ref Ref) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.chunks[ref]
+	sh := s.shardOf(ref)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.chunks[ref]
 	return ok && !e.gone
 }
 
@@ -419,8 +513,6 @@ func (s *Store) Has(ref Ref) bool {
 // transfer that must hold chunks across the check pins them instead
 // (Retain/PutPinned), as the answer can go stale under eviction.
 func (s *Store) Missing(refs []Ref) []Ref {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []Ref
 	seen := make(map[Ref]bool)
 	for _, ref := range refs {
@@ -428,7 +520,12 @@ func (s *Store) Missing(refs []Ref) []Ref {
 			continue
 		}
 		seen[ref] = true
-		if e, ok := s.chunks[ref]; !ok || e.gone {
+		sh := s.shardOf(ref)
+		sh.mu.Lock()
+		e, ok := sh.chunks[ref]
+		present := ok && !e.gone
+		sh.mu.Unlock()
+		if !present {
 			out = append(out, ref)
 		}
 	}
@@ -437,108 +534,147 @@ func (s *Store) Missing(refs []Ref) []Ref {
 
 // Retain pins every listed chunk (once per occurrence). It fails
 // without side effects if any chunk is absent, so a manifest is
-// either fully pinned or not at all.
+// either fully pinned or not at all. The shards the refs touch are
+// locked together (in index order, so concurrent Retains cannot
+// deadlock) to keep the check-then-pin atomic.
 func (s *Store) Retain(refs []Ref) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	var touched [numShards]bool
 	for _, ref := range refs {
-		if e, ok := s.chunks[ref]; !ok || e.gone {
+		touched[ref[0]&(numShards-1)] = true
+	}
+	for i := range s.shards {
+		if touched[i] {
+			s.shards[i].mu.Lock()
+		}
+	}
+	unlock := func() {
+		for i := range s.shards {
+			if touched[i] {
+				s.shards[i].mu.Unlock()
+			}
+		}
+	}
+	for _, ref := range refs {
+		if e, ok := s.shardOf(ref).chunks[ref]; !ok || e.gone {
+			unlock()
 			return fmt.Errorf("%w: %s", ErrMissing, ref.Short())
 		}
 	}
 	for _, ref := range refs {
-		e := s.chunks[ref]
+		sh := s.shardOf(ref)
+		e := sh.chunks[ref]
 		if e.refs == 0 && e.elem != nil {
-			s.cold.Remove(e.elem)
+			sh.cold.Remove(e.elem)
 			e.elem = nil
 		}
 		e.refs++
 	}
+	unlock()
 	return nil
 }
 
 // Release drops one pin per listed chunk. Unknown refs are ignored so
 // teardown paths need not track exactly what a failed Retain pinned.
 func (s *Store) Release(refs []Ref) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, ref := range refs {
-		e, ok := s.chunks[ref]
+		sh := s.shardOf(ref)
+		sh.mu.Lock()
+		e, ok := sh.chunks[ref]
 		if !ok || e.refs == 0 {
+			sh.mu.Unlock()
 			continue
 		}
 		e.refs--
 		if e.refs > 0 {
+			sh.mu.Unlock()
 			continue
 		}
 		if e.gone {
 			// The last manifest naming a quarantined chunk is gone; there
 			// are no bytes to cache, so the placeholder entry goes too.
-			s.dropLocked(ref, e)
+			s.dropLocked(sh, ref, e)
 		} else if s.cap > 0 {
-			e.elem = s.cold.PushFront(coldRef{ref})
+			e.elem = sh.cold.PushFront(coldRef{ref})
 		} else {
-			s.dropLocked(ref, e)
+			s.dropLocked(sh, ref, e)
 		}
+		sh.mu.Unlock()
 	}
-	s.evictLocked()
+	s.evict()
 }
 
 // Sweep deletes every unreferenced chunk — the recovery-time garbage
 // collection that reclaims orphans a crash left behind. It returns
 // the number of chunks and bytes reclaimed.
 func (s *Store) Sweep() (chunks int, bytes int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for el := s.cold.Front(); el != nil; {
-		next := el.Next()
-		ref := el.Value.(coldRef).ref
-		e := s.chunks[ref]
-		chunks++
-		bytes += e.size
-		s.dropLocked(ref, e)
-		el = next
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for el := sh.cold.Front(); el != nil; {
+			next := el.Next()
+			ref := el.Value.(coldRef).ref
+			e := sh.chunks[ref]
+			chunks++
+			bytes += e.size
+			s.dropLocked(sh, ref, e)
+			el = next
+		}
+		sh.mu.Unlock()
 	}
 	return chunks, bytes
 }
 
-// touchLocked refreshes a chunk's LRU position.
-func (s *Store) touchLocked(ref Ref, e *entry) {
+// touchLocked refreshes a chunk's LRU position. Caller holds sh.mu.
+func (sh *shard) touchLocked(e *entry) {
 	if e.elem != nil {
-		s.cold.MoveToFront(e.elem)
+		sh.cold.MoveToFront(e.elem)
 	}
-	_ = ref
 }
 
-// evictLocked enforces the capacity by dropping cold chunks, oldest
-// first. Retained chunks are never touched.
-func (s *Store) evictLocked() {
+// evict enforces the capacity by dropping cold chunks. The byte total
+// is exact (store-wide); the victim order is per-shard LRU, visited
+// round-robin, which approximates global LRU without a cross-shard
+// ordering structure. Shards are locked one at a time, never nested,
+// so eviction cannot deadlock against Retain's multi-shard lock.
+func (s *Store) evict() {
 	if s.cap <= 0 {
 		return
 	}
-	for s.bytes > s.cap {
-		el := s.cold.Back()
-		if el == nil {
+	for s.bytes.Load() > s.cap {
+		evicted := false
+		for i := range s.shards {
+			if s.bytes.Load() <= s.cap {
+				return
+			}
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			if el := sh.cold.Back(); el != nil {
+				ref := el.Value.(coldRef).ref
+				s.dropLocked(sh, ref, sh.chunks[ref])
+				s.evictions.Add(1)
+				mEvictions.Inc()
+				evicted = true
+			}
+			sh.mu.Unlock()
+		}
+		if !evicted {
 			return // everything resident is pinned
 		}
-		ref := el.Value.(coldRef).ref
-		s.dropLocked(ref, s.chunks[ref])
-		s.stats.Evictions++
-		mEvictions.Inc()
 	}
 }
 
-// dropLocked removes one chunk from the table (and disk).
-func (s *Store) dropLocked(ref Ref, e *entry) {
+// dropLocked removes one chunk from its shard's table (and disk).
+// Caller holds sh.mu.
+func (s *Store) dropLocked(sh *shard, ref Ref, e *entry) {
 	if e.elem != nil {
-		s.cold.Remove(e.elem)
+		sh.cold.Remove(e.elem)
 		e.elem = nil
 	}
 	if e.gone {
-		s.gone--
+		sh.gone--
 	}
-	delete(s.chunks, ref)
-	s.bytes -= e.size
+	delete(sh.chunks, ref)
+	s.bytes.Add(-e.size)
 	if s.dir != "" {
 		os.Remove(s.path(ref))
 	}
@@ -548,32 +684,49 @@ func (s *Store) dropLocked(ref Ref, e *entry) {
 // awaiting repair: refs that live manifests pin but that currently
 // answer ErrMissing. A store is healed when this returns to zero.
 func (s *Store) Lost() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.gone
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.gone
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Stats snapshots the store counters.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	// Quarantined placeholders hold no content; they are not chunks.
-	st.Chunks = len(s.chunks) - s.gone
-	st.Bytes = s.bytes
+	st := Stats{
+		Dedup:       s.dedup.Load(),
+		Evictions:   s.evictions.Load(),
+		Quarantined: s.quarantined.Load(),
+		Repaired:    s.repaired.Load(),
+		Scrubbed:    s.scrubbedB.Load(),
+		Bytes:       s.bytes.Load(),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		// Quarantined placeholders hold no content; they are not chunks.
+		st.Chunks += len(sh.chunks) - sh.gone
+		sh.mu.Unlock()
+	}
 	return st
 }
 
 // Refs returns the refs of every resident chunk; tests and sweeps use
 // it.
 func (s *Store) Refs() []Ref {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]Ref, 0, len(s.chunks))
-	for ref, e := range s.chunks {
-		if !e.gone {
-			out = append(out, ref)
+	var out []Ref
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for ref, e := range sh.chunks {
+			if !e.gone {
+				out = append(out, ref)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }

@@ -15,9 +15,22 @@ import "sync"
 // record header in place), so classification uses the capacity that
 // is actually left, rounding down to the class it still satisfies.
 
-var frameClasses = [...]int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+// The 288 KiB class exists for stream data frames: a canonical
+// 256 KiB chunk plus the stream frame header must not round up to the
+// 1 MiB class, or every bulk-transfer frame would pin (and, worse,
+// first zero) four times the memory it uses.
+var frameClasses = [...]int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 288 << 10, 1 << 20}
 
 var framePools [len(frameClasses)]sync.Pool
+
+// frameSlack tolerates in-place prefix stripping by layered transports
+// (the RPC sequence layer consumes an 8-byte header without copying):
+// a buffer within frameSlack below a class still pools in that class.
+// Without the tolerance a stripped frame rounds down a whole class and
+// is then rejected as grossly oversized, so the receive path of every
+// layered connection would leak its buffers out of the pool and every
+// frame would be a fresh (zeroed) allocation.
+const frameSlack = 512
 
 // classFor returns the smallest class index whose buffers hold n
 // bytes, or -1 when n exceeds every class.
@@ -38,7 +51,12 @@ func GetFrame(n int) []byte {
 		return make([]byte, n)
 	}
 	if v := framePools[ci].Get(); v != nil {
-		return v.([]byte)[:n]
+		if b := v.([]byte); cap(b) >= n {
+			return b[:n]
+		}
+		// A slack-admitted entry a few bytes under the ask (possible
+		// only when n is within frameSlack of the class size); drop it
+		// and allocate full-size.
 	}
 	return make([]byte, n, frameClasses[ci])
 }
@@ -51,14 +69,14 @@ func PutFrame(p []byte) {
 	if c == 0 {
 		return
 	}
-	// Round down: a buffer qualifies for the largest class it can
-	// still fully serve — but a buffer grossly larger than its class
-	// (an oversized one-off frame, or one past the largest class) is
-	// dropped rather than pooled, so a "small" pool entry never pins a
-	// multi-megabyte backing array.
+	// Round down (modulo frameSlack): a buffer qualifies for the
+	// largest class it can still serve — but a buffer grossly larger
+	// than its class (an oversized one-off frame, or one past the
+	// largest class) is dropped rather than pooled, so a "small" pool
+	// entry never pins a multi-megabyte backing array.
 	ci := -1
 	for i, size := range frameClasses {
-		if c >= size {
+		if c >= size-frameSlack {
 			ci = i
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 )
@@ -114,6 +115,55 @@ func (f *framedConn) SendBatch(frames [][]byte) error {
 	f.sendMu.Lock()
 	defer f.sendMu.Unlock()
 	_, err := bufs.WriteTo(f.c)
+	return err
+}
+
+// SendVec transmits one frame whose payload is the concatenation of
+// parts, as a single vectored write: length prefix and every part in
+// one writev, no assembly copy anywhere on the send side.
+func (f *framedConn) SendVec(parts [][]byte) error {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total > MaxFrame {
+		return ErrFrameSize
+	}
+	f.sendMu.Lock()
+	defer f.sendMu.Unlock()
+	binary.BigEndian.PutUint32(f.sendHdr[:], uint32(total))
+	bufs := make(net.Buffers, 0, 1+len(parts))
+	bufs = append(bufs, f.sendHdr[:])
+	for _, p := range parts {
+		if len(p) > 0 {
+			bufs = append(bufs, p)
+		}
+	}
+	_, err := bufs.WriteTo(f.c)
+	return err
+}
+
+// SendFileFrame transmits one frame of hdr plus n bytes read from the
+// file's current offset. The prefix and hdr go out as one vectored
+// write, then the file section is copied with io.CopyN — on a TCP
+// connection net.TCPConn.ReadFrom recognizes the *os.File inside the
+// LimitedReader and splices it with sendfile(2), so chunk bytes move
+// disk→socket without entering user space.
+func (f *framedConn) SendFileFrame(hdr []byte, file *os.File, n int64) error {
+	if n < 0 || int64(len(hdr))+n > int64(MaxFrame) {
+		return ErrFrameSize
+	}
+	f.sendMu.Lock()
+	defer f.sendMu.Unlock()
+	binary.BigEndian.PutUint32(f.sendHdr[:], uint32(int64(len(hdr))+n))
+	bufs := net.Buffers{f.sendHdr[:], hdr}
+	if _, err := bufs.WriteTo(f.c); err != nil {
+		return err
+	}
+	written, err := io.CopyN(f.c, file, n)
+	if err == nil && written != n {
+		err = io.ErrShortWrite
+	}
 	return err
 }
 

@@ -14,6 +14,8 @@ package transport
 
 import (
 	"errors"
+	"io"
+	"os"
 	"time"
 )
 
@@ -48,6 +50,76 @@ type Conn interface {
 type BatchSender interface {
 	Conn
 	SendBatch(frames [][]byte) error
+}
+
+// A VecSender is a Conn that can transmit one frame whose payload is
+// supplied as a vector of parts: the frame on the wire is the
+// concatenation of the parts, delivered to the peer's Recv as a single
+// contiguous buffer. This is the zero-copy handoff the bulk data plane
+// rides on — the RPC layer passes a tiny frame header plus a
+// chunk-sized body straight from the store's buffers, and the
+// transport either writes the parts vectored (writev on TCP: zero
+// copies) or assembles them once into the delivery buffer (simulated
+// networks: one copy, where the naive path costs three). Parts are
+// only read during the call; ownership stays with the caller.
+type VecSender interface {
+	Conn
+	SendVec(parts [][]byte) error
+}
+
+// A FileSender is a Conn that can transmit one frame whose payload is
+// hdr followed by n bytes read from f at its current offset. On TCP
+// the file section is spliced with sendfile(2) — the chunk bytes go
+// disk→socket without visiting user space. The conn owns f only for
+// the duration of the call. Callers must be prepared for a plain Conn
+// and fall back to reading the file themselves (SendFileFrame helper).
+type FileSender interface {
+	Conn
+	SendFileFrame(hdr []byte, f *os.File, n int64) error
+}
+
+// SendVec transmits one frame assembled from parts over any Conn:
+// vectored when the conn supports it, otherwise assembled once into a
+// pooled buffer. It is the fallback-aware entry point callers use.
+func SendVec(c Conn, parts [][]byte) error {
+	if vs, ok := c.(VecSender); ok {
+		return vs.SendVec(parts)
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total > MaxFrame {
+		return ErrFrameSize
+	}
+	buf := GetFrame(total)
+	off := 0
+	for _, p := range parts {
+		off += copy(buf[off:], p)
+	}
+	err := c.Send(buf)
+	PutFrame(buf)
+	return err
+}
+
+// SendFileFrame transmits one frame of hdr plus n bytes from f over
+// any Conn: spliced when the conn supports FileSender, otherwise read
+// once into a pooled buffer and sent (vectored if possible).
+func SendFileFrame(c Conn, hdr []byte, f *os.File, n int64) error {
+	if fs, ok := c.(FileSender); ok {
+		return fs.SendFileFrame(hdr, f, n)
+	}
+	if n < 0 || n > int64(MaxFrame) {
+		return ErrFrameSize
+	}
+	buf := GetFrame(int(n))
+	if _, err := io.ReadFull(f, buf); err != nil {
+		PutFrame(buf)
+		return err
+	}
+	err := SendVec(c, [][]byte{hdr, buf})
+	PutFrame(buf)
+	return err
 }
 
 // A Listener accepts inbound connections for one transport address.

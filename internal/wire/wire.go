@@ -62,9 +62,12 @@ func NewWriter(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
 var writerPool = sync.Pool{New: func() any { return new(Writer) }}
 
 // maxPooledWriter bounds the buffer capacity a pooled writer retains.
-// Occasional giant messages (file chunks) would otherwise pin their
-// buffers in the pool forever.
-const maxPooledWriter = 64 << 10
+// It is sized to keep one canonical 256 KiB content chunk plus framing
+// recyclable — upload frames and chunk-batch requests are steady-state
+// traffic on the bulk path — while occasional giant messages
+// (multi-megabyte chunk-batch responses) still drop their buffers
+// rather than pin them in the pool forever.
+const maxPooledWriter = 288 << 10
 
 // GetWriter returns a pooled writer with capacity preallocated for at
 // least n bytes. Call Free when the encoded bytes have been fully
@@ -177,6 +180,23 @@ func (w *Writer) Bytes32(b []byte) {
 	}
 	w.Uint32(uint32(len(b)))
 	w.buf = append(w.buf, b...)
+}
+
+// Bytes32Prefix appends only the 32-bit length prefix of an n-byte
+// string whose bytes will travel out of band. The zero-copy send path
+// uses it: a frame header ends with the prefix, and the transport
+// concatenates the chunk body after it without the body ever being
+// appended to (copied into) the writer. The result decodes exactly as
+// if Bytes32 had been called on the body.
+func (w *Writer) Bytes32Prefix(n int) {
+	if w.err != nil {
+		return
+	}
+	if n < 0 || n > MaxBytes {
+		w.wfail(fmt.Errorf("%w: %d-byte field", ErrTooLarge, n))
+		return
+	}
+	w.Uint32(uint32(n))
 }
 
 // Str appends a string with a 16-bit length prefix. Strings over
