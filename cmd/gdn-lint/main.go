@@ -1,0 +1,84 @@
+// Command gdn-lint runs the project-invariant analyzers from
+// internal/analysis over the tree: buffer ownership (bufown), lock
+// discipline (lockrpc), metric naming (metricname) and trace
+// propagation (tracectx).
+//
+// Usage:
+//
+//	gdn-lint [-run bufown,lockrpc] [packages...]   # default ./...
+//	gdn-lint -list
+//
+// It prints one line per finding and exits 1 if there are any.
+// Findings are suppressed in source with
+//
+//	//gdnlint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the flagged line or the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gdn/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	all := analysis.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := all
+	if *run != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "gdn-lint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gdn-lint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gdn-lint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, selected)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gdn-lint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gdn-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,145 @@
+// Package analysistest runs one gdn analyzer over a golden package
+// under testdata and checks its diagnostics against expectations
+// embedded in the source: a comment of the form
+//
+//	// want `regexp` `regexp`
+//
+// on a line means the analyzer must report on that line, with messages
+// matched (in any order) by the given regular expressions. Every
+// diagnostic must be wanted and every want must be matched; both
+// directions failing keeps the golden packages honest as the analyzers
+// evolve. Golden packages import the real gdn/internal/... APIs, so
+// the analyzers are exercised against the exact types they police.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gdn/internal/analysis"
+)
+
+var (
+	wantRe = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	argRe  = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+)
+
+type want struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+type lineKey struct {
+	file string // base name
+	line int
+}
+
+// Run loads dir (relative to the test's working directory) as one
+// package through the same loader gdn-lint uses and applies a to it.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	modRoot, err := findModRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.LoadDir(modRoot, dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+	wants, err := parseWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		key := lineKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %v", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no %s diagnostic matching %q", key.file, key.line, a.Name, w.raw)
+			}
+		}
+	}
+}
+
+// findModRoot walks up from the working directory to the enclosing
+// go.mod.
+func findModRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysistest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// parseWants collects the want expectations of every .go file in dir.
+func parseWants(dir string) (map[lineKey][]*want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	wants := map[lineKey][]*want{}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := lineKey{e.Name(), i + 1}
+			for _, arg := range argRe.FindAllStringSubmatch(m[1], -1) {
+				raw := arg[1]
+				if raw == "" && arg[2] != "" {
+					// Double-quoted form: unquote escapes first.
+					var err error
+					raw, err = strconv.Unquote(`"` + arg[2] + `"`)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want string %q: %v", e.Name(), i+1, arg[2], err)
+					}
+				}
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", e.Name(), i+1, raw, err)
+				}
+				wants[key] = append(wants[key], &want{re: re, raw: raw})
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,856 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BufOwn enforces the zero-copy data plane's buffer-ownership
+// contract (docs/ARCHITECTURE.md, "Buffer ownership"): a resource
+// acquired from store.GetZC (release func), store.OpenChunk (file
+// handle), transport.GetFrame or transport.Conn.Recv (pooled buffer)
+// must have its release fire exactly once on every path.
+// StreamWriter.SendOwned/SendFile transfer the obligation to the send
+// path; after the handoff the caller must neither release nor touch
+// the buffer again.
+//
+// The analysis is intra-procedural and precision-first: a resource
+// that escapes (stored in a struct, passed to an unknown call,
+// returned, captured by a closure) stops being tracked, and
+// diagnostics fire only on definite violations — a path where the
+// obligation provably cannot have been met. Error paths are exempt:
+// when the acquisition's err result is known non-nil (or the release
+// func is known nil), there is nothing to release.
+var BufOwn = &Analyzer{
+	Name: "bufown",
+	Doc: "zero-copy buffers and file handles are released exactly once on every path " +
+		"(store.GetZC/OpenChunk, transport.GetFrame/Recv, StreamWriter.SendOwned/SendFile)",
+	Run: runBufOwn,
+}
+
+type resKind int
+
+const (
+	kindRelease resKind = iota // release func returned by store.GetZC
+	kindFile                   // *os.File returned by store.OpenChunk
+	kindBuf                    // pooled []byte from GetFrame / Conn.Recv
+)
+
+// ownStatus is one resource's state along one control-flow path.
+type ownStatus int
+
+const (
+	ownLive        ownStatus = iota // obligation outstanding
+	ownReleased                     // release fired
+	ownTransferred                  // ownership handed to the send path
+	ownEscaped                      // left local analysis; no further claims
+	ownExempt                       // acquisition failed here; nothing to release
+	ownMaybe                        // paths disagree; stay quiet
+)
+
+// resource is one tracked obligation: the handle variable that must
+// be released, the data it covers, and the err result that exempts
+// failure paths.
+type resource struct {
+	kind  resKind
+	v     *types.Var // release func, file handle, or buffer
+	data  *types.Var // kindRelease: the slice the release covers
+	errv  *types.Var
+	what  string
+	birth token.Pos
+}
+
+func runBufOwn(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					newOwnWalker(pass).analyze(fn.Body)
+				}
+			case *ast.FuncLit:
+				// Closure bodies are their own scopes: resources they
+				// acquire are tracked locally, resources they capture
+				// escaped in the enclosing walk.
+				newOwnWalker(pass).analyze(fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type ownState struct {
+	m          map[*resource]ownStatus
+	terminated bool
+}
+
+func (st *ownState) clone() *ownState {
+	c := &ownState{m: make(map[*resource]ownStatus, len(st.m))}
+	for k, v := range st.m {
+		c.m[k] = v
+	}
+	return c
+}
+
+// loopFrame tracks one enclosing loop: which resources were already
+// known at entry (everything born later is loop-local) and the states
+// flowing to the statement after the loop via break.
+type loopFrame struct {
+	marker      int
+	breakStates []*ownState
+}
+
+type ownWalker struct {
+	pass      *Pass
+	resources []*resource
+	loops     []*loopFrame
+	breakable []byte // 'L' for loops, 'S' for switch/select, innermost last
+	reported  map[*resource]bool
+}
+
+func newOwnWalker(pass *Pass) *ownWalker {
+	return &ownWalker{pass: pass, reported: map[*resource]bool{}}
+}
+
+func (w *ownWalker) analyze(body *ast.BlockStmt) {
+	st := &ownState{m: map[*resource]ownStatus{}}
+	w.walkStmts(body.List, st)
+	if !st.terminated {
+		w.leakCheck(st, body.Rbrace, 0, "function return")
+	}
+}
+
+func (w *ownWalker) report(st *ownState, r *resource, pos token.Pos, format string, args ...any) {
+	if w.reported[r] {
+		return
+	}
+	w.reported[r] = true
+	w.pass.Reportf(pos, format, args...)
+	st.m[r] = ownEscaped // one report per resource; silence the cascade
+}
+
+// leakCheck reports every resource born at index >= since that is
+// definitely live when the path ends at pos.
+func (w *ownWalker) leakCheck(st *ownState, pos token.Pos, since int, where string) {
+	for _, r := range w.resources[since:] {
+		// A resource absent from the map was not acquired on this
+		// path (born in a branch that terminated).
+		if s, ok := st.m[r]; ok && s == ownLive {
+			w.report(st, r, pos, "%s is not released on this path (missing release before %s)", r.what, where)
+		}
+	}
+}
+
+func (w *ownWalker) walkStmts(stmts []ast.Stmt, st *ownState) {
+	for _, s := range stmts {
+		if st.terminated {
+			return
+		}
+		w.walkStmt(s, st)
+	}
+}
+
+func (w *ownWalker) walkStmt(s ast.Stmt, st *ownState) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.assign(s, st)
+	case *ast.ExprStmt:
+		w.useExpr(s.X, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.useExpr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		w.deferred(s, st)
+	case *ast.GoStmt:
+		w.useExpr(s.Call, st)
+	case *ast.SendStmt:
+		w.useExpr(s.Chan, st)
+		w.useExpr(s.Value, st)
+	case *ast.IncDecStmt:
+		w.useExpr(s.X, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.useExpr(r, st)
+		}
+		w.leakCheck(st, s.Pos(), 0, "this return")
+		st.terminated = true
+	case *ast.BranchStmt:
+		w.branch(s, st)
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, st)
+	case *ast.IfStmt:
+		w.ifStmt(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.useExpr(s.Cond, st)
+		}
+		w.loop(s.Body, s.Post, st)
+	case *ast.RangeStmt:
+		w.useExpr(s.X, st)
+		w.loop(s.Body, nil, st)
+	case *ast.SwitchStmt:
+		w.switchStmt(s, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.caseBodies(s.Body, nil, st, true)
+	case *ast.SelectStmt:
+		w.selectStmt(s, st)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, st)
+	case *ast.EmptyStmt:
+	}
+}
+
+// assign handles acquisitions, reassignment of tracked handles, and
+// generic RHS usage.
+func (w *ownWalker) assign(s *ast.AssignStmt, st *ownState) {
+	if len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if w.acquire(s, call, st) {
+				return
+			}
+		}
+	}
+	for _, r := range s.Rhs {
+		w.useExpr(r, st)
+	}
+	// Overwriting a live handle loses it; stop tracking rather than
+	// guessing.
+	for _, l := range s.Lhs {
+		if v := w.lhsVar(l); v != nil {
+			for _, r := range w.resources {
+				if r.v == v && st.m[r] == ownLive {
+					st.m[r] = ownEscaped
+				}
+			}
+		} else {
+			w.useExpr(l, st) // x.field = ..., m[k] = ...: indexes may use tracked vars
+		}
+	}
+}
+
+// lhsVar resolves an assignment target to its variable (definition or
+// prior declaration), nil for anything but a plain identifier.
+func (w *ownWalker) lhsVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := w.pass.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := w.pass.Info.Uses[id].(*types.Var)
+	return v
+}
+
+// acquire recognizes the tracked sources and registers their
+// obligations. Reports a discarded release immediately: blanking the
+// handle can never satisfy exactly-once.
+func (w *ownWalker) acquire(s *ast.AssignStmt, call *ast.CallExpr, st *ownState) bool {
+	fn := calleeFunc(w.pass.Info, call)
+	if fn == nil {
+		return false
+	}
+	for _, a := range call.Args {
+		w.useExpr(a, st)
+	}
+	reg := func(handleIdx, dataIdx, errIdx int, kind resKind, what string) {
+		var errv *types.Var
+		if errIdx >= 0 && errIdx < len(s.Lhs) {
+			errv = w.lhsVar(s.Lhs[errIdx])
+		}
+		var datav *types.Var
+		if dataIdx >= 0 && dataIdx < len(s.Lhs) {
+			datav = w.lhsVar(s.Lhs[dataIdx])
+		}
+		if handleIdx >= len(s.Lhs) {
+			return
+		}
+		handle := ast.Unparen(s.Lhs[handleIdx])
+		if id, ok := handle.(*ast.Ident); ok && id.Name == "_" {
+			w.pass.Reportf(id.Pos(), "%s is discarded: it must be released exactly once on every path", what)
+			return
+		}
+		v := w.lhsVar(s.Lhs[handleIdx])
+		if v == nil {
+			return // stored straight into a field: escapes at birth
+		}
+		r := &resource{kind: kind, v: v, data: datav, errv: errv, what: what, birth: s.Pos()}
+		w.resources = append(w.resources, r)
+		st.m[r] = ownLive
+	}
+	switch {
+	case methodIs(fn, "gdn/internal/store", "Store", "GetZC"):
+		reg(1, 0, 2, kindRelease, "store.GetZC buffer")
+	case methodIs(fn, "gdn/internal/store", "Store", "OpenChunk"):
+		reg(0, -1, 2, kindFile, "store.OpenChunk handle")
+	case funcIs(fn, "gdn/internal/transport", "GetFrame"):
+		reg(0, -1, -1, kindBuf, "transport.GetFrame buffer")
+	case methodIs(fn, "gdn/internal/transport", "Conn", "Recv"):
+		reg(0, -1, 2, kindBuf, "received frame")
+	default:
+		return false
+	}
+	return true
+}
+
+// deferred handles defer statements: a deferred release covers every
+// path from here on.
+func (w *ownWalker) deferred(s *ast.DeferStmt, st *ownState) {
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		// defer func() { ...; release(); ... }(): apply the release
+		// transitions found in the closure body, silently.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				w.releaseTransition(call, st, true)
+			}
+			return true
+		})
+		return
+	}
+	if w.releaseTransition(s.Call, st, false) {
+		return
+	}
+	w.useExpr(s.Call, st)
+}
+
+// branch handles break/continue: paths leaving a loop must have
+// released everything born inside it (the handle goes out of scope).
+func (w *ownWalker) branch(s *ast.BranchStmt, st *ownState) {
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label == nil && len(w.breakable) > 0 && w.breakable[len(w.breakable)-1] == 'S' {
+			// break out of a switch/select: execution continues right
+			// where the case merge resumes; not a path end.
+			return
+		}
+		if lf := w.innerLoop(); lf != nil {
+			w.leakCheck(st, s.Pos(), lf.marker, "leaving the loop")
+			lf.breakStates = append(lf.breakStates, st.clone())
+		}
+		st.terminated = true
+	case token.CONTINUE:
+		if lf := w.innerLoop(); lf != nil {
+			w.leakCheck(st, s.Pos(), lf.marker, "the next iteration")
+		}
+		st.terminated = true
+	case token.GOTO:
+		st.terminated = true
+	case token.FALLTHROUGH:
+		// Approximation: the next case body is analyzed from the
+		// switch-entry state.
+	}
+}
+
+func (w *ownWalker) innerLoop() *loopFrame {
+	if len(w.loops) == 0 {
+		return nil
+	}
+	return w.loops[len(w.loops)-1]
+}
+
+func (w *ownWalker) loop(body *ast.BlockStmt, post ast.Stmt, st *ownState) {
+	lf := &loopFrame{marker: len(w.resources)}
+	w.loops = append(w.loops, lf)
+	w.breakable = append(w.breakable, 'L')
+	bodySt := st.clone()
+	w.walkStmts(body.List, bodySt)
+	if !bodySt.terminated {
+		if post != nil {
+			w.walkStmt(post, bodySt)
+		}
+		// End of an iteration: anything born this iteration is about
+		// to go out of scope.
+		w.leakCheck(bodySt, body.Rbrace, lf.marker, "the next iteration")
+	}
+	w.breakable = w.breakable[:len(w.breakable)-1]
+	w.loops = w.loops[:len(w.loops)-1]
+
+	// The state after the loop merges: never entered (pre-state), fell
+	// out of the body, and every break.
+	exits := []*ownState{st}
+	if !bodySt.terminated {
+		exits = append(exits, bodySt)
+	}
+	exits = append(exits, lf.breakStates...)
+	merged := mergeStates(exits)
+	// Loop-local resources are out of scope (and already checked).
+	for _, r := range w.resources[lf.marker:] {
+		delete(merged.m, r)
+	}
+	*st = *merged
+}
+
+func (w *ownWalker) ifStmt(s *ast.IfStmt, st *ownState) {
+	if s.Init != nil {
+		w.walkStmt(s.Init, st)
+	}
+	w.useCond(s.Cond, st)
+	thenSt := st.clone()
+	w.refine(s.Cond, thenSt, true)
+	elseSt := st.clone()
+	w.refine(s.Cond, elseSt, false)
+	w.walkStmts(s.Body.List, thenSt)
+	if s.Else != nil {
+		w.walkStmt(s.Else, elseSt)
+	}
+	switch {
+	case thenSt.terminated && elseSt.terminated:
+		st.terminated = true
+	case thenSt.terminated:
+		*st = *elseSt
+	case elseSt.terminated:
+		*st = *thenSt
+	default:
+		*st = *mergeStates([]*ownState{thenSt, elseSt})
+	}
+}
+
+func (w *ownWalker) switchStmt(s *ast.SwitchStmt, st *ownState) {
+	if s.Init != nil {
+		w.walkStmt(s.Init, st)
+	}
+	if s.Tag != nil {
+		w.useExpr(s.Tag, st)
+	}
+	w.caseBodies(s.Body, s, st, false)
+}
+
+// caseBodies analyzes each case clause as a branch from the entry
+// state and merges the exits. An expressionless switch refines err/nil
+// conditions exactly like a chain of ifs.
+func (w *ownWalker) caseBodies(body *ast.BlockStmt, sw *ast.SwitchStmt, st *ownState, typeSwitch bool) {
+	w.breakable = append(w.breakable, 'S')
+	var exits []*ownState
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		caseSt := st.clone()
+		for _, e := range cc.List {
+			if !typeSwitch {
+				w.useCond(e, caseSt)
+			}
+			if sw != nil && sw.Tag == nil {
+				w.refine(e, caseSt, true)
+			}
+		}
+		w.walkStmts(cc.Body, caseSt)
+		if !caseSt.terminated {
+			exits = append(exits, caseSt)
+		}
+	}
+	w.breakable = w.breakable[:len(w.breakable)-1]
+	if !hasDefault {
+		exits = append(exits, st)
+	}
+	if len(exits) == 0 {
+		st.terminated = true
+		return
+	}
+	*st = *mergeStates(exits)
+}
+
+func (w *ownWalker) selectStmt(s *ast.SelectStmt, st *ownState) {
+	w.breakable = append(w.breakable, 'S')
+	var exits []*ownState
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		caseSt := st.clone()
+		if cc.Comm != nil {
+			w.walkStmt(cc.Comm, caseSt)
+		}
+		w.walkStmts(cc.Body, caseSt)
+		if !caseSt.terminated {
+			exits = append(exits, caseSt)
+		}
+	}
+	w.breakable = w.breakable[:len(w.breakable)-1]
+	if len(exits) == 0 {
+		st.terminated = true
+		return
+	}
+	*st = *mergeStates(exits)
+}
+
+// refine applies nil-comparison facts to a branch: inside an error
+// branch (err != nil taken, or err == nil not taken) the acquisition
+// failed and the obligation is void; a handle known nil likewise has
+// nothing to release.
+func (w *ownWalker) refine(cond ast.Expr, st *ownState, taken bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	var other ast.Expr
+	if w.isNil(x) {
+		other = y
+	} else if w.isNil(y) {
+		other = x
+	} else {
+		return
+	}
+	v := usedVar(w.pass.Info, other)
+	if v == nil {
+		return
+	}
+	// knownNil: on this branch the compared variable is nil.
+	knownNil := (be.Op == token.EQL) == taken
+	for _, r := range w.resources {
+		if st.m[r] != ownLive {
+			continue
+		}
+		if r.errv != nil && v == r.errv && !knownNil {
+			st.m[r] = ownExempt // error path: nothing was acquired
+		}
+		if v == r.v && knownNil {
+			st.m[r] = ownExempt // nil handle: nothing to release
+		}
+	}
+}
+
+func (w *ownWalker) isNil(e ast.Expr) bool {
+	if tv, ok := w.pass.Info.Types[e]; ok {
+		return tv.IsNil()
+	}
+	return false
+}
+
+// useCond walks a condition: nil comparisons and len/cap observations
+// are not uses, anything else follows the generic rules.
+func (w *ownWalker) useCond(cond ast.Expr, st *ownState) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LAND || e.Op == token.LOR {
+			w.useCond(e.X, st)
+			w.useCond(e.Y, st)
+			return
+		}
+		if w.isNil(ast.Unparen(e.X)) || w.isNil(ast.Unparen(e.Y)) {
+			return // x == nil / x != nil: an observation, not a use
+		}
+		w.useExpr(e.X, st)
+		w.useExpr(e.Y, st)
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			w.useCond(e.X, st)
+			return
+		}
+		w.useExpr(e, st)
+	default:
+		w.useExpr(cond, st)
+	}
+}
+
+// useExpr applies the generic usage rules to an expression tree:
+// special release/handoff calls transition their resources; any other
+// appearance of a tracked handle makes it escape; touching the data a
+// fired release covered is a use-after-release.
+func (w *ownWalker) useExpr(e ast.Expr, st *ownState) {
+	if e == nil {
+		return
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		w.useCall(e, st)
+	case *ast.FuncLit:
+		// Captured handles escape into the closure.
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := w.pass.Info.Uses[id].(*types.Var); ok {
+					for _, r := range w.resources {
+						if (r.v == v || r.data == v) && st.m[r] == ownLive {
+							st.m[r] = ownEscaped
+						}
+					}
+				}
+			}
+			return true
+		})
+	case *ast.Ident:
+		w.useIdent(e, st)
+	case *ast.SelectorExpr:
+		w.useExpr(e.X, st)
+	case *ast.IndexExpr:
+		w.useExpr(e.X, st)
+		w.useExpr(e.Index, st)
+	case *ast.SliceExpr:
+		w.useExpr(e.X, st)
+		w.useExpr(e.Low, st)
+		w.useExpr(e.High, st)
+		w.useExpr(e.Max, st)
+	case *ast.StarExpr:
+		w.useExpr(e.X, st)
+	case *ast.UnaryExpr:
+		w.useExpr(e.X, st)
+	case *ast.BinaryExpr:
+		w.useExpr(e.X, st)
+		w.useExpr(e.Y, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.useExpr(kv.Value, st)
+			} else {
+				w.useExpr(el, st)
+			}
+		}
+	case *ast.KeyValueExpr:
+		w.useExpr(e.Value, st)
+	case *ast.TypeAssertExpr:
+		w.useExpr(e.X, st)
+	}
+}
+
+// useIdent marks a directly-used handle escaped and reports uses of
+// released data.
+func (w *ownWalker) useIdent(id *ast.Ident, st *ownState) {
+	v, ok := w.pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	for _, r := range w.resources {
+		switch {
+		case r.v == v || r.data == v:
+			switch st.m[r] {
+			case ownReleased:
+				w.report(st, r, id.Pos(), "use of %s after its release has fired", r.what)
+			case ownTransferred:
+				w.report(st, r, id.Pos(), "use of %s after its ownership was handed to the send path", r.what)
+			case ownLive:
+				if r.v == v {
+					st.m[r] = ownEscaped
+				}
+				// Reading the data of a live resource is fine.
+			}
+		}
+	}
+}
+
+// useCall dispatches a call expression: known releases and handoffs
+// transition their resources, len/cap/copy observe without consuming,
+// conversions and unknown calls make their tracked arguments escape.
+func (w *ownWalker) useCall(call *ast.CallExpr, st *ownState) {
+	if w.releaseTransition(call, st, false) {
+		return
+	}
+	// Builtins that observe a buffer without taking it.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := w.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "len", "cap", "copy", "delete", "print", "println":
+				return
+			}
+		}
+	}
+	// Type conversion: the result aliases the operand; treat as a
+	// generic use of the arguments.
+	w.useExpr(call.Fun, st)
+	for _, a := range call.Args {
+		w.useExpr(a, st)
+	}
+}
+
+// releaseTransition recognizes the calls that discharge (or hand off)
+// an obligation and applies the transition, reporting definite
+// double-releases and releases after handoff. Returns false when call
+// is none of them.
+func (w *ownWalker) releaseTransition(call *ast.CallExpr, st *ownState, silent bool) bool {
+	info := w.pass.Info
+
+	// rel() — calling a tracked release func.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && len(call.Args) == 0 {
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			for _, r := range w.resources {
+				if r.kind == kindRelease && r.v == v {
+					w.fire(st, r, call.Pos(), silent)
+					return true
+				}
+			}
+		}
+	}
+
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	switch {
+	case funcIs(fn, "gdn/internal/transport", "PutFrame") && len(call.Args) == 1:
+		if r := w.resourceOf(call.Args[0], kindBuf, st); r != nil {
+			w.fire(st, r, call.Pos(), silent)
+			return true
+		}
+	case methodIs(fn, "os", "File", "Close"):
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if r := w.resourceOf(sel.X, kindFile, st); r != nil {
+				w.fire(st, r, call.Pos(), silent)
+				return true
+			}
+		}
+	case methodIs(fn, "gdn/internal/rpc", "StreamWriter", "SendOwned") && len(call.Args) == 2:
+		w.handoff(st, call, call.Args[0], call.Args[1], silent)
+		return true
+	case methodIs(fn, "gdn/internal/rpc", "StreamWriter", "SendFile") && len(call.Args) == 3:
+		w.useExpr(call.Args[1], st)
+		w.handoff(st, call, call.Args[0], call.Args[2], silent)
+		return true
+	}
+	return false
+}
+
+// resourceOf finds the tracked resource of the wanted kind whose
+// handle the expression denotes (possibly sliced), or nil.
+func (w *ownWalker) resourceOf(e ast.Expr, kind resKind, st *ownState) *resource {
+	e = ast.Unparen(e)
+	if se, ok := e.(*ast.SliceExpr); ok {
+		e = ast.Unparen(se.X)
+	}
+	v := usedVar(w.pass.Info, e)
+	if v == nil {
+		return nil
+	}
+	for _, r := range w.resources {
+		if r.kind == kind && r.v == v {
+			return r
+		}
+	}
+	return nil
+}
+
+// fire transitions a resource to released, reporting a definite
+// second release.
+func (w *ownWalker) fire(st *ownState, r *resource, pos token.Pos, silent bool) {
+	switch st.m[r] {
+	case ownReleased:
+		if !silent {
+			w.report(st, r, pos, "%s is released twice on this path", r.what)
+			return
+		}
+	case ownTransferred:
+		if !silent {
+			w.report(st, r, pos, "%s is released after its ownership was handed to the send path (the sender releases it)", r.what)
+			return
+		}
+	}
+	st.m[r] = ownReleased
+}
+
+// handoff transfers ownership of the payload (and its release) to the
+// send path: SendOwned(data, release) / SendFile(f, n, release).
+func (w *ownWalker) handoff(st *ownState, call *ast.CallExpr, payload, release ast.Expr, silent bool) {
+	transfer := func(r *resource) {
+		if r == nil {
+			return
+		}
+		switch st.m[r] {
+		case ownTransferred:
+			if !silent {
+				w.report(st, r, call.Pos(), "ownership of %s is handed to the send path twice", r.what)
+				return
+			}
+		case ownReleased:
+			if !silent {
+				w.report(st, r, call.Pos(), "%s is handed to the send path after its release already fired", r.what)
+				return
+			}
+		}
+		st.m[r] = ownTransferred
+	}
+	switch w.payloadKind(payload) {
+	case kindBuf:
+		transfer(w.resourceOf(payload, kindBuf, st))
+	case kindFile:
+		transfer(w.resourceOf(payload, kindFile, st))
+	}
+	// The release argument identifies a GetZC resource even when the
+	// payload expression is a slice of the data or a fresh buffer.
+	if v := usedVar(w.pass.Info, release); v != nil {
+		for _, r := range w.resources {
+			if r.kind == kindRelease && r.v == v {
+				transfer(r)
+			}
+		}
+	}
+}
+
+// payloadKind guesses which handle kind a payload expression denotes.
+func (w *ownWalker) payloadKind(e ast.Expr) resKind {
+	e = ast.Unparen(e)
+	if se, ok := e.(*ast.SliceExpr); ok {
+		e = ast.Unparen(se.X)
+	}
+	if v := usedVar(w.pass.Info, e); v != nil {
+		for _, r := range w.resources {
+			if r.v == v {
+				return r.kind
+			}
+		}
+	}
+	return kindRelease // matched (if at all) through the release arg
+}
+
+// mergeStates folds path states: agreement survives, a released
+// obligation absorbs an exempt one (the release fired wherever there
+// was something to release), and any other disagreement goes quiet.
+// A resource absent from one input was never acquired on that path,
+// which is the exempt case.
+func mergeStates(states []*ownState) *ownState {
+	out := states[0].clone()
+	for _, st := range states[1:] {
+		for r, b := range st.m {
+			a, ok := out.m[r]
+			if !ok {
+				a = ownExempt
+			}
+			out.m[r] = mergeStatus(a, b)
+		}
+		for r, a := range out.m {
+			if _, ok := st.m[r]; !ok {
+				out.m[r] = mergeStatus(a, ownExempt)
+			}
+		}
+	}
+	return out
+}
+
+func mergeStatus(a, b ownStatus) ownStatus {
+	if a == b {
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case a == ownReleased && b == ownExempt:
+		return ownReleased
+	case a == ownTransferred && b == ownExempt:
+		return ownTransferred
+	default:
+		return ownMaybe
+	}
+}

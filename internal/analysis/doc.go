@@ -1,0 +1,41 @@
+// Package analysis is the project-invariant static-analysis suite:
+// a small, dependency-free analyzer framework (mirroring the shape of
+// golang.org/x/tools/go/analysis, which this module deliberately does
+// not depend on) plus the four gdn analyzers that machine-check the
+// conventions the data plane's correctness rests on:
+//
+//   - bufown: zero-copy buffer ownership — a buffer obtained from
+//     store.GetZC/transport.GetFrame/Conn.Recv, or a file handle from
+//     store.OpenChunk, must have its release fire exactly once on
+//     every path: no use-after-release, no double-release, no leak on
+//     early return. SendOwned/SendFile transfer ownership to the send
+//     path; the caller must not release (or touch the buffer) after
+//     the handoff.
+//   - tracectx: trace propagation — a function that takes an
+//     obs.SpanContext must call the T-variant of any callee that has
+//     one, and must not re-root a trace by passing a zero
+//     obs.SpanContext{} while a real context is in scope.
+//   - metricname: every obs.Registry Counter/Gauge/Histogram series
+//     name matches gdn_<layer>_* where <layer> is the declaring
+//     package (or its sanctioned alias), with the unit-suffix
+//     conventions from internal/obs/doc.go.
+//   - lockrpc: no rpc.Client/core.PeerClient call, channel send, or
+//     transport write while holding a store/pending-table shard
+//     mutex — the deadlock class 16-way/8-way striping makes easy to
+//     reintroduce.
+//
+// The framework loads packages with `go list -export -deps` and
+// type-checks the target packages from source against the export data
+// of their dependencies, so it needs only the Go toolchain — no
+// module downloads. cmd/gdn-lint is the multichecker driver; the
+// analyzers' golden tests live under testdata/ and run through the
+// analysistest subpackage.
+//
+// Diagnostics are suppressed with a directive on the flagged line or
+// the line above:
+//
+//	//gdnlint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// The reason is mandatory; a directive without one is itself a
+// finding.
+package analysis

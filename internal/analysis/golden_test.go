@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"gdn/internal/analysis"
+	"gdn/internal/analysis/analysistest"
+)
+
+func TestBufOwnGolden(t *testing.T) {
+	analysistest.Run(t, analysis.BufOwn, "testdata/bufown")
+}
+
+func TestBufOwnClean(t *testing.T) {
+	analysistest.Run(t, analysis.BufOwn, "testdata/bufownclean")
+}
+
+func TestTraceCtxGolden(t *testing.T) {
+	analysistest.Run(t, analysis.TraceCtx, "testdata/tracectx")
+}
+
+func TestTraceCtxClean(t *testing.T) {
+	analysistest.Run(t, analysis.TraceCtx, "testdata/tracectxclean")
+}
+
+func TestMetricNameGolden(t *testing.T) {
+	analysistest.Run(t, analysis.MetricName, "testdata/metricname")
+}
+
+func TestMetricNameClean(t *testing.T) {
+	analysistest.Run(t, analysis.MetricName, "testdata/metricnameclean")
+}
+
+func TestLockRPCGolden(t *testing.T) {
+	analysistest.Run(t, analysis.LockRPC, "testdata/lockrpc")
+}
+
+func TestLockRPCClean(t *testing.T) {
+	analysistest.Run(t, analysis.LockRPC, "testdata/lockrpcclean")
+}

@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// A Package is one type-checked target: syntax plus type info, ready
+// for the analyzers.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the slice of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Match      []string
+	Standard   bool
+}
+
+// goList runs `go list -export -deps` in dir over patterns and
+// decodes the JSON stream. -export compiles anything stale, so every
+// dependency (standard library included) comes back with an export
+// data file the type-checker can import — no module downloads, no
+// re-type-checking the world from source.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Match,Standard",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from the export-data files `go list
+// -export` reported, keyed by import path as it appears both in
+// source files and inside other packages' export data (vendored
+// standard-library paths included, since -deps lists them under their
+// resolved names).
+type exportImporter struct {
+	exports map[string]string
+	gc      types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	imp := &exportImporter{exports: exports}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := imp.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp.gc = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return imp
+}
+
+func (imp *exportImporter) Import(path string) (*types.Package, error) {
+	return imp.ImportFrom(path, "", 0)
+}
+
+func (imp *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return imp.gc.ImportFrom(path, dir, mode)
+}
+
+// Load expands patterns (e.g. "./...") relative to dir, and parses
+// and type-checks every matched package from source. Test files are
+// not part of the compilation units go list reports, so they are not
+// analyzed — the invariants guard production paths.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, p := range listed {
+		if len(p.Match) == 0 || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		var paths []string
+		for _, f := range p.GoFiles {
+			paths = append(paths, filepath.Join(p.Dir, f))
+		}
+		pkg, err := check(fset, imp, p.ImportPath, paths)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the .go files of one directory as a
+// single package. go list never sees directories under testdata/, so
+// this is how the analysistest harness loads its golden packages;
+// their imports still resolve through the enclosing module (modRoot),
+// letting testdata exercise the analyzers against the real
+// gdn/internal/... APIs.
+func LoadDir(modRoot, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+
+	// Pre-parse just to learn the import set, then let go list build
+	// the export data for exactly those packages and their deps.
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err == nil && p != "unsafe" && p != "C" {
+				importSet[p] = true
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		var patterns []string
+		for p := range importSet {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		listed, err := goList(modRoot, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := newExportImporter(fset, exports)
+	return checkParsed(fset, imp, "testdata/"+files[0].Name.Name, files)
+}
+
+// check parses paths and type-checks them as one package.
+func check(fset *token.FileSet, imp types.Importer, importPath string, paths []string) (*Package, error) {
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return checkParsed(fset, imp, importPath, files)
+}
+
+func checkParsed(fset *token.FileSet, imp types.Importer, importPath string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// MetricName enforces the series-naming conventions documented in
+// internal/obs/doc.go: every name registered through an obs.Registry
+// is gdn_<layer>_<what>[_<unit>], where <layer> is the declaring
+// package (so a dashboard can be read back to the code that emits it),
+// counters end in _total, histograms carry their unit (_seconds or
+// _bytes, matching the obs.Seconds/obs.Bytes unit argument), and
+// gauges are instantaneous values, so they carry neither.
+//
+// Names built at runtime (non-constant arguments) are skipped: the
+// analyzer checks what it can prove, and the registry's own validation
+// covers the rest at process start.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "obs.Registry series names are gdn_<layer>_* for the declaring package, " +
+		"counters end _total, histograms end _seconds/_bytes per their unit, gauges carry no unit suffix",
+	Run: runMetricName,
+}
+
+// metricLayerAliases maps a package name to additional accepted layer
+// segments. core's peer-set metrics predate the rule and are
+// sanctioned by internal/obs/doc.go's prefix list.
+var metricLayerAliases = map[string][]string{
+	"core": {"peerset"},
+}
+
+func runMetricName(pass *Pass) error {
+	layers := append([]string{pass.Pkg.Name()}, metricLayerAliases[pass.Pkg.Name()]...)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || len(call.Args) == 0 {
+				return true
+			}
+			var metricKind string
+			switch {
+			case methodIs(fn, "gdn/internal/obs", "Registry", "Counter"):
+				metricKind = "Counter"
+			case methodIs(fn, "gdn/internal/obs", "Registry", "Gauge"):
+				metricKind = "Gauge"
+			case methodIs(fn, "gdn/internal/obs", "Registry", "Histogram"):
+				metricKind = "Histogram"
+			default:
+				return true
+			}
+			name, ok := constString(pass.Info, call.Args[0])
+			if !ok {
+				return true // runtime-built name: nothing to prove here
+			}
+			checkMetricName(pass, call, metricKind, name, layers)
+			return true
+		})
+	}
+	return nil
+}
+
+// constString folds e to its constant string value.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func checkMetricName(pass *Pass, call *ast.CallExpr, kind, name string, layers []string) {
+	pos := call.Args[0].Pos()
+	// Static labels ride in a {k="v"} suffix; the naming rules apply
+	// to the series name proper.
+	base := name
+	if i := strings.IndexByte(base, '{'); i >= 0 {
+		base = base[:i]
+	}
+	rest, ok := strings.CutPrefix(base, "gdn_")
+	if !ok {
+		pass.Reportf(pos, "metric %q does not start with gdn_: series names are gdn_<layer>_<what>", name)
+		return
+	}
+	layer, what, ok := strings.Cut(rest, "_")
+	if !ok || what == "" {
+		pass.Reportf(pos, "metric %q has no name after the layer segment: want gdn_<layer>_<what>", name)
+		return
+	}
+	if !layerAllowed(layer, layers) {
+		pass.Reportf(pos, "metric %q claims layer %q but is declared in package %s: want gdn_%s_*",
+			name, layer, pass.Pkg.Name(), strings.Join(layers, "_* or gdn_"))
+		return
+	}
+	switch kind {
+	case "Counter":
+		if !strings.HasSuffix(base, "_total") {
+			pass.Reportf(pos, "counter %q must end in _total", name)
+		}
+	case "Gauge":
+		for _, suffix := range []string{"_total", "_seconds", "_bytes"} {
+			if strings.HasSuffix(base, suffix) {
+				pass.Reportf(pos, "gauge %q must not end in %s: gauges are instantaneous values", name, suffix)
+				return
+			}
+		}
+	case "Histogram":
+		want := histogramUnitSuffixes(pass, call)
+		for _, suffix := range want {
+			if strings.HasSuffix(base, suffix) {
+				return
+			}
+		}
+		pass.Reportf(pos, "histogram %q must end in %s to match its unit", name, strings.Join(want, " or "))
+	}
+}
+
+func layerAllowed(layer string, layers []string) bool {
+	for _, l := range layers {
+		if layer == l {
+			return true
+		}
+	}
+	return false
+}
+
+// histogramUnitSuffixes returns the suffixes acceptable for the
+// histogram's unit argument: obs.Seconds demands _seconds, obs.Bytes
+// demands _bytes, anything non-constant accepts either.
+func histogramUnitSuffixes(pass *Pass, call *ast.CallExpr) []string {
+	both := []string{"_seconds", "_bytes"}
+	if len(call.Args) < 3 {
+		return both
+	}
+	sel, ok := ast.Unparen(call.Args[2]).(*ast.SelectorExpr)
+	if !ok {
+		return both
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Const)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "gdn/internal/obs" {
+		return both
+	}
+	switch obj.Name() {
+	case "Seconds":
+		return []string{"_seconds"}
+	case "Bytes":
+		return []string{"_bytes"}
+	}
+	return both
+}

@@ -1,0 +1,31 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"gdn/internal/analysis"
+)
+
+// TestSuiteCleanOnRealPackages is the in-tree smoke test: the loader
+// must type-check real packages through go list export data, and the
+// suite must be clean on the hot data-plane packages (CI runs the full
+// ./... sweep through cmd/gdn-lint).
+func TestSuiteCleanOnRealPackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list")
+	}
+	pkgs, err := analysis.Load("../..", "./internal/store", "./internal/rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	diags, err := analysis.Run(pkgs, analysis.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %v", d)
+	}
+}

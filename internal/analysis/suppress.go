@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// suppressKey locates one suppression directive's reach: a diagnostic
+// from the named analyzer on the named line (the directive's own line,
+// and the line below a directive that stands alone).
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type suppressSet map[suppressKey]bool
+
+func (s suppressSet) covers(d Diagnostic) bool {
+	return s[suppressKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
+}
+
+const directive = "//gdnlint:ignore"
+
+// suppressions scans the files for //gdnlint:ignore directives. A
+// well-formed directive names one or more analyzers and a reason:
+//
+//	//gdnlint:ignore bufown ownership handed to C, released in callback
+//
+// and suppresses those analyzers on its own line and the next line
+// (so it works both as a trailing comment and on the line above the
+// flagged statement). A directive without a reason is returned as a
+// diagnostic itself: an unexplained suppression is a finding.
+func suppressions(fset *token.FileSet, files []*ast.File) (suppressSet, []Diagnostic) {
+	set := suppressSet{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directive) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directive)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other //gdnlint:ignoreXxx token
+				}
+				names, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if names == "" || strings.TrimSpace(reason) == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: "gdnlint",
+						Pos:      pos,
+						Message:  "malformed directive: want //gdnlint:ignore <analyzer>[,<analyzer>] <reason>",
+					})
+					continue
+				}
+				for _, name := range strings.Split(names, ",") {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						set[suppressKey{pos.Filename, line, name}] = true
+					}
+				}
+			}
+		}
+	}
+	return set, bad
+}

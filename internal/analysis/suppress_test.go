@@ -1,0 +1,41 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gdn/internal/analysis"
+)
+
+// TestSuppression pins the directive semantics end to end: a reasoned
+// //gdnlint:ignore silences the named analyzer, a reasonless one is
+// itself reported and silences nothing.
+func TestSuppression(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.LoadDir(root, "testdata/suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.LockRPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2:\n%v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "gdnlint" || !strings.Contains(diags[0].Message, "malformed directive") {
+		t.Errorf("first diagnostic should flag the reasonless directive, got %v", diags[0])
+	}
+	if diags[1].Analyzer != "lockrpc" {
+		t.Errorf("the unsuppressed finding should survive, got %v", diags[1])
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "recording stub") {
+			t.Errorf("reasoned suppression did not suppress: %v", d)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package bufowncleantest holds the correct ownership idioms bufown
+// must accept without a single diagnostic: deferred releases,
+// nil-guarded releases, err==nil fall-throughs, per-iteration loop
+// releases, and SendOwned/SendFile handoffs.
+package bufowncleantest
+
+import (
+	"os"
+
+	"gdn/internal/rpc"
+	"gdn/internal/store"
+	"gdn/internal/transport"
+)
+
+func deferredRelease(s *store.Store, ref store.Ref) ([]byte, error) {
+	data, release, err := s.GetZC(ref)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+func nilGuardedRelease(s *store.Store, ref store.Ref, size int64) error {
+	data, release, err := s.GetZC(ref)
+	if err != nil {
+		return err
+	}
+	if int64(len(data)) != size {
+		if release != nil {
+			release()
+		}
+		return os.ErrInvalid
+	}
+	release()
+	return nil
+}
+
+// successBranchTerminates is the streamManifestRange shape: the happy
+// path lives inside if err == nil and always returns, so the
+// fall-through is the error path with nothing to release.
+func successBranchTerminates(s *store.Store, ref store.Ref) (int64, error) {
+	f, size, err := s.OpenChunk(ref)
+	if err == nil {
+		f.Close()
+		return size, nil
+	}
+	return 0, err
+}
+
+func releasePerIteration(s *store.Store, refs []store.Ref, fn func(p []byte) error) error {
+	for _, ref := range refs {
+		data, release, err := s.GetZC(ref)
+		if err != nil {
+			return err
+		}
+		err = fn(data)
+		if release != nil {
+			release()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func handoffOwned(sw *rpc.StreamWriter, s *store.Store, ref store.Ref) error {
+	data, release, err := s.GetZC(ref)
+	if err != nil {
+		return err
+	}
+	return sw.SendOwned(data, release)
+}
+
+func handoffFile(sw *rpc.StreamWriter, s *store.Store, ref store.Ref) error {
+	f, size, err := s.OpenChunk(ref)
+	if err != nil {
+		return err
+	}
+	return sw.SendFile(f, size, func() {})
+}
+
+func putOnEveryPath(c transport.Conn) (byte, error) {
+	p, _, err := c.Recv()
+	if err != nil {
+		return 0, err
+	}
+	if len(p) == 0 {
+		transport.PutFrame(p)
+		return 0, os.ErrInvalid
+	}
+	b := p[0]
+	transport.PutFrame(p)
+	return b, nil
+}
+
+// escapeStopsTracking: a frame stored in a struct leaves local
+// analysis; whoever drains the queue owns it now.
+type parked struct {
+	payload []byte
+}
+
+func escapeStopsTracking(c transport.Conn, q chan<- parked) error {
+	p, _, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	q <- parked{payload: p}
+	return nil
+}

@@ -1,0 +1,19 @@
+// Package metricnametest is the metricname golden package: series
+// names that violate the gdn_<layer>_* and unit-suffix conventions.
+package metricnametest
+
+import "gdn/internal/obs"
+
+func register(r *obs.Registry) {
+	r.Counter("gdn_store_hits_total", "wrong layer")        // want `claims layer "store" but is declared in package metricnametest`
+	r.Counter("metricnametest_hits_total", "no gdn prefix") // want `does not start with gdn_`
+	r.Counter("gdn_metricnametest_hits", "no unit")         // want `must end in _total`
+	r.Counter("gdn_metricnametest_", "empty what")          // want `has no name after the layer segment`
+	r.Gauge("gdn_metricnametest_depth_total", "gauge unit") // want `must not end in _total`
+	r.Gauge("gdn_metricnametest_wait_seconds", "gauge sec") // want `must not end in _seconds`
+
+	r.Histogram("gdn_metricnametest_wait_bytes", "unit mismatch", obs.Seconds, nil)  // want `must end in _seconds`
+	r.Histogram("gdn_metricnametest_size_seconds", "unit mismatch", obs.Bytes, nil)  // want `must end in _bytes`
+	r.Histogram("gdn_metricnametest_size", "no unit at all", obs.Bytes, []int64{1})  // want `must end in _bytes`
+	r.Counter(`gdn_metricnametest_hits{peer="a"}`, "label does not rescue the unit") // want `must end in _total`
+}

@@ -1,0 +1,20 @@
+// Package metricnamecleantest holds conforming series names,
+// including labeled series and runtime-built names the analyzer must
+// leave alone.
+package metricnamecleantest
+
+import "gdn/internal/obs"
+
+func register(r *obs.Registry, ops []string) {
+	r.Counter("gdn_metricnamecleantest_hits_total", "ok")
+	r.Gauge("gdn_metricnamecleantest_queue_depth", "ok")
+	r.Histogram("gdn_metricnamecleantest_wait_seconds", "ok", obs.Seconds, nil)
+	r.Histogram("gdn_metricnamecleantest_frame_bytes", "ok", obs.Bytes, nil)
+	r.Counter(`gdn_metricnamecleantest_hits_total{peer="a"}`, "labeled ok")
+
+	// Runtime-built names (the gls per-op histogram pattern) are
+	// checked by the registry at startup, not here.
+	for _, op := range ops {
+		r.Counter("gdn_metricnamecleantest_"+op+"_total", "dynamic")
+	}
+}

@@ -1,0 +1,41 @@
+// Package tracectxtest is the tracectx golden package: traced
+// functions that drop or re-root the span context.
+package tracectxtest
+
+import (
+	"io"
+
+	"gdn/internal/core"
+	"gdn/internal/obs"
+	"gdn/internal/pkgobj"
+	"gdn/internal/rpc"
+)
+
+func dropOnClient(tc obs.SpanContext, c *rpc.Client) error {
+	_, _, err := c.Call(1, nil) // want `call to Call drops the trace .* call CallT`
+	return err
+}
+
+func dropOnPeer(tc obs.SpanContext, p *core.PeerClient) error {
+	_, err := p.CallStream(2, nil) // want `call to CallStream drops the trace .* call CallStreamT`
+	return err
+}
+
+func dropOnStub(tc obs.SpanContext, s *pkgobj.Stub, w io.Writer) error {
+	_, err := s.ReadFileTo(w, "/x") // want `call to ReadFileTo drops the trace .* call ReadFileToT`
+	return err
+}
+
+func reroot(tc obs.SpanContext, c *rpc.Client) error {
+	_, _, err := c.CallT(obs.SpanContext{}, 1, nil) // want `zero obs\.SpanContext\{\} re-roots the trace`
+	return err
+}
+
+// rerootInClosure: the span context is still in scope inside a closure
+// spawned by a traced function.
+func rerootInClosure(tc obs.SpanContext, c *rpc.Client) func() error {
+	return func() error {
+		_, _, err := c.CallT(obs.SpanContext{}, 1, nil) // want `zero obs\.SpanContext\{\} re-roots the trace`
+		return err
+	}
+}

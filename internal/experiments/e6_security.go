@@ -191,10 +191,12 @@ func measureTransfer(n, payload int, mode string, authority *sec.Authority, serv
 	recvDone := make(chan error, 1)
 	go func() {
 		for i := 0; i < n; i++ {
-			if _, _, err := server.Recv(); err != nil {
+			p, _, err := server.Recv()
+			if err != nil {
 				recvDone <- err
 				return
 			}
+			transport.PutFrame(p)
 		}
 		recvDone <- nil
 	}()

@@ -619,6 +619,7 @@ func (m *muxConn) recvLoop() {
 		m.lastRecv.Store(time.Now().UnixNano())
 		id, status, body, cost, rerr, derr := decodeResponse(frame)
 		if derr != nil {
+			transport.PutFrame(frame)
 			m.fail(fmt.Errorf("rpc: malformed response from %s: %w", m.addr, derr))
 			return
 		}
@@ -637,6 +638,7 @@ func (m *muxConn) recvLoop() {
 			if pc != nil && pc.upload != nil {
 				n, err := decodeAck(body)
 				if err != nil {
+					transport.PutFrame(frame)
 					m.fail(fmt.Errorf("rpc: malformed credit from %s: %w", m.addr, err))
 					return
 				}
@@ -670,6 +672,9 @@ func (m *muxConn) recvLoop() {
 				transport.PutFrame(frame)
 			default:
 				if !pc.stream.deliver(streamEvent{data: body, frame: frame, cost: frameCost}) {
+					// deliver refused, so the frame was not enqueued
+					// and is still ours to recycle.
+					transport.PutFrame(frame)
 					m.fail(fmt.Errorf("rpc: %s overran the stream window", m.addr))
 					return
 				}

@@ -155,6 +155,7 @@ func (c *sequencedConn) Recv() ([]byte, time.Duration, error) {
 			return nil, 0, err
 		}
 		if len(p) < seqHeader {
+			transport.PutFrame(p)
 			return nil, 0, c.condemn(fmt.Errorf("rpc: undersized sequenced frame (%d bytes) from %s", len(p), c.conn.RemoteAddr()))
 		}
 		seq := binary.BigEndian.Uint64(p)
@@ -188,7 +189,10 @@ func (c *sequencedConn) Recv() ([]byte, time.Duration, error) {
 func (c *sequencedConn) condemn(err error) error {
 	mSeqCondemned.Inc()
 	c.rerr = err
-	c.held = nil
+	if c.held != nil {
+		transport.PutFrame(c.held)
+		c.held = nil
+	}
 	c.conn.Close()
 	return err
 }

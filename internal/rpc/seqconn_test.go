@@ -1,0 +1,87 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"gdn/internal/transport"
+)
+
+// scriptConn feeds Recv a fixed sequence of frames.
+type scriptConn struct {
+	frames [][]byte
+	closed bool
+}
+
+func (c *scriptConn) Send(p []byte) error { return nil }
+
+func (c *scriptConn) Recv() ([]byte, time.Duration, error) {
+	if len(c.frames) == 0 {
+		return nil, 0, errors.New("script exhausted")
+	}
+	p := c.frames[0]
+	c.frames = c.frames[1:]
+	return p, 0, nil
+}
+
+func (c *scriptConn) Close() error       { c.closed = true; return nil }
+func (c *scriptConn) LocalAddr() string  { return "test:local" }
+func (c *scriptConn) RemoteAddr() string { return "test:remote" }
+
+func seqFrame(seq uint64, body string) []byte {
+	f := transport.GetFrame(seqHeader + len(body))
+	binary.BigEndian.PutUint64(f, seq)
+	copy(f[seqHeader:], body)
+	return f
+}
+
+func TestSequencedReorderHeals(t *testing.T) {
+	sc := sequenced(&scriptConn{frames: [][]byte{seqFrame(1, "b"), seqFrame(0, "a")}})
+	for i, want := range []string{"a", "b"} {
+		p, _, err := sc.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if string(p) != want {
+			t.Fatalf("Recv %d = %q, want %q", i, p, want)
+		}
+		transport.PutFrame(p)
+	}
+}
+
+// TestSequencedUndersizedFrameCondemns pins the validation path that
+// used to drop the undersized frame without recycling it (the bufown
+// analyzer's first real catch; the pool return itself is locked in by
+// the golden test mirroring this shape).
+func TestSequencedUndersizedFrameCondemns(t *testing.T) {
+	conn := &scriptConn{frames: [][]byte{transport.GetFrame(3)[:3]}}
+	sc := sequenced(conn)
+	_, _, err := sc.Recv()
+	if err == nil || !strings.Contains(err.Error(), "undersized") {
+		t.Fatalf("err = %v, want undersized-frame condemnation", err)
+	}
+	if !conn.closed {
+		t.Fatal("condemned conn was not closed")
+	}
+	if _, _, err2 := sc.Recv(); err2 != err {
+		t.Fatalf("condemnation not sticky: %v", err2)
+	}
+}
+
+// TestSequencedGapCondemnsAndReleasesParked drives the
+// second-frame-beyond-the-gap path: the parked frame must be recycled
+// by condemn, not silently dropped with the connection.
+func TestSequencedGapCondemnsAndReleasesParked(t *testing.T) {
+	conn := &scriptConn{frames: [][]byte{seqFrame(1, "parked"), seqFrame(2, "gap")}}
+	sc := sequenced(conn)
+	_, _, err := sc.Recv()
+	if err == nil || !strings.Contains(err.Error(), "sequence gap") {
+		t.Fatalf("err = %v, want sequence-gap condemnation", err)
+	}
+	if !conn.closed {
+		t.Fatal("condemned conn was not closed")
+	}
+}

@@ -490,16 +490,19 @@ func (ch *Channel) Recv() ([]byte, time.Duration, error) {
 		return nil, 0, err
 	}
 	if len(rec) < 8+macSize {
+		transport.PutFrame(rec)
 		return nil, 0, fmt.Errorf("%w: short record", ErrRecord)
 	}
 	seq := binary.BigEndian.Uint64(rec[:8])
 	if seq != ch.recvSeq {
+		transport.PutFrame(rec)
 		return nil, 0, fmt.Errorf("%w: sequence %d, want %d (replay or reorder)", ErrRecord, seq, ch.recvSeq)
 	}
 	payloadEnd := len(rec) - macSize
 	ch.recvHash.Reset()
 	ch.recvHash.Write(rec[:payloadEnd])
 	if !hmac.Equal(ch.recvHash.Sum(ch.recvMACBuf[:0]), rec[payloadEnd:]) {
+		transport.PutFrame(rec)
 		return nil, 0, fmt.Errorf("%w: bad MAC on record %d", ErrRecord, seq)
 	}
 	ch.recvSeq++
