@@ -72,3 +72,37 @@ func rlockCounts(sh *storeShard, c *rpc.Client) {
 	defer sh.mu.RUnlock()
 	c.Call(1, nil) // want `rpc\.Client\.Call while holding lockrpctest\.storeShard mutex`
 }
+
+// recShard and clientShard mirror the GLS striped record table and
+// client-connection stripes: the mutex is reached through an array of
+// shard structs, and the rule must still mark it.
+type recShard struct {
+	mu   sync.RWMutex
+	recs map[uint64]int
+}
+
+type clientShard struct {
+	mu sync.Mutex
+	m  map[string]*rpc.Client
+}
+
+type dirNode struct {
+	shards  [16]recShard
+	clients [8]clientShard
+}
+
+func lookupViaArrayShard(n *dirNode, c *rpc.Client) {
+	sh := &n.shards[0]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c.Call(1, nil) // want `rpc\.Client\.Call while holding lockrpctest\.recShard mutex`
+}
+
+func closeUnderClientStripe(n *dirNode) {
+	sh := &n.clients[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, c := range sh.m {
+		c.Close() // want `rpc\.Client\.Close while holding lockrpctest\.clientShard mutex`
+	}
+}

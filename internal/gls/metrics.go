@@ -19,7 +19,23 @@ var (
 		"registration sessions closed explicitly by their server")
 	mSessionsExpired = obs.Default.Counter("gdn_gls_sessions_expired_total",
 		"registration sessions reaped by the lease sweeper")
+	mSnapshotAppendSeconds = obs.Default.Histogram("gdn_gls_snapshot_append_seconds",
+		"journal flush latency: one batched append write plus fsync",
+		obs.Seconds, obs.TimeBuckets)
+	mSnapshotCompactSeconds = obs.Default.Histogram("gdn_gls_snapshot_compact_seconds",
+		"latency of folding the journal into a fresh base snapshot",
+		obs.Seconds, obs.TimeBuckets)
+	mLogBytesTotal = obs.Default.Counter("gdn_gls_log_bytes_total",
+		"bytes appended to GLS journals across all subnodes")
 )
+
+// LookupLatency and RenewLatency expose the resolver-side latency
+// histograms; benchmarks read quantiles from these snapshots instead
+// of re-deriving timings.
+func LookupLatency() obs.HistogramSnapshot { return mResolverLookupSeconds.Snapshot() }
+
+// RenewLatency is the renewal-round counterpart of LookupLatency.
+func RenewLatency() obs.HistogramSnapshot { return mSessionRenewSeconds.Snapshot() }
 
 // opNames maps directory-node protocol ops to the label values of the
 // gdn_gls_op_seconds histogram family.

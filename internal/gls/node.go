@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gdn/internal/ids"
@@ -45,8 +46,26 @@ type Config struct {
 	// reclaim aged-out records (and tear down their pointer chains).
 	// Correctness does not depend on it — lookups filter expired leases
 	// lazily — so it defaults generously (5s); negative disables the
-	// janitor entirely.
+	// janitor entirely. The janitor visits one record shard per tick
+	// (ticking recShards times per SweepEvery), so no single sweep ever
+	// write-locks more than 1/16th of the table.
 	SweepEvery time.Duration
+	// StateDir, when non-empty, enables incremental persistence: the
+	// node restores from <StateDir>/base.snap plus <StateDir>/journal.log
+	// at start, appends every mutation to the journal (flushed and
+	// fsynced in batches every FlushEvery), and folds the journal into a
+	// fresh base snapshot whenever it outgrows CompactBytes. Empty
+	// leaves persistence to the caller via Snapshot/Restore.
+	StateDir string
+	// FlushEvery is the journal flush cadence; zero means one second.
+	// Mutations appended since the last flush are the crash loss
+	// window — and lease semantics absorb it: a replayed journal
+	// restarts every lease relative to the restoring clock, and session
+	// owners re-attach anything the node forgot.
+	FlushEvery time.Duration
+	// CompactBytes is the journal size that triggers folding it into
+	// the base snapshot; zero means 8 MiB.
+	CompactBytes int64
 	// Logf receives diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -60,27 +79,39 @@ const defaultSweepEvery = 5 * time.Second
 // the session, not the entries, so a server hosting thousands of
 // replicas keeps them all alive with one renew per heartbeat — and a
 // server that dies takes every attached entry out of lookups within one
-// TTL. All fields are guarded by the owning node's mu.
+// TTL. The hot fields are atomics because lookups consult sessions
+// while holding only a record-shard read lock; addr and ttl are guarded
+// by the session's own mutex.
 type session struct {
-	id      ids.OID
-	addr    string // the server's transport address
-	ttl     time.Duration
-	expires time.Time
-	closed  bool
-	// drained records the OpDrain state as a session attribute, so a
+	id ids.OID
+
+	mu   sync.Mutex
+	addr string // the server's transport address
+	ttl  time.Duration
+
+	expiresNano atomic.Int64
+	closed      atomic.Bool
+	// drained records the drain state as a session attribute, so a
 	// snapshot restore brings the drain back with the session instead
 	// of forgetting it until the server's next scrub pass.
-	drained bool
+	drained atomic.Bool
 	// attached counts the entries riding this session. Renewal
 	// responses echo it, so a server can tell that the node rolled
 	// back to a snapshot older than some attaches (the count
 	// disagrees with its own books) and re-attach — the self-healing
 	// the per-replica heartbeat used to provide for free.
-	attached int
+	attached atomic.Int64
 }
 
 func (s *session) expired(now time.Time) bool {
-	return s.closed || now.After(s.expires)
+	return s.closed.Load() || now.UnixNano() > s.expiresNano.Load()
+}
+
+// fields returns the mutex-guarded addr and ttl in one acquisition.
+func (s *session) fields() (addr string, ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr, s.ttl
 }
 
 // leasedAddr is one registered contact address with its liveness
@@ -113,6 +144,40 @@ type record struct {
 
 func (rec *record) empty() bool { return len(rec.addrs) == 0 && len(rec.ptrs) == 0 }
 
+// recShards is the number of lock stripes the record table is split
+// over — the same trick as the rpc pending table's 8 stripes and the
+// store index's 16, sized so sixteen concurrent resolvers rarely
+// collide on a stripe.
+const recShards = 16
+
+// recShard is one stripe of the record table. Its mutex is held for
+// map surgery only — never across an RPC, which the lockrpc analyzer
+// enforces through the "shard" in the type name.
+type recShard struct {
+	mu   sync.RWMutex
+	recs map[ids.OID]*record
+}
+
+// clientShards stripes the outbound client cache so descent fan-out
+// does not serialize on one mutex.
+const clientShards = 8
+
+// clientShard is one stripe of the outbound rpc.Client cache. Only
+// construction happens under the mutex (NewClient dials lazily);
+// calls and Close always happen outside it.
+type clientShard struct {
+	mu sync.Mutex
+	m  map[string]*rpc.Client
+}
+
+// counters is the atomic backing of the exported Counters snapshot:
+// per-op increments must not share one mutex when sixteen resolvers
+// hit the node in parallel.
+type counters struct {
+	lookups, descends, inserts, deletes, ptrOps, expiries, drains,
+	sessionOpens, sessionRenews, sessionCloses atomic.Int64
+}
+
 // Node is one directory subnode. It serves the directory-node protocol
 // on its configured address and talks to its parent and children as an
 // RPC client. All methods are safe for concurrent use.
@@ -120,23 +185,34 @@ type Node struct {
 	cfg Config
 	net transport.Network
 
-	mu       sync.RWMutex
-	recs     map[ids.OID]*record
-	drained  map[string]bool // transport address -> draining
+	shards [recShards]recShard
+
+	sessMu   sync.RWMutex
 	sessions map[ids.OID]*session
+
+	drainMu sync.RWMutex
+	drained map[string]bool // transport address -> draining
 
 	rndMu sync.Mutex
 	rnd   *rand.Rand
 
-	statMu sync.Mutex
-	stats  Counters
+	stats counters
 
-	clientMu sync.Mutex
-	clients  map[string]*rpc.Client
+	clients [clientShards]clientShard
+
+	journal *journal // nil unless cfg.StateDir is set
 
 	server    *rpc.Server
 	stopSweep chan struct{}
 	sweepOnce sync.Once
+}
+
+// shard returns the record stripe for an object. Object identifiers
+// are uniformly random (crypto/rand at mint, sha256 when derived), so
+// any byte spreads the stripes evenly; the last avoids correlating
+// with Subnode's hash of the whole identifier.
+func (n *Node) shard(oid ids.OID) *recShard {
+	return &n.shards[int(oid[ids.Size-1])&(recShards-1)]
 }
 
 // Start creates a directory subnode and begins serving it.
@@ -159,11 +235,24 @@ func Start(net transport.Network, cfg Config) (*Node, error) {
 	n := &Node{
 		cfg:      cfg,
 		net:      net,
-		recs:     make(map[ids.OID]*record),
 		drained:  make(map[string]bool),
 		sessions: make(map[ids.OID]*session),
 		rnd:      rand.New(rand.NewSource(cfg.Seed)),
-		clients:  make(map[string]*rpc.Client),
+	}
+	for i := range n.shards {
+		n.shards[i].recs = make(map[ids.OID]*record)
+	}
+	for i := range n.clients {
+		n.clients[i].m = make(map[string]*rpc.Client)
+	}
+	// Recover persisted state before serving: no request may observe
+	// (or journal over) a half-replayed node.
+	if cfg.StateDir != "" {
+		j, err := openJournal(n)
+		if err != nil {
+			return nil, err
+		}
+		n.journal = j
 	}
 	opts := []rpc.ServerOption{rpc.WithServerLog(cfg.Logf)}
 	if cfg.Auth != nil {
@@ -171,9 +260,15 @@ func Start(net transport.Network, cfg Config) (*Node, error) {
 	}
 	srv, err := rpc.Serve(net, cfg.Addr, n.handle, opts...)
 	if err != nil {
+		if n.journal != nil {
+			n.journal.close()
+		}
 		return nil, err
 	}
 	n.server = srv
+	if n.journal != nil {
+		n.journal.startFlusher()
+	}
 	if cfg.SweepEvery > 0 {
 		n.stopSweep = make(chan struct{})
 		go n.sweepLoop(n.stopSweep)
@@ -187,54 +282,87 @@ func (n *Node) Domain() string { return n.cfg.Domain }
 // Addr returns the subnode's transport address.
 func (n *Node) Addr() string { return n.cfg.Addr }
 
-// Close stops serving and releases client connections.
+// Close stops serving, flushes the journal when one is open, and
+// releases client connections.
 func (n *Node) Close() error {
 	if n.stopSweep != nil {
 		n.sweepOnce.Do(func() { close(n.stopSweep) })
 	}
 	err := n.server.Close()
-	n.clientMu.Lock()
-	for _, c := range n.clients {
+	if n.journal != nil {
+		if jerr := n.journal.close(); err == nil {
+			err = jerr
+		}
+	}
+	var open []*rpc.Client
+	for i := range n.clients {
+		sh := &n.clients[i]
+		sh.mu.Lock()
+		for _, c := range sh.m {
+			open = append(open, c)
+		}
+		sh.m = make(map[string]*rpc.Client)
+		sh.mu.Unlock()
+	}
+	for _, c := range open {
 		c.Close()
 	}
-	n.clients = make(map[string]*rpc.Client)
-	n.clientMu.Unlock()
 	return err
 }
 
 // Stats returns a snapshot of this subnode's operation counters.
 func (n *Node) Stats() Counters {
-	n.statMu.Lock()
-	defer n.statMu.Unlock()
-	return n.stats
+	return Counters{
+		Lookups:       n.stats.lookups.Load(),
+		Descends:      n.stats.descends.Load(),
+		Inserts:       n.stats.inserts.Load(),
+		Deletes:       n.stats.deletes.Load(),
+		PtrOps:        n.stats.ptrOps.Load(),
+		Expiries:      n.stats.expiries.Load(),
+		Drains:        n.stats.drains.Load(),
+		SessionOpens:  n.stats.sessionOpens.Load(),
+		SessionRenews: n.stats.sessionRenews.Load(),
+		SessionCloses: n.stats.sessionCloses.Load(),
+	}
 }
 
 // Records returns the number of objects this subnode has entries for.
 func (n *Node) Records() int {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return len(n.recs)
+	total := 0
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.RLock()
+		total += len(sh.recs)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// clientStripe hashes a transport address onto a client-cache stripe
+// (FNV-1a, folded to the stripe count).
+func clientStripe(addr string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint32(addr[i])
+		h *= 16777619
+	}
+	return int(h) & (clientShards - 1)
 }
 
 func (n *Node) client(addr string) *rpc.Client {
-	n.clientMu.Lock()
-	defer n.clientMu.Unlock()
-	c, ok := n.clients[addr]
+	sh := &n.clients[clientStripe(addr)]
+	sh.mu.Lock()
+	c, ok := sh.m[addr]
 	if !ok {
 		var opts []rpc.ClientOption
 		if n.cfg.Auth != nil {
 			opts = append(opts, rpc.WithClientWrapper(n.cfg.Auth.WrapClient))
 		}
 		c = rpc.NewClient(n.net, n.cfg.Site, addr, opts...)
-		n.clients[addr] = c
+		sh.m[addr] = c
 	}
+	sh.mu.Unlock()
 	return c
-}
-
-func (n *Node) count(f func(*Counters)) {
-	n.statMu.Lock()
-	f(&n.stats)
-	n.statMu.Unlock()
 }
 
 func (n *Node) isRoot() bool { return n.cfg.Parent.IsZero() }
@@ -308,34 +436,56 @@ func (n *Node) handleLookup(call *rpc.Call, down bool) ([]byte, error) {
 		return nil, err
 	}
 	if down {
-		n.count(func(c *Counters) { c.Descends++ })
+		n.stats.descends.Add(1)
 	} else {
-		n.count(func(c *Counters) { c.Lookups++ })
+		n.stats.lookups.Add(1)
 	}
 
+	// Collect the record's live entries under the shard read lock only;
+	// the address-wide drain set is consulted after release, and the
+	// session drain flag is an atomic — no lock ordering to get wrong,
+	// and the stripe is never held across the drain map.
+	type candidate struct {
+		ca          ContactAddress
+		sessDrained bool
+	}
 	now := n.cfg.Clock()
-	n.mu.RLock()
-	rec := n.recs[oid]
-	var addrs, drainedAddrs []ContactAddress
+	sh := n.shard(oid)
+	sh.mu.RLock()
+	rec := sh.recs[oid]
+	var cands []candidate
 	var childRefs []Ref
 	if rec != nil {
 		for _, la := range rec.addrs {
-			switch {
-			case la.expired(now):
+			if la.expired(now) {
 				// A lease (or session) its owner stopped renewing: the
 				// replica is gone (or cut off); it must not be handed to
 				// clients. The sweep janitor reclaims the entry itself.
-			case n.drained[la.ca.Address] || (la.sess != nil && la.sess.drained):
-				drainedAddrs = append(drainedAddrs, la.ca)
-			default:
-				addrs = append(addrs, la.ca)
+				continue
 			}
+			cands = append(cands, candidate{
+				ca:          la.ca,
+				sessDrained: la.sess != nil && la.sess.drained.Load(),
+			})
 		}
 		for _, ref := range rec.ptrs {
 			childRefs = append(childRefs, ref)
 		}
 	}
-	n.mu.RUnlock()
+	sh.mu.RUnlock()
+
+	var addrs, drainedAddrs []ContactAddress
+	if len(cands) > 0 {
+		n.drainMu.RLock()
+		for _, c := range cands {
+			if c.sessDrained || n.drained[c.ca.Address] {
+				drainedAddrs = append(drainedAddrs, c.ca)
+			} else {
+				addrs = append(addrs, c.ca)
+			}
+		}
+		n.drainMu.RUnlock()
+	}
 
 	// Healthy contact addresses stored here end the search immediately;
 	// a local drained set is only the fallback of last resort.
@@ -427,6 +577,43 @@ func dedupAddrs(addrs []ContactAddress) []ContactAddress {
 	return out
 }
 
+// lookupSession resolves a live session or reports ErrUnknownSession.
+func (n *Node) lookupSession(sid ids.OID) (*session, error) {
+	n.sessMu.RLock()
+	sess := n.sessions[sid]
+	n.sessMu.RUnlock()
+	if sess == nil || sess.closed.Load() {
+		return nil, fmt.Errorf("%w: %s at %s", ErrUnknownSession, sid.Short(), n.cfg.Domain)
+	}
+	return sess, nil
+}
+
+// attachAddr adds ca to rec, or renews it in place — a re-registration
+// is a lease renewal, and may also move the entry between liveness
+// contracts (attach it to a session, or upgrade it to permanent with
+// ttl 0 and no session). The caller holds the record's shard lock.
+func attachAddr(rec *record, ca ContactAddress, expires time.Time, sess *session) {
+	for i, have := range rec.addrs {
+		if have.ca == ca {
+			rec.addrs[i].expires = expires
+			if old := rec.addrs[i].sess; old != sess {
+				if old != nil {
+					old.attached.Add(-1)
+				}
+				if sess != nil {
+					sess.attached.Add(1)
+				}
+				rec.addrs[i].sess = sess
+			}
+			return
+		}
+	}
+	rec.addrs = append(rec.addrs, leasedAddr{ca: ca, expires: expires, sess: sess})
+	if sess != nil {
+		sess.attached.Add(1)
+	}
+}
+
 // handleInsert registers a contact address at this node — attached to a
 // registration session when the request names one, as a per-entry lease
 // when it carries a TTL (renewed by re-inserting), permanent otherwise —
@@ -440,7 +627,7 @@ func (n *Node) handleInsert(call *rpc.Call) ([]byte, error) {
 	r := wire.NewReader(call.Body)
 	oid := r.OID()
 	ca := decodeContactAddress(r)
-	ttl := time.Duration(r.Uint32()) * time.Second
+	ttlSecs := r.Uint32()
 	sid := r.OID()
 	if err := r.Done(); err != nil {
 		return nil, err
@@ -448,59 +635,35 @@ func (n *Node) handleInsert(call *rpc.Call) ([]byte, error) {
 	if oid.IsNil() {
 		oid = ids.New()
 	}
-	n.count(func(c *Counters) { c.Inserts++ })
+	n.stats.inserts.Add(1)
 
 	var expires time.Time
-	if ttl > 0 {
-		expires = n.cfg.Clock().Add(ttl)
+	if ttlSecs > 0 {
+		expires = n.cfg.Clock().Add(time.Duration(ttlSecs) * time.Second)
 	}
-	n.mu.Lock()
 	var sess *session
 	if !sid.IsNil() {
 		// Session attach: liveness (and drain) follow the session, so the
 		// request's TTL is ignored. An unknown session means this node
 		// lost it (restart, age-out); the owner must reopen before
 		// attaching, or the entry would never expire with its server.
-		sess = n.sessions[sid]
-		if sess == nil || sess.closed {
-			n.mu.Unlock()
-			return nil, fmt.Errorf("%w: %s at %s", ErrUnknownSession, sid.Short(), n.cfg.Domain)
+		var err error
+		if sess, err = n.lookupSession(sid); err != nil {
+			return nil, err
 		}
 		expires = time.Time{}
 	}
-	rec := n.recs[oid]
+	sh := n.shard(oid)
+	sh.mu.Lock()
+	rec := sh.recs[oid]
 	wasEmpty := rec == nil
 	if rec == nil {
 		rec = &record{}
-		n.recs[oid] = rec
+		sh.recs[oid] = rec
 	}
-	dup := false
-	for i, have := range rec.addrs {
-		if have.ca == ca {
-			// A re-registration is a lease renewal; it may also move the
-			// entry between liveness contracts (attach it to a session, or
-			// upgrade it to permanent with ttl 0 and no session).
-			rec.addrs[i].expires = expires
-			if old := rec.addrs[i].sess; old != sess {
-				if old != nil {
-					old.attached--
-				}
-				if sess != nil {
-					sess.attached++
-				}
-				rec.addrs[i].sess = sess
-			}
-			dup = true
-			break
-		}
-	}
-	if !dup {
-		rec.addrs = append(rec.addrs, leasedAddr{ca: ca, expires: expires, sess: sess})
-		if sess != nil {
-			sess.attached++
-		}
-	}
-	n.mu.Unlock()
+	attachAddr(rec, ca, expires, sess)
+	sh.mu.Unlock()
+	n.journalInsert(oid, ca, ttlSecs, sid)
 
 	// A pre-existing record (addresses or pointers) implies the chain
 	// of forwarding pointers above this node is already installed, so
@@ -543,20 +706,22 @@ func (n *Node) handleInstallPtr(call *rpc.Call) ([]byte, error) {
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
-	n.count(func(c *Counters) { c.PtrOps++ })
+	n.stats.ptrOps.Add(1)
 
-	n.mu.Lock()
-	rec := n.recs[oid]
+	sh := n.shard(oid)
+	sh.mu.Lock()
+	rec := sh.recs[oid]
 	if rec == nil {
 		rec = &record{}
-		n.recs[oid] = rec
+		sh.recs[oid] = rec
 	}
 	if rec.ptrs == nil {
 		rec.ptrs = make(map[string]Ref)
 	}
 	_, existed := rec.ptrs[child]
 	rec.ptrs[child] = ref
-	n.mu.Unlock()
+	sh.mu.Unlock()
+	n.journalInstallPtr(oid, child, ref)
 
 	// An existing pointer implies the chain above is already installed.
 	if existed {
@@ -577,10 +742,11 @@ func (n *Node) handleDelete(call *rpc.Call) ([]byte, error) {
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
-	n.count(func(c *Counters) { c.Deletes++ })
+	n.stats.deletes.Add(1)
 
-	n.mu.Lock()
-	rec := n.recs[oid]
+	sh := n.shard(oid)
+	sh.mu.Lock()
+	rec := sh.recs[oid]
 	removedAll := false
 	if rec != nil {
 		kept := rec.addrs[:0]
@@ -588,16 +754,17 @@ func (n *Node) handleDelete(call *rpc.Call) ([]byte, error) {
 			if la.ca.Address != addr {
 				kept = append(kept, la)
 			} else if la.sess != nil {
-				la.sess.attached--
+				la.sess.attached.Add(-1)
 			}
 		}
 		rec.addrs = kept
 		if rec.empty() {
-			delete(n.recs, oid)
+			delete(sh.recs, oid)
 			removedAll = true
 		}
 	}
-	n.mu.Unlock()
+	sh.mu.Unlock()
+	n.journalDelete(oid, addr)
 
 	if removedAll {
 		return nil, n.propagateRemove(call, oid)
@@ -630,19 +797,21 @@ func (n *Node) handleRemovePtr(call *rpc.Call) ([]byte, error) {
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
-	n.count(func(c *Counters) { c.PtrOps++ })
+	n.stats.ptrOps.Add(1)
 
-	n.mu.Lock()
-	rec := n.recs[oid]
+	sh := n.shard(oid)
+	sh.mu.Lock()
+	rec := sh.recs[oid]
 	nowEmpty := false
 	if rec != nil && rec.ptrs != nil {
 		delete(rec.ptrs, child)
 		if rec.empty() {
-			delete(n.recs, oid)
+			delete(sh.recs, oid)
 			nowEmpty = true
 		}
 	}
-	n.mu.Unlock()
+	sh.mu.Unlock()
+	n.journalRemovePtr(oid, child)
 
 	if nowEmpty {
 		return nil, n.propagateRemove(call, oid)
@@ -650,13 +819,42 @@ func (n *Node) handleRemovePtr(call *rpc.Call) ([]byte, error) {
 	return nil, nil
 }
 
+// applyDrain flips the node-local, address-wide draining state and
+// mirrors it onto every session registered from that address.
+func (n *Node) applyDrain(addr string, draining bool) {
+	n.drainMu.Lock()
+	if draining {
+		n.drained[addr] = true
+	} else {
+		delete(n.drained, addr)
+	}
+	n.drainMu.Unlock()
+	n.sessMu.RLock()
+	for _, sess := range n.sessions {
+		if a, _ := sess.fields(); a == addr {
+			sess.drained.Store(draining)
+		}
+	}
+	n.sessMu.RUnlock()
+}
+
+// drainState reports the current address-wide draining flag.
+func (n *Node) drainState(addr string) bool {
+	n.drainMu.RLock()
+	defer n.drainMu.RUnlock()
+	return n.drained[addr]
+}
+
 // handleDrain marks or clears the draining state of one transport
-// address. Draining is node-local and address-wide: every record whose
-// contact addresses live at that address stops returning them while
-// alternatives exist. Registrations (and their leases) are untouched,
-// so undraining restores service instantly — the point of drain over
-// delete. When the address belongs to a registration session the flag
-// is recorded on the session too, so it rides the session through
+// address — the standalone op, kept as the compatibility path for
+// sessionless registrants; servers with a registration session
+// piggyback the same bit on OpSessionRenew instead. Draining is
+// node-local and address-wide: every record whose contact addresses
+// live at that address stops returning them while alternatives exist.
+// Registrations (and their leases) are untouched, so undraining
+// restores service instantly — the point of drain over delete. When
+// the address belongs to a registration session the flag is recorded
+// on the session too, so it rides the session through
 // snapshot/restore instead of evaporating on a node restart.
 func (n *Node) handleDrain(call *rpc.Call) ([]byte, error) {
 	if err := n.authorize(call, sec.RoleGOS, sec.RoleAdmin, sec.RoleGLS, sec.RoleHTTPD); err != nil {
@@ -671,20 +869,33 @@ func (n *Node) handleDrain(call *rpc.Call) ([]byte, error) {
 	if addr == "" {
 		return nil, fmt.Errorf("gls: drain without a transport address")
 	}
-	n.count(func(c *Counters) { c.Drains++ })
-	n.mu.Lock()
-	if draining {
-		n.drained[addr] = true
-	} else {
-		delete(n.drained, addr)
-	}
-	for _, sess := range n.sessions {
-		if sess.addr == addr {
-			sess.drained = draining
-		}
-	}
-	n.mu.Unlock()
+	n.stats.drains.Add(1)
+	n.applyDrain(addr, draining)
+	n.journalDrain(addr, draining)
 	return nil, nil
+}
+
+// applySessionOpen creates or refreshes a session — shared by the
+// open and reattach handlers and by journal replay.
+func (n *Node) applySessionOpen(sid ids.OID, addr string, ttl time.Duration, now time.Time) *session {
+	n.sessMu.Lock()
+	sess := n.sessions[sid]
+	if sess == nil {
+		sess = &session{id: sid}
+		n.sessions[sid] = sess
+	}
+	n.sessMu.Unlock()
+	sess.mu.Lock()
+	sess.addr = addr
+	sess.ttl = ttl
+	sess.mu.Unlock()
+	sess.expiresNano.Store(now.Add(ttl).UnixNano())
+	sess.closed.Store(false)
+	// A fresh session inherits the address-wide drain state: a server
+	// that drained itself, crashed and reopened is still draining until
+	// it says otherwise.
+	sess.drained.Store(n.drainState(addr))
+	return sess
 }
 
 // handleSessionOpen creates (or refreshes) a registration session. The
@@ -698,31 +909,17 @@ func (n *Node) handleSessionOpen(call *rpc.Call) ([]byte, error) {
 	r := wire.NewReader(call.Body)
 	sid := r.OID()
 	addr := r.Str()
-	ttl := time.Duration(r.Uint32()) * time.Second
+	ttlSecs := r.Uint32()
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
-	if sid.IsNil() || addr == "" || ttl <= 0 {
+	if sid.IsNil() || addr == "" || ttlSecs == 0 {
 		return nil, fmt.Errorf("gls: session open needs an identifier, an address and a TTL")
 	}
-	n.count(func(c *Counters) { c.SessionOpens++ })
+	n.stats.sessionOpens.Add(1)
 	mSessionsOpened.Inc()
-	now := n.cfg.Clock()
-	n.mu.Lock()
-	sess := n.sessions[sid]
-	if sess == nil {
-		sess = &session{id: sid}
-		n.sessions[sid] = sess
-	}
-	sess.addr = addr
-	sess.ttl = ttl
-	sess.expires = now.Add(ttl)
-	sess.closed = false
-	// A fresh session inherits the address-wide drain state: a server
-	// that drained itself, crashed and reopened is still draining until
-	// it says otherwise.
-	sess.drained = n.drained[addr]
-	n.mu.Unlock()
+	n.applySessionOpen(sid, addr, time.Duration(ttlSecs)*time.Second, n.cfg.Clock())
+	n.journalSessionOpen(sid, addr, ttlSecs)
 	return nil, nil
 }
 
@@ -733,30 +930,51 @@ func (n *Node) handleSessionOpen(call *rpc.Call) ([]byte, error) {
 // than some attaches and repair it. Renewing an expired-but-unswept
 // session revives it (and with it every attached entry), while an
 // unknown one tells the owner to reopen and re-attach.
+//
+// The request may carry an optional drain tail (two booleans:
+// presence, then the desired state) — the batched replacement for the
+// OpDrain fan-out: a server flips its drain bit on the heartbeat it
+// was going to send anyway, and the node applies it address-wide
+// exactly as OpDrain would.
 func (n *Node) handleSessionRenew(call *rpc.Call) ([]byte, error) {
 	if err := n.authorize(call, sec.RoleGOS, sec.RoleAdmin, sec.RoleGLS, sec.RoleHTTPD); err != nil {
 		return nil, err
 	}
 	r := wire.NewReader(call.Body)
 	sid := r.OID()
-	ttl := time.Duration(r.Uint32()) * time.Second
+	ttlSecs := r.Uint32()
+	hasDrain, drain := false, false
+	if r.Remaining() > 0 {
+		hasDrain = r.Bool()
+		drain = r.Bool()
+	}
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
-	n.count(func(c *Counters) { c.SessionRenews++ })
+	n.stats.sessionRenews.Add(1)
 	now := n.cfg.Clock()
-	n.mu.Lock()
+	n.sessMu.RLock()
 	sess := n.sessions[sid]
-	known := sess != nil && !sess.closed
+	n.sessMu.RUnlock()
+	known := sess != nil && !sess.closed.Load()
 	attached := 0
 	if known {
-		if ttl > 0 {
-			sess.ttl = ttl
+		sess.mu.Lock()
+		if ttlSecs > 0 {
+			sess.ttl = time.Duration(ttlSecs) * time.Second
 		}
-		sess.expires = now.Add(sess.ttl)
-		attached = sess.attached
+		ttl := sess.ttl
+		addr := sess.addr
+		sess.mu.Unlock()
+		sess.expiresNano.Store(now.Add(ttl).UnixNano())
+		attached = int(sess.attached.Load())
+		if hasDrain && (sess.drained.Load() != drain || n.drainState(addr) != drain) {
+			n.stats.drains.Add(1)
+			n.applyDrain(addr, drain)
+			n.journalDrain(addr, drain)
+		}
+		n.journalSessionRenew(sid, ttlSecs)
 	}
-	n.mu.Unlock()
 	w := wire.NewWriter(8)
 	w.Bool(known)
 	w.Uint32(uint32(attached))
@@ -775,26 +993,30 @@ func (n *Node) handleSessionClose(call *rpc.Call) ([]byte, error) {
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
-	n.count(func(c *Counters) { c.SessionCloses++ })
+	n.stats.sessionCloses.Add(1)
 	mSessionsClosed.Inc()
-	n.mu.Lock()
+	n.sessMu.Lock()
 	if sess := n.sessions[sid]; sess != nil {
 		// Entries keep their pointer to the struct; marking it closed
 		// expires them all at once, wherever they are referenced.
-		sess.closed = true
+		sess.closed.Store(true)
 		delete(n.sessions, sid)
 	}
-	n.mu.Unlock()
+	n.sessMu.Unlock()
+	n.journalSessionClose(sid)
 	return nil, nil
 }
 
 // handleSessionReattach reopens a session and re-attaches a batch of
 // entries in one round trip — the repair path after this subnode lost
 // the session (restart without a snapshot, or age-out behind a
-// partition). Semantically it is one OpSessionOpen followed by one
-// OpInsert per entry, collapsed into a single message so a
-// partition-heal does not cost a storm of RPCs proportional to the
-// server's replica count.
+// partition), and the bulk-registration path for servers bringing a
+// large replica population online. Semantically it is one
+// OpSessionOpen followed by one OpInsert per entry, collapsed into a
+// single message so a partition-heal does not cost a storm of RPCs
+// proportional to the server's replica count. Like OpSessionRenew it
+// accepts an optional drain tail, so a draining server's repair
+// traffic re-establishes the drain too.
 func (n *Node) handleSessionReattach(call *rpc.Call) ([]byte, error) {
 	if err := n.authorize(call, sec.RoleGOS, sec.RoleAdmin, sec.RoleGLS, sec.RoleHTTPD); err != nil {
 		return nil, err
@@ -802,72 +1024,41 @@ func (n *Node) handleSessionReattach(call *rpc.Call) ([]byte, error) {
 	r := wire.NewReader(call.Body)
 	sid := r.OID()
 	addr := r.Str()
-	ttl := time.Duration(r.Uint32()) * time.Second
+	ttlSecs := r.Uint32()
 	cnt := r.Count()
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	type entry struct {
-		oid ids.OID
-		ca  ContactAddress
-	}
-	entries := make([]entry, 0, cnt)
+	entries := make([]reattachEntry, 0, cnt)
 	for i := 0; i < cnt; i++ {
-		entries = append(entries, entry{oid: r.OID(), ca: decodeContactAddress(r)})
+		entries = append(entries, reattachEntry{oid: r.OID(), ca: decodeContactAddress(r)})
+	}
+	hasDrain, drain := false, false
+	if r.Remaining() > 0 {
+		hasDrain = r.Bool()
+		drain = r.Bool()
 	}
 	if err := r.Done(); err != nil {
 		return nil, err
 	}
-	if sid.IsNil() || addr == "" || ttl <= 0 {
+	if sid.IsNil() || addr == "" || ttlSecs == 0 {
 		return nil, fmt.Errorf("gls: session reattach needs an identifier, an address and a TTL")
 	}
-	n.count(func(c *Counters) {
-		c.SessionOpens++
-		c.Inserts += int64(len(entries))
-	})
+	n.stats.sessionOpens.Add(1)
+	n.stats.inserts.Add(int64(len(entries)))
+	mSessionsOpened.Inc()
 	now := n.cfg.Clock()
-	n.mu.Lock()
-	sess := n.sessions[sid]
-	if sess == nil {
-		sess = &session{id: sid}
-		n.sessions[sid] = sess
+	sess := n.applySessionOpen(sid, addr, time.Duration(ttlSecs)*time.Second, now)
+	if hasDrain && n.drainState(addr) != drain {
+		n.stats.drains.Add(1)
+		n.applyDrain(addr, drain)
+		n.journalDrain(addr, drain)
 	}
-	sess.addr = addr
-	sess.ttl = ttl
-	sess.expires = now.Add(ttl)
-	sess.closed = false
-	sess.drained = n.drained[addr]
-	// Attach every entry under the one lock hold, remembering which
-	// objects had no record here: only those pay the pointer-chain climb.
-	var fresh []ids.OID
-	for _, e := range entries {
-		rec := n.recs[e.oid]
-		if rec == nil {
-			rec = &record{}
-			n.recs[e.oid] = rec
-			fresh = append(fresh, e.oid)
-		}
-		dup := false
-		for i, have := range rec.addrs {
-			if have.ca == e.ca {
-				rec.addrs[i].expires = time.Time{}
-				if old := rec.addrs[i].sess; old != sess {
-					if old != nil {
-						old.attached--
-					}
-					sess.attached++
-					rec.addrs[i].sess = sess
-				}
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			rec.addrs = append(rec.addrs, leasedAddr{ca: e.ca, sess: sess})
-			sess.attached++
-		}
-	}
-	n.mu.Unlock()
+	// Attach every entry, remembering which objects had no record here:
+	// only those pay the pointer-chain climb. Entries hash across the
+	// record stripes, so each attach holds only its own stripe.
+	fresh := n.attachBatch(entries, sess)
+	n.journalReattach(sid, addr, ttlSecs, entries)
 	for _, oid := range fresh {
 		if err := n.propagateInstall(call, oid); err != nil {
 			return nil, err
@@ -876,54 +1067,89 @@ func (n *Node) handleSessionReattach(call *rpc.Call) ([]byte, error) {
 	return nil, nil
 }
 
+// reattachEntry is one (object, contact address) pair of a batched
+// session reattach.
+type reattachEntry struct {
+	oid ids.OID
+	ca  ContactAddress
+}
+
+// attachBatch attaches entries to sess, returning the objects that had
+// no record before (their pointer chains need installing).
+func (n *Node) attachBatch(entries []reattachEntry, sess *session) []ids.OID {
+	var fresh []ids.OID
+	for _, e := range entries {
+		sh := n.shard(e.oid)
+		sh.mu.Lock()
+		rec := sh.recs[e.oid]
+		if rec == nil {
+			rec = &record{}
+			sh.recs[e.oid] = rec
+			fresh = append(fresh, e.oid)
+		}
+		attachAddr(rec, e.ca, time.Time{}, sess)
+		sh.mu.Unlock()
+	}
+	return fresh
+}
+
 // Sessions returns the number of live registration sessions at this
 // subnode; tests and diagnostics read it.
 func (n *Node) Sessions() int {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
+	n.sessMu.RLock()
+	defer n.sessMu.RUnlock()
 	return len(n.sessions)
 }
 
 // Draining reports whether an address is currently drained at this
 // subnode; tests and diagnostics read it.
 func (n *Node) Draining(addr string) bool {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.drained[addr]
+	return n.drainState(addr)
 }
 
-// sweepLoop periodically reclaims expired leases. Lookups already
-// filter them lazily; the sweep's job is to delete emptied records and
-// tear down their forwarding-pointer chains so the tree does not
-// accumulate dead entries for every replica that ever lived.
+// sweepLoop is the lease janitor: it visits one record shard per tick,
+// recShards ticks per SweepEvery, so every shard is swept once per
+// SweepEvery but no sweep ever write-locks more than one stripe — a
+// full-table lock freeze is exactly what striping exists to avoid.
+// Sessions are reaped once per full rotation.
 func (n *Node) sweepLoop(stop <-chan struct{}) {
-	ticker := time.NewTicker(n.cfg.SweepEvery)
+	step := n.cfg.SweepEvery / recShards
+	if step <= 0 {
+		step = time.Millisecond
+	}
+	ticker := time.NewTicker(step)
 	defer ticker.Stop()
+	si := 0
 	for {
 		select {
 		case <-stop:
 			return
 		case <-ticker.C:
-			n.SweepExpired()
+			n.sweepShard(si, n.cfg.Clock())
+			si = (si + 1) % recShards
+			if si == 0 {
+				n.reapSessions(n.cfg.Clock())
+			}
 		}
 	}
 }
 
-// SweepExpired removes aged-out leases (and the sessions they hung
-// from) now and returns how many contact addresses were reclaimed. The
-// janitor calls it on a timer; tests call it directly.
-func (n *Node) SweepExpired() int {
-	now := n.cfg.Clock()
+// sweepShard removes aged-out leases from one record stripe and tears
+// down the pointer chains of records it emptied. Expiries need no
+// journal entries: a replayed lease re-expires against the restored
+// clock on its own.
+func (n *Node) sweepShard(si int, now time.Time) int {
+	sh := &n.shards[si]
 	var emptied []ids.OID
 	expired := 0
-	n.mu.Lock()
-	for oid, rec := range n.recs {
+	sh.mu.Lock()
+	for oid, rec := range sh.recs {
 		kept := rec.addrs[:0]
 		for _, la := range rec.addrs {
 			if la.expired(now) {
 				expired++
 				if la.sess != nil {
-					la.sess.attached--
+					la.sess.attached.Add(-1)
 				}
 			} else {
 				kept = append(kept, la)
@@ -931,22 +1157,13 @@ func (n *Node) SweepExpired() int {
 		}
 		rec.addrs = kept
 		if rec.empty() {
-			delete(n.recs, oid)
+			delete(sh.recs, oid)
 			emptied = append(emptied, oid)
 		}
 	}
-	// Reap expired sessions in the same pass: their entries were just
-	// removed above, and a server that comes back later learns from the
-	// unknown-session renewal response that it must re-attach.
-	for sid, sess := range n.sessions {
-		if sess.expired(now) {
-			delete(n.sessions, sid)
-			mSessionsExpired.Inc()
-		}
-	}
-	n.mu.Unlock()
+	sh.mu.Unlock()
 	if expired > 0 {
-		n.count(func(c *Counters) { c.Expiries += int64(expired) })
+		n.stats.expiries.Add(int64(expired))
 	}
 	for _, oid := range emptied {
 		if err := n.propagateRemove(nil, oid); err != nil {
@@ -958,9 +1175,9 @@ func (n *Node) SweepExpired() int {
 		// pointer install then loses to our removal, and — since later
 		// renewals find the record non-empty — would never be repeated.
 		// Re-check and reinstall, so the record converges to findable.
-		n.mu.RLock()
-		revived := n.recs[oid] != nil
-		n.mu.RUnlock()
+		sh.mu.RLock()
+		revived := sh.recs[oid] != nil
+		sh.mu.RUnlock()
 		if revived {
 			if err := n.propagateInstall(nil, oid); err != nil {
 				n.cfg.Logf("gls: %s: reinstall pointers for revived %s: %v", n.cfg.Domain, oid.Short(), err)
@@ -968,6 +1185,34 @@ func (n *Node) SweepExpired() int {
 		}
 	}
 	return expired
+}
+
+// reapSessions deletes sessions whose lease ran out; their entries
+// were (or will be) reclaimed by the shard sweeps, and a server that
+// comes back later learns from the unknown-session renewal response
+// that it must re-attach.
+func (n *Node) reapSessions(now time.Time) {
+	n.sessMu.Lock()
+	for sid, sess := range n.sessions {
+		if sess.expired(now) {
+			delete(n.sessions, sid)
+			mSessionsExpired.Inc()
+		}
+	}
+	n.sessMu.Unlock()
+}
+
+// SweepExpired sweeps every shard (and reaps expired sessions) now and
+// returns how many contact addresses were reclaimed. The janitor
+// covers the same ground incrementally; tests call this directly.
+func (n *Node) SweepExpired() int {
+	now := n.cfg.Clock()
+	total := 0
+	for i := range n.shards {
+		total += n.sweepShard(i, now)
+	}
+	n.reapSessions(now)
+	return total
 }
 
 func (n *Node) handleStats() ([]byte, error) {
@@ -980,260 +1225,4 @@ func encodeOID(oid ids.OID) []byte {
 	w := wire.NewWriter(ids.Size)
 	w.OID(oid)
 	return w.Bytes()
-}
-
-// snapshotMagic marks the version-2 snapshot layout, which persists
-// sessions, per-entry lease deadlines and drain flags. Version-1
-// snapshots (which started straight with the domain string and carried
-// bare contact addresses) are still readable; their entries restore as
-// permanent, the pre-session behaviour.
-const snapshotMagic = "gls-snapshot/2"
-
-// Lease kinds in a version-2 snapshot entry.
-const (
-	leasePermanent = uint8(iota) // no expiry
-	leaseOwn                     // per-entry lease; remaining seconds follow
-	leaseSession                 // attached to a session; its id follows
-)
-
-// Snapshot serializes the node's state for persistent storage. The
-// paper's Java GLS supports "persistent storage of the state of a
-// directory node (location information and forwarding pointers)" (§7);
-// object servers and the gdn-gls daemon checkpoint with this. Liveness
-// state is part of the image: registration sessions with their
-// remaining TTL and drain attribute, per-entry lease deadlines (as
-// seconds remaining, so the restored clock regime does not matter) and
-// the address drain set — a restored node can therefore never
-// resurrect a dead server's replicas as permanent, which the
-// version-1 layout did. Entries and sessions already expired at
-// snapshot time are not encoded.
-func (n *Node) Snapshot() []byte {
-	now := n.cfg.Clock()
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	w := wire.NewWriter(1024)
-	w.Str(snapshotMagic)
-	w.Str(n.cfg.Domain)
-
-	w.Count(len(n.drained))
-	for addr := range n.drained {
-		w.Str(addr)
-	}
-
-	live := make([]*session, 0, len(n.sessions))
-	for _, sess := range n.sessions {
-		if !sess.expired(now) {
-			live = append(live, sess)
-		}
-	}
-	w.Count(len(live))
-	for _, sess := range live {
-		w.OID(sess.id)
-		w.Str(sess.addr)
-		w.Uint32(wholeSeconds(sess.ttl))
-		w.Uint32(remainingSeconds(now, sess.expires))
-		w.Bool(sess.drained)
-	}
-
-	w.Count(len(n.recs))
-	for oid, rec := range n.recs {
-		w.OID(oid)
-		kept := make([]leasedAddr, 0, len(rec.addrs))
-		for _, la := range rec.addrs {
-			if !la.expired(now) {
-				kept = append(kept, la)
-			}
-		}
-		w.Count(len(kept))
-		for _, la := range kept {
-			la.ca.encode(w)
-			switch {
-			case la.sess != nil:
-				w.Uint8(leaseSession)
-				w.OID(la.sess.id)
-			case !la.expires.IsZero():
-				w.Uint8(leaseOwn)
-				w.Uint32(remainingSeconds(now, la.expires))
-			default:
-				w.Uint8(leasePermanent)
-			}
-		}
-		w.Count(len(rec.ptrs))
-		for child, ref := range rec.ptrs {
-			w.Str(child)
-			ref.encode(w)
-		}
-	}
-	return w.Bytes()
-}
-
-// wholeSeconds rounds a duration up to whole seconds for the wire.
-func wholeSeconds(d time.Duration) uint32 {
-	if d <= 0 {
-		return 0
-	}
-	return uint32((d + time.Second - 1) / time.Second)
-}
-
-// remainingSeconds encodes a deadline as whole seconds left, at least
-// one for a deadline still in the future.
-func remainingSeconds(now, deadline time.Time) uint32 {
-	return wholeSeconds(deadline.Sub(now))
-}
-
-// Restore replaces the node's state with a snapshot taken by Snapshot.
-// The snapshot must come from a node serving the same domain. Lease
-// deadlines restart relative to the restoring node's clock: an entry
-// snapshot with five seconds left has five seconds to be renewed after
-// the restore, and a dead server's entries age out within one TTL of
-// the restart instead of living forever.
-func (n *Node) Restore(b []byte) error {
-	r := wire.NewReader(b)
-	first := r.Str()
-	if r.Err() != nil {
-		return r.Err()
-	}
-	if first != snapshotMagic {
-		// Version-1 layout: the first string is the domain and every
-		// entry restores as permanent.
-		return n.restoreV1(first, r)
-	}
-	domain := r.Str()
-	if r.Err() != nil {
-		return r.Err()
-	}
-	if domain != n.cfg.Domain {
-		return fmt.Errorf("gls: snapshot is for domain %q, node serves %q", domain, n.cfg.Domain)
-	}
-	now := n.cfg.Clock()
-
-	nd := r.Count()
-	if r.Err() != nil {
-		return r.Err()
-	}
-	drained := make(map[string]bool, nd)
-	for i := 0; i < nd; i++ {
-		drained[r.Str()] = true
-	}
-
-	ns := r.Count()
-	if r.Err() != nil {
-		return r.Err()
-	}
-	sessions := make(map[ids.OID]*session, ns)
-	for i := 0; i < ns; i++ {
-		sess := &session{
-			id:   r.OID(),
-			addr: r.Str(),
-			ttl:  time.Duration(r.Uint32()) * time.Second,
-		}
-		sess.expires = now.Add(time.Duration(r.Uint32()) * time.Second)
-		sess.drained = r.Bool()
-		if r.Err() != nil {
-			return r.Err()
-		}
-		sessions[sess.id] = sess
-	}
-
-	count := r.Count()
-	if r.Err() != nil {
-		return r.Err()
-	}
-	recs := make(map[ids.OID]*record, count)
-	for i := 0; i < count; i++ {
-		oid := r.OID()
-		rec := &record{}
-		na := r.Count()
-		if r.Err() != nil {
-			return r.Err()
-		}
-		for j := 0; j < na; j++ {
-			la := leasedAddr{ca: decodeContactAddress(r)}
-			switch r.Uint8() {
-			case leaseOwn:
-				la.expires = now.Add(time.Duration(r.Uint32()) * time.Second)
-			case leaseSession:
-				sid := r.OID()
-				la.sess = sessions[sid]
-				if r.Err() == nil && la.sess == nil {
-					return fmt.Errorf("gls: snapshot entry references unknown session %s", sid.Short())
-				}
-				if la.sess != nil {
-					// Counts are recomputed from the entries themselves, so
-					// the snapshot cannot carry a stale tally.
-					la.sess.attached++
-				}
-			}
-			if r.Err() != nil {
-				return r.Err()
-			}
-			rec.addrs = append(rec.addrs, la)
-		}
-		np := r.Count()
-		if r.Err() != nil {
-			return r.Err()
-		}
-		if np > 0 {
-			rec.ptrs = make(map[string]Ref, np)
-		}
-		for j := 0; j < np; j++ {
-			child := r.Str()
-			rec.ptrs[child] = decodeRef(r)
-		}
-		recs[oid] = rec
-	}
-	if err := r.Done(); err != nil {
-		return err
-	}
-	n.mu.Lock()
-	n.recs = recs
-	n.drained = drained
-	n.sessions = sessions
-	n.mu.Unlock()
-	return nil
-}
-
-// restoreV1 decodes the pre-session snapshot layout; r is positioned
-// just past the leading domain string.
-func (n *Node) restoreV1(domain string, r *wire.Reader) error {
-	if domain != n.cfg.Domain {
-		return fmt.Errorf("gls: snapshot is for domain %q, node serves %q", domain, n.cfg.Domain)
-	}
-	count := r.Count()
-	if r.Err() != nil {
-		return r.Err()
-	}
-	recs := make(map[ids.OID]*record, count)
-	for i := 0; i < count; i++ {
-		oid := r.OID()
-		rec := &record{}
-		na := r.Count()
-		if r.Err() != nil {
-			return r.Err()
-		}
-		for j := 0; j < na; j++ {
-			rec.addrs = append(rec.addrs, leasedAddr{ca: decodeContactAddress(r)})
-		}
-		np := r.Count()
-		if r.Err() != nil {
-			return r.Err()
-		}
-		if np > 0 {
-			rec.ptrs = make(map[string]Ref, np)
-		}
-		for j := 0; j < np; j++ {
-			child := r.Str()
-			rec.ptrs[child] = decodeRef(r)
-		}
-		recs[oid] = rec
-	}
-	if err := r.Done(); err != nil {
-		return err
-	}
-	n.mu.Lock()
-	n.recs = recs
-	n.drained = make(map[string]bool)
-	n.sessions = make(map[ids.OID]*session)
-	n.mu.Unlock()
-	return nil
 }

@@ -161,8 +161,12 @@ func (r *Resolver) insertAt(node Ref, oid ids.OID, ca ContactAddress, ttl time.D
 // node — the node where that address's replicas registered. Drained
 // addresses stop appearing in lookups while healthy alternatives
 // exist; registrations stay intact, so recovery is one Drain(false)
-// away. Object servers call this when background scrubbing finds
-// their chunk store chronically corrupt.
+// away.
+//
+// This is the compatibility shim for sessionless registrants: it fans
+// one OpDrain RPC out to every leaf subnode. Servers holding a
+// registration session use ServerSession.Drain instead, which
+// piggybacks the bit on the batched renewal heartbeat.
 func (r *Resolver) Drain(addr string, draining bool) (time.Duration, error) {
 	if r.leaf.IsZero() {
 		return 0, ErrNoAddrs

@@ -35,6 +35,14 @@ type ServerSession struct {
 	mu       sync.Mutex
 	attached map[ids.OID]ContactAddress
 
+	// drainSet/draining are the server's declared drain state. Once set,
+	// every renewal (and re-attach repair) carries the bit, so the
+	// drain both propagates in the heartbeat the server was sending
+	// anyway and re-establishes itself on subnodes that lost it.
+	drainMu  sync.Mutex
+	drainSet bool
+	draining bool
+
 	reopenMu  sync.Mutex
 	reopening map[string]*reopenFlight
 }
@@ -166,13 +174,23 @@ func (s *ServerSession) Renew() (time.Duration, error) {
 	w := wire.NewWriter(32)
 	w.OID(s.id)
 	w.Uint32(s.ttlSecs())
+	if hasDrain, draining := s.drainState(); hasDrain {
+		w.Bool(true)
+		w.Bool(draining)
+	}
 	body := w.Bytes()
 
-	// What each subnode should be holding, by the server's own books.
+	// What each subnode should be holding, by the server's own books. A
+	// single-subnode leaf skips the per-entry routing pass: with a
+	// million attached entries the renewal must stay O(1), not O(n).
 	expect := make(map[string]int, len(s.res.leaf.Addrs))
 	s.mu.Lock()
-	for oid := range s.attached {
-		expect[s.res.leaf.Route(oid)]++
+	if len(s.res.leaf.Addrs) == 1 {
+		expect[s.res.leaf.Addrs[0]] = len(s.attached)
+	} else {
+		for oid := range s.attached {
+			expect[s.res.leaf.Route(oid)]++
+		}
 	}
 	s.mu.Unlock()
 
@@ -260,6 +278,10 @@ func (s *ServerSession) reattachAt(sub string) (time.Duration, error) {
 		w.OID(oid)
 		ca.encode(w)
 	}
+	if hasDrain, draining := s.drainState(); hasDrain {
+		w.Bool(true)
+		w.Bool(draining)
+	}
 	_, cost, err := s.res.client(sub).Call(OpSessionReattach, w.Bytes())
 	if err != nil {
 		return cost, fmt.Errorf("gls: re-attach session at %s: %w", sub, err)
@@ -267,13 +289,73 @@ func (s *ServerSession) reattachAt(sub string) (time.Duration, error) {
 	return cost, nil
 }
 
+// AttachBatch registers many contact addresses through the session in
+// one batched OpSessionReattach round trip per leaf subnode — the
+// bulk path for a server bringing a large replica population online,
+// where per-entry Attach RPCs would cost a round trip each. Callers
+// mint the identifiers themselves (a nil identifier is rejected, since
+// a batch cannot report per-entry allocations).
+func (s *ServerSession) AttachBatch(entries map[ids.OID]ContactAddress) (time.Duration, error) {
+	bySub := make(map[string][]reattachEntry, len(s.res.leaf.Addrs))
+	for oid, ca := range entries {
+		if oid.IsNil() {
+			return 0, fmt.Errorf("gls: AttachBatch needs caller-minted identifiers")
+		}
+		sub := s.res.leaf.Route(oid)
+		bySub[sub] = append(bySub[sub], reattachEntry{oid: oid, ca: ca})
+	}
+	hasDrain, draining := s.drainState()
+	var total time.Duration
+	for sub, batch := range bySub {
+		w := wire.NewWriter(64 + len(s.addr) + 80*len(batch))
+		w.OID(s.id)
+		w.Str(s.addr)
+		w.Uint32(s.ttlSecs())
+		w.Count(len(batch))
+		for _, e := range batch {
+			w.OID(e.oid)
+			e.ca.encode(w)
+		}
+		if hasDrain {
+			w.Bool(true)
+			w.Bool(draining)
+		}
+		_, cost, err := s.res.client(sub).Call(OpSessionReattach, w.Bytes())
+		total += cost
+		if err != nil {
+			return total, fmt.Errorf("gls: batch attach at %s: %w", sub, err)
+		}
+	}
+	s.mu.Lock()
+	for oid, ca := range entries {
+		s.attached[oid] = ca
+	}
+	s.mu.Unlock()
+	return total, nil
+}
+
+// drainState returns the declared drain bit and whether one was set.
+func (s *ServerSession) drainState() (set, draining bool) {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.drainSet, s.draining
+}
+
 // Drain marks (or clears) the session's transport address as draining:
 // attached entries stop appearing in lookups while healthy alternatives
-// exist, without losing any registration state. The directory node
-// records the flag on the session, so it survives a snapshot restore
-// with it.
+// exist, without losing any registration state. The bit rides the
+// session heartbeat — Drain records the desired state and performs one
+// immediate Renew, so the change reaches every leaf subnode in the one
+// batched RPC a renewal already costs (the OpDrain fan-out this
+// replaces paid a dedicated RPC per subnode), and every subsequent
+// heartbeat re-asserts it. The directory node records the flag on the
+// session, so it survives a snapshot restore with it.
 func (s *ServerSession) Drain(draining bool) (time.Duration, error) {
-	return s.res.Drain(s.addr, draining)
+	s.drainMu.Lock()
+	s.drainSet = true
+	s.draining = draining
+	s.drainMu.Unlock()
+	return s.Renew()
 }
 
 // Close ends the session at every subnode: each attached entry expires

@@ -447,22 +447,25 @@ func TestV1SnapshotStillRestores(t *testing.T) {
 // snapshot layout (domain first, bare contact addresses) — the image a
 // daemon checkpointed before this PR.
 func encodeV1Snapshot(n *Node) []byte {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
 	w := wire.NewWriter(1024)
 	w.Str(n.cfg.Domain)
-	w.Count(len(n.recs))
-	for oid, rec := range n.recs {
-		w.OID(oid)
-		w.Count(len(rec.addrs))
-		for _, la := range rec.addrs {
-			la.ca.encode(w)
+	w.Count(n.Records())
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.RLock()
+		for oid, rec := range sh.recs {
+			w.OID(oid)
+			w.Count(len(rec.addrs))
+			for _, la := range rec.addrs {
+				la.ca.encode(w)
+			}
+			w.Count(len(rec.ptrs))
+			for child, ref := range rec.ptrs {
+				w.Str(child)
+				ref.encode(w)
+			}
 		}
-		w.Count(len(rec.ptrs))
-		for child, ref := range rec.ptrs {
-			w.Str(child)
-			ref.encode(w)
-		}
+		sh.mu.RUnlock()
 	}
 	return w.Bytes()
 }

@@ -1,0 +1,342 @@
+package gls
+
+import (
+	"fmt"
+	"time"
+
+	"gdn/internal/ids"
+	"gdn/internal/wire"
+)
+
+// Snapshot format lineage:
+//
+//   - v1 started straight with the domain string and carried bare
+//     contact addresses; entries restore as permanent.
+//   - v2 ("gls-snapshot/2") added registration sessions, per-entry
+//     lease deadlines (as seconds remaining) and drain flags, written
+//     under one whole-node lock.
+//   - v3 ("gls-snapshot/3") keeps v2's content but groups records by
+//     record shard: the writer holds one stripe read lock at a time,
+//     so snapshotting a million-record node never freezes the whole
+//     table. The price is per-stripe (not whole-node) consistency —
+//     an entry can reference a session born after the session block
+//     was written. Restore drops such entries; the owner's next
+//     renewal notices the attached-count mismatch and re-attaches,
+//     the same self-healing that repairs a rollback to an old
+//     snapshot.
+//
+// Restore accepts all three; Snapshot writes v3.
+const (
+	snapshotMagic   = "gls-snapshot/2"
+	snapshotMagicV3 = "gls-snapshot/3"
+)
+
+// Lease kinds in a version-2/3 snapshot entry.
+const (
+	leasePermanent = uint8(iota) // no expiry
+	leaseOwn                     // per-entry lease; remaining seconds follow
+	leaseSession                 // attached to a session; its id follows
+)
+
+// Snapshot serializes the node's state for persistent storage. The
+// paper's Java GLS supports "persistent storage of the state of a
+// directory node (location information and forwarding pointers)" (§7);
+// object servers and the gdn-gls daemon checkpoint with this. Liveness
+// state is part of the image: registration sessions with their
+// remaining TTL and drain attribute, per-entry lease deadlines (as
+// seconds remaining, so the restored clock regime does not matter) and
+// the address drain set — a restored node can therefore never
+// resurrect a dead server's replicas as permanent, which the
+// version-1 layout did. Entries and sessions already expired at
+// snapshot time are not encoded.
+func (n *Node) Snapshot() []byte {
+	now := n.cfg.Clock()
+	w := wire.NewWriter(1024)
+	w.Str(snapshotMagicV3)
+	w.Str(n.cfg.Domain)
+
+	n.drainMu.RLock()
+	w.Count(len(n.drained))
+	for addr := range n.drained {
+		w.Str(addr)
+	}
+	n.drainMu.RUnlock()
+
+	n.sessMu.RLock()
+	live := make([]*session, 0, len(n.sessions))
+	for _, sess := range n.sessions {
+		if !sess.expired(now) {
+			live = append(live, sess)
+		}
+	}
+	w.Count(len(live))
+	for _, sess := range live {
+		addr, ttl := sess.fields()
+		w.OID(sess.id)
+		w.Str(addr)
+		w.Uint32(wholeSeconds(ttl))
+		w.Uint32(remainingSeconds(now, time.Unix(0, sess.expiresNano.Load())))
+		w.Bool(sess.drained.Load())
+	}
+	n.sessMu.RUnlock()
+
+	w.Uint32(recShards)
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.RLock()
+		w.Count(len(sh.recs))
+		for oid, rec := range sh.recs {
+			w.OID(oid)
+			kept := make([]leasedAddr, 0, len(rec.addrs))
+			for _, la := range rec.addrs {
+				if !la.expired(now) {
+					kept = append(kept, la)
+				}
+			}
+			w.Count(len(kept))
+			for _, la := range kept {
+				la.ca.encode(w)
+				switch {
+				case la.sess != nil:
+					w.Uint8(leaseSession)
+					w.OID(la.sess.id)
+				case !la.expires.IsZero():
+					w.Uint8(leaseOwn)
+					w.Uint32(remainingSeconds(now, la.expires))
+				default:
+					w.Uint8(leasePermanent)
+				}
+			}
+			w.Count(len(rec.ptrs))
+			for child, ref := range rec.ptrs {
+				w.Str(child)
+				ref.encode(w)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return w.Bytes()
+}
+
+// wholeSeconds rounds a duration up to whole seconds for the wire.
+func wholeSeconds(d time.Duration) uint32 {
+	if d <= 0 {
+		return 0
+	}
+	return uint32((d + time.Second - 1) / time.Second)
+}
+
+// remainingSeconds encodes a deadline as whole seconds left, at least
+// one for a deadline still in the future.
+func remainingSeconds(now, deadline time.Time) uint32 {
+	return wholeSeconds(deadline.Sub(now))
+}
+
+// Restore replaces the node's state with a snapshot taken by Snapshot
+// (any format version). The snapshot must come from a node serving the
+// same domain. Lease deadlines restart relative to the restoring
+// node's clock: an entry snapshot with five seconds left has five
+// seconds to be renewed after the restore, and a dead server's entries
+// age out within one TTL of the restart instead of living forever.
+func (n *Node) Restore(b []byte) error {
+	r := wire.NewReader(b)
+	first := r.Str()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	switch first {
+	case snapshotMagicV3:
+		return n.restoreV23(r, true)
+	case snapshotMagic:
+		return n.restoreV23(r, false)
+	default:
+		// Version-1 layout: the first string is the domain and every
+		// entry restores as permanent.
+		return n.restoreV1(first, r)
+	}
+}
+
+// restoreV23 decodes the v2 and v3 layouts, which differ only in the
+// record section: v2 is one flat record list; v3 is a list per shard
+// (with the shard count on the wire, so the stripe constant can change
+// without a format bump). v3 additionally tolerates entries whose
+// session is missing — the per-stripe consistency documented on
+// Snapshot — where v2, written atomically, treats that as corruption.
+func (n *Node) restoreV23(r *wire.Reader, v3 bool) error {
+	domain := r.Str()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if domain != n.cfg.Domain {
+		return fmt.Errorf("gls: snapshot is for domain %q, node serves %q", domain, n.cfg.Domain)
+	}
+	now := n.cfg.Clock()
+
+	nd := r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	drained := make(map[string]bool, nd)
+	for i := 0; i < nd; i++ {
+		drained[r.Str()] = true
+	}
+
+	ns := r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	sessions := make(map[ids.OID]*session, ns)
+	for i := 0; i < ns; i++ {
+		sess := &session{id: r.OID()}
+		sess.addr = r.Str()
+		sess.ttl = time.Duration(r.Uint32()) * time.Second
+		sess.expiresNano.Store(now.Add(time.Duration(r.Uint32()) * time.Second).UnixNano())
+		sess.drained.Store(r.Bool())
+		if r.Err() != nil {
+			return r.Err()
+		}
+		sessions[sess.id] = sess
+	}
+
+	groups := 1
+	if v3 {
+		groups = int(r.Uint32())
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if groups == 0 || groups > 1<<10 {
+			return fmt.Errorf("gls: snapshot carries implausible shard count %d", groups)
+		}
+	}
+	recs := make(map[ids.OID]*record)
+	for g := 0; g < groups; g++ {
+		count := r.Count()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		for i := 0; i < count; i++ {
+			oid := r.OID()
+			rec := &record{}
+			na := r.Count()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			for j := 0; j < na; j++ {
+				la := leasedAddr{ca: decodeContactAddress(r)}
+				keep := true
+				switch r.Uint8() {
+				case leaseOwn:
+					la.expires = now.Add(time.Duration(r.Uint32()) * time.Second)
+				case leaseSession:
+					sid := r.OID()
+					la.sess = sessions[sid]
+					if r.Err() == nil && la.sess == nil {
+						if !v3 {
+							return fmt.Errorf("gls: snapshot entry references unknown session %s", sid.Short())
+						}
+						// The session raced the shard-by-shard writer; drop
+						// the entry and let its owner re-attach.
+						keep = false
+					}
+					if la.sess != nil {
+						// Counts are recomputed from the entries themselves, so
+						// the snapshot cannot carry a stale tally.
+						la.sess.attached.Add(1)
+					}
+				}
+				if r.Err() != nil {
+					return r.Err()
+				}
+				if keep {
+					rec.addrs = append(rec.addrs, la)
+				}
+			}
+			np := r.Count()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if np > 0 {
+				rec.ptrs = make(map[string]Ref, np)
+			}
+			for j := 0; j < np; j++ {
+				child := r.Str()
+				rec.ptrs[child] = decodeRef(r)
+			}
+			if !rec.empty() {
+				recs[oid] = rec
+			}
+		}
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	n.installState(recs, drained, sessions)
+	return nil
+}
+
+// restoreV1 decodes the pre-session snapshot layout; r is positioned
+// just past the leading domain string.
+func (n *Node) restoreV1(domain string, r *wire.Reader) error {
+	if domain != n.cfg.Domain {
+		return fmt.Errorf("gls: snapshot is for domain %q, node serves %q", domain, n.cfg.Domain)
+	}
+	count := r.Count()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	recs := make(map[ids.OID]*record, count)
+	for i := 0; i < count; i++ {
+		oid := r.OID()
+		rec := &record{}
+		na := r.Count()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		for j := 0; j < na; j++ {
+			rec.addrs = append(rec.addrs, leasedAddr{ca: decodeContactAddress(r)})
+		}
+		np := r.Count()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if np > 0 {
+			rec.ptrs = make(map[string]Ref, np)
+		}
+		for j := 0; j < np; j++ {
+			child := r.Str()
+			rec.ptrs[child] = decodeRef(r)
+		}
+		recs[oid] = rec
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	n.installState(recs, make(map[string]bool), make(map[ids.OID]*session))
+	return nil
+}
+
+// installState swaps in a fully decoded state, distributing records
+// over the shards. Each stripe is swapped under its own lock; Restore
+// runs at boot (or between test phases), so the brief window where
+// stripes mix old and new state has no observers that care.
+func (n *Node) installState(recs map[ids.OID]*record, drained map[string]bool, sessions map[ids.OID]*session) {
+	var byShard [recShards]map[ids.OID]*record
+	for i := range byShard {
+		byShard[i] = make(map[ids.OID]*record, len(recs)/recShards+1)
+	}
+	for oid, rec := range recs {
+		byShard[int(oid[ids.Size-1])&(recShards-1)][oid] = rec
+	}
+	n.drainMu.Lock()
+	n.drained = drained
+	n.drainMu.Unlock()
+	n.sessMu.Lock()
+	n.sessions = sessions
+	n.sessMu.Unlock()
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		sh.recs = byShard[i]
+		sh.mu.Unlock()
+	}
+}

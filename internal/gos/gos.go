@@ -31,6 +31,7 @@ import (
 	"gdn/internal/sec"
 	"gdn/internal/store"
 	"gdn/internal/transport"
+	"gdn/internal/walog"
 	"gdn/internal/wire"
 )
 
@@ -178,6 +179,21 @@ type Server struct {
 	// until the checkpoint is superseded or removed, so live-state
 	// churn can never delete a chunk an on-disk manifest still needs.
 	pins map[ids.OID][]store.Ref
+	// ckptImages holds the latest durable checkpoint image per object
+	// — the live set a checkpoint-log compaction rewrites the log
+	// from. Guarded by mu.
+	ckptImages map[ids.OID][]byte
+
+	// ckptLog is the append-only checkpoint log: each checkpoint is
+	// one appended frame instead of a whole-file rewrite per replica,
+	// so checkpointing N replicas costs one fsync batch, not N
+	// rename+fsync pairs. Nil when StateDir is unset. ckptLogMu
+	// serializes appends against compaction (a Rewrite must not lose
+	// a frame appended after its live-image scan); lock order is
+	// ckptLogMu before mu.
+	ckptLog      *walog.Log
+	ckptLogMu    sync.Mutex
+	ckptLogClose sync.Once
 }
 
 // Start launches an object server and recovers any replicas found in
@@ -190,10 +206,11 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	s := &Server{
-		cfg:     cfg,
-		net:     net,
-		objects: make(map[ids.OID]*hosted),
-		pins:    make(map[ids.OID][]store.Ref),
+		cfg:        cfg,
+		net:        net,
+		objects:    make(map[ids.OID]*hosted),
+		pins:       make(map[ids.OID][]store.Ref),
+		ckptImages: make(map[ids.OID][]byte),
 	}
 	chunkDir := ""
 	if cfg.StateDir != "" {
@@ -231,6 +248,9 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 		for _, h := range s.objects {
 			h.lr.Close()
 		}
+		if s.ckptLog != nil {
+			s.ckptLog.Close()
+		}
 		return nil, err
 	}
 
@@ -243,6 +263,9 @@ func Start(net transport.Network, cfg Config) (*Server, error) {
 		disp.Close()
 		for _, h := range s.objects {
 			h.lr.Close()
+		}
+		if s.ckptLog != nil {
+			s.ckptLog.Close()
 		}
 		return nil, err
 	}
@@ -436,9 +459,18 @@ func (s *Server) Drained() bool {
 }
 
 // setDrain tells the location service to hide (or restore) every
-// contact address at this server's replica endpoint.
+// contact address at this server's replica endpoint. With a
+// registration session the bit rides the next batched renewal
+// (ServerSession.Drain) — no per-subnode fan-out; sessionless servers
+// fall back to the OpDrain compatibility shim.
 func (s *Server) setDrain(draining bool) {
-	if _, err := s.cfg.Runtime.Resolver().Drain(s.disp.Addr(), draining); err != nil {
+	var err error
+	if s.sess != nil {
+		_, err = s.sess.Drain(draining)
+	} else {
+		_, err = s.cfg.Runtime.Resolver().Drain(s.disp.Addr(), draining)
+	}
+	if err != nil {
 		s.cfg.Logf("gos: drain(%v) %s: %v", draining, s.disp.Addr(), err)
 		return
 	}
@@ -497,6 +529,13 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	for _, h := range objects {
 		h.lr.Close()
+	}
+	if s.ckptLog != nil {
+		s.ckptLogClose.Do(func() {
+			if cerr := s.ckptLog.Close(); err == nil {
+				err = cerr
+			}
+		})
 	}
 	return err
 }
@@ -826,13 +865,14 @@ func (s *Server) CheckpointAll() error {
 	return nil
 }
 
-// checkpoint writes one replica's spec and current state durably
-// (write to a temporary name, fsync, then rename). The state is a
-// manifest into the server's chunk store, so checkpointing a huge
-// package rewrites a few kilobytes of manifest — the chunks are
-// already durable, written when the content arrived. The refs the
-// manifest names are pinned in the store until this checkpoint is
-// superseded, so they survive any live-state churn in between.
+// checkpoint writes one replica's spec and current state durably, as
+// one frame appended to the checkpoint log (batched write + fsync).
+// The state is a manifest into the server's chunk store, so
+// checkpointing a huge package appends a few kilobytes of manifest —
+// the chunks are already durable, written when the content arrived.
+// The refs the manifest names are pinned in the store until this
+// checkpoint is superseded, so they survive any live-state churn in
+// between.
 func (s *Server) checkpoint(h *hosted) error {
 	if s.cfg.StateDir == "" {
 		return nil
@@ -880,18 +920,23 @@ func (s *Server) checkpoint(h *hosted) error {
 		w.Bytes32(gls.EncodeAddrs(h.spec.Peers))
 		w.Bytes32(state)
 
-		if err := store.WriteFileSync(s.checkpointName(h.spec.OID), w.Bytes()); err != nil {
+		if err := s.appendCheckpoint(h.spec.OID, w.Bytes()); err != nil {
 			s.chunks.Release(refs)
 			return err
 		}
+		// The log frame supersedes any legacy per-replica file from an
+		// older server; retire it so recovery cannot resurrect stale
+		// state after a later tombstone.
+		os.Remove(s.checkpointName(h.spec.OID))
 		s.mu.Lock()
 		if s.objects[h.spec.OID] != h && !s.closing {
-			// The replica was removed while we checkpointed; a written
-			// image would resurrect it on the next reboot. Undo. (On
-			// server close the map is emptied too, but there the image
-			// must survive — that is the crash-recovery contract.)
+			// The replica was removed while we checkpointed; a durable
+			// image would resurrect it on the next reboot. Undo with a
+			// tombstone. (On server close the map is emptied too, but
+			// there the image must survive — that is the crash-recovery
+			// contract.)
 			s.mu.Unlock()
-			os.Remove(s.checkpointName(h.spec.OID))
+			s.appendTombstone(h.spec.OID)
 			s.chunks.Release(refs)
 			return nil
 		}
@@ -899,6 +944,7 @@ func (s *Server) checkpoint(h *hosted) error {
 		s.pins[h.spec.OID] = refs
 		s.mu.Unlock()
 		s.chunks.Release(old)
+		s.maybeCompactCkptLog()
 		return nil
 	}
 }
@@ -918,11 +964,108 @@ func (s *Server) removeCheckpoint(oid ids.OID) {
 		return
 	}
 	os.Remove(s.checkpointName(oid))
+	s.appendTombstone(oid)
 	s.mu.Lock()
 	refs := s.pins[oid]
 	delete(s.pins, oid)
 	s.mu.Unlock()
 	s.chunks.Release(refs)
+}
+
+// Checkpoint-log frame kinds: an image frame carries a full replica
+// checkpoint (spec + state manifest), a tombstone retracts every
+// earlier image for its object.
+const (
+	ckptImage     = uint8(1)
+	ckptTombstone = uint8(2)
+)
+
+// ckptLogName is the append-only checkpoint log all replicas share.
+func (s *Server) ckptLogName() string {
+	return filepath.Join(s.cfg.StateDir, "checkpoints.log")
+}
+
+// ckptCompactMin is the smallest checkpoint log worth compacting.
+const ckptCompactMin = 1 << 20
+
+// appendCheckpoint appends one image frame and makes it durable.
+func (s *Server) appendCheckpoint(oid ids.OID, img []byte) error {
+	s.ckptLogMu.Lock()
+	defer s.ckptLogMu.Unlock()
+	if s.ckptLog == nil {
+		return fmt.Errorf("gos: checkpoint log closed")
+	}
+	p := make([]byte, 1+len(img))
+	p[0] = ckptImage
+	copy(p[1:], img)
+	s.ckptLog.Append(p)
+	if _, err := s.ckptLog.Flush(); err != nil {
+		return fmt.Errorf("gos: checkpoint append %s: %w", oid.Short(), err)
+	}
+	s.mu.Lock()
+	s.ckptImages[oid] = img
+	s.mu.Unlock()
+	return nil
+}
+
+// appendTombstone retracts an object's checkpoints from the log.
+// Best-effort: a tombstone that fails to flush costs one resurrected
+// replica on the next reboot, which the moderator can remove again.
+func (s *Server) appendTombstone(oid ids.OID) {
+	s.ckptLogMu.Lock()
+	defer s.ckptLogMu.Unlock()
+	if s.ckptLog == nil {
+		return
+	}
+	p := make([]byte, 1+ids.Size)
+	p[0] = ckptTombstone
+	copy(p[1:], oid[:])
+	s.ckptLog.Append(p)
+	if _, err := s.ckptLog.Flush(); err != nil {
+		s.cfg.Logf("gos: checkpoint tombstone %s: %v", oid.Short(), err)
+	}
+	s.mu.Lock()
+	delete(s.ckptImages, oid)
+	s.mu.Unlock()
+}
+
+// maybeCompactCkptLog folds the checkpoint log down to the latest
+// image per live object once superseded frames dominate it. Holding
+// ckptLogMu across the scan-and-rewrite keeps concurrent appends from
+// being dropped by the Rewrite.
+func (s *Server) maybeCompactCkptLog() {
+	s.ckptLogMu.Lock()
+	defer s.ckptLogMu.Unlock()
+	if s.ckptLog == nil {
+		return
+	}
+	// All ckptImages writers hold ckptLogMu, so the map is stable for
+	// the duration of the scan; mu still covers the reads.
+	s.mu.Lock()
+	live := int64(0)
+	for _, img := range s.ckptImages {
+		live += int64(len(img)) + 16
+	}
+	s.mu.Unlock()
+	threshold := 2 * live
+	if threshold < ckptCompactMin {
+		threshold = ckptCompactMin
+	}
+	if s.ckptLog.Size()+int64(s.ckptLog.Buffered()) <= threshold {
+		return
+	}
+	s.mu.Lock()
+	payloads := make([][]byte, 0, len(s.ckptImages))
+	for _, img := range s.ckptImages {
+		p := make([]byte, 1+len(img))
+		p[0] = ckptImage
+		copy(p[1:], img)
+		payloads = append(payloads, p)
+	}
+	s.mu.Unlock()
+	if err := s.ckptLog.Rewrite(payloads); err != nil {
+		s.cfg.Logf("gos: compact checkpoint log: %v", err)
+	}
 }
 
 // rolePriority orders recovery so state-holding roles come up before
@@ -938,22 +1081,22 @@ func rolePriority(role string) int {
 
 // recover reconstructs replicas from the state directory and
 // re-registers their contact addresses with the location service (§4).
+// Legacy per-replica files are read first, then the checkpoint log is
+// replayed over them: the last frame per object wins, and a tombstone
+// retracts the object entirely.
 func (s *Server) recover() error {
 	if s.cfg.StateDir == "" {
 		return nil
 	}
+	if err := os.MkdirAll(s.cfg.StateDir, 0o700); err != nil {
+		return err
+	}
 	entries, err := os.ReadDir(s.cfg.StateDir)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return os.MkdirAll(s.cfg.StateDir, 0o700)
-		}
 		return err
 	}
 
-	type pending struct {
-		spec core.ReplicaSpec
-	}
-	var specs []pending
+	images := make(map[ids.OID][]byte)
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".replica") {
 			continue
@@ -965,6 +1108,48 @@ func (s *Server) recover() error {
 		spec, err := decodeCheckpoint(b)
 		if err != nil {
 			return fmt.Errorf("gos: checkpoint %s: %w", e.Name(), err)
+		}
+		images[spec.OID] = b
+	}
+
+	lg, err := walog.Open(s.ckptLogName(), func(p []byte) error {
+		if len(p) < 1 {
+			return fmt.Errorf("empty checkpoint frame")
+		}
+		switch p[0] {
+		case ckptImage:
+			img := append([]byte(nil), p[1:]...)
+			r := wire.NewReader(img)
+			oid := r.OID()
+			if r.Err() != nil {
+				return fmt.Errorf("checkpoint frame: %w", r.Err())
+			}
+			images[oid] = img
+		case ckptTombstone:
+			oid, err := ids.FromBytes(p[1:])
+			if err != nil {
+				return fmt.Errorf("tombstone frame: %w", err)
+			}
+			delete(images, oid)
+		default:
+			return fmt.Errorf("unknown checkpoint frame kind %d", p[0])
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("gos: open checkpoint log: %w", err)
+	}
+	s.ckptLog = lg
+	s.ckptImages = images
+
+	type pending struct {
+		spec core.ReplicaSpec
+	}
+	var specs []pending
+	for oid, b := range images {
+		spec, err := decodeCheckpoint(b)
+		if err != nil {
+			return fmt.Errorf("gos: checkpoint %s: %w", oid.Short(), err)
 		}
 		specs = append(specs, pending{spec: spec})
 	}

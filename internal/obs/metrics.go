@@ -127,6 +127,59 @@ type HistogramSnapshot struct {
 	Sum     int64
 }
 
+// Delta returns the observations recorded between prev and s as a
+// snapshot of their own: benchmarks bracket a measured section with
+// two snapshots and read quantiles from the difference, so metrics
+// accumulated by setup (or earlier benchmarks) do not pollute the
+// number.
+func (s HistogramSnapshot) Delta(prev HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{
+		Unit:    s.Unit,
+		Bounds:  s.Bounds,
+		Buckets: make([]int64, len(s.Buckets)),
+		Count:   s.Count - prev.Count,
+		Sum:     s.Sum - prev.Sum,
+	}
+	for i := range s.Buckets {
+		d.Buckets[i] = s.Buckets[i]
+		if i < len(prev.Buckets) {
+			d.Buckets[i] -= prev.Buckets[i]
+		}
+	}
+	return d
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the snapshot in
+// the histogram's native unit, interpolating linearly within the
+// bucket the quantile lands in. Observations in the overflow bucket
+// estimate as the largest bound. An empty snapshot estimates 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	target := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Buckets {
+		if c <= 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			if i >= len(s.Bounds) {
+				return float64(s.Bounds[len(s.Bounds)-1])
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = float64(s.Bounds[i-1])
+			}
+			hi := float64(s.Bounds[i])
+			return lo + (hi-lo)*(target-cum)/float64(c)
+		}
+		cum = next
+	}
+	return float64(s.Bounds[len(s.Bounds)-1])
+}
+
 // Snapshot reads the histogram's atomics. See the type comment for
 // the consistency caveat.
 func (h *Histogram) Snapshot() HistogramSnapshot {

@@ -235,3 +235,40 @@ func TestRingBound(t *testing.T) {
 		t.Fatalf("ring order wrong: %q..%q", recs[0].Name, recs[3].Name)
 	}
 }
+
+// TestHistogramQuantileDelta checks the benchmark-facing snapshot
+// arithmetic: Delta isolates a bracketed section and Quantile
+// interpolates inside the right bucket.
+func TestHistogramQuantileDelta(t *testing.T) {
+	h := newHistogram(Seconds, TimeBuckets)
+	// Setup noise the delta must cancel out.
+	for i := 0; i < 100; i++ {
+		h.Observe(20e9) // past the last bound: overflow bucket
+	}
+	before := h.Snapshot()
+	// Measured section: 90 fast observations, 10 slow ones.
+	for i := 0; i < 90; i++ {
+		h.Observe(20e3) // 10µs..25µs bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(2e9) // 1s..2.5s bucket
+	}
+	d := h.Snapshot().Delta(before)
+	if d.Count != 100 {
+		t.Fatalf("delta count = %d, want 100", d.Count)
+	}
+	if p50 := d.Quantile(0.50); p50 < 10e3 || p50 > 25e3 {
+		t.Fatalf("p50 = %v, want within the 10µs..25µs bucket", p50)
+	}
+	if p99 := d.Quantile(0.99); p99 < 1e9 || p99 > 2.5e9 {
+		t.Fatalf("p99 = %v, want within the 1s..2.5s bucket", p99)
+	}
+	// The overflow bucket estimates as the largest finite bound.
+	if q := before.Quantile(0.5); q != float64(TimeBuckets[len(TimeBuckets)-1]) {
+		t.Fatalf("overflow quantile = %v", q)
+	}
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
